@@ -1,0 +1,25 @@
+"""Bench: application-level workloads (Jacobi solve, quire dot)."""
+
+import numpy as np
+
+from repro.apps import PoissonProblem, fused_posit_dot, jacobi_solve
+
+
+def test_jacobi_posit32(benchmark):
+    problem = PoissonProblem(grid=16)
+    result = benchmark(jacobi_solve, problem, "posit32", 400, 1e-6)
+    assert result.iterations > 0
+
+
+def test_jacobi_ieee32(benchmark):
+    problem = PoissonProblem(grid=16)
+    result = benchmark(jacobi_solve, problem, "ieee32", 400, 1e-6)
+    assert result.iterations > 0
+
+
+def test_quire_dot(benchmark):
+    rng = np.random.default_rng(0)
+    a = rng.normal(0, 100, 256)
+    b = rng.normal(0, 100, 256)
+    result = benchmark(fused_posit_dot, a, b, "posit32")
+    assert np.isfinite(result.value)

@@ -1,0 +1,11 @@
+"""Bench: impact-driven SDC detection study (extension)."""
+
+from benchmarks.conftest import run_and_verify
+
+
+def test_ext_detect(benchmark, bench_params):
+    output = benchmark.pedantic(
+        run_and_verify, args=("ext-detect", bench_params), rounds=1, iterations=1
+    )
+    print()
+    print(output.render())

@@ -1,0 +1,9 @@
+"""Bench: SoftPosit numeric-conversion rounding check (Section 4.1.2)."""
+
+from benchmarks.conftest import run_and_verify
+
+
+def test_ext_methodology(benchmark, bench_params):
+    output = benchmark(run_and_verify, "ext-methodology", bench_params)
+    print()
+    print(output.render())

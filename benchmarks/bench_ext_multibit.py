@@ -1,0 +1,9 @@
+"""Bench: multi-bit flip campaigns (future-work extension)."""
+
+from benchmarks.conftest import run_and_verify
+
+
+def test_ext_multibit(benchmark, bench_params):
+    output = benchmark(run_and_verify, "ext-multibit", bench_params)
+    print()
+    print(output.render())

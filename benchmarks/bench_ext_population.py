@@ -1,0 +1,9 @@
+"""Bench: regime-population analysis (Section 5.4.3)."""
+
+from benchmarks.conftest import run_and_verify
+
+
+def test_ext_population(benchmark, bench_params):
+    output = benchmark(run_and_verify, "ext-population", bench_params)
+    print()
+    print(output.render())

@@ -1,0 +1,9 @@
+"""Bench: analytic flip-error prediction validation (future-work extension)."""
+
+from benchmarks.conftest import run_and_verify
+
+
+def test_ext_predict(benchmark, bench_params):
+    output = benchmark(run_and_verify, "ext-predict", bench_params)
+    print()
+    print(output.render())

@@ -1,0 +1,9 @@
+"""Bench: protection-scheme design study (extension)."""
+
+from benchmarks.conftest import run_and_verify
+
+
+def test_ext_protect(benchmark, bench_params):
+    output = benchmark(run_and_verify, "ext-protect", bench_params)
+    print()
+    print(output.render())

@@ -1,0 +1,9 @@
+"""Bench: power-of-two pre-scaling mitigation study (extension)."""
+
+from benchmarks.conftest import run_and_verify
+
+
+def test_ext_scaling(benchmark, bench_params):
+    output = benchmark(run_and_verify, "ext-scaling", bench_params)
+    print()
+    print(output.render())

@@ -1,0 +1,9 @@
+"""Bench: 8/16/64-bit posit campaigns (future-work extension)."""
+
+from benchmarks.conftest import run_and_verify
+
+
+def test_ext_sizes(benchmark, bench_params):
+    output = benchmark(run_and_verify, "ext-sizes", bench_params)
+    print()
+    print(output.render())

@@ -1,0 +1,9 @@
+"""Bench: exhaustive-injection expectations (extension)."""
+
+from benchmarks.conftest import run_and_verify
+
+
+def test_ext_theory(benchmark, bench_params):
+    output = benchmark(run_and_verify, "ext-theory", bench_params)
+    print()
+    print(output.render())

@@ -1,0 +1,9 @@
+"""Bench: regenerate Figure 3 (per-bit error of 186.25 in IEEE-754/32)."""
+
+from benchmarks.conftest import run_and_verify
+
+
+def test_fig03(benchmark, bench_params):
+    output = benchmark(run_and_verify, "fig03", bench_params)
+    print()
+    print(output.render())

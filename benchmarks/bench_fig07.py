@@ -1,0 +1,9 @@
+"""Bench: regenerate Figure 7 (decimal accuracy vs exponent)."""
+
+from benchmarks.conftest import run_and_verify
+
+
+def test_fig07(benchmark, bench_params):
+    output = benchmark(run_and_verify, "fig07", bench_params)
+    print()
+    print(output.render())

@@ -1,0 +1,9 @@
+"""Bench: regenerate Figure 10 (posit vs IEEE mean relative error/bit)."""
+
+from benchmarks.conftest import run_and_verify
+
+
+def test_fig10(benchmark, bench_params):
+    output = benchmark(run_and_verify, "fig10", bench_params)
+    print()
+    print(output.render())

@@ -1,0 +1,9 @@
+"""Bench: regenerate Figure 11 (|p| > 1 regime-size stratification)."""
+
+from benchmarks.conftest import run_and_verify
+
+
+def test_fig11(benchmark, bench_params):
+    output = benchmark(run_and_verify, "fig11", bench_params)
+    print()
+    print(output.render())

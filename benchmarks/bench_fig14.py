@@ -1,0 +1,9 @@
+"""Bench: regenerate Figure 14 + Section 5.4.2 edge case (|p| < 1)."""
+
+from benchmarks.conftest import run_and_verify
+
+
+def test_fig14(benchmark, bench_params):
+    output = benchmark(run_and_verify, "fig14", bench_params)
+    print()
+    print(output.render())

@@ -1,0 +1,9 @@
+"""Bench: regenerate Figure 16 (fraction-bit error trend)."""
+
+from benchmarks.conftest import run_and_verify
+
+
+def test_fig16(benchmark, bench_params):
+    output = benchmark(run_and_verify, "fig16", bench_params)
+    print()
+    print(output.render())

@@ -1,0 +1,9 @@
+"""Bench: regenerate Figures 17-18 (exponent continues the fraction trend)."""
+
+from benchmarks.conftest import run_and_verify
+
+
+def test_fig18(benchmark, bench_params):
+    output = benchmark(run_and_verify, "fig18", bench_params)
+    print()
+    print(output.render())

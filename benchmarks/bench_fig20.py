@@ -1,0 +1,9 @@
+"""Bench: regenerate Figures 19-21 (sign-bit error vs regime size)."""
+
+from benchmarks.conftest import run_and_verify
+
+
+def test_fig20(benchmark, bench_params):
+    output = benchmark(run_and_verify, "fig20", bench_params)
+    print()
+    print(output.render())

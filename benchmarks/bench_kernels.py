@@ -1,0 +1,81 @@
+"""Micro-benchmarks of the substrate kernels.
+
+These time the machinery itself rather than a figure: posit
+encode/decode throughput, field decomposition, IEEE flips, single-bit
+trial batches, and a full uncached campaign.  They are the numbers a
+user sizing a larger fault-injection study needs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets.registry import get as get_preset
+from repro.inject.campaign import CampaignConfig, run_campaign
+from repro.inject.targets import target_by_name
+from repro.inject.trial import run_bit_trials
+from repro.metrics.summary import SummaryStats
+from repro.posit.config import POSIT32
+from repro.posit.decode import decode
+from repro.posit.encode import encode
+from repro.posit.fields import decompose
+
+N = 1 << 16
+
+
+@pytest.fixture(scope="module")
+def values():
+    return get_preset("nyx/temperature").generate(seed=0, size=N).astype(np.float64)
+
+
+@pytest.fixture(scope="module")
+def patterns(values):
+    return np.asarray(encode(values, POSIT32))
+
+
+def test_posit_encode_throughput(benchmark, values):
+    result = benchmark(encode, values, POSIT32)
+    assert len(np.asarray(result)) == N
+
+
+def test_posit_decode_throughput(benchmark, patterns):
+    result = benchmark(decode, patterns, POSIT32)
+    assert len(np.asarray(result)) == N
+
+
+def test_posit_decompose_throughput(benchmark, patterns):
+    fields = benchmark(decompose, patterns, POSIT32)
+    assert fields.sign.shape == (N,)
+
+
+def test_ieee_flip_throughput(benchmark, values):
+    from repro.ieee import BINARY32, flip_float_bit
+
+    values32 = values.astype(np.float32)
+    result = benchmark(flip_float_bit, values32, 20, BINARY32)
+    assert len(result) == N
+
+
+def test_bit_trial_batch(benchmark, values):
+    target = target_by_name("posit32")
+    stored = target.round_trip(values)
+    baseline = SummaryStats.from_array(stored)
+    indices = np.random.default_rng(0).integers(0, stored.size, 313)
+
+    records = benchmark(
+        run_bit_trials, stored, indices, 28, target, baseline
+    )
+    assert len(records) == 313
+
+
+def test_full_campaign_posit32(benchmark, values):
+    config = CampaignConfig(trials_per_bit=64, seed=0)
+
+    result = benchmark(run_campaign, values, "posit32", config)
+    assert result.trial_count == 64 * 32
+
+
+def test_full_campaign_ieee32(benchmark, values):
+    config = CampaignConfig(trials_per_bit=64, seed=0)
+
+    result = benchmark(run_campaign, values, "ieee32", config)
+    assert result.trial_count == 64 * 32

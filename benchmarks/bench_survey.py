@@ -1,0 +1,9 @@
+"""Bench: regenerate the Section 5.3 all-field resiliency survey."""
+
+from benchmarks.conftest import run_and_verify
+
+
+def test_survey(benchmark, bench_params):
+    output = benchmark(run_and_verify, "survey", bench_params)
+    print()
+    print(output.render())

@@ -1,0 +1,9 @@
+"""Bench: regenerate Table 1 (dataset summary)."""
+
+from benchmarks.conftest import run_and_verify
+
+
+def test_table1(benchmark, bench_params):
+    output = benchmark(run_and_verify, "table1", bench_params)
+    print()
+    print(output.render())

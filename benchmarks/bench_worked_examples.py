@@ -1,0 +1,9 @@
+"""Bench: regenerate the worked numeric examples (Figs. 6/9/12/13/15/19/21)."""
+
+from benchmarks.conftest import run_and_verify
+
+
+def test_worked_examples(benchmark, bench_params):
+    output = benchmark(run_and_verify, "worked", bench_params)
+    print()
+    print(output.render())

@@ -1,0 +1,34 @@
+"""Shared benchmark configuration.
+
+Each bench regenerates one paper table/figure through its experiment
+harness, times it with pytest-benchmark, asserts the experiment's
+qualitative checks (the paper's claims), and prints the regenerated
+rows/series so `pytest benchmarks/ --benchmark-only -s` reproduces the
+paper's evaluation outputs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ExperimentParams
+
+#: Benchmark scale: large enough for stable statistics, small enough
+#: that the full bench suite runs in minutes.
+BENCH_PARAMS = ExperimentParams(data_size=1 << 14, trials_per_bit=64, seed=2023)
+
+
+@pytest.fixture(scope="session")
+def bench_params() -> ExperimentParams:
+    return BENCH_PARAMS
+
+
+def run_and_verify(exp_id: str, params: ExperimentParams):
+    """Run one experiment and assert its paper-claim checks."""
+    from repro.experiments import get_experiment
+
+    output = get_experiment(exp_id).run(params)
+    assert output.all_checks_pass, (
+        f"{exp_id} failed checks: {output.failed_checks()}"
+    )
+    return output

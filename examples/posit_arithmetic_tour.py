@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""A tour of the posit substrate: formats, arithmetic, the quire.
+
+Shows the pieces the fault-injection study is built on, and the accuracy
+behaviour that motivates posits in the first place (the paper's Fig. 7):
+
+* tapered accuracy — spacing of representable values across magnitudes;
+* correctly rounded arithmetic and NaR semantics;
+* the quire: exact dot products vs sequentially rounded ones.
+
+Run:  python examples/posit_arithmetic_tour.py
+"""
+
+import numpy as np
+
+from repro.analysis import posit_decimal_accuracy
+from repro.apps import dot_error_comparison
+from repro.posit import (
+    POSIT8,
+    POSIT16,
+    POSIT32,
+    add,
+    decode,
+    divide,
+    encode,
+    layout_string,
+    multiply,
+    negate,
+    sqrt,
+)
+
+
+def tapered_accuracy() -> None:
+    print("== tapered accuracy (decimal digits, the paper's Fig. 7) ==")
+    print("  exponent:  " + "  ".join(f"{h:+4d}" for h in (-32, -16, -4, 0, 4, 16, 32)))
+    for config in (POSIT8, POSIT16, POSIT32):
+        digits = [posit_decimal_accuracy(h, config) for h in (-32, -16, -4, 0, 4, 16, 32)]
+        print(f"  posit{config.nbits:<2}:   " + "  ".join(f"{d:4.1f}" for d in digits))
+    print()
+
+
+def arithmetic() -> None:
+    print("== correctly rounded arithmetic on bit patterns ==")
+    a = encode(np.array([1.5, 100.0, 0.3]), POSIT32)
+    b = encode(np.array([2.25, 0.001, 3.0]), POSIT32)
+    print("  a        =", decode(a, POSIT32))
+    print("  b        =", decode(b, POSIT32))
+    print("  a + b    =", decode(add(a, b, POSIT32), POSIT32))
+    print("  a * b    =", decode(multiply(a, b, POSIT32), POSIT32))
+    print("  a / b    =", decode(divide(a, b, POSIT32), POSIT32))
+    print("  sqrt(a)  =", decode(sqrt(a, POSIT32), POSIT32))
+    print("  -a       =", decode(negate(a, POSIT32), POSIT32))
+
+    nar = divide(a[:1], encode(np.array([0.0]), POSIT32), POSIT32)
+    print("  a / 0    =", decode(nar, POSIT32), "(NaR)")
+    print()
+
+    print("  negation is the two's complement, not a sign flip:")
+    pattern = int(encode(np.float64(13.5), POSIT32))
+    print(f"    13.5      {layout_string(pattern, POSIT32)}")
+    print(f"   -13.5      {layout_string(int(negate(np.uint64(pattern), POSIT32)), POSIT32)}")
+    flipped = pattern ^ (1 << 31)
+    print(f"    sign flip {layout_string(flipped, POSIT32)} = "
+          f"{float(decode(np.uint64(flipped), POSIT32))}  (!)")
+    print()
+
+
+def quire_demo() -> None:
+    print("== quire: one rounding per dot product ==")
+    rng = np.random.default_rng(1)
+    # An ill-conditioned dot product: huge terms that cancel exactly,
+    # leaving a small true answer of 1.0.
+    big = rng.normal(0, 1e6, 20)
+    x = np.concatenate([big, -big, [1.0]])
+    y = np.concatenate([np.ones(20), np.ones(20), [1.0]])
+    errors = dot_error_comparison(x, y)
+    for strategy, relative_error in errors.items():
+        print(f"  {strategy:22s} relative error {relative_error:.3e}")
+    print()
+    print("  the fused (quire) posit dot product rounds once; sequential")
+    print("  accumulation in either format loses the cancellation.")
+
+
+if __name__ == "__main__":
+    tapered_accuracy()
+    arithmetic()
+    quire_demo()

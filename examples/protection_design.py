@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Design study: sizing selective protection for posit vs IEEE memories.
+
+Uses the campaign engine plus the protection models to answer the
+hardware question the paper's introduction poses: given a soft-error
+budget, which bits of each number system must ECC/TMR cover, and what
+does it cost?
+
+Run:  python examples/protection_design.py [--size 32768] [--trials 80]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.datasets import get as get_field
+from repro.inject import CampaignConfig, TrialRecords, run_campaign_parallel
+from repro.protect import (
+    SelectiveParity,
+    bits_needed_for_reduction,
+    evaluate_scheme,
+    ranked_bit_positions,
+    tmr_frontier,
+)
+from repro.reporting import Table, render_table
+
+FIELDS = ("nyx/temperature", "hacc/vx", "cesm/cloud", "hurricane/uf30")
+
+
+def pooled_records(target: str, size: int, trials: int, seed: int) -> TrialRecords:
+    shards = []
+    for field in FIELDS:
+        data = get_field(field).generate(seed=seed, size=size)
+        config = CampaignConfig(trials_per_bit=trials, seed=seed)
+        shards.append(run_campaign_parallel(data, target, config, label=field).records)
+    return TrialRecords.concatenate(shards)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--size", type=int, default=1 << 15)
+    parser.add_argument("--trials", type=int, default=80)
+    parser.add_argument("--seed", type=int, default=2023)
+    args = parser.parse_args()
+
+    table = Table(
+        title="Selective TMR sizing (95% serious-SDC reduction target)",
+        columns=["target", "baseline serious", "bits needed", "which bits",
+                 "TMR overhead", "parity alt. overhead"],
+    )
+    for target in ("ieee32", "posit32"):
+        records = pooled_records(target, args.size, args.trials, args.seed)
+        frontier = tmr_frontier(records, 32, max_protected=16)
+        needed = bits_needed_for_reduction(records, 32, 0.95)
+        ranked = ranked_bit_positions(records, 32)[:needed]
+        tmr_report = frontier[min(needed, len(frontier) - 1)]
+        parity_report = evaluate_scheme(
+            records, SelectiveParity(tuple(ranked)), 32
+        )
+        table.add_row([
+            target,
+            frontier[0].baseline_serious_fraction,
+            needed,
+            ",".join(map(str, sorted(ranked, reverse=True))),
+            f"{tmr_report.overhead_fraction:.0%}",
+            f"{parity_report.overhead_fraction:.0%} (detect-only)",
+        ])
+
+        print(f"-- {target} frontier (protected bits -> residual serious fraction)")
+        for k, report in enumerate(frontier[:12]):
+            bar = "#" * int(50 * report.residual_serious_fraction
+                            / max(frontier[0].residual_serious_fraction, 1e-12))
+            print(f"   {k:2d}: {report.residual_serious_fraction:.4f} {bar}")
+        print()
+
+    print(render_table(table))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Quickstart: inspect posits, run a fault-injection campaign, analyze it.
+
+Walks the library's layers in ~60 lines:
+
+1. convert values between float and posit32, look at the fields;
+2. generate a synthetic scientific field (Table 1 preset);
+3. run the paper's campaign against posit32 and ieee32;
+4. aggregate per-bit error and print the Fig. 10-style comparison.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.analysis import aggregate_by_bit
+from repro.datasets import get as get_field
+from repro.inject import CampaignConfig, run_campaign
+from repro.posit import POSIT32, decode, encode, layout_string
+from repro.reporting import Figure, Series, render_series_table
+
+
+def inspect_values() -> None:
+    print("== posit32 representations ==")
+    for value in (1.0, 1.141, 186.25, 186250.0, 0.1, -13.5):
+        pattern = int(encode(np.float64(value), POSIT32))
+        decoded = float(decode(np.uint64(pattern), POSIT32))
+        print(f"  {value:>12}: {layout_string(pattern, POSIT32)}  -> {decoded}")
+    print()
+
+
+def run_comparison() -> None:
+    # A cosmology temperature field fitted to the paper's Table 1 row.
+    data = get_field("nyx/temperature").generate(seed=0, size=1 << 16)
+    config = CampaignConfig(trials_per_bit=313, seed=2023)
+
+    figure = Figure(
+        title="Mean relative error per flipped bit (nyx/temperature)",
+        x_label="bit",
+        y_label="mean relative error",
+    )
+    for target in ("ieee32", "posit32"):
+        result = run_campaign(data, target, config)
+        aggregate = aggregate_by_bit(result.records, 32)
+        figure.add(Series(target, aggregate.bits, aggregate.mean_rel_err))
+        print(
+            f"{target}: {result.trial_count} trials, conversion error "
+            f"mean {result.conversion.mean_relative_error:.2e}"
+        )
+    print()
+    print(render_series_table(figure))
+
+    ieee = figure.get("ieee32").y
+    posit = figure.get("posit32").y
+    print()
+    print(f"worst IEEE bit : {np.nanmax(ieee):.3e} (bit {int(np.nanargmax(ieee))})")
+    print(f"worst posit bit: {np.nanmax(posit):.3e} (bit {int(np.nanargmax(posit))})")
+
+
+if __name__ == "__main__":
+    inspect_values()
+    run_comparison()

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Hardware-design survey: which bits of each number system need protection?
+
+The paper's stated goal is "to inform hardware design for future fault
+prone systems".  This example turns campaign output into that design
+input: for every dataset field it ranks the bit positions of posit32 and
+ieee32 by induced error, then reports the smallest set of bit positions a
+selective-protection scheme (e.g. parity over the top-k bits) must cover
+to suppress a target fraction of the serious SDC events.
+
+Run:  python examples/resiliency_survey.py [--size 65536] [--trials 100]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.analysis import aggregate_by_bit, sdc_threshold_fraction
+from repro.datasets import keys as dataset_keys, get as get_field
+from repro.inject import CampaignConfig, run_campaign_parallel
+from repro.reporting import Table, render_table
+
+SERIOUS_RELATIVE_ERROR = 1.0  # an SDC that changes the value by >100%
+
+
+def bits_to_protect(records, nbits: int, coverage: float = 0.95) -> list[int]:
+    """Smallest set of bit positions covering `coverage` of serious SDCs."""
+    rel = records.rel_err
+    serious = ~np.isfinite(rel) | (rel > SERIOUS_RELATIVE_ERROR)
+    total = int(np.sum(serious))
+    if total == 0:
+        return []
+    per_bit = np.array(
+        [int(np.sum(serious & (records.bit == b))) for b in range(nbits)]
+    )
+    order = np.argsort(per_bit)[::-1]
+    chosen: list[int] = []
+    covered = 0
+    for bit in order:
+        if covered / total >= coverage:
+            break
+        if per_bit[bit] == 0:
+            break
+        chosen.append(int(bit))
+        covered += int(per_bit[bit])
+    return sorted(chosen, reverse=True)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--size", type=int, default=1 << 15)
+    parser.add_argument("--trials", type=int, default=80)
+    parser.add_argument("--seed", type=int, default=2023)
+    args = parser.parse_args()
+
+    table = Table(
+        title="Selective-protection requirements per field (95% of serious SDCs)",
+        columns=[
+            "field", "target", "serious SDC rate",
+            "bits to protect", "#bits",
+        ],
+    )
+    posit_bit_counts = []
+    ieee_bit_counts = []
+    for field_key in dataset_keys():
+        data = get_field(field_key).generate(seed=args.seed, size=args.size)
+        for target in ("ieee32", "posit32"):
+            config = CampaignConfig(trials_per_bit=args.trials, seed=args.seed)
+            result = run_campaign_parallel(data, target, config, label=field_key)
+            serious_rate = sdc_threshold_fraction(result.records, SERIOUS_RELATIVE_ERROR)
+            protect = bits_to_protect(result.records, 32)
+            table.add_row([
+                field_key, target, serious_rate,
+                ",".join(map(str, protect)) if protect else "-",
+                len(protect),
+            ])
+            (posit_bit_counts if target == "posit32" else ieee_bit_counts).append(
+                len(protect)
+            )
+    print(render_table(table))
+    print()
+    print(
+        f"average bits needing protection: ieee32 "
+        f"{np.mean(ieee_bit_counts):.1f}, posit32 {np.mean(posit_bit_counts):.1f}"
+    )
+    print(
+        "takeaway: the posit regime concentrates serious SDCs into a "
+        "narrower, value-dependent band than the fixed IEEE exponent — "
+        "but the sign bit must always be covered."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Application study: a Jacobi Poisson solve under bit flips.
+
+The paper injects faults into stored data; its related work (Elliott et
+al. on GMRES, Casas et al. on AMG) asks what those flips do to whole HPC
+computations.  This example answers that for the library's Jacobi solver:
+
+1. solve the Poisson problem with state stored as ieee32 vs posit32
+   (accuracy comparison, no faults);
+2. inject a single bit flip into the solver state mid-run, sweeping all
+   bit positions, and compare the application-level outcomes: extra
+   iterations, final-solution error, divergence.
+
+Run:  python examples/solver_under_faults.py [--grid 24] [--trials 2]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.apps import (
+    PoissonProblem,
+    bit_sweep_campaign,
+    cg_fault_outcome,
+    jacobi_solve,
+    summarize_outcomes,
+)
+from repro.reporting import Table, render_table
+
+
+def clean_accuracy(problem: PoissonProblem) -> None:
+    exact = problem.exact_solution()
+    print("== clean solves (no faults) ==")
+    for target in (None, "ieee32", "posit32", "posit16", "ieee16"):
+        result = jacobi_solve(problem, target, max_iterations=5000, tolerance=1e-7)
+        label = target or "float64"
+        print(
+            f"  {label:>8}: {result.iterations:4d} iterations, "
+            f"discretization+storage error {result.error_vs(exact):.3e}, "
+            f"converged={result.converged}"
+        )
+    print()
+
+
+def fault_sweep(problem: PoissonProblem, trials: int, seed: int) -> None:
+    print("== single flip at iteration 10, sweep over all bit positions ==")
+    table = Table(
+        title="Application-level fault outcomes",
+        columns=[
+            "target", "trials", "converged", "diverged",
+            "mean extra iters", "max extra iters",
+            "mean solution err", "max solution err",
+        ],
+    )
+    for target in ("ieee32", "posit32"):
+        outcomes = bit_sweep_campaign(
+            problem, target, iteration=10,
+            seed=seed, trials_per_bit=trials,
+            max_iterations=5000, tolerance=1e-7,
+        )
+        summary = summarize_outcomes(outcomes)
+        table.add_row([
+            target,
+            int(summary["trials"]),
+            summary["converged_fraction"],
+            summary["diverged_fraction"],
+            summary["mean_iteration_overhead"],
+            summary["max_iteration_overhead"],
+            summary["mean_solution_error"],
+            summary["max_solution_error"],
+        ])
+
+        # Which bits hurt the most, application-side?
+        worst = sorted(
+            outcomes, key=lambda o: o.iteration_overhead, reverse=True
+        )[:3]
+        print(f"  {target}: worst bits by recovery cost: "
+              + ", ".join(f"bit {o.spec.bit} (+{o.iteration_overhead} iters)"
+                          for o in worst))
+    print()
+    print(render_table(table))
+    print()
+    print(
+        "takeaway: Jacobi self-heals small perturbations, so the cost of a "
+        "flip is measured in extra sweeps; IEEE exponent flips cost the "
+        "most (or diverge), posit regime flips cost less on average — the "
+        "storage-level resiliency gap carries through to the application."
+    )
+
+
+def cg_silent_corruption(problem: PoissonProblem) -> None:
+    print("== conjugate gradient: the silent-corruption contrast ==")
+    source = (problem.grid // 3) * problem.grid + (2 * problem.grid) // 3
+    for target in ("ieee32", "posit32"):
+        outcome = cg_fault_outcome(
+            problem, target, iteration=3, flat_index=source, bit=30,
+            max_iterations=4000, tolerance=1e-6,
+        )
+        print(
+            f"  {target}: flip bit 30 of x at iter 3 -> still 'converged' "
+            f"in {outcome['faulty_iterations']} iters (overhead "
+            f"{outcome['iteration_overhead']}), but the answer is off by "
+            f"{outcome['solution_error']:.3e} relative"
+        )
+    print(
+        "  CG's residual recurrence never re-reads x, so the flip is "
+        "SILENT — the opposite of Jacobi's self-healing; posit storage "
+        "bounds the silent damage by orders of magnitude."
+    )
+    print()
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--grid", type=int, default=24)
+    parser.add_argument("--trials", type=int, default=2)
+    parser.add_argument("--seed", type=int, default=2023)
+    args = parser.parse_args()
+    problem = PoissonProblem(grid=args.grid)
+    clean_accuracy(problem)
+    cg_silent_corruption(problem)
+    fault_sweep(problem, args.trials, args.seed)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Legacy setup shim: enables `pip install -e .` on environments whose
+setuptools lacks the `wheel` package needed for PEP 517 editable installs."""
+
+from setuptools import setup
+
+setup()

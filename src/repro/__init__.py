@@ -1,0 +1,29 @@
+"""Posit resiliency study: a reproduction of Schlueter, Poulos & Calhoun,
+"Evaluating the Resiliency of Posits for Scientific Computing" (SC-W 2023).
+
+The package layers:
+
+* :mod:`repro.posit` — complete posit (2022 standard) implementation;
+* :mod:`repro.ieee` — IEEE-754 bit-level substrate and analytic model;
+* :mod:`repro.datasets` — synthetic SDRBench-equivalent fields (Table 1);
+* :mod:`repro.inject` — the fault-injection campaign engine (Fig. 8);
+* :mod:`repro.metrics` — QCAT-equivalent error metrics;
+* :mod:`repro.analysis` — stratification, edge cases, closed-form prediction;
+* :mod:`repro.experiments` — one runner per paper table/figure;
+* :mod:`repro.reporting` — tables/series rendering and CSV export.
+
+Quickstart::
+
+    import numpy as np
+    from repro.posit import POSIT32, encode, decode
+    from repro.inject import run_campaign, CampaignConfig
+    import repro.datasets as datasets
+
+    data = datasets.get("nyx/temperature").generate(seed=0, size=1 << 16)
+    result = run_campaign(data, "posit32", CampaignConfig(trials_per_bit=313))
+    print(result.trial_count, "trials")
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,111 @@
+"""Post-campaign analysis: aggregation, stratification, prediction."""
+
+from repro.analysis.accuracy import (
+    accuracy_profile,
+    ieee_decimal_accuracy,
+    posit_decimal_accuracy,
+    posit_fraction_bits_at_scale,
+)
+from repro.analysis.aggregate import (
+    BitAggregate,
+    FieldAggregate,
+    aggregate_by_bit,
+    aggregate_by_field,
+    catastrophic_fraction,
+    sdc_threshold_fraction,
+)
+from repro.analysis.distribution import (
+    BitPercentiles,
+    erraticness,
+    log_histogram,
+    percentile_bands,
+    sdc_rate_curve,
+)
+from repro.analysis.edgecases import (
+    FlipEvent,
+    classify_flip,
+    count_flip_events,
+    expansion_growth,
+    regime_inversion_mask,
+)
+from repro.analysis.population import (
+    RegimePopulation,
+    band_width_vs_spread,
+    magnitude_spread,
+    rank_correlation,
+    regime_population,
+)
+from repro.analysis.predict import (
+    PositFlipPrediction,
+    exponent_flip_factor,
+    max_exponent_flip_error,
+    predict_flip,
+    sign_flip_value,
+)
+from repro.analysis.signbit import (
+    BoxStats,
+    ieee_sign_flip_identity,
+    median_growth_factor,
+    sign_bit_trials,
+    sign_flip_boxes,
+)
+from repro.analysis.theory import (
+    ExpectedBitError,
+    expected_error_by_bit,
+    sampling_error_profile,
+)
+from repro.analysis.stratify import (
+    RegimeGroup,
+    group_by_regime_size,
+    magnitude_split,
+    regime_size_from_value,
+    rk_spike_ratio,
+    terminating_bit_position,
+)
+
+__all__ = [
+    "BitAggregate",
+    "BitPercentiles",
+    "BoxStats",
+    "ExpectedBitError",
+    "FieldAggregate",
+    "FlipEvent",
+    "PositFlipPrediction",
+    "RegimeGroup",
+    "RegimePopulation",
+    "accuracy_profile",
+    "aggregate_by_bit",
+    "aggregate_by_field",
+    "band_width_vs_spread",
+    "catastrophic_fraction",
+    "classify_flip",
+    "count_flip_events",
+    "erraticness",
+    "expansion_growth",
+    "expected_error_by_bit",
+    "exponent_flip_factor",
+    "group_by_regime_size",
+    "magnitude_spread",
+    "rank_correlation",
+    "regime_population",
+    "sampling_error_profile",
+    "ieee_decimal_accuracy",
+    "ieee_sign_flip_identity",
+    "log_histogram",
+    "magnitude_split",
+    "percentile_bands",
+    "sdc_rate_curve",
+    "max_exponent_flip_error",
+    "median_growth_factor",
+    "posit_decimal_accuracy",
+    "posit_fraction_bits_at_scale",
+    "predict_flip",
+    "regime_inversion_mask",
+    "regime_size_from_value",
+    "rk_spike_ratio",
+    "sdc_threshold_fraction",
+    "sign_bit_trials",
+    "sign_flip_boxes",
+    "sign_flip_value",
+    "terminating_bit_position",
+]

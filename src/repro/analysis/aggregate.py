@@ -1,0 +1,156 @@
+"""Aggregation of trial records into per-bit / per-field summaries.
+
+These are the reductions behind the paper's figures: mean relative error
+per bit position (Fig. 10), average error per bit within regime-size
+groups (Figs. 11/14), per-field breakdowns (Sections 5.4-5.7).
+
+Aggregation policy for pathological trials: relative errors can be Inf
+(original exactly zero hit by a fault) or NaN (faulty value was NaN/NaR).
+Means are taken over finite values only — the same treatment a log-scale
+plot of means implies — and the dropped counts are reported alongside so
+catastrophic outcomes stay visible rather than silently vanishing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.inject.results import TrialRecords
+
+
+@dataclass(frozen=True)
+class BitAggregate:
+    """Per-bit-position aggregate over a set of trials."""
+
+    bits: np.ndarray
+    mean_rel_err: np.ndarray
+    mean_abs_err: np.ndarray
+    median_rel_err: np.ndarray
+    max_rel_err: np.ndarray
+    #: Mean excluding only NaN (undefined) trials: +Inf relative errors —
+    #: overflowing but mathematically huge errors, e.g. an ieee64
+    #: exponent-MSB flip — propagate to an infinite mean instead of being
+    #: dropped like in :attr:`mean_rel_err`.
+    mean_rel_err_incl_inf: np.ndarray
+    trial_counts: np.ndarray
+    non_finite_counts: np.ndarray
+
+    def series(self, metric: str = "mean_rel_err"):
+        """(bits, values) pair for plotting/tabling."""
+        return self.bits, getattr(self, metric)
+
+
+def _finite_mean(values: np.ndarray) -> float:
+    finite = values[np.isfinite(values)]
+    if not finite.size:
+        return float("nan")
+    # Sums over huge-but-finite errors (e.g. ~1e308 from wide-format
+    # exponent flips) may overflow to inf, which is the right answer.
+    with np.errstate(over="ignore"):
+        return float(np.mean(finite))
+
+
+def _finite_median(values: np.ndarray) -> float:
+    finite = values[np.isfinite(values)]
+    return float(np.median(finite)) if finite.size else float("nan")
+
+
+def _finite_max(values: np.ndarray) -> float:
+    finite = values[np.isfinite(values)]
+    return float(np.max(finite)) if finite.size else float("nan")
+
+
+def aggregate_by_bit(records: TrialRecords, nbits: int) -> BitAggregate:
+    """Reduce trials to one row per bit position 0..nbits-1."""
+    bits = np.arange(nbits, dtype=np.int64)
+    mean_rel = np.empty(nbits)
+    mean_abs = np.empty(nbits)
+    median_rel = np.empty(nbits)
+    max_rel = np.empty(nbits)
+    mean_incl_inf = np.empty(nbits)
+    counts = np.zeros(nbits, dtype=np.int64)
+    bad = np.zeros(nbits, dtype=np.int64)
+    for b in bits:
+        sel = records.bit == b
+        rel = records.rel_err[sel]
+        abs_err = records.abs_err[sel]
+        counts[b] = int(np.sum(sel))
+        bad[b] = int(np.sum(~np.isfinite(rel)))
+        mean_rel[b] = _finite_mean(rel)
+        mean_abs[b] = _finite_mean(abs_err)
+        median_rel[b] = _finite_median(rel)
+        max_rel[b] = _finite_max(rel)
+        defined = rel[~np.isnan(rel)]
+        with np.errstate(over="ignore"):
+            mean_incl_inf[b] = float(np.mean(defined)) if defined.size else float("nan")
+    return BitAggregate(
+        bits=bits,
+        mean_rel_err=mean_rel,
+        mean_abs_err=mean_abs,
+        median_rel_err=median_rel,
+        max_rel_err=max_rel,
+        mean_rel_err_incl_inf=mean_incl_inf,
+        trial_counts=counts,
+        non_finite_counts=bad,
+    )
+
+
+@dataclass(frozen=True)
+class FieldAggregate:
+    """Aggregate over all trials whose flipped bit landed in one field."""
+
+    field_id: int
+    label: str
+    trial_count: int
+    mean_rel_err: float
+    median_rel_err: float
+    max_rel_err: float
+    mean_abs_err: float
+    non_finite_count: int
+
+
+def aggregate_by_field(records: TrialRecords, field_labels) -> list[FieldAggregate]:
+    """One row per field id present in the records.
+
+    ``field_labels`` maps field id -> name (e.g. ``target.field_label``).
+    """
+    out = []
+    for field_id in sorted(set(records.field.tolist())):
+        sel = records.field == field_id
+        rel = records.rel_err[sel]
+        out.append(
+            FieldAggregate(
+                field_id=int(field_id),
+                label=field_labels(int(field_id)),
+                trial_count=int(np.sum(sel)),
+                mean_rel_err=_finite_mean(rel),
+                median_rel_err=_finite_median(rel),
+                max_rel_err=_finite_max(rel),
+                mean_abs_err=_finite_mean(records.abs_err[sel]),
+                non_finite_count=int(np.sum(~np.isfinite(rel))),
+            )
+        )
+    return out
+
+
+def catastrophic_fraction(records: TrialRecords) -> float:
+    """Share of trials whose faulty value left the finite range."""
+    if len(records) == 0:
+        return 0.0
+    return float(np.mean(records.non_finite))
+
+
+def sdc_threshold_fraction(records: TrialRecords, threshold: float) -> float:
+    """Share of trials whose relative error exceeds ``threshold``.
+
+    A standard SDC-significance measure: how often does a single flip
+    change the value by more than the tolerance?  Non-finite relative
+    errors count as exceeding any threshold.
+    """
+    if len(records) == 0:
+        return 0.0
+    rel = records.rel_err
+    exceed = ~np.isfinite(rel) | (rel > threshold)
+    return float(np.mean(exceed))

@@ -1,0 +1,120 @@
+"""Per-bit error distributions and SDC-rate curves.
+
+The paper plots means; means hide the shape.  These reductions expose
+it: percentile bands per bit position (quantifying the "erratic"
+upper-bit behaviour of posits vs IEEE's uniform cliff), log-scale
+histograms, and the SDC-rate-versus-tolerance curve — for a given
+application tolerance t, how often does one flip change a value by more
+than t?  The last is the reliability-engineering form of the paper's
+comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.inject.results import TrialRecords
+
+
+@dataclass(frozen=True)
+class BitPercentiles:
+    """Percentile bands of relative error per bit position."""
+
+    bits: np.ndarray
+    percentiles: tuple[float, ...]
+    #: shape (len(percentiles), nbits); NaN where a bit has no finite trials.
+    values: np.ndarray
+
+    def band(self, percentile: float) -> np.ndarray:
+        index = self.percentiles.index(percentile)
+        return self.values[index]
+
+
+def percentile_bands(
+    records: TrialRecords,
+    nbits: int,
+    percentiles: tuple[float, ...] = (10.0, 50.0, 90.0, 99.0),
+) -> BitPercentiles:
+    """Relative-error percentiles per bit (finite trials only)."""
+    values = np.full((len(percentiles), nbits), np.nan)
+    for b in range(nbits):
+        rel = records.for_bit(b).rel_err
+        finite = rel[np.isfinite(rel)]
+        if finite.size:
+            values[:, b] = np.percentile(finite, percentiles)
+    return BitPercentiles(
+        bits=np.arange(nbits, dtype=np.int64),
+        percentiles=tuple(percentiles),
+        values=values,
+    )
+
+
+def log_histogram(
+    values,
+    decades: tuple[int, int] = (-12, 12),
+    bins_per_decade: int = 1,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Histogram of positive values over log10-spaced bins.
+
+    Returns (bin_edges, counts) where edges are powers of ten; values
+    below/above the range land in the first/last bin, zeros and
+    non-finite values are dropped.
+    """
+    array = np.asarray(values, dtype=np.float64).reshape(-1)
+    array = array[np.isfinite(array) & (array > 0)]
+    low, high = decades
+    if high <= low:
+        raise ValueError(f"decades must satisfy low < high, got {decades}")
+    edges = np.logspace(low, high, (high - low) * bins_per_decade + 1)
+    clipped = np.clip(array, edges[0], edges[-1] * (1 - 1e-16))
+    counts, _ = np.histogram(clipped, bins=edges)
+    return edges, counts
+
+
+def sdc_rate_curve(
+    records: TrialRecords,
+    thresholds=None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """P(one flip causes relative error > t), as a function of t.
+
+    Non-finite relative errors (catastrophic or undefined) count as
+    exceeding every threshold — a flip that produced NaR/Inf, or hit a
+    zero, is an SDC at any tolerance.
+    """
+    if thresholds is None:
+        thresholds = np.logspace(-9, 9, 37)
+    thresholds = np.asarray(thresholds, dtype=np.float64)
+    if len(records) == 0:
+        return thresholds, np.zeros_like(thresholds)
+    rel = records.rel_err
+    bad = ~np.isfinite(rel)
+    rates = np.empty_like(thresholds)
+    for i, threshold in enumerate(thresholds):
+        rates[i] = float(np.mean(bad | (rel > threshold)))
+    return thresholds, rates
+
+
+def erraticness(records: TrialRecords, nbits: int, upper_bits: int = 8) -> float:
+    """Non-monotonicity of the upper-bit error curve, in decades.
+
+    The paper describes posit upper-bit error as "more distributed and
+    erratic" where IEEE shows a "sharp and consistent exponential spike":
+    IEEE's mean-error curve climbs monotonically toward the exponent MSB,
+    while posit R_k spikes rise and fall with bit position.  This
+    statistic is the total *downward* movement of log10(mean rel err)
+    across the upper bits (sign bit excluded) — exactly 0 for a monotone
+    ramp, positive for spiky curves.  NaN when too few bits have finite
+    positive means.
+    """
+    from repro.analysis.aggregate import aggregate_by_bit
+
+    curve = aggregate_by_bit(records, nbits).mean_rel_err
+    upper = curve[nbits - 1 - upper_bits : nbits - 1]  # exclude the sign bit
+    upper = upper[np.isfinite(upper) & (upper > 0)]
+    if upper.size < 3:
+        return float("nan")
+    logs = np.log10(upper)
+    drops = np.diff(logs)
+    return float(-np.sum(drops[drops < 0]))

@@ -1,0 +1,110 @@
+"""Posit flip edge-case detection (Sections 5.4.1-5.4.2 of the paper).
+
+Three structural events make posit flips interesting:
+
+* **regime expansion** (Fig. 12): flipping the terminating bit R_k makes
+  it match the run, so the regime absorbs former exponent/fraction bits
+  until the next opposite bit — the magnitude jumps by useed per absorbed
+  bit.
+* **regime shrink**: flipping a body bit R_0..R_{k-1} terminates the run
+  early, shrinking the regime.
+* **regime inversion** (Fig. 15): for a regime of size 1 (the sole
+  regime bit), the flip both expands the regime *and* inverts its
+  polarity, changing the sign of r in Eq. 2 — the paper measures
+  absolute-error spikes up to 1e11 from this case in sub-one posits.
+
+Classification compares the field decomposition before and after the
+flip, so it is exact by construction.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from repro.posit.config import PositConfig
+from repro.posit.fields import PositField, classify_bit, decompose
+
+
+class FlipEvent(enum.IntEnum):
+    """Structural category of a posit single-bit flip."""
+
+    SIGN_FLIP = 0
+    REGIME_EXPANSION = 1
+    REGIME_SHRINK = 2
+    REGIME_INVERSION = 3
+    EXPONENT_CHANGE = 4
+    FRACTION_CHANGE = 5
+    SPECIAL = 6  # flip to/from zero or NaR
+
+
+def classify_flip(bits, bit_index: int, config: PositConfig) -> np.ndarray:
+    """FlipEvent of flipping ``bit_index`` in each posit of ``bits``."""
+    work = np.asarray(bits).astype(np.uint64, copy=False) & np.uint64(config.mask)
+    flipped = work ^ np.uint64(1 << bit_index)
+
+    before = decompose(work, config)
+    after = decompose(flipped, config)
+    field = classify_bit(work, bit_index, config)
+
+    out = np.empty(work.shape, dtype=np.int64)
+    out[...] = FlipEvent.FRACTION_CHANGE
+
+    out = np.where(field == PositField.EXPONENT, FlipEvent.EXPONENT_CHANGE, out)
+
+    run_grew = after.run > before.run
+    run_shrank = after.run < before.run
+    regime_bit = (field == PositField.REGIME) | (field == PositField.REGIME_TERM)
+    out = np.where(regime_bit & run_grew, FlipEvent.REGIME_EXPANSION, out)
+    out = np.where(regime_bit & run_shrank, FlipEvent.REGIME_SHRINK, out)
+
+    # Inversion (the paper's Fig. 15 edge case): the regime *expands and
+    # inverts its polarity* — flipping R_0 of a size-1 regime makes the
+    # run absorb the following bits with the opposite sense of r.  A
+    # polarity change with a *shrinking* run (flipping R_0 of a longer
+    # regime) is the ordinary shrink case of Section 5.4.1.
+    r_sign_changed = (before.regime >= 0) != (after.regime >= 0)
+    out = np.where(
+        regime_bit & r_sign_changed & run_grew, FlipEvent.REGIME_INVERSION, out
+    )
+
+    out = np.where(field == PositField.SIGN, FlipEvent.SIGN_FLIP, out)
+
+    special = (
+        before.is_zero
+        | before.is_nar
+        | after.is_zero
+        | after.is_nar
+    )
+    out = np.where(special, FlipEvent.SPECIAL, out)
+    return out
+
+
+def count_flip_events(bits, config: PositConfig) -> dict[FlipEvent, int]:
+    """Histogram of flip events over every bit of every posit in ``bits``."""
+    counts: dict[FlipEvent, int] = {event: 0 for event in FlipEvent}
+    for bit_index in range(config.nbits):
+        events = classify_flip(bits, bit_index, config)
+        for event in FlipEvent:
+            counts[event] += int(np.sum(events == event))
+    return counts
+
+
+def regime_inversion_mask(bits, bit_index: int, config: PositConfig) -> np.ndarray:
+    """True where flipping ``bit_index`` inverts the regime polarity."""
+    return classify_flip(bits, bit_index, config) == FlipEvent.REGIME_INVERSION
+
+
+def expansion_growth(bits, bit_index: int, config: PositConfig) -> np.ndarray:
+    """Regime run-length growth n (new regime bits) caused by the flip.
+
+    The paper notes the magnitude scales by useed**n = 2**(useed_log2*n)
+    when the regime absorbs n bits; this returns n per element (negative
+    when the regime shrinks, 0 when untouched).
+    """
+    work = np.asarray(bits).astype(np.uint64, copy=False) & np.uint64(config.mask)
+    flipped = work ^ np.uint64(1 << bit_index)
+    before = decompose(work, config)
+    after = decompose(flipped, config)
+    return after.run - before.run

@@ -1,0 +1,150 @@
+"""Regime-size population analysis.
+
+Section 5.4.3 of the paper explains the *width* of the posit upper-bit
+error band: "datasets with large variances and medians have a wider
+error distribution since there are more values with larger numbers of
+regime bits", placing R_k spikes at lower bit positions.  This module
+quantifies that: the regime-size histogram of a stored field, the band
+of bit positions its R_k spikes occupy, and the correlation between a
+field's magnitude spread and its error-band width.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.stratify import terminating_bit_position
+from repro.posit.config import PositConfig
+from repro.posit.encode import encode
+from repro.posit.fields import decompose
+
+
+@dataclass(frozen=True)
+class RegimePopulation:
+    """Distribution of regime sizes within one stored field."""
+
+    sizes: np.ndarray        # regime size k per histogram bin
+    counts: np.ndarray       # elements per bin
+    zero_fraction: float     # exact zeros (no regime in value space)
+
+    @property
+    def total(self) -> int:
+        return int(np.sum(self.counts))
+
+    def fraction(self, k: int) -> float:
+        """Share of (nonzero) values with regime size k."""
+        index = np.where(self.sizes == k)[0]
+        if index.size == 0:
+            return 0.0
+        return float(self.counts[index[0]] / max(self.total, 1))
+
+    def dominant_size(self) -> int:
+        """The most common regime size."""
+        return int(self.sizes[np.argmax(self.counts)])
+
+    def spike_band(self, nbits: int, mass: float = 0.95) -> tuple[int, int]:
+        """Bit positions (low, high) of R_k for the central `mass` of values.
+
+        The positions where this field's regime-termination spikes land —
+        the paper's "width of the error distribution".
+        """
+        order = np.argsort(self.sizes)
+        sizes = self.sizes[order]
+        weights = self.counts[order] / max(self.total, 1)
+        cumulative = np.cumsum(weights)
+        tail = (1.0 - mass) / 2.0
+        low_k = int(sizes[np.searchsorted(cumulative, tail, side="left").clip(0, len(sizes) - 1)])
+        high_k = int(sizes[np.searchsorted(cumulative, 1.0 - tail, side="left").clip(0, len(sizes) - 1)])
+        low_k = max(min(low_k, nbits - 2), 1)
+        high_k = max(min(high_k, nbits - 2), 1)
+        # Larger k => lower bit position.
+        return (
+            terminating_bit_position(high_k, nbits),
+            terminating_bit_position(low_k, nbits),
+        )
+
+
+def regime_population(data, config: PositConfig) -> RegimePopulation:
+    """Regime-size histogram of a field stored as posits."""
+    flat = np.asarray(data, dtype=np.float64).reshape(-1)
+    if flat.size == 0:
+        raise ValueError("cannot analyze an empty dataset")
+    patterns = np.asarray(encode(flat, config)).astype(np.uint64)
+    nonzero = patterns != config.zero_pattern
+    zero_fraction = float(np.mean(~nonzero))
+    fields = decompose(patterns[nonzero], config)
+    sizes, counts = np.unique(fields.run, return_counts=True)
+    return RegimePopulation(
+        sizes=sizes.astype(np.int64),
+        counts=counts.astype(np.int64),
+        zero_fraction=zero_fraction,
+    )
+
+
+def magnitude_spread(data) -> float:
+    """Standard deviation of log2 |x| over nonzero elements.
+
+    The paper's "variance and median of the data" proxy: how many
+    distinct regime sizes a field occupies grows with this spread.
+    """
+    flat = np.asarray(data, dtype=np.float64).reshape(-1)
+    nonzero = flat[flat != 0]
+    if nonzero.size == 0:
+        return 0.0
+    return float(np.std(np.log2(np.abs(nonzero))))
+
+
+def band_width_vs_spread(fields: dict[str, np.ndarray], config: PositConfig) -> list[dict]:
+    """Per-field spike-band width next to magnitude spread.
+
+    Returns one row per field: {field, spread, band_low, band_high,
+    band_width, distinct_regimes}.  A positive rank correlation between
+    spread and band width is the paper's Section 5.4.3 observation.
+    """
+    rows = []
+    for name, data in fields.items():
+        population = regime_population(data, config)
+        low, high = population.spike_band(config.nbits)
+        rows.append({
+            "field": name,
+            "spread": magnitude_spread(data),
+            "band_low": low,
+            "band_high": high,
+            "band_width": high - low + 1,
+            "distinct_regimes": int(len(population.sizes)),
+            "dominant_k": population.dominant_size(),
+        })
+    return rows
+
+
+def _average_ranks(values: np.ndarray) -> np.ndarray:
+    """Ranks with ties assigned their average position (Spearman style)."""
+    order = np.argsort(values, kind="mergesort")
+    ranks = np.empty(values.size, dtype=np.float64)
+    ordered = values[order]
+    i = 0
+    while i < values.size:
+        j = i
+        while j + 1 < values.size and ordered[j + 1] == ordered[i]:
+            j += 1
+        ranks[order[i : j + 1]] = 0.5 * (i + j)
+        i = j + 1
+    return ranks
+
+
+def rank_correlation(x, y) -> float:
+    """Spearman rank correlation with tie-averaged ranks."""
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.size != y.size or x.size < 2:
+        raise ValueError("need two equal-length samples of size >= 2")
+    rx = _average_ranks(x)
+    ry = _average_ranks(y)
+    rx -= rx.mean()
+    ry -= ry.mean()
+    denominator = float(np.sqrt(np.sum(rx * rx) * np.sum(ry * ry)))
+    if denominator == 0:
+        return 0.0
+    return float(np.sum(rx * ry) / denominator)

@@ -1,0 +1,163 @@
+"""Closed-form prediction of posit bit-flip error.
+
+The paper's future-work list asks for "mathematical analysis ... to
+predict potential error in posits due to bit flips".  This module
+implements it: given a posit's raw fields and a bit position, the faulty
+value follows from the standard's Eq. 2 without simulating the flip.
+
+Per-field closed forms (u = useed_log2 = 2**es):
+
+* sign: s' = 1 - s with r, e, f unchanged (they are read from the raw,
+  un-complemented bits), so
+  v' = ((1-3s') + f) * 2**((1-2s')(u*r + e + s')) — the paper's Fig. 21.
+* exponent bit of weight w: e' = e +/- w, same mantissa, so
+  v' = v * 2**(+/-w * (1-2s)) — at most a factor useed**? no: at most
+  2**(es_weight), i.e. x2 or x4 for es = 2 (Section 5.6).
+* fraction bit of weight 2**-j: f' = f +/- 2**-(j), so
+  v' = v + (1-2s) * (+/-2**(scale - j)) — linear, like IEEE (Section 5.5).
+* regime bits: the flip rewrites the run structure (expansion, shrink,
+  or inversion — Section 5.4); the new (r', e', f') follow from the run
+  arithmetic of the flipped pattern and Eq. 2 gives v'.
+
+``predict_flip`` evaluates these forms vectorized and the tests assert
+the prediction is *bit-identical* to actually flipping and decoding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.edgecases import FlipEvent, classify_flip
+from repro.posit.config import PositConfig
+from repro.posit.decode import decode
+from repro.posit.fields import PositField, classify_bit, decompose
+
+
+@dataclass(frozen=True)
+class PositFlipPrediction:
+    """Vectorized prediction of one bit position's flip over an array."""
+
+    faulty: np.ndarray
+    absolute_error: np.ndarray
+    relative_error: np.ndarray
+    event: np.ndarray  # FlipEvent codes
+    field: np.ndarray  # PositField codes
+
+
+def _eq2(sign, regime, exponent, fraction, fraction_bits, config: PositConfig) -> np.ndarray:
+    """Evaluate the standard's Eq. 2 from raw field values (vectorized)."""
+    f = np.ldexp(fraction.astype(np.float64), -fraction_bits.astype(np.int64))
+    mantissa = (1 - 3 * sign).astype(np.float64) + f
+    scale = (1 - 2 * sign) * (config.useed_log2 * regime + exponent + sign)
+    return np.ldexp(mantissa, scale.astype(np.int64))
+
+
+def predict_flip(bits, bit_index: int, config: PositConfig) -> PositFlipPrediction:
+    """Closed-form faulty value for flipping ``bit_index`` in each posit."""
+    n = config.nbits
+    if not 0 <= bit_index < n:
+        raise ValueError(f"bit_index must be in [0, {n}), got {bit_index}")
+    work = np.asarray(bits).astype(np.uint64, copy=False) & np.uint64(config.mask)
+    fields = decompose(work, config)
+    field = classify_bit(work, bit_index, config)
+    event = classify_flip(work, bit_index, config)
+
+    original = np.asarray(decode(work, config), dtype=np.float64)
+
+    # Start from the original fields; overwrite per field class.
+    sign = fields.sign.copy()
+    regime = fields.regime.copy()
+    exponent = fields.exponent.copy()
+    fraction = fields.fraction.astype(np.uint64).copy()
+    fraction_bits = fields.fraction_bits.copy()
+
+    # --- sign flips: s' = 1 - s, raw fields unchanged ---------------------
+    is_sign = field == PositField.SIGN
+    sign = np.where(is_sign, 1 - sign, sign)
+
+    # --- exponent flips: e' = e XOR (padded weight) -----------------------
+    is_exp = field == PositField.EXPONENT
+    rem = (n - 1) - fields.regime_len
+    exp_low = rem - fields.exponent_bits_present
+    pad = config.es - fields.exponent_bits_present
+    weight_log = bit_index - exp_low + pad
+    weight_log = np.clip(weight_log, 0, max(config.es - 1, 0))
+    exp_weight = np.int64(1) << weight_log.astype(np.int64)
+    exponent = np.where(is_exp, exponent ^ exp_weight, exponent)
+
+    # --- fraction flips: f' = f XOR 2**bit_index ---------------------------
+    is_frac = field == PositField.FRACTION
+    fraction = np.where(
+        is_frac, fraction ^ np.uint64(1 << bit_index), fraction
+    )
+
+    # --- regime flips: re-derive the run structure of the flipped word ----
+    is_regime = (field == PositField.REGIME) | (field == PositField.REGIME_TERM)
+    flipped = work ^ np.uint64(1 << bit_index)
+    refields = decompose(flipped, config)
+    regime = np.where(is_regime, refields.regime, regime)
+    exponent = np.where(is_regime, refields.exponent, exponent)
+    fraction = np.where(is_regime, refields.fraction.astype(np.uint64), fraction)
+    fraction_bits = np.where(is_regime, refields.fraction_bits, fraction_bits)
+
+    predicted = _eq2(sign, regime, exponent, fraction, fraction_bits, config)
+
+    # Specials: flips landing on / leaving zero or NaR.
+    flipped_is_zero = flipped == np.uint64(config.zero_pattern)
+    flipped_is_nar = flipped == np.uint64(config.nar_pattern)
+    predicted = np.where(flipped_is_zero, 0.0, predicted)
+    predicted = np.where(flipped_is_nar, np.nan, predicted)
+
+    absolute = np.abs(original - predicted)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        relative = absolute / np.abs(original)
+    relative = np.where((original == 0) & (predicted == 0), 0.0, relative)
+    # Undefined against a zero original (matches the metrics convention).
+    relative = np.where((original == 0) & (predicted != 0), np.nan, relative)
+
+    return PositFlipPrediction(
+        faulty=predicted,
+        absolute_error=absolute,
+        relative_error=relative,
+        event=event,
+        field=field,
+    )
+
+
+def sign_flip_value(bits, config: PositConfig) -> np.ndarray:
+    """Closed form for the sign-bit flip alone (the paper's Fig. 21)."""
+    work = np.asarray(bits).astype(np.uint64, copy=False) & np.uint64(config.mask)
+    fields = decompose(work, config)
+    return _eq2(
+        1 - fields.sign,
+        fields.regime,
+        fields.exponent,
+        fields.fraction.astype(np.uint64),
+        fields.fraction_bits,
+        config,
+    )
+
+
+def exponent_flip_factor(bit_weight: int, bit_was_set: bool, sign: int) -> float:
+    """Scale factor an exponent-bit flip applies to a posit's value.
+
+    e' = e - w when the bit was set, e + w otherwise; the value scales by
+    2**((1-2s) * delta_e).  For es = 2 the largest |factor| is 4
+    (Section 5.6's "multiplying or dividing the original value ... by 4").
+    """
+    delta = -bit_weight if bit_was_set else bit_weight
+    return float(2.0 ** ((1 - 2 * sign) * delta))
+
+
+def max_exponent_flip_error(config: PositConfig) -> float:
+    """Worst relative error any exponent-bit flip can cause.
+
+    The factor is at most 2**(2**(es-1)); relative error |factor - 1|
+    maximizes at the multiply case: 2**(2**(es-1)) - 1 = 3 for es = 2.
+    """
+    if config.es == 0:
+        return 0.0
+    top_weight = 1 << (config.es - 1)
+    return float(2.0**top_weight - 1.0)

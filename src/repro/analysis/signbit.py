@@ -1,0 +1,101 @@
+"""Sign-bit error analysis (the paper's Section 5.7 / Figure 20).
+
+In IEEE floats a sign flip only negates: absolute error is exactly
+2|orig|.  In posits, flipping the sign bit alone (without the two's
+complement that true negation requires) also rewires the magnitude,
+because s appears inside the scale exponent of Eq. 2 — and the effect
+grows with regime size.  Figure 20 shows this as box plots of absolute
+error grouped by regime size; :func:`sign_flip_boxes` computes those box
+statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.inject.results import TrialRecords
+
+
+@dataclass(frozen=True)
+class BoxStats:
+    """Five-number box-plot summary plus count."""
+
+    group: int
+    count: int
+    minimum: float
+    q1: float
+    median: float
+    q3: float
+    maximum: float
+
+    @classmethod
+    def from_values(cls, group: int, values: np.ndarray) -> "BoxStats":
+        finite = values[np.isfinite(values)]
+        if finite.size == 0:
+            nan = float("nan")
+            return cls(group, 0, nan, nan, nan, nan, nan)
+        q1, median, q3 = (float(q) for q in np.percentile(finite, [25, 50, 75]))
+        return cls(
+            group=group,
+            count=int(finite.size),
+            minimum=float(np.min(finite)),
+            q1=q1,
+            median=median,
+            q3=q3,
+            maximum=float(np.max(finite)),
+        )
+
+
+def sign_bit_trials(records: TrialRecords, nbits: int) -> TrialRecords:
+    """Only the trials that flipped the sign bit."""
+    return records.for_bit(nbits - 1)
+
+
+def sign_flip_boxes(
+    records: TrialRecords,
+    nbits: int,
+    metric: str = "abs_err",
+    max_k: int | None = None,
+) -> list[BoxStats]:
+    """Box statistics of sign-flip error grouped by regime size (Fig. 20)."""
+    sign_trials = sign_bit_trials(records, nbits)
+    boxes = []
+    for k in sorted(set(sign_trials.regime_k.tolist())):
+        if max_k is not None and k > max_k:
+            continue
+        group = sign_trials.for_regime_size(int(k))
+        boxes.append(BoxStats.from_values(int(k), getattr(group, metric)))
+    return boxes
+
+
+def median_growth_factor(boxes: list[BoxStats]) -> float:
+    """Geometric-mean growth of the median per unit regime size.
+
+    The paper's claim is exponential growth of sign-flip absolute error
+    with regime size; a growth factor well above 1 confirms it.
+    """
+    usable = [(box.group, box.median) for box in boxes if box.count and box.median > 0]
+    if len(usable) < 2:
+        return float("nan")
+    ks = np.array([k for k, _ in usable], dtype=np.float64)
+    logs = np.log(np.array([m for _, m in usable]))
+    slope = np.polyfit(ks, logs, 1)[0]
+    return float(np.exp(slope))
+
+
+def ieee_sign_flip_identity(records: TrialRecords, nbits: int) -> float:
+    """Max deviation of |abs_err - 2|orig|| over IEEE sign-flip trials.
+
+    For IEEE floats the sign-flip absolute error is exactly 2|orig|
+    (Section 3.1); this returns how far the records deviate from that
+    identity (should be 0 up to float64 rounding).
+    """
+    trials = sign_bit_trials(records, nbits)
+    if len(trials) == 0:
+        return 0.0
+    expected = 2.0 * np.abs(trials.original)
+    deviation = np.abs(trials.abs_err - expected)
+    finite = deviation[np.isfinite(deviation)]
+    return float(np.max(finite)) if finite.size else 0.0

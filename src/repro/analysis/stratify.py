@@ -1,0 +1,132 @@
+"""Stratification of trials by magnitude and regime size.
+
+Section 5.4 of the paper splits posit trials two ways before aggregating:
+
+* by the magnitude of the original value — |p| > 1 versus |p| < 1 — which
+  determines whether the regime run is ones (positive r) or zeros
+  (negative r) and hence how a flip of the terminating bit R_k behaves;
+* by regime size k (the run length), "to isolate error trends in
+  different regime bits", because mixing regime sizes smears the R_k
+  spike across bit positions.
+
+The regime-size equation (the paper's Eq. 1) is also provided in value
+space, and the tests check it agrees with the bit-level run length.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.aggregate import BitAggregate, aggregate_by_bit
+from repro.inject.results import TrialRecords
+from repro.posit.config import PositConfig
+
+
+def regime_size_from_value(value: float, config: PositConfig) -> int:
+    """The paper's Eq. 1: regime size k from the magnitude of a posit.
+
+    For |p| >= 1: k = floor(log_useed |p|) + 1 (the run is ones);
+    for 0 < |p| < 1: k = ceil(-log_useed |p|) (the run is zeros),
+    clamped to the available n-1 body bits.  Zero/NaR have no regime in
+    value space; they return the full body length by convention (their
+    body is a run of n-1 identical bits).
+    """
+    n_body = config.nbits - 1
+    magnitude = abs(value)
+    if magnitude == 0 or math.isnan(magnitude) or math.isinf(magnitude):
+        return n_body
+    useed_log2 = config.useed_log2
+    h = math.floor(math.log2(magnitude))
+    # Guard against log2 rounding at exact powers of two.
+    if 2.0 ** (h + 1) <= magnitude:
+        h += 1
+    elif 2.0**h > magnitude:
+        h -= 1
+    r = h // useed_log2
+    k = r + 1 if r >= 0 else -r
+    return int(min(k, n_body))
+
+
+def magnitude_split(records: TrialRecords) -> tuple[TrialRecords, TrialRecords]:
+    """(|orig| > 1 trials, 0 < |orig| < 1 trials).
+
+    Values exactly +-1 and 0 belong to neither stratum, matching the
+    paper's "greater than one" / "less than one" sections.
+    """
+    magnitude = np.abs(records.original)
+    greater = records.select(magnitude > 1.0)
+    less = records.select((magnitude < 1.0) & (magnitude > 0.0))
+    return greater, less
+
+
+@dataclass(frozen=True)
+class RegimeGroup:
+    """All trials whose original posit had one regime size."""
+
+    k: int
+    records: TrialRecords
+    aggregate: BitAggregate
+
+    @property
+    def trial_count(self) -> int:
+        return len(self.records)
+
+
+def group_by_regime_size(
+    records: TrialRecords,
+    nbits: int,
+    max_k: int | None = None,
+    min_trials: int = 1,
+) -> list[RegimeGroup]:
+    """Split trials by the original posit's regime size and aggregate.
+
+    Parameters
+    ----------
+    max_k:
+        Ignore groups beyond this k (the paper plots k = 1..6).
+    min_trials:
+        Drop groups with fewer trials (tiny groups are pure noise).
+    """
+    groups = []
+    for k in sorted(set(records.regime_k.tolist())):
+        if max_k is not None and k > max_k:
+            continue
+        subset = records.for_regime_size(int(k))
+        if len(subset) < min_trials:
+            continue
+        groups.append(
+            RegimeGroup(k=int(k), records=subset, aggregate=aggregate_by_bit(subset, nbits))
+        )
+    return groups
+
+
+def terminating_bit_position(k: int, nbits: int) -> int:
+    """Bit index (LSB == 0) of R_k for a regime of size k.
+
+    The regime starts at bit nbits-2; after k identical bits, the
+    terminating bit sits at nbits - 2 - k.
+    """
+    if k < 1 or k > nbits - 2:
+        raise ValueError(f"regime size k={k} out of range for {nbits}-bit posit")
+    return nbits - 2 - k
+
+
+def rk_spike_ratio(group: RegimeGroup, nbits: int) -> float:
+    """Error at R_k relative to the mean error of the other regime bits.
+
+    Quantifies the paper's Fig. 11 observation: for |p| > 1 there is "a
+    spike in error associated with the terminating bit of the regime".
+    Returns NaN when the group lacks data.
+    """
+    rk_bit = terminating_bit_position(group.k, nbits)
+    rel = group.aggregate.mean_rel_err
+    spike = rel[rk_bit]
+    body_bits = [nbits - 2 - j for j in range(group.k)]
+    body = np.array([rel[b] for b in body_bits if 0 <= b < nbits])
+    body = body[np.isfinite(body)]
+    if not np.isfinite(spike) or body.size == 0 or np.all(body == 0):
+        return float("nan")
+    return float(spike / np.mean(body))

@@ -1,0 +1,131 @@
+"""Exact population-level error expectations (no sampling).
+
+The campaign estimates mean error per bit from 313 random trials; but
+because single flips are exactly predictable (``repro.analysis.predict``
+for posits, plain XOR re-decoding for IEEE), the *exact* expectation over
+an entire dataset population is directly computable: flip bit b in every
+stored value, decode, and reduce.  This gives the ground truth the
+sampled campaign converges to — useful both as a variance-free "Fig. 10"
+and as a convergence oracle for choosing trial counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.inject.targets import InjectionTarget, target_by_name
+
+
+@dataclass(frozen=True)
+class ExpectedBitError:
+    """Exact per-bit expectations over a stored population."""
+
+    bits: np.ndarray
+    mean_rel_err: np.ndarray        # finite-trial mean (campaign's policy)
+    mean_abs_err: np.ndarray
+    median_rel_err: np.ndarray
+    catastrophic_fraction: np.ndarray
+    undefined_fraction: np.ndarray  # flips of zero originals (rel err undefined)
+
+
+def expected_error_by_bit(
+    data,
+    target: InjectionTarget | str,
+    chunk: int = 1 << 18,
+) -> ExpectedBitError:
+    """Exact per-bit error statistics over every element of ``data``.
+
+    Equivalent to a campaign with one trial per (element, bit) pair —
+    i.e. exhaustive injection — evaluated in vectorized chunks.
+    """
+    if isinstance(target, str):
+        target = target_by_name(target)
+    flat = np.asarray(data).reshape(-1)
+    if flat.size == 0:
+        raise ValueError("cannot analyze an empty dataset")
+
+    stored = target.round_trip(flat)
+    bits_array = target.to_bits(stored)
+    nbits = target.nbits
+
+    mean_rel = np.empty(nbits)
+    mean_abs = np.empty(nbits)
+    median_rel = np.empty(nbits)
+    catastrophic = np.empty(nbits)
+    undefined = np.empty(nbits)
+
+    for b in range(nbits):
+        rel_parts = []
+        abs_parts = []
+        cat_count = 0
+        undef_count = 0
+        for start in range(0, stored.size, chunk):
+            stop = min(start + chunk, stored.size)
+            original = stored[start:stop]
+            piece = bits_array[start:stop]
+            faulty_bits = piece ^ piece.dtype.type(1 << b)
+            faulty = target.from_bits(faulty_bits)
+            with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+                abs_err = np.abs(original - faulty)
+                rel = abs_err / np.abs(original)
+            rel = np.where((original == 0) & (faulty == 0), 0.0, rel)
+            rel = np.where((original == 0) & (faulty != 0), np.nan, rel)
+            cat_count += int(np.sum(~np.isfinite(faulty)))
+            undef_count += int(np.sum((original == 0) & (faulty != 0)))
+            rel_parts.append(rel)
+            abs_parts.append(abs_err)
+        rel_all = np.concatenate(rel_parts)
+        abs_all = np.concatenate(abs_parts)
+        finite = rel_all[np.isfinite(rel_all)]
+        with np.errstate(over="ignore"):
+            mean_rel[b] = float(np.mean(finite)) if finite.size else np.nan
+            median_rel[b] = float(np.median(finite)) if finite.size else np.nan
+            finite_abs = abs_all[np.isfinite(abs_all)]
+            mean_abs[b] = float(np.mean(finite_abs)) if finite_abs.size else np.nan
+        catastrophic[b] = cat_count / stored.size
+        undefined[b] = undef_count / stored.size
+
+    return ExpectedBitError(
+        bits=np.arange(nbits, dtype=np.int64),
+        mean_rel_err=mean_rel,
+        mean_abs_err=mean_abs,
+        median_rel_err=median_rel,
+        catastrophic_fraction=catastrophic,
+        undefined_fraction=undefined,
+    )
+
+
+def sampling_error_profile(
+    data,
+    target: InjectionTarget | str,
+    trial_counts: tuple[int, ...] = (10, 40, 160, 313),
+    seed: int = 2023,
+) -> dict[int, float]:
+    """How close a sampled campaign gets to the exact expectation.
+
+    For each trial count, runs a campaign and returns the worst-bit
+    relative deviation of its finite-mean curve from the exhaustive one
+    (bits whose exact mean is 0 or NaN are skipped).  Quantifies whether
+    the paper's 313 trials/bit suffice for a given field.
+    """
+    from repro.analysis.aggregate import aggregate_by_bit
+    from repro.inject.campaign import CampaignConfig, run_campaign
+
+    if isinstance(target, str):
+        target = target_by_name(target)
+    exact = expected_error_by_bit(data, target)
+    deviations: dict[int, float] = {}
+    for trials in trial_counts:
+        result = run_campaign(data, target, CampaignConfig(trials_per_bit=trials, seed=seed))
+        sampled = aggregate_by_bit(result.records, target.nbits).mean_rel_err
+        ratio = []
+        for b in range(target.nbits):
+            truth = exact.mean_rel_err[b]
+            estimate = sampled[b]
+            if not np.isfinite(truth) or truth == 0 or not np.isfinite(estimate):
+                continue
+            ratio.append(abs(estimate - truth) / truth)
+        deviations[trials] = float(np.max(ratio)) if ratio else float("nan")
+    return deviations

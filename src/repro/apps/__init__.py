@@ -1,0 +1,38 @@
+"""Application-level workloads: iterative solver and BLAS kernels."""
+
+from repro.apps.blas import (
+    KernelResult,
+    dot_error_comparison,
+    fused_posit_dot,
+    stored_axpy,
+    stored_dot,
+)
+from repro.apps.krylov import CGResult, cg_fault_outcome, cg_solve, poisson_matvec
+from repro.apps.faulty import (
+    AppFaultOutcome,
+    AppFaultSpec,
+    bit_sweep_campaign,
+    run_faulty_solve,
+    summarize_outcomes,
+)
+from repro.apps.stencil import PoissonProblem, SolveResult, jacobi_solve
+
+__all__ = [
+    "AppFaultOutcome",
+    "AppFaultSpec",
+    "CGResult",
+    "KernelResult",
+    "PoissonProblem",
+    "SolveResult",
+    "bit_sweep_campaign",
+    "cg_fault_outcome",
+    "cg_solve",
+    "poisson_matvec",
+    "dot_error_comparison",
+    "fused_posit_dot",
+    "jacobi_solve",
+    "run_faulty_solve",
+    "stored_axpy",
+    "stored_dot",
+    "summarize_outcomes",
+]

@@ -1,0 +1,115 @@
+"""BLAS-level kernels under storage formats.
+
+Dot products and AXPY with operands stored in a chosen number system,
+plus the quire-fused posit dot product — the accuracy/reproducibility
+workloads posit advocates cite (and the paper's introduction echoes).
+Each kernel returns both the computed value and the exact float64
+reference so examples and tests can quantify storage-format error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+import numpy as np
+
+from repro.inject.targets import InjectionTarget, PositTarget, target_by_name
+from repro.posit.quire import dot as quire_dot
+
+
+def _exact_dot(a: np.ndarray, b: np.ndarray) -> float:
+    """Exact rational dot product of float arrays, as nearest float64.
+
+    Floats are dyadic rationals, so the sum below is exact; only the
+    final float() rounds.  This is the correct reference for accumulation
+    error — float64 np.dot itself loses ill-conditioned cancellations.
+    """
+    total = Fraction(0)
+    for x, y in zip(a.tolist(), b.tolist()):
+        total += Fraction(x) * Fraction(y)
+    return float(total)
+
+
+@dataclass(frozen=True)
+class KernelResult:
+    """A computed kernel value next to its exact reference.
+
+    The reference is the exact (rational-arithmetic) result over the
+    *stored* operands, so the error isolates accumulation/rounding of
+    the kernel itself from the storage conversion.
+    """
+
+    value: float
+    reference: float
+
+    @property
+    def absolute_error(self) -> float:
+        return abs(self.value - self.reference)
+
+    @property
+    def relative_error(self) -> float:
+        if self.reference == 0:
+            return 0.0 if self.value == 0 else float("inf")
+        return abs(self.value - self.reference) / abs(self.reference)
+
+
+def _resolve(target: InjectionTarget | str) -> InjectionTarget:
+    return target_by_name(target) if isinstance(target, str) else target
+
+
+def stored_dot(a, b, target: InjectionTarget | str) -> KernelResult:
+    """Dot product with both operands and every partial sum stored.
+
+    Models hardware whose accumulator has the same width as memory —
+    the worst case the quire is designed to fix.
+    """
+    target = _resolve(target)
+    a64 = np.asarray(a, dtype=np.float64)
+    b64 = np.asarray(b, dtype=np.float64)
+    stored_a = target.round_trip(a64)
+    stored_b = target.round_trip(b64)
+    reference = _exact_dot(stored_a, stored_b)
+    accumulator = 0.0
+    for x, y in zip(stored_a, stored_b):
+        product = target.round_trip(np.asarray([x * y]))[0]
+        accumulator = target.round_trip(np.asarray([accumulator + product]))[0]
+    return KernelResult(value=float(accumulator), reference=reference)
+
+
+def fused_posit_dot(a, b, target: InjectionTarget | str) -> KernelResult:
+    """Posit dot product through the quire: one rounding at the end."""
+    target = _resolve(target)
+    if not isinstance(target, PositTarget):
+        raise TypeError(f"fused_posit_dot needs a posit target, got {target.name}")
+    a64 = np.asarray(a, dtype=np.float64)
+    b64 = np.asarray(b, dtype=np.float64)
+    pa = target.to_bits(a64)
+    pb = target.to_bits(b64)
+    reference = _exact_dot(target.from_bits(pa), target.from_bits(pb))
+    pattern = quire_dot(pa, pb, target.config)
+    from repro.posit.decode import decode
+
+    value = float(decode(np.uint64(pattern), target.config))
+    return KernelResult(value=value, reference=reference)
+
+
+def stored_axpy(alpha: float, x, y, target: InjectionTarget | str) -> np.ndarray:
+    """alpha*x + y with the result stored in the target format."""
+    target = _resolve(target)
+    x64 = np.asarray(x, dtype=np.float64)
+    y64 = np.asarray(y, dtype=np.float64)
+    return target.round_trip(alpha * x64 + y64)
+
+
+def dot_error_comparison(a, b) -> dict[str, float]:
+    """Relative error of several dot-product strategies vs float64.
+
+    Returns {strategy: relative_error}; the reproducibility story in one
+    dict: sequential posit32 vs quire-fused posit32 vs sequential ieee32.
+    """
+    out = {}
+    out["ieee32_sequential"] = stored_dot(a, b, "ieee32").relative_error
+    out["posit32_sequential"] = stored_dot(a, b, "posit32").relative_error
+    out["posit32_quire"] = fused_posit_dot(a, b, "posit32").relative_error
+    return out

@@ -1,0 +1,127 @@
+"""Application-level fault injection for the iterative workloads.
+
+The paper injects faults into *stored data*; the natural follow-on
+question — which its related work (Elliott et al. on GMRES, Casas et al.
+on AMG) studies for IEEE floats — is what a single flip does to a whole
+computation.  This harness injects one bit flip into the solver state at
+a chosen iteration and measures the application-level outcome: extra
+iterations to converge, final-solution error, or divergence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.apps.stencil import PoissonProblem, SolveResult, jacobi_solve
+from repro.inject.targets import InjectionTarget, target_by_name
+
+
+@dataclass(frozen=True)
+class AppFaultSpec:
+    """One application-level fault: where, when, and which bit."""
+
+    iteration: int
+    flat_index: int
+    bit: int
+
+
+@dataclass
+class AppFaultOutcome:
+    """Application-level consequence of one injected flip."""
+
+    spec: AppFaultSpec
+    clean_iterations: int
+    faulty_iterations: int
+    converged: bool
+    diverged: bool
+    solution_error: float  # relative L2 vs the clean solution
+
+    @property
+    def iteration_overhead(self) -> int:
+        """Extra sweeps needed to recover from the flip."""
+        return self.faulty_iterations - self.clean_iterations
+
+
+def _state_flipper(spec: AppFaultSpec, target: InjectionTarget):
+    def hook(iteration: int, state: np.ndarray) -> np.ndarray:
+        if iteration != spec.iteration:
+            return state
+        flat = state.reshape(-1).copy()
+        bits = target.to_bits(flat[spec.flat_index : spec.flat_index + 1])
+        flipped = bits ^ bits.dtype.type(1 << spec.bit)
+        flat[spec.flat_index] = target.from_bits(flipped)[0]
+        return flat.reshape(state.shape)
+
+    return hook
+
+
+def run_faulty_solve(
+    problem: PoissonProblem,
+    target: InjectionTarget | str,
+    spec: AppFaultSpec,
+    max_iterations: int = 2000,
+    tolerance: float = 1e-6,
+) -> AppFaultOutcome:
+    """Solve once cleanly and once with the fault; compare outcomes."""
+    if isinstance(target, str):
+        target = target_by_name(target)
+    clean = jacobi_solve(problem, target, max_iterations, tolerance)
+    faulty = jacobi_solve(
+        problem, target, max_iterations, tolerance,
+        fault_hook=_state_flipper(spec, target),
+    )
+    return AppFaultOutcome(
+        spec=spec,
+        clean_iterations=clean.iterations,
+        faulty_iterations=faulty.iterations,
+        converged=faulty.converged,
+        diverged=faulty.diverged,
+        solution_error=faulty.error_vs(clean.solution),
+    )
+
+
+def bit_sweep_campaign(
+    problem: PoissonProblem,
+    target: InjectionTarget | str,
+    iteration: int,
+    seed: int = 0,
+    trials_per_bit: int = 3,
+    max_iterations: int = 2000,
+    tolerance: float = 1e-6,
+) -> list[AppFaultOutcome]:
+    """Sweep all bit positions, a few random state locations each.
+
+    The application-level analogue of the paper's campaign grid.
+    """
+    if isinstance(target, str):
+        target = target_by_name(target)
+    rng = np.random.default_rng(seed)
+    state_size = problem.grid * problem.grid
+    outcomes = []
+    for bit in range(target.nbits):
+        for index in rng.integers(0, state_size, trials_per_bit):
+            spec = AppFaultSpec(iteration=iteration, flat_index=int(index), bit=bit)
+            outcomes.append(
+                run_faulty_solve(problem, target, spec, max_iterations, tolerance)
+            )
+    return outcomes
+
+
+def summarize_outcomes(outcomes: list[AppFaultOutcome]) -> dict[str, float]:
+    """Campaign-level application metrics."""
+    if not outcomes:
+        raise ValueError("no outcomes to summarize")
+    overheads = np.array([o.iteration_overhead for o in outcomes], dtype=np.float64)
+    errors = np.array([o.solution_error for o in outcomes])
+    finite_errors = errors[np.isfinite(errors)]
+    return {
+        "trials": float(len(outcomes)),
+        "converged_fraction": float(np.mean([o.converged for o in outcomes])),
+        "diverged_fraction": float(np.mean([o.diverged for o in outcomes])),
+        "mean_iteration_overhead": float(np.mean(overheads)),
+        "max_iteration_overhead": float(np.max(overheads)),
+        "mean_solution_error": float(np.mean(finite_errors)) if finite_errors.size else float("nan"),
+        "max_solution_error": float(np.max(finite_errors)) if finite_errors.size else float("nan"),
+    }

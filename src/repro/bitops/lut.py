@@ -1,0 +1,43 @@
+"""Lookup tables used by the vectorized bit primitives.
+
+The tables are built once at import time.  A 16-bit table costs 64 KiB per
+table, which is negligible, and makes ``clz``/``popcount`` exact (unlike
+``log2``-based emulations that misclassify values adjacent to powers of
+two once they exceed 2**53).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_TABLE_BITS = 16
+_TABLE_SIZE = 1 << _TABLE_BITS
+
+
+def _build_clz16() -> np.ndarray:
+    """Number of leading zeros of each 16-bit value (clz16(0) == 16)."""
+    table = np.empty(_TABLE_SIZE, dtype=np.uint8)
+    table[0] = _TABLE_BITS
+    values = np.arange(1, _TABLE_SIZE, dtype=np.uint32)
+    # bit_length via successively halving the candidate width would be a
+    # loop; instead use the exact integer log2 from the float exponent.
+    # float64 represents every integer < 2**53 exactly, so for 16-bit
+    # inputs the exponent extraction below is exact.
+    exponents = np.frexp(values.astype(np.float64))[1]  # bit length
+    table[1:] = (_TABLE_BITS - exponents).astype(np.uint8)
+    return table
+
+
+def _build_popcount16() -> np.ndarray:
+    """Population count of each 16-bit value."""
+    values = np.arange(_TABLE_SIZE, dtype=np.uint16)
+    counts = np.zeros(_TABLE_SIZE, dtype=np.uint8)
+    work = values.copy()
+    for _ in range(_TABLE_BITS):
+        counts += (work & 1).astype(np.uint8)
+        work >>= 1
+    return counts
+
+
+CLZ16: np.ndarray = _build_clz16()
+POPCOUNT16: np.ndarray = _build_popcount16()

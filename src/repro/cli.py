@@ -1,0 +1,310 @@
+"""Command-line interface.
+
+::
+
+    posit-resiliency datasets                      # Table 1 summary
+    posit-resiliency targets                       # available number systems
+    posit-resiliency experiments                   # list experiment ids
+    posit-resiliency experiment fig10 --quick      # run one experiment
+    posit-resiliency experiment all                # run every experiment
+    posit-resiliency campaign nyx/temperature posit32 --trials 313 \
+        --out trials.csv                           # raw campaign -> CSV
+    posit-resiliency inspect 186.25                # show representations
+
+Also runnable as ``python -m repro ...``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _cmd_datasets(args) -> int:
+    from repro.datasets.registry import keys
+    from repro.datasets.summary import summarize_field
+    from repro.reporting.series import Table
+    from repro.reporting.tables import render_table
+
+    table = Table(
+        title="Registered dataset fields",
+        columns=["key", "dims", "mean", "median", "max", "min", "std"],
+    )
+    for key in keys():
+        summary = summarize_field(key, seed=args.seed, size=args.size)
+        stats = summary.generated
+        table.add_row([
+            key,
+            "x".join(str(d) for d in summary.preset.dimensions),
+            stats.mean, stats.median, stats.maximum, stats.minimum, stats.std,
+        ])
+    print(render_table(table))
+    return 0
+
+
+def _cmd_targets(_args) -> int:
+    from repro.inject.targets import available_targets, target_by_name
+
+    for name in available_targets():
+        target = target_by_name(name)
+        print(f"{name:10s} {target.nbits:3d} bits")
+    return 0
+
+
+def _cmd_experiments(_args) -> int:
+    from repro.experiments import experiment_ids, get_experiment
+
+    for exp_id in experiment_ids():
+        spec = get_experiment(exp_id)
+        print(f"{exp_id:14s} [{spec.paper_ref}] {spec.title}")
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    from repro.experiments import ExperimentParams, experiment_ids, get_experiment
+
+    if args.quick:
+        params = ExperimentParams.quick()
+    elif args.paper_scale:
+        params = ExperimentParams.paper_scale()
+    else:
+        params = ExperimentParams()
+    if args.size or args.trials:
+        params = ExperimentParams(
+            data_size=args.size or params.data_size,
+            trials_per_bit=args.trials or params.trials_per_bit,
+            seed=args.seed,
+        )
+    ids = experiment_ids() if args.id == "all" else [args.id]
+    failures = 0
+    for exp_id in ids:
+        output = get_experiment(exp_id).run(params)
+        print(output.render())
+        print()
+        failures += len(output.failed_checks())
+    if failures:
+        print(f"{failures} check(s) FAILED", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_campaign(args) -> int:
+    from repro.datasets.registry import get as get_preset
+    from repro.inject.campaign import CampaignConfig
+    from repro.inject.parallel import run_campaign_parallel
+
+    preset = get_preset(args.field)
+    data = preset.generate(seed=args.seed, size=args.size)
+    config = CampaignConfig(trials_per_bit=args.trials, seed=args.seed)
+    result = run_campaign_parallel(
+        data, args.target, config, label=args.field, workers=args.workers
+    )
+    print(
+        f"campaign: {result.trial_count} trials on {args.field} as "
+        f"{result.target_name} (data size {result.data_size})"
+    )
+    print(
+        f"conversion: mean rel err {result.conversion.mean_relative_error:.3e}, "
+        f"exact fraction {result.conversion.exact_fraction:.3f}"
+    )
+    if args.out:
+        result.records.write_csv(args.out)
+        print(f"wrote {args.out}")
+    else:
+        from repro.analysis.aggregate import aggregate_by_bit
+        from repro.reporting.series import Figure, Series
+        from repro.reporting.tables import render_series_table
+
+        agg = aggregate_by_bit(result.records, result.records.bit.max() + 1)
+        figure = Figure(
+            title=f"mean relative error per bit ({args.field}, {args.target})",
+            x_label="bit",
+            y_label="mean rel err",
+        )
+        figure.add(Series(args.target, agg.bits, agg.mean_rel_err))
+        print(render_series_table(figure))
+    return 0
+
+
+def _cmd_suite(args) -> int:
+    from repro.inject.suite import SuiteConfig, run_suite
+
+    if args.fields:
+        fields = tuple(args.fields.split(","))
+        config = SuiteConfig(
+            fields=fields, data_size=args.size,
+            trials_per_bit=args.trials, seed=args.seed,
+        )
+    else:
+        config = SuiteConfig.paper_grid(
+            data_size=args.size, trials_per_bit=args.trials, seed=args.seed
+        )
+
+    def progress(field_key, target, campaign):
+        if campaign is None:
+            print(f"  [skip] {field_key} x {target} (log exists)")
+        else:
+            print(f"  [done] {field_key} x {target}: {campaign.trial_count} trials")
+
+    result = run_suite(config, args.out, workers=args.workers,
+                       resume=not args.no_resume, progress=progress)
+    print(
+        f"suite: {len(result.completed)} campaigns run, "
+        f"{len(result.skipped)} resumed from {args.out}"
+    )
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.experiments import ExperimentParams
+    from repro.reporting.report import generate_report
+
+    if args.quick:
+        params = ExperimentParams.quick()
+    elif args.paper_scale:
+        params = ExperimentParams.paper_scale()
+    else:
+        params = ExperimentParams()
+    path = generate_report(args.out, params)
+    print(f"wrote {path}")
+    return 0
+
+
+def _cmd_inspect(args) -> int:
+    from repro.ieee import BINARY32, float_to_bits
+    from repro.ieee.fields import layout_string as ieee_layout
+    from repro.posit import POSIT32, decode, encode, layout_string
+
+    value = float(args.value)
+    ieee_bits = int(float_to_bits(np.float32(value), BINARY32))
+    posit_bits = int(encode(np.float64(value), POSIT32))
+    posit_value = float(decode(np.uint64(posit_bits), POSIT32))
+    print(f"value:     {value!r}")
+    print(f"ieee32:    {ieee_layout(ieee_bits, BINARY32)}  (0x{ieee_bits:08x})")
+    print(f"posit32:   {layout_string(posit_bits, POSIT32)}  (0x{posit_bits:08x})")
+    print(f"           decodes to {posit_value!r}")
+    return 0
+
+
+def _cmd_verify(args) -> int:
+    from repro.inject.results import TrialRecords
+    from repro.inject.validate import verify_records
+
+    records = TrialRecords.read_csv(args.log)
+    report = verify_records(records, args.target)
+    print(report.summary())
+    for example in report.examples:
+        print(f"  {example}")
+    return 0 if report.ok else 1
+
+
+def _cmd_predict(args) -> int:
+    from repro.analysis.edgecases import FlipEvent
+    from repro.analysis.predict import predict_flip as posit_predict
+    from repro.ieee import BINARY32, flip_float_bit
+    from repro.posit import POSIT32, encode
+    from repro.reporting.series import Table
+    from repro.reporting.tables import render_table
+
+    value = float(args.value)
+    table = Table(
+        title=f"Predicted single-flip outcomes for {value!r}",
+        columns=["bit", "ieee32 faulty", "ieee32 rel err",
+                 "posit32 faulty", "posit32 rel err", "posit event"],
+    )
+    pattern = np.atleast_1d(np.asarray(encode(np.float64(value), POSIT32), dtype=np.uint64))
+    for bit in range(31, -1, -1):
+        ieee_faulty = float(flip_float_bit(np.float32(value), bit, BINARY32))
+        ieee_rel = (
+            abs(value - ieee_faulty) / abs(value) if value != 0 else float("nan")
+        )
+        prediction = posit_predict(pattern, bit, POSIT32)
+        table.add_row([
+            bit, ieee_faulty, ieee_rel,
+            float(prediction.faulty[0]), float(prediction.relative_error[0]),
+            FlipEvent(int(prediction.event[0])).name,
+        ])
+    print(render_table(table))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="posit-resiliency",
+        description="Posit vs IEEE-754 bit-flip resiliency study "
+        "(reproduction of Schlueter et al., SC-W 2023)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("datasets", help="summarize registered dataset fields")
+    p.add_argument("--size", type=int, default=1 << 17)
+    p.add_argument("--seed", type=int, default=2023)
+    p.set_defaults(func=_cmd_datasets)
+
+    p = sub.add_parser("targets", help="list injection targets")
+    p.set_defaults(func=_cmd_targets)
+
+    p = sub.add_parser("experiments", help="list experiments")
+    p.set_defaults(func=_cmd_experiments)
+
+    p = sub.add_parser("experiment", help="run one experiment (or 'all')")
+    p.add_argument("id")
+    p.add_argument("--quick", action="store_true", help="CI-speed parameters")
+    p.add_argument("--paper-scale", action="store_true", help="paper-sized run")
+    p.add_argument("--size", type=int, default=None)
+    p.add_argument("--trials", type=int, default=None)
+    p.add_argument("--seed", type=int, default=2023)
+    p.set_defaults(func=_cmd_experiment)
+
+    p = sub.add_parser("campaign", help="run a raw fault-injection campaign")
+    p.add_argument("field", help="dataset field key, e.g. nyx/temperature")
+    p.add_argument("target", help="injection target, e.g. posit32")
+    p.add_argument("--size", type=int, default=1 << 17)
+    p.add_argument("--trials", type=int, default=313)
+    p.add_argument("--seed", type=int, default=2023)
+    p.add_argument("--workers", type=int, default=None)
+    p.add_argument("--out", default=None, help="write trial CSV here")
+    p.set_defaults(func=_cmd_campaign)
+
+    p = sub.add_parser("suite", help="run the full (fields x targets) campaign grid")
+    p.add_argument("--out", default="suite-results")
+    p.add_argument("--fields", default=None, help="comma-separated keys (default: all)")
+    p.add_argument("--size", type=int, default=1 << 17)
+    p.add_argument("--trials", type=int, default=313)
+    p.add_argument("--seed", type=int, default=2023)
+    p.add_argument("--workers", type=int, default=None)
+    p.add_argument("--no-resume", action="store_true",
+                   help="re-run campaigns even when logs exist")
+    p.set_defaults(func=_cmd_suite)
+
+    p = sub.add_parser("report", help="write the full reproduction report")
+    p.add_argument("--out", default="report")
+    p.add_argument("--quick", action="store_true")
+    p.add_argument("--paper-scale", action="store_true")
+    p.set_defaults(func=_cmd_report)
+
+    p = sub.add_parser("inspect", help="show a value's representations")
+    p.add_argument("value")
+    p.set_defaults(func=_cmd_inspect)
+
+    p = sub.add_parser("predict", help="predicted per-bit flip outcomes for a value")
+    p.add_argument("value")
+    p.set_defaults(func=_cmd_predict)
+
+    p = sub.add_parser("verify", help="re-derive a trial log and check integrity")
+    p.add_argument("log", help="trial CSV written by a campaign")
+    p.add_argument("target", help="the target the log claims, e.g. posit32")
+    p.set_defaults(func=_cmd_verify)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,57 @@
+"""Scientific dataset substrate: synthetic Table 1 fields + raw I/O."""
+
+from repro.datasets.io import load_raw, preset_from_file, save_raw
+from repro.datasets.presets import (
+    ALL_PRESETS,
+    DEFAULT_SIZE,
+    FieldPreset,
+    PublishedStats,
+    build_presets,
+)
+from repro.datasets.registry import by_dataset, datasets, get, keys, register
+from repro.datasets.summary import FieldSummary, summarize_all, summarize_field
+from repro.datasets.transforms import (
+    PowerOfTwoScale,
+    scaled_storage_roundtrip,
+    unit_median_scale,
+)
+from repro.datasets.synthetic import (
+    Component,
+    Constant,
+    Exponential,
+    Laplace,
+    Lognormal,
+    Mixture,
+    Normal,
+    Uniform,
+)
+
+__all__ = [
+    "ALL_PRESETS",
+    "Component",
+    "Constant",
+    "DEFAULT_SIZE",
+    "Exponential",
+    "FieldPreset",
+    "FieldSummary",
+    "Laplace",
+    "Lognormal",
+    "Mixture",
+    "Normal",
+    "PowerOfTwoScale",
+    "PublishedStats",
+    "Uniform",
+    "build_presets",
+    "by_dataset",
+    "datasets",
+    "get",
+    "keys",
+    "load_raw",
+    "preset_from_file",
+    "register",
+    "save_raw",
+    "scaled_storage_roundtrip",
+    "summarize_all",
+    "summarize_field",
+    "unit_median_scale",
+]

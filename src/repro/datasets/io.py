@@ -1,0 +1,96 @@
+"""Raw binary I/O in the SDRBench layout.
+
+SDRBench distributes each field as a headerless little-endian float32
+(or float64) binary file; the paper's campaign "reads a binary file
+containing a field from a scientific data set and loads it into an
+array".  These helpers do exactly that, and can wrap a real file as a
+:class:`~repro.datasets.presets.FieldPreset` so every experiment in this
+repository runs unchanged on the actual data when available.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro.datasets.presets import FieldPreset, PublishedStats
+from repro.datasets.synthetic import Mixture, Constant
+
+
+def load_raw(path: str | os.PathLike, dtype=np.float32, count: int | None = None) -> np.ndarray:
+    """Load a headerless binary field (SDRBench convention).
+
+    Parameters
+    ----------
+    path:
+        File to read.
+    dtype:
+        Element type; SDRBench ships float32 for all the paper's fields.
+    count:
+        Optional cap on elements read (for sampling huge files).
+    """
+    file_path = Path(path)
+    if not file_path.is_file():
+        raise FileNotFoundError(f"dataset file not found: {file_path}")
+    dtype = np.dtype(dtype)
+    if file_path.stat().st_size % dtype.itemsize:
+        raise ValueError(
+            f"{file_path} size {file_path.stat().st_size} is not a multiple "
+            f"of itemsize {dtype.itemsize}; wrong dtype?"
+        )
+    data = np.fromfile(file_path, dtype=dtype, count=-1 if count is None else count)
+    if data.size == 0:
+        raise ValueError(f"{file_path} contains no elements")
+    return data
+
+
+def save_raw(values, path: str | os.PathLike, dtype=np.float32) -> None:
+    """Write a field as headerless binary (round-trips with load_raw)."""
+    array = np.asarray(values).astype(dtype, copy=False)
+    array.tofile(Path(path))
+
+
+class _FileBackedMixture(Mixture):
+    """Mixture stand-in that replays samples from a loaded file."""
+
+    def __init__(self, data: np.ndarray) -> None:
+        super().__init__(components=(Constant(0.0),), weights=(1.0,))
+        object.__setattr__(self, "_data", data)
+
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        data = self._data
+        if size >= data.size:
+            return data[:size].copy() if size == data.size else np.resize(data, size)
+        start = int(rng.integers(0, data.size - size + 1))
+        return data[start : start + size].copy()
+
+
+def preset_from_file(
+    path: str | os.PathLike,
+    dataset: str,
+    field: str,
+    dimensions: tuple[int, ...] | None = None,
+    dtype=np.float32,
+) -> FieldPreset:
+    """Wrap a real SDRBench file as a registry-compatible preset.
+
+    The returned preset samples contiguous windows of the real data, and
+    its ``published`` statistics are computed from the file itself.
+    """
+    data = load_raw(path, dtype=dtype)
+    stats = PublishedStats(
+        mean=float(np.mean(data)),
+        median=float(np.median(data)),
+        maximum=float(np.max(data)),
+        minimum=float(np.min(data)),
+        std=float(np.std(data)),
+    )
+    return FieldPreset(
+        dataset=dataset,
+        field=field,
+        dimensions=dimensions if dimensions is not None else (int(data.size),),
+        mixture=_FileBackedMixture(data.astype(np.float32, copy=False)),
+        published=stats,
+    )

@@ -1,0 +1,336 @@
+"""The sixteen Table 1 fields as synthetic presets.
+
+Each :class:`FieldPreset` pairs a mixture model with the summary
+statistics the paper publishes for the real SDRBench field, so the
+experiment harnesses can report generated-vs-published side by side
+(see EXPERIMENTS.md).  The mixtures are fitted by hand to reproduce the
+mean/median/extremes/std rows of Table 1 and — more importantly for the
+analysis — the magnitude structure: the share of values with |x| > 1
+(which controls the posit regime-size population), the sign mix, and the
+zero fraction.
+
+Full-scale SDRBench fields have 10^7..10^8 elements; the default
+generated size is 2^20 (campaign statistics are insensitive to the
+population size once it is much larger than the trial count, and tests
+scale it down further).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datasets.synthetic import (
+    Constant,
+    Exponential,
+    Laplace,
+    Lognormal,
+    Mixture,
+    Normal,
+    Uniform,
+)
+
+DEFAULT_SIZE = 1 << 20
+
+
+@dataclass(frozen=True)
+class PublishedStats:
+    """Summary row from the paper's Table 1."""
+
+    mean: float
+    median: float
+    maximum: float
+    minimum: float
+    std: float
+
+
+@dataclass(frozen=True)
+class FieldPreset:
+    """A named synthetic field: mixture + published reference stats."""
+
+    dataset: str
+    field: str
+    dimensions: tuple[int, ...]
+    mixture: Mixture
+    published: PublishedStats
+
+    @property
+    def key(self) -> str:
+        """Registry key, e.g. ``hacc/vx``."""
+        return f"{self.dataset.lower()}/{self.field.lower()}"
+
+    @property
+    def full_size(self) -> int:
+        """Element count of the real field (product of dimensions)."""
+        return int(np.prod(self.dimensions))
+
+    def generate(self, seed: int | np.random.Generator = 0, size: int = DEFAULT_SIZE) -> np.ndarray:
+        """Seeded draw of ``size`` float32 samples."""
+        rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+        return self.mixture.sample(rng, size)
+
+
+def _cesm_omega() -> FieldPreset:
+    return FieldPreset(
+        dataset="CESM",
+        field="OMEGA",
+        dimensions=(26, 1800, 3600),
+        mixture=Mixture(
+            components=(Laplace(mean=-4e-6, scale=2.2e-4),),
+            weights=(1.0,),
+            clip_low=-5.01e-3,
+            clip_high=4.18e-3,
+        ),
+        published=PublishedStats(-3.88e-6, 3.41e-6, 4.18e-3, -5.01e-3, 3.11e-4),
+    )
+
+
+def _cesm_cloud() -> FieldPreset:
+    return FieldPreset(
+        dataset="CESM",
+        field="CLOUD",
+        dimensions=(26, 1800, 3600),
+        mixture=Mixture(
+            components=(Lognormal(median=2.89e-2, sigma=1.25),),
+            weights=(1.0,),
+            clip_low=0.0,
+            clip_high=9.64e-1,
+        ),
+        published=PublishedStats(6.37e-2, 2.89e-2, 9.64e-1, -1.14e-17, 7.42e-2),
+    )
+
+
+def _cesm_relhum() -> FieldPreset:
+    return FieldPreset(
+        dataset="CESM",
+        field="RELHUM",
+        dimensions=(26, 1800, 3600),
+        mixture=Mixture(
+            components=(Exponential(scale=6.0), Normal(mean=51.0, std=16.0)),
+            weights=(0.22, 0.78),
+            clip_low=1.12e-3,
+            clip_high=9.96e1,
+        ),
+        published=PublishedStats(4.07e1, 4.56e1, 9.96e1, 1.12e-3, 2.02e1),
+    )
+
+
+def _exafel_dark() -> FieldPreset:
+    # Detector dark frame: nearly all values are ~1e-35 noise with a tiny
+    # population of bright outliers reaching ~1.
+    return FieldPreset(
+        dataset="EXAFEL",
+        field="smd-cxif5315-r129-dark",
+        dimensions=(50, 32, 185, 388),
+        mixture=Mixture(
+            components=(
+                Lognormal(median=2.02e-35, sigma=0.4),
+                Uniform(low=1e-3, high=9.53e-1),
+            ),
+            weights=(1.0 - 1.3e-5, 1.3e-5),
+            clip_low=6.81e-43,
+            clip_high=9.53e-1,
+        ),
+        published=PublishedStats(2.18e-35, 2.02e-35, 9.53e-1, 6.81e-43, 1.94e-3),
+    )
+
+
+def _hacc_velocity(field: str, main_mean: float, tail_mean: float,
+                   published: PublishedStats) -> FieldPreset:
+    return FieldPreset(
+        dataset="HACC",
+        field=field,
+        dimensions=(280953867,),
+        mixture=Mixture(
+            components=(
+                Normal(mean=main_mean, std=215.0),
+                Normal(mean=tail_mean, std=850.0),
+            ),
+            weights=(0.98, 0.02),
+            clip_low=published.minimum,
+            clip_high=published.maximum,
+        ),
+        published=published,
+    )
+
+
+def _hurricane_precip() -> FieldPreset:
+    return FieldPreset(
+        dataset="Hurricane",
+        field="PRECIPf48",
+        dimensions=(100, 500, 500),
+        mixture=Mixture(
+            components=(
+                Lognormal(median=5e-9, sigma=1.5),
+                Lognormal(median=1.2e-5, sigma=1.6),
+            ),
+            weights=(0.62, 0.38),
+            clip_low=0.0,
+            clip_high=7.51e-3,
+        ),
+        published=PublishedStats(1.24e-5, 7.09e-9, 7.51e-3, 0.0, 7.77e-5),
+    )
+
+
+def _hurricane_w() -> FieldPreset:
+    return FieldPreset(
+        dataset="Hurricane",
+        field="Wf30",
+        dimensions=(100, 500, 500),
+        mixture=Mixture(
+            components=(
+                Laplace(mean=-7.8e-5, scale=0.09),
+                Lognormal(median=2.5, sigma=0.7),
+            ),
+            weights=(0.998, 0.002),
+            clip_low=-4.57,
+            clip_high=1.55e1,
+        ),
+        published=PublishedStats(6.91e-3, -7.78e-5, 1.55e1, -4.57, 1.72e-1),
+    )
+
+
+def _hurricane_u() -> FieldPreset:
+    return FieldPreset(
+        dataset="Hurricane",
+        field="Uf30",
+        dimensions=(100, 500, 500),
+        mixture=Mixture(
+            components=(Normal(mean=-0.65, std=9.0), Normal(mean=0.0, std=26.0)),
+            weights=(0.99, 0.01),
+            clip_low=-7.95e1,
+            clip_high=6.89e1,
+        ),
+        published=PublishedStats(-5.54e-1, -6.93e-1, 6.89e1, -7.95e1, 9.36),
+    )
+
+
+def _hurricane_p() -> FieldPreset:
+    return FieldPreset(
+        dataset="Hurricane",
+        field="Pf48",
+        dimensions=(100, 500, 500),
+        mixture=Mixture(
+            components=(Normal(mean=225.0, std=280.0), Normal(mean=830.0, std=700.0)),
+            weights=(0.75, 0.25),
+            clip_low=-3.41e3,
+            clip_high=3.22e3,
+        ),
+        published=PublishedStats(3.76e2, 2.25e2, 3.22e3, -3.41e3, 4.55e2),
+    )
+
+
+def _hurricane_cloud() -> FieldPreset:
+    return FieldPreset(
+        dataset="Hurricane",
+        field="CLOUDf48",
+        dimensions=(100, 500, 500),
+        mixture=Mixture(
+            components=(Constant(0.0), Lognormal(median=1.0e-5, sigma=1.5)),
+            weights=(0.70, 0.30),
+            clip_low=0.0,
+            clip_high=2.05e-3,
+        ),
+        published=PublishedStats(8.60e-6, 0.0, 2.05e-3, 0.0, 5.18e-5),
+    )
+
+
+def _hurricane_v() -> FieldPreset:
+    return FieldPreset(
+        dataset="Hurricane",
+        field="Vf30",
+        dimensions=(100, 500, 500),
+        mixture=Mixture(
+            components=(Normal(mean=3.5, std=9.2), Normal(mean=0.0, std=28.0)),
+            weights=(0.99, 0.01),
+            clip_low=-6.86e1,
+            clip_high=6.98e1,
+        ),
+        published=PublishedStats(3.63, 3.48, 6.98e1, -6.86e1, 9.76),
+    )
+
+
+def _nyx_velocity_x() -> FieldPreset:
+    return FieldPreset(
+        dataset="Nyx",
+        field="velocity-x",
+        dimensions=(512, 512, 512),
+        mixture=Mixture(
+            components=(
+                Normal(mean=1.5e6, std=2.0e6),
+                Normal(mean=-1.85e6, std=5.0e6),
+            ),
+            weights=(0.55, 0.45),
+            clip_low=-5.04e7,
+            clip_high=3.19e7,
+        ),
+        published=PublishedStats(3.54e2, 4.68e5, 3.19e7, -5.04e7, 4.97e6),
+    )
+
+
+def _nyx_dark_matter_density() -> FieldPreset:
+    return FieldPreset(
+        dataset="Nyx",
+        field="dark-matter-density",
+        dimensions=(512, 512, 512),
+        mixture=Mixture(
+            components=(
+                Lognormal(median=0.393, sigma=1.37),
+                Uniform(low=5e1, high=1.0e3),
+            ),
+            weights=(1.0 - 2e-4, 2e-4),
+            clip_low=0.0,
+            clip_high=1.38e4,
+        ),
+        published=PublishedStats(1.00, 3.93e-1, 1.38e4, 0.0, 8.37),
+    )
+
+
+def _nyx_temperature() -> FieldPreset:
+    return FieldPreset(
+        dataset="Nyx",
+        field="temperature",
+        dimensions=(512, 512, 512),
+        mixture=Mixture(
+            components=(
+                Lognormal(median=7.09e3, sigma=0.59),
+                Uniform(low=1e5, high=4.78e6),
+            ),
+            weights=(1.0 - 3e-5, 3e-5),
+            clip_low=2.28e3,
+            clip_high=4.78e6,
+        ),
+        published=PublishedStats(8.45e3, 7.09e3, 4.78e6, 2.28e3, 1.54e4),
+    )
+
+
+def build_presets() -> tuple[FieldPreset, ...]:
+    """All sixteen Table 1 fields, in the paper's row order."""
+    return (
+        _cesm_omega(),
+        _cesm_cloud(),
+        _cesm_relhum(),
+        _exafel_dark(),
+        _hacc_velocity(
+            "vy", -0.5, 230.0, PublishedStats(4.08, -4.98e-1, 3.74e3, -3.50e3, 2.41e2)
+        ),
+        _hacc_velocity(
+            "vx", 23.0, -230.0, PublishedStats(1.79e1, 2.34e1, 3.39e3, -3.52e3, 2.27e2)
+        ),
+        _hacc_velocity(
+            "vz", -1.2, 180.0, PublishedStats(2.45, -1.17, 3.18e3, -4.08e3, 2.63e2)
+        ),
+        _hurricane_precip(),
+        _hurricane_w(),
+        _hurricane_u(),
+        _hurricane_p(),
+        _hurricane_cloud(),
+        _hurricane_v(),
+        _nyx_velocity_x(),
+        _nyx_dark_matter_density(),
+        _nyx_temperature(),
+    )
+
+
+ALL_PRESETS: tuple[FieldPreset, ...] = build_presets()

@@ -1,0 +1,48 @@
+"""Dataset registry: look up fields by name, list them, register new ones.
+
+Keys are ``dataset/field`` in lower case (``nyx/velocity-x``).  User code
+can register additional presets — e.g. fields loaded from real SDRBench
+files via :mod:`repro.datasets.io` — next to the built-in synthetic ones.
+"""
+
+from __future__ import annotations
+
+import difflib
+
+from repro.datasets.presets import ALL_PRESETS, FieldPreset
+
+_REGISTRY: dict[str, FieldPreset] = {preset.key: preset for preset in ALL_PRESETS}
+
+
+def register(preset: FieldPreset, overwrite: bool = False) -> None:
+    """Add a preset to the registry."""
+    if preset.key in _REGISTRY and not overwrite:
+        raise KeyError(f"preset {preset.key!r} already registered")
+    _REGISTRY[preset.key] = preset
+
+
+def get(key: str) -> FieldPreset:
+    """Look up a preset, with did-you-mean on typos."""
+    normalized = key.strip().lower()
+    try:
+        return _REGISTRY[normalized]
+    except KeyError:
+        close = difflib.get_close_matches(normalized, _REGISTRY, n=3)
+        hint = f"; did you mean {', '.join(close)}?" if close else ""
+        raise KeyError(f"unknown dataset field {key!r}{hint}") from None
+
+
+def keys() -> list[str]:
+    """All registered keys, sorted."""
+    return sorted(_REGISTRY)
+
+
+def by_dataset(dataset: str) -> list[FieldPreset]:
+    """All presets belonging to one dataset (case-insensitive)."""
+    wanted = dataset.strip().lower()
+    return [preset for preset in _REGISTRY.values() if preset.dataset.lower() == wanted]
+
+
+def datasets() -> list[str]:
+    """Distinct dataset names, sorted."""
+    return sorted({preset.dataset for preset in _REGISTRY.values()})

@@ -1,0 +1,66 @@
+"""Dataset transforms: software-level mitigation via rescaling.
+
+Posits concentrate both accuracy and flip-resilience near magnitude 1
+(small regimes).  A cheap software mitigation therefore suggests itself:
+scale a field by a power of two so its typical magnitude lands near 1,
+store the scaled values, and undo the scale on use (exact, since the
+factor is a power of two).  These helpers implement that transform and
+the bookkeeping; the ``ext-scaling`` experiment measures how much it
+buys.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class PowerOfTwoScale:
+    """A reversible power-of-two scaling x -> x * 2**exponent."""
+
+    exponent: int
+
+    @property
+    def factor(self) -> float:
+        return float(2.0**self.exponent)
+
+    def apply(self, values) -> np.ndarray:
+        """Scale into storage space (exact: power-of-two multiply)."""
+        array = np.asarray(values, dtype=np.float64)
+        return np.ldexp(array, self.exponent)
+
+    def undo(self, values) -> np.ndarray:
+        """Scale back to problem space (exact inverse)."""
+        array = np.asarray(values, dtype=np.float64)
+        return np.ldexp(array, -self.exponent)
+
+
+def unit_median_scale(values) -> PowerOfTwoScale:
+    """Scale that moves the median magnitude of ``values`` to ~1.
+
+    Uses the median of log2 |x| over nonzero elements, rounded to an
+    integer so the factor is an exact power of two.  A field of all
+    zeros gets the identity scale.
+    """
+    array = np.asarray(values, dtype=np.float64).reshape(-1)
+    nonzero = array[array != 0]
+    if nonzero.size == 0:
+        return PowerOfTwoScale(0)
+    median_log = float(np.median(np.log2(np.abs(nonzero))))
+    return PowerOfTwoScale(-int(round(median_log)))
+
+
+def scaled_storage_roundtrip(values, target, scale: PowerOfTwoScale) -> np.ndarray:
+    """Store scaled values in ``target`` and undo the scale on load.
+
+    The value a consumer observes under the scaled-storage discipline:
+    undo(round_trip(apply(x))).  Power-of-two scaling commutes exactly
+    with posit/IEEE rounding, so accuracy is unchanged; only the *bit
+    layout* (and hence flip vulnerability) moves.
+    """
+    scaled = scale.apply(values)
+    stored = target.round_trip(scaled)
+    return scale.undo(stored)

@@ -1,0 +1,15 @@
+"""Software SDC detection (impact-driven, per the paper's related work)."""
+
+from repro.detect.temporal import (
+    DetectionOutcome,
+    LinearExtrapolationDetector,
+    detection_sweep,
+    evaluate_on_jacobi,
+)
+
+__all__ = [
+    "DetectionOutcome",
+    "LinearExtrapolationDetector",
+    "detection_sweep",
+    "evaluate_on_jacobi",
+]

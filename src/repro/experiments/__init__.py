@@ -1,0 +1,49 @@
+"""Experiment harnesses — one registered runner per paper table/figure.
+
+Importing this package registers every experiment; use
+:func:`experiment_ids` / :func:`get_experiment` / :func:`run_experiments`
+to drive them, or the CLI (``python -m repro experiment <id>``).
+"""
+
+from repro.experiments.base import (
+    ExperimentOutput,
+    ExperimentParams,
+    ExperimentSpec,
+    experiment_ids,
+    get_experiment,
+    register_experiment,
+    run_experiments,
+)
+
+# Importing the experiment modules registers them.
+from repro.experiments import (  # noqa: F401  (imported for registration)
+    ext_detect,
+    ext_methodology,
+    ext_multibit,
+    ext_population,
+    ext_predict,
+    ext_protect,
+    ext_scaling,
+    ext_sizes,
+    ext_theory,
+    fig03_ieee_bitflip,
+    fig07_accuracy,
+    fig10_posit_vs_ieee,
+    fig11_regime_gt1,
+    fig14_regime_lt1,
+    fig16_fraction,
+    fig18_exponent,
+    fig20_signbit,
+    table1_datasets,
+    worked_examples,
+)
+
+__all__ = [
+    "ExperimentOutput",
+    "ExperimentParams",
+    "ExperimentSpec",
+    "experiment_ids",
+    "get_experiment",
+    "register_experiment",
+    "run_experiments",
+]

@@ -1,0 +1,53 @@
+"""Shared campaign execution for the experiment modules.
+
+Several figures aggregate the *same* campaign differently (Figs. 10, 11,
+14, 16, 18, 20 all consume per-field posit campaigns), so campaign
+results are memoized per (field, target, scale) within the process.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.registry import get as get_preset
+from repro.experiments.base import ExperimentParams
+from repro.inject.campaign import CampaignConfig, CampaignResult, run_campaign
+
+_CACHE: dict[tuple, CampaignResult] = {}
+
+
+def field_campaign(
+    field_key: str,
+    target_name: str,
+    params: ExperimentParams,
+    bits: tuple[int, ...] | None = None,
+) -> CampaignResult:
+    """Run (or reuse) a campaign for one dataset field and target."""
+    cache_key = (field_key, target_name, params.data_size, params.trials_per_bit, params.seed, bits)
+    if cache_key in _CACHE:
+        return _CACHE[cache_key]
+    preset = get_preset(field_key)
+    data = preset.generate(seed=params.seed, size=params.data_size)
+    config = CampaignConfig(trials_per_bit=params.trials_per_bit, bits=bits, seed=params.seed)
+    result = run_campaign(data, target_name, config, label=field_key)
+    _CACHE[cache_key] = result
+    return result
+
+
+def clear_cache() -> None:
+    """Drop memoized campaigns (tests use this for isolation)."""
+    _CACHE.clear()
+
+
+def merged_records(results: list[CampaignResult]):
+    """Concatenate the records of several campaigns (multi-field pools)."""
+    from repro.inject.results import TrialRecords
+
+    return TrialRecords.concatenate([result.records for result in results])
+
+
+def mean_rel_series(result: CampaignResult, nbits: int) -> np.ndarray:
+    """Mean (finite) relative error per bit — the Fig. 10 y-values."""
+    from repro.analysis.aggregate import aggregate_by_bit
+
+    return aggregate_by_bit(result.records, nbits).mean_rel_err

@@ -1,0 +1,135 @@
+"""Experiment harness: every paper table/figure is one registered runner.
+
+An experiment takes scale parameters (dataset size, trials per bit, seed)
+and returns an :class:`ExperimentOutput` holding figures (series data),
+tables, free-text findings, and named boolean *checks* — the qualitative
+claims the paper makes about that figure ("IEEE error spikes in the
+exponent", "no R_k spike below one", ...).  Tests and benches assert the
+checks; the CLI renders the figures/tables; EXPERIMENTS.md records both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dataclass_field
+from typing import Callable, Iterable
+
+from repro.inject.campaign import PAPER_TRIALS_PER_BIT
+from repro.reporting.series import Figure, Table
+from repro.reporting.tables import render_series_table, render_table
+
+
+@dataclass(frozen=True)
+class ExperimentParams:
+    """Scale knobs shared by every experiment.
+
+    Defaults are sized for an interactive laptop run (seconds per
+    experiment); ``paper_scale`` reproduces the paper's trial counts and
+    a larger synthetic population.
+    """
+
+    data_size: int = 1 << 17
+    trials_per_bit: int = PAPER_TRIALS_PER_BIT
+    seed: int = 2023
+
+    @classmethod
+    def quick(cls) -> "ExperimentParams":
+        """CI-speed parameters."""
+        return cls(data_size=1 << 13, trials_per_bit=40, seed=2023)
+
+    @classmethod
+    def paper_scale(cls) -> "ExperimentParams":
+        """Paper-sized trial grid over a large synthetic population."""
+        return cls(data_size=1 << 22, trials_per_bit=PAPER_TRIALS_PER_BIT, seed=2023)
+
+
+@dataclass
+class ExperimentOutput:
+    """Everything one experiment produced."""
+
+    exp_id: str
+    title: str
+    figures: list[Figure] = dataclass_field(default_factory=list)
+    tables: list[Table] = dataclass_field(default_factory=list)
+    findings: list[str] = dataclass_field(default_factory=list)
+    checks: dict[str, bool] = dataclass_field(default_factory=dict)
+
+    def check(self, name: str, passed: bool) -> None:
+        """Record a named qualitative claim check."""
+        self.checks[name] = bool(passed)
+
+    @property
+    def all_checks_pass(self) -> bool:
+        return all(self.checks.values())
+
+    def failed_checks(self) -> list[str]:
+        return [name for name, passed in self.checks.items() if not passed]
+
+    def render(self) -> str:
+        """Plain-text report of the whole experiment."""
+        blocks = [f"### {self.exp_id}: {self.title}"]
+        for table in self.tables:
+            blocks.append(render_table(table))
+        for figure in self.figures:
+            blocks.append(render_series_table(figure))
+        if self.findings:
+            blocks.append("findings:")
+            blocks.extend(f"  - {finding}" for finding in self.findings)
+        if self.checks:
+            blocks.append("checks:")
+            blocks.extend(
+                f"  [{'PASS' if passed else 'FAIL'}] {name}"
+                for name, passed in self.checks.items()
+            )
+        return "\n\n".join(blocks)
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """Registry entry for one experiment."""
+
+    exp_id: str
+    title: str
+    paper_ref: str
+    runner: Callable[[ExperimentParams], ExperimentOutput]
+
+    def run(self, params: ExperimentParams | None = None) -> ExperimentOutput:
+        return self.runner(params or ExperimentParams())
+
+
+_REGISTRY: dict[str, ExperimentSpec] = {}
+
+
+def register_experiment(exp_id: str, title: str, paper_ref: str):
+    """Decorator registering a runner under an experiment id."""
+
+    def wrap(runner: Callable[[ExperimentParams], ExperimentOutput]):
+        if exp_id in _REGISTRY:
+            raise KeyError(f"experiment {exp_id!r} already registered")
+        _REGISTRY[exp_id] = ExperimentSpec(
+            exp_id=exp_id, title=title, paper_ref=paper_ref, runner=runner
+        )
+        return runner
+
+    return wrap
+
+
+def experiment_ids() -> list[str]:
+    """All registered experiment ids (importing the package registers all)."""
+    return sorted(_REGISTRY)
+
+
+def get_experiment(exp_id: str) -> ExperimentSpec:
+    try:
+        return _REGISTRY[exp_id]
+    except KeyError:
+        known = ", ".join(experiment_ids())
+        raise KeyError(f"unknown experiment {exp_id!r}; known: {known}") from None
+
+
+def run_experiments(
+    ids: Iterable[str] | None = None,
+    params: ExperimentParams | None = None,
+) -> list[ExperimentOutput]:
+    """Run several (default: all) experiments."""
+    wanted = list(ids) if ids is not None else experiment_ids()
+    return [get_experiment(exp_id).run(params) for exp_id in wanted]

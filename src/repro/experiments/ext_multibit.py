@@ -1,0 +1,131 @@
+"""Future-work extension: multi-bit flip analysis.
+
+Section 6 asks for multi-bit flips.  Two models are run over a mid-range
+field, for posit32 and ieee32:
+
+* adjacent double flips (the dominant physical multi-bit DRAM upset):
+  sweep the starting bit, 2 adjacent bits flipped;
+* independent random double flips: uniform pairs of distinct bits.
+
+Checks: posit keeps its upper-bit advantage under double flips, and for
+both systems a double flip is at least as damaging (in worst-bit MRE) as
+the single flip of its worse constituent bit is alone.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.aggregate import aggregate_by_bit
+from repro.datasets.registry import get as get_preset
+from repro.experiments._campaigns import field_campaign
+from repro.experiments.base import ExperimentOutput, ExperimentParams, register_experiment
+from repro.inject.campaign import CampaignConfig, bit_seeds
+from repro.inject.faults import AdjacentBitFlip, RandomBitFlip
+from repro.inject.targets import target_by_name
+from repro.inject.trial import run_bit_trials
+from repro.inject.results import TrialRecords
+from repro.metrics.summary import SummaryStats
+from repro.reporting.series import Figure, Series, Table
+
+FIELD = "hurricane/uf30"
+NBITS = 32
+
+
+def _multi_campaign(data, target_name: str, params: ExperimentParams,
+                    width: int) -> TrialRecords:
+    """Adjacent ``width``-bit flip campaign: one shard per starting bit."""
+    target = target_by_name(target_name)
+    stored = target.round_trip(np.asarray(data).reshape(-1))
+    baseline = SummaryStats.from_array(stored)
+    config = CampaignConfig(trials_per_bit=params.trials_per_bit, seed=params.seed)
+    shards = []
+    for bit, seed in bit_seeds(config, target).items():
+        if bit > NBITS - width:
+            continue
+        rng = np.random.default_rng(seed)
+        indices = rng.integers(0, stored.size, size=config.trials_per_bit)
+        shards.append(
+            run_bit_trials(
+                stored, indices, bit, target, baseline,
+                rng=rng, fault=AdjacentBitFlip(bit, width),
+            )
+        )
+    return TrialRecords.concatenate(shards)
+
+
+@register_experiment(
+    "ext-multibit",
+    "Multi-bit flip campaigns (future-work extension)",
+    "Section 6 (future work)",
+)
+def run(params: ExperimentParams) -> ExperimentOutput:
+    output = ExperimentOutput(
+        exp_id="ext-multibit", title="Adjacent and random double-bit flips"
+    )
+    preset = get_preset(FIELD)
+    data = preset.generate(seed=params.seed, size=params.data_size)
+
+    figure = Figure(
+        title="Adjacent double-flip mean relative error by starting bit",
+        x_label="starting bit",
+        y_label="mean relative error",
+    )
+    curves = {}
+    for target_name in ("ieee32", "posit32"):
+        records = _multi_campaign(data, target_name, params, width=2)
+        curve = aggregate_by_bit(records, NBITS).mean_rel_err
+        curves[target_name] = curve
+        figure.add(Series(target_name, np.arange(NBITS), curve))
+    output.figures.append(figure)
+
+    upper = slice(NBITS - 10, NBITS - 1)
+    ieee_upper = np.nanmax(curves["ieee32"][upper])
+    posit_upper = np.nanmax(curves["posit32"][upper])
+    output.check(
+        "posit_upper_bit_advantage_survives_double_flips",
+        bool(posit_upper < ieee_upper / 1e6),
+    )
+
+    # Compare against the single-flip campaign (memoized from fig10 pool).
+    single_ieee = field_campaign(FIELD, "ieee32", params)
+    single_curve = aggregate_by_bit(single_ieee.records, NBITS).mean_rel_err
+    output.check(
+        "double_flip_at_least_as_damaging_as_single",
+        bool(np.nanmax(curves["ieee32"]) >= np.nanmax(single_curve) * 0.5),
+    )
+
+    # Random double flips: overall MRE table.
+    table = Table(
+        title="Independent random double flips (whole-word)",
+        columns=["target", "mean_rel_err", "median_rel_err", "catastrophic"],
+    )
+    for target_name in ("ieee32", "posit32"):
+        target = target_by_name(target_name)
+        stored = target.round_trip(np.asarray(data).reshape(-1))
+        baseline = SummaryStats.from_array(stored)
+        rng = np.random.default_rng(params.seed + 1)
+        indices = rng.integers(0, stored.size, size=min(params.trials_per_bit * 8, 2048))
+        records = run_bit_trials(
+            stored, indices, 0, target, baseline,
+            rng=rng, fault=RandomBitFlip(2),
+        )
+        rel = records.rel_err[np.isfinite(records.rel_err)]
+        table.add_row([
+            target_name,
+            float(np.mean(rel)) if rel.size else float("nan"),
+            float(np.median(rel)) if rel.size else float("nan"),
+            float(np.mean(records.non_finite)),
+        ])
+    output.tables.append(table)
+    posit_med = table.rows[1][2]
+    ieee_med = table.rows[0][2]
+    output.check(
+        "posit_median_double_flip_error_not_worse",
+        bool(posit_med <= ieee_med * 10),
+    )
+    output.findings.append(
+        f"adjacent double-flip worst upper-bit MRE: ieee {ieee_upper:.2e}, "
+        f"posit {posit_upper:.2e}"
+    )
+    return output

@@ -1,0 +1,113 @@
+"""Future-work extension: mathematical prediction of posit flip error.
+
+Section 6 asks whether error from posit bit flips can be predicted
+analytically.  :mod:`repro.analysis.predict` answers yes — closed forms
+per field (sign, exponent, fraction directly; regime via run arithmetic).
+This experiment validates the predictor against a measured campaign:
+every predicted faulty value must equal the measured one bit-for-bit, and
+the per-event error distribution table summarizes which structural events
+(expansion, inversion, sign flips ...) carry the risk.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.edgecases import FlipEvent
+from repro.analysis.predict import predict_flip
+from repro.experiments._campaigns import field_campaign
+from repro.experiments.base import ExperimentOutput, ExperimentParams, register_experiment
+from repro.ieee import BINARY32
+from repro.ieee import predict_flip as ieee_predict_flip
+from repro.ieee.bits import flip_float_bit
+from repro.posit import POSIT32, encode
+from repro.reporting.series import Table
+
+FIELD = "nyx/temperature"
+NBITS = 32
+
+
+@register_experiment(
+    "ext-predict",
+    "Analytic prediction of flip error (future-work extension)",
+    "Section 6 (future work)",
+)
+def run(params: ExperimentParams) -> ExperimentOutput:
+    output = ExperimentOutput(
+        exp_id="ext-predict", title="Closed-form flip-error prediction vs measurement"
+    )
+    result = field_campaign(FIELD, "posit32", params)
+    records = result.records
+
+    # Re-encode the measured originals and predict each trial's flip.
+    mismatches = 0
+    total = 0
+    event_errors: dict[int, list[float]] = {int(event): [] for event in FlipEvent}
+    for bit in range(NBITS):
+        subset = records.for_bit(bit)
+        if not len(subset):
+            continue
+        patterns = encode(subset.original, POSIT32)
+        prediction = predict_flip(patterns, bit, POSIT32)
+        measured = subset.faulty
+        same = (prediction.faulty == measured) | (
+            np.isnan(prediction.faulty) & np.isnan(measured)
+        )
+        mismatches += int(np.sum(~same))
+        total += len(subset)
+        for event in FlipEvent:
+            sel = prediction.event == int(event)
+            values = prediction.relative_error[sel]
+            event_errors[int(event)].extend(values[np.isfinite(values)].tolist())
+
+    output.check("posit_prediction_bit_exact", mismatches == 0)
+    output.findings.append(
+        f"{total - mismatches}/{total} posit trials predicted bit-exactly"
+    )
+
+    table = Table(
+        title="Relative error by structural flip event (predicted)",
+        columns=["event", "trials", "median_rel_err", "max_rel_err"],
+    )
+    for event in FlipEvent:
+        values = np.asarray(event_errors[int(event)])
+        table.add_row([
+            event.name,
+            int(values.size),
+            float(np.median(values)) if values.size else float("nan"),
+            float(np.max(values)) if values.size else float("nan"),
+        ])
+    output.tables.append(table)
+
+    expansions = np.asarray(event_errors[int(FlipEvent.REGIME_EXPANSION)])
+    fractions = np.asarray(event_errors[int(FlipEvent.FRACTION_CHANGE)])
+    output.check(
+        "regime_events_riskier_than_fraction_events",
+        bool(
+            expansions.size
+            and fractions.size
+            and np.median(expansions) > np.median(fractions)
+        ),
+    )
+
+    # ---- IEEE analytic model validation over the same field ---------------
+    ieee_result = field_campaign(FIELD, "ieee32", params)
+    ieee_records = ieee_result.records
+    checked = 0
+    exact = 0
+    for bit in range(NBITS):
+        subset = ieee_records.for_bit(bit)
+        if not len(subset):
+            continue
+        values32 = subset.original.astype(np.float32)
+        prediction = ieee_predict_flip(values32, bit, BINARY32)
+        actual = flip_float_bit(values32, bit, BINARY32).astype(np.float64)
+        valid = prediction.valid
+        same = np.isclose(prediction.faulty[valid], actual[valid], rtol=1e-7, atol=0.0)
+        checked += int(np.sum(valid))
+        exact += int(np.sum(same))
+    output.check("ieee_analytic_matches_where_valid", checked > 0 and exact == checked)
+    output.findings.append(
+        f"IEEE analytic model validated on {checked} normal-range trials"
+    )
+    return output

@@ -1,0 +1,101 @@
+"""Future-work extension: 8/16/64-bit posit fault-injection campaigns.
+
+The paper's Section 6 calls for "fault injection campaigns on 8, 16 and
+64 bit posits".  This experiment runs the same campaign on every standard
+posit width (and the matching IEEE widths for contrast) over a field
+whose values fit even posit8's range, and compares worst-bit mean
+relative error and catastrophic rates across widths.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.aggregate import aggregate_by_bit, catastrophic_fraction
+from repro.experiments._campaigns import field_campaign
+from repro.experiments.base import ExperimentOutput, ExperimentParams, register_experiment
+from repro.reporting.series import Table
+
+#: Values in (0, 1): representable across every width without saturation.
+FIELD = "cesm/cloud"
+PAIRS = (
+    ("posit8", None),
+    ("posit16", "ieee16"),
+    ("posit32", "ieee32"),
+    ("posit64", "ieee64"),
+)
+TARGET_BITS = {"posit8": 8, "posit16": 16, "ieee16": 16,
+               "posit32": 32, "ieee32": 32, "posit64": 64, "ieee64": 64}
+
+
+@register_experiment(
+    "ext-sizes",
+    "Campaigns on 8/16/64-bit posits (future-work extension)",
+    "Section 6 (future work)",
+)
+def run(params: ExperimentParams) -> ExperimentOutput:
+    output = ExperimentOutput(
+        exp_id="ext-sizes", title="Fault injection across posit/IEEE widths"
+    )
+    table = Table(
+        title="Worst-bit mean relative error and catastrophic rate per width",
+        columns=["target", "bits", "worst_mre", "worst_bit", "catastrophic", "sign_bit_mre"],
+    )
+    worst = {}
+    for posit_name, ieee_name in PAIRS:
+        for name in (posit_name, ieee_name):
+            if name is None:
+                continue
+            nbits = TARGET_BITS[name]
+            result = field_campaign(FIELD, name, params)
+            agg = aggregate_by_bit(result.records, nbits)
+            # Inf-aware mean: an ieee64 exponent-MSB flip scales by up to
+            # 2**1024, which overflows float64 relative error — the
+            # finite-only mean would silently drop exactly the worst
+            # trials this comparison is about.
+            curve = agg.mean_rel_err_incl_inf
+            worst_value = float(np.nanmax(curve))
+            worst_bit = int(np.nanargmax(curve))
+            worst[name] = worst_value
+            table.add_row([
+                name, nbits, worst_value, worst_bit,
+                catastrophic_fraction(result.records),
+                float(curve[nbits - 1]),
+            ])
+    output.tables.append(table)
+
+    output.check(
+        "posit32_beats_ieee32",
+        worst["posit32"] < worst["ieee32"],
+    )
+    output.check(
+        "posit64_beats_ieee64",
+        worst["posit64"] < worst["ieee64"],
+    )
+    # At 16 bits the picture inverts on sub-one-heavy data: binary16's
+    # 5-bit exponent caps any flip at x2**16, while a posit16 regime flip
+    # can rescale by far more.  The paper's resiliency claim is about
+    # 32-bit formats; this extension records that it does NOT generalize
+    # downward unconditionally.
+    output.check(
+        "ieee16_flip_damage_capped_by_exponent_width",
+        worst["ieee16"] <= 2.0**16,
+    )
+    if worst["posit16"] >= worst["ieee16"]:
+        output.findings.append(
+            "posit16 shows a LARGER worst-bit error than ieee16 on this "
+            "sub-one-heavy field: the regime's dynamic range exceeds "
+            "binary16's exponent range, so the paper's 32-bit advantage "
+            "does not automatically extend to half precision"
+        )
+    # Wider IEEE formats have wider exponents, so their worst flip grows
+    # with width; posit worst flips stay regime-bounded.
+    output.check(
+        "ieee_worst_grows_with_width",
+        worst["ieee16"] < worst["ieee32"] < worst["ieee64"],
+    )
+    output.findings.append(
+        "worst-bit MRE: "
+        + ", ".join(f"{name}={value:.2e}" for name, value in sorted(worst.items()))
+    )
+    return output

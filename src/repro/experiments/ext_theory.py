@@ -1,0 +1,109 @@
+"""Extension: exhaustive injection vs sampled campaigns.
+
+The paper samples 313 trials per bit "allowing diverse data selection
+while not being computationally prohibitive".  Because single flips are
+deterministic, the exact expectation over the *whole* population is
+computable (``repro.analysis.theory``); this experiment produces that
+variance-free ground truth and quantifies how close the paper's sampled
+design gets to it — validating the 313-trials choice.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.aggregate import aggregate_by_bit
+from repro.analysis.theory import expected_error_by_bit
+from repro.datasets.registry import get as get_preset
+from repro.experiments._campaigns import field_campaign
+from repro.experiments.base import ExperimentOutput, ExperimentParams, register_experiment
+from repro.reporting.series import Figure, Series, Table
+
+FIELD = "hurricane/pf48"
+NBITS = 32
+
+
+@register_experiment(
+    "ext-theory",
+    "Exhaustive injection vs the sampled campaign (extension)",
+    "Section 4.1 (trial-count design)",
+)
+def run(params: ExperimentParams) -> ExperimentOutput:
+    output = ExperimentOutput(
+        exp_id="ext-theory",
+        title="Exact expected error per bit vs sampled estimates",
+    )
+    preset = get_preset(FIELD)
+    data = preset.generate(seed=params.seed, size=min(params.data_size, 1 << 15))
+
+    comparisons = {}
+    figure = Figure(
+        title=f"Exact vs sampled mean relative error per bit ({FIELD})",
+        x_label="bit",
+        y_label="mean relative error",
+    )
+    for target in ("ieee32", "posit32"):
+        exact = expected_error_by_bit(data, target)
+        sampled_result = field_campaign(FIELD, target, params)
+        sampled = aggregate_by_bit(sampled_result.records, NBITS).mean_rel_err
+        figure.add(Series(f"{target} exact", exact.bits, exact.mean_rel_err))
+        figure.add(Series(f"{target} sampled", np.arange(NBITS), sampled))
+        comparisons[target] = (exact, sampled, sampled_result)
+    output.figures.append(figure)
+
+    table = Table(
+        title="Sampled-vs-exact deviation per target",
+        columns=["target", "bits compared", "median |dev|/exact", "max |dev|/exact"],
+    )
+    for target, (exact, sampled, sampled_result) in comparisons.items():
+        deviations = []
+        for b in range(NBITS):
+            truth = exact.mean_rel_err[b]
+            estimate = sampled[b]
+            if not np.isfinite(truth) or truth == 0 or not np.isfinite(estimate):
+                continue
+            deviations.append(abs(estimate - truth) / truth)
+        deviations = np.asarray(deviations)
+        table.add_row([
+            target, int(deviations.size),
+            float(np.median(deviations)), float(np.max(deviations)),
+        ])
+        # Fraction-bit sampling converges tightly: relative errors there
+        # are nearly value-independent, so even modest trial counts land
+        # close.  (Upper bits have heavy-tailed per-trial errors; their
+        # sampled means legitimately wander, which is exactly what this
+        # experiment demonstrates.)
+        low_bits = slice(0, 16)
+        low_dev = []
+        for b in range(16):
+            truth = exact.mean_rel_err[b]
+            estimate = sampled[b]
+            if np.isfinite(truth) and truth > 0 and np.isfinite(estimate):
+                low_dev.append(abs(estimate - truth) / truth)
+        output.check(
+            f"{target}_fraction_bits_converged",
+            bool(low_dev) and float(np.median(low_dev)) < 0.5,
+        )
+        # The exhaustive catastrophic fraction explains the sampled one.
+        sampled_cat = float(np.mean(sampled_result.records.non_finite))
+        exact_cat = float(np.mean(exact.catastrophic_fraction))
+        output.check(
+            f"{target}_catastrophic_rates_agree",
+            abs(sampled_cat - exact_cat) < 0.05,
+        )
+    output.tables.append(table)
+
+    # The exact curves must reproduce the Fig. 10 shape with no noise.
+    ieee_exact = comparisons["ieee32"][0].mean_rel_err
+    posit_exact = comparisons["posit32"][0].mean_rel_err
+    output.check(
+        "exact_curves_show_fig10_shape",
+        bool(np.nanmax(ieee_exact[24:]) > np.nanmax(posit_exact[24:]) * 1e6),
+    )
+    output.findings.append(
+        "exhaustive injection over the full population reproduces the "
+        "sampled campaign's structure without sampling noise; 313 trials "
+        "per bit tracks fraction-bit expectations closely while upper-bit "
+        "means remain heavy-tail-dominated"
+    )
+    return output

@@ -1,0 +1,96 @@
+"""Figure 3: relative error per flipped bit of 186.25 in 32-bit IEEE-754.
+
+The paper's warm-up figure: take a single float (186.25), flip each of
+its 32 bits in turn, and plot the relative error.  Checks: monotone
+exponential growth through the fraction, the huge exponent spikes, and
+the sign bit landing at exactly 2.  We add the analytic (Elliott-style)
+prediction as a second series and the posit32 counterpart as a third for
+contrast.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.base import ExperimentOutput, ExperimentParams, register_experiment
+from repro.ieee import BINARY32, flip_float_bit, predict_flip
+from repro.posit import POSIT32, decode as posit_decode, encode as posit_encode
+from repro.reporting.series import Figure, Series
+
+EXAMPLE_VALUE = 186.25
+
+
+def relative_errors_per_bit(value: float) -> np.ndarray:
+    """Measured relative error of flipping each bit of one float32."""
+    original = float(np.float32(value))
+    errors = np.empty(BINARY32.nbits)
+    for bit in range(BINARY32.nbits):
+        faulty = float(flip_float_bit(np.float32(value), bit, BINARY32))
+        errors[bit] = abs(original - faulty) / abs(original)
+    return errors
+
+
+def posit_relative_errors_per_bit(value: float) -> np.ndarray:
+    """Posit32 counterpart: flip each bit of the posit encoding."""
+    pattern = np.uint32(posit_encode(np.float64(value), POSIT32))
+    original = float(posit_decode(pattern, POSIT32))
+    errors = np.empty(POSIT32.nbits)
+    for bit in range(POSIT32.nbits):
+        faulty = float(posit_decode(pattern ^ np.uint32(1 << bit), POSIT32))
+        errors[bit] = abs(original - faulty) / abs(original)
+    return errors
+
+
+@register_experiment(
+    "fig03",
+    "Relative error with bit-flips in the representation of 186.25",
+    "Figure 3",
+)
+def run(params: ExperimentParams) -> ExperimentOutput:
+    output = ExperimentOutput(
+        exp_id="fig03",
+        title=f"Per-bit relative error for {EXAMPLE_VALUE} (32-bit IEEE-754)",
+    )
+    bits = np.arange(BINARY32.nbits)
+    measured = relative_errors_per_bit(EXAMPLE_VALUE)
+
+    analytic = np.empty(BINARY32.nbits)
+    for bit in range(BINARY32.nbits):
+        pred = predict_flip(np.asarray([np.float32(EXAMPLE_VALUE)]), bit, BINARY32)
+        analytic[bit] = pred.relative_error[0] if pred.valid[0] else np.nan
+
+    posit_errors = posit_relative_errors_per_bit(EXAMPLE_VALUE)
+
+    figure = Figure(
+        title="Fig. 3: relative error per flipped bit (186.25)",
+        x_label="bit position",
+        y_label="relative error",
+    )
+    figure.add(Series("ieee32 measured", bits, measured))
+    figure.add(Series("ieee32 analytic", bits, analytic))
+    figure.add(Series("posit32 measured", bits, posit_errors))
+    output.figures.append(figure)
+
+    # -- checks: the shape the paper's Fig. 3 shows ------------------------
+    fraction = measured[: BINARY32.fraction_bits]
+    ratios = fraction[1:] / fraction[:-1]
+    output.check("fraction_error_doubles_per_bit", bool(np.allclose(ratios, 2.0, rtol=1e-6)))
+    output.check("sign_bit_relative_error_is_2", bool(np.isclose(measured[31], 2.0)))
+    # 186.25's exponent is 10000110; its largest *clear* bit is 2**6, so
+    # the worst flip multiplies by 2**64 (~1.8e19).
+    exponent = measured[BINARY32.fraction_bits : BINARY32.nbits - 1]
+    output.check("exponent_spike_dominates", bool(np.max(exponent) > 1e15))
+    valid = np.isfinite(analytic)
+    output.check(
+        "analytic_matches_measured",
+        bool(np.allclose(analytic[valid], measured[valid], rtol=1e-12)),
+    )
+    output.check(
+        "posit_worst_bit_far_below_ieee_worst",
+        bool(np.nanmax(posit_errors) < np.max(measured) / 1e10),
+    )
+    output.findings.append(
+        f"worst IEEE bit error {np.max(measured):.3e} vs worst posit bit "
+        f"error {np.nanmax(posit_errors):.3e}"
+    )
+    return output

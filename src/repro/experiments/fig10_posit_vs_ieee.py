@@ -1,0 +1,180 @@
+"""Figure 10: posit vs IEEE-754 mean relative error per bit position.
+
+The headline comparison.  For a Nyx field and a CESM field (the figure's
+two panels), run the paper's campaign against both ieee32 and posit32 and
+compare the per-bit mean relative error curves.
+
+Checks encode the claims of Section 5.3:
+
+* IEEE shows a sharp, consistent exponential spike toward the MSBs;
+* posit upper-bit error is orders of magnitude lower but erratic;
+* the fraction slopes are similar in both systems.
+
+``full_survey`` extends the comparison to all sixteen fields (the basis
+of the paper's "increased resilience in most cases" conclusion).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.aggregate import aggregate_by_bit
+from repro.analysis.distribution import erraticness
+from repro.datasets.registry import keys
+from repro.experiments._campaigns import field_campaign
+from repro.experiments.base import ExperimentOutput, ExperimentParams, register_experiment
+from repro.reporting.series import Figure, Series, Table
+
+PANEL_FIELDS = ("nyx/velocity-x", "cesm/cloud")
+NBITS = 32
+
+
+def _panel(field_key: str, params: ExperimentParams) -> tuple[Figure, dict[str, np.ndarray]]:
+    curves = {}
+    figure = Figure(
+        title=f"Fig. 10 panel: mean relative error per bit ({field_key})",
+        x_label="bit position",
+        y_label="mean relative error",
+    )
+    bits = np.arange(NBITS)
+    for target in ("ieee32", "posit32"):
+        result = field_campaign(field_key, target, params)
+        curve = aggregate_by_bit(result.records, NBITS).mean_rel_err
+        curves[target] = curve
+        figure.add(Series(target, bits, curve))
+    return figure, curves
+
+
+def _upper_bits(curve: np.ndarray, count: int = 8) -> np.ndarray:
+    upper = curve[NBITS - count :]
+    return upper[np.isfinite(upper)]
+
+
+@register_experiment(
+    "fig10",
+    "Posit vs IEEE-754 mean relative error per bit (Nyx and CESM)",
+    "Figure 10",
+)
+def run(params: ExperimentParams) -> ExperimentOutput:
+    output = ExperimentOutput(
+        exp_id="fig10", title="Posit vs IEEE-754 mean relative error per bit position"
+    )
+    for field_key in PANEL_FIELDS:
+        figure, curves = _panel(field_key, params)
+        output.figures.append(figure)
+        ieee = curves["ieee32"]
+        posit = curves["posit32"]
+
+        short = field_key.split("/")[0]
+        # IEEE spikes exponentially toward the exponent MSBs.
+        output.check(
+            f"{short}_ieee_exponent_spike",
+            bool(np.nanmax(_upper_bits(ieee)) > 1e15),
+        )
+        # Posit worst-case upper-bit error is many orders below IEEE's.
+        output.check(
+            f"{short}_posit_upper_bits_orders_lower",
+            bool(np.nanmax(_upper_bits(posit)) < np.nanmax(_upper_bits(ieee)) / 1e6),
+        )
+        # Fraction slope similarity: log-linear growth rate per bit in the
+        # low 16 bits should match within a factor of two.
+        def slope(curve: np.ndarray) -> float:
+            low = curve[:16]
+            mask = np.isfinite(low) & (low > 0)
+            if np.sum(mask) < 4:
+                return float("nan")
+            return float(np.polyfit(np.arange(16)[mask], np.log2(low[mask]), 1)[0])
+
+        ieee_slope = slope(ieee)
+        posit_slope = slope(posit)
+        output.check(
+            f"{short}_fraction_slopes_similar",
+            bool(
+                np.isfinite(ieee_slope)
+                and np.isfinite(posit_slope)
+                and 0.5 <= posit_slope / ieee_slope <= 2.0
+            ),
+        )
+        # "More distributed and erratic" is reported, not checked: the
+        # IEEE curve is only monotone through the exponent when the data's
+        # exponent MSB is mostly clear (multiply side); fields whose
+        # magnitudes set it (e.g. Nyx velocities) legitimately show a
+        # drop at bit 30, so the comparison is data-dependent.
+        ieee_records = field_campaign(field_key, "ieee32", params).records
+        posit_records = field_campaign(field_key, "posit32", params).records
+        ieee_erratic = erraticness(ieee_records, NBITS)
+        posit_erratic = erraticness(posit_records, NBITS)
+        output.findings.append(
+            f"{field_key}: IEEE worst upper-bit MRE {np.nanmax(_upper_bits(ieee)):.2e}, "
+            f"posit {np.nanmax(_upper_bits(posit)):.2e}; fraction slopes "
+            f"{ieee_slope:.2f} vs {posit_slope:.2f} bits/bit; erraticness "
+            f"{ieee_erratic:.2f} vs {posit_erratic:.2f} decades"
+        )
+    return output
+
+
+@register_experiment(
+    "survey",
+    "Posit vs IEEE resiliency across all sixteen fields",
+    "Section 5.3",
+)
+def full_survey(params: ExperimentParams) -> ExperimentOutput:
+    """All-field comparison behind "increased resilience in most cases"."""
+    output = ExperimentOutput(
+        exp_id="survey", title="Posit vs IEEE-754 resiliency survey (all fields)"
+    )
+    table = Table(
+        title="Per-field worst mean-relative-error and catastrophic rates",
+        columns=[
+            "field",
+            "ieee_worst_mre", "posit_worst_mre",
+            "ieee_catastrophic", "posit_catastrophic",
+            "posit_wins",
+        ],
+    )
+    wins = 0
+    total = 0
+    cat_anomalies_explained = []
+    for field_key in keys():
+        ieee_result = field_campaign(field_key, "ieee32", params)
+        posit_result = field_campaign(field_key, "posit32", params)
+        ieee_curve = aggregate_by_bit(ieee_result.records, NBITS).mean_rel_err
+        posit_curve = aggregate_by_bit(posit_result.records, NBITS).mean_rel_err
+        ieee_worst = float(np.nanmax(ieee_curve))
+        posit_worst = float(np.nanmax(posit_curve))
+        ieee_cat = float(np.mean(ieee_result.records.non_finite))
+        posit_cat = float(np.mean(posit_result.records.non_finite))
+        if posit_cat > ieee_cat + 1e-12:
+            # The one way a single flip makes a posit NaR is flipping the
+            # sign bit of an exact zero — so posit catastrophic rates
+            # exceed IEEE's only on zero-heavy fields.  Verify that
+            # explanation holds for every anomaly.
+            zero_fraction = float(
+                np.mean(posit_result.records.original == 0.0)
+            )
+            cat_anomalies_explained.append(zero_fraction > 0.05)
+        posit_wins = posit_worst < ieee_worst
+        wins += int(posit_wins)
+        total += 1
+        table.add_row([
+            field_key, ieee_worst, posit_worst, ieee_cat, posit_cat,
+            "yes" if posit_wins else "no",
+        ])
+    output.tables.append(table)
+    output.check("posit_more_resilient_in_most_cases", wins > total / 2)
+    output.check(
+        "posit_catastrophic_excess_only_on_zero_heavy_fields",
+        all(cat_anomalies_explained),
+    )
+    if cat_anomalies_explained:
+        output.findings.append(
+            f"{len(cat_anomalies_explained)} field(s) show higher posit "
+            "catastrophic rates, all zero-heavy: flipping the sign bit of "
+            "an exact zero yields NaR (a posit-specific hazard the paper "
+            "does not discuss)"
+        )
+    output.findings.append(
+        f"posit32 beats ieee32 on worst-bit mean relative error in "
+        f"{wins}/{total} fields"
+    )
+    return output

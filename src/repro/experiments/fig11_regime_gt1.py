@@ -1,0 +1,83 @@
+"""Figure 11: error per bit in posits with magnitude greater than one.
+
+Section 5.4.1: restricting to |p| > 1 and grouping trials by regime size
+k isolates the regime trends — a spike at the terminating bit R_k
+(flipping it expands the regime into former exponent/fraction bits) and
+a consistent, non-exploding error across the body bits R_0..R_{k-1}.
+
+Data: a magnitude-rich pool (Nyx temperature + HACC + Hurricane pressure)
+so every regime size 1..6 is populated.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.stratify import (
+    group_by_regime_size,
+    magnitude_split,
+    rk_spike_ratio,
+    terminating_bit_position,
+)
+from repro.experiments._campaigns import field_campaign, merged_records
+from repro.experiments.base import ExperimentOutput, ExperimentParams, register_experiment
+from repro.reporting.series import Figure, Series
+
+POOL_FIELDS = ("nyx/temperature", "hacc/vx", "hurricane/pf48")
+NBITS = 32
+MAX_K = 6
+
+
+@register_experiment(
+    "fig11",
+    "Average relative error in posits with magnitude > 1, by regime size",
+    "Figure 11",
+)
+def run(params: ExperimentParams) -> ExperimentOutput:
+    output = ExperimentOutput(
+        exp_id="fig11",
+        title="Per-bit relative error of |p| > 1 posits, stratified by regime size",
+    )
+    results = [field_campaign(key, "posit32", params) for key in POOL_FIELDS]
+    records = merged_records(results)
+    greater, _ = magnitude_split(records)
+    groups = group_by_regime_size(greater, NBITS, max_k=MAX_K, min_trials=64)
+
+    figure = Figure(
+        title="Fig. 11: mean relative error per bit, |p| > 1",
+        x_label="bit position",
+        y_label="mean relative error",
+    )
+    bits = np.arange(NBITS)
+    spike_checks = []
+    body_flat_checks = []
+    for group in groups:
+        curve = group.aggregate.mean_rel_err
+        figure.add(Series(f"k={group.k}", bits, curve))
+        if group.k < 2:
+            # k = 1 has no body bits before R_k; only the spike applies.
+            ratio = rk_spike_ratio(group, NBITS)
+            continue
+        ratio = rk_spike_ratio(group, NBITS)
+        if np.isfinite(ratio):
+            spike_checks.append(ratio > 3.0)
+        # Body-bit consistency: max/min of body-bit errors within ~30x of
+        # each other (the paper: "consistent error across regime bits").
+        body_bits = [NBITS - 2 - j for j in range(group.k)]
+        body = curve[body_bits]
+        body = body[np.isfinite(body) & (body > 0)]
+        if body.size >= 2:
+            body_flat_checks.append(float(np.max(body) / np.min(body)) < 30.0)
+        rk = terminating_bit_position(group.k, NBITS)
+        output.findings.append(
+            f"k={group.k}: R_k at bit {rk}, spike ratio {ratio:.1f}x over "
+            f"body bits ({group.trial_count} trials)"
+        )
+    output.figures.append(figure)
+    output.check("groups_cover_multiple_regime_sizes", len(groups) >= 3)
+    output.check("rk_spike_present_in_every_group", bool(spike_checks) and all(spike_checks))
+    output.check(
+        "body_bit_error_consistent_within_group",
+        bool(body_flat_checks) and all(body_flat_checks),
+    )
+    return output

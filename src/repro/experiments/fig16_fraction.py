@@ -1,0 +1,87 @@
+"""Figure 16: relative error of fraction-bit flips.
+
+Section 5.5: with the regime size fixed at k = 1 (the most plentiful
+group, keeping the fraction width constant at 27 bits), the per-bit
+relative error of fraction flips doubles per bit toward the MSB — a
+straight line on the paper's log-scale plot — and the trend does not
+depend on regime size (regime sizes 1-6 show the same slope).
+
+Data: HACC and Hurricane fields, as the paper uses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.stratify import group_by_regime_size
+from repro.experiments._campaigns import field_campaign, merged_records
+from repro.experiments.base import ExperimentOutput, ExperimentParams, register_experiment
+from repro.posit import POSIT32, PositField
+from repro.reporting.series import Figure, Series
+
+POOL_FIELDS = ("hacc/vx", "hacc/vy", "hurricane/uf30", "hurricane/vf30")
+NBITS = 32
+
+
+def fraction_bit_range(k: int) -> tuple[int, int]:
+    """Bit positions [low, high] of the fraction for regime size k.
+
+    Layout: sign 31, regime k+1 bits (body + terminator), exponent 2,
+    fraction occupies bits 0 .. 32-1-(k+1)-2-1.
+    """
+    high = NBITS - 1 - (k + 1) - 2 - 1
+    return 0, high
+
+
+def _log2_slope(bits: np.ndarray, values: np.ndarray) -> float:
+    mask = np.isfinite(values) & (values > 0)
+    if np.sum(mask) < 4:
+        return float("nan")
+    return float(np.polyfit(bits[mask], np.log2(values[mask]), 1)[0])
+
+
+@register_experiment(
+    "fig16",
+    "Relative error of fraction-bit flips (k = 1 posits, HACC + Hurricane)",
+    "Figure 16",
+)
+def run(params: ExperimentParams) -> ExperimentOutput:
+    output = ExperimentOutput(
+        exp_id="fig16", title="Fraction-bit relative error (log-scale doubling trend)"
+    )
+    results = [field_campaign(key, "posit32", params) for key in POOL_FIELDS]
+    records = merged_records(results)
+    fraction_trials = records.for_field(int(PositField.FRACTION))
+    groups = group_by_regime_size(fraction_trials, NBITS, max_k=6, min_trials=64)
+
+    figure = Figure(
+        title="Fig. 16: mean relative error per fraction bit",
+        x_label="bit position",
+        y_label="mean relative error",
+    )
+    slopes = {}
+    for group in groups:
+        low, high = fraction_bit_range(group.k)
+        bits = np.arange(low, high + 1)
+        curve = group.aggregate.mean_rel_err[low : high + 1]
+        figure.add(Series(f"k={group.k}", bits, curve))
+        slopes[group.k] = _log2_slope(bits, curve)
+    output.figures.append(figure)
+
+    k1_slope = slopes.get(1, float("nan"))
+    output.check("k1_group_present", 1 in slopes)
+    # Doubling per bit => slope of log2(error) vs bit ~= 1.
+    output.check(
+        "error_doubles_per_fraction_bit",
+        bool(np.isfinite(k1_slope) and 0.8 <= k1_slope <= 1.2),
+    )
+    other = [s for k, s in slopes.items() if k != 1 and np.isfinite(s)]
+    output.check(
+        "slope_independent_of_regime_size",
+        bool(other) and all(0.7 <= s <= 1.3 for s in other),
+    )
+    output.findings.append(
+        "log2 slope per fraction bit: "
+        + ", ".join(f"k={k}: {s:.2f}" for k, s in sorted(slopes.items()))
+    )
+    return output

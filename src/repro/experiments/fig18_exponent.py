@@ -1,0 +1,101 @@
+"""Figures 17-18: posit exponent bits cause no error spike.
+
+Section 5.6: the posit exponent is a static two bits between regime and
+fraction; flipping one multiplies/divides the value by at most 4, so the
+smooth doubling trend of the fraction continues straight through the
+exponent — unlike IEEE, where the exponent field is a cliff.
+
+The experiment pins regime size k = 1 (exponent at bits 28-27, fraction
+at 26..0), fits the fraction trend, extrapolates it over the exponent
+bits, and checks the measured exponent error stays on-trend.  The
+uppermost-bit contrast of Fig. 17 (IEEE x2**128 vs posit x4) is emitted
+as a table.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.predict import max_exponent_flip_error
+from repro.analysis.stratify import group_by_regime_size
+from repro.experiments._campaigns import field_campaign, merged_records
+from repro.experiments.base import ExperimentOutput, ExperimentParams, register_experiment
+from repro.ieee import BINARY32, flip_float_bit
+from repro.posit import POSIT32, PositField
+from repro.reporting.series import Figure, Series, Table
+
+POOL_FIELDS = ("hacc/vx", "hacc/vy", "hurricane/uf30", "hurricane/vf30")
+NBITS = 32
+K = 1
+EXP_BITS = (27, 28)   # for k = 1: sign 31, regime 30-29, exponent 28-27
+FRACTION_TOP = 26
+
+
+@register_experiment(
+    "fig18",
+    "Relative error in the posit exponent vs fraction trend",
+    "Figures 17-18",
+)
+def run(params: ExperimentParams) -> ExperimentOutput:
+    output = ExperimentOutput(
+        exp_id="fig18", title="Posit exponent bits continue the fraction trend"
+    )
+    results = [field_campaign(key, "posit32", params) for key in POOL_FIELDS]
+    records = merged_records(results)
+    k_groups = group_by_regime_size(records, NBITS, max_k=K, min_trials=64)
+    k1 = next((group for group in k_groups if group.k == K), None)
+
+    figure = Figure(
+        title="Fig. 18: relative error, fraction through exponent (k = 1)",
+        x_label="bit position",
+        y_label="mean relative error",
+    )
+    trend_ok = False
+    no_spike_ok = False
+    if k1 is not None:
+        curve = k1.aggregate.mean_rel_err
+        bits = np.arange(0, EXP_BITS[-1] + 1)
+        figure.add(Series("posit32 k=1", bits, curve[: EXP_BITS[-1] + 1]))
+
+        # Fit the upper-fraction trend and extrapolate over the exponent.
+        fit_bits = np.arange(FRACTION_TOP - 11, FRACTION_TOP + 1)
+        fit_vals = curve[fit_bits]
+        mask = np.isfinite(fit_vals) & (fit_vals > 0)
+        slope, intercept = np.polyfit(fit_bits[mask], np.log2(fit_vals[mask]), 1)
+        predicted = 2.0 ** (slope * np.array(EXP_BITS) + intercept)
+        measured = curve[list(EXP_BITS)]
+        ratio = measured / predicted
+        trend_ok = bool(np.all(np.isfinite(ratio)) and np.all((ratio > 0.2) & (ratio < 5.0)))
+        # No spike: exponent error within the trend, far below a cliff.
+        no_spike_ok = bool(np.all(measured < 16.0))
+        figure.add(Series("fraction trend extrapolated", np.array(EXP_BITS), predicted))
+        output.findings.append(
+            f"measured exponent-bit error {measured.tolist()} vs trend "
+            f"{predicted.tolist()} (ratio {ratio.tolist()})"
+        )
+    output.figures.append(figure)
+    output.check("k1_group_present", k1 is not None)
+    output.check("exponent_error_on_fraction_trend", trend_ok)
+    output.check("no_exponent_spike", no_spike_ok)
+
+    # ---- Fig. 17: uppermost exponent-bit flip contrast --------------------
+    # 186.25 has biased exponent 134, so its MSB exponent bit is set and
+    # the flip divides by 2**128 (flipping a clear MSB would overflow to
+    # infinity instead — an even harsher outcome).
+    value = np.float32(186.25)
+    ieee_faulty = float(flip_float_bit(value, BINARY32.fraction_bits + BINARY32.exponent_bits - 1, BINARY32))
+    ieee_factor = abs(ieee_faulty / float(value))
+    posit_bound = max_exponent_flip_error(POSIT32) + 1.0
+    table = Table(
+        title="Fig. 17: uppermost exponent-bit flip magnitude shift",
+        columns=["system", "magnitude factor"],
+    )
+    table.add_row(["ieee32 (bit 30, 2**-128)", ieee_factor])
+    table.add_row(["posit32 (exponent MSB, at most 2**2)", posit_bound])
+    output.tables.append(table)
+    output.check(
+        "ieee_uppermost_exponent_flip_shifts_by_2_to_128",
+        bool(np.isclose(abs(np.log2(ieee_factor)), 128.0)),
+    )
+    output.check("posit_exponent_flip_at_most_factor_4", posit_bound == 4.0)
+    return output

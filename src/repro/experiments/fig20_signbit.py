@@ -1,0 +1,91 @@
+"""Figures 19-21: sign-bit flips in posits.
+
+Section 5.7: an IEEE sign flip only negates (absolute error exactly
+2|orig|).  A posit sign flip, without the two's complement true negation
+requires, also rewires the magnitude because s sits inside the scale of
+Eq. 2 — and the damage grows exponentially with regime size (Fig. 20's
+box plots).  Posits near 1 (small regimes) are barely affected.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.predict import sign_flip_value
+from repro.analysis.signbit import (
+    ieee_sign_flip_identity,
+    median_growth_factor,
+    sign_flip_boxes,
+)
+from repro.experiments._campaigns import field_campaign, merged_records
+from repro.experiments.base import ExperimentOutput, ExperimentParams, register_experiment
+from repro.posit import POSIT32, encode, negate, decode
+from repro.reporting.series import Table
+
+POOL_FIELDS = ("nyx/temperature", "hacc/vx", "cesm/cloud", "hurricane/pf48")
+NBITS = 32
+MAX_K = 7
+
+
+@register_experiment(
+    "fig20",
+    "Sign-bit flip absolute error vs regime size (box statistics)",
+    "Figures 19-21",
+)
+def run(params: ExperimentParams) -> ExperimentOutput:
+    output = ExperimentOutput(
+        exp_id="fig20", title="Posit sign-bit flips: error grows with regime size"
+    )
+    results = [field_campaign(key, "posit32", params) for key in POOL_FIELDS]
+    records = merged_records(results)
+
+    boxes = sign_flip_boxes(records, NBITS, metric="abs_err", max_k=MAX_K)
+    table = Table(
+        title="Fig. 20: sign-flip absolute error by regime size",
+        columns=["regime k", "trials", "min", "q1", "median", "q3", "max"],
+    )
+    for box in boxes:
+        table.add_row([box.group, box.count, box.minimum, box.q1, box.median, box.q3, box.maximum])
+    output.tables.append(table)
+
+    growth = median_growth_factor(boxes)
+    output.check("boxes_cover_multiple_regime_sizes", len([b for b in boxes if b.count]) >= 3)
+    output.check("sign_error_grows_exponentially_with_regime", bool(growth > 4.0))
+    output.findings.append(
+        f"median sign-flip absolute error grows ~{growth:.1f}x per regime bit"
+    )
+
+    # ---- IEEE contrast: err == 2|orig| exactly ---------------------------
+    ieee_results = [field_campaign(key, "ieee32", params) for key in POOL_FIELDS]
+    ieee_records = merged_records(ieee_results)
+    deviation = ieee_sign_flip_identity(ieee_records, NBITS)
+    output.check("ieee_sign_flip_error_exactly_2x", bool(deviation == 0.0))
+
+    # ---- Fig. 19: negation requires two's complement ----------------------
+    sample = encode(np.array([3.25, -41.0, 0.004, 186250.0]), POSIT32)
+    negated = decode(negate(sample, POSIT32), POSIT32)
+    original = decode(sample, POSIT32)
+    output.check(
+        "twos_complement_negates_exactly",
+        bool(np.array_equal(negated, -np.asarray(original))),
+    )
+    sign_flipped = sign_flip_value(sample, POSIT32)
+    output.check(
+        "sign_flip_is_not_negation",
+        bool(np.all(np.asarray(sign_flipped) != -np.asarray(original))),
+    )
+
+    # ---- near-one posits barely affected (Section 5.7 close) -------------
+    near_one = encode(np.random.default_rng(params.seed).uniform(1.0, 2.0, 512), POSIT32)
+    flipped = sign_flip_value(near_one, POSIT32)
+    near_rel = np.abs(np.asarray(decode(near_one, POSIT32)) - flipped) / np.abs(
+        np.asarray(decode(near_one, POSIT32))
+    )
+    k1_box = next((b for b in boxes if b.group == 1), None)
+    big_boxes = [b for b in boxes if b.group >= 4 and b.count]
+    output.check(
+        "near_one_sign_flip_error_small",
+        bool(np.median(near_rel) < 16.0)
+        and (not big_boxes or (k1_box is None or k1_box.median < min(b.median for b in big_boxes))),
+    )
+    return output

@@ -1,0 +1,163 @@
+"""Worked numeric examples: Figures 6, 9, 12, 13, 15, 19, 21.
+
+The paper explains each posit effect with a single concrete number; this
+experiment reproduces every one of those micro-demonstrations and checks
+the arithmetic it illustrates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.edgecases import FlipEvent, classify_flip, expansion_growth
+from repro.analysis.predict import sign_flip_value
+from repro.experiments.base import ExperimentOutput, ExperimentParams, register_experiment
+from repro.ieee import BINARY32, flip_float_bit, float_to_bits
+from repro.ieee.fields import layout_string as ieee_layout
+from repro.posit import POSIT32, decode, decompose, encode, layout_string, negate
+from repro.reporting.series import Table
+
+
+def _posit_bits(value: float) -> np.uint32:
+    return np.uint32(encode(np.float64(value), POSIT32))
+
+
+def _decode_one(pattern) -> float:
+    return float(decode(np.uint64(pattern), POSIT32))
+
+
+@register_experiment(
+    "worked",
+    "Worked numeric examples (Figs. 6, 9, 12, 13, 15, 19, 21)",
+    "Figures 6, 9, 12, 13, 15, 19, 21",
+)
+def run(params: ExperimentParams) -> ExperimentOutput:
+    output = ExperimentOutput(exp_id="worked", title="Worked numeric examples")
+    table = Table(
+        title="Worked examples",
+        columns=["figure", "description", "before", "after", "quantity"],
+    )
+
+    # ---- Fig. 6: field sizes vary with magnitude --------------------------
+    small = _posit_bits(1.141)
+    large = _posit_bits(186250.0)
+    small_fields = decompose(np.array([small], dtype=np.uint64), POSIT32)
+    large_fields = decompose(np.array([large], dtype=np.uint64), POSIT32)
+    table.add_row([
+        "6", "1.141 layout", layout_string(int(small), POSIT32), "",
+        f"{int(small_fields.fraction_bits[0])} fraction bits",
+    ])
+    table.add_row([
+        "6", "186250 layout", layout_string(int(large), POSIT32), "",
+        f"{int(large_fields.fraction_bits[0])} fraction bits",
+    ])
+    output.check(
+        "fig6_larger_magnitude_longer_regime",
+        int(large_fields.regime_len[0]) > int(small_fields.regime_len[0]),
+    )
+    output.check(
+        "fig6_larger_magnitude_fewer_fraction_bits",
+        int(large_fields.fraction_bits[0]) < int(small_fields.fraction_bits[0]),
+    )
+    output.check("fig6_roundtrip_exact", _decode_one(large) == 186250.0)
+
+    # ---- Fig. 9: the XOR injection itself ---------------------------------
+    value = np.float32(186.25)
+    bits_before = int(float_to_bits(value, BINARY32))
+    faulty = float(flip_float_bit(value, 20, BINARY32))
+    bits_after = int(float_to_bits(np.float32(faulty), BINARY32))
+    table.add_row([
+        "9", "XOR bit 20 of 186.25",
+        ieee_layout(bits_before, BINARY32), ieee_layout(bits_after, BINARY32),
+        f"faulty={faulty}",
+    ])
+    output.check("fig9_xor_flips_exactly_one_bit", bits_before ^ bits_after == 1 << 20)
+
+    # ---- Fig. 12: regime expansion at R_k ---------------------------------
+    # A |p| > 1 posit whose exponent/fraction MSBs continue the run once
+    # R_k flips: regime 110, e = 11, fraction 111... -> flip of R_k (the 0)
+    # absorbs many bits.  Value: r = 1, e = 3, f ~ 0.96: ~= 250.
+    pattern = _posit_bits(250.0)
+    event = classify_flip(np.array([pattern], dtype=np.uint64), 28, POSIT32)[0]
+    growth = int(expansion_growth(np.array([pattern], dtype=np.uint64), 28, POSIT32)[0])
+    before_value = _decode_one(pattern)
+    after_value = _decode_one(int(pattern) ^ (1 << 28))
+    table.add_row([
+        "12", "flip R_k of ~250",
+        layout_string(int(pattern), POSIT32),
+        layout_string(int(pattern) ^ (1 << 28), POSIT32),
+        f"x{after_value / before_value:.3g} (regime +{growth} bits)",
+    ])
+    output.check("fig12_rk_flip_expands_regime", event == FlipEvent.REGIME_EXPANSION and growth >= 2)
+    output.check(
+        "fig12_magnitude_scales_by_useed_per_absorbed_bit",
+        after_value / before_value >= 2.0 ** (4 * (growth - 1)),
+    )
+
+    # ---- Fig. 13: R_0 vs R_{k-1} flips cause similar absolute error -------
+    big = _posit_bits(2.0**18)  # r = 4, regime 111110 (k = 5)
+    original = _decode_one(big)
+    r0_flip = _decode_one(int(big) ^ (1 << 30))      # R_0
+    rkm1_flip = _decode_one(int(big) ^ (1 << 26))    # R_{k-1}
+    err_r0 = abs(original - r0_flip)
+    err_rkm1 = abs(original - rkm1_flip)
+    table.add_row([
+        "13", "R_0 vs R_{k-1} flip of 2^18",
+        f"|err R_0| = {err_r0:.4g}", f"|err R_k-1| = {err_rkm1:.4g}",
+        f"ratio {err_r0 / err_rkm1:.3f}",
+    ])
+    output.check(
+        "fig13_body_flips_similar_absolute_error",
+        0.5 <= err_r0 / err_rkm1 <= 2.0,
+    )
+    output.check(
+        "fig13_body_flips_shrink_magnitude",
+        abs(r0_flip) < original and abs(rkm1_flip) < original,
+    )
+
+    # ---- Fig. 15: regime expands AND inverts (k = 1, |p| < 1) -------------
+    sub = _posit_bits(0.1)  # r = -1: regime 01, k = 1
+    event = classify_flip(np.array([sub], dtype=np.uint64), 30, POSIT32)[0]
+    before_value = _decode_one(sub)
+    after_value = _decode_one(int(sub) ^ (1 << 30))
+    table.add_row([
+        "15", "flip sole regime bit of 0.1",
+        layout_string(int(sub), POSIT32),
+        layout_string(int(sub) ^ (1 << 30), POSIT32),
+        f"{before_value:.4g} -> {after_value:.4g}",
+    ])
+    output.check("fig15_flip_inverts_regime", event == FlipEvent.REGIME_INVERSION)
+    output.check(
+        "fig15_magnitude_jumps_across_one",
+        abs(before_value) < 1.0 < abs(after_value),
+    )
+
+    # ---- Fig. 19: negation requires the two's complement -------------------
+    sample = _posit_bits(13.5)
+    negated_pattern = int(negate(np.uint64(sample), POSIT32))
+    table.add_row([
+        "19", "negate 13.5",
+        layout_string(int(sample), POSIT32),
+        layout_string(negated_pattern, POSIT32),
+        f"value {_decode_one(negated_pattern)}",
+    ])
+    output.check("fig19_twos_complement_negates", _decode_one(negated_pattern) == -13.5)
+    sign_only = int(sample) ^ (1 << 31)
+    output.check("fig19_sign_flip_alone_does_not_negate", _decode_one(sign_only) != -13.5)
+
+    # ---- Fig. 21: sign flip rewires the magnitude (Eq. 2 closed form) ----
+    predicted = float(sign_flip_value(np.array([sample], dtype=np.uint64), POSIT32)[0])
+    actual = _decode_one(sign_only)
+    table.add_row([
+        "21", "sign flip of 13.5 (Eq. 2 closed form)",
+        f"{_decode_one(sample)}", f"{actual}",
+        f"predicted {predicted}",
+    ])
+    output.check("fig21_eq2_closed_form_matches", predicted == actual)
+    output.check(
+        "fig21_sign_flip_changes_magnitude",
+        abs(abs(actual) - 13.5) > 1.0,
+    )
+
+    output.tables.append(table)
+    return output

@@ -1,0 +1,117 @@
+"""Analytic (closed-form) error model for IEEE-754 bit flips.
+
+Implements the formulas of Elliott et al. (2013), which the paper's
+Section 2 builds on: the deviation a single bit flip causes in a float can
+be written down from the bit position alone.
+
+* sign bit: faulty = -orig, absolute error 2|orig|, relative error 2.
+* exponent bit j (0-based within the exponent field): the biased exponent
+  changes by +/- 2**j, so faulty = orig * 2**(+/-2**j) — multiplied when
+  the bit was 0, divided when it was 1.
+* fraction bit j: faulty = orig +/- 2**(e_unbiased - F + j) (sign of the
+  perturbation follows the value's sign and the bit's prior state), so
+  the relative error is at most 2**(j - F).
+
+The closed forms hold while both original and faulty values stay normal;
+flips that cross into the subnormal / infinity / NaN encodings are
+flagged in the returned validity mask (and the exact flip result can
+always be obtained from :func:`repro.ieee.bits.flip_float_bit`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ieee.bits import extract_exponent, extract_fraction, extract_sign, float_to_bits
+from repro.ieee.fields import IEEEField, field_of_bit
+from repro.ieee.formats import IEEEFormat
+
+
+@dataclass(frozen=True)
+class AnalyticPrediction:
+    """Closed-form prediction for one bit position over an array.
+
+    Attributes
+    ----------
+    faulty:
+        Predicted faulty values (float64).
+    absolute_error:
+        |orig - faulty| predicted analytically.
+    relative_error:
+        absolute_error / |orig| (inf where orig == 0).
+    valid:
+        True where the closed form applies (original and faulty values
+        both normal and finite).
+    """
+
+    faulty: np.ndarray
+    absolute_error: np.ndarray
+    relative_error: np.ndarray
+    valid: np.ndarray
+
+
+def predict_flip(values, bit_index: int, fmt: IEEEFormat) -> AnalyticPrediction:
+    """Predict the effect of flipping ``bit_index`` in each float."""
+    original = np.asarray(values, dtype=np.float64)
+    bits = float_to_bits(np.asarray(values), fmt)
+    sign = extract_sign(bits, fmt)
+    exponent = extract_exponent(bits, fmt)
+    fraction = extract_fraction(bits, fmt)
+    field = field_of_bit(bit_index, fmt)
+
+    normal = (exponent != 0) & (exponent != fmt.exponent_all_ones)
+
+    if field is IEEEField.SIGN:
+        faulty = -original
+        valid = np.ones(original.shape, dtype=bool)
+    elif field is IEEEField.EXPONENT:
+        j = bit_index - fmt.fraction_bits
+        step = 1 << j
+        bit_was_set = ((exponent >> j) & 1) == 1
+        delta = np.where(bit_was_set, -step, step)
+        faulty = original * np.exp2(delta.astype(np.float64))
+        new_exponent = exponent + delta
+        valid = normal & (new_exponent > 0) & (new_exponent < fmt.exponent_all_ones)
+    else:
+        bit_was_set = ((fraction >> bit_index) & 1) == 1
+        # Perturbation magnitude: one unit of this fraction bit at the
+        # value's scale.
+        scale = exponent - fmt.bias - fmt.fraction_bits + bit_index
+        magnitude = np.exp2(scale.astype(np.float64))
+        direction = np.where(bit_was_set, -1.0, 1.0) * np.where(sign == 1, -1.0, 1.0)
+        faulty = original + direction * magnitude
+        valid = normal  # fraction flips keep the exponent, hence normal
+
+    absolute = np.abs(original - faulty)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        relative = absolute / np.abs(original)
+    return AnalyticPrediction(
+        faulty=faulty,
+        absolute_error=absolute,
+        relative_error=relative,
+        valid=np.asarray(valid, dtype=bool),
+    )
+
+
+def relative_error_bound(bit_index: int, fmt: IEEEFormat) -> float:
+    """Value-independent bound on the relative error of one bit flip.
+
+    Fraction bit j: at most 2**(j - F) (the implied-1 mantissa is >= 1).
+    Exponent bit j: up to 2**(2**j) - 1 (multiplication case dominates).
+    Sign bit: exactly 2.
+    """
+    field = field_of_bit(bit_index, fmt)
+    if field is IEEEField.SIGN:
+        return 2.0
+    if field is IEEEField.EXPONENT:
+        j = bit_index - fmt.fraction_bits
+        exponent_step = float(1 << j)
+        return float(2.0**exponent_step - 1.0)
+    return float(2.0 ** (bit_index - fmt.fraction_bits))
+
+
+def expected_error_profile(fmt: IEEEFormat) -> np.ndarray:
+    """Bound per bit position, LSB first — the shape of the paper's Fig. 3."""
+    return np.array([relative_error_bound(j, fmt) for j in range(fmt.nbits)])

@@ -1,0 +1,70 @@
+"""Software arithmetic on IEEE bit patterns (bfloat16 included).
+
+NumPy has native arithmetic for binary16/32/64 but no bfloat16 dtype, so
+mixed-precision studies need a software path: compute in float32 and
+round the result back to the storage format.  For bfloat16 this is the
+exact correctly-rounded semantics (float32 carries more than twice
+bfloat16's precision, so the double rounding is innocuous); for the
+native formats the same helpers simply route through NumPy.
+
+All functions take and return *bit patterns* of the given format — the
+same convention as :mod:`repro.posit.arithmetic` — so campaign code can
+treat every number system uniformly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.ieee.bits import bits_to_float, float_to_bits
+from repro.ieee.formats import IEEEFormat
+
+
+def _binary(op: Callable, a, b, fmt: IEEEFormat) -> np.ndarray:
+    lhs = bits_to_float(a, fmt).astype(np.float32 if fmt.nbits <= 32 else np.float64)
+    rhs = bits_to_float(b, fmt).astype(lhs.dtype)
+    with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+        result = op(lhs, rhs)
+    return float_to_bits(result, fmt)
+
+
+def add(a, b, fmt: IEEEFormat) -> np.ndarray:
+    """Correctly rounded addition on bit patterns."""
+    return _binary(np.add, a, b, fmt)
+
+
+def subtract(a, b, fmt: IEEEFormat) -> np.ndarray:
+    """Correctly rounded subtraction on bit patterns."""
+    return _binary(np.subtract, a, b, fmt)
+
+
+def multiply(a, b, fmt: IEEEFormat) -> np.ndarray:
+    """Correctly rounded multiplication on bit patterns."""
+    return _binary(np.multiply, a, b, fmt)
+
+
+def divide(a, b, fmt: IEEEFormat) -> np.ndarray:
+    """Correctly rounded division (x/0 -> inf/nan per IEEE)."""
+    return _binary(np.divide, a, b, fmt)
+
+
+def negate(a, fmt: IEEEFormat) -> np.ndarray:
+    """Exact negation: toggle the sign bit."""
+    work = np.asarray(a).astype(fmt.dtype, copy=False)
+    return work ^ fmt.dtype.type(fmt.sign_mask)
+
+
+def absolute(a, fmt: IEEEFormat) -> np.ndarray:
+    """Exact |x|: clear the sign bit."""
+    work = np.asarray(a).astype(fmt.dtype, copy=False)
+    return work & fmt.dtype.type(fmt.mask ^ fmt.sign_mask)
+
+
+def sqrt(a, fmt: IEEEFormat) -> np.ndarray:
+    """Correctly rounded square root (negative -> NaN)."""
+    values = bits_to_float(a, fmt).astype(np.float32 if fmt.nbits <= 32 else np.float64)
+    with np.errstate(invalid="ignore"):
+        result = np.sqrt(values)
+    return float_to_bits(result, fmt)

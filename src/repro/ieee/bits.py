@@ -1,0 +1,91 @@
+"""Bit-level access to IEEE-754 values.
+
+The paper's IEEE injection path is exactly this: reinterpret the float's
+bits as an unsigned integer, XOR a single-bit mask, reinterpret back
+(Fig. 9).  ``float_to_bits``/``bits_to_float`` are zero-copy views for the
+native formats and software conversions for bfloat16.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ieee.formats import BFLOAT16, BINARY32, IEEEFormat
+
+
+def float_to_bits(values, fmt: IEEEFormat) -> np.ndarray:
+    """Bit patterns of float values, as the format's unsigned dtype.
+
+    For native formats this is a reinterpreting view-cast (no rounding);
+    inputs of a different float width are first converted to the format's
+    dtype, which rounds like storing to memory would.  bfloat16 patterns
+    are derived from float32 by round-to-nearest-even truncation of the
+    low 16 bits.
+    """
+    array = np.asarray(values)
+    if fmt.float_dtype is not None:
+        array = array.astype(fmt.float_dtype, copy=False)
+        return array.view(fmt.dtype)
+    if fmt is not BFLOAT16:  # pragma: no cover - only bfloat16 lacks a dtype
+        raise TypeError(f"format {fmt.name} has no native dtype")
+    bits32 = np.asarray(values, dtype=np.float32).view(np.uint32)
+    # Round-to-nearest-even on the dropped 16 bits, NaN preserved.
+    nan_mask = np.isnan(np.asarray(values, dtype=np.float32))
+    rounding = np.uint32(0x7FFF) + ((bits32 >> np.uint32(16)) & np.uint32(1))
+    rounded = (bits32 + rounding) >> np.uint32(16)
+    rounded = np.where(nan_mask, (bits32 >> np.uint32(16)) | np.uint32(0x40), rounded)
+    return rounded.astype(np.uint16)
+
+
+def bits_to_float(bits, fmt: IEEEFormat) -> np.ndarray:
+    """Float values of bit patterns (inverse of :func:`float_to_bits`)."""
+    array = np.asarray(bits).astype(fmt.dtype, copy=False)
+    if fmt.float_dtype is not None:
+        return array.view(fmt.float_dtype)
+    bits32 = array.astype(np.uint32) << np.uint32(16)
+    return bits32.view(np.float32)
+
+
+def flip_bit(bits, bit_index: int, fmt: IEEEFormat) -> np.ndarray:
+    """XOR bit ``bit_index`` (LSB == 0) of each pattern (paper Fig. 9)."""
+    if not 0 <= bit_index < fmt.nbits:
+        raise ValueError(f"bit_index must be in [0, {fmt.nbits}), got {bit_index}")
+    work = np.asarray(bits).astype(fmt.dtype, copy=False)
+    return work ^ fmt.dtype.type(1 << bit_index)
+
+
+def flip_float_bit(values, bit_index: int, fmt: IEEEFormat = BINARY32) -> np.ndarray:
+    """Flip one bit of each float and return the faulty floats."""
+    return bits_to_float(flip_bit(float_to_bits(values, fmt), bit_index, fmt), fmt)
+
+
+def extract_sign(bits, fmt: IEEEFormat) -> np.ndarray:
+    """0/1 sign field."""
+    work = np.asarray(bits).astype(np.uint64, copy=False)
+    return ((work >> np.uint64(fmt.nbits - 1)) & np.uint64(1)).astype(np.int64)
+
+
+def extract_exponent(bits, fmt: IEEEFormat) -> np.ndarray:
+    """Raw (biased) exponent field as int64."""
+    work = np.asarray(bits).astype(np.uint64, copy=False)
+    mask = np.uint64((1 << fmt.exponent_bits) - 1)
+    return ((work >> np.uint64(fmt.fraction_bits)) & mask).astype(np.int64)
+
+
+def extract_fraction(bits, fmt: IEEEFormat) -> np.ndarray:
+    """Fraction (mantissa) field as uint64."""
+    work = np.asarray(bits).astype(np.uint64, copy=False)
+    return work & np.uint64(fmt.fraction_mask)
+
+
+def assemble(sign, exponent, fraction, fmt: IEEEFormat) -> np.ndarray:
+    """Build bit patterns from the three fields."""
+    s = np.asarray(sign).astype(np.uint64)
+    e = np.asarray(exponent).astype(np.uint64)
+    f = np.asarray(fraction).astype(np.uint64)
+    if np.any(e > np.uint64(fmt.exponent_all_ones)):
+        raise ValueError("exponent field overflows its width")
+    if np.any(f > np.uint64(fmt.fraction_mask)):
+        raise ValueError("fraction field overflows its width")
+    pattern = (s << np.uint64(fmt.nbits - 1)) | (e << np.uint64(fmt.fraction_bits)) | f
+    return pattern.astype(fmt.dtype)

@@ -1,0 +1,58 @@
+"""IEEE-754 bit classification (static, unlike posits).
+
+Provided with the same interface shape as :mod:`repro.posit.fields` so the
+campaign analysis can treat both number systems uniformly.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from repro.ieee.formats import IEEEFormat
+
+
+class IEEEField(enum.IntEnum):
+    """Field of a bit position within an IEEE float."""
+
+    SIGN = 0
+    EXPONENT = 1
+    FRACTION = 2
+
+    def short_name(self) -> str:
+        return {"SIGN": "S", "EXPONENT": "E", "FRACTION": "F"}[self.name]
+
+
+def field_of_bit(bit_index: int, fmt: IEEEFormat) -> IEEEField:
+    """Field of ``bit_index`` (LSB == 0); identical for every value."""
+    if not 0 <= bit_index < fmt.nbits:
+        raise ValueError(f"bit_index must be in [0, {fmt.nbits}), got {bit_index}")
+    if bit_index == fmt.nbits - 1:
+        return IEEEField.SIGN
+    if bit_index >= fmt.fraction_bits:
+        return IEEEField.EXPONENT
+    return IEEEField.FRACTION
+
+
+def classify_bit(bits, bit_index: int, fmt: IEEEFormat) -> np.ndarray:
+    """Array-shaped classification, mirroring the posit interface."""
+    field = field_of_bit(bit_index, fmt)
+    return np.full(np.shape(np.asarray(bits)), int(field), dtype=np.int64)
+
+
+def field_map(fmt: IEEEFormat) -> list[IEEEField]:
+    """Field of every bit position, LSB first."""
+    return [field_of_bit(j, fmt) for j in range(fmt.nbits)]
+
+
+def layout_string(pattern: int, fmt: IEEEFormat) -> str:
+    """Render a pattern with sign|exponent|fraction separators."""
+    bit_string = format(int(pattern) & fmt.mask, f"0{fmt.nbits}b")
+    return "|".join(
+        (
+            bit_string[0],
+            bit_string[1 : 1 + fmt.exponent_bits],
+            bit_string[1 + fmt.exponent_bits :],
+        )
+    )

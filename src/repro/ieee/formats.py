@@ -1,0 +1,112 @@
+"""IEEE-754 (and bfloat16) format descriptions.
+
+Each format records its field widths and provides the masks and bias the
+bit-level code needs.  binary32 is the paper's subject; binary16/64 and
+bfloat16 round out the library for mixed-precision studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bitops import uint_dtype_for
+
+
+@dataclass(frozen=True)
+class IEEEFormat:
+    """Immutable description of an IEEE-754-style binary format."""
+
+    name: str
+    exponent_bits: int
+    fraction_bits: int
+    #: NumPy float dtype when hardware supports the format natively,
+    #: else None (bfloat16 has no NumPy dtype; it is handled bitwise).
+    float_dtype: np.dtype | None
+
+    @property
+    def nbits(self) -> int:
+        """Total width: sign + exponent + fraction."""
+        return 1 + self.exponent_bits + self.fraction_bits
+
+    @property
+    def bias(self) -> int:
+        """Exponent bias 2**(E-1) - 1."""
+        return (1 << (self.exponent_bits - 1)) - 1
+
+    @property
+    def dtype(self) -> np.dtype:
+        """Unsigned integer dtype used for bit patterns."""
+        return uint_dtype_for(self.nbits)
+
+    @property
+    def mask(self) -> int:
+        return (1 << self.nbits) - 1
+
+    @property
+    def sign_mask(self) -> int:
+        return 1 << (self.nbits - 1)
+
+    @property
+    def exponent_mask(self) -> int:
+        """Mask of the exponent field, in place."""
+        return ((1 << self.exponent_bits) - 1) << self.fraction_bits
+
+    @property
+    def fraction_mask(self) -> int:
+        return (1 << self.fraction_bits) - 1
+
+    @property
+    def exponent_all_ones(self) -> int:
+        """Exponent field value that flags infinity / NaN."""
+        return (1 << self.exponent_bits) - 1
+
+    @property
+    def max_finite(self) -> float:
+        """Largest finite value of the format."""
+        max_exp = self.exponent_all_ones - 1 - self.bias
+        mantissa = 2.0 - 2.0 ** (-self.fraction_bits)
+        return mantissa * 2.0**max_exp
+
+    @property
+    def min_normal(self) -> float:
+        """Smallest positive normal value."""
+        return 2.0 ** (1 - self.bias)
+
+    @property
+    def min_subnormal(self) -> float:
+        """Smallest positive subnormal value."""
+        return 2.0 ** (1 - self.bias - self.fraction_bits)
+
+    def describe(self) -> str:
+        """Single-line summary (e.g. for logs and reports)."""
+        return (
+            f"{self.name}: 1 sign + {self.exponent_bits} exponent "
+            f"+ {self.fraction_bits} fraction bits (bias {self.bias})"
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+BINARY16 = IEEEFormat("binary16", exponent_bits=5, fraction_bits=10, float_dtype=np.dtype(np.float16))
+BINARY32 = IEEEFormat("binary32", exponent_bits=8, fraction_bits=23, float_dtype=np.dtype(np.float32))
+BINARY64 = IEEEFormat("binary64", exponent_bits=11, fraction_bits=52, float_dtype=np.dtype(np.float64))
+BFLOAT16 = IEEEFormat("bfloat16", exponent_bits=8, fraction_bits=7, float_dtype=None)
+
+FORMATS = {
+    "binary16": BINARY16,
+    "binary32": BINARY32,
+    "binary64": BINARY64,
+    "bfloat16": BFLOAT16,
+}
+
+
+def format_by_name(name: str) -> IEEEFormat:
+    """Look up a format by name, with a helpful error."""
+    try:
+        return FORMATS[name]
+    except KeyError:
+        known = ", ".join(sorted(FORMATS))
+        raise KeyError(f"unknown IEEE format {name!r}; known: {known}") from None

@@ -1,0 +1,47 @@
+"""IEEE-754 special-value predicates on bit patterns.
+
+These operate on raw patterns (not floats) so they work for bfloat16 and
+so injected faults can be classified without converting — a flipped bit
+that lands a value in the NaN/Inf space is exactly the paper's
+"catastrophic" outcome for IEEE floats.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ieee.bits import extract_exponent, extract_fraction
+from repro.ieee.formats import IEEEFormat
+
+
+def is_nan(bits, fmt: IEEEFormat) -> np.ndarray:
+    """True where the pattern encodes a NaN (max exponent, fraction != 0)."""
+    e = extract_exponent(bits, fmt)
+    f = extract_fraction(bits, fmt)
+    return (e == fmt.exponent_all_ones) & (f != 0)
+
+
+def is_inf(bits, fmt: IEEEFormat) -> np.ndarray:
+    """True where the pattern encodes +/-infinity."""
+    e = extract_exponent(bits, fmt)
+    f = extract_fraction(bits, fmt)
+    return (e == fmt.exponent_all_ones) & (f == 0)
+
+
+def is_finite(bits, fmt: IEEEFormat) -> np.ndarray:
+    """True where the pattern encodes a finite number."""
+    return extract_exponent(bits, fmt) != fmt.exponent_all_ones
+
+
+def is_subnormal(bits, fmt: IEEEFormat) -> np.ndarray:
+    """True for subnormals (zero exponent, nonzero fraction)."""
+    e = extract_exponent(bits, fmt)
+    f = extract_fraction(bits, fmt)
+    return (e == 0) & (f != 0)
+
+
+def is_zero(bits, fmt: IEEEFormat) -> np.ndarray:
+    """True for +/-0."""
+    e = extract_exponent(bits, fmt)
+    f = extract_fraction(bits, fmt)
+    return (e == 0) & (f == 0)

@@ -1,0 +1,65 @@
+"""Fault-injection engine: targets, fault models, campaigns, records."""
+
+from repro.inject.campaign import (
+    PAPER_TRIALS_PER_BIT,
+    CampaignConfig,
+    CampaignResult,
+    ConversionReport,
+    bit_seeds,
+    conversion_report,
+    run_campaign,
+    run_campaign_shard,
+)
+from repro.inject.faults import (
+    AdjacentBitFlip,
+    FaultModel,
+    MultiBitFlip,
+    RandomBitFlip,
+    SingleBitFlip,
+    StuckAt,
+)
+from repro.inject.parallel import run_campaign_parallel
+from repro.inject.results import TrialRecords
+from repro.inject.suite import SuiteConfig, SuiteResult, load_manifest, run_suite
+from repro.inject.validate import VerificationReport, verify_records
+from repro.inject.targets import (
+    IEEETarget,
+    InjectionTarget,
+    PositTarget,
+    available_targets,
+    target_by_name,
+)
+from repro.inject.trial import SingleTrialResult, run_bit_trials, run_single_trial
+
+__all__ = [
+    "AdjacentBitFlip",
+    "CampaignConfig",
+    "CampaignResult",
+    "ConversionReport",
+    "FaultModel",
+    "IEEETarget",
+    "InjectionTarget",
+    "MultiBitFlip",
+    "PAPER_TRIALS_PER_BIT",
+    "PositTarget",
+    "RandomBitFlip",
+    "SingleBitFlip",
+    "SingleTrialResult",
+    "StuckAt",
+    "SuiteConfig",
+    "SuiteResult",
+    "TrialRecords",
+    "VerificationReport",
+    "load_manifest",
+    "run_suite",
+    "available_targets",
+    "verify_records",
+    "bit_seeds",
+    "conversion_report",
+    "run_bit_trials",
+    "run_campaign",
+    "run_campaign_parallel",
+    "run_campaign_shard",
+    "run_single_trial",
+    "target_by_name",
+]

@@ -1,0 +1,139 @@
+"""Fault models.
+
+The paper's model is a single transient bit flip (soft error / SDC) in a
+stored value — implemented by XOR with a one-hot mask exactly as its
+Figure 9 shows.  Multi-bit and stuck-at variants implement the future-work
+section and standard fault-tolerance practice (adjacent multi-bit upsets
+are the common DRAM failure mode beyond single flips).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+
+class FaultModel(abc.ABC):
+    """Transforms bit patterns into corrupted bit patterns."""
+
+    @abc.abstractmethod
+    def apply(self, bits: np.ndarray, nbits: int, rng: np.random.Generator) -> np.ndarray:
+        """Corrupt every element of ``bits`` (each element independently)."""
+
+    @abc.abstractmethod
+    def describe(self) -> str:
+        """One-line description for logs."""
+
+
+@dataclass(frozen=True)
+class SingleBitFlip(FaultModel):
+    """Flip one fixed bit position in every element (the paper's model)."""
+
+    bit_index: int
+
+    def apply(self, bits: np.ndarray, nbits: int, rng: np.random.Generator) -> np.ndarray:
+        if not 0 <= self.bit_index < nbits:
+            raise ValueError(f"bit_index {self.bit_index} out of range for {nbits} bits")
+        mask = bits.dtype.type(1 << self.bit_index)
+        return bits ^ mask
+
+    def describe(self) -> str:
+        return f"single bit flip @ bit {self.bit_index}"
+
+
+@dataclass(frozen=True)
+class MultiBitFlip(FaultModel):
+    """Flip a fixed set of bit positions in every element."""
+
+    bit_indices: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.bit_indices:
+            raise ValueError("MultiBitFlip needs at least one bit index")
+        if len(set(self.bit_indices)) != len(self.bit_indices):
+            raise ValueError("bit indices must be distinct")
+
+    def apply(self, bits: np.ndarray, nbits: int, rng: np.random.Generator) -> np.ndarray:
+        if any(not 0 <= b < nbits for b in self.bit_indices):
+            raise ValueError(f"bit indices {self.bit_indices} out of range for {nbits} bits")
+        mask = 0
+        for index in self.bit_indices:
+            mask |= 1 << index
+        return bits ^ bits.dtype.type(mask)
+
+    def describe(self) -> str:
+        return f"multi bit flip @ bits {sorted(self.bit_indices)}"
+
+
+@dataclass(frozen=True)
+class AdjacentBitFlip(FaultModel):
+    """Flip ``count`` adjacent bits starting at ``bit_index`` (burst upset)."""
+
+    bit_index: int
+    count: int = 2
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ValueError("count must be >= 1")
+
+    def apply(self, bits: np.ndarray, nbits: int, rng: np.random.Generator) -> np.ndarray:
+        if not 0 <= self.bit_index < nbits:
+            raise ValueError(f"bit_index {self.bit_index} out of range for {nbits} bits")
+        top = min(self.bit_index + self.count, nbits)
+        mask = ((1 << top) - 1) ^ ((1 << self.bit_index) - 1)
+        return bits ^ bits.dtype.type(mask)
+
+    def describe(self) -> str:
+        return f"{self.count}-bit adjacent flip @ bit {self.bit_index}"
+
+
+@dataclass(frozen=True)
+class RandomBitFlip(FaultModel):
+    """Flip ``count`` uniformly random distinct bits per element."""
+
+    count: int = 1
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ValueError("count must be >= 1")
+
+    def apply(self, bits: np.ndarray, nbits: int, rng: np.random.Generator) -> np.ndarray:
+        if self.count > nbits:
+            raise ValueError(f"cannot flip {self.count} distinct bits of {nbits}")
+        flat = bits.reshape(-1)
+        masks = np.zeros(flat.shape, dtype=np.uint64)
+        for i in range(flat.size):
+            chosen = rng.choice(nbits, size=self.count, replace=False)
+            mask = 0
+            for b in chosen:
+                mask |= 1 << int(b)
+            masks[i] = mask
+        return (flat.astype(np.uint64) ^ masks).astype(bits.dtype).reshape(bits.shape)
+
+    def describe(self) -> str:
+        return f"{self.count} random bit flip(s) per element"
+
+
+@dataclass(frozen=True)
+class StuckAt(FaultModel):
+    """Force one bit to a fixed value (hard-fault model)."""
+
+    bit_index: int
+    value: int  # 0 or 1
+
+    def __post_init__(self) -> None:
+        if self.value not in (0, 1):
+            raise ValueError("stuck-at value must be 0 or 1")
+
+    def apply(self, bits: np.ndarray, nbits: int, rng: np.random.Generator) -> np.ndarray:
+        if not 0 <= self.bit_index < nbits:
+            raise ValueError(f"bit_index {self.bit_index} out of range for {nbits} bits")
+        mask = bits.dtype.type(1 << self.bit_index)
+        if self.value == 1:
+            return bits | mask
+        return bits & bits.dtype.type(~int(mask) & ((1 << nbits) - 1))
+
+    def describe(self) -> str:
+        return f"stuck-at-{self.value} @ bit {self.bit_index}"

@@ -1,0 +1,205 @@
+"""Columnar trial records and CSV round-trip.
+
+The paper logs one CSV row per trial for offline analysis; this module is
+that log.  Records are columnar NumPy arrays (not per-trial objects) so a
+full campaign — hundreds of thousands of trials — stays cheap to build,
+merge, filter, and aggregate.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import os
+from dataclasses import dataclass, fields as dataclass_fields
+from pathlib import Path
+
+import numpy as np
+
+#: Column order of the CSV schema, version-stamped for forward compat.
+CSV_SCHEMA_VERSION = 1
+
+_FLOAT_COLUMNS = (
+    "original",
+    "faulty",
+    "abs_err",
+    "rel_err",
+    "range_rel_err",
+    "mse",
+    "faulty_mean",
+    "faulty_std",
+    "faulty_max",
+    "faulty_min",
+)
+_INT_COLUMNS = ("trial", "bit", "index", "field", "regime_k")
+_BOOL_COLUMNS = ("non_finite",)
+
+
+@dataclass
+class TrialRecords:
+    """One campaign's trials, columnar.
+
+    Attributes
+    ----------
+    trial:
+        Trial ordinal within the (bit, campaign) grid.
+    bit:
+        Flipped bit position (LSB == 0).
+    index:
+        Index of the faulted element in the dataset.
+    original / faulty:
+        The element value before and after the flip (as float64; for the
+        posit target "before" is the posit-rounded value, per the paper).
+    field:
+        Field id of the flipped bit in the target's enum.
+    regime_k:
+        Regime size of the original posit (0 for IEEE targets).
+    abs_err / rel_err / range_rel_err / mse:
+        Per-trial error metrics (QCAT equivalents).
+    faulty_mean / faulty_std / faulty_max / faulty_min:
+        Summary statistics of the faulty array (O(1)-updated).
+    non_finite:
+        Whether the faulty value was NaN/Inf (IEEE) or NaR (posit).
+    """
+
+    trial: np.ndarray
+    bit: np.ndarray
+    index: np.ndarray
+    original: np.ndarray
+    faulty: np.ndarray
+    field: np.ndarray
+    regime_k: np.ndarray
+    abs_err: np.ndarray
+    rel_err: np.ndarray
+    range_rel_err: np.ndarray
+    mse: np.ndarray
+    faulty_mean: np.ndarray
+    faulty_std: np.ndarray
+    faulty_max: np.ndarray
+    faulty_min: np.ndarray
+    non_finite: np.ndarray
+
+    def __post_init__(self) -> None:
+        length = len(self.trial)
+        for column in dataclass_fields(self):
+            array = getattr(self, column.name)
+            if len(array) != length:
+                raise ValueError(
+                    f"column {column.name} has {len(array)} rows, expected {length}"
+                )
+
+    def __len__(self) -> int:
+        return len(self.trial)
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def empty(cls) -> "TrialRecords":
+        kwargs = {}
+        for name in _INT_COLUMNS:
+            kwargs[name] = np.empty(0, dtype=np.int64)
+        for name in _FLOAT_COLUMNS:
+            kwargs[name] = np.empty(0, dtype=np.float64)
+        for name in _BOOL_COLUMNS:
+            kwargs[name] = np.empty(0, dtype=bool)
+        return cls(**kwargs)
+
+    @classmethod
+    def concatenate(cls, parts: list["TrialRecords"]) -> "TrialRecords":
+        """Merge shards (e.g. per-bit or per-worker results)."""
+        if not parts:
+            return cls.empty()
+        kwargs = {
+            column.name: np.concatenate([getattr(part, column.name) for part in parts])
+            for column in dataclass_fields(cls)
+        }
+        return cls(**kwargs)
+
+    # -- filtering ----------------------------------------------------------
+
+    def select(self, mask) -> "TrialRecords":
+        """Row subset by boolean mask or index array."""
+        kwargs = {
+            column.name: getattr(self, column.name)[mask]
+            for column in dataclass_fields(self)
+        }
+        return TrialRecords(**kwargs)
+
+    def for_bit(self, bit_index: int) -> "TrialRecords":
+        """Trials that flipped one particular bit."""
+        return self.select(self.bit == bit_index)
+
+    def for_field(self, field_id: int) -> "TrialRecords":
+        """Trials whose flipped bit landed in one field."""
+        return self.select(self.field == field_id)
+
+    def for_regime_size(self, k: int) -> "TrialRecords":
+        """Trials whose original posit had regime size k."""
+        return self.select(self.regime_k == k)
+
+    def finite(self) -> "TrialRecords":
+        """Trials whose faulty value stayed finite (non-catastrophic)."""
+        return self.select(~self.non_finite)
+
+    # -- CSV ------------------------------------------------------------------
+
+    def column_names(self) -> list[str]:
+        return [column.name for column in dataclass_fields(self)]
+
+    def write_csv(self, path: str | os.PathLike) -> None:
+        """Write the paper-style CSV log."""
+        with open(Path(path), "w", newline="") as handle:
+            self._write_csv_handle(handle)
+
+    def to_csv_string(self) -> str:
+        buffer = io.StringIO()
+        self._write_csv_handle(buffer)
+        return buffer.getvalue()
+
+    def _write_csv_handle(self, handle) -> None:
+        writer = csv.writer(handle)
+        writer.writerow([f"# schema_version={CSV_SCHEMA_VERSION}"])
+        names = self.column_names()
+        writer.writerow(names)
+        columns = [getattr(self, name) for name in names]
+        for row in zip(*columns):
+            writer.writerow(
+                [repr(float(v)) if isinstance(v, (float, np.floating)) else int(v) for v in row]
+            )
+
+    @classmethod
+    def read_csv(cls, path: str | os.PathLike) -> "TrialRecords":
+        """Read a log written by :meth:`write_csv`."""
+        with open(Path(path), newline="") as handle:
+            return cls._read_csv_handle(handle)
+
+    @classmethod
+    def from_csv_string(cls, text: str) -> "TrialRecords":
+        return cls._read_csv_handle(io.StringIO(text))
+
+    @classmethod
+    def _read_csv_handle(cls, handle) -> "TrialRecords":
+        reader = csv.reader(handle)
+        first = next(reader, None)
+        if first is None:
+            raise ValueError("empty CSV")
+        if first and first[0].startswith("# schema_version="):
+            header = next(reader, None)
+        else:
+            header = first
+        if header is None:
+            raise ValueError("CSV missing header row")
+        expected = [column.name for column in dataclass_fields(cls)]
+        if header != expected:
+            raise ValueError(f"CSV columns {header} do not match schema {expected}")
+        rows = list(reader)
+        kwargs = {}
+        for position, name in enumerate(expected):
+            raw = [row[position] for row in rows]
+            if name in _INT_COLUMNS:
+                kwargs[name] = np.array([int(v) for v in raw], dtype=np.int64)
+            elif name in _BOOL_COLUMNS:
+                kwargs[name] = np.array([bool(int(v)) for v in raw], dtype=bool)
+            else:
+                kwargs[name] = np.array([float(v) for v in raw], dtype=np.float64)
+        return cls(**kwargs)

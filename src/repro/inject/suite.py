@@ -1,0 +1,147 @@
+"""Campaign suites: the paper's full evaluation as one orchestrated run.
+
+The paper executes one campaign per (dataset field x number system) and
+collects the CSV logs for offline analysis.  A :class:`CampaignSuite`
+does exactly that: it runs the grid (each campaign internally parallel),
+persists every trial log plus a manifest under an output directory, and
+is *resumable* — rerunning skips campaigns whose logs already exist, so
+an interrupted multi-hour sweep continues where it stopped.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.datasets.registry import get as get_preset, keys as dataset_keys
+from repro.inject.campaign import CampaignConfig, CampaignResult
+from repro.inject.parallel import run_campaign_parallel
+from repro.inject.results import TrialRecords
+
+MANIFEST_NAME = "manifest.json"
+
+
+@dataclass(frozen=True)
+class SuiteConfig:
+    """What to run: the (fields x targets) grid and campaign parameters."""
+
+    fields: tuple[str, ...]
+    targets: tuple[str, ...] = ("ieee32", "posit32")
+    data_size: int = 1 << 17
+    trials_per_bit: int = 313
+    seed: int = 2023
+
+    @classmethod
+    def paper_grid(cls, **overrides) -> "SuiteConfig":
+        """All sixteen Table 1 fields against both 32-bit systems."""
+        return cls(fields=tuple(dataset_keys()), **overrides)
+
+    def campaign_config(self) -> CampaignConfig:
+        return CampaignConfig(trials_per_bit=self.trials_per_bit, seed=self.seed)
+
+    def log_name(self, field_key: str, target: str) -> str:
+        safe = field_key.replace("/", "__")
+        return f"{safe}--{target}.csv"
+
+
+@dataclass
+class SuiteResult:
+    """Handle to a completed (or partially completed) suite directory."""
+
+    config: SuiteConfig
+    directory: Path
+    completed: list[tuple[str, str]] = field(default_factory=list)
+    skipped: list[tuple[str, str]] = field(default_factory=list)
+
+    def records(self, field_key: str, target: str) -> TrialRecords:
+        """Load one campaign's trial log."""
+        path = self.directory / self.config.log_name(field_key, target)
+        if not path.is_file():
+            raise FileNotFoundError(f"no log for ({field_key}, {target}) at {path}")
+        return TrialRecords.read_csv(path)
+
+    def all_records(self, target: str) -> TrialRecords:
+        """Concatenate every field's records for one target."""
+        shards = [self.records(field_key, target) for field_key in self.config.fields]
+        return TrialRecords.concatenate(shards)
+
+
+def _write_manifest(directory: Path, config: SuiteConfig, entries: dict) -> None:
+    manifest = {
+        "fields": list(config.fields),
+        "targets": list(config.targets),
+        "data_size": config.data_size,
+        "trials_per_bit": config.trials_per_bit,
+        "seed": config.seed,
+        "campaigns": entries,
+    }
+    (directory / MANIFEST_NAME).write_text(json.dumps(manifest, indent=2))
+
+
+def load_manifest(directory: str | os.PathLike) -> dict:
+    """Read a suite manifest."""
+    path = Path(directory) / MANIFEST_NAME
+    if not path.is_file():
+        raise FileNotFoundError(f"no suite manifest at {path}")
+    return json.loads(path.read_text())
+
+
+def run_suite(
+    config: SuiteConfig,
+    directory: str | os.PathLike,
+    workers: int | None = None,
+    resume: bool = True,
+    progress=None,
+) -> SuiteResult:
+    """Run (or resume) the full campaign grid.
+
+    Parameters
+    ----------
+    directory:
+        Output directory for trial logs and the manifest (created if
+        missing).
+    resume:
+        Skip (field, target) pairs whose log file already exists.
+    progress:
+        Optional ``progress(field, target, result_or_none)`` callback;
+        ``None`` signals a skipped (already-present) campaign.
+    """
+    out_dir = Path(directory)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    result = SuiteResult(config=config, directory=out_dir)
+    entries: dict = {}
+
+    for field_key in config.fields:
+        preset = get_preset(field_key)  # fail fast on unknown fields
+        data = None
+        for target in config.targets:
+            log_path = out_dir / config.log_name(field_key, target)
+            if resume and log_path.is_file():
+                result.skipped.append((field_key, target))
+                entries[config.log_name(field_key, target)] = {"status": "skipped"}
+                if progress is not None:
+                    progress(field_key, target, None)
+                continue
+            if data is None:
+                data = preset.generate(seed=config.seed, size=config.data_size)
+            campaign: CampaignResult = run_campaign_parallel(
+                data, target, config.campaign_config(),
+                label=field_key, workers=workers,
+            )
+            campaign.records.write_csv(log_path)
+            entries[config.log_name(field_key, target)] = {
+                "status": "completed",
+                "trials": campaign.trial_count,
+                "catastrophic": float(np.mean(campaign.records.non_finite)),
+                "conversion_mean_rel_err": campaign.conversion.mean_relative_error,
+            }
+            result.completed.append((field_key, target))
+            if progress is not None:
+                progress(field_key, target, campaign)
+
+    _write_manifest(out_dir, config, entries)
+    return result

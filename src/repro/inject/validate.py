@@ -1,0 +1,107 @@
+"""Trial-log integrity verification.
+
+Campaign logs travel (CSV files, suite directories); before analyzing a
+log of unknown provenance it pays to *re-derive* it: every recorded
+faulty value is a deterministic function of (original value, bit,
+target), so a log can be checked without its original dataset.
+``verify_records`` re-executes each trial's flip and reports any row
+whose recorded outcome does not reproduce — catching truncated files,
+mixed-up targets, or hand-edited results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.inject.results import TrialRecords
+from repro.inject.targets import InjectionTarget, target_by_name
+
+
+@dataclass
+class VerificationReport:
+    """Outcome of re-deriving a trial log."""
+
+    total: int
+    mismatched_faulty: int
+    mismatched_fields: int
+    mismatched_errors: int
+    unrepresentable_originals: int
+    examples: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return (
+            self.mismatched_faulty == 0
+            and self.mismatched_fields == 0
+            and self.mismatched_errors == 0
+            and self.unrepresentable_originals == 0
+        )
+
+    def summary(self) -> str:
+        status = "OK" if self.ok else "CORRUPT"
+        return (
+            f"{status}: {self.total} trials; faulty mismatches "
+            f"{self.mismatched_faulty}, field mismatches {self.mismatched_fields}, "
+            f"error mismatches {self.mismatched_errors}, unrepresentable "
+            f"originals {self.unrepresentable_originals}"
+        )
+
+
+def verify_records(
+    records: TrialRecords,
+    target: InjectionTarget | str,
+    max_examples: int = 5,
+) -> VerificationReport:
+    """Re-derive every trial and compare against the recorded columns."""
+    if isinstance(target, str):
+        target = target_by_name(target)
+    report = VerificationReport(
+        total=len(records),
+        mismatched_faulty=0,
+        mismatched_fields=0,
+        mismatched_errors=0,
+        unrepresentable_originals=0,
+    )
+    if len(records) == 0:
+        return report
+
+    bits_per_trial = target.to_bits(records.original)
+    # The recorded original must be representable (storing it is a no-op).
+    reencoded = target.from_bits(bits_per_trial)
+    bad_original = ~(
+        (reencoded == records.original)
+        | (np.isnan(reencoded) & np.isnan(records.original))
+    )
+    report.unrepresentable_originals = int(np.sum(bad_original))
+
+    for bit in sorted(set(records.bit.tolist())):
+        mask = records.bit == bit
+        subset = records.select(mask)
+        patterns = bits_per_trial[mask]
+        refaulted = target.from_bits(
+            patterns ^ patterns.dtype.type(1 << int(bit))
+        )
+        same_faulty = (refaulted == subset.faulty) | (
+            np.isnan(refaulted) & np.isnan(subset.faulty)
+        )
+        report.mismatched_faulty += int(np.sum(~same_faulty))
+
+        fields = target.classify_bits(patterns, int(bit))
+        report.mismatched_fields += int(np.sum(fields != subset.field))
+
+        with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+            abs_err = np.abs(subset.original - refaulted)
+        same_err = (abs_err == subset.abs_err) | (
+            np.isnan(abs_err) & np.isnan(subset.abs_err)
+        )
+        report.mismatched_errors += int(np.sum(~same_err))
+
+        if len(report.examples) < max_examples:
+            for i in np.where(~same_faulty)[0][: max_examples - len(report.examples)]:
+                report.examples.append(
+                    f"bit {bit}, trial {int(subset.trial[i])}: recorded "
+                    f"faulty {subset.faulty[i]!r}, re-derived {refaulted[i]!r}"
+                )
+    return report

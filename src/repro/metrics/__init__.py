@@ -1,0 +1,26 @@
+"""QCAT-equivalent error metrics and summary statistics."""
+
+from repro.metrics.fast import single_fault_metrics, vectorized_single_fault
+from repro.metrics.mred import mred, relative_error_distance
+from repro.metrics.pointwise import (
+    ErrorMetrics,
+    absolute_error,
+    compare_arrays,
+    pointwise_relative_error,
+)
+from repro.metrics.streaming import PerBitStreaming, StreamingStats
+from repro.metrics.summary import SummaryStats
+
+__all__ = [
+    "ErrorMetrics",
+    "PerBitStreaming",
+    "StreamingStats",
+    "SummaryStats",
+    "absolute_error",
+    "compare_arrays",
+    "mred",
+    "pointwise_relative_error",
+    "relative_error_distance",
+    "single_fault_metrics",
+    "vectorized_single_fault",
+]

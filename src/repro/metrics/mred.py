@@ -1,0 +1,42 @@
+"""Mean Relative Error Distance (MRED).
+
+The prior posit-resiliency study the paper cites (Alouani et al., 2021)
+reports MRED over a fault-injection campaign; providing it here lets the
+survey experiment reproduce that comparison too.  MRED is the mean of the
+relative error distance |orig - faulty| / |orig| over all trials, with a
+configurable policy for trials whose original value is zero and for
+non-finite faulty values.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def relative_error_distance(original, faulty) -> np.ndarray:
+    """Per-trial |orig - faulty| / |orig| (NaN where undefined)."""
+    a = np.asarray(original, dtype=np.float64)
+    b = np.asarray(faulty, dtype=np.float64)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        red = np.abs(a - b) / np.abs(a)
+    red = np.where((a == 0) & (b == 0), 0.0, red)
+    red = np.where((a == 0) & (b != 0), np.nan, red)
+    return red
+
+
+def mred(original, faulty, skip_non_finite: bool = True) -> float:
+    """Mean relative error distance over a set of trials.
+
+    Parameters
+    ----------
+    skip_non_finite:
+        When True (default, matching the campaign's aggregation), trials
+        whose distance is NaN/Inf — zero originals hit by a fault, NaR or
+        Inf faulty values — are excluded from the mean.  When False, any
+        such trial makes the result non-finite.
+    """
+    distances = relative_error_distance(original, faulty)
+    if skip_non_finite:
+        finite = distances[np.isfinite(distances)]
+        return float(np.mean(finite)) if finite.size else float("nan")
+    return float(np.mean(distances))

@@ -1,0 +1,135 @@
+"""QCAT-equivalent error metrics between an original and a faulty array.
+
+The paper applies the Quick Compression Analysis Toolkit to the
+(original, faulty) pair after each trial and logs absolute error,
+relative error, mean squared error, and norm error.  This module is the
+pure-NumPy port of those reductions; :mod:`repro.metrics.fast` provides
+the O(1) single-fault shortcut and the tests assert both agree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ErrorMetrics:
+    """Error reductions between two equally-shaped arrays.
+
+    ``NaN``/``Inf`` in the faulty data (an IEEE flip landing in the
+    special-value space, or a posit flip landing on NaR) make most of
+    these infinite/NaN; campaigns record that as a catastrophic outcome
+    via :attr:`has_non_finite` and analyze those trials separately.
+    """
+
+    max_absolute_error: float
+    mean_absolute_error: float
+    #: Pointwise relative error |a-b|/|a| maximized over elements with a != 0.
+    max_pointwise_relative: float
+    #: QCAT's value-range relative error: max|a-b| / (max(a) - min(a)).
+    value_range_relative: float
+    mean_squared_error: float
+    root_mean_squared_error: float
+    normalized_rmse: float
+    psnr_db: float
+    l2_norm_error: float
+    linf_norm_error: float
+    has_non_finite: bool
+
+    def as_row(self) -> dict[str, float]:
+        """Flat dict for CSV logging."""
+        return {
+            "max_abs_err": self.max_absolute_error,
+            "mean_abs_err": self.mean_absolute_error,
+            "max_rel_err": self.max_pointwise_relative,
+            "range_rel_err": self.value_range_relative,
+            "mse": self.mean_squared_error,
+            "rmse": self.root_mean_squared_error,
+            "nrmse": self.normalized_rmse,
+            "psnr_db": self.psnr_db,
+            "l2_err": self.l2_norm_error,
+            "linf_err": self.linf_norm_error,
+            "non_finite": float(self.has_non_finite),
+        }
+
+
+def compare_arrays(original, faulty) -> ErrorMetrics:
+    """Full-array metric computation (the reference implementation)."""
+    a = np.asarray(original, dtype=np.float64).reshape(-1)
+    b = np.asarray(faulty, dtype=np.float64).reshape(-1)
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    if a.size == 0:
+        raise ValueError("cannot compare empty arrays")
+
+    diff = a - b
+    abs_diff = np.abs(diff)
+    has_non_finite = bool(np.any(~np.isfinite(b)))
+
+    # np.max propagates NaN and Inf, which is the desired semantics for
+    # catastrophic faults.
+    max_abs = float(np.max(abs_diff))
+    mean_abs = float(np.mean(abs_diff))
+
+    pointwise = pointwise_relative_error(a, b)
+    max_pointwise = float(np.max(pointwise))
+
+    value_range = float(np.max(a) - np.min(a))
+    if value_range > 0:
+        range_rel = max_abs / value_range
+    else:
+        range_rel = 0.0 if max_abs == 0 else float("inf")
+
+    mse = float(np.mean(diff * diff))
+    rmse = float(np.sqrt(mse))
+    nrmse = rmse / value_range if value_range > 0 else (0.0 if rmse == 0 else float("inf"))
+    with np.errstate(divide="ignore"):
+        psnr = float(20.0 * np.log10(value_range) - 10.0 * np.log10(mse)) if mse > 0 and value_range > 0 else float("inf")
+
+    # Scale by the largest difference so squaring cannot underflow
+    # (diffs below ~1e-154 would square to zero).
+    if max_abs > 0 and np.isfinite(max_abs):
+        scaled = diff / max_abs
+        l2 = float(max_abs * np.sqrt(np.sum(scaled * scaled)))
+    else:
+        l2 = max_abs
+    linf = max_abs
+    return ErrorMetrics(
+        max_absolute_error=max_abs,
+        mean_absolute_error=mean_abs,
+        max_pointwise_relative=max_pointwise,
+        value_range_relative=range_rel,
+        mean_squared_error=mse,
+        root_mean_squared_error=rmse,
+        normalized_rmse=nrmse,
+        psnr_db=psnr,
+        l2_norm_error=l2,
+        linf_norm_error=linf,
+        has_non_finite=has_non_finite,
+    )
+
+
+def pointwise_relative_error(original, faulty) -> np.ndarray:
+    """Elementwise |orig - faulty| / |orig|.
+
+    This is the per-trial "relative error" of the paper's Section 5
+    analysis (see the worked example in Section 5.4.2).  Convention:
+    NaN where the original is zero but the faulty value is not (the
+    ratio is undefined); +Inf is reserved for genuine float64 overflow
+    of a huge, well-defined ratio.
+    """
+    a = np.asarray(original, dtype=np.float64)
+    b = np.asarray(faulty, dtype=np.float64)
+    with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+        rel = np.abs(a - b) / np.abs(a)
+    rel = np.where((a == 0) & (b == 0), 0.0, rel)
+    return np.where((a == 0) & (b != 0), np.nan, rel)
+
+
+def absolute_error(original, faulty) -> np.ndarray:
+    """Elementwise |orig - faulty|."""
+    a = np.asarray(original, dtype=np.float64)
+    b = np.asarray(faulty, dtype=np.float64)
+    return np.abs(a - b)

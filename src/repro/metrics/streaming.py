@@ -1,0 +1,120 @@
+"""Streaming (single-pass, mergeable) statistics.
+
+Suite-scale studies produce millions of trials across many shards; these
+accumulators compute mean/variance/extremes in one pass with Welford's
+algorithm and merge across shards (Chan et al.'s parallel variance
+formula) — the reduction pattern the mpi4py guide's Allreduce idiom
+maps onto.  NaN values are counted separately and excluded from the
+moments, matching the campaign's finite-only aggregation policy; +/-Inf
+values are tracked in the extremes but also excluded from the moments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class StreamingStats:
+    """Mergeable one-pass statistics accumulator."""
+
+    count: int = 0
+    mean: float = 0.0
+    m2: float = 0.0  # sum of squared deviations
+    minimum: float = float("inf")
+    maximum: float = float("-inf")
+    non_finite_count: int = 0
+
+    def add(self, values) -> "StreamingStats":
+        """Accumulate a batch of values (vectorized Welford update)."""
+        array = np.asarray(values, dtype=np.float64).reshape(-1)
+        finite = array[np.isfinite(array)]
+        self.non_finite_count += int(array.size - finite.size)
+        infinities = array[np.isinf(array)]
+        if infinities.size:
+            self.minimum = min(self.minimum, float(np.min(infinities)))
+            self.maximum = max(self.maximum, float(np.max(infinities)))
+        if finite.size == 0:
+            return self
+        batch_count = int(finite.size)
+        batch_mean = float(np.mean(finite))
+        deviations = finite - batch_mean
+        batch_m2 = float(np.sum(deviations * deviations))
+
+        merged = self.count + batch_count
+        delta = batch_mean - self.mean
+        self.m2 += batch_m2 + delta * delta * self.count * batch_count / merged
+        self.mean += delta * batch_count / merged
+        self.count = merged
+        self.minimum = min(self.minimum, float(np.min(finite)))
+        self.maximum = max(self.maximum, float(np.max(finite)))
+        return self
+
+    def merge(self, other: "StreamingStats") -> "StreamingStats":
+        """Combine with another accumulator (shard reduction)."""
+        if other.count:
+            merged = self.count + other.count
+            delta = other.mean - self.mean
+            self.m2 += other.m2 + delta * delta * self.count * other.count / merged
+            self.mean += delta * other.count / merged
+            self.count = merged
+        self.minimum = min(self.minimum, other.minimum)
+        self.maximum = max(self.maximum, other.maximum)
+        self.non_finite_count += other.non_finite_count
+        return self
+
+    @property
+    def variance(self) -> float:
+        """Population variance of the finite values seen."""
+        return self.m2 / self.count if self.count else float("nan")
+
+    @property
+    def std(self) -> float:
+        return float(np.sqrt(self.variance)) if self.count else float("nan")
+
+    def as_row(self) -> dict[str, float]:
+        return {
+            "count": self.count,
+            "mean": self.mean if self.count else float("nan"),
+            "std": self.std,
+            "min": self.minimum,
+            "max": self.maximum,
+            "non_finite": self.non_finite_count,
+        }
+
+
+@dataclass
+class PerBitStreaming:
+    """One StreamingStats per bit position — the suite-scale Fig. 10."""
+
+    nbits: int
+    stats: list[StreamingStats] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.stats:
+            self.stats = [StreamingStats() for _ in range(self.nbits)]
+        if len(self.stats) != self.nbits:
+            raise ValueError("stats length must equal nbits")
+
+    def add_records(self, records) -> "PerBitStreaming":
+        """Fold a TrialRecords shard into the per-bit accumulators."""
+        for b in range(self.nbits):
+            mask = records.bit == b
+            if np.any(mask):
+                self.stats[b].add(records.rel_err[mask])
+        return self
+
+    def merge(self, other: "PerBitStreaming") -> "PerBitStreaming":
+        if other.nbits != self.nbits:
+            raise ValueError("cannot merge accumulators of different widths")
+        for mine, theirs in zip(self.stats, other.stats):
+            mine.merge(theirs)
+        return self
+
+    def mean_curve(self) -> np.ndarray:
+        """Finite-mean relative error per bit (the Fig. 10 series)."""
+        return np.array(
+            [s.mean if s.count else np.nan for s in self.stats]
+        )

@@ -1,0 +1,110 @@
+"""Pure-Python/NumPy posit number system (Posit Standard 2022).
+
+This package replaces the paper's SoftPosit dependency.  It provides
+bit-exact float <-> posit conversion with round-to-nearest-even, per-value
+field decomposition (sign / regime / R_k / exponent / fraction — the
+vocabulary of the paper's analysis), correctly rounded arithmetic, and an
+exact quire accumulator, for any width from 3 to 64 bits.
+"""
+
+from repro.posit._reference import (
+    decode_exact,
+    decode_exact_twos_complement,
+    decode_float,
+    encode_exact,
+)
+from repro.posit.array import PositArray
+from repro.posit.arithmetic import (
+    absolute,
+    add,
+    compare,
+    divide,
+    fma,
+    multiply,
+    negate,
+    sqrt,
+    subtract,
+)
+from repro.posit.config import (
+    POSIT8,
+    POSIT16,
+    POSIT32,
+    POSIT64,
+    STANDARD_CONFIGS,
+    PositConfig,
+    standard_config,
+)
+from repro.posit.convert import convert, is_widening_exact, round_trip_is_identity
+from repro.posit.decode import decode, decode32
+from repro.posit.encode import encode, encode32
+from repro.posit.fields import (
+    COARSE_FIELD_OF,
+    FieldDecomposition,
+    PositField,
+    classify_all_bits,
+    classify_bit,
+    decompose,
+    layout_string,
+    regime_k,
+)
+from repro.posit.quire import Quire, dot, total
+from repro.posit.special import is_nar, is_negative, is_zero, maxpos, minpos, nar, zero
+from repro.posit.tables import lattice_neighbors, positive_values_sorted, value_table
+from repro.posit.ulp import next_down, next_up, relative_spacing_at, spacing_at, ulp
+
+__all__ = [
+    "COARSE_FIELD_OF",
+    "FieldDecomposition",
+    "POSIT16",
+    "POSIT32",
+    "POSIT64",
+    "POSIT8",
+    "PositArray",
+    "PositConfig",
+    "PositField",
+    "Quire",
+    "STANDARD_CONFIGS",
+    "absolute",
+    "add",
+    "classify_all_bits",
+    "classify_bit",
+    "compare",
+    "convert",
+    "decode",
+    "decode32",
+    "decode_exact",
+    "decode_exact_twos_complement",
+    "decode_float",
+    "decompose",
+    "divide",
+    "dot",
+    "encode",
+    "encode32",
+    "encode_exact",
+    "fma",
+    "is_nar",
+    "is_negative",
+    "is_widening_exact",
+    "is_zero",
+    "lattice_neighbors",
+    "layout_string",
+    "maxpos",
+    "minpos",
+    "multiply",
+    "nar",
+    "negate",
+    "next_down",
+    "next_up",
+    "positive_values_sorted",
+    "relative_spacing_at",
+    "spacing_at",
+    "ulp",
+    "regime_k",
+    "round_trip_is_identity",
+    "sqrt",
+    "standard_config",
+    "subtract",
+    "total",
+    "value_table",
+    "zero",
+]

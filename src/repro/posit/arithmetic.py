@@ -1,0 +1,193 @@
+"""Posit arithmetic on bit patterns.
+
+Two evaluation modes are provided:
+
+* ``fast`` (default): decode to float64, apply the float64 operation, and
+  re-encode.  This is exact for posit8/posit16 (their precision is low
+  enough that double rounding through 53 bits is provably innocuous) and
+  correct for posit32 except in rare double-rounding cases near a
+  round-to-nearest tie (the intermediate 53-bit result can mask the tie;
+  posit32 carries up to 27 fraction bits, and innocuous double rounding
+  requires an intermediate precision of at least 2*27 + 2 = 56 bits).
+
+* ``exact``: scalar, Fraction-based, correctly rounded for every width.
+  Used by the tests to validate the fast path and available for
+  correctness-critical work.
+
+Fault injection itself never performs posit arithmetic — the paper's
+campaign only converts float -> posit -> flipped posit -> float — but a
+credible posit library must compute, and the quire (see
+:mod:`repro.posit.quire`) builds on the exact mode.
+
+NaR propagates through every operation, and division by zero or sqrt of a
+negative yields NaR, per the standard.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Callable
+
+import numpy as np
+
+from repro.posit._reference import decode_exact, encode_exact
+from repro.posit.config import PositConfig
+from repro.posit.decode import decode
+from repro.posit.encode import encode
+from repro.posit.special import is_nar
+
+
+def negate(bits, config: PositConfig):
+    """Exact negation: the two's complement of the pattern (Fig. 19).
+
+    Zero and NaR are their own negations.
+    """
+    from repro.bitops import twos_complement
+
+    work = np.asarray(bits).astype(np.uint64, copy=False) & np.uint64(config.mask)
+    result = twos_complement(work, config.nbits)
+    result = np.where(work == np.uint64(config.nar_pattern), work, result)
+    return result.astype(config.dtype)
+
+
+def absolute(bits, config: PositConfig):
+    """|p| as a pattern: negate when the sign bit is set (NaR unchanged)."""
+    work = np.asarray(bits).astype(np.uint64, copy=False) & np.uint64(config.mask)
+    negative = (work & np.uint64(config.sign_mask)) != 0
+    negated = negate(work, config).astype(np.uint64)
+    result = np.where(negative, negated, work)
+    result = np.where(work == np.uint64(config.nar_pattern), work, result)
+    return result.astype(config.dtype)
+
+
+def _binary_fast(op: Callable, a, b, config: PositConfig):
+    lhs = decode(a, config)
+    rhs = decode(b, config)
+    with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+        result = op(lhs, rhs)
+    pattern = encode(result, config)
+    bad = is_nar(a, config) | is_nar(b, config)
+    return np.where(bad, config.dtype.type(config.nar_pattern), pattern).astype(config.dtype)
+
+
+def _binary_exact(op_name: str, a, b, config: PositConfig):
+    a_arr, b_arr = np.broadcast_arrays(
+        np.atleast_1d(np.asarray(a).astype(np.uint64)),
+        np.atleast_1d(np.asarray(b).astype(np.uint64)),
+    )
+    out = np.empty(a_arr.shape, dtype=config.dtype)
+    flat_out = out.reshape(-1)
+    for i, (pa, pb) in enumerate(zip(a_arr.reshape(-1), b_arr.reshape(-1))):
+        va = decode_exact(int(pa), config)
+        vb = decode_exact(int(pb), config)
+        if va is None or vb is None:
+            flat_out[i] = config.nar_pattern
+            continue
+        if op_name == "add":
+            result: Fraction | None = va + vb
+        elif op_name == "sub":
+            result = va - vb
+        elif op_name == "mul":
+            result = va * vb
+        elif op_name == "div":
+            result = None if vb == 0 else va / vb
+        else:  # pragma: no cover - guarded by callers
+            raise ValueError(f"unknown op {op_name}")
+        if result is None:
+            flat_out[i] = config.nar_pattern
+        else:
+            flat_out[i] = encode_exact(result, config)
+    if np.asarray(a).ndim == 0 and np.asarray(b).ndim == 0:
+        return out.reshape(-1)[0]
+    return out
+
+
+def add(a, b, config: PositConfig, mode: str = "fast"):
+    """Posit addition on bit patterns."""
+    if mode == "exact":
+        return _binary_exact("add", a, b, config)
+    return _binary_fast(np.add, a, b, config)
+
+
+def subtract(a, b, config: PositConfig, mode: str = "fast"):
+    """Posit subtraction on bit patterns."""
+    if mode == "exact":
+        return _binary_exact("sub", a, b, config)
+    return _binary_fast(np.subtract, a, b, config)
+
+
+def multiply(a, b, config: PositConfig, mode: str = "fast"):
+    """Posit multiplication on bit patterns."""
+    if mode == "exact":
+        return _binary_exact("mul", a, b, config)
+    return _binary_fast(np.multiply, a, b, config)
+
+
+def divide(a, b, config: PositConfig, mode: str = "fast"):
+    """Posit division on bit patterns; x/0 is NaR per the standard."""
+    if mode == "exact":
+        return _binary_exact("div", a, b, config)
+    result = _binary_fast(np.divide, a, b, config)
+    zero_divisor = np.asarray(decode(b, config)) == 0.0
+    return np.where(zero_divisor, config.dtype.type(config.nar_pattern), result).astype(config.dtype)
+
+
+def sqrt(a, config: PositConfig):
+    """Posit square root; negative inputs and NaR give NaR."""
+    values = decode(a, config)
+    with np.errstate(invalid="ignore"):
+        result = np.sqrt(values)
+    pattern = encode(result, config)
+    return np.where(
+        np.asarray(values) < 0, config.dtype.type(config.nar_pattern), pattern
+    ).astype(config.dtype)
+
+
+def fma(a, b, c, config: PositConfig, mode: str = "fast"):
+    """Fused multiply-add: round(a*b + c) with a single rounding.
+
+    The fast path uses float64 FMA-like evaluation (two float64
+    roundings at 53 bits, then one posit rounding); the exact path
+    performs a*b + c in rational arithmetic and rounds once.
+    """
+    if mode == "exact":
+        a_arr, b_arr, c_arr = np.broadcast_arrays(
+            np.atleast_1d(np.asarray(a).astype(np.uint64)),
+            np.atleast_1d(np.asarray(b).astype(np.uint64)),
+            np.atleast_1d(np.asarray(c).astype(np.uint64)),
+        )
+        out = np.empty(a_arr.shape, dtype=config.dtype)
+        flat = out.reshape(-1)
+        for i, (pa, pb, pc) in enumerate(
+            zip(a_arr.reshape(-1), b_arr.reshape(-1), c_arr.reshape(-1))
+        ):
+            va, vb, vc = (decode_exact(int(p), config) for p in (pa, pb, pc))
+            if va is None or vb is None or vc is None:
+                flat[i] = config.nar_pattern
+            else:
+                flat[i] = encode_exact(va * vb + vc, config)
+        if all(np.asarray(x).ndim == 0 for x in (a, b, c)):
+            return out.reshape(-1)[0]
+        return out
+    lhs = decode(a, config)
+    rhs = decode(b, config)
+    addend = decode(c, config)
+    with np.errstate(over="ignore", invalid="ignore"):
+        result = lhs * rhs + addend
+    pattern = encode(result, config)
+    bad = is_nar(a, config) | is_nar(b, config) | is_nar(c, config)
+    return np.where(bad, config.dtype.type(config.nar_pattern), pattern).astype(config.dtype)
+
+
+def compare(a, b, config: PositConfig) -> np.ndarray:
+    """Three-way compare of posit values via their patterns.
+
+    Posits compare like two's-complement integers (a designed property of
+    the encoding); NaR compares less than everything, as the standard
+    orders it.  Returns -1/0/+1.
+    """
+    from repro.bitops import to_signed
+
+    sa = to_signed(np.asarray(a).astype(np.uint64), config.nbits)
+    sb = to_signed(np.asarray(b).astype(np.uint64), config.nbits)
+    return np.sign(sa - sb).astype(np.int64)

@@ -1,0 +1,244 @@
+"""PositArray: a NumPy-like container of posit values.
+
+The rest of the package works on raw bit patterns (the right level for
+fault injection); ``PositArray`` wraps them behind the interface a
+numerical user expects — construction from floats, arithmetic operators,
+comparisons, slicing, reductions — so the library also serves as a
+practical drop-in posit array type.
+
+Semantics:
+
+* construction and every arithmetic result round to nearest (even) in
+  the array's posit format;
+* NaR propagates like NaN and is surfaced as NaN by :meth:`to_floats`;
+* ``sum``/``dot`` offer ``fused=True`` to accumulate through the quire
+  (one rounding total), the posit standard's headline feature.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.posit import arithmetic
+from repro.posit.config import POSIT32, PositConfig
+from repro.posit.decode import decode
+from repro.posit.encode import encode
+from repro.posit.quire import Quire
+from repro.posit.special import is_nar
+
+
+class PositArray:
+    """An array of posit-encoded values.
+
+    Parameters
+    ----------
+    values:
+        Floats (or anything ``np.asarray`` accepts) to encode, or an
+        existing ``PositArray`` to convert between formats.
+    config:
+        Posit format (default: standard posit32).
+    """
+
+    __slots__ = ("_bits", "config")
+
+    def __init__(self, values, config: PositConfig = POSIT32) -> None:
+        self.config = config
+        if isinstance(values, PositArray):
+            self._bits = np.asarray(
+                encode(values.to_floats(), config), dtype=config.dtype
+            )
+        else:
+            self._bits = np.asarray(
+                encode(np.asarray(values, dtype=np.float64), config),
+                dtype=config.dtype,
+            )
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def from_bits(cls, bits, config: PositConfig = POSIT32) -> "PositArray":
+        """Wrap existing bit patterns without re-encoding."""
+        instance = cls.__new__(cls)
+        instance.config = config
+        instance._bits = np.asarray(bits, dtype=config.dtype)
+        return instance
+
+    @classmethod
+    def zeros(cls, shape, config: PositConfig = POSIT32) -> "PositArray":
+        return cls.from_bits(np.zeros(shape, dtype=config.dtype), config)
+
+    # -- views ---------------------------------------------------------------
+
+    @property
+    def bits(self) -> np.ndarray:
+        """The raw bit patterns (a view; mutate at your own risk)."""
+        return self._bits
+
+    def to_floats(self) -> np.ndarray:
+        """Nearest-float64 values (NaR -> NaN)."""
+        return np.asarray(decode(self._bits, self.config))
+
+    def astype(self, config: PositConfig) -> "PositArray":
+        """Convert to another posit format (rounds once)."""
+        return PositArray(self.to_floats(), config)
+
+    @property
+    def shape(self):
+        return self._bits.shape
+
+    @property
+    def size(self) -> int:
+        return self._bits.size
+
+    def __len__(self) -> int:
+        return len(self._bits)
+
+    def __iter__(self) -> Iterable[float]:
+        return iter(self.to_floats())
+
+    def __getitem__(self, key) -> "PositArray":
+        return PositArray.from_bits(np.atleast_1d(self._bits[key]), self.config)
+
+    def __setitem__(self, key, value) -> None:
+        if isinstance(value, PositArray):
+            encoded = np.asarray(
+                encode(value.to_floats(), self.config), dtype=self.config.dtype
+            )
+        else:
+            encoded = np.asarray(
+                encode(np.asarray(value, dtype=np.float64), self.config),
+                dtype=self.config.dtype,
+            )
+        # A single-element source assigns into scalar slots too.
+        if encoded.size == 1 and np.ndim(self._bits[key]) == 0:
+            encoded = encoded.reshape(())
+        self._bits[key] = encoded
+
+    def is_nar(self) -> np.ndarray:
+        """Boolean mask of NaR elements."""
+        return np.asarray(is_nar(self._bits, self.config))
+
+    # -- arithmetic ------------------------------------------------------------
+
+    def _coerce(self, other) -> np.ndarray:
+        if isinstance(other, PositArray):
+            if other.config != self.config:
+                raise TypeError(
+                    f"format mismatch: {self.config} vs {other.config}; "
+                    "convert explicitly with astype()"
+                )
+            return other._bits
+        return np.asarray(
+            encode(np.asarray(other, dtype=np.float64), self.config),
+            dtype=self.config.dtype,
+        )
+
+    def _binary(self, op, other) -> "PositArray":
+        result = op(self._bits, self._coerce(other), self.config)
+        return PositArray.from_bits(np.asarray(result), self.config)
+
+    def __add__(self, other):
+        return self._binary(arithmetic.add, other)
+
+    def __radd__(self, other):
+        return self._binary(arithmetic.add, other)
+
+    def __sub__(self, other):
+        return self._binary(arithmetic.subtract, other)
+
+    def __rsub__(self, other):
+        coerced = PositArray.from_bits(self._coerce(other), self.config)
+        return coerced - self
+
+    def __mul__(self, other):
+        return self._binary(arithmetic.multiply, other)
+
+    def __rmul__(self, other):
+        return self._binary(arithmetic.multiply, other)
+
+    def __truediv__(self, other):
+        return self._binary(arithmetic.divide, other)
+
+    def __rtruediv__(self, other):
+        coerced = PositArray.from_bits(self._coerce(other), self.config)
+        return coerced / self
+
+    def __neg__(self):
+        return PositArray.from_bits(
+            np.asarray(arithmetic.negate(self._bits, self.config)), self.config
+        )
+
+    def __abs__(self):
+        return PositArray.from_bits(
+            np.asarray(arithmetic.absolute(self._bits, self.config)), self.config
+        )
+
+    def sqrt(self) -> "PositArray":
+        return PositArray.from_bits(
+            np.asarray(arithmetic.sqrt(self._bits, self.config)), self.config
+        )
+
+    # -- comparisons ------------------------------------------------------------
+
+    def _compare(self, other) -> np.ndarray:
+        return arithmetic.compare(self._bits, self._coerce(other), self.config)
+
+    def __eq__(self, other):  # type: ignore[override]
+        return self._compare(other) == 0
+
+    def __ne__(self, other):  # type: ignore[override]
+        return self._compare(other) != 0
+
+    def __lt__(self, other):
+        return self._compare(other) < 0
+
+    def __le__(self, other):
+        return self._compare(other) <= 0
+
+    def __gt__(self, other):
+        return self._compare(other) > 0
+
+    def __ge__(self, other):
+        return self._compare(other) >= 0
+
+    __hash__ = None  # type: ignore[assignment]
+
+    # -- reductions --------------------------------------------------------------
+
+    def sum(self, fused: bool = False) -> float:
+        """Sum of all elements.
+
+        ``fused=True`` accumulates exactly in a quire and rounds once;
+        the default folds left-to-right with a posit rounding per step
+        (hardware-without-quire semantics).
+        """
+        if fused:
+            quire = Quire(self.config)
+            for pattern in self._bits.reshape(-1):
+                quire.add_posit(int(pattern))
+            return float(decode(np.uint64(quire.to_posit()), self.config))
+        accumulator = self.config.dtype.type(self.config.zero_pattern)
+        for pattern in self._bits.reshape(-1):
+            accumulator = arithmetic.add(
+                np.asarray([accumulator]), np.asarray([pattern]), self.config
+            )[0]
+        return float(decode(np.uint64(accumulator), self.config))
+
+    def dot(self, other: "PositArray", fused: bool = False) -> float:
+        """Dot product with another PositArray of the same format."""
+        other_bits = self._coerce(other)
+        if fused:
+            quire = Quire(self.config)
+            for a, b in zip(self._bits.reshape(-1), other_bits.reshape(-1)):
+                quire.add_product(int(a), int(b))
+            return float(decode(np.uint64(quire.to_posit()), self.config))
+        products = arithmetic.multiply(self._bits, other_bits, self.config)
+        return PositArray.from_bits(np.asarray(products), self.config).sum()
+
+    # -- repr ---------------------------------------------------------------------
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        preview = np.array2string(self.to_floats(), threshold=8)
+        return f"PositArray({preview}, {self.config})"

@@ -1,0 +1,79 @@
+"""Conversions between posit formats (width / es changes).
+
+The standard defines conversion between posit types as a value-preserving
+re-rounding: decode the source exactly, encode into the target with
+round-to-nearest-even.  Widening standard formats is exact (every
+posit(n) value is representable in posit(2n) with the same es); narrowing
+rounds once.
+
+The vectorized fast path routes through float64, which is exact whenever
+the source fraction fits 52 bits (always true for sources up to 32 bits).
+For posit64 sources the exact scalar path avoids double rounding.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.posit._reference import decode_exact, encode_exact
+from repro.posit.config import PositConfig
+from repro.posit.decode import decode
+from repro.posit.encode import encode
+
+
+def convert(bits, source: PositConfig, target: PositConfig, exact: bool = False):
+    """Re-encode posit patterns from ``source`` format into ``target``.
+
+    Parameters
+    ----------
+    exact:
+        Force the scalar rational path (single rounding for any source).
+        The default vectorized path is automatically exact for sources
+        of width <= 32 bits; posit64 sources with > 52 fraction bits can
+        double-round through float64, so conversions *from* posit64
+        select the exact path on their own.
+    """
+    work = np.asarray(bits)
+    scalar_input = work.ndim == 0
+    work = np.atleast_1d(work).astype(np.uint64)
+
+    needs_exact = exact or source.max_fraction_bits > 52
+    if needs_exact:
+        out = np.empty(work.shape, dtype=target.dtype)
+        flat = out.reshape(-1)
+        for i, pattern in enumerate(work.reshape(-1)):
+            value = decode_exact(int(pattern), source)
+            if value is None:
+                flat[i] = target.nar_pattern
+            else:
+                flat[i] = encode_exact(value, target)
+    else:
+        values = decode(work, source)
+        out = np.asarray(encode(values, target), dtype=target.dtype)
+        nar_mask = work & np.uint64(source.mask)
+        nar_mask = nar_mask == np.uint64(source.nar_pattern)
+        out = np.where(nar_mask, target.dtype.type(target.nar_pattern), out)
+
+    if scalar_input:
+        return out.reshape(-1)[0]
+    return out
+
+
+def is_widening_exact(source: PositConfig, target: PositConfig) -> bool:
+    """Whether every source value is exactly representable in the target.
+
+    True when the target has at least the source's scale range and at
+    least as many fraction bits at every scale — which for equal ``es``
+    reduces to ``target.nbits >= source.nbits``.
+    """
+    if target.es != source.es:
+        return False
+    return target.nbits >= source.nbits
+
+
+def round_trip_is_identity(source: PositConfig, target: PositConfig) -> bool:
+    """Whether convert(convert(p, source->target), target->source) == p.
+
+    Holds whenever the widening direction is exact.
+    """
+    return is_widening_exact(source, target)

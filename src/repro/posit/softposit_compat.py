@@ -1,0 +1,97 @@
+"""SoftPosit-compatible API surface.
+
+The paper's campaign is written against Cerlane Leong's SoftPosit C
+library; this module mirrors the subset it uses, so code following the
+paper's methodology runs against this package unmodified:
+
+* ``convertFloatToP32`` / ``convertP32ToFloat`` — the storage conversions;
+* ``posit32_t`` — a struct-like wrapper exposing the raw unsigned ``v``
+  member (Section 4.1.2 flips bits on exactly that member);
+* ``p32_to_ui32`` / ``ui32_to_p32`` — SoftPosit's *numeric* conversions
+  between posits and unsigned integers.  These round the numeric value
+  (to an integer, and back to a posit), which is precisely why the paper
+  measured "a relative error of 1e-5" when using them as a bit-transport
+  mechanism and switched to the raw ``v`` member instead.  They are
+  implemented faithfully so that methodological observation is
+  reproducible (see the ``ext-methodology`` experiment).
+
+SoftPosit rounding convention for ``p32_to_ui32``: round to nearest
+integer, ties to even; negative values and NaR map to 0 (SoftPosit
+returns 0 for out-of-range unsigned conversions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.posit.config import POSIT32
+from repro.posit.decode import decode
+from repro.posit.encode import encode
+
+
+@dataclass
+class posit32_t:
+    """SoftPosit's posit32_t: a struct holding the raw pattern ``v``."""
+
+    v: int = 0
+
+    def __post_init__(self) -> None:
+        self.v = int(self.v) & POSIT32.mask
+
+
+def convertFloatToP32(value: float) -> posit32_t:
+    """float -> posit32 with round-to-nearest-even (SoftPosit semantics)."""
+    return posit32_t(int(encode(np.float64(value), POSIT32)))
+
+
+def convertP32ToFloat(posit: posit32_t) -> float:
+    """posit32 -> nearest float64 (NaR becomes NaN)."""
+    return float(decode(np.uint64(posit.v), POSIT32))
+
+
+def convertDoubleToP32(value: float) -> posit32_t:
+    """Alias with SoftPosit's double-precision entry-point name."""
+    return convertFloatToP32(value)
+
+
+def convertP32ToDouble(posit: posit32_t) -> float:
+    """Alias with SoftPosit's double-precision entry-point name."""
+    return convertP32ToFloat(posit)
+
+
+def p32_to_ui32(posit: posit32_t) -> int:
+    """Numeric conversion: the posit's *value* rounded to a uint32.
+
+    This is NOT a bit reinterpretation — SoftPosit rounds the numeric
+    value to the nearest unsigned integer (ties to even), clamping
+    negatives and NaR to 0 and saturating at UINT32_MAX.
+    """
+    value = convertP32ToFloat(posit)
+    if not np.isfinite(value) or value <= 0:
+        return 0
+    if value >= 2**32 - 1:
+        return 2**32 - 1
+    floor = int(np.floor(value))
+    remainder = value - floor
+    if remainder > 0.5 or (remainder == 0.5 and floor % 2 == 1):
+        return floor + 1
+    return floor
+
+
+def ui32_to_p32(value: int) -> posit32_t:
+    """Numeric conversion: a uint32's value encoded as the nearest posit."""
+    if not 0 <= value < 2**32:
+        raise ValueError(f"value {value} out of uint32 range")
+    return convertFloatToP32(float(value))
+
+
+def castUI32(posit: posit32_t) -> int:
+    """Bit-level escape hatch: the raw pattern (the paper's ``v`` access)."""
+    return posit.v
+
+
+def castP32(bits: int) -> posit32_t:
+    """Bit-level escape hatch: wrap a raw pattern without conversion."""
+    return posit32_t(bits)

@@ -1,0 +1,61 @@
+"""Exhaustive posit value tables for small widths.
+
+For widths up to 16 bits we can enumerate every pattern, which the tests
+use as ground truth and which the accuracy analysis (the paper's Fig. 7)
+uses to compute decimal-accuracy profiles over the full lattice.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from repro.posit.config import PositConfig
+from repro.posit.decode import decode
+
+_MAX_TABLE_BITS = 20
+
+
+@lru_cache(maxsize=8)
+def _value_table_cached(nbits: int, es: int) -> np.ndarray:
+    config = PositConfig(nbits=nbits, es=es)
+    patterns = np.arange(1 << nbits, dtype=np.uint64)
+    return decode(patterns, config)
+
+
+def value_table(config: PositConfig) -> np.ndarray:
+    """float64 value of every pattern of a small posit format.
+
+    Index ``i`` holds the value of pattern ``i``; NaR decodes to NaN.
+    Only formats up to 20 bits are enumerable.
+    """
+    if config.nbits > _MAX_TABLE_BITS:
+        raise ValueError(
+            f"value_table only supports nbits <= {_MAX_TABLE_BITS}, got {config.nbits}"
+        )
+    return _value_table_cached(config.nbits, config.es)
+
+
+def positive_values_sorted(config: PositConfig) -> np.ndarray:
+    """All positive representable values of a small format, ascending.
+
+    Posits compare like signed integers, so patterns 1..maxpos are
+    already value-ordered; this is asserted rather than re-sorted.
+    """
+    table = value_table(config)
+    values = table[1 : config.maxpos_pattern + 1]
+    if not np.all(np.diff(values) > 0):  # pragma: no cover - invariant
+        raise AssertionError("posit lattice must be monotonic")
+    return values
+
+
+def lattice_neighbors(value: float, config: PositConfig) -> tuple[float, float]:
+    """The two representable values bracketing ``value`` (small formats)."""
+    values = positive_values_sorted(config)
+    if value <= 0:
+        raise ValueError("lattice_neighbors expects a positive value")
+    index = int(np.searchsorted(values, value))
+    low = values[max(index - 1, 0)]
+    high = values[min(index, len(values) - 1)]
+    return float(low), float(high)

@@ -1,0 +1,77 @@
+"""ULP and spacing utilities for posit formats.
+
+The spacing between adjacent representable values is the natural unit of
+representation error, and for posits it varies with the regime (tapered
+precision).  These helpers answer "how far apart are posits around x?" —
+used by the accuracy analysis, by tests, and by anyone sizing tolerances
+for posit-stored data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.posit.config import PositConfig
+from repro.posit.decode import decode
+from repro.posit.encode import encode
+
+
+def next_up(bits, config: PositConfig):
+    """Pattern of the next larger representable value (NaR saturates).
+
+    Posit patterns ordered as signed integers are value-ordered, so the
+    successor is pattern + 1 — except maxpos, whose successor would be
+    NaR and instead saturates (stays maxpos), matching the convention
+    that no arithmetic path reaches NaR from a real.
+    """
+    work = np.asarray(bits).astype(np.uint64, copy=False) & np.uint64(config.mask)
+    successor = (work + np.uint64(1)) & np.uint64(config.mask)
+    at_max = work == np.uint64(config.maxpos_pattern)
+    is_nar = work == np.uint64(config.nar_pattern)
+    result = np.where(at_max | is_nar, work, successor)
+    return result.astype(config.dtype)
+
+
+def next_down(bits, config: PositConfig):
+    """Pattern of the next smaller representable value (symmetric rules)."""
+    work = np.asarray(bits).astype(np.uint64, copy=False) & np.uint64(config.mask)
+    predecessor = (work - np.uint64(1)) & np.uint64(config.mask)
+    at_min = work == np.uint64((config.nar_pattern + 1) & config.mask)  # most negative real
+    is_nar = work == np.uint64(config.nar_pattern)
+    result = np.where(at_min | is_nar, work, predecessor)
+    return result.astype(config.dtype)
+
+
+def ulp(bits, config: PositConfig) -> np.ndarray:
+    """Distance to the next larger representable value, per element.
+
+    For maxpos (no successor) the distance to the *predecessor* is
+    returned, mirroring how IEEE ulp conventions handle the top of the
+    range; NaR yields NaN.
+    """
+    work = np.asarray(bits).astype(np.uint64, copy=False) & np.uint64(config.mask)
+    values = np.asarray(decode(work, config), dtype=np.float64)
+    up = np.asarray(decode(next_up(work, config), config), dtype=np.float64)
+    down = np.asarray(decode(next_down(work, config), config), dtype=np.float64)
+    at_max = work == np.uint64(config.maxpos_pattern)
+    spacing = np.where(at_max, values - down, up - values)
+    return np.where(work == np.uint64(config.nar_pattern), np.nan, spacing)
+
+
+def spacing_at(values, config: PositConfig) -> np.ndarray:
+    """Posit spacing around arbitrary real values (after rounding in)."""
+    patterns = np.asarray(encode(np.asarray(values, dtype=np.float64), config))
+    return ulp(patterns, config)
+
+
+def relative_spacing_at(values, config: PositConfig) -> np.ndarray:
+    """spacing / |value| — the local relative resolution.
+
+    Minimal near |x| = 1 (the posit sweet spot) and growing with the
+    regime; infinite at zero.
+    """
+    array = np.asarray(values, dtype=np.float64)
+    spacing = spacing_at(array, config)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        rel = spacing / np.abs(array)
+    return np.where(array == 0, np.inf, rel)

@@ -1,0 +1,35 @@
+"""Protection-scheme modeling and evaluation over campaign records."""
+
+from repro.protect.evaluate import (
+    ProtectionReport,
+    bits_needed_for_reduction,
+    evaluate_scheme,
+    msb_tmr_frontier,
+    ranked_bit_positions,
+    tmr_frontier,
+)
+from repro.protect.schemes import (
+    FullDuplication,
+    FullTMR,
+    NoProtection,
+    ProtectionScheme,
+    SelectiveParity,
+    SelectiveTMR,
+    top_bits,
+)
+
+__all__ = [
+    "FullDuplication",
+    "FullTMR",
+    "NoProtection",
+    "ProtectionReport",
+    "ProtectionScheme",
+    "SelectiveParity",
+    "SelectiveTMR",
+    "bits_needed_for_reduction",
+    "evaluate_scheme",
+    "msb_tmr_frontier",
+    "ranked_bit_positions",
+    "tmr_frontier",
+    "top_bits",
+]

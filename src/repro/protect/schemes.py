@@ -1,0 +1,156 @@
+"""Selective protection schemes for stored values.
+
+The paper's purpose is "to inform hardware design for fault-tolerant
+systems", and its related work surveys the standard mechanisms: parity /
+ECC (Dell, Fulp et al.), redundancy (Fiala et al.), and duplication
+(Reinhardt & Mukherjee).  This module models those mechanisms at the
+granularity the paper's data supports — *which bit positions of a stored
+word are covered* — under the paper's single-bit-flip fault model:
+
+* **Parity** over a set of positions detects any single flip inside the
+  set (1 extra bit per word).  Detection is assumed to trigger recovery
+  (recomputation / checkpoint restore), so detected flips cause no SDC.
+* **TMR** over a set of positions corrects any single flip inside the set
+  (2 extra bits per covered position).
+* **Duplication** of the whole word detects everything (100% overhead);
+  full TMR corrects everything (200%).
+
+Composing a scheme with campaign records (see
+:mod:`repro.protect.evaluate`) yields the coverage/overhead frontier a
+hardware designer actually needs.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+
+class ProtectionScheme(abc.ABC):
+    """A per-word storage protection mechanism (single-fault model)."""
+
+    @abc.abstractmethod
+    def covers(self, bit_positions: np.ndarray) -> np.ndarray:
+        """Whether a flip at each given bit position lands in coverage."""
+
+    @abc.abstractmethod
+    def corrects(self) -> bool:
+        """True when covered flips are corrected (vs merely detected)."""
+
+    @abc.abstractmethod
+    def overhead_bits(self, nbits: int) -> int:
+        """Extra storage bits per word."""
+
+    @abc.abstractmethod
+    def describe(self) -> str:
+        """Human-readable scheme name."""
+
+    def overhead_fraction(self, nbits: int) -> float:
+        """Extra bits relative to the unprotected word."""
+        return self.overhead_bits(nbits) / nbits
+
+
+@dataclass(frozen=True)
+class NoProtection(ProtectionScheme):
+    """Baseline: nothing covered, nothing spent."""
+
+    def covers(self, bit_positions: np.ndarray) -> np.ndarray:
+        return np.zeros(np.shape(bit_positions), dtype=bool)
+
+    def corrects(self) -> bool:
+        return False
+
+    def overhead_bits(self, nbits: int) -> int:
+        return 0
+
+    def describe(self) -> str:
+        return "none"
+
+
+@dataclass(frozen=True)
+class SelectiveParity(ProtectionScheme):
+    """One parity bit over a chosen set of positions (detect-only)."""
+
+    positions: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(set(self.positions)) != len(self.positions):
+            raise ValueError("parity positions must be distinct")
+
+    def covers(self, bit_positions: np.ndarray) -> np.ndarray:
+        return np.isin(np.asarray(bit_positions), np.asarray(self.positions, dtype=np.int64))
+
+    def corrects(self) -> bool:
+        return False
+
+    def overhead_bits(self, nbits: int) -> int:
+        return 1
+
+    def describe(self) -> str:
+        return f"parity[{len(self.positions)} bits]"
+
+
+@dataclass(frozen=True)
+class SelectiveTMR(ProtectionScheme):
+    """Triplicate a chosen set of positions; majority vote corrects."""
+
+    positions: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(set(self.positions)) != len(self.positions):
+            raise ValueError("TMR positions must be distinct")
+
+    def covers(self, bit_positions: np.ndarray) -> np.ndarray:
+        return np.isin(np.asarray(bit_positions), np.asarray(self.positions, dtype=np.int64))
+
+    def corrects(self) -> bool:
+        return True
+
+    def overhead_bits(self, nbits: int) -> int:
+        return 2 * len(self.positions)
+
+    def describe(self) -> str:
+        return f"tmr[{len(self.positions)} bits]"
+
+
+@dataclass(frozen=True)
+class FullDuplication(ProtectionScheme):
+    """Duplicate the word; any single flip is detected by mismatch."""
+
+    def covers(self, bit_positions: np.ndarray) -> np.ndarray:
+        return np.ones(np.shape(bit_positions), dtype=bool)
+
+    def corrects(self) -> bool:
+        return False
+
+    def overhead_bits(self, nbits: int) -> int:
+        return nbits
+
+    def describe(self) -> str:
+        return "duplication"
+
+
+@dataclass(frozen=True)
+class FullTMR(ProtectionScheme):
+    """Triplicate the word; any single flip is corrected by vote."""
+
+    def covers(self, bit_positions: np.ndarray) -> np.ndarray:
+        return np.ones(np.shape(bit_positions), dtype=bool)
+
+    def corrects(self) -> bool:
+        return True
+
+    def overhead_bits(self, nbits: int) -> int:
+        return 2 * nbits
+
+    def describe(self) -> str:
+        return "full-tmr"
+
+
+def top_bits(nbits: int, count: int) -> tuple[int, ...]:
+    """The `count` most significant bit positions of an nbits word."""
+    if not 0 <= count <= nbits:
+        raise ValueError(f"count must be in [0, {nbits}], got {count}")
+    return tuple(range(nbits - count, nbits))

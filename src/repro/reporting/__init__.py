@@ -1,0 +1,24 @@
+"""Reporting containers and plain-text/CSV rendering."""
+
+from repro.reporting.export import write_figure_csv, write_table_csv
+from repro.reporting.report import generate_report
+from repro.reporting.series import Figure, Series, Table
+from repro.reporting.tables import (
+    format_cell,
+    render_ascii_plot,
+    render_series_table,
+    render_table,
+)
+
+__all__ = [
+    "Figure",
+    "Series",
+    "Table",
+    "format_cell",
+    "generate_report",
+    "render_ascii_plot",
+    "render_series_table",
+    "render_table",
+    "write_figure_csv",
+    "write_table_csv",
+]

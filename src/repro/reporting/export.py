@@ -1,0 +1,30 @@
+"""CSV export of experiment output (tables and figures)."""
+
+from __future__ import annotations
+
+import csv
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro.reporting.series import Figure, Table
+
+
+def write_table_csv(table: Table, path: str | os.PathLike) -> None:
+    """Write a Table as plain CSV (header + rows)."""
+    with open(Path(path), "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(table.columns)
+        for row in table.rows:
+            writer.writerow(row)
+
+
+def write_figure_csv(figure: Figure, path: str | os.PathLike) -> None:
+    """Write a Figure as long-form CSV: series,x,y."""
+    with open(Path(path), "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["series", figure.x_label, figure.y_label])
+        for series in figure.series:
+            for x, y in zip(series.x, series.y):
+                writer.writerow([series.label, x, float(y) if np.isfinite(y) else y])

@@ -1,0 +1,91 @@
+"""Full-study report generation.
+
+Assembles every registered experiment into one Markdown document (the
+library's equivalent of the paper's evaluation section) and exports each
+figure/table as CSV alongside, so the whole reproduction is a single
+command: ``posit-resiliency report --out results/``.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro.reporting.export import write_figure_csv, write_table_csv
+from repro.reporting.tables import render_series_table, render_table
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.experiments import ExperimentParams
+
+
+def _slug(text: str) -> str:
+    return "".join(c if c.isalnum() else "-" for c in text.lower()).strip("-")
+
+
+def generate_report(
+    directory: str | os.PathLike,
+    params: "ExperimentParams | None" = None,
+    ids: list[str] | None = None,
+) -> Path:
+    """Run experiments and write report.md + per-figure CSVs.
+
+    Returns the path of the written report.
+    """
+    # Imported here: repro.experiments itself imports repro.reporting.
+    from repro.experiments import ExperimentParams, experiment_ids, get_experiment
+
+    out_dir = Path(directory)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    params = params or ExperimentParams()
+    wanted = ids if ids is not None else experiment_ids()
+
+    lines: list[str] = [
+        "# Posit resiliency study — full reproduction report",
+        "",
+        f"parameters: data_size={params.data_size}, "
+        f"trials_per_bit={params.trials_per_bit}, seed={params.seed}",
+        "",
+    ]
+    total_checks = 0
+    failed_checks: list[str] = []
+
+    for exp_id in wanted:
+        spec = get_experiment(exp_id)
+        output = spec.run(params)
+        lines.append(f"## {exp_id} — {spec.title}  [{spec.paper_ref}]")
+        lines.append("")
+        for i, table in enumerate(output.tables):
+            csv_name = f"{exp_id}-table{i}-{_slug(table.title)[:40]}.csv"
+            write_table_csv(table, out_dir / csv_name)
+            lines.append("```")
+            lines.append(render_table(table))
+            lines.append("```")
+            lines.append(f"(data: `{csv_name}`)")
+            lines.append("")
+        for i, figure in enumerate(output.figures):
+            csv_name = f"{exp_id}-fig{i}-{_slug(figure.title)[:40]}.csv"
+            write_figure_csv(figure, out_dir / csv_name)
+            lines.append("```")
+            lines.append(render_series_table(figure))
+            lines.append("```")
+            lines.append(f"(data: `{csv_name}`)")
+            lines.append("")
+        if output.findings:
+            lines.append("**Findings**")
+            lines.extend(f"- {finding}" for finding in output.findings)
+            lines.append("")
+        lines.append("**Checks**")
+        for name, passed in output.checks.items():
+            marker = "PASS" if passed else "FAIL"
+            lines.append(f"- [{marker}] {name}")
+            total_checks += 1
+            if not passed:
+                failed_checks.append(f"{exp_id}:{name}")
+        lines.append("")
+
+    lines.insert(3, f"checks: {total_checks - len(failed_checks)}/{total_checks} pass"
+                 + (f" — FAILURES: {', '.join(failed_checks)}" if failed_checks else ""))
+    report_path = out_dir / "report.md"
+    report_path.write_text("\n".join(lines))
+    return report_path

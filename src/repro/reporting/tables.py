@@ -1,0 +1,98 @@
+"""Plain-text rendering for tables and figures (terminal deliverable)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.reporting.series import Figure, Series, Table
+
+
+def format_cell(value) -> str:
+    """Scientific notation for floats, plain for everything else."""
+    if isinstance(value, (float, np.floating)):
+        if value != value:  # NaN
+            return "nan"
+        if value in (float("inf"), float("-inf")):
+            return "inf" if value > 0 else "-inf"
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if 1e-3 <= magnitude < 1e5:
+            return f"{value:.4g}"
+        return f"{value:.3e}"
+    return str(value)
+
+
+def render_table(table: Table) -> str:
+    """ASCII table with a title bar and aligned columns."""
+    header = list(table.columns)
+    body = [[format_cell(cell) for cell in row] for row in table.rows]
+    widths = [len(name) for name in header]
+    for row in body:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: list[str]) -> str:
+        return " | ".join(cell.rjust(width) for cell, width in zip(cells, widths))
+
+    rule = "-+-".join("-" * width for width in widths)
+    lines = [f"== {table.title} ==", fmt_row(header), rule]
+    lines.extend(fmt_row(row) for row in body)
+    for note in table.notes:
+        lines.append(f"  note: {note}")
+    return "\n".join(lines)
+
+
+def render_series_table(figure: Figure, x_format=str) -> str:
+    """Render a figure as a table: x column + one column per series."""
+    table = Table(
+        title=figure.title,
+        columns=[figure.x_label] + figure.labels(),
+    )
+    if figure.series:
+        base_x = figure.series[0].x
+        for series in figure.series[1:]:
+            if series.x.shape != base_x.shape or not np.array_equal(series.x, base_x):
+                return _render_series_blocks(figure)
+        for i, x in enumerate(base_x):
+            table.add_row([x_format(x)] + [float(s.y[i]) for s in figure.series])
+    table.notes = list(figure.notes)
+    return render_table(table)
+
+
+def _render_series_blocks(figure: Figure) -> str:
+    """Fallback rendering when series have different x grids."""
+    blocks = [f"== {figure.title} =="]
+    for series in figure.series:
+        blocks.append(f"-- {series.label} ({figure.x_label} -> {figure.y_label})")
+        for x, y in zip(series.x, series.y):
+            blocks.append(f"   {format_cell(x)} : {format_cell(float(y))}")
+    for note in figure.notes:
+        blocks.append(f"  note: {note}")
+    return "\n".join(blocks)
+
+
+def render_ascii_plot(series: Series, width: int = 64, height: int = 16,
+                      log_y: bool = False) -> str:
+    """Tiny ASCII scatter of one series (quick terminal visualization)."""
+    clean = series.finite()
+    if clean.y.size == 0:
+        return f"[{series.label}: no finite points]"
+    y = clean.y.astype(np.float64)
+    if log_y:
+        positive = y > 0
+        if not np.any(positive):
+            return f"[{series.label}: no positive points for log scale]"
+        floor = np.min(y[positive]) / 10.0
+        y = np.log10(np.maximum(y, floor))
+    x = clean.x.astype(np.float64)
+    grid = [[" "] * width for _ in range(height)]
+    x_span = (x.max() - x.min()) or 1.0
+    y_span = (y.max() - y.min()) or 1.0
+    for xi, yi in zip(x, y):
+        col = int((xi - x.min()) / x_span * (width - 1))
+        row = int((yi - y.min()) / y_span * (height - 1))
+        grid[height - 1 - row][col] = "*"
+    lines = [f"[{series.label}]" + (" (log10 y)" if log_y else "")]
+    lines.extend("".join(row) for row in grid)
+    return "\n".join(lines)

@@ -1,0 +1,72 @@
+"""Tests for the accuracy-profile analysis (Fig. 7)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.accuracy import (
+    accuracy_profile,
+    ieee_decimal_accuracy,
+    posit_decimal_accuracy,
+    posit_fraction_bits_at_scale,
+)
+from repro.ieee.formats import BINARY32
+from repro.posit.config import POSIT8, POSIT32
+
+
+class TestPositFractionBits:
+    def test_peak_at_zero(self):
+        assert posit_fraction_bits_at_scale(0, POSIT32) == 27
+
+    def test_decays_by_regime(self):
+        assert posit_fraction_bits_at_scale(4, POSIT32) == 26
+        assert posit_fraction_bits_at_scale(8, POSIT32) == 25
+        assert posit_fraction_bits_at_scale(-5, POSIT32) == 26
+
+    def test_saturates_to_zero(self):
+        assert posit_fraction_bits_at_scale(118, POSIT32) == 0
+
+    def test_matches_encoded_pattern(self):
+        from repro.posit.encode import encode
+        from repro.posit.fields import decompose
+
+        for h in (-20, -4, 0, 3, 17, 40):
+            value = float(2.0**h) * 1.3
+            pattern = encode(np.float64(value), POSIT32)
+            fields = decompose(np.atleast_1d(pattern).astype(np.uint64), POSIT32)
+            assert int(fields.fraction_bits[0]) == posit_fraction_bits_at_scale(h, POSIT32), h
+
+
+class TestDecimalAccuracy:
+    def test_posit_formula(self):
+        assert posit_decimal_accuracy(0, POSIT32) == pytest.approx(28 * math.log10(2))
+
+    def test_posit_outside_range(self):
+        assert posit_decimal_accuracy(500, POSIT32) == 0.0
+
+    def test_ieee_flat_in_normal_range(self):
+        for h in (-100, 0, 100):
+            assert ieee_decimal_accuracy(h, BINARY32) == pytest.approx(24 * math.log10(2))
+
+    def test_ieee_subnormal_decay(self):
+        emin = 1 - BINARY32.bias
+        full = ieee_decimal_accuracy(emin, BINARY32)
+        assert ieee_decimal_accuracy(emin - 4, BINARY32) < full
+        assert ieee_decimal_accuracy(emin - 200, BINARY32) == 0.0
+
+    def test_ieee_overflow_zero(self):
+        assert ieee_decimal_accuracy(200, BINARY32) == 0.0
+
+
+class TestProfileFigure:
+    def test_structure(self):
+        figure = accuracy_profile(POSIT32, BINARY32, h_range=(-10, 10))
+        assert figure.labels() == ["posit32", "binary32"]
+        assert figure.get("posit32").x.shape == (21,)
+
+    def test_default_range(self):
+        figure = accuracy_profile(POSIT8, BINARY32)
+        x = figure.get("posit8").x
+        assert x[0] == -POSIT8.max_scale
+        assert x[-1] == POSIT8.max_scale

@@ -1,0 +1,119 @@
+"""Tests for record aggregation."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.aggregate import (
+    aggregate_by_bit,
+    aggregate_by_field,
+    catastrophic_fraction,
+    sdc_threshold_fraction,
+)
+from repro.inject.campaign import CampaignConfig, run_campaign
+from repro.inject.results import TrialRecords
+
+
+@pytest.fixture
+def records(small_field):
+    return run_campaign(
+        small_field, "posit32", CampaignConfig(trials_per_bit=10, seed=3)
+    ).records
+
+
+class TestAggregateByBit:
+    def test_shapes_and_counts(self, records):
+        agg = aggregate_by_bit(records, 32)
+        assert agg.bits.shape == (32,)
+        assert np.all(agg.trial_counts == 10)
+
+    def test_matches_manual_mean(self, records):
+        agg = aggregate_by_bit(records, 32)
+        for bit in (0, 15, 31):
+            rel = records.for_bit(bit).rel_err
+            finite = rel[np.isfinite(rel)]
+            assert agg.mean_rel_err[bit] == pytest.approx(float(np.mean(finite)))
+            assert agg.median_rel_err[bit] == pytest.approx(float(np.median(finite)))
+            assert agg.max_rel_err[bit] == float(np.max(finite))
+
+    def test_incl_inf_mean(self):
+        records = _craft_records(
+            bits=[0, 0, 0], rel=[1.0, np.inf, np.nan]
+        )
+        agg = aggregate_by_bit(records, 1)
+        assert agg.mean_rel_err[0] == 1.0          # finite-only
+        assert agg.mean_rel_err_incl_inf[0] == np.inf
+        assert agg.non_finite_counts[0] == 2
+
+    def test_empty_bit(self, records):
+        agg = aggregate_by_bit(records.for_bit(5), 32)
+        assert np.isnan(agg.mean_rel_err[6])
+        assert agg.trial_counts[6] == 0
+
+    def test_series_accessor(self, records):
+        agg = aggregate_by_bit(records, 32)
+        bits, values = agg.series("mean_abs_err")
+        assert np.array_equal(bits, np.arange(32))
+        assert values is agg.mean_abs_err
+
+
+def _craft_records(bits, rel) -> TrialRecords:
+    n = len(bits)
+    zeros_f = np.zeros(n)
+    return TrialRecords(
+        trial=np.arange(n, dtype=np.int64),
+        bit=np.asarray(bits, dtype=np.int64),
+        index=np.zeros(n, dtype=np.int64),
+        original=np.ones(n),
+        faulty=np.ones(n),
+        field=np.zeros(n, dtype=np.int64),
+        regime_k=np.ones(n, dtype=np.int64),
+        abs_err=np.abs(np.asarray(rel, dtype=np.float64)),
+        rel_err=np.asarray(rel, dtype=np.float64),
+        range_rel_err=zeros_f,
+        mse=zeros_f,
+        faulty_mean=zeros_f,
+        faulty_std=zeros_f,
+        faulty_max=zeros_f,
+        faulty_min=zeros_f,
+        non_finite=~np.isfinite(np.asarray(rel, dtype=np.float64)),
+    )
+
+
+class TestAggregateByField:
+    def test_covers_all_fields(self, records):
+        from repro.inject.targets import target_by_name
+
+        target = target_by_name("posit32")
+        rows = aggregate_by_field(records, target.field_label)
+        labels = {row.label for row in rows}
+        assert "SIGN" in labels
+        assert "FRACTION" in labels
+        total = sum(row.trial_count for row in rows)
+        assert total == len(records)
+
+    def test_mean_matches_manual(self, records):
+        from repro.inject.targets import target_by_name
+
+        target = target_by_name("posit32")
+        rows = aggregate_by_field(records, target.field_label)
+        for row in rows:
+            rel = records.for_field(row.field_id).rel_err
+            finite = rel[np.isfinite(rel)]
+            assert row.mean_rel_err == pytest.approx(float(np.mean(finite)))
+
+
+class TestFractions:
+    def test_catastrophic_fraction(self):
+        records = _craft_records(bits=[0, 0, 0, 0], rel=[1.0, np.nan, np.inf, 2.0])
+        assert catastrophic_fraction(records) == 0.5
+
+    def test_catastrophic_empty(self):
+        assert catastrophic_fraction(TrialRecords.empty()) == 0.0
+
+    def test_sdc_threshold(self):
+        records = _craft_records(bits=[0] * 4, rel=[0.5, 2.0, np.inf, 0.1])
+        assert sdc_threshold_fraction(records, 1.0) == 0.5
+        assert sdc_threshold_fraction(records, 0.01) == 1.0
+
+    def test_sdc_threshold_empty(self):
+        assert sdc_threshold_fraction(TrialRecords.empty(), 1.0) == 0.0

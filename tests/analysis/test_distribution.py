@@ -1,0 +1,107 @@
+"""Tests for error-distribution analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.distribution import (
+    erraticness,
+    log_histogram,
+    percentile_bands,
+    sdc_rate_curve,
+)
+from repro.inject.campaign import CampaignConfig, run_campaign
+from repro.inject.results import TrialRecords
+
+
+@pytest.fixture(scope="module")
+def campaigns():
+    rng = np.random.default_rng(1)
+    data = np.concatenate([
+        rng.normal(100, 40, 3000),
+        rng.lognormal(-3, 2, 1000),
+    ]).astype(np.float32)
+    config = CampaignConfig(trials_per_bit=24, seed=1)
+    return {
+        "ieee32": run_campaign(data, "ieee32", config).records,
+        "posit32": run_campaign(data, "posit32", config).records,
+    }
+
+
+class TestPercentileBands:
+    def test_shape_and_order(self, campaigns):
+        bands = percentile_bands(campaigns["posit32"], 32)
+        assert bands.values.shape == (4, 32)
+        p10 = bands.band(10.0)
+        p90 = bands.band(90.0)
+        mask = np.isfinite(p10) & np.isfinite(p90)
+        assert np.all(p10[mask] <= p90[mask] + 1e-18)
+
+    def test_matches_numpy(self, campaigns):
+        records = campaigns["ieee32"]
+        bands = percentile_bands(records, 32, percentiles=(50.0,))
+        rel = records.for_bit(5).rel_err
+        finite = rel[np.isfinite(rel)]
+        assert bands.band(50.0)[5] == pytest.approx(np.percentile(finite, 50))
+
+    def test_empty_bit_is_nan(self):
+        bands = percentile_bands(TrialRecords.empty(), 4)
+        assert np.all(np.isnan(bands.values))
+
+
+class TestLogHistogram:
+    def test_counts_conserved(self, rng):
+        values = rng.lognormal(0, 4, 5000)
+        edges, counts = log_histogram(values, decades=(-12, 12))
+        assert counts.sum() == 5000
+        assert len(edges) == len(counts) + 1
+
+    def test_drops_nonpositive_and_nonfinite(self):
+        edges, counts = log_histogram([0.0, -1.0, np.nan, np.inf, 1.0])
+        assert counts.sum() == 1
+
+    def test_out_of_range_clipped(self):
+        edges, counts = log_histogram([1e-30, 1e30], decades=(-2, 2))
+        assert counts[0] == 1
+        assert counts[-1] == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            log_histogram([1.0], decades=(3, 3))
+
+
+class TestSdcRateCurve:
+    def test_monotone_nonincreasing(self, campaigns):
+        thresholds, rates = sdc_rate_curve(campaigns["posit32"])
+        assert np.all(np.diff(rates) <= 1e-12)
+        assert np.all((rates >= 0) & (rates <= 1))
+
+    def test_matches_manual(self, campaigns):
+        records = campaigns["ieee32"]
+        thresholds, rates = sdc_rate_curve(records, thresholds=[1.0])
+        rel = records.rel_err
+        expected = float(np.mean(~np.isfinite(rel) | (rel > 1.0)))
+        assert rates[0] == expected
+
+    def test_empty(self):
+        thresholds, rates = sdc_rate_curve(TrialRecords.empty())
+        assert np.all(rates == 0)
+
+    def test_posit_better_at_large_tolerances(self, campaigns):
+        # The paper's claim as a reliability curve: at tolerance 10^4,
+        # fewer posit flips are SDCs than IEEE flips.
+        _, posit_rates = sdc_rate_curve(campaigns["posit32"], thresholds=[1e4])
+        _, ieee_rates = sdc_rate_curve(campaigns["ieee32"], thresholds=[1e4])
+        assert posit_rates[0] < ieee_rates[0]
+
+
+class TestErraticness:
+    def test_posit_more_erratic_than_ieee(self, campaigns):
+        posit = erraticness(campaigns["posit32"], 32)
+        ieee = erraticness(campaigns["ieee32"], 32)
+        assert np.isfinite(posit) and np.isfinite(ieee)
+        # Section 5.3: posit upper-bit error is "more distributed and
+        # erratic"; IEEE's is a clean exponential ramp (small residual).
+        assert posit > ieee
+
+    def test_insufficient_data(self):
+        assert np.isnan(erraticness(TrialRecords.empty(), 32))

@@ -1,0 +1,107 @@
+"""Tests for posit flip edge-case classification."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.edgecases import (
+    FlipEvent,
+    classify_flip,
+    count_flip_events,
+    expansion_growth,
+    regime_inversion_mask,
+)
+from repro.posit.config import POSIT8, POSIT32
+from repro.posit.encode import encode
+
+
+def _pattern(value: float) -> np.ndarray:
+    return np.array([int(encode(np.float64(value), POSIT32))], dtype=np.uint64)
+
+
+class TestClassifyFlip:
+    def test_sign_flip(self):
+        assert classify_flip(_pattern(3.0), 31, POSIT32)[0] == FlipEvent.SIGN_FLIP
+
+    def test_fraction_change(self):
+        assert classify_flip(_pattern(1.5), 0, POSIT32)[0] == FlipEvent.FRACTION_CHANGE
+
+    def test_exponent_change(self):
+        # k=1 posit: exponent at bits 28-27.
+        assert classify_flip(_pattern(1.5), 28, POSIT32)[0] == FlipEvent.EXPONENT_CHANGE
+
+    def test_regime_expansion_fig12(self):
+        # 250 ~= regime 110, e=11, fraction 1110...: flipping R_k at bit
+        # 28 absorbs the exponent/fraction ones.
+        assert classify_flip(_pattern(250.0), 28, POSIT32)[0] == FlipEvent.REGIME_EXPANSION
+
+    def test_regime_shrink(self):
+        # 2**18: regime 111110; flipping R_0 (bit 30) shrinks the run to
+        # a single zero — a shrink, even though the polarity changed.
+        assert classify_flip(_pattern(2.0**18), 30, POSIT32)[0] == FlipEvent.REGIME_SHRINK
+        # Flipping an interior body bit (R_1) also shrinks.
+        assert classify_flip(_pattern(2.0**18), 29, POSIT32)[0] == FlipEvent.REGIME_SHRINK
+
+    def test_regime_inversion_fig15(self):
+        # 0.1 has regime 01 (k=1); flipping the sole zero inverts.
+        assert classify_flip(_pattern(0.1), 30, POSIT32)[0] == FlipEvent.REGIME_INVERSION
+
+    def test_special_zero(self):
+        zero = np.array([0], dtype=np.uint64)
+        events = classify_flip(zero, 31, POSIT32)
+        assert events[0] == FlipEvent.SPECIAL  # 0 -> NaR
+
+    def test_special_into_nar(self):
+        # NaR pattern with any flip is SPECIAL.
+        nar = np.array([POSIT32.nar_pattern], dtype=np.uint64)
+        assert classify_flip(nar, 5, POSIT32)[0] == FlipEvent.SPECIAL
+
+    def test_vectorized_mixed(self):
+        patterns = np.concatenate([_pattern(250.0), _pattern(0.1), _pattern(1.5)])
+        events = classify_flip(patterns, 28, POSIT32)
+        assert events[0] == FlipEvent.REGIME_EXPANSION
+        assert events.shape == (3,)
+
+
+class TestExpansionGrowth:
+    def test_positive_growth_fig12(self):
+        growth = expansion_growth(_pattern(250.0), 28, POSIT32)[0]
+        assert growth >= 2
+
+    def test_shrink_negative(self):
+        growth = expansion_growth(_pattern(2.0**18), 30, POSIT32)[0]
+        assert growth < 0
+
+    def test_fraction_flip_no_growth(self):
+        assert expansion_growth(_pattern(1.5), 0, POSIT32)[0] == 0
+
+    def test_magnitude_scales_with_growth(self):
+        from repro.posit.decode import decode
+
+        pattern = _pattern(250.0)
+        growth = int(expansion_growth(pattern, 28, POSIT32)[0])
+        before = float(decode(pattern, POSIT32)[0])
+        after = float(decode(pattern ^ np.uint64(1 << 28), POSIT32)[0])
+        assert after / before >= 2.0 ** (4 * (growth - 1))
+
+
+class TestMaskAndCounts:
+    def test_inversion_mask(self):
+        # 0.1 (k=1, regime 01) inverts; 20.0 (k=2, regime 110) merely
+        # shrinks when R_0 flips.
+        patterns = np.concatenate([_pattern(0.1), _pattern(20.0)])
+        mask = regime_inversion_mask(patterns, 30, POSIT32)
+        assert mask.tolist() == [True, False]
+
+    def test_k1_above_one_also_inverts(self):
+        # The structural event is symmetric: flipping the sole regime bit
+        # of a k=1 posit above one (regime 10) also expands-and-inverts,
+        # collapsing the value far below one.
+        assert classify_flip(_pattern(1.5), 30, POSIT32)[0] == FlipEvent.REGIME_INVERSION
+
+    def test_count_flip_events_p8(self, rng):
+        patterns = rng.integers(0, 256, 100, dtype=np.uint64)
+        counts = count_flip_events(patterns, POSIT8)
+        assert sum(counts.values()) == 100 * 8
+        assert counts[FlipEvent.SIGN_FLIP] >= 100 - np.sum(
+            (patterns == 0) | (patterns == 128)
+        )

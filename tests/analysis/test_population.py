@@ -1,0 +1,102 @@
+"""Tests for regime-population analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.population import (
+    band_width_vs_spread,
+    magnitude_spread,
+    rank_correlation,
+    regime_population,
+)
+from repro.posit.config import POSIT16, POSIT32
+
+
+class TestRegimePopulation:
+    def test_known_mixture(self):
+        # Half the values have k=1 (|x| in [1,16)), half k=2 ([16,256)).
+        data = np.concatenate([np.full(50, 2.0), np.full(50, 100.0)])
+        population = regime_population(data, POSIT32)
+        assert population.fraction(1) == pytest.approx(0.5)
+        assert population.fraction(2) == pytest.approx(0.5)
+        assert population.fraction(5) == 0.0
+        assert population.total == 100
+
+    def test_zero_fraction(self):
+        data = np.array([0.0, 0.0, 1.5, 2.0])
+        population = regime_population(data, POSIT32)
+        assert population.zero_fraction == 0.5
+        assert population.total == 2
+
+    def test_dominant_size(self):
+        data = np.concatenate([np.full(10, 2.0), np.full(3, 1e6)])
+        assert regime_population(data, POSIT32).dominant_size() == 1
+
+    def test_spike_band_positions(self):
+        data = np.full(20, 2.0)  # k = 1 only -> R_k at bit 29
+        population = regime_population(data, POSIT32)
+        assert population.spike_band(32) == (29, 29)
+
+    def test_spike_band_orders_low_high(self, rng):
+        data = rng.lognormal(0, 12, 2000)
+        low, high = regime_population(data, POSIT32).spike_band(32)
+        assert low <= high
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            regime_population(np.array([]), POSIT32)
+
+    def test_other_width(self):
+        data = np.full(5, 2.0)
+        population = regime_population(data, POSIT16)
+        assert population.dominant_size() == 1
+
+
+class TestMagnitudeSpread:
+    def test_constant_field_zero_spread(self):
+        assert magnitude_spread(np.full(10, 7.0)) == pytest.approx(0.0, abs=1e-12)
+
+    def test_wider_distribution_larger_spread(self, rng):
+        narrow = rng.lognormal(0, 1, 2000)
+        wide = rng.lognormal(0, 6, 2000)
+        assert magnitude_spread(wide) > magnitude_spread(narrow)
+
+    def test_ignores_zeros(self):
+        assert magnitude_spread(np.array([0.0, 2.0, 2.0])) == 0.0
+
+    def test_all_zero(self):
+        assert magnitude_spread(np.zeros(4)) == 0.0
+
+
+class TestRankCorrelation:
+    def test_perfect_monotone(self):
+        assert rank_correlation([1, 2, 3, 4], [10, 20, 30, 40]) == pytest.approx(1.0)
+        assert rank_correlation([1, 2, 3, 4], [8, 6, 4, 2]) == pytest.approx(-1.0)
+
+    def test_uncorrelated_bounded(self, rng):
+        x = rng.normal(0, 1, 200)
+        y = rng.normal(0, 1, 200)
+        assert abs(rank_correlation(x, y)) < 0.3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            rank_correlation([1], [2])
+        with pytest.raises(ValueError):
+            rank_correlation([1, 2], [1, 2, 3])
+
+    def test_constant_input(self):
+        assert rank_correlation([1, 1, 1], [1, 2, 3]) == 0.0
+
+
+class TestBandWidthVsSpread:
+    def test_rows_structure(self, rng):
+        fields = {
+            "narrow": rng.lognormal(0, 1, 500),
+            "wide": rng.lognormal(0, 10, 500),
+        }
+        rows = band_width_vs_spread(fields, POSIT32)
+        assert [row["field"] for row in rows] == ["narrow", "wide"]
+        wide_row = rows[1]
+        narrow_row = rows[0]
+        assert wide_row["spread"] > narrow_row["spread"]
+        assert wide_row["distinct_regimes"] >= narrow_row["distinct_regimes"]

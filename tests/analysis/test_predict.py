@@ -1,0 +1,100 @@
+"""Tests for closed-form posit flip prediction."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.predict import (
+    exponent_flip_factor,
+    max_exponent_flip_error,
+    predict_flip,
+    sign_flip_value,
+)
+from repro.posit.config import POSIT8, POSIT16, POSIT32, PositConfig
+from repro.posit.decode import decode
+from repro.posit.encode import encode
+
+
+def _assert_prediction_exact(patterns: np.ndarray, config) -> None:
+    for bit in range(config.nbits):
+        prediction = predict_flip(patterns, bit, config)
+        actual = decode(patterns ^ np.uint64(1 << bit), config)
+        same = (prediction.faulty == actual) | (
+            np.isnan(prediction.faulty) & np.isnan(actual)
+        )
+        assert np.all(same), f"bit {bit}: {np.sum(~same)} mismatches"
+
+
+class TestExactness:
+    def test_exhaustive_p8(self):
+        _assert_prediction_exact(np.arange(256, dtype=np.uint64), POSIT8)
+
+    def test_sampled_p16(self, rng):
+        patterns = rng.integers(0, 1 << 16, 2000, dtype=np.uint64)
+        _assert_prediction_exact(patterns, POSIT16)
+
+    def test_sampled_p32(self, rng):
+        patterns = rng.integers(0, 1 << 32, 500, dtype=np.uint64)
+        _assert_prediction_exact(patterns, POSIT32)
+
+    def test_es_variants(self, rng):
+        for es in (0, 1, 3):
+            config = PositConfig(nbits=10, es=es)
+            _assert_prediction_exact(np.arange(1 << 10, dtype=np.uint64), config)
+
+    def test_rejects_out_of_range_bit(self):
+        with pytest.raises(ValueError):
+            predict_flip(np.array([0], dtype=np.uint64), 32, POSIT32)
+
+
+class TestErrorColumns:
+    def test_relative_error_conventions(self):
+        patterns = np.array([0, int(encode(np.float64(2.0), POSIT32))], dtype=np.uint64)
+        prediction = predict_flip(patterns, 0, POSIT32)
+        # Flipping bit 0 of zero gives minpos: undefined relative error.
+        assert np.isnan(prediction.relative_error[0])
+        assert prediction.relative_error[1] > 0
+
+    def test_event_and_field_populated(self):
+        pattern = np.array([int(encode(np.float64(0.1), POSIT32))], dtype=np.uint64)
+        prediction = predict_flip(pattern, 30, POSIT32)
+        from repro.analysis.edgecases import FlipEvent
+        from repro.posit.fields import PositField
+
+        assert prediction.event[0] == FlipEvent.REGIME_INVERSION
+        assert prediction.field[0] in (PositField.REGIME, PositField.REGIME_TERM)
+
+
+class TestSignFlip:
+    def test_matches_actual_flip(self, rng):
+        patterns = rng.integers(0, 1 << 32, 1000, dtype=np.uint64)
+        patterns = patterns[(patterns != 0) & (patterns != POSIT32.nar_pattern)]
+        predicted = sign_flip_value(patterns, POSIT32)
+        actual = decode(patterns ^ np.uint64(1 << 31), POSIT32)
+        mask = ~np.isnan(actual)
+        assert np.array_equal(predicted[mask], np.asarray(actual)[mask])
+
+    def test_paper_claim_not_negation(self):
+        pattern = np.array([int(encode(np.float64(13.5), POSIT32))], dtype=np.uint64)
+        flipped = float(sign_flip_value(pattern, POSIT32)[0])
+        assert flipped != -13.5
+
+
+class TestExponentFormulas:
+    def test_factor(self):
+        assert exponent_flip_factor(1, bit_was_set=False, sign=0) == 2.0
+        assert exponent_flip_factor(1, bit_was_set=True, sign=0) == 0.5
+        assert exponent_flip_factor(2, bit_was_set=False, sign=0) == 4.0
+        # Negative posit: scale sign inverted.
+        assert exponent_flip_factor(1, bit_was_set=False, sign=1) == 0.5
+
+    def test_max_error(self):
+        assert max_exponent_flip_error(POSIT32) == 3.0  # 2**2 - 1
+        assert max_exponent_flip_error(PositConfig(nbits=16, es=0)) == 0.0
+        assert max_exponent_flip_error(PositConfig(nbits=16, es=1)) == 1.0
+
+    def test_factor_matches_measurement(self):
+        # For a k=1 posit, bit 28 is the exponent MSB (weight 2).
+        pattern = encode(np.float64(1.5), POSIT32)
+        original = float(decode(np.uint64(pattern), POSIT32))
+        faulty = float(decode(np.uint64(pattern) ^ np.uint64(1 << 28), POSIT32))
+        assert faulty / original == exponent_flip_factor(2, bit_was_set=False, sign=0)

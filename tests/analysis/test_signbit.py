@@ -1,0 +1,70 @@
+"""Tests for the sign-bit analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.signbit import (
+    BoxStats,
+    ieee_sign_flip_identity,
+    median_growth_factor,
+    sign_bit_trials,
+    sign_flip_boxes,
+)
+from repro.inject.campaign import CampaignConfig, run_campaign
+
+
+class TestBoxStats:
+    def test_matches_numpy_percentiles(self, rng):
+        values = rng.lognormal(0, 2, 1000)
+        box = BoxStats.from_values(3, values)
+        assert box.group == 3
+        assert box.count == 1000
+        assert box.median == pytest.approx(np.median(values))
+        assert box.q1 == pytest.approx(np.percentile(values, 25))
+        assert box.q3 == pytest.approx(np.percentile(values, 75))
+        assert box.minimum == np.min(values)
+        assert box.maximum == np.max(values)
+
+    def test_empty(self):
+        box = BoxStats.from_values(1, np.array([]))
+        assert box.count == 0
+        assert np.isnan(box.median)
+
+    def test_non_finite_dropped(self):
+        box = BoxStats.from_values(1, np.array([1.0, np.inf, np.nan, 3.0]))
+        assert box.count == 2
+        assert box.maximum == 3.0
+
+
+class TestSignFlipBoxes:
+    def test_only_sign_bit_trials(self, small_field):
+        result = run_campaign(small_field, "posit32", CampaignConfig(trials_per_bit=10, seed=4))
+        trials = sign_bit_trials(result.records, 32)
+        assert np.all(trials.bit == 31)
+        boxes = sign_flip_boxes(result.records, 32, max_k=4)
+        assert all(box.group <= 4 for box in boxes)
+        assert sum(box.count for box in boxes) <= len(trials)
+
+    def test_growth_factor_on_synthetic_exponential(self):
+        boxes = [
+            BoxStats(group=k, count=10, minimum=0, q1=0,
+                     median=float(16.0**k), q3=0, maximum=0)
+            for k in range(1, 6)
+        ]
+        assert median_growth_factor(boxes) == pytest.approx(16.0, rel=1e-6)
+
+    def test_growth_factor_insufficient_data(self):
+        assert np.isnan(median_growth_factor([]))
+        one = [BoxStats(1, 5, 0, 0, 1.0, 0, 0)]
+        assert np.isnan(median_growth_factor(one))
+
+
+class TestIeeeIdentity:
+    def test_exact_on_campaign(self, small_field):
+        result = run_campaign(small_field, "ieee32", CampaignConfig(trials_per_bit=10, seed=4))
+        assert ieee_sign_flip_identity(result.records, 32) == 0.0
+
+    def test_empty(self):
+        from repro.inject.results import TrialRecords
+
+        assert ieee_sign_flip_identity(TrialRecords.empty(), 32) == 0.0

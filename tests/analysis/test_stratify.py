@@ -1,0 +1,96 @@
+"""Tests for magnitude/regime-size stratification."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.stratify import (
+    group_by_regime_size,
+    magnitude_split,
+    regime_size_from_value,
+    terminating_bit_position,
+)
+from repro.inject.campaign import CampaignConfig, run_campaign
+from repro.posit.config import POSIT8, POSIT16, POSIT32
+from repro.posit.encode import encode
+from repro.posit.fields import regime_k
+
+
+class TestRegimeSizeFromValue:
+    @pytest.mark.parametrize(
+        "value, expected",
+        [
+            (1.5, 1), (15.9, 1), (16.0, 2), (255.0, 2), (256.0, 3),
+            (0.9, 1), (0.0626, 1), (0.0624, 2), (1 / 256.0, 2),
+        ],
+    )
+    def test_known(self, value, expected):
+        assert regime_size_from_value(value, POSIT32) == expected
+
+    @given(st.floats(min_value=1e-30, max_value=1e30))
+    def test_matches_bit_level(self, value):
+        # Eq. 1 (value space) must agree with the run length of the
+        # encoded pattern — except when rounding crosses a regime
+        # boundary, where the pattern's k is authoritative.
+        pattern = encode(np.float64(value), POSIT32)
+        bit_k = int(regime_k(np.uint64(pattern), POSIT32))
+        value_k = regime_size_from_value(value, POSIT32)
+        from repro.posit.decode import decode
+
+        stored = float(decode(np.uint64(pattern), POSIT32))
+        stored_k = regime_size_from_value(stored, POSIT32)
+        assert bit_k == stored_k
+
+    def test_specials(self):
+        assert regime_size_from_value(0.0, POSIT32) == 31
+        assert regime_size_from_value(float("nan"), POSIT32) == 31
+
+    def test_clamped_to_body(self):
+        assert regime_size_from_value(2.0**500, POSIT8) == 7
+
+
+class TestMagnitudeSplit:
+    def test_partitions(self, small_field):
+        result = run_campaign(small_field, "posit32", CampaignConfig(trials_per_bit=5, seed=9))
+        greater, less = magnitude_split(result.records)
+        assert np.all(np.abs(greater.original) > 1)
+        assert np.all((np.abs(less.original) < 1) & (np.abs(less.original) > 0))
+        assert len(greater) + len(less) <= len(result.records)
+
+
+class TestGroups:
+    def test_grouping(self, small_field):
+        result = run_campaign(small_field, "posit32", CampaignConfig(trials_per_bit=10, seed=9))
+        groups = group_by_regime_size(result.records, 32, max_k=5, min_trials=1)
+        assert groups, "expected at least one regime group"
+        for group in groups:
+            assert np.all(group.records.regime_k == group.k)
+            assert group.k <= 5
+            assert group.aggregate.bits.shape == (32,)
+
+    def test_min_trials_filter(self, small_field):
+        result = run_campaign(small_field, "posit32", CampaignConfig(trials_per_bit=4, seed=9))
+        groups = group_by_regime_size(result.records, 32, min_trials=10**9)
+        assert groups == []
+
+
+class TestTerminatingBit:
+    def test_positions(self):
+        assert terminating_bit_position(1, 32) == 29
+        assert terminating_bit_position(5, 32) == 25
+        assert terminating_bit_position(1, 16) == 13
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            terminating_bit_position(0, 32)
+        with pytest.raises(ValueError):
+            terminating_bit_position(31, 32)
+
+    def test_agrees_with_field_classification(self):
+        from repro.posit.fields import PositField, classify_bit
+
+        for value, k in ((1.5, 1), (20.0, 2), (400.0, 3)):
+            pattern = encode(np.float64(value), POSIT32)
+            rk_bit = terminating_bit_position(k, 32)
+            field = classify_bit(np.uint64(pattern), rk_bit, POSIT32)
+            assert int(field) == int(PositField.REGIME_TERM), value

@@ -1,0 +1,86 @@
+"""Tests for exhaustive expected-error analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.aggregate import aggregate_by_bit
+from repro.analysis.theory import expected_error_by_bit, sampling_error_profile
+from repro.inject.campaign import CampaignConfig, run_campaign
+from repro.inject.targets import target_by_name
+
+
+@pytest.fixture(scope="module")
+def field():
+    rng = np.random.default_rng(3)
+    return np.concatenate([
+        rng.normal(50, 20, 1500),
+        rng.lognormal(-4, 2, 500),
+    ]).astype(np.float32)
+
+
+class TestExpectedErrorByBit:
+    def test_matches_brute_force_small(self):
+        target = target_by_name("posit16")
+        data = np.array([1.5, -200.0, 0.004, 7.0, 0.0], dtype=np.float32)
+        result = expected_error_by_bit(data, target)
+        stored = target.round_trip(data)
+        bits = target.to_bits(stored)
+        for b in (0, 7, 13, 15):
+            rels = []
+            for i in range(len(stored)):
+                faulty = float(target.from_bits(bits[i : i + 1] ^ bits.dtype.type(1 << b))[0])
+                original = float(stored[i])
+                if original == 0:
+                    if faulty == 0:
+                        rels.append(0.0)
+                    continue  # undefined, excluded
+                if np.isfinite(faulty):
+                    rels.append(abs(original - faulty) / abs(original))
+            assert result.mean_rel_err[b] == pytest.approx(np.mean(rels)), b
+
+    def test_chunking_invariant(self, field):
+        a = expected_error_by_bit(field, "posit32", chunk=128)
+        b = expected_error_by_bit(field, "posit32", chunk=1 << 20)
+        assert np.array_equal(a.mean_rel_err, b.mean_rel_err, equal_nan=True)
+        assert np.array_equal(a.catastrophic_fraction, b.catastrophic_fraction)
+
+    def test_sampled_campaign_converges(self, field):
+        exact = expected_error_by_bit(field, "posit32")
+        result = run_campaign(field, "posit32", CampaignConfig(trials_per_bit=500, seed=0))
+        sampled = aggregate_by_bit(result.records, 32).mean_rel_err
+        # Fraction bits: value-independent errors, tight convergence.
+        for b in range(10):
+            assert sampled[b] == pytest.approx(exact.mean_rel_err[b], rel=0.5), b
+
+    def test_ieee_catastrophic_fraction(self):
+        # 1e38 has biased exponent 253 (11111101); flipping the clear
+        # weight-2 exponent bit (bit 24) lands on 255 = Inf/NaN for
+        # every element; the set MSB (bit 30) merely divides by 2**128.
+        data = np.full(16, 1e38, dtype=np.float32)
+        result = expected_error_by_bit(data, "ieee32")
+        assert result.catastrophic_fraction[24] == 1.0
+        assert result.catastrophic_fraction[30] == 0.0
+        assert result.catastrophic_fraction[0] == 0.0
+
+    def test_undefined_fraction_counts_zero_originals(self):
+        data = np.zeros(8, dtype=np.float32)
+        result = expected_error_by_bit(data, "ieee32")
+        # Flipping any non-sign bit of +0.0 yields a nonzero float ->
+        # undefined relative error; the sign flip gives -0.0 == 0.
+        assert np.all(result.undefined_fraction[:31] > 0.99)
+        assert result.undefined_fraction[31] == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            expected_error_by_bit(np.array([]), "posit32")
+
+
+class TestSamplingProfile:
+    def test_deviation_shrinks_with_trials(self, field):
+        profile = sampling_error_profile(
+            field, "posit32", trial_counts=(8, 256), seed=11
+        )
+        assert set(profile) == {8, 256}
+        assert np.isfinite(profile[8])
+        # More trials should not be dramatically worse.
+        assert profile[256] < profile[8] * 5

@@ -1,0 +1,82 @@
+"""Tests for the stored-format BLAS kernels."""
+
+import numpy as np
+import pytest
+
+from repro.apps.blas import (
+    dot_error_comparison,
+    fused_posit_dot,
+    stored_axpy,
+    stored_dot,
+)
+from repro.inject.targets import target_by_name
+
+
+class TestStoredDot:
+    def test_exact_for_small_integers(self):
+        a = np.array([1.0, 2.0, 3.0])
+        b = np.array([4.0, 5.0, 6.0])
+        result = stored_dot(a, b, "posit32")
+        assert result.value == 32.0
+        assert result.reference == 32.0
+        assert result.relative_error == 0.0
+
+    def test_accumulation_error_appears_in_low_precision(self, rng):
+        a = rng.normal(0, 1, 200)
+        b = rng.normal(0, 1, 200)
+        coarse = stored_dot(a, b, "posit8")
+        fine = stored_dot(a, b, "posit32")
+        assert coarse.relative_error > fine.relative_error
+
+    def test_reference_is_exact_not_float64(self):
+        # Exact cancellation: float64 np.dot may keep residue, the exact
+        # reference must not.
+        a = np.array([1e16, -1e16, 1.0])
+        b = np.array([1.0, 1.0, 1.0])
+        result = stored_dot(a, b, "ieee64")
+        assert result.reference == 1.0
+
+
+class TestQuireDot:
+    def test_single_rounding(self, rng):
+        a = rng.normal(0, 100, 50)
+        b = rng.normal(0, 100, 50)
+        fused = fused_posit_dot(a, b, "posit32")
+        sequential = stored_dot(a, b, "posit32")
+        assert fused.relative_error <= sequential.relative_error + 1e-12
+        # Quire result differs from the exact value by at most one
+        # posit32 rounding (~2^-27 relative near 1).
+        assert fused.relative_error < 1e-7
+
+    def test_cancellation_recovered(self):
+        big = np.array([1e6, -1e6, 2.0])
+        ones = np.ones(3)
+        fused = fused_posit_dot(big, ones, "posit32")
+        assert fused.value == 2.0
+
+    def test_rejects_ieee_target(self):
+        with pytest.raises(TypeError):
+            fused_posit_dot(np.ones(2), np.ones(2), "ieee32")
+
+
+class TestAxpy:
+    def test_stored(self):
+        result = stored_axpy(2.0, np.array([1.0, 2.0]), np.array([3.0, 4.0]), "posit32")
+        assert result.tolist() == [5.0, 8.0]
+
+    def test_storage_rounds(self):
+        target = target_by_name("posit8")
+        result = stored_axpy(1.0, np.array([1.0]), np.array([1e-4]), target)
+        # 1 + 1e-4 is not representable in posit8; it rounds back to 1.
+        assert result[0] == 1.0
+
+
+class TestComparison:
+    def test_strategies_ranked(self):
+        rng = np.random.default_rng(0)
+        big = rng.normal(0, 1e6, 10)
+        x = np.concatenate([big, -big, [1.0]])
+        y = np.concatenate([np.ones(20), [1.0]])
+        errors = dot_error_comparison(x, y)
+        assert set(errors) == {"ieee32_sequential", "posit32_sequential", "posit32_quire"}
+        assert errors["posit32_quire"] <= errors["posit32_sequential"]

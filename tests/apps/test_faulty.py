@@ -1,0 +1,75 @@
+"""Tests for application-level fault injection."""
+
+import numpy as np
+import pytest
+
+from repro.apps.faulty import (
+    AppFaultSpec,
+    bit_sweep_campaign,
+    run_faulty_solve,
+    summarize_outcomes,
+)
+from repro.apps.stencil import PoissonProblem
+
+PROBLEM = PoissonProblem(grid=8)
+
+
+class TestSingleFault:
+    def test_fraction_flip_self_heals(self):
+        # A low fraction bit barely perturbs the state; Jacobi recovers.
+        spec = AppFaultSpec(iteration=5, flat_index=10, bit=2)
+        outcome = run_faulty_solve(PROBLEM, "posit32", spec,
+                                   max_iterations=4000, tolerance=1e-7)
+        assert outcome.converged
+        assert outcome.solution_error < 1e-4
+        assert outcome.iteration_overhead >= 0 or outcome.iteration_overhead == 0
+
+    def test_exponent_flip_costs_iterations_ieee(self):
+        # IEEE bit 30 flip inflates a value enormously mid-solve.
+        spec = AppFaultSpec(iteration=5, flat_index=10, bit=30)
+        clean_spec = AppFaultSpec(iteration=5, flat_index=10, bit=0)
+        big = run_faulty_solve(PROBLEM, "ieee32", spec,
+                               max_iterations=8000, tolerance=1e-7)
+        small = run_faulty_solve(PROBLEM, "ieee32", clean_spec,
+                                 max_iterations=8000, tolerance=1e-7)
+        assert big.iteration_overhead > small.iteration_overhead
+
+    def test_outcome_fields(self):
+        spec = AppFaultSpec(iteration=3, flat_index=0, bit=1)
+        outcome = run_faulty_solve(PROBLEM, "posit16", spec,
+                                   max_iterations=3000, tolerance=1e-6)
+        assert outcome.spec == spec
+        assert outcome.clean_iterations > 0
+        assert np.isfinite(outcome.solution_error)
+
+
+class TestCampaign:
+    def test_sweep_shape(self):
+        outcomes = bit_sweep_campaign(
+            PROBLEM, "posit16", iteration=4, seed=1, trials_per_bit=1,
+            max_iterations=2000, tolerance=1e-6,
+        )
+        assert len(outcomes) == 16
+        bits = sorted(o.spec.bit for o in outcomes)
+        assert bits == list(range(16))
+
+    def test_deterministic(self):
+        a = bit_sweep_campaign(PROBLEM, "posit16", iteration=4, seed=9,
+                               trials_per_bit=1, max_iterations=500)
+        b = bit_sweep_campaign(PROBLEM, "posit16", iteration=4, seed=9,
+                               trials_per_bit=1, max_iterations=500)
+        assert [o.spec for o in a] == [o.spec for o in b]
+        assert [o.solution_error for o in a] == [o.solution_error for o in b]
+
+    def test_summary(self):
+        outcomes = bit_sweep_campaign(PROBLEM, "posit16", iteration=4, seed=1,
+                                      trials_per_bit=1, max_iterations=2000,
+                                      tolerance=1e-6)
+        summary = summarize_outcomes(outcomes)
+        assert summary["trials"] == 16
+        assert 0.0 <= summary["converged_fraction"] <= 1.0
+        assert summary["max_iteration_overhead"] >= summary["mean_iteration_overhead"]
+
+    def test_summary_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_outcomes([])

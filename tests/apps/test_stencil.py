@@ -1,0 +1,79 @@
+"""Tests for the Jacobi Poisson solver substrate."""
+
+import numpy as np
+import pytest
+
+from repro.apps.stencil import PoissonProblem, jacobi_solve
+
+
+class TestProblem:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PoissonProblem(grid=2)
+
+    def test_exact_solution_satisfies_discrete_equation(self):
+        problem = PoissonProblem(grid=20)
+        u = problem.exact_solution()
+        f = problem.rhs()
+        padded = np.pad(u, 1)
+        laplacian = (
+            4 * u
+            - padded[:-2, 1:-1] - padded[2:, 1:-1]
+            - padded[1:-1, :-2] - padded[1:-1, 2:]
+        ) / problem.spacing**2
+        # Discrete Laplacian of the continuous solution matches f to
+        # O(h^2) truncation error.
+        assert np.max(np.abs(laplacian - f)) < 0.1
+
+
+class TestSolver:
+    def test_converges_float64(self):
+        problem = PoissonProblem(grid=12)
+        result = jacobi_solve(problem, None, max_iterations=5000, tolerance=1e-9)
+        assert result.converged
+        assert not result.diverged
+        # Converged solution approximates the analytic one to the
+        # discretization error.
+        assert result.error_vs(problem.exact_solution()) < 0.02
+
+    def test_residuals_monotone_tail(self):
+        problem = PoissonProblem(grid=12)
+        result = jacobi_solve(problem, None, max_iterations=500, tolerance=0.0)
+        tail = np.asarray(result.residuals[50:])
+        assert np.all(np.diff(tail) <= 1e-15)
+
+    @pytest.mark.parametrize("target", ["ieee32", "posit32", "posit16"])
+    def test_converges_with_stored_state(self, target):
+        problem = PoissonProblem(grid=10)
+        result = jacobi_solve(problem, target, max_iterations=5000, tolerance=1e-6)
+        assert result.converged
+        assert np.all(np.isfinite(result.solution))
+
+    def test_posit32_matches_float64_closely(self):
+        problem = PoissonProblem(grid=10)
+        exact = jacobi_solve(problem, None, max_iterations=3000, tolerance=1e-8)
+        stored = jacobi_solve(problem, "posit32", max_iterations=3000, tolerance=1e-8)
+        assert stored.error_vs(exact.solution) < 1e-4
+
+    def test_fault_hook_called(self):
+        problem = PoissonProblem(grid=8)
+        seen = []
+
+        def hook(iteration, state):
+            seen.append(iteration)
+            return state
+
+        jacobi_solve(problem, None, max_iterations=5, tolerance=0.0, fault_hook=hook)
+        assert seen == [1, 2, 3, 4, 5]
+
+    def test_max_iterations_cap(self):
+        problem = PoissonProblem(grid=12)
+        result = jacobi_solve(problem, None, max_iterations=7, tolerance=0.0)
+        assert result.iterations == 7
+        assert not result.converged
+
+    def test_error_vs_zero_reference(self):
+        problem = PoissonProblem(grid=8)
+        result = jacobi_solve(problem, None, max_iterations=3, tolerance=0.0)
+        zero = np.zeros_like(result.solution)
+        assert result.error_vs(zero) == float(np.linalg.norm(result.solution))

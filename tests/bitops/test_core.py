@@ -1,0 +1,198 @@
+"""Tests for the exact vectorized bit primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.bitops import (
+    bit_mask,
+    clz,
+    clz32,
+    clz64,
+    ctz,
+    extract_bits,
+    leading_run_length,
+    popcount,
+    set_bits_string,
+    sign_bit,
+    to_signed,
+    to_unsigned,
+    twos_complement,
+    uint_dtype_for,
+)
+
+
+def _py_clz(value: int, width: int) -> int:
+    value &= (1 << width) - 1
+    return width - value.bit_length()
+
+
+class TestClz:
+    def test_clz32_exhaustive_16bit(self):
+        values = np.arange(1 << 16, dtype=np.uint32)
+        got = clz32(values)
+        expected = np.array([_py_clz(int(v), 32) for v in values])
+        assert np.array_equal(got, expected)
+
+    def test_clz32_high_bits(self):
+        values = np.array([1 << 31, 1 << 16, (1 << 32) - 1, 0x80000001], dtype=np.uint32)
+        assert clz32(values).tolist() == [0, 15, 0, 0]
+
+    def test_clz32_zero(self):
+        assert clz32(np.uint32(0)) == 32
+
+    def test_clz64_random(self, rng):
+        values = rng.integers(0, 1 << 63, 10_000, dtype=np.uint64)
+        got = clz64(values)
+        expected = np.array([_py_clz(int(v), 64) for v in values])
+        assert np.array_equal(got, expected)
+
+    def test_clz64_boundaries(self):
+        values = np.array([0, 1, 1 << 63, (1 << 64) - 1, 1 << 52], dtype=np.uint64)
+        assert clz64(values).tolist() == [64, 63, 0, 0, 11]
+
+    @given(st.integers(min_value=0, max_value=(1 << 64) - 1),
+           st.integers(min_value=1, max_value=64))
+    def test_clz_width_matches_python(self, value, width):
+        assert int(clz(np.uint64(value), width)) == _py_clz(value, width)
+
+    def test_clz_rejects_bad_width(self):
+        with pytest.raises(ValueError):
+            clz(np.uint64(1), 0)
+        with pytest.raises(ValueError):
+            clz(np.uint64(1), 65)
+
+    def test_clz_exact_near_large_powers_of_two(self):
+        # The float-log shortcut fails here; the LUT must not.
+        for exponent in (52, 53, 54, 62, 63):
+            for delta in (-1, 0, 1):
+                value = (1 << exponent) + delta
+                if value < 0 or value >= 1 << 64:
+                    continue
+                assert int(clz64(np.uint64(value))) == _py_clz(value, 64)
+
+
+class TestCtz:
+    @given(st.integers(min_value=0, max_value=(1 << 64) - 1),
+           st.integers(min_value=1, max_value=64))
+    def test_matches_python(self, value, width):
+        masked = value & ((1 << width) - 1)
+        expected = width if masked == 0 else (masked & -masked).bit_length() - 1
+        assert int(ctz(np.uint64(value), width)) == expected
+
+    def test_vector(self):
+        values = np.array([0b1000, 0b1, 0b0, 0b10100], dtype=np.uint64)
+        assert ctz(values, 8).tolist() == [3, 0, 8, 2]
+
+
+class TestPopcount:
+    @given(st.integers(min_value=0, max_value=(1 << 64) - 1))
+    def test_matches_python(self, value):
+        assert int(popcount(np.uint64(value))) == bin(value).count("1")
+
+    def test_width_masks(self):
+        assert int(popcount(np.uint64(0xFF00FF), 8)) == 8
+
+    def test_vector(self, rng):
+        values = rng.integers(0, 1 << 62, 1000, dtype=np.uint64)
+        expected = np.array([bin(int(v)).count("1") for v in values])
+        assert np.array_equal(popcount(values), expected)
+
+
+class TestLeadingRunLength:
+    def test_all_same_bits(self):
+        assert int(leading_run_length(np.uint64(0), 31)) == 31
+        assert int(leading_run_length(np.uint64((1 << 31) - 1), 31)) == 31
+
+    def test_known_runs(self):
+        # 7-bit bodies.
+        cases = {
+            0b1110000: 3,
+            0b1000000: 1,
+            0b0111111: 1,
+            0b0000001: 6,
+            0b1011111: 1,
+            0b1101111: 2,
+        }
+        for body, run in cases.items():
+            assert int(leading_run_length(np.uint64(body), 7)) == run, bin(body)
+
+    @given(st.integers(min_value=0, max_value=(1 << 31) - 1))
+    def test_matches_string_scan(self, body):
+        text = format(body, "031b")
+        first = text[0]
+        run = len(text) - len(text.lstrip(first))
+        assert int(leading_run_length(np.uint64(body), 31)) == run
+
+
+class TestTwosComplement:
+    @given(st.integers(min_value=0, max_value=(1 << 32) - 1))
+    def test_matches_python(self, value):
+        expected = (-value) & ((1 << 32) - 1)
+        assert int(twos_complement(np.uint64(value), 32)) == expected
+
+    def test_involution(self, rng):
+        values = rng.integers(0, 1 << 32, 1000, dtype=np.uint64)
+        assert np.array_equal(twos_complement(twos_complement(values, 32), 32), values)
+
+    def test_preserves_uint_dtype(self):
+        result = twos_complement(np.array([5], dtype=np.uint32), 32)
+        assert result.dtype == np.uint32
+
+
+class TestSignedConversion:
+    @given(st.integers(min_value=-(1 << 31), max_value=(1 << 31) - 1))
+    def test_roundtrip(self, value):
+        width = 32
+        unsigned = to_unsigned(np.int64(value), width)
+        assert int(to_signed(unsigned, width)) == value
+
+    def test_known(self):
+        assert int(to_signed(np.uint64(0xFFFFFFFF), 32)) == -1
+        assert int(to_signed(np.uint64(0x80000000), 32)) == -(1 << 31)
+        assert int(to_signed(np.uint64(0x7FFFFFFF), 32)) == (1 << 31) - 1
+
+
+class TestMasksAndExtract:
+    def test_bit_mask(self):
+        assert int(bit_mask(0)) == 0
+        assert int(bit_mask(8)) == 255
+        assert int(bit_mask(64)) == (1 << 64) - 1
+
+    def test_bit_mask_rejects_bad_width(self):
+        with pytest.raises(ValueError):
+            bit_mask(65)
+        with pytest.raises(ValueError):
+            bit_mask(-1)
+
+    def test_extract_bits(self):
+        value = np.uint64(0b1101_0110)
+        assert int(extract_bits(value, 1, 3)) == 0b011
+        assert int(extract_bits(value, 4, 4)) == 0b1101
+        assert int(extract_bits(value, 0, 0)) == 0
+
+    def test_extract_bits_rejects_bad_range(self):
+        with pytest.raises(ValueError):
+            extract_bits(np.uint64(1), 60, 10)
+
+    def test_sign_bit(self):
+        assert int(sign_bit(np.uint64(0x80000000), 32)) == 1
+        assert int(sign_bit(np.uint64(0x7FFFFFFF), 32)) == 0
+
+    def test_set_bits_string(self):
+        assert set_bits_string(0b101, 5) == "00101"
+        with pytest.raises(ValueError):
+            set_bits_string(1, 0)
+
+    def test_uint_dtype_for(self):
+        assert uint_dtype_for(8) == np.uint8
+        assert uint_dtype_for(9) == np.uint16
+        assert uint_dtype_for(33) == np.uint64
+        with pytest.raises(ValueError):
+            uint_dtype_for(65)
+        with pytest.raises(ValueError):
+            uint_dtype_for(0)
+
+    def test_clz_rejects_float_input(self):
+        with pytest.raises(TypeError):
+            clz64(np.array([1.5]))

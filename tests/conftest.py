@@ -1,0 +1,43 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.base import ExperimentParams
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic RNG for tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def mixed_floats(rng) -> np.ndarray:
+    """A float64 sample spanning magnitudes, signs, and specials."""
+    return np.concatenate([
+        rng.normal(0, 1, 300),
+        rng.lognormal(0, 10, 300),
+        -rng.lognormal(0, 10, 300),
+        rng.normal(0, 1e-12, 100),
+        rng.normal(0, 1e12, 100),
+        np.array([0.0, -0.0, 1.0, -1.0, 186.25, 186250.0, 0.1, 2.0**100, 2.0**-100]),
+    ])
+
+
+@pytest.fixture
+def quick_params() -> ExperimentParams:
+    """Tiny experiment scale for integration tests."""
+    return ExperimentParams(data_size=1 << 12, trials_per_bit=24, seed=99)
+
+
+@pytest.fixture
+def small_field(rng) -> np.ndarray:
+    """A small float32 dataset for campaign tests."""
+    return np.concatenate([
+        rng.normal(50.0, 20.0, 2000),
+        rng.lognormal(-2, 2, 1000),
+        np.zeros(200),
+    ]).astype(np.float32)

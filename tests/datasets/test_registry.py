@@ -1,0 +1,68 @@
+"""Tests for the dataset registry."""
+
+import pytest
+
+from repro.datasets.presets import FieldPreset, PublishedStats
+from repro.datasets.registry import by_dataset, datasets, get, keys, register
+from repro.datasets.synthetic import Constant, Mixture
+
+
+class TestLookup:
+    def test_get_known(self):
+        preset = get("nyx/temperature")
+        assert preset.dataset == "Nyx"
+        assert preset.field == "temperature"
+
+    def test_case_insensitive(self):
+        assert get("NYX/Temperature") is get("nyx/temperature")
+
+    def test_unknown_with_hint(self):
+        with pytest.raises(KeyError, match="did you mean"):
+            get("nyx/temprature")
+
+    def test_keys_sorted(self):
+        listed = keys()
+        assert listed == sorted(listed)
+        assert "hacc/vx" in listed
+
+    def test_by_dataset(self):
+        hurricane = by_dataset("hurricane")
+        assert len(hurricane) == 6
+        assert all(p.dataset == "Hurricane" for p in hurricane)
+
+    def test_datasets(self):
+        assert datasets() == ["CESM", "EXAFEL", "HACC", "Hurricane", "Nyx"]
+
+
+class TestRegister:
+    def _dummy(self, name: str) -> FieldPreset:
+        return FieldPreset(
+            dataset="Test",
+            field=name,
+            dimensions=(10,),
+            mixture=Mixture(components=(Constant(1.0),), weights=(1.0,)),
+            published=PublishedStats(1, 1, 1, 1, 0),
+        )
+
+    def test_register_and_get(self):
+        preset = self._dummy("custom-a")
+        register(preset)
+        try:
+            assert get("test/custom-a") is preset
+        finally:
+            # Clean up the module-level registry.
+            from repro.datasets import registry
+
+            registry._REGISTRY.pop("test/custom-a", None)
+
+    def test_register_duplicate_raises(self):
+        preset = self._dummy("custom-b")
+        register(preset)
+        try:
+            with pytest.raises(KeyError):
+                register(preset)
+            register(preset, overwrite=True)  # allowed
+        finally:
+            from repro.datasets import registry
+
+            registry._REGISTRY.pop("test/custom-b", None)

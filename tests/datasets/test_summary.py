@@ -1,0 +1,20 @@
+"""Tests for Table 1 summary generation."""
+
+from repro.datasets.summary import summarize_all, summarize_field
+
+
+class TestSummaries:
+    def test_summarize_field(self):
+        summary = summarize_field("cesm/cloud", seed=1, size=10_000)
+        assert summary.preset.key == "cesm/cloud"
+        assert summary.generated.count == 10_000
+        row = summary.as_row()
+        assert row["dataset"] == "CESM"
+        assert row["paper_mean"] == summary.preset.published.mean
+        assert row["dimensions"] == "26x1800x3600"
+
+    def test_summarize_all_covers_registry(self):
+        summaries = summarize_all(seed=1, size=2000)
+        assert len(summaries) == 16
+        keys = {s.preset.key for s in summaries}
+        assert "hacc/vy" in keys

@@ -1,0 +1,110 @@
+"""Tests for the synthetic generator machinery."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import (
+    Constant,
+    Exponential,
+    Laplace,
+    Lognormal,
+    Mixture,
+    Normal,
+    Uniform,
+)
+
+
+class TestComponents:
+    def test_normal(self, rng):
+        samples = Normal(mean=5.0, std=2.0).sample(rng, 50_000)
+        assert np.mean(samples) == pytest.approx(5.0, abs=0.1)
+        assert np.std(samples) == pytest.approx(2.0, abs=0.1)
+
+    def test_lognormal_median(self, rng):
+        samples = Lognormal(median=0.03, sigma=1.0).sample(rng, 50_000)
+        assert np.median(samples) == pytest.approx(0.03, rel=0.1)
+        assert np.all(samples > 0)
+
+    def test_lognormal_negate(self, rng):
+        samples = Lognormal(median=1.0, sigma=0.5, negate=True).sample(rng, 100)
+        assert np.all(samples < 0)
+
+    def test_uniform_bounds(self, rng):
+        samples = Uniform(low=-2.0, high=3.0).sample(rng, 10_000)
+        assert np.min(samples) >= -2.0
+        assert np.max(samples) < 3.0
+
+    def test_exponential(self, rng):
+        samples = Exponential(scale=4.0).sample(rng, 50_000)
+        assert np.mean(samples) == pytest.approx(4.0, rel=0.1)
+
+    def test_exponential_negate(self, rng):
+        samples = Exponential(scale=1.0, negate=True).sample(rng, 100)
+        assert np.all(samples <= 0)
+
+    def test_laplace(self, rng):
+        samples = Laplace(mean=0.0, scale=1.0).sample(rng, 50_000)
+        assert np.mean(samples) == pytest.approx(0.0, abs=0.05)
+
+    def test_constant(self, rng):
+        samples = Constant(3.5).sample(rng, 10)
+        assert np.all(samples == 3.5)
+
+
+class TestMixture:
+    def test_weights_respected(self, rng):
+        mixture = Mixture(
+            components=(Constant(0.0), Constant(1.0)),
+            weights=(0.25, 0.75),
+        )
+        samples = mixture.sample(rng, 100_000)
+        assert np.mean(samples) == pytest.approx(0.75, abs=0.01)
+
+    def test_clipping(self, rng):
+        mixture = Mixture(
+            components=(Normal(0.0, 100.0),),
+            weights=(1.0,),
+            clip_low=-1.0,
+            clip_high=2.0,
+        )
+        samples = mixture.sample(rng, 10_000)
+        assert np.min(samples) >= -1.0
+        assert np.max(samples) <= 2.0
+
+    def test_dtype_default_float32(self, rng):
+        mixture = Mixture(components=(Constant(1.0),), weights=(1.0,))
+        assert mixture.sample(rng, 10).dtype == np.float32
+
+    def test_deterministic_given_seed(self):
+        mixture = Mixture(components=(Normal(0, 1), Uniform(5, 6)), weights=(0.5, 0.5))
+        a = mixture.sample(np.random.default_rng(7), 1000)
+        b = mixture.sample(np.random.default_rng(7), 1000)
+        assert np.array_equal(a, b)
+
+    def test_zero_size(self, rng):
+        mixture = Mixture(components=(Constant(1.0),), weights=(1.0,))
+        assert mixture.sample(rng, 0).shape == (0,)
+
+    def test_negative_size_raises(self, rng):
+        mixture = Mixture(components=(Constant(1.0),), weights=(1.0,))
+        with pytest.raises(ValueError):
+            mixture.sample(rng, -1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Mixture(components=(), weights=())
+        with pytest.raises(ValueError):
+            Mixture(components=(Constant(0.0),), weights=(1.0, 2.0))
+        with pytest.raises(ValueError):
+            Mixture(components=(Constant(0.0),), weights=(-1.0,))
+        with pytest.raises(ValueError):
+            Mixture(components=(Constant(0.0),), weights=(0.0,))
+
+    def test_samples_are_shuffled(self, rng):
+        # Components must not appear in contiguous blocks.
+        mixture = Mixture(
+            components=(Constant(0.0), Constant(1.0)), weights=(0.5, 0.5)
+        )
+        samples = mixture.sample(rng, 1000)
+        transitions = np.sum(np.abs(np.diff(samples)) > 0)
+        assert transitions > 100

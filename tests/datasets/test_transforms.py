@@ -1,0 +1,79 @@
+"""Tests for power-of-two dataset transforms."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.transforms import (
+    PowerOfTwoScale,
+    scaled_storage_roundtrip,
+    unit_median_scale,
+)
+from repro.inject.targets import target_by_name
+
+
+class TestPowerOfTwoScale:
+    def test_apply_undo_exact(self, rng):
+        values = rng.normal(0, 1e6, 1000)
+        scale = PowerOfTwoScale(-17)
+        assert np.array_equal(scale.undo(scale.apply(values)), values)
+
+    def test_factor(self):
+        assert PowerOfTwoScale(3).factor == 8.0
+        assert PowerOfTwoScale(-2).factor == 0.25
+
+    def test_identity(self):
+        values = np.array([1.5, -2.0])
+        assert np.array_equal(PowerOfTwoScale(0).apply(values), values)
+
+
+class TestUnitMedianScale:
+    def test_moves_median_to_one(self, rng):
+        values = rng.lognormal(np.log(1e6), 0.3, 5000)
+        scale = unit_median_scale(values)
+        scaled = scale.apply(values)
+        median = float(np.median(np.abs(scaled)))
+        assert 0.5 <= median <= 2.0
+
+    def test_handles_tiny_values(self, rng):
+        values = rng.lognormal(np.log(1e-8), 0.5, 5000)
+        scale = unit_median_scale(values)
+        assert scale.exponent > 0
+        median = float(np.median(np.abs(scale.apply(values))))
+        assert 0.25 <= median <= 4.0
+
+    def test_already_near_one(self, rng):
+        values = rng.uniform(0.8, 1.2, 1000)
+        assert unit_median_scale(values).exponent == 0
+
+    def test_all_zero_identity(self):
+        assert unit_median_scale(np.zeros(10)).exponent == 0
+
+    def test_ignores_zeros(self):
+        values = np.concatenate([np.zeros(50), np.full(50, 1024.0)])
+        assert unit_median_scale(values).exponent == -10
+
+
+class TestScaledStorage:
+    def test_accuracy_unchanged_for_posit(self, rng):
+        # Power-of-two scaling commutes with posit rounding (the scale
+        # only shifts the regime/exponent), so the observed values after
+        # scaled storage equal plain storage whenever no saturation is
+        # involved.
+        target = target_by_name("posit32")
+        values = rng.normal(0, 1e4, 2000)
+        scale = unit_median_scale(values)
+        plain = target.round_trip(values)
+        scaled = scaled_storage_roundtrip(values, target, scale)
+        assert np.allclose(scaled, plain, rtol=1e-7)
+
+    def test_rescues_out_of_range_values(self):
+        # posit8 cannot represent 1e9 (saturates at 2**24); scaling in
+        # and out can.
+        target = target_by_name("posit8")
+        values = np.array([1.0e9, 1.1e9, 0.9e9])
+        scale = unit_median_scale(values)
+        plain = target.round_trip(values)
+        scaled = scaled_storage_roundtrip(values, target, scale)
+        plain_err = np.abs(plain - values) / values
+        scaled_err = np.abs(scaled - values) / values
+        assert np.max(scaled_err) < np.max(plain_err)

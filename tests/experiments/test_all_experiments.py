@@ -1,0 +1,34 @@
+"""Integration: every experiment runs at quick scale with all checks green.
+
+This is the repository's statement that the paper's qualitative results
+reproduce — each experiment's checks encode the claims of the
+corresponding paper section.
+"""
+
+import pytest
+
+from repro.experiments import ExperimentParams, experiment_ids, get_experiment
+
+#: Quick-scale parameters shared by the whole module (campaigns are
+#: memoized inside repro.experiments._campaigns, so experiments that
+#: share field/target pools reuse them).
+PARAMS = ExperimentParams(data_size=1 << 13, trials_per_bit=40, seed=2023)
+
+
+@pytest.mark.parametrize("exp_id", sorted(experiment_ids()))
+def test_experiment_checks_pass(exp_id):
+    output = get_experiment(exp_id).run(PARAMS)
+    assert output.exp_id == exp_id
+    assert output.checks, f"{exp_id} produced no checks"
+    assert output.all_checks_pass, (
+        f"{exp_id} failed checks: {output.failed_checks()}"
+    )
+    # Every experiment must render without crashing.
+    text = output.render()
+    assert exp_id in text
+
+
+def test_every_experiment_produces_output():
+    for exp_id in experiment_ids():
+        output = get_experiment(exp_id).run(PARAMS)
+        assert output.figures or output.tables, exp_id

@@ -1,0 +1,82 @@
+"""Tests for the experiment harness machinery."""
+
+import pytest
+
+from repro.experiments import (
+    ExperimentOutput,
+    ExperimentParams,
+    experiment_ids,
+    get_experiment,
+    run_experiments,
+)
+from repro.experiments.base import register_experiment
+
+
+class TestRegistry:
+    def test_all_paper_experiments_registered(self):
+        ids = experiment_ids()
+        for expected in ("table1", "fig03", "fig07", "fig10", "fig11", "fig14",
+                         "fig16", "fig18", "fig20", "worked", "survey",
+                         "ext-sizes", "ext-multibit", "ext-predict"):
+            assert expected in ids
+
+    def test_get_unknown(self):
+        with pytest.raises(KeyError, match="known"):
+            get_experiment("fig99")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(KeyError):
+            register_experiment("table1", "dup", "x")(lambda params: None)
+
+    def test_spec_metadata(self):
+        spec = get_experiment("fig10")
+        assert spec.paper_ref == "Figure 10"
+        assert "IEEE" in spec.title
+
+
+class TestParams:
+    def test_defaults(self):
+        params = ExperimentParams()
+        assert params.trials_per_bit == 313
+
+    def test_quick_smaller(self):
+        quick = ExperimentParams.quick()
+        assert quick.data_size < ExperimentParams().data_size
+        assert quick.trials_per_bit < 313
+
+    def test_paper_scale(self):
+        paper = ExperimentParams.paper_scale()
+        assert paper.trials_per_bit == 313
+        assert paper.data_size == 1 << 22
+
+
+class TestOutput:
+    def test_checks(self):
+        output = ExperimentOutput(exp_id="x", title="t")
+        output.check("good", True)
+        output.check("bad", False)
+        assert not output.all_checks_pass
+        assert output.failed_checks() == ["bad"]
+
+    def test_render_contains_sections(self):
+        from repro.reporting.series import Table
+
+        output = ExperimentOutput(exp_id="x", title="demo title")
+        table = Table("tbl", columns=["a"])
+        table.add_row([1])
+        output.tables.append(table)
+        output.findings.append("something interesting")
+        output.check("claim", True)
+        text = output.render()
+        assert "demo title" in text
+        assert "tbl" in text
+        assert "something interesting" in text
+        assert "[PASS] claim" in text
+
+
+class TestRunExperiments:
+    def test_runs_subset(self, quick_params):
+        outputs = run_experiments(["worked"], quick_params)
+        assert len(outputs) == 1
+        assert outputs[0].exp_id == "worked"
+        assert outputs[0].all_checks_pass

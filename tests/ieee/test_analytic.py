@@ -1,0 +1,83 @@
+"""Tests for the Elliott-style analytic IEEE flip model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ieee.analytic import expected_error_profile, predict_flip, relative_error_bound
+from repro.ieee.bits import flip_float_bit
+from repro.ieee.fields import IEEEField, field_of_bit
+from repro.ieee.formats import BINARY32, BINARY64
+
+
+class TestPredictionExactness:
+    def test_every_bit_on_random_normals(self, rng):
+        values = rng.normal(0, 1000, 500).astype(np.float32)
+        for bit in range(32):
+            prediction = predict_flip(values, bit, BINARY32)
+            actual = flip_float_bit(values, bit, BINARY32).astype(np.float64)
+            valid = prediction.valid
+            assert np.any(valid)
+            assert np.array_equal(prediction.faulty[valid], actual[valid]), f"bit {bit}"
+
+    @given(st.floats(min_value=1e-30, max_value=1e30),
+           st.integers(min_value=0, max_value=31))
+    def test_hypothesis_scalar(self, value, bit):
+        value32 = np.float32(value)
+        if not np.isfinite(value32) or value32 == 0:
+            return
+        prediction = predict_flip(np.array([value32]), bit, BINARY32)
+        if not prediction.valid[0]:
+            return
+        actual = float(flip_float_bit(value32, bit, BINARY32))
+        assert prediction.faulty[0] == actual
+
+    def test_sign_bit(self):
+        prediction = predict_flip(np.array([np.float32(5.0)]), 31, BINARY32)
+        assert prediction.faulty[0] == -5.0
+        assert prediction.relative_error[0] == 2.0
+
+    def test_validity_excludes_special_crossings(self):
+        # Flipping the exponent MSB of 1.5 (exp 127) overflows to inf.
+        prediction = predict_flip(np.array([np.float32(1.5)]), 30, BINARY32)
+        assert not prediction.valid[0]
+
+    def test_negative_values_fraction_flip(self):
+        value = np.float32(-186.25)
+        prediction = predict_flip(np.array([value]), 10, BINARY32)
+        actual = float(flip_float_bit(value, 10, BINARY32))
+        assert prediction.valid[0]
+        assert prediction.faulty[0] == actual
+
+    def test_binary64(self, rng):
+        values = rng.normal(0, 1, 100)
+        for bit in (0, 30, 51, 52, 60, 63):
+            prediction = predict_flip(values, bit, BINARY64)
+            actual = flip_float_bit(values, bit, BINARY64)
+            valid = prediction.valid
+            assert np.array_equal(prediction.faulty[valid], actual[valid])
+
+
+class TestBounds:
+    def test_sign_bound(self):
+        assert relative_error_bound(31, BINARY32) == 2.0
+
+    def test_fraction_bounds_double(self):
+        bounds = [relative_error_bound(b, BINARY32) for b in range(23)]
+        ratios = np.diff(np.log2(bounds))
+        assert np.allclose(ratios, 1.0)
+
+    def test_exponent_bound_explodes(self):
+        assert relative_error_bound(30, BINARY32) == 2.0**128 - 1
+
+    def test_profile_shape(self):
+        profile = expected_error_profile(BINARY32)
+        assert profile.shape == (32,)
+        assert np.argmax(profile) == 30  # exponent MSB dominates
+
+    def test_measured_error_within_bound(self, rng):
+        values = rng.normal(0, 100, 200).astype(np.float32)
+        for bit in range(23):  # fraction bits
+            prediction = predict_flip(values, bit, BINARY32)
+            bound = relative_error_bound(bit, BINARY32)
+            assert np.all(prediction.relative_error[prediction.valid] <= bound * (1 + 1e-12))

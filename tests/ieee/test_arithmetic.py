@@ -1,0 +1,68 @@
+"""Tests for software IEEE arithmetic (bfloat16 focus)."""
+
+import numpy as np
+import pytest
+
+from repro.ieee.arithmetic import absolute, add, divide, multiply, negate, sqrt, subtract
+from repro.ieee.bits import bits_to_float, float_to_bits
+from repro.ieee.formats import BFLOAT16, BINARY16, BINARY32
+
+
+def _bf16(values) -> np.ndarray:
+    return float_to_bits(np.asarray(values, dtype=np.float32), BFLOAT16)
+
+
+class TestBfloat16:
+    def test_exact_small_integers(self):
+        a = _bf16([1.0, 2.0, 3.0])
+        b = _bf16([4.0, 5.0, 6.0])
+        assert bits_to_float(add(a, b, BFLOAT16), BFLOAT16).tolist() == [5.0, 7.0, 9.0]
+        assert bits_to_float(multiply(a, b, BFLOAT16), BFLOAT16).tolist() == [4.0, 10.0, 18.0]
+        assert bits_to_float(subtract(b, a, BFLOAT16), BFLOAT16).tolist() == [3.0, 3.0, 3.0]
+        assert bits_to_float(divide(b, a, BFLOAT16), BFLOAT16).tolist() == [4.0, 2.5, 2.0]
+
+    def test_result_rounds_to_bfloat16_grid(self):
+        # 1 + 1/256 is below bfloat16 resolution at 1: absorbed.
+        a = _bf16([1.0])
+        b = _bf16([2.0**-9])
+        result = bits_to_float(add(a, b, BFLOAT16), BFLOAT16)
+        assert result[0] == 1.0
+
+    def test_division_by_zero(self):
+        result = bits_to_float(divide(_bf16([1.0]), _bf16([0.0]), BFLOAT16), BFLOAT16)
+        assert np.isinf(result[0])
+
+    def test_negate_and_abs_exact(self):
+        a = _bf16([1.5, -2.0])
+        assert bits_to_float(negate(a, BFLOAT16), BFLOAT16).tolist() == [-1.5, 2.0]
+        assert bits_to_float(absolute(a, BFLOAT16), BFLOAT16).tolist() == [1.5, 2.0]
+
+    def test_sqrt(self):
+        result = bits_to_float(sqrt(_bf16([4.0, -1.0]), BFLOAT16), BFLOAT16)
+        assert result[0] == 2.0
+        assert np.isnan(result[1])
+
+    def test_correct_rounding_vs_reference(self, rng):
+        # Reference: exact float64 op rounded float64->float32->bfloat16
+        # (innocuous: float32 has > 2*8+2 bits of bfloat16 precision).
+        values_a = rng.normal(0, 100, 500).astype(np.float32)
+        values_b = rng.normal(0, 100, 500).astype(np.float32)
+        a = _bf16(values_a)
+        b = _bf16(values_b)
+        got = add(a, b, BFLOAT16)
+        stored_a = bits_to_float(a, BFLOAT16)
+        stored_b = bits_to_float(b, BFLOAT16)
+        expected = float_to_bits(stored_a + stored_b, BFLOAT16)
+        assert np.array_equal(got, expected)
+
+
+class TestNativeFormats:
+    @pytest.mark.parametrize("fmt, dtype", [(BINARY16, np.float16), (BINARY32, np.float32)])
+    def test_matches_numpy(self, fmt, dtype, rng):
+        values_a = rng.normal(0, 10, 300).astype(dtype)
+        values_b = rng.normal(0, 10, 300).astype(dtype)
+        a = float_to_bits(values_a, fmt)
+        b = float_to_bits(values_b, fmt)
+        got = bits_to_float(multiply(a, b, fmt), fmt)
+        expected = (values_a.astype(np.float32) * values_b.astype(np.float32)).astype(dtype)
+        assert np.array_equal(got.astype(dtype), expected)

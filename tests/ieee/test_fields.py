@@ -1,0 +1,60 @@
+"""Tests for IEEE bit classification."""
+
+import numpy as np
+import pytest
+
+from repro.ieee.fields import IEEEField, classify_bit, field_map, field_of_bit, layout_string
+from repro.ieee.formats import BINARY16, BINARY32, BINARY64
+
+
+class TestFieldOfBit:
+    def test_binary32_boundaries(self):
+        assert field_of_bit(31, BINARY32) == IEEEField.SIGN
+        assert field_of_bit(30, BINARY32) == IEEEField.EXPONENT
+        assert field_of_bit(23, BINARY32) == IEEEField.EXPONENT
+        assert field_of_bit(22, BINARY32) == IEEEField.FRACTION
+        assert field_of_bit(0, BINARY32) == IEEEField.FRACTION
+
+    def test_binary64_boundaries(self):
+        assert field_of_bit(63, BINARY64) == IEEEField.SIGN
+        assert field_of_bit(52, BINARY64) == IEEEField.EXPONENT
+        assert field_of_bit(51, BINARY64) == IEEEField.FRACTION
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            field_of_bit(32, BINARY32)
+        with pytest.raises(ValueError):
+            field_of_bit(-1, BINARY32)
+
+    def test_field_map_counts(self):
+        counts = {field: 0 for field in IEEEField}
+        for field in field_map(BINARY32):
+            counts[field] += 1
+        assert counts[IEEEField.SIGN] == 1
+        assert counts[IEEEField.EXPONENT] == 8
+        assert counts[IEEEField.FRACTION] == 23
+
+    def test_classify_bit_array_shape(self):
+        bits = np.zeros((3, 4), dtype=np.uint32)
+        result = classify_bit(bits, 31, BINARY32)
+        assert result.shape == (3, 4)
+        assert np.all(result == int(IEEEField.SIGN))
+
+    def test_short_names(self):
+        assert IEEEField.SIGN.short_name() == "S"
+        assert IEEEField.EXPONENT.short_name() == "E"
+
+
+class TestLayoutString:
+    def test_186_25(self):
+        text = layout_string(0x433A4000, BINARY32)
+        assert text == "0|10000110|01110100100000000000000"
+
+    def test_positive_infinity(self):
+        # The paper's Fig. 2.
+        text = layout_string(0x7F800000, BINARY32)
+        assert text == "0|11111111|" + "0" * 23
+
+    def test_binary16(self):
+        text = layout_string(0x3C00, BINARY16)  # 1.0
+        assert text == "0|01111|0000000000"

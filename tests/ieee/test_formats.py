@@ -1,0 +1,64 @@
+"""Tests for IEEE format descriptions."""
+
+import numpy as np
+import pytest
+
+from repro.ieee.formats import (
+    BFLOAT16,
+    BINARY16,
+    BINARY32,
+    BINARY64,
+    FORMATS,
+    format_by_name,
+)
+
+
+class TestAgainstNumpyFinfo:
+    @pytest.mark.parametrize(
+        "fmt, dtype",
+        [(BINARY16, np.float16), (BINARY32, np.float32), (BINARY64, np.float64)],
+    )
+    def test_extremes(self, fmt, dtype):
+        info = np.finfo(dtype)
+        assert fmt.max_finite == float(info.max)
+        assert fmt.min_normal == float(info.tiny)
+        assert fmt.min_subnormal == float(info.smallest_subnormal)
+
+    def test_bias(self):
+        assert BINARY16.bias == 15
+        assert BINARY32.bias == 127
+        assert BINARY64.bias == 1023
+        assert BFLOAT16.bias == 127
+
+    def test_widths(self):
+        assert BINARY32.nbits == 32
+        assert BINARY64.nbits == 64
+        assert BFLOAT16.nbits == 16
+
+
+class TestMasks:
+    def test_binary32_masks(self):
+        assert BINARY32.sign_mask == 0x80000000
+        assert BINARY32.exponent_mask == 0x7F800000
+        assert BINARY32.fraction_mask == 0x007FFFFF
+        assert BINARY32.exponent_all_ones == 255
+
+    def test_masks_partition_word(self):
+        for fmt in FORMATS.values():
+            combined = fmt.sign_mask | fmt.exponent_mask | fmt.fraction_mask
+            assert combined == fmt.mask
+            assert fmt.sign_mask & fmt.exponent_mask == 0
+            assert fmt.exponent_mask & fmt.fraction_mask == 0
+
+
+class TestRegistry:
+    def test_lookup(self):
+        assert format_by_name("binary32") is BINARY32
+        assert format_by_name("bfloat16") is BFLOAT16
+
+    def test_unknown_raises_with_hint(self):
+        with pytest.raises(KeyError, match="binary32"):
+            format_by_name("float32")
+
+    def test_describe(self):
+        assert "8 exponent" in BINARY32.describe()

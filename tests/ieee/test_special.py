@@ -1,0 +1,36 @@
+"""Tests for IEEE special-value predicates (on raw patterns)."""
+
+import numpy as np
+
+from repro.ieee.bits import float_to_bits
+from repro.ieee.formats import BFLOAT16, BINARY32
+from repro.ieee.special import is_finite, is_inf, is_nan, is_subnormal, is_zero
+
+
+class TestAgainstNumpy:
+    def test_predicates_match_numpy(self, rng):
+        values = np.concatenate([
+            rng.normal(0, 1e30, 500).astype(np.float32),
+            np.array([np.nan, np.inf, -np.inf, 0.0, -0.0, 1e-40, -1e-42,
+                      np.float32(np.finfo(np.float32).tiny)], dtype=np.float32),
+        ])
+        bits = float_to_bits(values, BINARY32)
+        assert np.array_equal(is_nan(bits, BINARY32), np.isnan(values))
+        assert np.array_equal(is_inf(bits, BINARY32), np.isinf(values))
+        assert np.array_equal(is_finite(bits, BINARY32), np.isfinite(values))
+        assert np.array_equal(is_zero(bits, BINARY32), values == 0)
+
+    def test_subnormal(self):
+        values = np.array([1e-40, np.finfo(np.float32).tiny, 1.0, 0.0],
+                          dtype=np.float32)
+        bits = float_to_bits(values, BINARY32)
+        assert is_subnormal(bits, BINARY32).tolist() == [True, False, False, False]
+
+    def test_paper_fig2_infinity_pattern(self):
+        assert bool(is_inf(np.array([0x7F800000], dtype=np.uint32), BINARY32)[0])
+        assert bool(is_nan(np.array([0x7F800001], dtype=np.uint32), BINARY32)[0])
+
+    def test_bfloat16_patterns(self):
+        inf_pattern = np.array([0x7F80], dtype=np.uint16)
+        assert bool(is_inf(inf_pattern, BFLOAT16)[0])
+        assert not bool(is_nan(inf_pattern, BFLOAT16)[0])

@@ -1,0 +1,110 @@
+"""Tests for fault models."""
+
+import numpy as np
+import pytest
+
+from repro.bitops import popcount
+from repro.inject.faults import (
+    AdjacentBitFlip,
+    MultiBitFlip,
+    RandomBitFlip,
+    SingleBitFlip,
+    StuckAt,
+)
+
+
+@pytest.fixture
+def bits(rng):
+    return rng.integers(0, 1 << 32, 200, dtype=np.uint64).astype(np.uint32)
+
+
+@pytest.fixture
+def fault_rng():
+    return np.random.default_rng(0)
+
+
+class TestSingleBitFlip:
+    def test_flips_exactly_one(self, bits, fault_rng):
+        for bit in (0, 15, 31):
+            faulty = SingleBitFlip(bit).apply(bits, 32, fault_rng)
+            assert np.all((faulty ^ bits) == np.uint32(1 << bit))
+
+    def test_involution(self, bits, fault_rng):
+        fault = SingleBitFlip(7)
+        twice = fault.apply(fault.apply(bits, 32, fault_rng), 32, fault_rng)
+        assert np.array_equal(twice, bits)
+
+    def test_out_of_range(self, bits, fault_rng):
+        with pytest.raises(ValueError):
+            SingleBitFlip(32).apply(bits, 32, fault_rng)
+
+    def test_describe(self):
+        assert "bit 5" in SingleBitFlip(5).describe()
+
+
+class TestMultiBitFlip:
+    def test_flips_requested_set(self, bits, fault_rng):
+        fault = MultiBitFlip((1, 8, 30))
+        faulty = fault.apply(bits, 32, fault_rng)
+        assert np.all((faulty ^ bits) == np.uint32((1 << 1) | (1 << 8) | (1 << 30)))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MultiBitFlip(())
+        with pytest.raises(ValueError):
+            MultiBitFlip((1, 1))
+
+    def test_out_of_range(self, bits, fault_rng):
+        with pytest.raises(ValueError):
+            MultiBitFlip((1, 40)).apply(bits, 32, fault_rng)
+
+
+class TestAdjacentBitFlip:
+    def test_burst(self, bits, fault_rng):
+        faulty = AdjacentBitFlip(4, 3).apply(bits, 32, fault_rng)
+        assert np.all((faulty ^ bits) == np.uint32(0b111 << 4))
+
+    def test_truncated_at_word_end(self, bits, fault_rng):
+        faulty = AdjacentBitFlip(30, 4).apply(bits, 32, fault_rng)
+        assert np.all((faulty ^ bits) == np.uint32(0b11 << 30))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdjacentBitFlip(0, 0)
+
+
+class TestRandomBitFlip:
+    def test_flips_exactly_count_bits(self, bits, fault_rng):
+        for count in (1, 2, 3):
+            faulty = RandomBitFlip(count).apply(bits, 32, fault_rng)
+            flipped = popcount((faulty ^ bits).astype(np.uint64), 32)
+            assert np.all(flipped == count)
+
+    def test_count_exceeds_width(self, fault_rng):
+        with pytest.raises(ValueError):
+            RandomBitFlip(9).apply(np.zeros(2, dtype=np.uint8), 8, fault_rng)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RandomBitFlip(0)
+
+    def test_deterministic_given_rng(self, bits):
+        a = RandomBitFlip(2).apply(bits, 32, np.random.default_rng(3))
+        b = RandomBitFlip(2).apply(bits, 32, np.random.default_rng(3))
+        assert np.array_equal(a, b)
+
+
+class TestStuckAt:
+    def test_stuck_at_one(self, bits, fault_rng):
+        faulty = StuckAt(5, 1).apply(bits, 32, fault_rng)
+        assert np.all((faulty >> np.uint32(5)) & np.uint32(1) == 1)
+        cleared_elsewhere = faulty ^ bits
+        assert np.all((cleared_elsewhere & ~np.uint32(1 << 5)) == 0)
+
+    def test_stuck_at_zero(self, bits, fault_rng):
+        faulty = StuckAt(5, 0).apply(bits, 32, fault_rng)
+        assert np.all((faulty >> np.uint32(5)) & np.uint32(1) == 0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StuckAt(5, 2)

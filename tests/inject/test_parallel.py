@@ -1,0 +1,52 @@
+"""Tests for the parallel campaign executor."""
+
+import numpy as np
+import pytest
+
+from repro.inject.campaign import CampaignConfig, run_campaign
+from repro.inject.parallel import default_worker_count, run_campaign_parallel
+
+
+def _assert_results_identical(a, b) -> None:
+    assert a.target_name == b.target_name
+    assert a.trial_count == b.trial_count
+    for column in a.records.column_names():
+        lhs = getattr(a.records, column)
+        rhs = getattr(b.records, column)
+        assert np.array_equal(lhs, rhs, equal_nan=lhs.dtype.kind == "f"), column
+
+
+class TestParallelEqualsSerial:
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_posit32(self, small_field, workers):
+        config = CampaignConfig(trials_per_bit=6, seed=42)
+        serial = run_campaign(small_field, "posit32", config)
+        parallel = run_campaign_parallel(small_field, "posit32", config, workers=workers)
+        _assert_results_identical(serial, parallel)
+
+    def test_ieee32(self, small_field):
+        config = CampaignConfig(trials_per_bit=6, seed=42)
+        serial = run_campaign(small_field, "ieee32", config)
+        parallel = run_campaign_parallel(small_field, "ieee32", config, workers=3)
+        _assert_results_identical(serial, parallel)
+
+    def test_single_worker_falls_back(self, small_field):
+        config = CampaignConfig(trials_per_bit=4, seed=1)
+        serial = run_campaign(small_field, "posit32", config)
+        fallback = run_campaign_parallel(small_field, "posit32", config, workers=1)
+        _assert_results_identical(serial, fallback)
+
+    def test_single_shard_falls_back(self, small_field):
+        config = CampaignConfig(trials_per_bit=4, seed=1, bits=(31,))
+        serial = run_campaign(small_field, "posit32", config)
+        parallel = run_campaign_parallel(small_field, "posit32", config, workers=4)
+        _assert_results_identical(serial, parallel)
+
+
+class TestMisc:
+    def test_default_worker_count_positive(self):
+        assert default_worker_count() >= 1
+
+    def test_empty_data_rejected(self):
+        with pytest.raises(ValueError):
+            run_campaign_parallel(np.array([]), "posit32")

@@ -1,0 +1,94 @@
+"""Tests for campaign suite orchestration."""
+
+import numpy as np
+import pytest
+
+from repro.inject.suite import SuiteConfig, load_manifest, run_suite
+
+
+@pytest.fixture
+def small_config():
+    return SuiteConfig(
+        fields=("cesm/cloud", "hurricane/uf30"),
+        targets=("ieee32", "posit32"),
+        data_size=1 << 11,
+        trials_per_bit=3,
+        seed=5,
+    )
+
+
+class TestSuiteConfig:
+    def test_paper_grid_covers_all_fields(self):
+        config = SuiteConfig.paper_grid(trials_per_bit=1)
+        assert len(config.fields) == 16
+        assert config.targets == ("ieee32", "posit32")
+
+    def test_log_name(self, small_config):
+        assert small_config.log_name("cesm/cloud", "posit32") == "cesm__cloud--posit32.csv"
+
+
+class TestRunSuite:
+    def test_runs_full_grid(self, small_config, tmp_path):
+        result = run_suite(small_config, tmp_path, workers=1)
+        assert len(result.completed) == 4
+        assert result.skipped == []
+        for field_key in small_config.fields:
+            for target in small_config.targets:
+                records = result.records(field_key, target)
+                assert len(records) == 3 * 32
+
+    def test_manifest_written(self, small_config, tmp_path):
+        run_suite(small_config, tmp_path, workers=1)
+        manifest = load_manifest(tmp_path)
+        assert manifest["trials_per_bit"] == 3
+        assert len(manifest["campaigns"]) == 4
+        statuses = {entry["status"] for entry in manifest["campaigns"].values()}
+        assert statuses == {"completed"}
+
+    def test_resume_skips_existing(self, small_config, tmp_path):
+        run_suite(small_config, tmp_path, workers=1)
+        second = run_suite(small_config, tmp_path, workers=1)
+        assert second.completed == []
+        assert len(second.skipped) == 4
+
+    def test_no_resume_reruns(self, small_config, tmp_path):
+        run_suite(small_config, tmp_path, workers=1)
+        second = run_suite(small_config, tmp_path, workers=1, resume=False)
+        assert len(second.completed) == 4
+
+    def test_progress_callback(self, small_config, tmp_path):
+        seen = []
+        run_suite(
+            small_config, tmp_path, workers=1,
+            progress=lambda field, target, campaign: seen.append((field, target, campaign is None)),
+        )
+        assert len(seen) == 4
+        assert all(not skipped for _, _, skipped in seen)
+
+    def test_all_records_concatenates(self, small_config, tmp_path):
+        result = run_suite(small_config, tmp_path, workers=1)
+        merged = result.all_records("posit32")
+        assert len(merged) == 2 * 3 * 32
+
+    def test_results_deterministic_across_runs(self, small_config, tmp_path_factory):
+        a_dir = tmp_path_factory.mktemp("a")
+        b_dir = tmp_path_factory.mktemp("b")
+        a = run_suite(small_config, a_dir, workers=1)
+        b = run_suite(small_config, b_dir, workers=2)
+        ra = a.records("cesm/cloud", "posit32")
+        rb = b.records("cesm/cloud", "posit32")
+        assert np.array_equal(ra.faulty, rb.faulty, equal_nan=True)
+
+    def test_missing_log_raises(self, small_config, tmp_path):
+        result = run_suite(small_config, tmp_path, workers=1)
+        with pytest.raises(FileNotFoundError):
+            result.records("nyx/temperature", "posit32")
+
+    def test_unknown_field_fails_fast(self, tmp_path):
+        config = SuiteConfig(fields=("no/such",), trials_per_bit=1, data_size=128)
+        with pytest.raises(KeyError):
+            run_suite(config, tmp_path)
+
+    def test_missing_manifest(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_manifest(tmp_path)

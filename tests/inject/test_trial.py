@@ -1,0 +1,87 @@
+"""Tests for trial execution (scalar flow vs vectorized hot path)."""
+
+import numpy as np
+import pytest
+
+from repro.inject.targets import target_by_name
+from repro.inject.trial import run_bit_trials, run_single_trial
+from repro.metrics.pointwise import compare_arrays
+from repro.metrics.summary import SummaryStats
+
+
+@pytest.fixture
+def stored(small_field):
+    target = target_by_name("posit32")
+    return target.round_trip(small_field)
+
+
+class TestScalarVsVectorized:
+    @pytest.mark.parametrize("target_name", ["ieee32", "posit32"])
+    def test_records_match_scalar_flow(self, small_field, target_name):
+        target = target_by_name(target_name)
+        stored = target.round_trip(small_field)
+        baseline = SummaryStats.from_array(stored)
+        indices = np.array([0, 5, 100, 2500], dtype=np.int64)
+        for bit in (0, 12, 24, 29, 30, 31):
+            records = run_bit_trials(stored, indices, bit, target, baseline)
+            for i, index in enumerate(indices):
+                single = run_single_trial(stored, int(index), bit, target)
+                assert records.original[i] == single.original
+                same_faulty = records.faulty[i] == single.faulty or (
+                    np.isnan(records.faulty[i]) and np.isnan(single.faulty)
+                )
+                assert same_faulty, (bit, i)
+                assert records.field[i] == single.field
+                assert records.regime_k[i] == single.regime_k
+                assert records.non_finite[i] == single.non_finite
+
+    def test_metrics_match_full_array_comparison(self, stored):
+        target = target_by_name("posit32")
+        baseline = SummaryStats.from_array(stored)
+        indices = np.array([3, 77], dtype=np.int64)
+        records = run_bit_trials(stored, indices, 20, target, baseline)
+        for i, index in enumerate(indices):
+            faulty_array = stored.copy()
+            faulty_array[index] = records.faulty[i]
+            full = compare_arrays(stored, faulty_array)
+            assert records.abs_err[i] == pytest.approx(full.max_absolute_error)
+            assert records.mse[i] == pytest.approx(full.mean_squared_error)
+            if stored[index] != 0:
+                assert records.rel_err[i] == pytest.approx(full.max_pointwise_relative)
+
+    def test_faulty_summary_matches_recompute(self, stored):
+        target = target_by_name("posit32")
+        baseline = SummaryStats.from_array(stored)
+        # Deliberately include the dataset's extremum index.
+        extremum = int(np.argmax(stored))
+        indices = np.array([extremum, 1], dtype=np.int64)
+        records = run_bit_trials(stored, indices, 30, target, baseline)
+        for i, index in enumerate(indices):
+            if not np.isfinite(records.faulty[i]):
+                continue
+            replaced = stored.copy()
+            replaced[index] = records.faulty[i]
+            assert records.faulty_max[i] == np.max(replaced)
+            assert records.faulty_min[i] == np.min(replaced)
+            assert records.faulty_mean[i] == pytest.approx(np.mean(replaced), rel=1e-9)
+            assert records.faulty_std[i] == pytest.approx(np.std(replaced), rel=1e-6, abs=1e-9)
+
+
+class TestRecordContents:
+    def test_bit_and_trial_columns(self, stored):
+        target = target_by_name("posit32")
+        baseline = SummaryStats.from_array(stored)
+        indices = np.arange(10, dtype=np.int64)
+        records = run_bit_trials(stored, indices, 17, target, baseline)
+        assert len(records) == 10
+        assert np.all(records.bit == 17)
+        assert np.array_equal(records.trial, np.arange(10))
+        assert np.array_equal(records.index, indices)
+
+    def test_posit_original_is_representable(self, small_field):
+        target = target_by_name("posit32")
+        stored = target.round_trip(small_field)
+        baseline = SummaryStats.from_array(stored)
+        records = run_bit_trials(stored, np.array([0, 1]), 3, target, baseline)
+        # The recorded original must be the posit-rounded value.
+        assert np.array_equal(records.original, stored[[0, 1]])

@@ -1,0 +1,72 @@
+"""Tests for trial-log verification."""
+
+import numpy as np
+import pytest
+
+from repro.inject.campaign import CampaignConfig, run_campaign
+from repro.inject.results import TrialRecords
+from repro.inject.validate import verify_records
+
+
+@pytest.fixture(scope="module")
+def genuine(small_field_module):
+    return run_campaign(
+        small_field_module, "posit32", CampaignConfig(trials_per_bit=6, seed=3)
+    ).records
+
+
+@pytest.fixture(scope="module")
+def small_field_module():
+    rng = np.random.default_rng(12345)
+    return np.concatenate([
+        rng.normal(50.0, 20.0, 1000),
+        rng.lognormal(-2, 2, 500),
+    ]).astype(np.float32)
+
+
+class TestVerify:
+    def test_genuine_log_verifies(self, genuine):
+        report = verify_records(genuine, "posit32")
+        assert report.ok, report.summary()
+        assert report.total == len(genuine)
+        assert "OK" in report.summary()
+
+    def test_tampered_faulty_detected(self, genuine):
+        tampered = genuine.select(slice(None))
+        tampered.faulty = tampered.faulty.copy()
+        tampered.faulty[7] *= 1.0001
+        report = verify_records(tampered, "posit32")
+        assert not report.ok
+        assert report.mismatched_faulty >= 1
+        assert report.examples
+
+    def test_wrong_target_detected(self, genuine):
+        report = verify_records(genuine, "ieee32")
+        assert not report.ok
+
+    def test_tampered_field_detected(self, genuine):
+        tampered = genuine.select(slice(None))
+        tampered.field = tampered.field.copy()
+        tampered.field[0] = 99
+        report = verify_records(tampered, "posit32")
+        assert report.mismatched_fields >= 1
+
+    def test_empty_log_ok(self):
+        report = verify_records(TrialRecords.empty(), "posit32")
+        assert report.ok
+        assert report.total == 0
+
+    def test_csv_roundtrip_preserves_verifiability(self, genuine, tmp_path):
+        path = tmp_path / "log.csv"
+        genuine.write_csv(path)
+        loaded = TrialRecords.read_csv(path)
+        assert verify_records(loaded, "posit32").ok
+
+    def test_cli_verify(self, genuine, tmp_path, capsys):
+        from repro.cli import main as cli_main
+
+        path = tmp_path / "log.csv"
+        genuine.write_csv(path)
+        assert cli_main(["verify", str(path), "posit32"]) == 0
+        assert "OK" in capsys.readouterr().out
+        assert cli_main(["verify", str(path), "ieee32"]) == 1

@@ -1,0 +1,117 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestListCommands:
+    def test_targets(self, capsys):
+        assert main(["targets"]) == 0
+        out = capsys.readouterr().out
+        assert "posit32" in out
+        assert "ieee32" in out
+
+    def test_experiments(self, capsys):
+        assert main(["experiments"]) == 0
+        out = capsys.readouterr().out
+        assert "fig10" in out
+        assert "Figure 10" in out
+
+    def test_datasets(self, capsys):
+        assert main(["datasets", "--size", "2000"]) == 0
+        out = capsys.readouterr().out
+        assert "nyx/temperature" in out
+
+
+class TestInspect:
+    def test_value(self, capsys):
+        assert main(["inspect", "186.25"]) == 0
+        out = capsys.readouterr().out
+        assert "0x433a4000" in out
+        assert "0x6dd20000" in out
+        assert "186.25" in out
+
+
+class TestExperiment:
+    def test_single_experiment(self, capsys):
+        assert main(["experiment", "worked", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "[PASS]" in out
+        assert "[FAIL]" not in out
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            main(["experiment", "fig99", "--quick"])
+
+
+class TestCampaign:
+    def test_prints_aggregate(self, capsys):
+        code = main([
+            "campaign", "cesm/cloud", "posit32",
+            "--size", "4096", "--trials", "4", "--workers", "1",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "campaign: 128 trials" in out
+        assert "conversion" in out
+
+    def test_writes_csv(self, tmp_path, capsys):
+        out_path = tmp_path / "trials.csv"
+        code = main([
+            "campaign", "cesm/cloud", "ieee32",
+            "--size", "4096", "--trials", "3", "--workers", "1",
+            "--out", str(out_path),
+        ])
+        assert code == 0
+        assert out_path.exists()
+        from repro.inject.results import TrialRecords
+
+        records = TrialRecords.read_csv(out_path)
+        assert len(records) == 3 * 32
+
+
+class TestPredict:
+    def test_table_rendered(self, capsys):
+        from repro.cli import main as cli_main
+
+        assert cli_main(["predict", "186.25"]) == 0
+        out = capsys.readouterr().out
+        assert "SIGN_FLIP" in out
+        assert "REGIME_EXPANSION" in out
+        assert "EXPONENT_CHANGE" in out
+
+
+class TestSuiteCommand:
+    def test_runs_and_resumes(self, tmp_path, capsys):
+        from repro.cli import main as cli_main
+
+        args = [
+            "suite", "--out", str(tmp_path), "--fields", "cesm/cloud",
+            "--size", "1024", "--trials", "2", "--workers", "1",
+        ]
+        assert cli_main(args) == 0
+        out = capsys.readouterr().out
+        assert "[done] cesm/cloud x posit32" in out
+        assert cli_main(args) == 0
+        out = capsys.readouterr().out
+        assert "[skip]" in out
+
+
+class TestReportCommand:
+    def test_writes_report(self, tmp_path, capsys):
+        from repro.cli import main as cli_main
+        import repro.reporting.report as report_module
+
+        # Patch experiment list to keep the CLI test fast.
+        original = report_module.generate_report
+
+        def tiny(directory, params=None, ids=None):
+            return original(directory, params, ids=["worked"])
+
+        report_module.generate_report = tiny
+        try:
+            assert cli_main(["report", "--out", str(tmp_path), "--quick"]) == 0
+        finally:
+            report_module.generate_report = original
+        assert (tmp_path / "report.md").exists()

@@ -1,0 +1,35 @@
+"""Tests for the MRED metric."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.mred import mred, relative_error_distance
+
+
+class TestRelativeErrorDistance:
+    def test_basic(self):
+        red = relative_error_distance(np.array([2.0, 4.0]), np.array([1.0, 6.0]))
+        assert red.tolist() == [0.5, 0.5]
+
+    def test_zero_conventions(self):
+        red = relative_error_distance(np.array([0.0, 0.0]), np.array([0.0, 1.0]))
+        assert red[0] == 0.0
+        assert np.isnan(red[1])
+
+
+class TestMred:
+    def test_mean(self):
+        assert mred(np.array([2.0, 4.0]), np.array([1.0, 6.0])) == 0.5
+
+    def test_skips_non_finite_by_default(self):
+        original = np.array([2.0, 0.0, 1.0])
+        faulty = np.array([1.0, 5.0, np.inf])
+        assert mred(original, faulty) == 0.5
+
+    def test_strict_mode_propagates(self):
+        original = np.array([2.0, 0.0])
+        faulty = np.array([1.0, 5.0])
+        assert np.isnan(mred(original, faulty, skip_non_finite=False))
+
+    def test_all_undefined(self):
+        assert np.isnan(mred(np.array([0.0]), np.array([1.0])))

@@ -1,0 +1,84 @@
+"""Tests for the QCAT-equivalent array metrics."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.pointwise import (
+    absolute_error,
+    compare_arrays,
+    pointwise_relative_error,
+)
+
+
+class TestCompareArrays:
+    def test_identical_arrays(self, rng):
+        values = rng.normal(0, 1, 100)
+        metrics = compare_arrays(values, values)
+        assert metrics.max_absolute_error == 0.0
+        assert metrics.mean_squared_error == 0.0
+        assert metrics.psnr_db == float("inf")
+        assert not metrics.has_non_finite
+
+    def test_single_difference(self):
+        original = np.array([1.0, 2.0, 3.0, 4.0])
+        faulty = original.copy()
+        faulty[2] = 6.0
+        metrics = compare_arrays(original, faulty)
+        assert metrics.max_absolute_error == 3.0
+        assert metrics.mean_absolute_error == pytest.approx(0.75)
+        assert metrics.max_pointwise_relative == pytest.approx(1.0)
+        assert metrics.value_range_relative == pytest.approx(1.0)
+        assert metrics.mean_squared_error == pytest.approx(9 / 4)
+        assert metrics.l2_norm_error == pytest.approx(3.0)
+        assert metrics.linf_norm_error == 3.0
+
+    def test_psnr_definition(self):
+        original = np.array([0.0, 10.0])
+        faulty = np.array([1.0, 10.0])
+        metrics = compare_arrays(original, faulty)
+        expected = 20 * np.log10(10.0) - 10 * np.log10(0.5)
+        assert metrics.psnr_db == pytest.approx(expected)
+
+    def test_non_finite_flag(self):
+        original = np.array([1.0, 2.0])
+        faulty = np.array([np.inf, 2.0])
+        metrics = compare_arrays(original, faulty)
+        assert metrics.has_non_finite
+        assert metrics.max_absolute_error == float("inf")
+
+    def test_nan_faulty(self):
+        metrics = compare_arrays(np.array([1.0]), np.array([np.nan]))
+        assert metrics.has_non_finite
+        assert np.isnan(metrics.max_absolute_error)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            compare_arrays(np.zeros(3), np.zeros(4))
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            compare_arrays(np.zeros(0), np.zeros(0))
+
+    def test_as_row_keys(self):
+        metrics = compare_arrays(np.array([1.0]), np.array([1.5]))
+        row = metrics.as_row()
+        assert set(row) >= {"max_abs_err", "max_rel_err", "mse", "psnr_db"}
+
+
+class TestPointwiseRelative:
+    def test_conventions(self):
+        original = np.array([2.0, 0.0, 0.0, -4.0])
+        faulty = np.array([3.0, 0.0, 1.0, -2.0])
+        rel = pointwise_relative_error(original, faulty)
+        assert rel[0] == 0.5
+        assert rel[1] == 0.0
+        assert np.isnan(rel[2])  # undefined against zero original
+        assert rel[3] == 0.5
+
+    def test_paper_section_542_example(self):
+        # orig 3.395e-5 vs faulty 8.644e-8 -> relative error ~ 1.
+        rel = pointwise_relative_error(np.array([3.395274e-5]), np.array([8.644184e-8]))
+        assert rel[0] == pytest.approx(1.0, abs=0.01)
+
+    def test_absolute_error(self):
+        assert absolute_error(np.array([3.0]), np.array([-1.0]))[0] == 4.0

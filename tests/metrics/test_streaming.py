@@ -1,0 +1,92 @@
+"""Tests for streaming statistics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.metrics.streaming import PerBitStreaming, StreamingStats
+
+
+class TestStreamingStats:
+    def test_matches_numpy_single_batch(self, rng):
+        values = rng.normal(10, 3, 5000)
+        stats = StreamingStats().add(values)
+        assert stats.count == 5000
+        assert stats.mean == pytest.approx(np.mean(values))
+        assert stats.std == pytest.approx(np.std(values))
+        assert stats.minimum == np.min(values)
+        assert stats.maximum == np.max(values)
+
+    def test_incremental_equals_batch(self, rng):
+        values = rng.lognormal(0, 2, 3000)
+        incremental = StreamingStats()
+        for chunk in np.array_split(values, 7):
+            incremental.add(chunk)
+        batch = StreamingStats().add(values)
+        assert incremental.count == batch.count
+        assert incremental.mean == pytest.approx(batch.mean, rel=1e-12)
+        assert incremental.std == pytest.approx(batch.std, rel=1e-9)
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=50),
+           st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=50))
+    def test_merge_equals_concatenation(self, a, b):
+        left = StreamingStats().add(a)
+        right = StreamingStats().add(b)
+        left.merge(right)
+        combined = StreamingStats().add(np.concatenate([a, b]))
+        assert left.count == combined.count
+        assert left.mean == pytest.approx(combined.mean, rel=1e-9, abs=1e-9)
+        assert left.m2 == pytest.approx(combined.m2, rel=1e-6, abs=1e-6)
+
+    def test_non_finite_policy(self):
+        stats = StreamingStats().add([1.0, np.nan, np.inf, 3.0])
+        assert stats.count == 2
+        assert stats.non_finite_count == 2
+        assert stats.mean == 2.0
+        assert stats.maximum == np.inf  # infinities tracked in extremes
+
+    def test_empty(self):
+        stats = StreamingStats()
+        assert np.isnan(stats.std)
+        row = stats.as_row()
+        assert row["count"] == 0
+
+    def test_merge_empty(self):
+        stats = StreamingStats().add([1.0, 2.0])
+        stats.merge(StreamingStats())
+        assert stats.count == 2
+
+
+class TestPerBitStreaming:
+    def test_matches_aggregate(self, small_field):
+        from repro.analysis.aggregate import aggregate_by_bit
+        from repro.inject.campaign import CampaignConfig, run_campaign
+
+        result = run_campaign(small_field, "posit32",
+                              CampaignConfig(trials_per_bit=8, seed=6))
+        streaming = PerBitStreaming(32).add_records(result.records)
+        batch = aggregate_by_bit(result.records, 32)
+        got = streaming.mean_curve()
+        expected = batch.mean_rel_err
+        mask = np.isfinite(expected)
+        assert np.allclose(got[mask], expected[mask], rtol=1e-12)
+
+    def test_shard_merge(self, small_field):
+        from repro.inject.campaign import CampaignConfig, run_campaign
+
+        a = run_campaign(small_field, "posit32", CampaignConfig(trials_per_bit=5, seed=1))
+        b = run_campaign(small_field, "posit32", CampaignConfig(trials_per_bit=5, seed=2))
+        merged = PerBitStreaming(32).add_records(a.records).merge(
+            PerBitStreaming(32).add_records(b.records)
+        )
+        from repro.inject.results import TrialRecords
+
+        combined_records = TrialRecords.concatenate([a.records, b.records])
+        combined = PerBitStreaming(32).add_records(combined_records)
+        assert np.allclose(
+            merged.mean_curve(), combined.mean_curve(), rtol=1e-12, equal_nan=True
+        )
+
+    def test_width_mismatch(self):
+        with pytest.raises(ValueError):
+            PerBitStreaming(32).merge(PerBitStreaming(16))

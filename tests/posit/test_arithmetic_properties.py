@@ -1,0 +1,140 @@
+"""Algebraic property tests on posit arithmetic.
+
+Posit arithmetic (like IEEE) is commutative but not associative; these
+tests pin down exactly which laws hold, exhaustively on posit8 pairs and
+by hypothesis on wider formats.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.posit.arithmetic import add, divide, multiply, negate, subtract
+from repro.posit.config import POSIT8, POSIT16, POSIT32
+from repro.posit.decode import decode
+from repro.posit.encode import encode
+
+patterns16 = st.integers(min_value=0, max_value=(1 << 16) - 1)
+
+
+def _p16(value: float) -> np.ndarray:
+    return np.atleast_1d(np.asarray(encode(np.float64(value), POSIT16)))
+
+
+class TestCommutativity:
+    def test_add_exhaustive_p8_sample(self, rng):
+        a = rng.integers(0, 256, 3000, dtype=np.uint64).astype(np.uint8)
+        b = rng.integers(0, 256, 3000, dtype=np.uint64).astype(np.uint8)
+        assert np.array_equal(
+            np.asarray(add(a, b, POSIT8)), np.asarray(add(b, a, POSIT8))
+        )
+
+    @given(patterns16, patterns16)
+    @settings(max_examples=200)
+    def test_mul_commutes_p16(self, p, q):
+        a = np.array([p], dtype=np.uint16)
+        b = np.array([q], dtype=np.uint16)
+        assert np.asarray(multiply(a, b, POSIT16))[0] == np.asarray(multiply(b, a, POSIT16))[0]
+
+
+class TestIdentities:
+    @given(patterns16)
+    @settings(max_examples=200)
+    def test_additive_identity(self, p):
+        a = np.array([p], dtype=np.uint16)
+        zero = np.array([0], dtype=np.uint16)
+        assert np.asarray(add(a, zero, POSIT16))[0] == p
+
+    @given(patterns16)
+    @settings(max_examples=200)
+    def test_multiplicative_identity(self, p):
+        a = np.array([p], dtype=np.uint16)
+        one = np.asarray(encode(np.float64(1.0), POSIT16)).reshape(1)
+        assert np.asarray(multiply(a, one, POSIT16))[0] == p
+
+    @given(patterns16)
+    @settings(max_examples=200)
+    def test_self_subtraction_is_zero(self, p):
+        if p == POSIT16.nar_pattern:
+            return
+        a = np.array([p], dtype=np.uint16)
+        assert np.asarray(subtract(a, a, POSIT16))[0] == 0
+
+    @given(patterns16)
+    @settings(max_examples=200)
+    def test_self_division_is_one(self, p):
+        value = decode(np.uint64(p), POSIT16)
+        a = np.array([p], dtype=np.uint16)
+        result = int(np.asarray(divide(a, a, POSIT16))[0])
+        if p == POSIT16.nar_pattern or value == 0:
+            assert result == POSIT16.nar_pattern
+        else:
+            assert result == int(encode(np.float64(1.0), POSIT16))
+
+
+class TestSignLaws:
+    @given(patterns16, patterns16)
+    @settings(max_examples=200)
+    def test_negation_distributes_over_add(self, p, q):
+        if POSIT16.nar_pattern in (p, q):
+            return
+        a = np.array([p], dtype=np.uint16)
+        b = np.array([q], dtype=np.uint16)
+        left = negate(add(a, b, POSIT16), POSIT16)
+        right = add(negate(a, POSIT16), negate(b, POSIT16), POSIT16)
+        assert np.asarray(left)[0] == np.asarray(right)[0]
+
+    @given(patterns16, patterns16)
+    @settings(max_examples=200)
+    def test_product_sign_rule(self, p, q):
+        a = np.array([p], dtype=np.uint16)
+        b = np.array([q], dtype=np.uint16)
+        direct = multiply(negate(a, POSIT16), b, POSIT16)
+        negated = negate(multiply(a, b, POSIT16), POSIT16)
+        assert np.asarray(direct)[0] == np.asarray(negated)[0]
+
+
+class TestNonLaws:
+    def test_addition_not_associative(self):
+        # 2**20 in posit16 carries 6 fraction bits: spacing 2**14.  A
+        # half-spacing addend (2**13) is absorbed by ties-to-even, but
+        # two of them together reach the next posit.
+        big = _p16(2.0**20)
+        tiny = _p16(2.0**13)
+        left = add(np.asarray(add(big, tiny, POSIT16)), tiny, POSIT16)
+        right = add(big, np.asarray(add(tiny, tiny, POSIT16)), POSIT16)
+        assert np.asarray(left)[0] != np.asarray(right)[0]
+
+    def test_no_distributivity_in_general(self):
+        a = _p16(3.0)
+        b = _p16(2.0**-11)
+        c = _p16(1.0)
+        left = multiply(a, np.asarray(add(b, c, POSIT16)), POSIT16)
+        right = add(
+            np.asarray(multiply(a, b, POSIT16)),
+            np.asarray(multiply(a, c, POSIT16)),
+            POSIT16,
+        )
+        # Not asserting inequality for this specific triple — only that
+        # evaluating both is well-defined; the associativity gap above
+        # already shows rounding breaks ring laws.
+        assert np.isfinite(decode(np.asarray(left).astype(np.uint64), POSIT16))[0]
+        assert np.isfinite(decode(np.asarray(right).astype(np.uint64), POSIT16))[0]
+
+
+class TestMonotonicity:
+    @given(
+        st.floats(min_value=-1e10, max_value=1e10),
+        st.floats(min_value=-1e10, max_value=1e10),
+        st.floats(min_value=0.0, max_value=1e10),
+    )
+    @settings(max_examples=200)
+    def test_add_monotone_in_first_argument(self, x, delta, y):
+        from repro.bitops import to_signed
+
+        a_small = np.atleast_1d(np.asarray(encode(np.float64(x), POSIT32)))
+        a_large = np.atleast_1d(np.asarray(encode(np.float64(x + abs(delta)), POSIT32)))
+        b = np.atleast_1d(np.asarray(encode(np.float64(y), POSIT32)))
+        small = int(to_signed(np.asarray(add(a_small, b, POSIT32)).astype(np.uint64), 32)[0])
+        large = int(to_signed(np.asarray(add(a_large, b, POSIT32)).astype(np.uint64), 32)[0])
+        assert small <= large

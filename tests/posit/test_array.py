@@ -1,0 +1,133 @@
+"""Tests for the PositArray container."""
+
+import numpy as np
+import pytest
+
+from repro.posit import POSIT8, POSIT16, POSIT32, PositArray
+
+
+class TestConstruction:
+    def test_from_floats(self):
+        array = PositArray([1.0, 2.5, -3.0])
+        assert array.to_floats().tolist() == [1.0, 2.5, -3.0]
+        assert array.config is POSIT32
+        assert array.shape == (3,)
+        assert array.size == 3
+        assert len(array) == 3
+
+    def test_rounding_on_construction(self):
+        array = PositArray([0.1], POSIT8)
+        assert array.to_floats()[0] != 0.1  # 0.1 not representable in p8
+        assert abs(array.to_floats()[0] - 0.1) < 0.01
+
+    def test_from_bits(self):
+        array = PositArray.from_bits(np.array([0x40000000], dtype=np.uint32))
+        assert array.to_floats()[0] == 1.0
+
+    def test_zeros(self):
+        array = PositArray.zeros((2, 3))
+        assert array.shape == (2, 3)
+        assert np.all(array.to_floats() == 0.0)
+
+    def test_format_conversion(self):
+        wide = PositArray([1.0, 186.25])
+        narrow = wide.astype(POSIT16)
+        assert narrow.config is POSIT16
+        assert narrow.to_floats()[0] == 1.0
+
+    def test_nan_becomes_nar(self):
+        array = PositArray([np.nan, 1.0])
+        assert array.is_nar().tolist() == [True, False]
+        assert np.isnan(array.to_floats()[0])
+
+
+class TestIndexing:
+    def test_getitem(self):
+        array = PositArray([1.0, 2.0, 3.0])
+        assert array[1].to_floats().tolist() == [2.0]
+        assert array[1:].to_floats().tolist() == [2.0, 3.0]
+
+    def test_setitem_float(self):
+        array = PositArray([1.0, 2.0])
+        array[0] = 5.0
+        assert array.to_floats().tolist() == [5.0, 2.0]
+
+    def test_setitem_positarray(self):
+        array = PositArray([1.0, 2.0])
+        array[1] = PositArray([7.0])
+        assert array.to_floats()[1] == 7.0
+
+    def test_iter(self):
+        assert list(PositArray([1.0, 2.0])) == [1.0, 2.0]
+
+
+class TestArithmetic:
+    def test_operators(self):
+        a = PositArray([1.5, 4.0])
+        b = PositArray([2.0, 0.5])
+        assert (a + b).to_floats().tolist() == [3.5, 4.5]
+        assert (a - b).to_floats().tolist() == [-0.5, 3.5]
+        assert (a * b).to_floats().tolist() == [3.0, 2.0]
+        assert (a / b).to_floats().tolist() == [0.75, 8.0]
+        assert (-a).to_floats().tolist() == [-1.5, -4.0]
+        assert abs(-a).to_floats().tolist() == [1.5, 4.0]
+        assert a.sqrt().to_floats()[1] == 2.0
+
+    def test_scalar_operands(self):
+        a = PositArray([1.0, 2.0])
+        assert (a + 1.0).to_floats().tolist() == [2.0, 3.0]
+        assert (2.0 * a).to_floats().tolist() == [2.0, 4.0]
+        assert (1.0 - a).to_floats().tolist() == [0.0, -1.0]
+        assert (4.0 / a).to_floats().tolist() == [4.0, 2.0]
+
+    def test_results_are_posit_rounded(self):
+        a = PositArray([1.0], POSIT8)
+        tiny = PositArray([2.0**-10], POSIT8)
+        assert (a + tiny).to_floats()[0] == 1.0  # absorbed by rounding
+
+    def test_format_mismatch_rejected(self):
+        with pytest.raises(TypeError, match="format mismatch"):
+            PositArray([1.0], POSIT32) + PositArray([1.0], POSIT16)
+
+    def test_nar_propagates(self):
+        a = PositArray([np.nan, 1.0])
+        result = a + PositArray([1.0, 1.0])
+        assert result.is_nar().tolist() == [True, False]
+
+
+class TestComparisons:
+    def test_elementwise(self):
+        a = PositArray([1.0, 3.0, 2.0])
+        b = PositArray([1.0, 2.0, 4.0])
+        assert (a == b).tolist() == [True, False, False]
+        assert (a != b).tolist() == [False, True, True]
+        assert (a < b).tolist() == [False, False, True]
+        assert (a >= b).tolist() == [True, True, False]
+
+    def test_compare_with_scalar(self):
+        a = PositArray([1.0, 3.0])
+        assert (a > 2.0).tolist() == [False, True]
+
+
+class TestReductions:
+    def test_sum_sequential_vs_fused(self):
+        # 1 + many tiny values: sequential posit8 loses them, quire keeps.
+        values = [1.0] + [2.0**-6] * 16
+        array = PositArray(values, POSIT8)
+        assert array.sum(fused=True) > array.sum(fused=False)
+
+    def test_sum_exact_case(self):
+        array = PositArray([1.0, 2.0, 3.0])
+        assert array.sum() == 6.0
+        assert array.sum(fused=True) == 6.0
+
+    def test_dot(self):
+        a = PositArray([1.0, 2.0, 3.0])
+        b = PositArray([4.0, 5.0, 6.0])
+        assert a.dot(b) == 32.0
+        assert a.dot(b, fused=True) == 32.0
+
+    def test_fused_dot_cancellation(self):
+        a = PositArray([2.0**20, -(2.0**20), 1.0])
+        b = PositArray([1.0, 1.0, 1.0])
+        assert a.dot(b, fused=True) == 1.0

@@ -1,0 +1,79 @@
+"""Tests for posit-to-posit format conversion."""
+
+import numpy as np
+import pytest
+
+from repro.posit._reference import decode_exact, encode_exact
+from repro.posit.config import POSIT8, POSIT16, POSIT32, POSIT64, PositConfig
+from repro.posit.convert import convert, is_widening_exact, round_trip_is_identity
+from repro.posit.decode import decode
+from repro.posit.encode import encode
+
+
+class TestWidening:
+    def test_p8_to_p32_exact_exhaustive(self):
+        patterns = np.arange(256, dtype=np.uint64)
+        widened = convert(patterns, POSIT8, POSIT32)
+        original_values = decode(patterns, POSIT8)
+        widened_values = decode(widened, POSIT32)
+        same = (original_values == widened_values) | (
+            np.isnan(original_values) & np.isnan(widened_values)
+        )
+        assert np.all(same)
+
+    def test_round_trip_identity_p16(self):
+        patterns = np.arange(1 << 16, dtype=np.uint64)
+        up = convert(patterns, POSIT16, POSIT64)
+        back = convert(up, POSIT64, POSIT16)
+        assert np.array_equal(back.astype(np.uint64), patterns)
+
+    def test_predicates(self):
+        assert is_widening_exact(POSIT8, POSIT32)
+        assert not is_widening_exact(POSIT32, POSIT16)
+        assert not is_widening_exact(POSIT16, PositConfig(nbits=32, es=1))
+        assert round_trip_is_identity(POSIT16, POSIT32)
+
+
+class TestNarrowing:
+    def test_rounds_to_nearest(self, rng):
+        values = rng.normal(0, 100, 500)
+        wide = encode(values, POSIT32)
+        narrowed = convert(np.asarray(wide), POSIT32, POSIT16)
+        direct = encode(np.asarray(decode(np.asarray(wide), POSIT32)), POSIT16)
+        assert np.array_equal(narrowed.astype(np.uint64), np.asarray(direct).astype(np.uint64))
+
+    def test_nar_maps_to_nar(self):
+        nar = np.array([POSIT32.nar_pattern], dtype=np.uint64)
+        assert int(convert(nar, POSIT32, POSIT16)[0]) == POSIT16.nar_pattern
+
+    def test_zero_maps_to_zero(self):
+        assert int(convert(np.array([0], dtype=np.uint64), POSIT32, POSIT8)[0]) == 0
+
+    def test_saturation_on_narrow(self):
+        # maxpos of posit32 (2^120) exceeds posit8's range (2^24).
+        big = np.array([POSIT32.maxpos_pattern], dtype=np.uint64)
+        assert int(convert(big, POSIT32, POSIT8)[0]) == POSIT8.maxpos_pattern
+
+
+class TestExactPath:
+    def test_p64_source_uses_exact_path(self, rng):
+        # posit64 values near 1 carry > 52 fraction bits; conversion to
+        # posit32 must round once from the exact value.
+        patterns = rng.integers(0x3FF0_0000_0000_0000, 0x4010_0000_0000_0000, 50,
+                                dtype=np.uint64)
+        narrowed = convert(patterns, POSIT64, POSIT32)
+        for pattern, got in zip(patterns, narrowed):
+            value = decode_exact(int(pattern), POSIT64)
+            assert int(got) == encode_exact(value, POSIT32)
+
+    def test_exact_flag_matches_fast_path_for_p16(self, rng):
+        patterns = rng.integers(0, 1 << 16, 300, dtype=np.uint64)
+        fast = convert(patterns, POSIT16, POSIT32)
+        slow = convert(patterns, POSIT16, POSIT32, exact=True)
+        assert np.array_equal(fast.astype(np.uint64), slow.astype(np.uint64))
+
+    def test_scalar_input(self):
+        pattern = encode(np.float64(1.5), POSIT16)
+        converted = convert(pattern, POSIT16, POSIT32)
+        assert np.ndim(converted) == 0
+        assert float(decode(np.uint64(converted), POSIT32)) == 1.5

@@ -1,0 +1,157 @@
+"""Tests for posit field decomposition and bit classification."""
+
+import numpy as np
+import pytest
+
+from repro.posit.config import POSIT8, POSIT16, POSIT32, PositConfig
+from repro.posit.encode import encode
+from repro.posit.fields import (
+    COARSE_FIELD_OF,
+    PositField,
+    classify_all_bits,
+    classify_bit,
+    decompose,
+    layout_string,
+    regime_k,
+)
+
+
+def _scalar_classify(pattern: int, bit_index: int, config: PositConfig) -> PositField:
+    """Brute-force field classification by walking the bit string."""
+    n = config.nbits
+    text = format(pattern & config.mask, f"0{n}b")
+    if bit_index == n - 1:
+        return PositField.SIGN
+    body = text[1:]
+    first = body[0]
+    run = len(body) - len(body.lstrip(first))
+    position = n - 2 - bit_index  # index into body, 0 == MSB
+    if run == len(body):
+        return PositField.REGIME if position < run else PositField.FRACTION
+    if position < run:
+        return PositField.REGIME
+    if position == run:
+        return PositField.REGIME_TERM
+    exponent_start = run + 1
+    exponent_end = min(exponent_start + config.es, len(body))
+    if position < exponent_end:
+        return PositField.EXPONENT
+    return PositField.FRACTION
+
+
+class TestDecompose:
+    def test_one(self):
+        fields = decompose(np.array([0x40000000], dtype=np.uint64), POSIT32)
+        assert fields.sign[0] == 0
+        assert fields.run[0] == 1
+        assert fields.regime[0] == 0
+        assert fields.exponent[0] == 0
+        assert fields.fraction_bits[0] == 27
+        assert fields.fraction[0] == 0
+
+    def test_paper_fig6_layout_186250(self):
+        pattern = int(encode(np.float64(186250.0), POSIT32))
+        fields = decompose(np.array([pattern], dtype=np.uint64), POSIT32)
+        assert fields.run[0] == 5          # regime 111110
+        assert fields.regime[0] == 4
+        assert fields.exponent[0] == 1     # e = 01
+        assert fields.fraction_bits[0] == 23
+
+    def test_maxpos_has_no_terminator(self):
+        fields = decompose(np.array([POSIT32.maxpos_pattern], dtype=np.uint64), POSIT32)
+        assert not fields.has_terminator[0]
+        assert fields.run[0] == 31
+        assert fields.fraction_bits[0] == 0
+        assert fields.exponent_bits_present[0] == 0
+
+    def test_minpos(self):
+        fields = decompose(np.array([1], dtype=np.uint64), POSIT32)
+        assert fields.run[0] == 30
+        assert fields.has_terminator[0]
+        assert fields.regime[0] == -30
+
+    def test_special_masks(self):
+        patterns = np.array([0, POSIT32.nar_pattern, 0x40000000], dtype=np.uint64)
+        fields = decompose(patterns, POSIT32)
+        assert fields.is_zero.tolist() == [True, False, False]
+        assert fields.is_nar.tolist() == [False, True, False]
+
+    def test_truncated_exponent(self):
+        # Pattern with regime filling all but one body bit: 29 ones,
+        # terminator, then a single exponent bit (E0 only).
+        pattern = (((1 << 29) - 1) << 2 | 0b01) << 1 | 1
+        # Construct explicitly: sign 0, 29 ones, 0 terminator, 1 bit left.
+        pattern = int("0" + "1" * 29 + "0" + "1", 2)
+        fields = decompose(np.array([pattern], dtype=np.uint64), POSIT32)
+        assert fields.run[0] == 29
+        assert fields.exponent_bits_present[0] == 1
+        # The present bit is E0 (weight 2), truncated E1 reads 0.
+        assert fields.exponent[0] == 2
+        assert fields.fraction_bits[0] == 0
+
+
+class TestClassifyBit:
+    @pytest.mark.parametrize("config", [POSIT8, POSIT16], ids=["p8", "p16"])
+    def test_matches_brute_force(self, config, rng):
+        patterns = rng.integers(0, 1 << config.nbits, 300, dtype=np.uint64)
+        for bit_index in range(config.nbits):
+            got = classify_bit(patterns, bit_index, config)
+            expected = np.array(
+                [int(_scalar_classify(int(p), bit_index, config)) for p in patterns]
+            )
+            assert np.array_equal(got, expected), f"bit {bit_index}"
+
+    def test_p32_layout_k1(self):
+        pattern = np.array([int(encode(np.float64(1.5), POSIT32))], dtype=np.uint64)
+        expected = {31: PositField.SIGN, 30: PositField.REGIME,
+                    29: PositField.REGIME_TERM, 28: PositField.EXPONENT,
+                    27: PositField.EXPONENT, 26: PositField.FRACTION,
+                    0: PositField.FRACTION}
+        for bit, field in expected.items():
+            assert classify_bit(pattern, bit, POSIT32)[0] == field
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            classify_bit(np.array([0], dtype=np.uint64), 32, POSIT32)
+
+    def test_classify_all_bits_shape_and_consistency(self, rng):
+        patterns = rng.integers(0, 1 << 16, 50, dtype=np.uint64)
+        table = classify_all_bits(patterns, POSIT16)
+        assert table.shape == (50, 16)
+        for bit_index in range(16):
+            assert np.array_equal(
+                table[:, bit_index], classify_bit(patterns, bit_index, POSIT16)
+            )
+
+
+class TestRegimeK:
+    def test_known_values(self):
+        values = np.array([1.5, 20.0, 400.0, 0.1, 0.01])
+        patterns = encode(values, POSIT32)
+        # 1.5 -> k=1; 20 (2^4.3, r=1) -> k=2; 400 (2^8.6, r=2) -> k=3;
+        # 0.1 (r=-1) -> k=1; 0.01 (r=-2) -> k=2.
+        assert regime_k(patterns, POSIT32).tolist() == [1, 2, 3, 1, 2]
+
+
+class TestLayoutString:
+    def test_one(self):
+        assert layout_string(0x40000000, POSIT32) == "0|10|00|" + "0" * 27
+
+    def test_roundtrip_bits(self):
+        pattern = int(encode(np.float64(186250.0), POSIT32))
+        text = layout_string(pattern, POSIT32)
+        assert text.replace("|", "") == format(pattern, "032b")
+
+    def test_maxpos(self):
+        text = layout_string(POSIT32.maxpos_pattern, POSIT32)
+        assert text == "0|" + "1" * 31
+
+
+class TestCoarseMapping:
+    def test_terminator_folds_into_regime(self):
+        assert COARSE_FIELD_OF[PositField.REGIME_TERM] == PositField.REGIME
+        assert COARSE_FIELD_OF[PositField.SIGN] == PositField.SIGN
+
+    def test_short_names(self):
+        assert PositField.REGIME_TERM.short_name() == "Rk"
+        assert PositField.SIGN.short_name() == "S"

@@ -1,0 +1,117 @@
+"""Hypothesis property tests on the posit core.
+
+These are the deep invariants: rounding correctness, lattice
+monotonicity, negation symmetry, and idempotence — over arbitrary
+float64 inputs.
+"""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.bitops import to_signed, twos_complement
+from repro.posit._reference import decode_exact, encode_exact
+from repro.posit.config import POSIT8, POSIT16, POSIT32
+from repro.posit.decode import decode
+from repro.posit.encode import encode
+
+finite_floats = st.floats(allow_nan=False, allow_infinity=False, width=64)
+all_floats = st.floats(width=64)
+
+
+@given(finite_floats)
+def test_vectorized_encode_matches_reference(value):
+    for config in (POSIT8, POSIT16, POSIT32):
+        got = int(encode(np.float64(value), config))
+        assert got == encode_exact(value, config)
+
+
+@given(all_floats)
+def test_encode_decode_encode_idempotent(value):
+    """Storing a value twice is the same as storing it once."""
+    for config in (POSIT16, POSIT32):
+        once = int(encode(np.float64(value), config))
+        back = float(decode(np.uint64(once), config))
+        twice = int(encode(np.float64(back), config))
+        assert once == twice
+
+
+@given(finite_floats)
+def test_roundtrip_is_nearest_or_saturated(value):
+    """decode(encode(x)) is within the posit spacing around x."""
+    config = POSIT16
+    pattern = int(encode(np.float64(value), config))
+    stored = decode_exact(pattern, config)
+    if value == 0:
+        assert stored == 0
+        return
+    magnitude = abs(value)
+    if magnitude >= config.maxpos:
+        assert abs(stored) == decode_exact(config.maxpos_pattern, config)
+        return
+    if magnitude <= config.minpos:
+        assert abs(stored) == decode_exact(config.minpos_pattern, config)
+        return
+    # Not saturated: neighbors of the stored pattern must bracket x.
+    sign_adjusted = pattern if stored > 0 else int(twos_complement(np.uint64(pattern), config.nbits))
+    below = decode_exact((sign_adjusted - 1) % (1 << config.nbits), config)
+    assert below is not None
+    assert float(below) <= magnitude
+    if sign_adjusted != config.maxpos_pattern:
+        above = decode_exact((sign_adjusted + 1) % (1 << config.nbits), config)
+        assert above is not None
+        assert magnitude <= float(above)
+
+
+@given(finite_floats)
+def test_negation_symmetry(value):
+    config = POSIT32
+    positive = int(encode(np.float64(value), config))
+    negative = int(encode(np.float64(-value), config))
+    assert negative == int(twos_complement(np.uint64(positive), config.nbits))
+
+
+@given(st.integers(min_value=0, max_value=(1 << 16) - 1),
+       st.integers(min_value=0, max_value=(1 << 16) - 1))
+def test_pattern_order_is_value_order(p, q):
+    config = POSIT16
+    if p == config.nar_pattern or q == config.nar_pattern:
+        return
+    vp = decode_exact(p, config)
+    vq = decode_exact(q, config)
+    sp = int(to_signed(np.uint64(p), 16))
+    sq = int(to_signed(np.uint64(q), 16))
+    assert (vp < vq) == (sp < sq)
+
+
+@given(st.integers(min_value=0, max_value=(1 << 32) - 1))
+def test_decode_vectorized_matches_reference_p32(pattern):
+    from repro.posit._reference import decode_float
+
+    got = float(decode(np.uint64(pattern), POSIT32))
+    expected = decode_float(pattern, POSIT32)
+    assert got == expected or (math.isnan(got) and math.isnan(expected))
+
+
+@given(st.floats(min_value=1e-30, max_value=1e30))
+@settings(max_examples=50)
+def test_monotone_encode(value):
+    """Encoding preserves order against a slightly larger value."""
+    config = POSIT32
+    larger = value * (1 + 1e-6)
+    p1 = int(encode(np.float64(value), config))
+    p2 = int(encode(np.float64(larger), config))
+    assert p1 <= p2
+
+
+@given(st.integers(min_value=0, max_value=255), st.integers(min_value=0, max_value=7))
+def test_flip_changes_value_or_special_p8(pattern, bit):
+    """A bit flip never silently preserves the decoded value."""
+    config = POSIT8
+    flipped = pattern ^ (1 << bit)
+    original = decode_exact(pattern, config)
+    faulty = decode_exact(flipped, config)
+    if original is None or faulty is None:
+        return
+    assert original != faulty

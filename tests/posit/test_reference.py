@@ -1,0 +1,172 @@
+"""Tests for the exact scalar posit reference implementation."""
+
+from fractions import Fraction
+
+import math
+import pytest
+
+from repro.posit._reference import (
+    decode_exact,
+    decode_exact_twos_complement,
+    decode_float,
+    encode_exact,
+    round_half_even,
+)
+from repro.posit.config import POSIT8, POSIT16, POSIT32, PositConfig
+
+
+class TestRoundHalfEven:
+    @pytest.mark.parametrize(
+        "value, expected",
+        [
+            (Fraction(5, 2), 2),      # 2.5 -> 2 (even)
+            (Fraction(7, 2), 4),      # 3.5 -> 4 (even)
+            (Fraction(-5, 2), -2),    # -2.5 -> -2 (even)
+            (Fraction(9, 4), 2),
+            (Fraction(11, 4), 3),
+            (Fraction(3), 3),
+            (Fraction(0), 0),
+        ],
+    )
+    def test_cases(self, value, expected):
+        assert round_half_even(value) == expected
+
+
+class TestDecodeKnownValues:
+    @pytest.mark.parametrize(
+        "pattern, expected",
+        [
+            (0x00000000, Fraction(0)),
+            (0x40000000, Fraction(1)),
+            (0xC0000000, Fraction(-1)),
+            (0x7FFFFFFF, Fraction(2) ** 120),   # maxpos
+            (0x00000001, Fraction(1, 2**120)),  # minpos
+            (0x48000000, Fraction(2)),
+            (0x38000000, Fraction(1, 2)),
+            (0x44000000, Fraction(3, 2)),
+            (0xBC000000, Fraction(-3, 2)),
+        ],
+    )
+    def test_posit32(self, pattern, expected):
+        assert decode_exact(pattern, POSIT32) == expected
+
+    def test_nar_is_none(self):
+        assert decode_exact(0x80000000, POSIT32) is None
+        assert math.isnan(decode_float(0x80000000, POSIT32))
+
+    def test_decode_float_matches_exact(self):
+        for pattern in (0x40000000, 0x6DD20000, 0x00000001):
+            assert decode_float(pattern, POSIT32) == float(decode_exact(pattern, POSIT32))
+
+    def test_paper_example_186250(self):
+        # Fig. 6: 186250 is exactly representable in posit32.
+        pattern = encode_exact(186250.0, POSIT32)
+        assert decode_exact(pattern, POSIT32) == 186250
+
+    def test_direct_equals_twos_complement_exhaustive_p8(self):
+        for pattern in range(256):
+            direct = decode_exact(pattern, POSIT8)
+            classic = decode_exact_twos_complement(pattern, POSIT8)
+            assert direct == classic, f"pattern {pattern:#04x}"
+
+    def test_direct_equals_twos_complement_sampled_p16(self):
+        for pattern in range(0, 1 << 16, 97):
+            assert decode_exact(pattern, POSIT16) == decode_exact_twos_complement(
+                pattern, POSIT16
+            )
+
+
+class TestEncodeKnownValues:
+    @pytest.mark.parametrize(
+        "value, pattern",
+        [
+            (0.0, 0x00000000),
+            (1.0, 0x40000000),
+            (-1.0, 0xC0000000),
+            (2.0, 0x48000000),
+            (0.5, 0x38000000),
+            (1.5, 0x44000000),
+            (-1.5, 0xBC000000),
+            (186.25, 0x6DD20000),
+        ],
+    )
+    def test_posit32(self, value, pattern):
+        assert encode_exact(value, POSIT32) == pattern
+
+    def test_nan_and_inf_to_nar(self):
+        assert encode_exact(float("nan"), POSIT32) == POSIT32.nar_pattern
+        assert encode_exact(float("inf"), POSIT32) == POSIT32.nar_pattern
+        assert encode_exact(float("-inf"), POSIT32) == POSIT32.nar_pattern
+
+    def test_saturation_to_maxpos(self):
+        assert encode_exact(2.0**300, POSIT32) == POSIT32.maxpos_pattern
+        assert encode_exact(-(2.0**300), POSIT32) == (
+            (~POSIT32.maxpos_pattern + 1) & POSIT32.mask
+        )
+        assert encode_exact(POSIT32.maxpos, POSIT32) == POSIT32.maxpos_pattern
+
+    def test_no_underflow_to_zero(self):
+        assert encode_exact(2.0**-300, POSIT32) == POSIT32.minpos_pattern
+        assert encode_exact(Fraction(1, 10**40), POSIT32) == POSIT32.minpos_pattern
+        assert encode_exact(-(2.0**-300), POSIT32) == (
+            (~1 + 1) & POSIT32.mask
+        )
+
+    def test_roundtrip_exhaustive_p8(self):
+        for pattern in range(256):
+            if pattern == POSIT8.nar_pattern:
+                continue
+            value = decode_exact(pattern, POSIT8)
+            assert encode_exact(value, POSIT8) == pattern
+
+    def test_roundtrip_sampled_p16(self):
+        for pattern in range(0, 1 << 16, 53):
+            if pattern == POSIT16.nar_pattern:
+                continue
+            value = decode_exact(pattern, POSIT16)
+            assert encode_exact(value, POSIT16) == pattern
+
+    def test_ties_round_to_even_pattern(self):
+        # Midpoint between two adjacent p8 posits rounds to the even one.
+        config = POSIT8
+        for low_pattern in (0x40, 0x41, 0x62, 0x11):
+            low = decode_exact(low_pattern, config)
+            high = decode_exact(low_pattern + 1, config)
+            midpoint = (low + high) / 2
+            rounded = encode_exact(midpoint, config)
+            assert rounded in (low_pattern, low_pattern + 1)
+            assert rounded % 2 == 0, (
+                f"midpoint of {low_pattern:#x}/{low_pattern + 1:#x} must "
+                f"round to the even pattern, got {rounded:#x}"
+            )
+
+    def test_fraction_input(self):
+        assert encode_exact(Fraction(3, 2), POSIT32) == 0x44000000
+
+    def test_negative_zero_is_zero(self):
+        assert encode_exact(-0.0, POSIT32) == 0
+
+
+class TestGeneralizedEs:
+    def test_es0_roundtrip_exhaustive(self):
+        config = PositConfig(nbits=8, es=0)
+        for pattern in range(256):
+            if pattern == config.nar_pattern:
+                continue
+            value = decode_exact(pattern, config)
+            assert encode_exact(value, config) == pattern
+
+    def test_es3_roundtrip_exhaustive(self):
+        config = PositConfig(nbits=8, es=3)
+        for pattern in range(256):
+            if pattern == config.nar_pattern:
+                continue
+            value = decode_exact(pattern, config)
+            assert encode_exact(value, config) == pattern
+
+    def test_es1_direct_equals_classic(self):
+        config = PositConfig(nbits=8, es=1)
+        for pattern in range(256):
+            assert decode_exact(pattern, config) == decode_exact_twos_complement(
+                pattern, config
+            )

@@ -1,0 +1,82 @@
+"""Tests for the SoftPosit-compatible API shim."""
+
+import numpy as np
+import pytest
+
+from repro.posit._reference import encode_exact
+from repro.posit.config import POSIT32
+from repro.posit.softposit_compat import (
+    castP32,
+    castUI32,
+    convertDoubleToP32,
+    convertFloatToP32,
+    convertP32ToDouble,
+    convertP32ToFloat,
+    p32_to_ui32,
+    posit32_t,
+    ui32_to_p32,
+)
+
+
+class TestStruct:
+    def test_masks_to_width(self):
+        assert posit32_t(1 << 40 | 5).v == 5
+
+    def test_cast_roundtrip(self):
+        posit = castP32(0x6DD20000)
+        assert castUI32(posit) == 0x6DD20000
+
+
+class TestConversions:
+    def test_matches_reference_encoder(self, rng):
+        for value in rng.normal(0, 1e4, 200):
+            assert convertFloatToP32(float(value)).v == encode_exact(float(value), POSIT32)
+
+    def test_known_values(self):
+        assert convertFloatToP32(1.0).v == 0x40000000
+        assert convertP32ToFloat(posit32_t(0x40000000)) == 1.0
+        assert convertP32ToFloat(convertFloatToP32(186250.0)) == 186250.0
+
+    def test_double_aliases(self):
+        assert convertDoubleToP32(2.5).v == convertFloatToP32(2.5).v
+        assert convertP32ToDouble(posit32_t(0x48000000)) == 2.0
+
+    def test_nar(self):
+        nar = convertFloatToP32(float("nan"))
+        assert nar.v == POSIT32.nar_pattern
+        assert np.isnan(convertP32ToFloat(nar))
+
+
+class TestNumericUIntConversions:
+    def test_rounds_value_not_bits(self):
+        posit = convertFloatToP32(186.75)
+        assert p32_to_ui32(posit) == 187      # numeric rounding
+        assert castUI32(posit) != 187         # nothing like the raw bits
+
+    def test_ties_to_even(self):
+        assert p32_to_ui32(convertFloatToP32(2.5)) == 2
+        assert p32_to_ui32(convertFloatToP32(3.5)) == 4
+
+    def test_negative_and_nar_clamp_to_zero(self):
+        assert p32_to_ui32(convertFloatToP32(-5.0)) == 0
+        assert p32_to_ui32(convertFloatToP32(float("nan"))) == 0
+
+    def test_saturates(self):
+        assert p32_to_ui32(convertFloatToP32(1e30)) == 2**32 - 1
+
+    def test_ui32_to_p32(self):
+        assert convertP32ToFloat(ui32_to_p32(187)) == 187.0
+        with pytest.raises(ValueError):
+            ui32_to_p32(-1)
+        with pytest.raises(ValueError):
+            ui32_to_p32(2**32)
+
+    def test_numeric_roundtrip_loses_fraction(self):
+        # The paper's Section 4.1.2 observation in miniature.
+        posit = convertFloatToP32(12345.6789)
+        through_numeric = convertP32ToFloat(ui32_to_p32(p32_to_ui32(posit)))
+        original = convertP32ToFloat(posit)
+        assert through_numeric != original
+        assert abs(original - through_numeric) / original < 1e-4
+        # The raw member is lossless.
+        assert convertP32ToFloat(castP32(castUI32(posit))) == original

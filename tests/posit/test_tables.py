@@ -1,0 +1,49 @@
+"""Tests for exhaustive small-format posit tables."""
+
+import numpy as np
+import pytest
+
+from repro.posit.config import POSIT8, POSIT16, POSIT32
+from repro.posit.tables import lattice_neighbors, positive_values_sorted, value_table
+
+
+class TestValueTable:
+    def test_p8_size_and_specials(self):
+        table = value_table(POSIT8)
+        assert table.shape == (256,)
+        assert table[0] == 0.0
+        assert np.isnan(table[128])
+        assert table[64] == 1.0
+
+    def test_p16_cached(self):
+        assert value_table(POSIT16) is value_table(POSIT16)
+
+    def test_rejects_wide_formats(self):
+        with pytest.raises(ValueError):
+            value_table(POSIT32)
+
+
+class TestPositiveValues:
+    def test_sorted_strictly(self):
+        values = positive_values_sorted(POSIT8)
+        assert values.shape == (127,)
+        assert np.all(np.diff(values) > 0)
+        assert values[0] == POSIT8.minpos
+        assert values[-1] == POSIT8.maxpos
+
+
+class TestLatticeNeighbors:
+    def test_bracket(self):
+        low, high = lattice_neighbors(1.1, POSIT8)
+        assert low <= 1.1 <= high
+        assert low < high
+
+    def test_exact_value(self):
+        low, high = lattice_neighbors(1.0, POSIT8)
+        assert high == 1.0
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            lattice_neighbors(0.0, POSIT8)
+        with pytest.raises(ValueError):
+            lattice_neighbors(-1.0, POSIT8)

@@ -1,0 +1,83 @@
+"""Exhaustive correctness for tiny posit widths (3..6 bits, es 0..2).
+
+Tiny formats exercise every truncation edge at once: regimes that fill
+the body, fully truncated exponents, zero-bit fractions.  Everything is
+small enough to verify exhaustively against the exact reference.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.posit._reference import (
+    decode_exact,
+    decode_exact_twos_complement,
+    encode_exact,
+)
+from repro.posit.config import PositConfig
+from repro.posit.decode import decode
+from repro.posit.encode import encode
+from repro.posit.fields import decompose
+
+CONFIGS = [
+    PositConfig(nbits=nbits, es=es) for nbits in (3, 4, 5, 6) for es in (0, 1, 2)
+]
+
+
+@pytest.mark.parametrize("config", CONFIGS, ids=str)
+class TestExhaustive:
+    def test_decode_forms_agree(self, config):
+        for pattern in range(1 << config.nbits):
+            assert decode_exact(pattern, config) == decode_exact_twos_complement(
+                pattern, config
+            ), pattern
+
+    def test_vectorized_decode_matches_reference(self, config):
+        patterns = np.arange(1 << config.nbits, dtype=np.uint64)
+        got = decode(patterns, config)
+        for pattern in range(1 << config.nbits):
+            exact = decode_exact(pattern, config)
+            if exact is None:
+                assert math.isnan(got[pattern])
+            else:
+                assert got[pattern] == float(exact), pattern
+
+    def test_roundtrip(self, config):
+        patterns = np.arange(1 << config.nbits, dtype=np.uint64)
+        values = decode(patterns, config)
+        encoded = np.asarray(encode(values, config)).astype(np.uint64)
+        keep = patterns != config.nar_pattern
+        assert np.array_equal(encoded[keep], patterns[keep])
+
+    def test_fields_partition_every_pattern(self, config):
+        patterns = np.arange(1 << config.nbits, dtype=np.uint64)
+        fields = decompose(patterns, config)
+        # sign + regime(run [+terminator]) + exponent + fraction == nbits.
+        total = (
+            1
+            + fields.regime_len
+            + fields.exponent_bits_present
+            + fields.fraction_bits
+        )
+        assert np.all(total == config.nbits)
+
+    def test_minpos_maxpos_symmetry(self, config):
+        assert decode_exact(config.maxpos_pattern, config) == 2 ** config.max_scale
+        assert decode_exact(1, config) == 2 ** -config.max_scale
+
+
+class TestDegenerateWidth:
+    def test_posit3_value_set(self):
+        # posit3 es=0: patterns 0..7 = {0, 1/2, 1, 2, NaR, -2, -1, -1/2}.
+        config = PositConfig(nbits=3, es=0)
+        values = [decode_exact(p, config) for p in range(8)]
+        assert values[0] == 0
+        assert values[4] is None
+        assert [float(v) for v in values[1:4]] == [0.5, 1.0, 2.0]
+        assert [float(v) for v in values[5:]] == [-2.0, -1.0, -0.5]
+
+    def test_saturation_tiny(self):
+        config = PositConfig(nbits=3, es=0)
+        assert encode_exact(100.0, config) == config.maxpos_pattern
+        assert encode_exact(1e-9, config) == 1

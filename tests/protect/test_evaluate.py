@@ -1,0 +1,104 @@
+"""Tests for protection-scheme evaluation over campaign records."""
+
+import numpy as np
+import pytest
+
+from repro.inject.campaign import CampaignConfig, run_campaign
+from repro.inject.results import TrialRecords
+from repro.protect.evaluate import (
+    bits_needed_for_reduction,
+    evaluate_scheme,
+    msb_tmr_frontier,
+    ranked_bit_positions,
+    tmr_frontier,
+)
+from repro.protect.schemes import (
+    FullTMR,
+    NoProtection,
+    SelectiveParity,
+    SelectiveTMR,
+)
+
+
+@pytest.fixture(scope="module")
+def records():
+    rng = np.random.default_rng(0)
+    data = np.concatenate([
+        rng.normal(100, 50, 4000),
+        rng.lognormal(-3, 2, 2000),
+    ]).astype(np.float32)
+    return run_campaign(data, "posit32", CampaignConfig(trials_per_bit=12, seed=0)).records
+
+
+class TestEvaluateScheme:
+    def test_no_protection_keeps_baseline(self, records):
+        report = evaluate_scheme(records, NoProtection(), 32)
+        assert report.residual_serious_fraction == report.baseline_serious_fraction
+        assert report.covered_fraction == 0.0
+        assert report.serious_reduction == pytest.approx(0.0)
+
+    def test_full_tmr_zero_residual(self, records):
+        report = evaluate_scheme(records, FullTMR(), 32)
+        assert report.residual_serious_fraction == 0.0
+        assert report.residual_catastrophic_fraction == 0.0
+        assert report.serious_reduction == 1.0
+
+    def test_partial_coverage_between(self, records):
+        report = evaluate_scheme(records, SelectiveTMR((31, 30, 29)), 32)
+        baseline = evaluate_scheme(records, NoProtection(), 32)
+        assert 0 <= report.residual_serious_fraction <= baseline.baseline_serious_fraction
+        assert report.covered_fraction == pytest.approx(3 / 32, abs=0.02)
+
+    def test_parity_and_tmr_same_residual(self, records):
+        # Under detect-and-recover both remove covered trials.
+        positions = (31, 30, 29, 28)
+        parity = evaluate_scheme(records, SelectiveParity(positions), 32)
+        tmr = evaluate_scheme(records, SelectiveTMR(positions), 32)
+        assert parity.residual_serious_fraction == tmr.residual_serious_fraction
+        assert parity.overhead_bits < tmr.overhead_bits
+
+    def test_empty_records_rejected(self):
+        with pytest.raises(ValueError):
+            evaluate_scheme(TrialRecords.empty(), NoProtection(), 32)
+
+
+class TestRanking:
+    def test_ranked_positions_complete(self, records):
+        ranked = ranked_bit_positions(records, 32)
+        assert sorted(ranked) == list(range(32))
+
+    def test_first_ranked_bit_causes_most_serious(self, records):
+        ranked = ranked_bit_positions(records, 32)
+        rel = records.rel_err
+        serious = ~np.isfinite(rel) | (rel > 1.0)
+        counts = [int(np.sum(serious & (records.bit == b))) for b in range(32)]
+        assert counts[ranked[0]] == max(counts)
+
+
+class TestFrontiers:
+    def test_monotone(self, records):
+        frontier = tmr_frontier(records, 32)
+        residuals = [r.residual_serious_fraction for r in frontier]
+        assert all(a >= b - 1e-12 for a, b in zip(residuals, residuals[1:]))
+        assert residuals[-1] == 0.0
+
+    def test_frontier_length(self, records):
+        frontier = tmr_frontier(records, 32, max_protected=5)
+        assert len(frontier) == 6
+
+    def test_bits_needed(self, records):
+        needed = bits_needed_for_reduction(records, 32, reduction=0.90)
+        assert 0 < needed <= 32
+        frontier = tmr_frontier(records, 32)
+        assert frontier[needed].serious_reduction >= 0.90
+        if needed > 1:
+            assert frontier[needed - 1].serious_reduction < 0.90
+
+    def test_ranked_at_least_as_good_as_msb(self, records):
+        ranked = tmr_frontier(records, 32)
+        msb = msb_tmr_frontier(records, 32)
+        for k in range(33):
+            assert (
+                ranked[k].residual_serious_fraction
+                <= msb[k].residual_serious_fraction + 1e-12
+            ), k

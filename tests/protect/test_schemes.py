@@ -1,0 +1,68 @@
+"""Tests for protection scheme models."""
+
+import numpy as np
+import pytest
+
+from repro.protect.schemes import (
+    FullDuplication,
+    FullTMR,
+    NoProtection,
+    SelectiveParity,
+    SelectiveTMR,
+    top_bits,
+)
+
+
+class TestCoverage:
+    def test_no_protection(self):
+        scheme = NoProtection()
+        assert not scheme.covers(np.arange(32)).any()
+        assert scheme.overhead_bits(32) == 0
+        assert not scheme.corrects()
+
+    def test_selective_parity(self):
+        scheme = SelectiveParity((31, 30, 29))
+        covered = scheme.covers(np.array([31, 29, 5]))
+        assert covered.tolist() == [True, True, False]
+        assert scheme.overhead_bits(32) == 1
+        assert not scheme.corrects()
+
+    def test_selective_tmr(self):
+        scheme = SelectiveTMR((31, 30))
+        assert scheme.corrects()
+        assert scheme.overhead_bits(32) == 4
+        assert scheme.overhead_fraction(32) == 0.125
+
+    def test_full_duplication(self):
+        scheme = FullDuplication()
+        assert scheme.covers(np.arange(32)).all()
+        assert scheme.overhead_bits(32) == 32
+        assert not scheme.corrects()
+
+    def test_full_tmr(self):
+        scheme = FullTMR()
+        assert scheme.covers(np.arange(32)).all()
+        assert scheme.overhead_bits(32) == 64
+        assert scheme.corrects()
+
+    def test_duplicate_positions_rejected(self):
+        with pytest.raises(ValueError):
+            SelectiveParity((1, 1))
+        with pytest.raises(ValueError):
+            SelectiveTMR((2, 2))
+
+    def test_describe(self):
+        assert "parity" in SelectiveParity((1,)).describe()
+        assert "tmr" in SelectiveTMR((1, 2)).describe()
+
+
+class TestTopBits:
+    def test_values(self):
+        assert top_bits(32, 3) == (29, 30, 31)
+        assert top_bits(32, 0) == ()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            top_bits(32, 33)
+        with pytest.raises(ValueError):
+            top_bits(32, -1)

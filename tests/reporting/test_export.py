@@ -1,0 +1,31 @@
+"""Tests for CSV export of tables and figures."""
+
+import csv
+
+import numpy as np
+
+from repro.reporting.export import write_figure_csv, write_table_csv
+from repro.reporting.series import Figure, Series, Table
+
+
+class TestTableCsv:
+    def test_roundtrip_content(self, tmp_path):
+        table = Table("t", columns=["a", "b"])
+        table.add_row([1, 2.5])
+        path = tmp_path / "table.csv"
+        write_table_csv(table, path)
+        rows = list(csv.reader(path.open()))
+        assert rows[0] == ["a", "b"]
+        assert rows[1] == ["1", "2.5"]
+
+
+class TestFigureCsv:
+    def test_long_form(self, tmp_path):
+        figure = Figure("f", "x", "y")
+        figure.add(Series("s1", np.arange(2), np.array([1.0, np.inf])))
+        path = tmp_path / "figure.csv"
+        write_figure_csv(figure, path)
+        rows = list(csv.reader(path.open()))
+        assert rows[0] == ["series", "x", "y"]
+        assert rows[1][0] == "s1"
+        assert rows[2][2] == "inf"

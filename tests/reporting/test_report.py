@@ -1,0 +1,22 @@
+"""Tests for the full-study report generator."""
+
+from repro.experiments import ExperimentParams
+from repro.reporting.report import generate_report
+
+
+class TestGenerateReport:
+    def test_subset_report(self, tmp_path):
+        params = ExperimentParams(data_size=1 << 12, trials_per_bit=16, seed=1)
+        path = generate_report(tmp_path, params, ids=["worked", "fig07"])
+        text = path.read_text()
+        assert "# Posit resiliency study" in text
+        assert "## worked" in text
+        assert "## fig07" in text
+        assert "[FAIL]" not in text
+        assert "checks:" in text
+
+    def test_csv_exports_written(self, tmp_path):
+        params = ExperimentParams(data_size=1 << 12, trials_per_bit=16, seed=1)
+        generate_report(tmp_path, params, ids=["fig07"])
+        csvs = list(tmp_path.glob("fig07-*.csv"))
+        assert csvs, "expected per-figure CSV exports"

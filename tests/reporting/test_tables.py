@@ -1,0 +1,83 @@
+"""Tests for plain-text rendering."""
+
+import numpy as np
+
+from repro.reporting.series import Figure, Series, Table
+from repro.reporting.tables import (
+    format_cell,
+    render_ascii_plot,
+    render_series_table,
+    render_table,
+)
+
+
+class TestFormatCell:
+    def test_float_styles(self):
+        assert format_cell(0.0) == "0"
+        assert format_cell(1.5) == "1.5"
+        assert format_cell(1.23456789e-9) == "1.235e-09"
+        assert format_cell(float("nan")) == "nan"
+        assert format_cell(float("inf")) == "inf"
+        assert format_cell(float("-inf")) == "-inf"
+        assert format_cell(np.float64(2.0)) == "2"
+
+    def test_non_float(self):
+        assert format_cell("abc") == "abc"
+        assert format_cell(7) == "7"
+
+
+class TestRenderTable:
+    def test_contains_cells_and_title(self):
+        table = Table("demo", columns=["name", "value"])
+        table.add_row(["alpha", 1.5])
+        table.notes.append("a note")
+        text = render_table(table)
+        assert "== demo ==" in text
+        assert "alpha" in text
+        assert "1.5" in text
+        assert "note: a note" in text
+
+    def test_alignment(self):
+        table = Table("demo", columns=["c"])
+        table.add_row(["x"])
+        lines = render_table(table).splitlines()
+        assert len(lines) == 4
+
+
+class TestRenderSeriesTable:
+    def test_common_grid(self):
+        figure = Figure("fig", "bit", "err")
+        figure.add(Series("a", np.arange(3), np.array([1.0, 2.0, 3.0])))
+        figure.add(Series("b", np.arange(3), np.array([4.0, 5.0, 6.0])))
+        text = render_series_table(figure)
+        assert "fig" in text
+        assert "a" in text and "b" in text
+
+    def test_mismatched_grids_fall_back(self):
+        figure = Figure("fig", "bit", "err")
+        figure.add(Series("a", np.arange(3), np.arange(3).astype(float)))
+        figure.add(Series("b", np.arange(5, 7), np.arange(2).astype(float)))
+        text = render_series_table(figure)
+        assert "-- a" in text
+        assert "-- b" in text
+
+
+class TestAsciiPlot:
+    def test_plot_contains_points(self):
+        series = Series("curve", np.arange(10), np.arange(10).astype(float))
+        text = render_ascii_plot(series)
+        assert "*" in text
+        assert "[curve]" in text
+
+    def test_log_scale(self):
+        series = Series("log", np.arange(5), 10.0 ** np.arange(5))
+        text = render_ascii_plot(series, log_y=True)
+        assert "(log10 y)" in text
+
+    def test_empty(self):
+        series = Series("none", np.array([0.0]), np.array([np.nan]))
+        assert "no finite points" in render_ascii_plot(series)
+
+    def test_log_all_negative(self):
+        series = Series("neg", np.arange(2), np.array([-1.0, -2.0]))
+        assert "no positive points" in render_ascii_plot(series, log_y=True)
