@@ -79,3 +79,59 @@ def test_full_campaign_ieee32(benchmark, values):
 
     result = benchmark(run_campaign, values, "ieee32", config)
     assert result.trial_count == 64 * 32
+
+
+# -- codec backends: table-served vs vectorized arithmetic ------------------
+#
+# The lut backend answers from_bits/classify_bits out of exhaustive
+# tables for <= 16-bit formats; these pairs quantify what that buys per
+# narrow format (tables are built once outside the timed region).
+
+CODEC_SPECS = ("posit16", "ieee16", "bfloat16")
+
+
+@pytest.fixture(scope="module", params=CODEC_SPECS)
+def codec_pair(request):
+    from repro.formats import get_format
+
+    direct = get_format(request.param, backend="direct")
+    lut = get_format(request.param, backend="lut")
+    rng = np.random.default_rng(0)
+    bits = rng.integers(0, 1 << direct.nbits, N).astype(direct.dtype)
+    lut.from_bits(bits)  # force table construction before timing
+    lut.classify_bits(bits, 0)
+    return direct, lut, bits
+
+
+def test_codec_decode_direct(benchmark, codec_pair):
+    direct, _, bits = codec_pair
+    assert len(benchmark(direct.from_bits, bits)) == N
+
+
+def test_codec_decode_lut(benchmark, codec_pair):
+    _, lut, bits = codec_pair
+    assert len(benchmark(lut.from_bits, bits)) == N
+
+
+def test_codec_classify_direct(benchmark, codec_pair):
+    direct, _, bits = codec_pair
+    assert len(benchmark(direct.classify_bits, bits, 7)) == N
+
+
+def test_codec_classify_lut(benchmark, codec_pair):
+    _, lut, bits = codec_pair
+    assert len(benchmark(lut.classify_bits, bits, 7)) == N
+
+
+def test_codec_encode_direct(benchmark, codec_pair):
+    direct, _, bits = codec_pair
+    values = direct.from_bits(bits)
+    values = np.where(np.isfinite(values), values, 1.0)
+    assert len(benchmark(direct.to_bits, values)) == N
+
+
+def test_codec_encode_lut(benchmark, codec_pair):
+    direct, lut, bits = codec_pair
+    values = direct.from_bits(bits)
+    values = np.where(np.isfinite(values), values, 1.0)
+    assert len(benchmark(lut.to_bits, values)) == N

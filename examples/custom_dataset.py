@@ -15,7 +15,7 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.analysis import aggregate_by_bit, aggregate_by_field
+from repro.analysis import aggregate_by_field
 from repro.datasets import preset_from_file, register, save_raw
 from repro.inject import CampaignConfig, run_campaign, target_by_name
 from repro.reporting import Table, render_table

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Custom formats: name any layout with a spec string and campaign it.
+
+The registry (`repro.formats`) turns spec strings into injection
+targets, so formats beyond the paper's eight need no code:
+
+1. parse a fixed-posit spec and look at its (static) field layout;
+2. compare its quantization error against posit16 and ieee16;
+3. run the same fault-injection campaign over all three and contrast
+   the per-field damage profile.
+
+Run:  python examples/custom_formats.py [--size N] [--trials T]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.analysis import aggregate_by_field
+from repro.datasets import get as get_field
+from repro.formats import get_format
+from repro.inject import CampaignConfig, run_campaign
+
+#: A 16-bit fixed-posit (Gohil et al.): 1 sign, 3 regime (fixed),
+#: 2 exponent, 10 fraction bits.  Same dynamic-range knobs as posit16,
+#: but the regime never grows, so field boundaries are static.
+SPECS = ("ieee16", "posit16", "fixedposit(16,es=2,r=3)")
+
+
+def show_layouts() -> None:
+    print("== layouts of 186.25 ==")
+    for spec in SPECS:
+        fmt = get_format(spec)
+        bits = int(np.atleast_1d(fmt.to_bits(np.array([186.25])))[0])
+        decoded = float(np.atleast_1d(fmt.from_bits(np.array([bits], dtype=fmt.dtype)))[0])
+        print(f"  {fmt.name:>24}: {fmt.layout_string(bits)}  -> {decoded}")
+    print()
+
+
+def compare(size: int, trials: int) -> None:
+    data = get_field("cesm/cloud").generate(seed=0, size=size)
+    config = CampaignConfig(trials_per_bit=trials, seed=2023)
+
+    print("== conversion error and per-field injected damage ==")
+    for spec in SPECS:
+        target = get_format(spec)
+        result = run_campaign(data, target, config)
+        by_field = aggregate_by_field(result.records, target.field_label)
+        worst = max(by_field, key=lambda row: row.mean_rel_err)
+        print(
+            f"  {target.name:>24}: conversion {result.conversion.mean_relative_error:.2e}, "
+            f"worst field {worst.label} ({worst.mean_rel_err:.2e})"
+        )
+    print()
+    print(
+        "The fixed regime caps the damage a regime-bit flip can do "
+        "(|k| <= 2^(r-1)), trading tapered precision for bounded blast "
+        "radius — the resiliency argument for fixed-posits."
+    )
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--size", type=int, default=1 << 14)
+    parser.add_argument("--trials", type=int, default=40)
+    args = parser.parse_args()
+    show_layouts()
+    compare(args.size, args.trials)

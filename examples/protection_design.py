@@ -11,7 +11,6 @@ Run:  python examples/protection_design.py [--size 32768] [--trials 80]
 
 import argparse
 
-import numpy as np
 
 from repro.datasets import get as get_field
 from repro.inject import CampaignConfig, TrialRecords, run_campaign_parallel

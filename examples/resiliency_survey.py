@@ -15,7 +15,7 @@ import argparse
 
 import numpy as np
 
-from repro.analysis import aggregate_by_bit, sdc_threshold_fraction
+from repro.analysis import sdc_threshold_fraction
 from repro.datasets import keys as dataset_keys, get as get_field
 from repro.inject import CampaignConfig, run_campaign_parallel
 from repro.reporting import Table, render_table

@@ -16,7 +16,6 @@ Run:  python examples/solver_under_faults.py [--grid 24] [--trials 2]
 
 import argparse
 
-import numpy as np
 
 from repro.apps import (
     PoissonProblem,

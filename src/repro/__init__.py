@@ -5,6 +5,9 @@ The package layers:
 
 * :mod:`repro.posit` — complete posit (2022 standard) implementation;
 * :mod:`repro.ieee` — IEEE-754 bit-level substrate and analytic model;
+* :mod:`repro.formats` — the unified number-format registry: spec
+  strings (``posit16es1``, ``binary(8,23)``, ``fixedposit(32,es=2,r=5)``)
+  resolve to codec-backed formats every other layer consumes;
 * :mod:`repro.datasets` — synthetic SDRBench-equivalent fields (Table 1);
 * :mod:`repro.inject` — the fault-injection campaign engine (Fig. 8);
 * :mod:`repro.metrics` — QCAT-equivalent error metrics;

@@ -29,7 +29,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.analysis.edgecases import FlipEvent, classify_flip
+from repro.analysis.edgecases import classify_flip
 from repro.posit.config import PositConfig
 from repro.posit.decode import decode
 from repro.posit.fields import PositField, classify_bit, decompose

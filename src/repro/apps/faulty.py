@@ -14,7 +14,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.apps.stencil import PoissonProblem, SolveResult, jacobi_solve
+from repro.apps.stencil import PoissonProblem, jacobi_solve
 from repro.inject.targets import InjectionTarget, target_by_name
 
 

@@ -44,12 +44,17 @@ def _cmd_datasets(args) -> int:
     return 0
 
 
-def _cmd_targets(_args) -> int:
-    from repro.inject.targets import available_targets, target_by_name
+def _cmd_targets(args) -> int:
+    from repro.formats import available_formats, get_format
 
-    for name in available_targets():
-        target = target_by_name(name)
-        print(f"{name:10s} {target.nbits:3d} bits")
+    names = list(available_formats())
+    names.extend(spec for spec in args.spec if spec not in names)
+    for name in names:
+        target = get_format(name)
+        print(f"{name:26s} {target.nbits:3d} bits  [{target.backend_name:6s}]  {target.describe()}")
+    print()
+    print("Any spec also works: posit<N>[es<E>], binary(<E>,<F>), "
+          "fixedposit(<N>[,es=<E>][,r=<R>]) — e.g. posit16es1, binary(8,23).")
     return 0
 
 
@@ -173,18 +178,20 @@ def _cmd_report(args) -> int:
 
 
 def _cmd_inspect(args) -> int:
-    from repro.ieee import BINARY32, float_to_bits
-    from repro.ieee.fields import layout_string as ieee_layout
-    from repro.posit import POSIT32, decode, encode, layout_string
+    from repro.formats import get_format
 
     value = float(args.value)
-    ieee_bits = int(float_to_bits(np.float32(value), BINARY32))
-    posit_bits = int(encode(np.float64(value), POSIT32))
-    posit_value = float(decode(np.uint64(posit_bits), POSIT32))
-    print(f"value:     {value!r}")
-    print(f"ieee32:    {ieee_layout(ieee_bits, BINARY32)}  (0x{ieee_bits:08x})")
-    print(f"posit32:   {layout_string(posit_bits, POSIT32)}  (0x{posit_bits:08x})")
-    print(f"           decodes to {posit_value!r}")
+    targets = [get_format(spec) for spec in (args.target or ["ieee32", "posit32"])]
+    width = max(max(len(target.name) for target in targets) + 1, 7)
+    print(f"value:{'':{width - 5}s}{value!r}")
+    for target in targets:
+        bits = int(np.atleast_1d(target.to_bits(np.float64(value)))[0])
+        stored = float(np.atleast_1d(target.from_bits(np.asarray([bits], dtype=target.dtype)))[0])
+        hex_width = (target.nbits + 3) // 4
+        print(f"{target.name}:{'':{width - len(target.name)}s}"
+              f"{target.layout_string(bits)}  (0x{bits:0{hex_width}x})")
+        if stored != value:
+            print(f"{'':{width + 1}s}decodes to {stored!r}")
     return 0
 
 
@@ -203,29 +210,45 @@ def _cmd_verify(args) -> int:
 def _cmd_predict(args) -> int:
     from repro.analysis.edgecases import FlipEvent
     from repro.analysis.predict import predict_flip as posit_predict
-    from repro.ieee import BINARY32, flip_float_bit
-    from repro.posit import POSIT32, encode
+    from repro.formats import PositTarget, get_format
     from repro.reporting.series import Table
     from repro.reporting.tables import render_table
 
     value = float(args.value)
-    table = Table(
-        title=f"Predicted single-flip outcomes for {value!r}",
-        columns=["bit", "ieee32 faulty", "ieee32 rel err",
-                 "posit32 faulty", "posit32 rel err", "posit event"],
-    )
-    pattern = np.atleast_1d(np.asarray(encode(np.float64(value), POSIT32), dtype=np.uint64))
-    for bit in range(31, -1, -1):
-        ieee_faulty = float(flip_float_bit(np.float32(value), bit, BINARY32))
-        ieee_rel = (
-            abs(value - ieee_faulty) / abs(value) if value != 0 else float("nan")
+    targets = [get_format(spec) for spec in (args.target or ["ieee32", "posit32"])]
+    columns = ["bit"]
+    for target in targets:
+        columns += [f"{target.name} faulty", f"{target.name} rel err"]
+        if isinstance(target, PositTarget):
+            columns.append(f"{target.name} event")
+    table = Table(title=f"Predicted single-flip outcomes for {value!r}", columns=columns)
+
+    stored = {}
+    for target in targets:
+        bits = int(np.atleast_1d(target.to_bits(np.float64(value)))[0])
+        stored[target.name] = (
+            bits,
+            float(np.atleast_1d(target.from_bits(np.asarray([bits], dtype=target.dtype)))[0]),
         )
-        prediction = posit_predict(pattern, bit, POSIT32)
-        table.add_row([
-            bit, ieee_faulty, ieee_rel,
-            float(prediction.faulty[0]), float(prediction.relative_error[0]),
-            FlipEvent(int(prediction.event[0])).name,
-        ])
+    for bit in range(max(t.nbits for t in targets) - 1, -1, -1):
+        row = [bit]
+        for target in targets:
+            if bit >= target.nbits:
+                row += ["-", "-"] + (["-"] if isinstance(target, PositTarget) else [])
+                continue
+            bits, base = stored[target.name]
+            faulty = float(
+                np.atleast_1d(
+                    target.from_bits(np.asarray([bits ^ (1 << bit)], dtype=target.dtype))
+                )[0]
+            )
+            rel = abs(base - faulty) / abs(base) if base != 0 else float("nan")
+            row += [faulty, rel]
+            if isinstance(target, PositTarget):
+                pattern = np.asarray([bits], dtype=np.uint64)
+                prediction = posit_predict(pattern, bit, target.config)
+                row.append(FlipEvent(int(prediction.event[0])).name)
+        table.add_row(row)
     print(render_table(table))
     return 0
 
@@ -243,7 +266,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=2023)
     p.set_defaults(func=_cmd_datasets)
 
-    p = sub.add_parser("targets", help="list injection targets")
+    p = sub.add_parser("targets", help="list injection targets / format specs")
+    p.add_argument("--spec", action="append", default=[],
+                   help="also describe this format spec (repeatable)")
     p.set_defaults(func=_cmd_targets)
 
     p = sub.add_parser("experiments", help="list experiments")
@@ -260,7 +285,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("campaign", help="run a raw fault-injection campaign")
     p.add_argument("field", help="dataset field key, e.g. nyx/temperature")
-    p.add_argument("target", help="injection target, e.g. posit32")
+    p.add_argument("target", help="injection target or format spec, "
+                   "e.g. posit32, posit16es1, binary(8,23)")
     p.add_argument("--size", type=int, default=1 << 17)
     p.add_argument("--trials", type=int, default=313)
     p.add_argument("--seed", type=int, default=2023)
@@ -287,10 +313,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("inspect", help="show a value's representations")
     p.add_argument("value")
+    p.add_argument("--target", action="append", default=None,
+                   help="format spec to render (repeatable; default ieee32 + posit32)")
     p.set_defaults(func=_cmd_inspect)
 
     p = sub.add_parser("predict", help="predicted per-bit flip outcomes for a value")
     p.add_argument("value")
+    p.add_argument("--target", action="append", default=None,
+                   help="format spec to predict (repeatable; default ieee32 + posit32)")
     p.set_defaults(func=_cmd_predict)
 
     p = sub.add_parser("verify", help="re-derive a trial log and check integrity")

@@ -121,10 +121,10 @@ def evaluate_on_jacobi(
     """
     from repro.apps.faulty import _state_flipper
     from repro.apps.stencil import jacobi_solve
-    from repro.inject.targets import target_by_name
+    from repro.formats import get_format
 
     if isinstance(target, str):
-        target = target_by_name(target)
+        target = get_format(target)
     if detector is None:
         detector = LinearExtrapolationDetector()
     detector.reset()

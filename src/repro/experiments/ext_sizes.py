@@ -14,18 +14,19 @@ import numpy as np
 from repro.analysis.aggregate import aggregate_by_bit, catastrophic_fraction
 from repro.experiments._campaigns import field_campaign
 from repro.experiments.base import ExperimentOutput, ExperimentParams, register_experiment
+from repro.formats import get_format
 from repro.reporting.series import Table
 
 #: Values in (0, 1): representable across every width without saturation.
 FIELD = "cesm/cloud"
+#: Any registry spec works here — widths come from the registry, so
+#: sweeping e.g. ("posit16es1", "binary(6,9)") needs no other change.
 PAIRS = (
     ("posit8", None),
     ("posit16", "ieee16"),
     ("posit32", "ieee32"),
     ("posit64", "ieee64"),
 )
-TARGET_BITS = {"posit8": 8, "posit16": 16, "ieee16": 16,
-               "posit32": 32, "ieee32": 32, "posit64": 64, "ieee64": 64}
 
 
 @register_experiment(
@@ -46,7 +47,7 @@ def run(params: ExperimentParams) -> ExperimentOutput:
         for name in (posit_name, ieee_name):
             if name is None:
                 continue
-            nbits = TARGET_BITS[name]
+            nbits = get_format(name).nbits
             result = field_campaign(FIELD, name, params)
             agg = aggregate_by_bit(result.records, nbits)
             # Inf-aware mean: an ieee64 exponent-MSB flip scales by up to

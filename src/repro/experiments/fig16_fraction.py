@@ -16,7 +16,7 @@ import numpy as np
 from repro.analysis.stratify import group_by_regime_size
 from repro.experiments._campaigns import field_campaign, merged_records
 from repro.experiments.base import ExperimentOutput, ExperimentParams, register_experiment
-from repro.posit import POSIT32, PositField
+from repro.posit import PositField
 from repro.reporting.series import Figure, Series
 
 POOL_FIELDS = ("hacc/vx", "hacc/vy", "hurricane/uf30", "hurricane/vf30")

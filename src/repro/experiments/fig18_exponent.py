@@ -21,7 +21,7 @@ from repro.analysis.stratify import group_by_regime_size
 from repro.experiments._campaigns import field_campaign, merged_records
 from repro.experiments.base import ExperimentOutput, ExperimentParams, register_experiment
 from repro.ieee import BINARY32, flip_float_bit
-from repro.posit import POSIT32, PositField
+from repro.posit import POSIT32
 from repro.reporting.series import Figure, Series, Table
 
 POOL_FIELDS = ("hacc/vx", "hacc/vy", "hurricane/uf30", "hurricane/vf30")

@@ -1,0 +1,54 @@
+"""Unified number-format stack: protocol, spec grammar, registry, backends.
+
+>>> from repro.formats import get_format
+>>> get_format("posit16es1").nbits
+16
+>>> get_format("binary(8,23)").name
+'ieee32'
+>>> get_format("fixedposit(16,es=2,r=3)").backend_name
+'lut'
+"""
+
+from repro.formats.backends import (
+    BACKEND_ENV_VAR,
+    LUT_MAX_BITS,
+    DirectBackend,
+    LUTBackend,
+    make_backend,
+    resolve_backend_name,
+)
+from repro.formats.base import NumberFormat
+from repro.formats.fixedposit import FixedPositConfig, FixedPositTarget
+from repro.formats.ieee import IEEETarget
+from repro.formats.posit import PositTarget
+from repro.formats.registry import (
+    DEFAULT_FORMATS,
+    available_formats,
+    format_known,
+    get_format,
+    register_format,
+)
+from repro.formats.spec import FormatSpecError, canonical_spec, normalize_spec, parse_spec
+
+__all__ = [
+    "BACKEND_ENV_VAR",
+    "DEFAULT_FORMATS",
+    "DirectBackend",
+    "FixedPositConfig",
+    "FixedPositTarget",
+    "FormatSpecError",
+    "IEEETarget",
+    "LUTBackend",
+    "LUT_MAX_BITS",
+    "NumberFormat",
+    "PositTarget",
+    "available_formats",
+    "canonical_spec",
+    "format_known",
+    "get_format",
+    "make_backend",
+    "normalize_spec",
+    "parse_spec",
+    "register_format",
+    "resolve_backend_name",
+]

@@ -1,0 +1,188 @@
+"""Pluggable codec backends for :class:`~repro.formats.base.NumberFormat`.
+
+Two backends serve the protocol's hot operations:
+
+``direct``
+    Calls the format's raw vectorized encode/decode/classify on every
+    request.  Always available, any width.
+
+``lut``
+    For formats of at most 16 bits, every operation that maps *patterns*
+    to answers is a table gather: ``from_bits`` indexes a precomputed
+    float64 value table (the dominant cost of a campaign — every trial
+    decodes a faulty pattern), ``classify_bits`` and ``regime_sizes``
+    index per-bit field tables.  ``to_bits`` resolves representable
+    inputs by binary search over the sorted value lattice and delegates
+    the residual elements (inexact values, zeros, non-finite) to the
+    direct codec, so its rounding semantics are *identical* to
+    ``direct`` by construction — the exhaustive equivalence tests assert
+    bit-identity over every pattern, not approximate agreement.
+
+Tables are built lazily on first use (a 16-bit format costs one
+exhaustive decode plus ~nbits classify sweeps, ~1 MiB resident), so
+importing the registry stays cheap.
+
+Selection is automatic — ``lut`` whenever the width permits — and can
+be forced per process with ``REPRO_FORMAT_BACKEND=direct|lut|auto`` or
+per instance via ``get_format(spec, backend=...)``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+#: Widest format the LUT backend will tabulate (2**16 entries).
+LUT_MAX_BITS = 16
+
+#: Environment variable overriding automatic backend selection.
+BACKEND_ENV_VAR = "REPRO_FORMAT_BACKEND"
+
+_BACKEND_CHOICES = ("auto", "direct", "lut")
+
+
+def resolve_backend_name(fmt, requested: str | None) -> str:
+    """Decide which backend a format instance should use.
+
+    Explicit ``requested`` wins, then the ``REPRO_FORMAT_BACKEND``
+    environment variable, then ``auto`` (LUT for every format narrow
+    enough to tabulate).  An explicit ``lut`` request for a too-wide
+    format is an error; an environment-level ``lut`` quietly falls back
+    to ``direct`` so one process-wide setting never breaks 32/64-bit
+    campaigns.
+    """
+    choice = requested if requested is not None else os.environ.get(BACKEND_ENV_VAR, "auto")
+    choice = choice.strip().lower()
+    if choice not in _BACKEND_CHOICES:
+        raise ValueError(
+            f"unknown format backend {choice!r}; choose from {', '.join(_BACKEND_CHOICES)}"
+        )
+    if choice == "lut" and fmt.nbits > LUT_MAX_BITS:
+        if requested is None:
+            return "direct"
+        raise ValueError(
+            f"lut backend supports formats up to {LUT_MAX_BITS} bits, "
+            f"but {fmt.name} has {fmt.nbits}"
+        )
+    if choice == "auto":
+        return "lut" if fmt.nbits <= LUT_MAX_BITS else "direct"
+    return choice
+
+
+def make_backend(fmt, requested: str | None = None):
+    """Build the backend instance serving ``fmt``."""
+    name = resolve_backend_name(fmt, requested)
+    return LUTBackend(fmt) if name == "lut" else DirectBackend(fmt)
+
+
+class DirectBackend:
+    """Pass-through backend: every call runs the raw vectorized codec."""
+
+    backend_name = "direct"
+
+    def __init__(self, fmt) -> None:
+        self._fmt = fmt
+
+    def to_bits(self, values) -> np.ndarray:
+        return self._fmt.encode_raw(values)
+
+    def from_bits(self, bits) -> np.ndarray:
+        return self._fmt.decode_raw(bits)
+
+    def classify_bits(self, bits, bit_index: int) -> np.ndarray:
+        return self._fmt.classify_raw(bits, bit_index)
+
+    def regime_sizes(self, bits) -> np.ndarray:
+        return self._fmt.regime_raw(bits)
+
+
+class LUTBackend:
+    """Exhaustive-table backend for formats of at most 16 bits."""
+
+    backend_name = "lut"
+
+    def __init__(self, fmt) -> None:
+        if fmt.nbits > LUT_MAX_BITS:
+            raise ValueError(
+                f"lut backend supports formats up to {LUT_MAX_BITS} bits, "
+                f"but {fmt.name} has {fmt.nbits}"
+            )
+        self._fmt = fmt
+        self._mask = (1 << fmt.nbits) - 1
+        self._values: np.ndarray | None = None
+        self._sorted_values: np.ndarray | None = None
+        self._sorted_patterns: np.ndarray | None = None
+        self._classify_tables: list[np.ndarray | None] = [None] * fmt.nbits
+        self._regime_table: np.ndarray | None = None
+
+    # -- table construction (lazy) ---------------------------------------
+
+    def _all_patterns(self) -> np.ndarray:
+        return np.arange(1 << self._fmt.nbits, dtype=np.uint64)
+
+    def _ensure_values(self) -> np.ndarray:
+        if self._values is None:
+            self._values = np.asarray(
+                self._fmt.decode_raw(self._all_patterns()), dtype=np.float64
+            )
+        return self._values
+
+    def _ensure_sorted(self) -> None:
+        if self._sorted_values is not None:
+            return
+        values = self._ensure_values()
+        finite = np.nonzero(np.isfinite(values) & (values != 0))[0]
+        order = np.argsort(values[finite], kind="stable")
+        self._sorted_values = values[finite][order]
+        self._sorted_patterns = finite[order].astype(self._fmt.dtype)
+
+    def _ensure_classify(self, bit_index: int) -> np.ndarray:
+        table = self._classify_tables[bit_index]
+        if table is None:
+            table = np.asarray(
+                self._fmt.classify_raw(self._all_patterns(), bit_index), dtype=np.int64
+            )
+            self._classify_tables[bit_index] = table
+        return table
+
+    def _ensure_regime(self) -> np.ndarray:
+        if self._regime_table is None:
+            self._regime_table = np.asarray(
+                self._fmt.regime_raw(self._all_patterns()), dtype=np.int64
+            )
+        return self._regime_table
+
+    def _indices(self, bits) -> np.ndarray:
+        return np.asarray(bits).astype(np.int64) & np.int64(self._mask)
+
+    # -- backend protocol ------------------------------------------------
+
+    def from_bits(self, bits) -> np.ndarray:
+        return self._ensure_values()[self._indices(bits)]
+
+    def to_bits(self, values) -> np.ndarray:
+        self._ensure_sorted()
+        array = np.asarray(values, dtype=np.float64)
+        flat = array.reshape(-1)
+        idx = np.searchsorted(self._sorted_values, flat)
+        idx = np.minimum(idx, self._sorted_values.size - 1)
+        # Exactly representable, finite, nonzero values resolve by table;
+        # everything else (values needing rounding, zeros with a sign,
+        # NaN/inf saturation) delegates to the direct codec so rounding
+        # semantics cannot drift between backends.
+        exact = (self._sorted_values[idx] == flat) & np.isfinite(flat) & (flat != 0)
+        out = np.empty(flat.shape, dtype=self._fmt.dtype)
+        out[exact] = self._sorted_patterns[idx[exact]]
+        if not np.all(exact):
+            rest = ~exact
+            out[rest] = np.asarray(
+                self._fmt.encode_raw(flat[rest]), dtype=self._fmt.dtype
+            )
+        return out.reshape(array.shape)
+
+    def classify_bits(self, bits, bit_index: int) -> np.ndarray:
+        return self._ensure_classify(bit_index)[self._indices(bits)]
+
+    def regime_sizes(self, bits) -> np.ndarray:
+        return self._ensure_regime()[self._indices(bits)]

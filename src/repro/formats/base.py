@@ -1,0 +1,153 @@
+"""The ``NumberFormat`` protocol: one interface over every number system.
+
+A ``NumberFormat`` abstracts "how a float64 datum is stored in this
+number system": conversion to a bit pattern, conversion of a (possibly
+corrupted) pattern back to a float for metric evaluation, and per-bit
+field classification.  The fault-injection engine, the CLI, the
+application kernels and the detection machinery all speak this protocol
+and nothing else, so a new number system plugs into every campaign by
+implementing the five raw operations below and registering a spec.
+
+Conversion semantics mirror the paper's Section 4.1.2: the datum is
+first converted float -> format (rounding once), the flip happens on the
+stored pattern, and the faulty pattern is converted back to float.  The
+*original* value used for error metrics is the round-tripped value, not
+the raw float — otherwise the conversion error would contaminate every
+trial.
+
+Concrete classes implement the ``*_raw`` methods; the public
+``to_bits``/``from_bits``/``classify_bits``/``regime_sizes`` entry
+points delegate to a pluggable codec backend (``direct`` or ``lut``,
+see :mod:`repro.formats.backends`) chosen per format at construction.
+``round_trip`` additionally memoizes its result per array fingerprint,
+because campaigns re-store the same dataset many times (baseline,
+conversion report, and every experiment sharing a field).
+"""
+
+from __future__ import annotations
+
+import abc
+import hashlib
+from collections import OrderedDict
+
+import numpy as np
+
+#: Entries kept in each format's round-trip memo (arrays can be large,
+#: so the cache is deliberately small: a campaign touches one or two
+#: distinct datasets at a time).
+_ROUND_TRIP_CACHE_SIZE = 8
+
+
+class NumberFormat(abc.ABC):
+    """A number system that stores float data and can suffer bit flips.
+
+    Attributes
+    ----------
+    name:
+        Canonical registry name; always a valid spec string, so any
+        format — however parameterized — rehydrates across process
+        boundaries via ``get_format(self.name)``.
+    nbits:
+        Width of one stored value in bits.
+    """
+
+    #: Canonical spec string, e.g. ``posit32`` or ``fixedposit(16,es=2,r=3)``.
+    name: str
+    #: Width of one stored value in bits.
+    nbits: int
+
+    def __init__(self, backend: str | None = None) -> None:
+        from repro.formats.backends import make_backend
+
+        self._backend = make_backend(self, backend)
+        self._round_trip_cache: OrderedDict = OrderedDict()
+
+    # -- raw codec operations (implemented by concrete formats) ----------
+
+    @abc.abstractmethod
+    def encode_raw(self, values) -> np.ndarray:
+        """Store float values: the bit patterns, as unsigned ints."""
+
+    @abc.abstractmethod
+    def decode_raw(self, bits) -> np.ndarray:
+        """Load bit patterns back into float64 values."""
+
+    @abc.abstractmethod
+    def classify_raw(self, bits, bit_index: int) -> np.ndarray:
+        """Per-element field id of ``bit_index`` (format-specific enum)."""
+
+    def regime_raw(self, bits) -> np.ndarray:
+        """Regime size k per element; zeros for systems without a regime."""
+        return np.zeros(np.shape(np.asarray(bits)), dtype=np.int64)
+
+    @abc.abstractmethod
+    def field_label(self, field_id: int) -> str:
+        """Human-readable name of a field id."""
+
+    # -- public protocol (backend-dispatched) ----------------------------
+
+    @property
+    def dtype(self) -> np.dtype:
+        """NumPy unsigned dtype wide enough to store a bit pattern."""
+        from repro.bitops import uint_dtype_for
+
+        return uint_dtype_for(self.nbits)
+
+    @property
+    def spec(self) -> str:
+        """The spec string this format rehydrates from (== ``name``)."""
+        return self.name
+
+    @property
+    def backend_name(self) -> str:
+        """Which codec backend serves this instance (``direct``/``lut``)."""
+        return self._backend.backend_name
+
+    def to_bits(self, values) -> np.ndarray:
+        """Store float values: returns the bit patterns (unsigned ints)."""
+        return self._backend.to_bits(values)
+
+    def from_bits(self, bits) -> np.ndarray:
+        """Load bit patterns back into float64 values."""
+        return self._backend.from_bits(bits)
+
+    def classify_bits(self, bits, bit_index: int) -> np.ndarray:
+        """Per-element field id of ``bit_index`` (format-specific enum)."""
+        if not 0 <= bit_index < self.nbits:
+            raise ValueError(f"bit_index must be in [0, {self.nbits}), got {bit_index}")
+        return self._backend.classify_bits(bits, bit_index)
+
+    def regime_sizes(self, bits) -> np.ndarray:
+        """Regime size k per element; zeros for systems without a regime."""
+        return self._backend.regime_sizes(bits)
+
+    def round_trip(self, values) -> np.ndarray:
+        """Store-then-load: the representable value of each input.
+
+        Memoized on an array fingerprint (dtype, shape, content hash):
+        the campaign engine round-trips the same dataset for the
+        baseline, the conversion report, and again per experiment, and
+        the codec is the expensive step, not the hashing.
+        """
+        array = np.ascontiguousarray(values)
+        key = (array.dtype.str, array.shape, hashlib.blake2b(array.tobytes(), digest_size=16).digest())
+        cached = self._round_trip_cache.get(key)
+        if cached is not None:
+            self._round_trip_cache.move_to_end(key)
+            return cached.copy()
+        result = self.from_bits(self.to_bits(array))
+        self._round_trip_cache[key] = result
+        while len(self._round_trip_cache) > _ROUND_TRIP_CACHE_SIZE:
+            self._round_trip_cache.popitem(last=False)
+        return result.copy()
+
+    def layout_string(self, pattern: int) -> str:
+        """Render a pattern with field separators (``0|10|01|...``)."""
+        return format(int(pattern) & ((1 << self.nbits) - 1), f"0{self.nbits}b")
+
+    def describe(self) -> str:
+        """Single-line human-readable summary of the format."""
+        return f"{self.name} ({self.nbits} bits)"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<NumberFormat {self.name} backend={self.backend_name}>"

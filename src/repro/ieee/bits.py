@@ -26,8 +26,8 @@ def float_to_bits(values, fmt: IEEEFormat) -> np.ndarray:
     if fmt.float_dtype is not None:
         array = array.astype(fmt.float_dtype, copy=False)
         return array.view(fmt.dtype)
-    if fmt is not BFLOAT16:  # pragma: no cover - only bfloat16 lacks a dtype
-        raise TypeError(f"format {fmt.name} has no native dtype")
+    if fmt is not BFLOAT16:
+        return software_float_to_bits(values, fmt)
     bits32 = np.asarray(values, dtype=np.float32).view(np.uint32)
     # Round-to-nearest-even on the dropped 16 bits, NaN preserved.
     nan_mask = np.isnan(np.asarray(values, dtype=np.float32))
@@ -42,8 +42,99 @@ def bits_to_float(bits, fmt: IEEEFormat) -> np.ndarray:
     array = np.asarray(bits).astype(fmt.dtype, copy=False)
     if fmt.float_dtype is not None:
         return array.view(fmt.float_dtype)
+    if fmt is not BFLOAT16:
+        return software_bits_to_float(array, fmt)
     bits32 = array.astype(np.uint32) << np.uint32(16)
     return bits32.view(np.float32)
+
+
+def _check_software_format(fmt: IEEEFormat) -> None:
+    """Software conversion works for any layout float64 can host exactly."""
+    if not 2 <= fmt.exponent_bits <= 11:
+        raise ValueError(
+            f"software IEEE codec needs 2..11 exponent bits, got {fmt.exponent_bits}"
+        )
+    if not 1 <= fmt.fraction_bits <= 52:
+        raise ValueError(
+            f"software IEEE codec needs 1..52 fraction bits, got {fmt.fraction_bits}"
+        )
+
+
+def software_float_to_bits(values, fmt: IEEEFormat) -> np.ndarray:
+    """Round float64 values into an arbitrary ``binary(e,f)`` layout.
+
+    Pure-NumPy round-to-nearest-even for any format whose exponent fits
+    in 11 bits and fraction in 52 — i.e. any layout float64 covers
+    exactly.  Scaling by powers of two is exact and ``np.rint`` rounds
+    half-to-even, so the result is a single correct rounding of the
+    input (matching what a native dtype cast would do).
+    """
+    _check_software_format(fmt)
+    x = np.asarray(values, dtype=np.float64)
+    f = fmt.fraction_bits
+    bias = fmt.bias
+    sign = np.signbit(x).astype(np.uint64)
+    a = np.abs(x)
+
+    is_nan = np.isnan(x)
+    is_inf = np.isinf(x)
+    finite = ~(is_nan | is_inf) & (a != 0)
+
+    mantissa, exp2 = np.frexp(np.where(finite, a, 1.0))
+    unbiased = exp2.astype(np.int64) - 1
+    biased = unbiased + bias
+    normal = finite & (biased >= 1)
+    subnormal = finite & (biased < 1)
+
+    # Normal path: integer significand q = rint(a * 2**(f - unbiased))
+    # lands in [2**f, 2**(f+1)]; the top value carries into the exponent.
+    q_normal = np.rint(np.ldexp(np.where(normal, a, 1.0), f - unbiased))
+    carry = q_normal >= 2.0 ** (f + 1)
+    biased = biased + carry.astype(np.int64)
+    q_normal = np.where(carry, 2.0**f, q_normal)
+    overflow = normal & (biased >= fmt.exponent_all_ones)
+
+    # Subnormal path: count quanta of 2**(1 - bias - f); a full count of
+    # 2**f promotes to the smallest normal.
+    q_sub = np.rint(np.ldexp(np.where(subnormal, a, 0.0), f + bias - 1))
+    promote = subnormal & (q_sub >= 2.0**f)
+
+    exp_field = np.zeros(np.shape(x), dtype=np.uint64)
+    frac_field = np.zeros(np.shape(x), dtype=np.uint64)
+    exp_field = np.where(normal, biased.astype(np.uint64), exp_field)
+    frac_field = np.where(normal, (q_normal - 2.0**f).astype(np.uint64), frac_field)
+    exp_field = np.where(promote, np.uint64(1), exp_field)
+    frac_field = np.where(subnormal & ~promote, q_sub.astype(np.uint64), frac_field)
+
+    all_ones = np.uint64(fmt.exponent_all_ones)
+    exp_field = np.where(is_inf | overflow, all_ones, exp_field)
+    frac_field = np.where(is_inf | overflow, np.uint64(0), frac_field)
+    exp_field = np.where(is_nan, all_ones, exp_field)
+    frac_field = np.where(is_nan, np.uint64(1) << np.uint64(f - 1), frac_field)
+
+    pattern = (
+        (sign << np.uint64(fmt.nbits - 1))
+        | (exp_field << np.uint64(f))
+        | frac_field
+    )
+    return pattern.astype(fmt.dtype)
+
+
+def software_bits_to_float(bits, fmt: IEEEFormat) -> np.ndarray:
+    """Decode an arbitrary ``binary(e,f)`` layout to float64, exactly."""
+    _check_software_format(fmt)
+    work = np.asarray(bits).astype(np.uint64, copy=False) & np.uint64(fmt.mask)
+    f = fmt.fraction_bits
+    sign_bit = (work >> np.uint64(fmt.nbits - 1)) & np.uint64(1)
+    e_raw = ((work >> np.uint64(f)) & np.uint64(fmt.exponent_all_ones)).astype(np.int64)
+    frac = (work & np.uint64(fmt.fraction_mask)).astype(np.float64)
+
+    normal_value = np.ldexp(1.0 + frac * 2.0**-f, e_raw - fmt.bias)
+    subnormal_value = np.ldexp(frac, 1 - fmt.bias - f)
+    value = np.where(e_raw == 0, subnormal_value, normal_value)
+    special = np.where(frac == 0.0, np.inf, np.nan)
+    value = np.where(e_raw == fmt.exponent_all_ones, special, value)
+    return np.where(sign_bit == 1, -value, value)
 
 
 def flip_bit(bits, bit_index: int, fmt: IEEEFormat) -> np.ndarray:

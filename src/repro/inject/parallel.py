@@ -33,9 +33,14 @@ from repro.metrics.summary import SummaryStats
 _WORKER_STATE: dict = {}
 
 
-def _init_worker(stored_data: np.ndarray, target_name: str, baseline: SummaryStats) -> None:
+def _init_worker(stored_data: np.ndarray, target_spec: str, baseline: SummaryStats) -> None:
+    # Targets cross the pool boundary as spec strings, not pickles:
+    # every format's name is a valid spec (posit16es1, binary(8,23),
+    # fixedposit(32,es=2,r=5), ...), so arbitrary parameterized formats
+    # rehydrate in workers — and each worker rebuilds its own codec
+    # tables instead of shipping them.
     _WORKER_STATE["data"] = stored_data
-    _WORKER_STATE["target"] = target_by_name(target_name)
+    _WORKER_STATE["target"] = target_by_name(target_spec)
     _WORKER_STATE["baseline"] = baseline
 
 
@@ -51,9 +56,17 @@ def _run_shard(args: tuple[int, int, np.random.SeedSequence]) -> TrialRecords:
     )
 
 
-def default_worker_count() -> int:
-    """Workers to use when unspecified: CPUs, capped at the shard count."""
-    return max(os.cpu_count() or 1, 1)
+def default_worker_count(shard_count: int | None = None) -> int:
+    """Workers to use when unspecified: CPUs, capped at the shard count.
+
+    ``shard_count`` is the number of shards actually scheduled; when
+    given, the result never exceeds it (extra workers would only sit
+    idle after paying the fork cost).
+    """
+    workers = max(os.cpu_count() or 1, 1)
+    if shard_count is not None:
+        workers = min(workers, max(shard_count, 1))
+    return workers
 
 
 def run_campaign_parallel(
@@ -86,7 +99,7 @@ def run_campaign_parallel(
     tasks = [(bit, config.trials_per_bit, seed) for bit, seed in seeds.items()]
 
     if workers is None:
-        workers = min(default_worker_count(), len(tasks))
+        workers = default_worker_count(len(tasks))
     workers = max(workers, 1)
 
     if workers == 1 or len(tasks) <= 1:

@@ -1,10 +1,13 @@
-"""Injection targets: the number systems faults are injected into.
+"""Injection targets: thin compatibility layer over :mod:`repro.formats`.
 
-A target abstracts "how a float32 datum is stored in this number system":
-conversion to a bit pattern, conversion of a (possibly corrupted) pattern
-back to a float for metric evaluation, and per-bit field classification.
-The paper's two targets are 32-bit IEEE-754 and 32-bit posits; the other
-widths implement its future-work section.
+A target abstracts "how a float32 datum is stored in this number
+system"; that abstraction now lives in the unified format stack
+(:class:`repro.formats.NumberFormat`), where any parameterized format —
+``posit16es1``, ``binary(8,23)``, ``fixedposit(32,es=2,r=5)`` — resolves
+by spec string and is served by a pluggable codec backend (``direct``
+or LUT-accelerated for narrow widths).  This module keeps the
+historical injection-engine names as aliases so existing callers and
+pickled campaign metadata keep working.
 
 Note the asymmetric conversion semantics, mirroring the paper's Section
 4.1.2: for posits, the datum is first converted float -> posit (rounding
@@ -17,137 +20,49 @@ would contaminate every trial.
 
 from __future__ import annotations
 
-import abc
+from repro.formats import (
+    FixedPositTarget,
+    FormatSpecError,
+    IEEETarget,
+    NumberFormat,
+    PositTarget,
+    available_formats,
+    get_format,
+)
 
-import numpy as np
-
-from repro.ieee.bits import bits_to_float, float_to_bits
-from repro.ieee.fields import IEEEField, field_of_bit
-from repro.ieee.formats import BFLOAT16, BINARY16, BINARY32, BINARY64, IEEEFormat
-from repro.posit.config import POSIT8, POSIT16, POSIT32, POSIT64, PositConfig
-from repro.posit.decode import decode as posit_decode
-from repro.posit.encode import encode as posit_encode
-from repro.posit.fields import PositField, classify_bit as posit_classify_bit, decompose
-
-
-class InjectionTarget(abc.ABC):
-    """A number system that stores data and can suffer bit flips."""
-
-    #: Short registry name, e.g. ``posit32``.
-    name: str
-    #: Width of one stored value in bits.
-    nbits: int
-
-    @abc.abstractmethod
-    def to_bits(self, values) -> np.ndarray:
-        """Store float values: returns the bit patterns (unsigned ints)."""
-
-    @abc.abstractmethod
-    def from_bits(self, bits) -> np.ndarray:
-        """Load bit patterns back into float64 values."""
-
-    @abc.abstractmethod
-    def classify_bits(self, bits, bit_index: int) -> np.ndarray:
-        """Per-element field id of ``bit_index`` (target-specific enum)."""
-
-    @abc.abstractmethod
-    def field_label(self, field_id: int) -> str:
-        """Human-readable name of a field id."""
-
-    def regime_sizes(self, bits) -> np.ndarray:
-        """Regime size k per element; zeros for systems without a regime."""
-        return np.zeros(np.shape(np.asarray(bits)), dtype=np.int64)
-
-    def round_trip(self, values) -> np.ndarray:
-        """Store-then-load: the representable value of each input."""
-        return self.from_bits(self.to_bits(values))
-
-    def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"<InjectionTarget {self.name}>"
-
-
-class IEEETarget(InjectionTarget):
-    """IEEE-754 (or bfloat16) storage."""
-
-    def __init__(self, fmt: IEEEFormat) -> None:
-        self.format = fmt
-        self.name = {"binary16": "ieee16", "binary32": "ieee32", "binary64": "ieee64"}.get(
-            fmt.name, fmt.name
-        )
-        self.nbits = fmt.nbits
-
-    def to_bits(self, values) -> np.ndarray:
-        return float_to_bits(np.asarray(values), self.format)
-
-    def from_bits(self, bits) -> np.ndarray:
-        with np.errstate(invalid="ignore"):
-            return bits_to_float(bits, self.format).astype(np.float64)
-
-    def classify_bits(self, bits, bit_index: int) -> np.ndarray:
-        field = field_of_bit(bit_index, self.format)
-        return np.full(np.shape(np.asarray(bits)), int(field), dtype=np.int64)
-
-    def field_label(self, field_id: int) -> str:
-        return IEEEField(field_id).name
-
-    @property
-    def field_enum(self):
-        return IEEEField
-
-
-class PositTarget(InjectionTarget):
-    """Posit storage (float -> posit on store, posit -> float on load)."""
-
-    def __init__(self, config: PositConfig) -> None:
-        self.config = config
-        self.name = f"posit{config.nbits}" if config.es == 2 else f"posit{config.nbits}es{config.es}"
-        self.nbits = config.nbits
-
-    def to_bits(self, values) -> np.ndarray:
-        return posit_encode(np.asarray(values, dtype=np.float64), self.config)
-
-    def from_bits(self, bits) -> np.ndarray:
-        return np.asarray(posit_decode(bits, self.config), dtype=np.float64)
-
-    def classify_bits(self, bits, bit_index: int) -> np.ndarray:
-        return posit_classify_bit(bits, bit_index, self.config)
-
-    def field_label(self, field_id: int) -> str:
-        return PositField(field_id).name
-
-    def regime_sizes(self, bits) -> np.ndarray:
-        return decompose(bits, self.config).run
-
-    @property
-    def field_enum(self):
-        return PositField
-
-
-_TARGETS: dict[str, InjectionTarget] = {}
-
-
-def _register_defaults() -> None:
-    for fmt in (BINARY16, BINARY32, BINARY64):
-        target = IEEETarget(fmt)
-        _TARGETS[target.name] = target
-    _TARGETS["bfloat16"] = IEEETarget(BFLOAT16)
-    for config in (POSIT8, POSIT16, POSIT32, POSIT64):
-        target = PositTarget(config)
-        _TARGETS[target.name] = target
-
-
-_register_defaults()
+#: The protocol formerly defined here; every format satisfies it.
+InjectionTarget = NumberFormat
 
 
 def target_by_name(name: str) -> InjectionTarget:
-    """Look up a target: ieee16/32/64, bfloat16, posit8/16/32/64."""
+    """Look up a target by registry name or format spec string.
+
+    Accepts everything :func:`repro.formats.get_format` does —
+    ``posit32``, ``posit16es1``, ``binary(8,23)``, ``bfloat16``,
+    ``fixedposit(32,es=2,r=5)`` — and raises ``KeyError`` (the
+    engine's historical contract) for anything unresolvable.
+    """
     try:
-        return _TARGETS[name.strip().lower()]
-    except KeyError:
-        known = ", ".join(sorted(_TARGETS))
-        raise KeyError(f"unknown injection target {name!r}; known: {known}") from None
+        return get_format(name)
+    except (FormatSpecError, ValueError) as error:
+        known = ", ".join(available_formats())
+        raise KeyError(
+            f"unknown injection target {name!r} ({error}); known: {known}; "
+            "or any spec like posit<N>es<E>, binary(<E>,<F>), "
+            "fixedposit(<N>,es=<E>,r=<R>)"
+        ) from None
 
 
 def available_targets() -> list[str]:
     """All registered target names, sorted."""
-    return sorted(_TARGETS)
+    return available_formats()
+
+
+__all__ = [
+    "FixedPositTarget",
+    "IEEETarget",
+    "InjectionTarget",
+    "PositTarget",
+    "available_targets",
+    "target_by_name",
+]

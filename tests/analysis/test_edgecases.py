@@ -1,7 +1,6 @@
 """Tests for posit flip edge-case classification."""
 
 import numpy as np
-import pytest
 
 from repro.analysis.edgecases import (
     FlipEvent,

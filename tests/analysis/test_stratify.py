@@ -11,7 +11,7 @@ from repro.analysis.stratify import (
     terminating_bit_position,
 )
 from repro.inject.campaign import CampaignConfig, run_campaign
-from repro.posit.config import POSIT8, POSIT16, POSIT32
+from repro.posit.config import POSIT8, POSIT32
 from repro.posit.encode import encode
 from repro.posit.fields import regime_k
 

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.apps.krylov import cg_fault_outcome, cg_solve, poisson_matvec
-from repro.apps.stencil import PoissonProblem, jacobi_solve
+from repro.apps.stencil import PoissonProblem
 
 PROBLEM = PoissonProblem(grid=12)
 

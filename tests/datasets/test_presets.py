@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro.datasets.presets import ALL_PRESETS, DEFAULT_SIZE, build_presets
-from repro.metrics.summary import SummaryStats
+
 
 SIZE = 1 << 17
 

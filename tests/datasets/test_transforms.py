@@ -1,7 +1,6 @@
 """Tests for power-of-two dataset transforms."""
 
 import numpy as np
-import pytest
 
 from repro.datasets.transforms import (
     PowerOfTwoScale,

@@ -1,7 +1,6 @@
 """Tests for the impact-driven SDC detector."""
 
 import numpy as np
-import pytest
 
 from repro.apps.faulty import AppFaultSpec
 from repro.apps.stencil import PoissonProblem

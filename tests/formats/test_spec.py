@@ -1,0 +1,117 @@
+"""Tests for the format spec grammar."""
+
+import pytest
+
+from repro.formats import (
+    FixedPositTarget,
+    FormatSpecError,
+    IEEETarget,
+    PositTarget,
+    canonical_spec,
+    parse_spec,
+)
+
+
+class TestPositSpecs:
+    def test_standard_width(self):
+        fmt = parse_spec("posit32")
+        assert isinstance(fmt, PositTarget)
+        assert fmt.name == "posit32"
+        assert fmt.nbits == 32
+        assert fmt.config.es == 2
+
+    def test_explicit_es(self):
+        fmt = parse_spec("posit16es1")
+        assert fmt.name == "posit16es1"
+        assert fmt.config.es == 1
+
+    def test_explicit_standard_es_canonicalizes(self):
+        assert canonical_spec("posit16es2") == "posit16"
+
+    def test_unusual_width(self):
+        assert parse_spec("posit12es1").nbits == 12
+
+    def test_invalid_width(self):
+        with pytest.raises(FormatSpecError, match="nbits"):
+            parse_spec("posit128")
+
+    def test_invalid_es(self):
+        with pytest.raises(FormatSpecError, match="es"):
+            parse_spec("posit16es9")
+
+
+class TestIEEESpecs:
+    @pytest.mark.parametrize("spec,name,nbits", [
+        ("ieee16", "ieee16", 16),
+        ("ieee32", "ieee32", 32),
+        ("ieee64", "ieee64", 64),
+        ("binary16", "ieee16", 16),
+        ("binary32", "ieee32", 32),
+        ("binary64", "ieee64", 64),
+        ("bfloat16", "bfloat16", 16),
+    ])
+    def test_native_names(self, spec, name, nbits):
+        fmt = parse_spec(spec)
+        assert isinstance(fmt, IEEETarget)
+        assert fmt.name == name
+        assert fmt.nbits == nbits
+
+    @pytest.mark.parametrize("spec,name", [
+        ("binary(5,10)", "ieee16"),
+        ("binary(8,23)", "ieee32"),
+        ("binary(11,52)", "ieee64"),
+        ("binary(8,7)", "bfloat16"),
+    ])
+    def test_layouts_canonicalize_to_native(self, spec, name):
+        assert canonical_spec(spec) == name
+
+    def test_custom_layout(self):
+        fmt = parse_spec("binary(6,9)")
+        assert fmt.name == "binary(6,9)"
+        assert fmt.nbits == 16
+        assert fmt.format.float_dtype is None
+
+    def test_layout_outside_software_range(self):
+        with pytest.raises(FormatSpecError, match="software"):
+            parse_spec("binary(13,50)")
+
+
+class TestFixedPositSpecs:
+    def test_full_spec(self):
+        fmt = parse_spec("fixedposit(32,es=2,r=5)")
+        assert isinstance(fmt, FixedPositTarget)
+        assert fmt.name == "fixedposit(32,es=2,r=5)"
+        assert fmt.config.fraction_bits == 32 - 1 - 5 - 2
+
+    def test_defaults(self):
+        fmt = parse_spec("fixedposit(16)")
+        assert fmt.name == "fixedposit(16,es=2,r=2)"
+
+    def test_kwarg_order_free(self):
+        assert canonical_spec("fixedposit(16,r=3,es=1)") == "fixedposit(16,es=1,r=3)"
+
+    def test_no_fraction_bits_rejected(self):
+        with pytest.raises(FormatSpecError, match="fraction"):
+            parse_spec("fixedposit(8,es=4,r=3)")
+
+    def test_scale_beyond_float64_rejected(self):
+        with pytest.raises(FormatSpecError, match="float64"):
+            parse_spec("fixedposit(32,es=4,r=8)")
+
+
+class TestGrammar:
+    def test_case_and_whitespace_insensitive(self):
+        assert canonical_spec(" Posit32 ") == "posit32"
+        assert canonical_spec("Binary( 8 , 23 )") == "ieee32"
+        assert canonical_spec("FIXEDPOSIT(16, es=2, r=3)") == "fixedposit(16,es=2,r=3)"
+
+    @pytest.mark.parametrize("bad", [
+        "", "posit", "float32", "binary(8)", "posit32x", "fixedposit", "binary(a,b)",
+    ])
+    def test_garbage_rejected(self, bad):
+        with pytest.raises(FormatSpecError, match="grammar"):
+            parse_spec(bad)
+
+    def test_canonical_specs_are_fixed_points(self):
+        for spec in ["posit16es1", "binary(6,9)", "fixedposit(16,es=2,r=3)", "ieee32"]:
+            assert canonical_spec(canonical_spec(spec)) == canonical_spec(spec)

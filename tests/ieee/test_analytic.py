@@ -1,12 +1,10 @@
 """Tests for the Elliott-style analytic IEEE flip model."""
 
 import numpy as np
-import pytest
 from hypothesis import given, strategies as st
 
 from repro.ieee.analytic import expected_error_profile, predict_flip, relative_error_bound
 from repro.ieee.bits import flip_float_bit
-from repro.ieee.fields import IEEEField, field_of_bit
 from repro.ieee.formats import BINARY32, BINARY64
 
 

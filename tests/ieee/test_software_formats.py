@@ -1,0 +1,77 @@
+"""Tests for the software codec behind arbitrary ``binary(e,f)`` layouts."""
+
+import numpy as np
+import pytest
+
+from repro.ieee.bits import (
+    bits_to_float,
+    float_to_bits,
+    software_bits_to_float,
+    software_float_to_bits,
+)
+from repro.ieee.formats import BINARY16, IEEEFormat
+
+SOFT16 = IEEEFormat("binary(5,10)", exponent_bits=5, fraction_bits=10, float_dtype=None)
+
+
+class TestAgainstNativeBinary16:
+    """The software codec on a (5,10) layout must match the hardware dtype."""
+
+    def test_decode_every_pattern(self):
+        patterns = np.arange(1 << 16, dtype=np.uint64)
+        native = bits_to_float(patterns.astype(np.uint16), BINARY16).astype(np.float64)
+        soft = software_bits_to_float(patterns, SOFT16)
+        nan_mask = np.isnan(native)
+        assert np.array_equal(nan_mask, np.isnan(soft))
+        assert np.array_equal(native[~nan_mask], soft[~nan_mask])
+        # Signed zero survives.
+        assert np.signbit(soft[0x8000]) and not np.signbit(soft[0])
+
+    def test_encode_matches_native_rounding(self, rng):
+        values = np.concatenate([
+            rng.normal(0, 1e4, 50000),
+            rng.normal(0, 1e-6, 50000),  # deep subnormal territory
+            np.array([0.0, -0.0, np.inf, -np.inf, 65504.0, 65519.9, 65520.0,
+                      2.0**-24, 2.0**-25, 2.0**-25 * 1.5, 6e-8, 2.0**-14]),
+        ])
+        with np.errstate(over="ignore"):
+            native = float_to_bits(values, BINARY16).astype(np.uint64)
+        assert np.array_equal(native, software_float_to_bits(values, SOFT16))
+
+
+class TestCustomLayouts:
+    @pytest.mark.parametrize("exponent_bits,fraction_bits", [(6, 9), (4, 3), (10, 21)])
+    def test_round_trip_every_pattern(self, exponent_bits, fraction_bits):
+        fmt = IEEEFormat(
+            f"binary({exponent_bits},{fraction_bits})",
+            exponent_bits=exponent_bits,
+            fraction_bits=fraction_bits,
+            float_dtype=None,
+        )
+        nbits = fmt.nbits
+        patterns = np.arange(1 << min(nbits, 16), dtype=np.uint64)
+        if nbits > 16:
+            rng = np.random.default_rng(0)
+            patterns = rng.integers(0, 1 << nbits, 200000, dtype=np.uint64)
+        values = software_bits_to_float(patterns, fmt)
+        finite = np.isfinite(values)
+        re_encoded = software_float_to_bits(values[finite], fmt)
+        assert np.array_equal(re_encoded.astype(np.uint64), patterns[finite])
+
+    def test_rne_ties_to_even(self):
+        fmt = IEEEFormat("binary(6,9)", exponent_bits=6, fraction_bits=9, float_dtype=None)
+        # Halfway between fraction 0 and 1 at scale 0 rounds to even (0);
+        # halfway between 1 and 2 rounds to even (2).
+        half_ulp = 2.0**-10
+        assert int(software_float_to_bits(np.array([1.0 + half_ulp]), fmt)[0] & 0x1FF) == 0
+        assert int(software_float_to_bits(np.array([1.0 + 3 * half_ulp]), fmt)[0] & 0x1FF) == 2
+
+    def test_overflow_saturates_to_inf(self):
+        fmt = IEEEFormat("binary(4,3)", exponent_bits=4, fraction_bits=3, float_dtype=None)
+        bits = software_float_to_bits(np.array([1e9, -1e9]), fmt)
+        assert np.isinf(software_bits_to_float(bits, fmt)).all()
+
+    def test_out_of_range_layouts_rejected(self):
+        wide = IEEEFormat("binary(12,40)", exponent_bits=12, fraction_bits=40, float_dtype=None)
+        with pytest.raises(ValueError, match="exponent"):
+            software_float_to_bits(np.array([1.0]), wide)

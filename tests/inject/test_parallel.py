@@ -42,10 +42,24 @@ class TestParallelEqualsSerial:
         parallel = run_campaign_parallel(small_field, "posit32", config, workers=4)
         _assert_results_identical(serial, parallel)
 
+    @pytest.mark.parametrize("spec", ["posit16es1", "binary(8,23)", "fixedposit(16,es=2,r=3)"])
+    def test_spec_parsed_targets(self, small_field, spec):
+        # Workers rehydrate the target from its spec string; the campaign
+        # must still be bit-identical to the serial run.
+        config = CampaignConfig(trials_per_bit=5, seed=99)
+        serial = run_campaign(small_field, spec, config)
+        parallel = run_campaign_parallel(small_field, spec, config, workers=3)
+        _assert_results_identical(serial, parallel)
+
 
 class TestMisc:
     def test_default_worker_count_positive(self):
         assert default_worker_count() >= 1
+
+    def test_default_worker_count_caps_at_shard_count(self):
+        assert default_worker_count(shard_count=1) == 1
+        assert default_worker_count(shard_count=2) <= 2
+        assert default_worker_count(shard_count=10**6) == default_worker_count()
 
     def test_empty_data_rejected(self):
         with pytest.raises(ValueError):

@@ -5,12 +5,10 @@ import pytest
 
 from repro.ieee.fields import IEEEField
 from repro.inject.targets import (
-    IEEETarget,
     PositTarget,
     available_targets,
     target_by_name,
 )
-from repro.posit.config import POSIT32
 from repro.posit.fields import PositField
 
 

@@ -24,6 +24,13 @@ class TestListCommands:
         assert "nyx/temperature" in out
 
 
+    def test_targets_with_extra_specs(self, capsys):
+        assert main(["targets", "--spec", "posit16es1", "--spec", "binary(6,9)"]) == 0
+        out = capsys.readouterr().out
+        assert "posit16es1" in out
+        assert "binary(6,9)" in out
+
+
 class TestInspect:
     def test_value(self, capsys):
         assert main(["inspect", "186.25"]) == 0
@@ -31,6 +38,17 @@ class TestInspect:
         assert "0x433a4000" in out
         assert "0x6dd20000" in out
         assert "186.25" in out
+
+    def test_spec_targets(self, capsys):
+        code = main([
+            "inspect", "186.25",
+            "--target", "posit16es1", "--target", "fixedposit(16,es=2,r=3)",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "posit16es1" in out
+        assert "fixedposit(16,es=2,r=3)" in out
+        assert "0x433a4000" not in out  # defaults replaced, not appended
 
 
 class TestExperiment:
@@ -80,6 +98,15 @@ class TestPredict:
         assert "SIGN_FLIP" in out
         assert "REGIME_EXPANSION" in out
         assert "EXPONENT_CHANGE" in out
+
+    def test_spec_targets(self, capsys):
+        from repro.cli import main as cli_main
+
+        assert cli_main(["predict", "1.5", "--target", "posit8", "--target", "ieee16"]) == 0
+        out = capsys.readouterr().out
+        assert "posit8" in out
+        assert "ieee16" in out
+        assert "SIGN_FLIP" in out
 
 
 class TestSuiteCommand:

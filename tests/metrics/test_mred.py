@@ -1,7 +1,6 @@
 """Tests for the MRED metric."""
 
 import numpy as np
-import pytest
 
 from repro.metrics.mred import mred, relative_error_distance
 

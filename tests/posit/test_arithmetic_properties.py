@@ -6,7 +6,6 @@ by hypothesis on wider formats.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.posit.arithmetic import add, divide, multiply, negate, subtract

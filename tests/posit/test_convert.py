@@ -1,7 +1,6 @@
 """Tests for posit-to-posit format conversion."""
 
 import numpy as np
-import pytest
 
 from repro.posit._reference import decode_exact, encode_exact
 from repro.posit.config import POSIT8, POSIT16, POSIT32, POSIT64, PositConfig

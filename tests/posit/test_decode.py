@@ -1,7 +1,6 @@
 """Tests for the vectorized posit decoder."""
 
 import numpy as np
-import pytest
 
 from repro.bitops import to_signed
 from repro.posit._reference import decode_float

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.posit._reference import decode_float, encode_exact
+from repro.posit._reference import encode_exact
 from repro.posit.config import POSIT8, POSIT16, POSIT32, POSIT64, PositConfig
 from repro.posit.decode import decode
 from repro.posit.encode import encode, encode32
