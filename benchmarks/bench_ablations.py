@@ -12,8 +12,7 @@ import pytest
 
 from repro.datasets.registry import get as get_preset
 from repro.inject.campaign import CampaignConfig, run_campaign
-from repro.inject.parallel import run_campaign_parallel
-from repro.inject.targets import target_by_name
+from repro.formats import resolve
 from repro.inject.trial import run_bit_trials, run_single_trial
 from repro.metrics.summary import SummaryStats
 from repro.posit.arithmetic import multiply
@@ -35,9 +34,9 @@ def test_ablation_trials_per_bit(benchmark, trials):
 def test_ablation_parallel_workers(benchmark, workers):
     config = CampaignConfig(trials_per_bit=128, seed=0)
     result = benchmark.pedantic(
-        run_campaign_parallel,
+        run_campaign,
         args=(DATA, "posit32", config),
-        kwargs={"workers": workers},
+        kwargs={"jobs": workers},
         rounds=3,
         iterations=1,
     )
@@ -45,7 +44,7 @@ def test_ablation_parallel_workers(benchmark, workers):
 
 
 def test_ablation_vectorized_trials(benchmark):
-    target = target_by_name("posit32")
+    target = resolve("posit32")
     stored = target.round_trip(DATA)
     baseline = SummaryStats.from_array(stored)
     indices = np.random.default_rng(0).integers(0, stored.size, 313)
@@ -55,7 +54,7 @@ def test_ablation_vectorized_trials(benchmark):
 
 
 def test_ablation_scalar_trials(benchmark):
-    target = target_by_name("posit32")
+    target = resolve("posit32")
     stored = target.round_trip(DATA)
     indices = np.random.default_rng(0).integers(0, stored.size, 313)
 

@@ -11,7 +11,7 @@ import pytest
 
 from repro.datasets.registry import get as get_preset
 from repro.inject.campaign import CampaignConfig, run_campaign
-from repro.inject.targets import target_by_name
+from repro.formats import resolve
 from repro.inject.trial import run_bit_trials
 from repro.metrics.summary import SummaryStats
 from repro.posit.config import POSIT32
@@ -56,7 +56,7 @@ def test_ieee_flip_throughput(benchmark, values):
 
 
 def test_bit_trial_batch(benchmark, values):
-    target = target_by_name("posit32")
+    target = resolve("posit32")
     stored = target.round_trip(values)
     baseline = SummaryStats.from_array(stored)
     indices = np.random.default_rng(0).integers(0, stored.size, 313)

@@ -17,7 +17,8 @@ import numpy as np
 
 from repro.analysis import aggregate_by_field
 from repro.datasets import preset_from_file, register, save_raw
-from repro.inject import CampaignConfig, run_campaign, target_by_name
+from repro.formats import resolve
+from repro.inject import CampaignConfig, run_campaign
 from repro.reporting import Table, render_table
 
 
@@ -52,7 +53,7 @@ def main() -> None:
     )
     for target_name in ("ieee32", "posit32"):
         result = run_campaign(data, target_name, config, label=preset.key)
-        target = target_by_name(target_name)
+        target = resolve(target_name)
         for row in aggregate_by_field(result.records, target.field_label):
             table.add_row([
                 target_name, row.label, row.trial_count,

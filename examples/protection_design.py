@@ -13,7 +13,7 @@ import argparse
 
 
 from repro.datasets import get as get_field
-from repro.inject import CampaignConfig, TrialRecords, run_campaign_parallel
+from repro.inject import CampaignConfig, TrialRecords, run_campaign
 from repro.protect import (
     SelectiveParity,
     bits_needed_for_reduction,
@@ -31,7 +31,7 @@ def pooled_records(target: str, size: int, trials: int, seed: int) -> TrialRecor
     for field in FIELDS:
         data = get_field(field).generate(seed=seed, size=size)
         config = CampaignConfig(trials_per_bit=trials, seed=seed)
-        shards.append(run_campaign_parallel(data, target, config, label=field).records)
+        shards.append(run_campaign(data, target, config, label=field, jobs=None).records)
     return TrialRecords.concatenate(shards)
 
 

@@ -17,7 +17,7 @@ import numpy as np
 
 from repro.analysis import sdc_threshold_fraction
 from repro.datasets import keys as dataset_keys, get as get_field
-from repro.inject import CampaignConfig, run_campaign_parallel
+from repro.inject import CampaignConfig, run_campaign
 from repro.reporting import Table, render_table
 
 SERIOUS_RELATIVE_ERROR = 1.0  # an SDC that changes the value by >100%
@@ -66,7 +66,7 @@ def main() -> None:
         data = get_field(field_key).generate(seed=args.seed, size=args.size)
         for target in ("ieee32", "posit32"):
             config = CampaignConfig(trials_per_bit=args.trials, seed=args.seed)
-            result = run_campaign_parallel(data, target, config, label=field_key)
+            result = run_campaign(data, target, config, label=field_key, jobs=None)
             serious_rate = sdc_threshold_fraction(result.records, SERIOUS_RELATIVE_ERROR)
             protect = bits_to_protect(result.records, 32)
             table.add_row([

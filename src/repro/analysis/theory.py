@@ -15,7 +15,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.inject.targets import InjectionTarget, target_by_name
+from repro.formats import NumberFormat, resolve
 
 
 @dataclass(frozen=True)
@@ -32,7 +32,7 @@ class ExpectedBitError:
 
 def expected_error_by_bit(
     data,
-    target: InjectionTarget | str,
+    target: NumberFormat | str,
     chunk: int = 1 << 18,
 ) -> ExpectedBitError:
     """Exact per-bit error statistics over every element of ``data``.
@@ -41,7 +41,7 @@ def expected_error_by_bit(
     i.e. exhaustive injection — evaluated in vectorized chunks.
     """
     if isinstance(target, str):
-        target = target_by_name(target)
+        target = resolve(target)
     flat = np.asarray(data).reshape(-1)
     if flat.size == 0:
         raise ValueError("cannot analyze an empty dataset")
@@ -99,7 +99,7 @@ def expected_error_by_bit(
 
 def sampling_error_profile(
     data,
-    target: InjectionTarget | str,
+    target: NumberFormat | str,
     trial_counts: tuple[int, ...] = (10, 40, 160, 313),
     seed: int = 2023,
 ) -> dict[int, float]:
@@ -114,7 +114,7 @@ def sampling_error_profile(
     from repro.inject.campaign import CampaignConfig, run_campaign
 
     if isinstance(target, str):
-        target = target_by_name(target)
+        target = resolve(target)
     exact = expected_error_by_bit(data, target)
     deviations: dict[int, float] = {}
     for trials in trial_counts:

@@ -14,7 +14,7 @@ from fractions import Fraction
 
 import numpy as np
 
-from repro.inject.targets import InjectionTarget, PositTarget, target_by_name
+from repro.formats import NumberFormat, PositTarget, resolve
 from repro.posit.quire import dot as quire_dot
 
 
@@ -54,11 +54,11 @@ class KernelResult:
         return abs(self.value - self.reference) / abs(self.reference)
 
 
-def _resolve(target: InjectionTarget | str) -> InjectionTarget:
-    return target_by_name(target) if isinstance(target, str) else target
+def _resolve(target: NumberFormat | str) -> NumberFormat:
+    return resolve(target) if isinstance(target, str) else target
 
 
-def stored_dot(a, b, target: InjectionTarget | str) -> KernelResult:
+def stored_dot(a, b, target: NumberFormat | str) -> KernelResult:
     """Dot product with both operands and every partial sum stored.
 
     Models hardware whose accumulator has the same width as memory —
@@ -77,7 +77,7 @@ def stored_dot(a, b, target: InjectionTarget | str) -> KernelResult:
     return KernelResult(value=float(accumulator), reference=reference)
 
 
-def fused_posit_dot(a, b, target: InjectionTarget | str) -> KernelResult:
+def fused_posit_dot(a, b, target: NumberFormat | str) -> KernelResult:
     """Posit dot product through the quire: one rounding at the end."""
     target = _resolve(target)
     if not isinstance(target, PositTarget):
@@ -94,7 +94,7 @@ def fused_posit_dot(a, b, target: InjectionTarget | str) -> KernelResult:
     return KernelResult(value=value, reference=reference)
 
 
-def stored_axpy(alpha: float, x, y, target: InjectionTarget | str) -> np.ndarray:
+def stored_axpy(alpha: float, x, y, target: NumberFormat | str) -> np.ndarray:
     """alpha*x + y with the result stored in the target format."""
     target = _resolve(target)
     x64 = np.asarray(x, dtype=np.float64)

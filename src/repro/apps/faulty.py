@@ -15,7 +15,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.apps.stencil import PoissonProblem, jacobi_solve
-from repro.inject.targets import InjectionTarget, target_by_name
+from repro.formats import NumberFormat, resolve
 
 
 @dataclass(frozen=True)
@@ -44,7 +44,7 @@ class AppFaultOutcome:
         return self.faulty_iterations - self.clean_iterations
 
 
-def _state_flipper(spec: AppFaultSpec, target: InjectionTarget):
+def _state_flipper(spec: AppFaultSpec, target: NumberFormat):
     def hook(iteration: int, state: np.ndarray) -> np.ndarray:
         if iteration != spec.iteration:
             return state
@@ -59,14 +59,14 @@ def _state_flipper(spec: AppFaultSpec, target: InjectionTarget):
 
 def run_faulty_solve(
     problem: PoissonProblem,
-    target: InjectionTarget | str,
+    target: NumberFormat | str,
     spec: AppFaultSpec,
     max_iterations: int = 2000,
     tolerance: float = 1e-6,
 ) -> AppFaultOutcome:
     """Solve once cleanly and once with the fault; compare outcomes."""
     if isinstance(target, str):
-        target = target_by_name(target)
+        target = resolve(target)
     clean = jacobi_solve(problem, target, max_iterations, tolerance)
     faulty = jacobi_solve(
         problem, target, max_iterations, tolerance,
@@ -84,7 +84,7 @@ def run_faulty_solve(
 
 def bit_sweep_campaign(
     problem: PoissonProblem,
-    target: InjectionTarget | str,
+    target: NumberFormat | str,
     iteration: int,
     seed: int = 0,
     trials_per_bit: int = 3,
@@ -96,7 +96,7 @@ def bit_sweep_campaign(
     The application-level analogue of the paper's campaign grid.
     """
     if isinstance(target, str):
-        target = target_by_name(target)
+        target = resolve(target)
     rng = np.random.default_rng(seed)
     state_size = problem.grid * problem.grid
     outcomes = []

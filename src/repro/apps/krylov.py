@@ -26,7 +26,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.apps.stencil import PoissonProblem
-from repro.inject.targets import InjectionTarget, target_by_name
+from repro.formats import NumberFormat, resolve
 
 
 def poisson_matvec(state: np.ndarray, grid: int, spacing: float) -> np.ndarray:
@@ -59,7 +59,7 @@ class CGResult:
 
 def cg_solve(
     problem: PoissonProblem,
-    target: InjectionTarget | str | None = None,
+    target: NumberFormat | str | None = None,
     max_iterations: int = 500,
     tolerance: float = 1e-8,
     fault_hook=None,
@@ -82,7 +82,7 @@ def cg_solve(
         step — fine for accuracy checks, useless for iteration studies).
     """
     if isinstance(target, str):
-        target = target_by_name(target)
+        target = resolve(target)
 
     def store(vector: np.ndarray) -> np.ndarray:
         if target is None:
@@ -131,7 +131,7 @@ def cg_solve(
 
 def cg_fault_outcome(
     problem: PoissonProblem,
-    target: InjectionTarget | str,
+    target: NumberFormat | str,
     iteration: int,
     flat_index: int,
     bit: int,
@@ -144,7 +144,7 @@ def cg_fault_outcome(
     solution_error, iteration_overhead}.
     """
     if isinstance(target, str):
-        target = target_by_name(target)
+        target = resolve(target)
 
     def hook(i: int, state: np.ndarray) -> np.ndarray:
         if i != iteration:

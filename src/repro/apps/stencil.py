@@ -16,7 +16,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.inject.targets import InjectionTarget, target_by_name
+from repro.formats import NumberFormat, resolve
 
 
 @dataclass(frozen=True)
@@ -92,7 +92,7 @@ def _jacobi_sweep(state: np.ndarray, rhs_h2: np.ndarray) -> np.ndarray:
 
 def jacobi_solve(
     problem: PoissonProblem,
-    target: InjectionTarget | str | None = None,
+    target: NumberFormat | str | None = None,
     max_iterations: int = 2000,
     tolerance: float = 1e-6,
     fault_hook=None,
@@ -109,7 +109,7 @@ def jacobi_solve(
         sweep; the fault-injection harness uses it to corrupt one value.
     """
     if isinstance(target, str):
-        target = target_by_name(target)
+        target = resolve(target)
     rhs_h2 = problem.rhs() * problem.spacing**2
     state = np.zeros((problem.grid, problem.grid))
     if target is not None:

@@ -7,8 +7,10 @@
     posit-resiliency experiments                   # list experiment ids
     posit-resiliency experiment fig10 --quick      # run one experiment
     posit-resiliency experiment all                # run every experiment
-    posit-resiliency campaign nyx/temperature posit32 --trials 313 \
-        --out trials.csv                           # raw campaign -> CSV
+    posit-resiliency campaign run nyx/temperature posit32 --trials 313 \
+        --jobs 4 --run-dir runs/nyx --out trials.csv
+    posit-resiliency campaign resume runs/nyx      # continue after interrupt
+    posit-resiliency campaign status runs/nyx      # shard/trial progress
     posit-resiliency inspect 186.25                # show representations
 
 Also runnable as ``python -m repro ...``.
@@ -95,28 +97,47 @@ def _cmd_experiment(args) -> int:
     return 0
 
 
-def _cmd_campaign(args) -> int:
-    from repro.datasets.registry import get as get_preset
-    from repro.inject.campaign import CampaignConfig
-    from repro.inject.parallel import run_campaign_parallel
+def _jobs_arg(value: str) -> int:
+    """Argparse type for worker counts: a positive integer."""
+    try:
+        jobs = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"jobs must be an integer, got {value!r}") from None
+    if jobs < 1:
+        raise argparse.ArgumentTypeError(f"jobs must be >= 1, got {jobs}")
+    return jobs
 
-    preset = get_preset(args.field)
-    data = preset.generate(seed=args.seed, size=args.size)
-    config = CampaignConfig(trials_per_bit=args.trials, seed=args.seed)
-    result = run_campaign_parallel(
-        data, args.target, config, label=args.field, workers=args.workers
-    )
+
+def _campaign_jobs(args) -> int | None:
+    """Merge --jobs with the deprecated --workers alias (None = auto)."""
+    if getattr(args, "workers", None) is not None:
+        import warnings
+
+        if args.jobs is not None:
+            raise SystemExit("error: pass either --jobs or --workers, not both")
+        warnings.warn(
+            "--workers is deprecated; use --jobs", DeprecationWarning, stacklevel=2
+        )
+        return args.workers
+    return args.jobs
+
+
+def _print_campaign_result(result, field: str, target: str, out: str | None) -> None:
     print(
-        f"campaign: {result.trial_count} trials on {args.field} as "
+        f"campaign: {result.trial_count} trials on {field} as "
         f"{result.target_name} (data size {result.data_size})"
     )
     print(
         f"conversion: mean rel err {result.conversion.mean_relative_error:.3e}, "
         f"exact fraction {result.conversion.exact_fraction:.3f}"
     )
-    if args.out:
-        result.records.write_csv(args.out)
-        print(f"wrote {args.out}")
+    if result.extras.get("run_dir"):
+        resumed = result.extras.get("resumed_shards", 0)
+        note = f" ({resumed} shard(s) restored)" if resumed else ""
+        print(f"run dir: {result.extras['run_dir']}{note}")
+    if out:
+        result.records.write_csv(out)
+        print(f"wrote {out}")
     else:
         from repro.analysis.aggregate import aggregate_by_bit
         from repro.reporting.series import Figure, Series
@@ -124,13 +145,62 @@ def _cmd_campaign(args) -> int:
 
         agg = aggregate_by_bit(result.records, result.records.bit.max() + 1)
         figure = Figure(
-            title=f"mean relative error per bit ({args.field}, {args.target})",
+            title=f"mean relative error per bit ({field}, {target})",
             x_label="bit",
             y_label="mean rel err",
         )
-        figure.add(Series(args.target, agg.bits, agg.mean_rel_err))
+        figure.add(Series(target, agg.bits, agg.mean_rel_err))
         print(render_series_table(figure))
+
+
+def _cmd_campaign_run(args) -> int:
+    from repro.datasets.registry import get as get_preset
+    from repro.inject.campaign import CampaignConfig, run_campaign
+
+    preset = get_preset(args.field)
+    data = preset.generate(seed=args.seed, size=args.size)
+    config = CampaignConfig(trials_per_bit=args.trials, seed=args.seed)
+    result = run_campaign(
+        data,
+        args.target,
+        config,
+        label=args.field,
+        jobs=_campaign_jobs(args),
+        run_dir=args.run_dir,
+        progress=args.progress,
+        resume=args.resume,
+        dataset={
+            "kind": "preset",
+            "field": args.field,
+            "size": args.size,
+            "seed": args.seed,
+        },
+    )
+    _print_campaign_result(result, args.field, args.target, args.out)
     return 0
+
+
+def _cmd_campaign_resume(args) -> int:
+    from repro.runner import resume_campaign
+
+    result = resume_campaign(
+        args.run_dir, jobs=_campaign_jobs(args), progress=args.progress
+    )
+    field = result.label or "dataset"
+    _print_campaign_result(result, field, result.target_name, args.out)
+    return 0
+
+
+def _cmd_campaign_status(args) -> int:
+    from repro.runner import RunnerError, run_status
+
+    try:
+        status = run_status(args.run_dir)
+    except (RunnerError, FileNotFoundError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    print(status.summary())
+    return 0 if status.complete else 2
 
 
 def _cmd_suite(args) -> int:
@@ -283,16 +353,45 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=2023)
     p.set_defaults(func=_cmd_experiment)
 
-    p = sub.add_parser("campaign", help="run a raw fault-injection campaign")
-    p.add_argument("field", help="dataset field key, e.g. nyx/temperature")
-    p.add_argument("target", help="injection target or format spec, "
-                   "e.g. posit32, posit16es1, binary(8,23)")
-    p.add_argument("--size", type=int, default=1 << 17)
-    p.add_argument("--trials", type=int, default=313)
-    p.add_argument("--seed", type=int, default=2023)
-    p.add_argument("--workers", type=int, default=None)
-    p.add_argument("--out", default=None, help="write trial CSV here")
-    p.set_defaults(func=_cmd_campaign)
+    p = sub.add_parser("campaign", help="run/resume/inspect a fault-injection campaign")
+    campaign_sub = p.add_subparsers(dest="campaign_command", required=True)
+
+    pr = campaign_sub.add_parser("run", help="run a campaign (optionally checkpointed)")
+    pr.add_argument("field", help="dataset field key, e.g. nyx/temperature")
+    pr.add_argument("target", help="injection target or format spec, "
+                    "e.g. posit32, posit16es1, binary(8,23)")
+    pr.add_argument("--size", type=int, default=1 << 17)
+    pr.add_argument("--trials", type=int, default=313)
+    pr.add_argument("--seed", type=int, default=2023)
+    pr.add_argument("--jobs", type=_jobs_arg, default=None,
+                    help="worker processes (default: auto-size to CPUs)")
+    pr.add_argument("--workers", type=_jobs_arg, default=None,
+                    help=argparse.SUPPRESS)  # deprecated alias for --jobs
+    pr.add_argument("--run-dir", default=None,
+                    help="checkpoint directory (manifest + per-shard logs + events)")
+    pr.add_argument("--resume", action="store_true",
+                    help="continue an interrupted run in --run-dir")
+    pr.add_argument("--progress", action="store_true",
+                    help="render live shard progress")
+    pr.add_argument("--out", default=None, help="write trial CSV here")
+    pr.set_defaults(func=_cmd_campaign_run)
+
+    pres = campaign_sub.add_parser(
+        "resume", help="resume an interrupted run from its directory"
+    )
+    pres.add_argument("run_dir", help="run directory with a manifest.json")
+    pres.add_argument("--jobs", type=_jobs_arg, default=None,
+                      help="worker processes (default: auto-size to CPUs)")
+    pres.add_argument("--workers", type=_jobs_arg, default=None,
+                      help=argparse.SUPPRESS)
+    pres.add_argument("--progress", action="store_true",
+                      help="render live shard progress")
+    pres.add_argument("--out", default=None, help="write trial CSV here")
+    pres.set_defaults(func=_cmd_campaign_resume)
+
+    pst = campaign_sub.add_parser("status", help="summarize a run directory")
+    pst.add_argument("run_dir", help="run directory with a manifest.json")
+    pst.set_defaults(func=_cmd_campaign_status)
 
     p = sub.add_parser("suite", help="run the full (fields x targets) campaign grid")
     p.add_argument("--out", default="suite-results")
@@ -300,7 +399,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--size", type=int, default=1 << 17)
     p.add_argument("--trials", type=int, default=313)
     p.add_argument("--seed", type=int, default=2023)
-    p.add_argument("--workers", type=int, default=None)
+    p.add_argument("--workers", type=_jobs_arg, default=None)
     p.add_argument("--no-resume", action="store_true",
                    help="re-run campaigns even when logs exist")
     p.set_defaults(func=_cmd_suite)
@@ -330,9 +429,27 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+_CAMPAIGN_SUBCOMMANDS = {"run", "resume", "status", "-h", "--help"}
+
+
+def _normalize_argv(argv: list[str]) -> list[str]:
+    """Map the legacy ``campaign FIELD TARGET`` form onto ``campaign run``."""
+    if len(argv) >= 2 and argv[0] == "campaign" and argv[1] not in _CAMPAIGN_SUBCOMMANDS:
+        import warnings
+
+        warnings.warn(
+            "`campaign FIELD TARGET` is deprecated; use `campaign run FIELD TARGET`",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        return [argv[0], "run", *argv[1:]]
+    return argv
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
-    args = parser.parse_args(argv)
+    argv = list(sys.argv[1:] if argv is None else argv)
+    args = parser.parse_args(_normalize_argv(argv))
     return args.func(args)
 
 

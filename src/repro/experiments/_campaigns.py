@@ -29,7 +29,8 @@ def field_campaign(
     preset = get_preset(field_key)
     data = preset.generate(seed=params.seed, size=params.data_size)
     config = CampaignConfig(trials_per_bit=params.trials_per_bit, bits=bits, seed=params.seed)
-    result = run_campaign(data, target_name, config, label=field_key)
+    # jobs is not part of the cache key: worker count never changes results.
+    result = run_campaign(data, target_name, config, label=field_key, jobs=params.jobs)
     _CACHE[cache_key] = result
     return result
 

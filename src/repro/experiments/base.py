@@ -24,12 +24,15 @@ class ExperimentParams:
 
     Defaults are sized for an interactive laptop run (seconds per
     experiment); ``paper_scale`` reproduces the paper's trial counts and
-    a larger synthetic population.
+    a larger synthetic population.  ``jobs`` feeds the campaign runner
+    (``1`` in-process, ``None`` auto-sizes to the CPU count) and never
+    changes results — campaigns are bit-identical for any worker count.
     """
 
     data_size: int = 1 << 17
     trials_per_bit: int = PAPER_TRIALS_PER_BIT
     seed: int = 2023
+    jobs: int | None = 1
 
     @classmethod
     def quick(cls) -> "ExperimentParams":

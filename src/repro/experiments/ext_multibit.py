@@ -22,7 +22,7 @@ from repro.experiments._campaigns import field_campaign
 from repro.experiments.base import ExperimentOutput, ExperimentParams, register_experiment
 from repro.inject.campaign import CampaignConfig, bit_seeds
 from repro.inject.faults import AdjacentBitFlip, RandomBitFlip
-from repro.inject.targets import target_by_name
+from repro.formats import resolve
 from repro.inject.trial import run_bit_trials
 from repro.inject.results import TrialRecords
 from repro.metrics.summary import SummaryStats
@@ -35,7 +35,7 @@ NBITS = 32
 def _multi_campaign(data, target_name: str, params: ExperimentParams,
                     width: int) -> TrialRecords:
     """Adjacent ``width``-bit flip campaign: one shard per starting bit."""
-    target = target_by_name(target_name)
+    target = resolve(target_name)
     stored = target.round_trip(np.asarray(data).reshape(-1))
     baseline = SummaryStats.from_array(stored)
     config = CampaignConfig(trials_per_bit=params.trials_per_bit, seed=params.seed)
@@ -101,7 +101,7 @@ def run(params: ExperimentParams) -> ExperimentOutput:
         columns=["target", "mean_rel_err", "median_rel_err", "catastrophic"],
     )
     for target_name in ("ieee32", "posit32"):
-        target = target_by_name(target_name)
+        target = resolve(target_name)
         stored = target.round_trip(np.asarray(data).reshape(-1))
         baseline = SummaryStats.from_array(stored)
         rng = np.random.default_rng(params.seed + 1)

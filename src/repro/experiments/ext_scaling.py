@@ -55,8 +55,10 @@ def run(params: ExperimentParams) -> ExperimentOutput:
         scale = unit_median_scale(data)
         scaled = scale.apply(data)
 
-        raw_result = run_campaign(data, "posit32", config, label=field_key)
-        scaled_result = run_campaign(scaled, "posit32", config, label=f"{field_key} scaled")
+        raw_result = run_campaign(data, "posit32", config, label=field_key, jobs=params.jobs)
+        scaled_result = run_campaign(
+            scaled, "posit32", config, label=f"{field_key} scaled", jobs=params.jobs
+        )
 
         raw_population = regime_population(data, POSIT32)
         scaled_population = regime_population(scaled, POSIT32)

@@ -27,6 +27,7 @@ from repro.formats.registry import (
     format_known,
     get_format,
     register_format,
+    resolve,
 )
 from repro.formats.spec import FormatSpecError, canonical_spec, normalize_spec, parse_spec
 
@@ -50,5 +51,6 @@ __all__ = [
     "normalize_spec",
     "parse_spec",
     "register_format",
+    "resolve",
     "resolve_backend_name",
 ]

@@ -90,6 +90,17 @@ def get_format(spec: str, backend: str | None = None) -> NumberFormat:
     return instance
 
 
+def resolve(spec: str | NumberFormat, backend: str | None = None) -> NumberFormat:
+    """Resolve a name, spec string, or format instance to a format.
+
+    The canonical lookup for every consumer (injection engine, runner,
+    CLI, apps): instances pass through untouched, strings go through
+    :func:`get_format`.  Raises :class:`FormatSpecError` for anything
+    unresolvable.
+    """
+    return get_format(spec, backend)
+
+
 def available_formats() -> list[str]:
     """All advertised format names: defaults plus registered ones."""
     names = set(DEFAULT_FORMATS)

@@ -1,5 +1,6 @@
-"""Fault-injection engine: targets, fault models, campaigns, records."""
+"""Fault-injection engine: formats, fault models, campaigns, records."""
 
+from repro.formats import FixedPositTarget, IEEETarget, NumberFormat, PositTarget
 from repro.inject.campaign import (
     PAPER_TRIALS_PER_BIT,
     CampaignConfig,
@@ -22,14 +23,20 @@ from repro.inject.parallel import run_campaign_parallel
 from repro.inject.results import TrialRecords
 from repro.inject.suite import SuiteConfig, SuiteResult, load_manifest, run_suite
 from repro.inject.validate import VerificationReport, verify_records
-from repro.inject.targets import (
-    IEEETarget,
-    InjectionTarget,
-    PositTarget,
-    available_targets,
-    target_by_name,
-)
 from repro.inject.trial import SingleTrialResult, run_bit_trials, run_single_trial
+
+#: Deprecated compatibility names served lazily from repro.inject.targets
+#: so that importing repro.inject stays warning-free.
+_DEPRECATED_TARGET_NAMES = ("InjectionTarget", "target_by_name", "available_targets")
+
+
+def __getattr__(name: str):
+    if name in _DEPRECATED_TARGET_NAMES:
+        from repro.inject import targets
+
+        return getattr(targets, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
     "AdjacentBitFlip",
@@ -37,9 +44,11 @@ __all__ = [
     "CampaignResult",
     "ConversionReport",
     "FaultModel",
+    "FixedPositTarget",
     "IEEETarget",
     "InjectionTarget",
     "MultiBitFlip",
+    "NumberFormat",
     "PAPER_TRIALS_PER_BIT",
     "PositTarget",
     "RandomBitFlip",

@@ -35,8 +35,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.formats import NumberFormat
 from repro.inject.results import TrialRecords
-from repro.inject.targets import InjectionTarget, target_by_name
 from repro.inject.trial import run_bit_trials
 from repro.metrics.summary import SummaryStats
 
@@ -66,7 +66,7 @@ class CampaignConfig:
         if self.trials_per_bit <= 0:
             raise ValueError(f"trials_per_bit must be positive, got {self.trials_per_bit}")
 
-    def resolved_bits(self, target: InjectionTarget) -> tuple[int, ...]:
+    def resolved_bits(self, target: NumberFormat) -> tuple[int, ...]:
         """The concrete bit list for a target."""
         if self.bits is None:
             return tuple(range(target.nbits))
@@ -108,7 +108,7 @@ class CampaignResult:
         return len(self.records)
 
 
-def conversion_report(data, target: InjectionTarget) -> ConversionReport:
+def conversion_report(data, target: NumberFormat) -> ConversionReport:
     """Measure the representation error of storing ``data`` in ``target``."""
     raw = np.asarray(data, dtype=np.float64).reshape(-1)
     stored = target.round_trip(raw)
@@ -123,7 +123,7 @@ def conversion_report(data, target: InjectionTarget) -> ConversionReport:
     )
 
 
-def bit_seeds(config: CampaignConfig, target: InjectionTarget) -> dict[int, np.random.SeedSequence]:
+def bit_seeds(config: CampaignConfig, target: NumberFormat) -> dict[int, np.random.SeedSequence]:
     """One independent child seed per bit position.
 
     Children are spawned for *all* bits of the target in bit order, then
@@ -138,44 +138,69 @@ def bit_seeds(config: CampaignConfig, target: InjectionTarget) -> dict[int, np.r
 
 def run_campaign(
     data,
-    target: InjectionTarget | str,
+    target: NumberFormat | str,
     config: CampaignConfig | None = None,
     label: str = "",
+    *,
+    jobs: int | None = 1,
+    run_dir=None,
+    hooks=None,
+    progress: bool = False,
+    resume: bool = False,
+    dataset: dict | None = None,
+    max_retries: int = 2,
 ) -> CampaignResult:
-    """Run a full campaign serially (see module docstring for the flow)."""
-    if isinstance(target, str):
-        target = target_by_name(target)
-    if config is None:
-        config = CampaignConfig()
+    """Run a full campaign (see module docstring for the flow).
 
-    flat = np.asarray(data).reshape(-1)
-    if flat.size == 0:
-        raise ValueError("cannot run a campaign on an empty dataset")
+    The one campaign entry point: serial by default, parallel with
+    ``jobs=N`` (``None`` auto-sizes to the CPU count), resumable and
+    observable when given a ``run_dir``.  Results are bit-identical for
+    any ``jobs`` value and across interrupt/resume cycles — per-bit
+    ``SeedSequence.spawn`` children make the trial streams independent
+    of scheduling.
 
-    stored = target.round_trip(flat)
-    baseline = SummaryStats.from_array(stored)
-    conversion = conversion_report(flat, target)
+    Parameters beyond the campaign itself (all keyword-only):
 
-    shards = []
-    for bit, seed in bit_seeds(config, target).items():
-        shards.append(
-            run_campaign_shard(stored, target, bit, config.trials_per_bit, seed, baseline)
-        )
-    records = TrialRecords.concatenate(shards)
-    return CampaignResult(
-        target_name=target.name,
-        config=config,
-        baseline=baseline,
-        records=records,
-        conversion=conversion,
-        data_size=int(flat.size),
+    jobs:
+        Worker processes; ``1`` stays in-process.  Zero or negative
+        values raise ``ValueError``; values above the shard count are
+        capped with a warning.
+    run_dir:
+        Directory receiving shard records, a JSON run manifest, and a
+        JSONL event log; enables ``resume=True`` and the
+        ``posit-resiliency campaign resume/status`` commands.
+    hooks / progress:
+        Event consumers (:mod:`repro.runner.events`); ``progress=True``
+        attaches a terminal progress renderer.
+    resume:
+        Continue a partial run in ``run_dir`` instead of starting over.
+    dataset:
+        Optional provenance mapping stored in the manifest so a resume
+        can regenerate the data (the CLI records its preset here).
+    max_retries:
+        Per-shard retry budget before degrading to in-process execution
+        (parallel runs) or failing (serial runs).
+    """
+    from repro.runner import CampaignRunner
+
+    runner = CampaignRunner(
+        data,
+        target,
+        config,
         label=label,
+        jobs=jobs,
+        run_dir=run_dir,
+        hooks=hooks,
+        progress=progress,
+        dataset=dataset,
+        max_retries=max_retries,
     )
+    return runner.run(resume=resume)
 
 
 def run_campaign_shard(
     stored_data: np.ndarray,
-    target: InjectionTarget,
+    target: NumberFormat,
     bit: int,
     trials: int,
     seed: np.random.SeedSequence,

@@ -1,33 +1,33 @@
-"""Parallel campaign execution.
+"""Worker-pool plumbing for parallel campaign execution.
 
 The paper runs per-field campaigns "in parallel across different compute
 nodes in a cluster" (MPI-style scatter of independent work).  Without a
-cluster, the same structure maps onto a process pool: the unit of work is
-one bit position's shard of trials, seeds are pre-spawned per bit (so the
-parallel result is bit-identical to the serial one, regardless of worker
-count or scheduling), and shards are gathered and concatenated at the
-end — the scatter/gather idiom from the mpi4py guide, minus MPI.
+cluster, the same structure maps onto a process pool: the unit of work
+is one bit position's shard of trials, seeds are pre-spawned per bit (so
+the parallel result is bit-identical to the serial one, regardless of
+worker count or scheduling), and shards are gathered and concatenated in
+bit order.
 
-The dataset is shared with workers through a module-global installed by
-the pool initializer, avoiding a per-task pickle of the array.
+The public entry point moved to the unified
+:func:`repro.inject.campaign.run_campaign` (``jobs=N``), executed by
+:class:`repro.runner.CampaignRunner`; this module keeps what the runner
+needs — the fork initializer that shares the dataset with workers
+through a module global (avoiding a per-task pickle of the array),
+spec-string target rehydration, and worker-count resolution — plus the
+deprecated :func:`run_campaign_parallel` wrapper.
 """
 
 from __future__ import annotations
 
-import multiprocessing
 import os
+import time
+import warnings
 
 import numpy as np
 
-from repro.inject.campaign import (
-    CampaignConfig,
-    CampaignResult,
-    bit_seeds,
-    conversion_report,
-    run_campaign_shard,
-)
+from repro.formats import resolve
+from repro.inject.campaign import CampaignConfig, CampaignResult, run_campaign_shard
 from repro.inject.results import TrialRecords
-from repro.inject.targets import InjectionTarget, target_by_name
 from repro.metrics.summary import SummaryStats
 
 _WORKER_STATE: dict = {}
@@ -40,7 +40,7 @@ def _init_worker(stored_data: np.ndarray, target_spec: str, baseline: SummarySta
     # rehydrate in workers — and each worker rebuilds its own codec
     # tables instead of shipping them.
     _WORKER_STATE["data"] = stored_data
-    _WORKER_STATE["target"] = target_by_name(target_spec)
+    _WORKER_STATE["target"] = resolve(target_spec)
     _WORKER_STATE["baseline"] = baseline
 
 
@@ -56,6 +56,15 @@ def _run_shard(args: tuple[int, int, np.random.SeedSequence]) -> TrialRecords:
     )
 
 
+def _run_shard_timed(
+    args: tuple[int, int, np.random.SeedSequence],
+) -> tuple[TrialRecords, float]:
+    """Pool task: a shard plus its compute time (for utilization stats)."""
+    start = time.perf_counter()
+    records = _run_shard(args)
+    return records, time.perf_counter() - start
+
+
 def default_worker_count(shard_count: int | None = None) -> int:
     """Workers to use when unspecified: CPUs, capped at the shard count.
 
@@ -69,60 +78,62 @@ def default_worker_count(shard_count: int | None = None) -> int:
     return workers
 
 
+def validate_jobs(jobs: int | None) -> int | None:
+    """Reject nonsensical worker counts early.
+
+    ``None`` means "auto" and passes through; anything else must be a
+    positive integer (booleans and floats are rejected too — a silent
+    ``jobs=True`` is a bug, not a request for one worker).
+    """
+    if jobs is None:
+        return None
+    if isinstance(jobs, bool) or not isinstance(jobs, (int, np.integer)):
+        raise ValueError(f"jobs must be a positive integer or None, got {jobs!r}")
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    return int(jobs)
+
+
+def resolve_worker_count(jobs: int | None, shard_count: int | None = None) -> int:
+    """Concrete worker count for a run: validate, auto-size, cap.
+
+    ``None`` auto-sizes via :func:`default_worker_count`; an explicit
+    request above the shard count is capped (with a warning) instead of
+    silently forking idle workers.
+    """
+    jobs = validate_jobs(jobs)
+    if jobs is None:
+        return default_worker_count(shard_count)
+    if shard_count is not None and jobs > max(shard_count, 1):
+        capped = max(shard_count, 1)
+        warnings.warn(
+            f"jobs={jobs} exceeds the {shard_count} scheduled shard(s); "
+            f"capping at {capped}",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return capped
+    return jobs
+
+
 def run_campaign_parallel(
     data,
-    target: InjectionTarget | str,
+    target,
     config: CampaignConfig | None = None,
     label: str = "",
     workers: int | None = None,
 ) -> CampaignResult:
-    """Parallel equivalent of :func:`repro.inject.campaign.run_campaign`.
+    """Deprecated: use :func:`repro.inject.run_campaign` with ``jobs=N``.
 
-    Produces bit-identical records (same seeds, same order).  Falls back
-    to the serial path when only one worker is requested or only one
-    shard exists.
+    Kept as a thin wrapper for existing callers; produces the same
+    bit-identical records through the unified runner.
     """
-    if isinstance(target, str):
-        target = target_by_name(target)
-    if config is None:
-        config = CampaignConfig()
-
-    flat = np.asarray(data).reshape(-1)
-    if flat.size == 0:
-        raise ValueError("cannot run a campaign on an empty dataset")
-
-    stored = target.round_trip(flat)
-    baseline = SummaryStats.from_array(stored)
-    conversion = conversion_report(flat, target)
-
-    seeds = bit_seeds(config, target)
-    tasks = [(bit, config.trials_per_bit, seed) for bit, seed in seeds.items()]
-
-    if workers is None:
-        workers = default_worker_count(len(tasks))
-    workers = max(workers, 1)
-
-    if workers == 1 or len(tasks) <= 1:
-        shards = [
-            run_campaign_shard(stored, target, bit, trials, seed, baseline)
-            for bit, trials, seed in tasks
-        ]
-    else:
-        context = multiprocessing.get_context("fork")
-        with context.Pool(
-            processes=workers,
-            initializer=_init_worker,
-            initargs=(stored, target.name, baseline),
-        ) as pool:
-            shards = pool.map(_run_shard, tasks)
-
-    records = TrialRecords.concatenate(shards)
-    return CampaignResult(
-        target_name=target.name,
-        config=config,
-        baseline=baseline,
-        records=records,
-        conversion=conversion,
-        data_size=int(flat.size),
-        label=label,
+    warnings.warn(
+        "run_campaign_parallel is deprecated; use "
+        "run_campaign(data, target, config, jobs=N) instead",
+        DeprecationWarning,
+        stacklevel=2,
     )
+    from repro.inject.campaign import run_campaign
+
+    return run_campaign(data, target, config, label, jobs=workers)

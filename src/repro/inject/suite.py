@@ -18,8 +18,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.datasets.registry import get as get_preset, keys as dataset_keys
-from repro.inject.campaign import CampaignConfig, CampaignResult
-from repro.inject.parallel import run_campaign_parallel
+from repro.inject.campaign import CampaignConfig, CampaignResult, run_campaign
 from repro.inject.results import TrialRecords
 
 MANIFEST_NAME = "manifest.json"
@@ -96,19 +95,30 @@ def run_suite(
     workers: int | None = None,
     resume: bool = True,
     progress=None,
+    hooks=None,
 ) -> SuiteResult:
     """Run (or resume) the full campaign grid.
+
+    Each campaign executes through the unified runner
+    (:func:`repro.inject.run_campaign` with ``jobs=workers``), so the
+    grid inherits its worker validation, retry/fallback behavior, and
+    determinism guarantees.
 
     Parameters
     ----------
     directory:
         Output directory for trial logs and the manifest (created if
         missing).
+    workers:
+        Per-campaign worker processes (``None`` auto-sizes).
     resume:
         Skip (field, target) pairs whose log file already exists.
     progress:
         Optional ``progress(field, target, result_or_none)`` callback;
         ``None`` signals a skipped (already-present) campaign.
+    hooks:
+        Optional runner event hooks applied to every campaign
+        (:mod:`repro.runner.events`).
     """
     out_dir = Path(directory)
     out_dir.mkdir(parents=True, exist_ok=True)
@@ -128,9 +138,9 @@ def run_suite(
                 continue
             if data is None:
                 data = preset.generate(seed=config.seed, size=config.data_size)
-            campaign: CampaignResult = run_campaign_parallel(
+            campaign: CampaignResult = run_campaign(
                 data, target, config.campaign_config(),
-                label=field_key, workers=workers,
+                label=field_key, jobs=workers, hooks=hooks,
             )
             campaign.records.write_csv(log_path)
             entries[config.log_name(field_key, target)] = {

@@ -1,24 +1,28 @@
-"""Injection targets: thin compatibility layer over :mod:`repro.formats`.
+"""Deprecated injection-target aliases over :mod:`repro.formats`.
 
-A target abstracts "how a float32 datum is stored in this number
-system"; that abstraction now lives in the unified format stack
-(:class:`repro.formats.NumberFormat`), where any parameterized format —
-``posit16es1``, ``binary(8,23)``, ``fixedposit(32,es=2,r=5)`` — resolves
-by spec string and is served by a pluggable codec backend (``direct``
-or LUT-accelerated for narrow widths).  This module keeps the
-historical injection-engine names as aliases so existing callers and
-pickled campaign metadata keep working.
+The "injection target" abstraction — how a float datum is stored in a
+number system — lives in the unified format stack: resolve specs with
+:func:`repro.formats.resolve` and annotate with
+:class:`repro.formats.NumberFormat`.  This module survives only so
+historical callers and pickled campaign metadata keep working; every
+name here warns and forwards.
 
-Note the asymmetric conversion semantics, mirroring the paper's Section
-4.1.2: for posits, the datum is first converted float -> posit (rounding
-once), the flip happens on the posit pattern, and the faulty pattern is
-converted back to float.  The *original* value used for error metrics is
-the posit-rounded value, not the raw float — otherwise the posit
-conversion error (~1e-5 relative for posit32, as the paper measures)
-would contaminate every trial.
+Migration map::
+
+    target_by_name(spec)   -> repro.formats.resolve(spec)
+    InjectionTarget        -> repro.formats.NumberFormat
+    available_targets()    -> repro.formats.available_formats()
+
+Note the asymmetric conversion semantics live with the formats now
+(paper Section 4.1.2): for posits the datum is converted float -> posit
+(rounding once), the flip happens on the posit pattern, and the faulty
+pattern converts back to float; error metrics compare against the
+posit-rounded value so conversion error never contaminates trials.
 """
 
 from __future__ import annotations
+
+import warnings
 
 from repro.formats import (
     FixedPositTarget,
@@ -27,23 +31,28 @@ from repro.formats import (
     NumberFormat,
     PositTarget,
     available_formats,
-    get_format,
+    resolve,
 )
 
-#: The protocol formerly defined here; every format satisfies it.
-InjectionTarget = NumberFormat
+
+def _deprecated(name: str, replacement: str) -> None:
+    warnings.warn(
+        f"repro.inject.targets.{name} is deprecated; use {replacement}",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
-def target_by_name(name: str) -> InjectionTarget:
-    """Look up a target by registry name or format spec string.
+def target_by_name(name: str) -> NumberFormat:
+    """Deprecated: use :func:`repro.formats.resolve`.
 
-    Accepts everything :func:`repro.formats.get_format` does —
-    ``posit32``, ``posit16es1``, ``binary(8,23)``, ``bfloat16``,
-    ``fixedposit(32,es=2,r=5)`` — and raises ``KeyError`` (the
-    engine's historical contract) for anything unresolvable.
+    Kept for compatibility, including its historical ``KeyError``
+    contract for unresolvable names (``resolve`` raises
+    :class:`~repro.formats.FormatSpecError` instead).
     """
+    _deprecated("target_by_name", "repro.formats.resolve")
     try:
-        return get_format(name)
+        return resolve(name)
     except (FormatSpecError, ValueError) as error:
         known = ", ".join(available_formats())
         raise KeyError(
@@ -54,8 +63,21 @@ def target_by_name(name: str) -> InjectionTarget:
 
 
 def available_targets() -> list[str]:
-    """All registered target names, sorted."""
+    """Deprecated: use :func:`repro.formats.available_formats`."""
+    _deprecated("available_targets", "repro.formats.available_formats")
     return available_formats()
+
+
+def __getattr__(name: str):
+    if name == "InjectionTarget":
+        warnings.warn(
+            "repro.inject.targets.InjectionTarget is deprecated; use "
+            "repro.formats.NumberFormat",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return NumberFormat
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 __all__ = [

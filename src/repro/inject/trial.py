@@ -17,7 +17,7 @@ import numpy as np
 
 from repro.inject.faults import FaultModel, SingleBitFlip
 from repro.inject.results import TrialRecords
-from repro.inject.targets import InjectionTarget
+from repro.formats import NumberFormat
 from repro.metrics.fast import vectorized_single_fault
 from repro.metrics.summary import SummaryStats
 
@@ -40,7 +40,7 @@ def run_single_trial(
     data: np.ndarray,
     index: int,
     bit_index: int,
-    target: InjectionTarget,
+    target: NumberFormat,
     rng: np.random.Generator | None = None,
     fault: FaultModel | None = None,
 ) -> SingleTrialResult:
@@ -84,7 +84,7 @@ def run_bit_trials(
     data: np.ndarray,
     indices: np.ndarray,
     bit_index: int,
-    target: InjectionTarget,
+    target: NumberFormat,
     baseline: SummaryStats,
     rng: np.random.Generator | None = None,
     fault: FaultModel | None = None,

@@ -16,7 +16,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.inject.results import TrialRecords
-from repro.inject.targets import InjectionTarget, target_by_name
+from repro.formats import NumberFormat, resolve
 
 
 @dataclass
@@ -51,12 +51,12 @@ class VerificationReport:
 
 def verify_records(
     records: TrialRecords,
-    target: InjectionTarget | str,
+    target: NumberFormat | str,
     max_examples: int = 5,
 ) -> VerificationReport:
     """Re-derive every trial and compare against the recorded columns."""
     if isinstance(target, str):
-        target = target_by_name(target)
+        target = resolve(target)
     report = VerificationReport(
         total=len(records),
         mismatched_faulty=0,

@@ -1,0 +1,53 @@
+"""Resumable campaign execution: plans, shards, manifests, events.
+
+The runner is the single execution engine behind every campaign entry
+point (``repro.inject.run_campaign``, suites, experiments, the CLI).  It
+turns a campaign into a plan of per-bit *shards*, executes them serially
+or on a process pool, persists each completed shard plus a JSON manifest
+under a run directory, emits observable events (hooks, a terminal
+progress renderer, a JSONL event log), retries failed shards with
+backoff, and can resume a partial run to a result bit-identical to an
+uninterrupted one.
+"""
+
+from repro.runner.events import (
+    EventLogWriter,
+    ProgressRenderer,
+    RunnerEvent,
+    RunnerHooks,
+    read_event_log,
+)
+from repro.runner.manifest import (
+    MANIFEST_NAME,
+    MANIFEST_VERSION,
+    RunManifest,
+    ShardState,
+    dataset_fingerprint,
+)
+from repro.runner.runner import (
+    CampaignRunner,
+    RunnerError,
+    RunStatus,
+    ShardSpec,
+    resume_campaign,
+    run_status,
+)
+
+__all__ = [
+    "CampaignRunner",
+    "EventLogWriter",
+    "MANIFEST_NAME",
+    "MANIFEST_VERSION",
+    "ProgressRenderer",
+    "RunManifest",
+    "RunStatus",
+    "RunnerError",
+    "RunnerEvent",
+    "RunnerHooks",
+    "ShardSpec",
+    "ShardState",
+    "dataset_fingerprint",
+    "read_event_log",
+    "resume_campaign",
+    "run_status",
+]

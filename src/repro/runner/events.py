@@ -1,0 +1,249 @@
+"""Runner observability: events, hooks, JSONL log, progress rendering.
+
+Every state change of a :class:`repro.runner.CampaignRunner` is one
+:class:`RunnerEvent`.  Consumers implement :class:`RunnerHooks` (all
+methods optional) or subscribe to the catch-all ``on_event``; two
+ready-made consumers ship here — :class:`EventLogWriter` appends each
+event as one JSON line (the campaign's black-box flight recorder) and
+:class:`ProgressRenderer` draws a terminal progress line with trial
+throughput, ETA, and worker utilization.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+#: Event kinds emitted by the runner, in rough lifecycle order.
+EVENT_KINDS = (
+    "run_start",
+    "shard_start",
+    "shard_finish",
+    "shard_error",
+    "shard_retry",
+    "shard_fallback",
+    "shard_skipped",
+    "run_interrupted",
+    "run_finish",
+)
+
+
+@dataclass(frozen=True)
+class RunnerEvent:
+    """One observable runner state change.
+
+    Attributes
+    ----------
+    kind:
+        One of :data:`EVENT_KINDS`.
+    elapsed:
+        Seconds since the run (or resume) started.
+    bit:
+        The shard's bit position for shard-scoped events, else None.
+    attempt:
+        0-based execution attempt for shard events (>0 means a retry).
+    shards_done / shards_total, trials_done / trials_total:
+        Progress counters, including shards restored by a resume.
+    trials_per_sec:
+        Completed trials per wall-clock second of this run so far.
+    eta_seconds:
+        Projected seconds until completion at the current rate.
+    utilization:
+        Busy fraction of the worker pool: summed shard compute time over
+        ``elapsed * jobs`` (1.0 == perfectly busy workers).
+    error:
+        Stringified exception for ``shard_error`` / ``shard_retry``.
+    """
+
+    kind: str
+    elapsed: float = 0.0
+    bit: int | None = None
+    attempt: int = 0
+    shards_done: int = 0
+    shards_total: int = 0
+    trials_done: int = 0
+    trials_total: int = 0
+    jobs: int = 1
+    trials_per_sec: float | None = None
+    eta_seconds: float | None = None
+    utilization: float | None = None
+    error: str | None = None
+    detail: dict = field(default_factory=dict)
+
+    def to_json(self) -> dict:
+        """A JSON-serializable mapping (wall-clock stamped at call time)."""
+        payload = {"ts": time.time(), **asdict(self)}
+        if not payload["detail"]:
+            del payload["detail"]
+        return {key: value for key, value in payload.items() if value is not None}
+
+
+class RunnerHooks:
+    """Base class for event consumers; override any subset of methods.
+
+    ``shard_error``, ``shard_retry`` and ``shard_fallback`` all route to
+    :meth:`on_shard_error` (they are stages of the same failure);
+    ``on_event`` sees *every* event after its specific handler.
+    """
+
+    def on_run_start(self, event: RunnerEvent) -> None:  # pragma: no cover - default no-op
+        pass
+
+    def on_shard_start(self, event: RunnerEvent) -> None:  # pragma: no cover - default no-op
+        pass
+
+    def on_shard_finish(self, event: RunnerEvent) -> None:  # pragma: no cover - default no-op
+        pass
+
+    def on_shard_error(self, event: RunnerEvent) -> None:  # pragma: no cover - default no-op
+        pass
+
+    def on_run_finish(self, event: RunnerEvent) -> None:  # pragma: no cover - default no-op
+        pass
+
+    def on_event(self, event: RunnerEvent) -> None:  # pragma: no cover - default no-op
+        pass
+
+    def close(self) -> None:  # pragma: no cover - default no-op
+        pass
+
+
+_SPECIFIC_HANDLER = {
+    "run_start": "on_run_start",
+    "shard_start": "on_shard_start",
+    "shard_finish": "on_shard_finish",
+    "shard_skipped": "on_shard_finish",
+    "shard_error": "on_shard_error",
+    "shard_retry": "on_shard_error",
+    "shard_fallback": "on_shard_error",
+    "run_interrupted": "on_run_finish",
+    "run_finish": "on_run_finish",
+}
+
+
+def dispatch_event(hooks, event: RunnerEvent) -> None:
+    """Deliver one event to a hook object (duck-typed, methods optional)."""
+    handler = getattr(hooks, _SPECIFIC_HANDLER.get(event.kind, ""), None)
+    if handler is not None:
+        handler(event)
+    catch_all = getattr(hooks, "on_event", None)
+    if catch_all is not None:
+        catch_all(event)
+
+
+class EventLogWriter(RunnerHooks):
+    """Append every event as one JSON line to ``events.jsonl``.
+
+    Lines are flushed per event so the log survives a hard kill with at
+    most the in-flight event lost — that is what makes it useful for
+    diagnosing interrupted runs.
+    """
+
+    def __init__(self, path: str | os.PathLike):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = open(self.path, "a", encoding="utf-8")
+
+    def on_event(self, event: RunnerEvent) -> None:
+        json.dump(event.to_json(), self._handle, separators=(",", ":"))
+        self._handle.write("\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.close()
+
+
+def read_event_log(path: str | os.PathLike) -> list[dict]:
+    """Parse an ``events.jsonl`` file back into event dicts."""
+    events = []
+    with open(Path(path), encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events
+
+
+class ProgressRenderer(RunnerHooks):
+    """Terminal progress line: shards, trials, rate, ETA, utilization.
+
+    On a TTY the line redraws in place (carriage return); on a plain
+    stream (CI logs, pipes) it prints at most one line per
+    ``min_interval`` seconds plus start/finish lines, so logs stay
+    readable.
+    """
+
+    def __init__(self, stream=None, min_interval: float = 2.0):
+        self.stream = stream if stream is not None else sys.stderr
+        self.min_interval = min_interval
+        self._last_emit = 0.0
+        self._is_tty = bool(getattr(self.stream, "isatty", lambda: False)())
+
+    def _line(self, event: RunnerEvent) -> str:
+        parts = [
+            f"shard {event.shards_done}/{event.shards_total}",
+            f"trials {event.trials_done}/{event.trials_total}",
+        ]
+        if event.trials_per_sec:
+            parts.append(f"{event.trials_per_sec:,.0f} trials/s")
+        if event.eta_seconds is not None:
+            parts.append(f"ETA {event.eta_seconds:.1f}s")
+        if event.utilization is not None and event.jobs > 1:
+            parts.append(f"util {event.utilization:.0%} of {event.jobs} workers")
+        return " · ".join(parts)
+
+    def on_run_start(self, event: RunnerEvent) -> None:
+        label = event.detail.get("label") or event.detail.get("target", "campaign")
+        resumed = event.detail.get("resumed_shards", 0)
+        note = f" (resuming past {resumed} shard(s))" if resumed else ""
+        print(
+            f"[campaign] {label}: {event.shards_total} shard(s), "
+            f"{event.trials_total} trial(s), jobs={event.jobs}{note}",
+            file=self.stream,
+        )
+
+    def on_shard_finish(self, event: RunnerEvent) -> None:
+        now = time.monotonic()
+        done = event.shards_done >= event.shards_total
+        if not done and not self._is_tty and now - self._last_emit < self.min_interval:
+            return
+        self._last_emit = now
+        text = "[campaign] " + self._line(event)
+        if self._is_tty and not done:
+            print("\r" + text, end="", file=self.stream, flush=True)
+        else:
+            if self._is_tty:
+                print("\r", end="", file=self.stream)
+            print(text, file=self.stream)
+
+    def on_shard_error(self, event: RunnerEvent) -> None:
+        if self._is_tty:
+            print("\r", end="", file=self.stream)
+        verb = {"shard_retry": "retrying", "shard_fallback": "falling back in-process"}.get(
+            event.kind, "failed"
+        )
+        print(
+            f"[campaign] shard bit={event.bit} attempt {event.attempt}: "
+            f"{verb} ({event.error})",
+            file=self.stream,
+        )
+
+    def on_run_finish(self, event: RunnerEvent) -> None:
+        if self._is_tty:
+            print("\r", end="", file=self.stream)
+        if event.kind == "run_interrupted":
+            print(
+                f"[campaign] interrupted at {event.shards_done}/{event.shards_total} "
+                "shard(s); completed shards are persisted and the run is resumable",
+                file=self.stream,
+            )
+        else:
+            print(
+                f"[campaign] done: {event.trials_done} trials in {event.elapsed:.2f}s",
+                file=self.stream,
+            )

@@ -1,0 +1,223 @@
+"""The run manifest: everything needed to resume a campaign faithfully.
+
+A run directory looks like::
+
+    run-dir/
+      manifest.json       <- this module
+      events.jsonl        <- repro.runner.events
+      shards/bit-007.csv  <- one TrialRecords CSV per completed shard
+
+The manifest pins the campaign *identity* — config, root seed, canonical
+format spec, dataset fingerprint, code version — so a resume can refuse
+to mix shards from a different campaign, and records per-shard status so
+a resume knows exactly which bits remain.  Writes go through an atomic
+replace; a kill mid-write never corrupts the previous manifest.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+import repro
+
+MANIFEST_VERSION = 1
+MANIFEST_NAME = "manifest.json"
+EVENT_LOG_NAME = "events.jsonl"
+SHARD_DIR_NAME = "shards"
+
+#: Shard lifecycle states recorded in the manifest.
+SHARD_PENDING = "pending"
+SHARD_COMPLETED = "completed"
+
+#: Run lifecycle states.
+RUN_RUNNING = "running"
+RUN_INTERRUPTED = "interrupted"
+RUN_COMPLETED = "completed"
+
+
+def dataset_fingerprint(data: np.ndarray) -> str:
+    """A stable content hash of the campaign's input array.
+
+    Covers dtype, element count, and raw bytes of the flattened array —
+    a resume against different data (same shape, different values)
+    fails loudly instead of silently mixing shards.
+    """
+    flat = np.ascontiguousarray(np.asarray(data).reshape(-1))
+    digest = hashlib.sha256()
+    digest.update(str(flat.dtype).encode())
+    digest.update(str(flat.size).encode())
+    digest.update(flat.tobytes())
+    return digest.hexdigest()[:16]
+
+
+def shard_file_name(bit: int) -> str:
+    return f"bit-{bit:03d}.csv"
+
+
+@dataclass
+class ShardState:
+    """Per-shard bookkeeping persisted in the manifest."""
+
+    bit: int
+    trials: int
+    status: str = SHARD_PENDING
+    attempts: int = 0
+    duration: float | None = None
+
+    def to_json(self) -> dict:
+        payload = {"bit": self.bit, "trials": self.trials, "status": self.status}
+        if self.attempts:
+            payload["attempts"] = self.attempts
+        if self.duration is not None:
+            payload["duration"] = round(self.duration, 6)
+        return payload
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "ShardState":
+        return cls(
+            bit=int(payload["bit"]),
+            trials=int(payload["trials"]),
+            status=payload.get("status", SHARD_PENDING),
+            attempts=int(payload.get("attempts", 0)),
+            duration=payload.get("duration"),
+        )
+
+
+@dataclass
+class RunManifest:
+    """Identity + progress of one campaign run directory."""
+
+    target_spec: str
+    label: str
+    trials_per_bit: int
+    bits: tuple[int, ...] | None
+    seed: int
+    data_fingerprint: str
+    data_size: int
+    shards: dict[int, ShardState] = field(default_factory=dict)
+    dataset: dict | None = None
+    status: str = RUN_RUNNING
+    code_version: str = repro.__version__
+    created_at: float = 0.0
+    version: int = MANIFEST_VERSION
+
+    # -- identity -----------------------------------------------------------
+
+    def identity(self) -> dict:
+        """The fields a resume must match exactly."""
+        return {
+            "target_spec": self.target_spec,
+            "trials_per_bit": self.trials_per_bit,
+            "bits": list(self.bits) if self.bits is not None else None,
+            "seed": self.seed,
+            "data_fingerprint": self.data_fingerprint,
+            "data_size": self.data_size,
+        }
+
+    def mismatches(self, other: "RunManifest") -> list[str]:
+        """Human-readable identity differences against another manifest."""
+        ours, theirs = self.identity(), other.identity()
+        return [
+            f"{key}: run has {theirs[key]!r}, caller has {ours[key]!r}"
+            for key in ours
+            if ours[key] != theirs[key]
+        ]
+
+    # -- progress -----------------------------------------------------------
+
+    def completed_bits(self) -> list[int]:
+        return sorted(b for b, s in self.shards.items() if s.status == SHARD_COMPLETED)
+
+    def pending_bits(self) -> list[int]:
+        return sorted(b for b, s in self.shards.items() if s.status != SHARD_COMPLETED)
+
+    @property
+    def trials_total(self) -> int:
+        return sum(state.trials for state in self.shards.values())
+
+    @property
+    def trials_done(self) -> int:
+        return sum(
+            state.trials for state in self.shards.values() if state.status == SHARD_COMPLETED
+        )
+
+    # -- serialization ------------------------------------------------------
+
+    def to_json(self) -> dict:
+        return {
+            "manifest_version": self.version,
+            "status": self.status,
+            "created_at": self.created_at,
+            "code_version": self.code_version,
+            "target_spec": self.target_spec,
+            "label": self.label,
+            "config": {
+                "trials_per_bit": self.trials_per_bit,
+                "bits": list(self.bits) if self.bits is not None else None,
+                "seed": self.seed,
+            },
+            "data": {
+                "fingerprint": self.data_fingerprint,
+                "size": self.data_size,
+                "source": self.dataset,
+            },
+            "shards": [self.shards[bit].to_json() for bit in sorted(self.shards)],
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "RunManifest":
+        config = payload["config"]
+        data = payload["data"]
+        bits = config.get("bits")
+        manifest = cls(
+            target_spec=payload["target_spec"],
+            label=payload.get("label", ""),
+            trials_per_bit=int(config["trials_per_bit"]),
+            bits=tuple(bits) if bits is not None else None,
+            seed=int(config["seed"]),
+            data_fingerprint=data["fingerprint"],
+            data_size=int(data["size"]),
+            dataset=data.get("source"),
+            status=payload.get("status", RUN_RUNNING),
+            code_version=payload.get("code_version", "unknown"),
+            created_at=float(payload.get("created_at", 0.0)),
+            version=int(payload.get("manifest_version", MANIFEST_VERSION)),
+        )
+        for entry in payload.get("shards", []):
+            state = ShardState.from_json(entry)
+            manifest.shards[state.bit] = state
+        return manifest
+
+    # -- filesystem ---------------------------------------------------------
+
+    def write(self, run_dir: str | os.PathLike) -> None:
+        """Atomically (re)write ``manifest.json`` in ``run_dir``."""
+        directory = Path(run_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+        if not self.created_at:
+            self.created_at = time.time()
+        tmp = directory / (MANIFEST_NAME + ".tmp")
+        tmp.write_text(json.dumps(self.to_json(), indent=2))
+        os.replace(tmp, directory / MANIFEST_NAME)
+
+    @classmethod
+    def load(cls, run_dir: str | os.PathLike) -> "RunManifest":
+        path = Path(run_dir) / MANIFEST_NAME
+        if not path.is_file():
+            raise FileNotFoundError(f"no campaign run manifest at {path}")
+        return cls.from_json(json.loads(path.read_text()))
+
+    @staticmethod
+    def shard_path(run_dir: str | os.PathLike, bit: int) -> Path:
+        return Path(run_dir) / SHARD_DIR_NAME / shard_file_name(bit)
+
+    @staticmethod
+    def event_log_path(run_dir: str | os.PathLike) -> Path:
+        return Path(run_dir) / EVENT_LOG_NAME

@@ -1,0 +1,577 @@
+"""The campaign runner: one execution engine for every campaign path.
+
+A :class:`CampaignRunner` turns a campaign into a plan of per-bit
+:class:`ShardSpec` units (the same unit of work the paper scatters over
+cluster nodes), executes them serially or on a fork pool, and — when
+given a run directory — persists every completed shard plus a JSON
+manifest so an interrupted run can :meth:`resume` to a result
+bit-identical to an uninterrupted one.  Bit-identity is guaranteed by
+the campaign's seeding discipline: each bit's trial stream comes from an
+independent ``SeedSequence.spawn`` child, so shards can run in any
+order, any number of times, on any worker, and produce the same records.
+
+Failure handling: a shard that raises in a worker is retried with
+exponential backoff; if the pool itself breaks (or retries are
+exhausted), the shard degrades to in-process execution instead of
+losing the run.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.formats import resolve
+from repro.inject.campaign import (
+    CampaignConfig,
+    CampaignResult,
+    bit_seeds,
+    conversion_report,
+    run_campaign_shard,
+)
+from repro.inject.results import TrialRecords
+from repro.metrics.summary import SummaryStats
+from repro.runner.events import (
+    EventLogWriter,
+    ProgressRenderer,
+    RunnerEvent,
+    dispatch_event,
+)
+from repro.runner.manifest import (
+    RUN_COMPLETED,
+    RUN_INTERRUPTED,
+    RUN_RUNNING,
+    SHARD_COMPLETED,
+    SHARD_PENDING,
+    RunManifest,
+    ShardState,
+    dataset_fingerprint,
+)
+
+
+class RunnerError(RuntimeError):
+    """A campaign run that cannot proceed (bad state, exhausted retries)."""
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One unit of campaign work: all trials of a single bit position."""
+
+    bit: int
+    trials: int
+    seed: np.random.SeedSequence = field(compare=False, hash=False)
+
+
+@dataclass(frozen=True)
+class RunStatus:
+    """Snapshot of a run directory (the ``campaign status`` command)."""
+
+    run_dir: str
+    target_spec: str
+    label: str
+    status: str
+    shards_total: int
+    shards_done: int
+    trials_total: int
+    trials_done: int
+    pending_bits: tuple[int, ...]
+    missing_shard_files: tuple[int, ...]
+
+    @property
+    def complete(self) -> bool:
+        return self.status == RUN_COMPLETED and not self.pending_bits
+
+    def summary(self) -> str:
+        lines = [
+            f"run:     {self.run_dir}",
+            f"target:  {self.target_spec}"
+            + (f"  (label: {self.label})" if self.label else ""),
+            f"status:  {self.status}",
+            f"shards:  {self.shards_done}/{self.shards_total} completed",
+            f"trials:  {self.trials_done}/{self.trials_total}",
+        ]
+        if self.pending_bits:
+            lines.append(f"pending: bits {', '.join(map(str, self.pending_bits))}")
+        if self.missing_shard_files:
+            lines.append(
+                "warning: manifest marks bits "
+                f"{', '.join(map(str, self.missing_shard_files))} completed "
+                "but their shard files are missing (they will re-run on resume)"
+            )
+        return "\n".join(lines)
+
+
+class CampaignRunner:
+    """Executes one campaign as a resumable, observable plan of shards.
+
+    Parameters
+    ----------
+    data:
+        The dataset field (any array-like; flattened).
+    target:
+        A :class:`repro.formats.NumberFormat` or any registry spec string.
+    config:
+        Campaign parameters (defaults to :class:`CampaignConfig`).
+    label:
+        Free-text label stored in results and the manifest.
+    jobs:
+        Worker processes; ``1`` runs in-process, ``None`` auto-sizes to
+        the CPU count capped at the shard count.  Zero or negative values
+        are rejected; values above the shard count are capped with a
+        warning.
+    run_dir:
+        Directory for shard records, the manifest, and the event log.
+        ``None`` runs fully in memory (no persistence, no resume).
+    hooks:
+        A hooks object or iterable of them (see
+        :class:`repro.runner.events.RunnerHooks`).
+    progress:
+        Attach a terminal :class:`ProgressRenderer` to stderr.
+    dataset:
+        Optional provenance mapping stored in the manifest (e.g.
+        ``{"kind": "preset", "field": ..., "size": ..., "seed": ...}``)
+        letting ``campaign resume`` regenerate the data.
+    max_retries:
+        Extra attempts per failed shard before degrading/failing.
+    retry_backoff:
+        Base of the exponential backoff sleep between attempts.
+    shard_timeout:
+        Optional per-shard pool timeout in seconds; a shard exceeding it
+        counts as failed (guards against a worker dying mid-task).
+    """
+
+    def __init__(
+        self,
+        data,
+        target,
+        config: CampaignConfig | None = None,
+        *,
+        label: str = "",
+        jobs: int | None = 1,
+        run_dir: str | os.PathLike | None = None,
+        hooks=None,
+        progress: bool = False,
+        dataset: dict | None = None,
+        max_retries: int = 2,
+        retry_backoff: float = 0.05,
+        shard_timeout: float | None = None,
+    ):
+        from repro.inject.parallel import validate_jobs
+
+        self.target = resolve(target)
+        self.config = config if config is not None else CampaignConfig()
+        self.label = label
+        self.jobs = validate_jobs(jobs)
+        self.run_dir = Path(run_dir) if run_dir is not None else None
+        self.dataset = dataset
+        self.max_retries = int(max_retries)
+        self.retry_backoff = float(retry_backoff)
+        self.shard_timeout = shard_timeout
+
+        self._flat = np.asarray(data).reshape(-1)
+        if self._flat.size == 0:
+            raise ValueError("cannot run a campaign on an empty dataset")
+        self.stored = self.target.round_trip(self._flat)
+        self.baseline = SummaryStats.from_array(self.stored)
+
+        if hooks is None:
+            hooks = []
+        elif not isinstance(hooks, (list, tuple)):
+            hooks = [hooks]
+        self.hooks: list = list(hooks)
+        if progress:
+            self.hooks.append(ProgressRenderer())
+
+        # Mutable per-run state (reset by run()).
+        self._completed: dict[int, TrialRecords] = {}
+        self._manifest: RunManifest | None = None
+        self._started = 0.0
+        self._busy_time = 0.0
+        self._trials_done = 0
+        self._shards_done = 0
+        self._effective_jobs = 1
+        self._retry_count = 0
+
+    # -- planning -----------------------------------------------------------
+
+    def plan(self) -> list[ShardSpec]:
+        """The per-bit shard plan, in ascending bit order."""
+        return [
+            ShardSpec(bit=bit, trials=self.config.trials_per_bit, seed=seed)
+            for bit, seed in bit_seeds(self.config, self.target).items()
+        ]
+
+    def _fresh_manifest(self, shards: list[ShardSpec]) -> RunManifest:
+        return RunManifest(
+            target_spec=self.target.name,
+            label=self.label,
+            trials_per_bit=self.config.trials_per_bit,
+            bits=self.config.bits,
+            seed=self.config.seed,
+            data_fingerprint=dataset_fingerprint(self._flat),
+            data_size=int(self._flat.size),
+            dataset=self.dataset,
+            shards={s.bit: ShardState(bit=s.bit, trials=s.trials) for s in shards},
+        )
+
+    # -- public API ---------------------------------------------------------
+
+    def run(self, *, resume: bool = False) -> CampaignResult:
+        """Execute (or finish) the campaign and return its result."""
+        shards = self.plan()
+        self._completed = {}
+        self._started = time.monotonic()
+        self._busy_time = 0.0
+        self._retry_count = 0
+
+        owned_hooks = []
+        if self.run_dir is not None:
+            self._prepare_persistence(shards, resume)
+            owned_hooks.append(EventLogWriter(RunManifest.event_log_path(self.run_dir)))
+        else:
+            if resume:
+                raise RunnerError("resume requires a run_dir")
+            self._manifest = None
+        hooks = self.hooks + owned_hooks
+
+        trials_total = sum(s.trials for s in shards)
+        self._trials_done = sum(self._completed[b].trial.size for b in self._completed)
+        self._shards_done = len(self._completed)
+        pending = [s for s in shards if s.bit not in self._completed]
+        self._effective_jobs = self._resolve_jobs(len(pending))
+
+        try:
+            try:
+                self._emit(
+                    hooks,
+                    "run_start",
+                    shards_total=len(shards),
+                    trials_total=trials_total,
+                    detail={
+                        "target": self.target.name,
+                        "label": self.label,
+                        "resumed_shards": self._shards_done,
+                        "run_dir": str(self.run_dir) if self.run_dir else None,
+                    },
+                )
+                for bit in sorted(self._completed):
+                    self._emit(hooks, "shard_skipped", bit=bit,
+                               shards_total=len(shards), trials_total=trials_total)
+
+                if self._effective_jobs <= 1 or len(pending) <= 1:
+                    self._run_serial(pending, hooks, len(shards), trials_total)
+                else:
+                    self._run_pool(pending, hooks, len(shards), trials_total)
+            except BaseException:
+                if self._manifest is not None:
+                    self._manifest.status = RUN_INTERRUPTED
+                    self._manifest.write(self.run_dir)
+                self._emit(hooks, "run_interrupted",
+                           shards_total=len(shards), trials_total=trials_total)
+                raise
+
+            records = TrialRecords.concatenate([self._completed[s.bit] for s in shards])
+            result = CampaignResult(
+                target_name=self.target.name,
+                config=self.config,
+                baseline=self.baseline,
+                records=records,
+                conversion=conversion_report(self._flat, self.target),
+                data_size=int(self._flat.size),
+                label=self.label,
+                extras={
+                    "run_dir": str(self.run_dir) if self.run_dir else None,
+                    "resumed_shards": len(shards) - len(pending),
+                    "shard_retries": self._retry_count,
+                    "jobs": self._effective_jobs,
+                },
+            )
+            if self._manifest is not None:
+                self._manifest.status = RUN_COMPLETED
+                self._manifest.write(self.run_dir)
+            self._emit(hooks, "run_finish",
+                       shards_total=len(shards), trials_total=trials_total)
+            return result
+        finally:
+            for hook in owned_hooks:
+                hook.close()
+
+    def resume(self) -> CampaignResult:
+        """Finish a partial run; identical to ``run(resume=True)``."""
+        return self.run(resume=True)
+
+    @classmethod
+    def from_run_dir(
+        cls,
+        run_dir: str | os.PathLike,
+        data=None,
+        **kwargs,
+    ) -> "CampaignRunner":
+        """Rehydrate a runner from a run directory's manifest.
+
+        ``data`` may be omitted when the manifest records a regenerable
+        dataset source (``{"kind": "preset", ...}``); otherwise the
+        original array must be passed and is fingerprint-checked.
+        """
+        manifest = RunManifest.load(run_dir)
+        if data is None:
+            data = _regenerate_dataset(manifest)
+        config = CampaignConfig(
+            trials_per_bit=manifest.trials_per_bit,
+            bits=manifest.bits,
+            seed=manifest.seed,
+        )
+        kwargs.setdefault("label", manifest.label)
+        kwargs.setdefault("dataset", manifest.dataset)
+        return cls(data, manifest.target_spec, config, run_dir=run_dir, **kwargs)
+
+    # -- persistence --------------------------------------------------------
+
+    def _prepare_persistence(self, shards: list[ShardSpec], resume: bool) -> None:
+        from repro.runner.manifest import MANIFEST_NAME
+
+        manifest_path = Path(self.run_dir) / MANIFEST_NAME
+        fresh = self._fresh_manifest(shards)
+        if manifest_path.is_file():
+            existing = RunManifest.load(self.run_dir)
+            mismatches = fresh.mismatches(existing)
+            if mismatches:
+                raise RunnerError(
+                    f"run directory {self.run_dir} holds a different campaign: "
+                    + "; ".join(mismatches)
+                )
+            if not resume:
+                raise RunnerError(
+                    f"run directory {self.run_dir} already contains this campaign "
+                    f"(status: {existing.status}); resume it or pick a new directory"
+                )
+            self._manifest = existing
+            self._restore_completed_shards()
+        else:
+            if resume and not manifest_path.parent.is_dir():
+                raise FileNotFoundError(f"no campaign run at {self.run_dir}")
+            self._manifest = fresh
+        self._manifest.status = RUN_RUNNING
+        self._manifest.write(self.run_dir)
+
+    def _restore_completed_shards(self) -> None:
+        """Load persisted shard records, demoting any that fail to load."""
+        for bit in self._manifest.completed_bits():
+            state = self._manifest.shards[bit]
+            path = RunManifest.shard_path(self.run_dir, bit)
+            try:
+                records = TrialRecords.read_csv(path)
+            except (OSError, ValueError):
+                records = None
+            if records is None or len(records) != state.trials:
+                state.status = SHARD_PENDING
+                continue
+            self._completed[bit] = records
+
+    def _persist_shard(self, spec: ShardSpec, records: TrialRecords,
+                       duration: float, attempts: int) -> None:
+        if self._manifest is None:
+            return
+        path = RunManifest.shard_path(self.run_dir, spec.bit)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        records.write_csv(path)
+        state = self._manifest.shards[spec.bit]
+        state.status = SHARD_COMPLETED
+        state.attempts = attempts
+        state.duration = duration
+        self._manifest.write(self.run_dir)
+
+    # -- execution ----------------------------------------------------------
+
+    def _resolve_jobs(self, pending_count: int) -> int:
+        from repro.inject.parallel import resolve_worker_count
+
+        if pending_count == 0:
+            return 1
+        return resolve_worker_count(self.jobs, pending_count)
+
+    def _compute_shard(self, spec: ShardSpec) -> tuple[TrialRecords, float]:
+        start = time.perf_counter()
+        records = run_campaign_shard(
+            self.stored, self.target, spec.bit, spec.trials, spec.seed, self.baseline
+        )
+        return records, time.perf_counter() - start
+
+    def _finish_shard(self, spec: ShardSpec, records: TrialRecords, duration: float,
+                      attempts: int, hooks, shards_total: int, trials_total: int) -> None:
+        # Persist before announcing: a hook that raises (or a kill racing
+        # the event) never loses a completed shard.
+        self._persist_shard(spec, records, duration, attempts)
+        self._completed[spec.bit] = records
+        self._busy_time += duration
+        self._trials_done += spec.trials
+        self._shards_done += 1
+        self._emit(hooks, "shard_finish", bit=spec.bit, attempt=attempts - 1,
+                   shards_total=shards_total, trials_total=trials_total)
+
+    def _run_serial(self, pending, hooks, shards_total, trials_total) -> None:
+        for spec in pending:
+            self._emit(hooks, "shard_start", bit=spec.bit,
+                       shards_total=shards_total, trials_total=trials_total)
+            attempts = 0
+            while True:
+                attempts += 1
+                try:
+                    records, duration = self._compute_shard(spec)
+                    break
+                except Exception as error:
+                    self._emit(hooks, "shard_error", bit=spec.bit, attempt=attempts - 1,
+                               error=repr(error), shards_total=shards_total,
+                               trials_total=trials_total)
+                    if attempts > self.max_retries:
+                        raise RunnerError(
+                            f"shard for bit {spec.bit} failed after {attempts} attempt(s)"
+                        ) from error
+                    self._retry_count += 1
+                    time.sleep(self.retry_backoff * (2 ** (attempts - 1)))
+                    self._emit(hooks, "shard_retry", bit=spec.bit, attempt=attempts,
+                               error=repr(error), shards_total=shards_total,
+                               trials_total=trials_total)
+            self._finish_shard(spec, records, duration, attempts, hooks,
+                               shards_total, trials_total)
+
+    def _run_pool(self, pending, hooks, shards_total, trials_total) -> None:
+        from repro.inject.parallel import _init_worker, _run_shard_timed
+
+        context = multiprocessing.get_context("fork")
+        pool_broken = False
+        with context.Pool(
+            processes=self._effective_jobs,
+            initializer=_init_worker,
+            initargs=(self.stored, self.target.name, self.baseline),
+        ) as pool:
+            futures = {}
+            for spec in pending:
+                futures[spec.bit] = pool.apply_async(
+                    _run_shard_timed, ((spec.bit, spec.trials, spec.seed),)
+                )
+                self._emit(hooks, "shard_start", bit=spec.bit,
+                           shards_total=shards_total, trials_total=trials_total)
+            for spec in pending:
+                attempts = 0
+                records = duration = None
+                future = futures[spec.bit]
+                while records is None and attempts <= self.max_retries and not pool_broken:
+                    attempts += 1
+                    try:
+                        records, duration = future.get(timeout=self.shard_timeout)
+                    except Exception as error:
+                        self._emit(hooks, "shard_error", bit=spec.bit,
+                                   attempt=attempts - 1, error=repr(error),
+                                   shards_total=shards_total, trials_total=trials_total)
+                        if attempts > self.max_retries:
+                            break
+                        self._retry_count += 1
+                        time.sleep(self.retry_backoff * (2 ** (attempts - 1)))
+                        try:
+                            future = pool.apply_async(
+                                _run_shard_timed, ((spec.bit, spec.trials, spec.seed),)
+                            )
+                        except Exception:
+                            pool_broken = True
+                            break
+                        self._emit(hooks, "shard_retry", bit=spec.bit, attempt=attempts,
+                                   error=repr(error), shards_total=shards_total,
+                                   trials_total=trials_total)
+                if records is None:
+                    # Degrade gracefully: the pool failed this shard (or
+                    # died); recompute in-process rather than lose the run.
+                    self._emit(hooks, "shard_fallback", bit=spec.bit, attempt=attempts,
+                               shards_total=shards_total, trials_total=trials_total,
+                               error="pool execution failed; running in-process")
+                    records, duration = self._compute_shard(spec)
+                    attempts += 1
+                self._finish_shard(spec, records, duration, attempts, hooks,
+                                   shards_total, trials_total)
+
+    # -- events -------------------------------------------------------------
+
+    def _emit(self, hooks, kind: str, *, bit: int | None = None, attempt: int = 0,
+              error: str | None = None, shards_total: int = 0, trials_total: int = 0,
+              detail: dict | None = None) -> None:
+        elapsed = max(time.monotonic() - self._started, 1e-9)
+        rate = self._trials_done / elapsed if self._trials_done else None
+        remaining = trials_total - self._trials_done
+        eta = remaining / rate if rate and remaining > 0 else None
+        utilization = (
+            min(self._busy_time / (elapsed * self._effective_jobs), 1.0)
+            if self._shards_done
+            else None
+        )
+        event = RunnerEvent(
+            kind=kind,
+            elapsed=round(elapsed, 6),
+            bit=bit,
+            attempt=attempt,
+            shards_done=self._shards_done,
+            shards_total=shards_total,
+            trials_done=self._trials_done,
+            trials_total=trials_total,
+            jobs=self._effective_jobs,
+            trials_per_sec=round(rate, 3) if rate else None,
+            eta_seconds=round(eta, 3) if eta is not None else None,
+            utilization=round(utilization, 4) if utilization is not None else None,
+            error=error,
+            detail=detail or {},
+        )
+        for hook in hooks:
+            dispatch_event(hook, event)
+
+
+def _regenerate_dataset(manifest: RunManifest) -> np.ndarray:
+    """Rebuild the dataset from the manifest's recorded source."""
+    source = manifest.dataset or {}
+    if source.get("kind") == "preset":
+        from repro.datasets.registry import get as get_preset
+
+        return get_preset(source["field"]).generate(
+            seed=int(source["seed"]), size=int(source["size"])
+        )
+    raise RunnerError(
+        "this run's manifest does not record a regenerable dataset source; "
+        "pass the original data array to resume it"
+    )
+
+
+def resume_campaign(run_dir: str | os.PathLike, data=None, **kwargs) -> CampaignResult:
+    """Finish a partial campaign run directory.
+
+    Loads the manifest, regenerates (or fingerprint-checks) the dataset,
+    re-runs only the missing shards, and returns a
+    :class:`CampaignResult` bit-identical to an uninterrupted run.
+    """
+    return CampaignRunner.from_run_dir(run_dir, data, **kwargs).resume()
+
+
+def run_status(run_dir: str | os.PathLike) -> RunStatus:
+    """Inspect a run directory without executing anything."""
+    manifest = RunManifest.load(run_dir)
+    missing = tuple(
+        bit
+        for bit in manifest.completed_bits()
+        if not RunManifest.shard_path(run_dir, bit).is_file()
+    )
+    return RunStatus(
+        run_dir=str(run_dir),
+        target_spec=manifest.target_spec,
+        label=manifest.label,
+        status=manifest.status,
+        shards_total=len(manifest.shards),
+        shards_done=len(manifest.completed_bits()),
+        trials_total=manifest.trials_total,
+        trials_done=manifest.trials_done,
+        pending_bits=tuple(manifest.pending_bits()),
+        missing_shard_files=missing,
+    )
+
+

@@ -1,0 +1,98 @@
+"""Deprecated entry points: still working, now warning.
+
+The unified run API (PR: resumable campaign runner) kept every
+historical name alive as a thin forwarding shim; these tests pin both
+halves of that contract — the warning and the unchanged behavior.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.inject.campaign import CampaignConfig, run_campaign
+
+
+def _identical(a, b) -> bool:
+    return all(
+        np.array_equal(
+            getattr(a.records, col), getattr(b.records, col),
+            equal_nan=getattr(a.records, col).dtype.kind == "f",
+        )
+        for col in a.records.column_names()
+    )
+
+
+class TestRunCampaignParallelWrapper:
+    def test_warns_and_matches_unified_api(self, small_field):
+        from repro.inject.parallel import run_campaign_parallel
+
+        config = CampaignConfig(trials_per_bit=4, seed=21)
+        expected = run_campaign(small_field, "posit32", config, jobs=2)
+        with pytest.warns(DeprecationWarning, match="jobs=N"):
+            legacy = run_campaign_parallel(small_field, "posit32", config, workers=2)
+        assert _identical(expected, legacy)
+
+    def test_importable_from_package(self, small_field):
+        from repro.inject import run_campaign_parallel
+
+        config = CampaignConfig(trials_per_bit=2, bits=(0,), seed=21)
+        with pytest.warns(DeprecationWarning):
+            result = run_campaign_parallel(small_field, "posit32", config, workers=1)
+        assert result.trial_count == 2
+
+
+class TestTargetsShim:
+    def test_target_by_name_warns(self):
+        from repro.inject.targets import target_by_name
+
+        with pytest.warns(DeprecationWarning, match="repro.formats.resolve"):
+            target = target_by_name("posit32")
+        assert target.nbits == 32
+
+    def test_target_by_name_keeps_keyerror_contract(self):
+        from repro.inject.targets import target_by_name
+
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(KeyError, match="known"):
+                target_by_name("posit128")
+
+    def test_available_targets_warns_and_matches_formats(self):
+        from repro.formats import available_formats
+        from repro.inject.targets import available_targets
+
+        with pytest.warns(DeprecationWarning, match="available_formats"):
+            names = available_targets()
+        assert names == available_formats()
+
+    def test_injection_target_alias_warns(self):
+        import repro.inject.targets as targets
+        from repro.formats import NumberFormat
+
+        with pytest.warns(DeprecationWarning, match="NumberFormat"):
+            alias = targets.InjectionTarget
+        assert alias is NumberFormat
+
+    def test_package_level_lazy_aliases_warn(self):
+        import repro.inject as inject
+
+        with pytest.warns(DeprecationWarning):
+            assert inject.target_by_name("ieee32").nbits == 32
+
+    def test_importing_package_stays_quiet(self):
+        # The shims are lazy: merely importing repro.inject must not warn.
+        import importlib
+
+        import repro.inject as inject
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            importlib.reload(inject)
+
+    def test_resolve_is_the_canonical_path(self):
+        from repro.formats import resolve
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            assert resolve("posit32").nbits == 32
+            assert resolve("binary(8,23)").nbits == 32

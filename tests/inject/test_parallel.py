@@ -4,7 +4,12 @@ import numpy as np
 import pytest
 
 from repro.inject.campaign import CampaignConfig, run_campaign
-from repro.inject.parallel import default_worker_count, run_campaign_parallel
+from repro.inject.parallel import (
+    default_worker_count,
+    resolve_worker_count,
+    run_campaign_parallel,
+    validate_jobs,
+)
 
 
 def _assert_results_identical(a, b) -> None:
@@ -64,3 +69,33 @@ class TestMisc:
     def test_empty_data_rejected(self):
         with pytest.raises(ValueError):
             run_campaign_parallel(np.array([]), "posit32")
+
+
+class TestJobsValidation:
+    def test_none_means_auto(self):
+        assert validate_jobs(None) is None
+        assert resolve_worker_count(None, shard_count=4) <= 4
+
+    @pytest.mark.parametrize("jobs", [0, -3])
+    def test_nonpositive_rejected(self, jobs):
+        with pytest.raises(ValueError, match=">= 1"):
+            validate_jobs(jobs)
+
+    @pytest.mark.parametrize("jobs", [True, 2.5, "4"])
+    def test_non_integers_rejected(self, jobs):
+        with pytest.raises(ValueError, match="positive integer"):
+            validate_jobs(jobs)
+
+    def test_numpy_integers_accepted(self):
+        assert validate_jobs(np.int64(3)) == 3
+
+    def test_oversized_request_capped_with_warning(self):
+        with pytest.warns(RuntimeWarning, match="capping"):
+            assert resolve_worker_count(16, shard_count=2) == 2
+
+    def test_exact_fit_is_silent(self):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert resolve_worker_count(2, shard_count=2) == 2

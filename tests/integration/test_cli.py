@@ -74,6 +74,17 @@ class TestCampaign:
         assert "campaign: 128 trials" in out
         assert "conversion" in out
 
+    def test_legacy_form_warns(self, capsys):
+        import pytest as _pytest
+
+        with _pytest.warns(DeprecationWarning, match="campaign run"):
+            code = main([
+                "campaign", "cesm/cloud", "posit32",
+                "--size", "2048", "--trials", "2", "--workers", "1",
+            ])
+        assert code == 0
+        assert "campaign: 64 trials" in capsys.readouterr().out
+
     def test_writes_csv(self, tmp_path, capsys):
         out_path = tmp_path / "trials.csv"
         code = main([
@@ -87,6 +98,103 @@ class TestCampaign:
 
         records = TrialRecords.read_csv(out_path)
         assert len(records) == 3 * 32
+
+
+class TestCampaignRunCommand:
+    def test_run_with_jobs(self, capsys):
+        code = main([
+            "campaign", "run", "cesm/cloud", "posit32",
+            "--size", "2048", "--trials", "2", "--jobs", "2",
+        ])
+        assert code == 0
+        assert "campaign: 64 trials" in capsys.readouterr().out
+
+    def test_rejects_zero_jobs(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["campaign", "run", "cesm/cloud", "posit32", "--jobs", "0"])
+        assert excinfo.value.code == 2
+        assert "jobs must be >= 1" in capsys.readouterr().err
+
+    def test_rejects_non_integer_jobs(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["campaign", "run", "cesm/cloud", "posit32", "--jobs", "two"])
+        assert "must be an integer" in capsys.readouterr().err
+
+    def test_rejects_jobs_and_workers_together(self, capsys):
+        with pytest.raises(SystemExit):
+            main([
+                "campaign", "run", "cesm/cloud", "posit32",
+                "--size", "1024", "--trials", "1", "--jobs", "1", "--workers", "1",
+            ])
+
+    def test_workers_alias_warns(self, capsys):
+        with pytest.warns(DeprecationWarning, match="--jobs"):
+            code = main([
+                "campaign", "run", "cesm/cloud", "posit32",
+                "--size", "1024", "--trials", "1", "--workers", "1",
+            ])
+        assert code == 0
+
+    def test_suite_rejects_bad_workers(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["suite", "--workers", "-2"])
+        assert "jobs must be >= 1" in capsys.readouterr().err
+
+
+class TestCampaignRunDir:
+    def test_run_status_resume_cycle(self, tmp_path, capsys):
+        run_dir = tmp_path / "run"
+        base = [
+            "cesm/cloud", "posit32",
+            "--size", "1024", "--trials", "2", "--jobs", "1",
+            "--run-dir", str(run_dir),
+        ]
+        assert main(["campaign", "run", *base]) == 0
+        out = capsys.readouterr().out
+        assert "campaign: 64 trials" in out
+        assert str(run_dir) in out
+
+        assert main(["campaign", "status", str(run_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "32/32 completed" in out
+
+        assert main(["campaign", "resume", str(run_dir), "--jobs", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "campaign: 64 trials" in out
+        assert "32 shard(s) restored" in out
+
+    def test_status_of_interrupted_run(self, tmp_path, capsys):
+        from repro.datasets.registry import get as get_preset
+        from repro.inject.campaign import CampaignConfig, run_campaign
+        from repro.runner import RunnerHooks
+
+        class Kill(RunnerHooks):
+            def on_shard_finish(self, event):
+                if event.kind == "shard_finish" and event.shards_done >= 3:
+                    raise KeyboardInterrupt
+
+        data = get_preset("cesm/cloud").generate(seed=2023, size=1024)
+        run_dir = tmp_path / "run"
+        with pytest.raises(KeyboardInterrupt):
+            run_campaign(
+                data, "posit32", CampaignConfig(trials_per_bit=2, seed=2023),
+                run_dir=run_dir, hooks=Kill(),
+                dataset={"kind": "preset", "field": "cesm/cloud",
+                         "size": 1024, "seed": 2023},
+            )
+
+        assert main(["campaign", "status", str(run_dir)]) == 2
+        out = capsys.readouterr().out
+        assert "interrupted" in out
+        assert "pending" in out
+
+        # Resume regenerates the dataset from the manifest's provenance.
+        assert main(["campaign", "resume", str(run_dir), "--jobs", "1"]) == 0
+        assert main(["campaign", "status", str(run_dir)]) == 0
+
+    def test_status_missing_dir(self, tmp_path, capsys):
+        assert main(["campaign", "status", str(tmp_path / "nope")]) == 1
+        assert "error" in capsys.readouterr().err
 
 
 class TestPredict:

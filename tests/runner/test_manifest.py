@@ -1,0 +1,141 @@
+"""Tests for the run manifest and dataset fingerprinting."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.runner.manifest import (
+    MANIFEST_NAME,
+    RUN_COMPLETED,
+    RUN_RUNNING,
+    SHARD_COMPLETED,
+    SHARD_PENDING,
+    RunManifest,
+    ShardState,
+    dataset_fingerprint,
+    shard_file_name,
+)
+
+
+def _manifest(**overrides) -> RunManifest:
+    base = dict(
+        target_spec="posit32",
+        label="nyx/temperature",
+        trials_per_bit=8,
+        bits=None,
+        seed=2023,
+        data_fingerprint="abc123",
+        data_size=4096,
+        shards={b: ShardState(bit=b, trials=8) for b in range(4)},
+        dataset={"kind": "preset", "field": "nyx/temperature", "size": 4096, "seed": 2023},
+    )
+    base.update(overrides)
+    return RunManifest(**base)
+
+
+class TestFingerprint:
+    def test_stable_for_same_content(self):
+        a = np.arange(100, dtype=np.float32)
+        assert dataset_fingerprint(a) == dataset_fingerprint(a.copy())
+
+    def test_sensitive_to_values(self):
+        a = np.arange(100, dtype=np.float32)
+        b = a.copy()
+        b[50] += 1
+        assert dataset_fingerprint(a) != dataset_fingerprint(b)
+
+    def test_sensitive_to_dtype(self):
+        a = np.arange(100, dtype=np.float32)
+        assert dataset_fingerprint(a) != dataset_fingerprint(a.astype(np.float64))
+
+    def test_flattens(self):
+        a = np.arange(100, dtype=np.float32)
+        assert dataset_fingerprint(a) == dataset_fingerprint(a.reshape(10, 10))
+
+
+class TestRoundTrip:
+    def test_json_round_trip(self):
+        manifest = _manifest()
+        manifest.shards[2].status = SHARD_COMPLETED
+        manifest.shards[2].attempts = 2
+        manifest.shards[2].duration = 0.125
+        clone = RunManifest.from_json(manifest.to_json())
+        assert clone.identity() == manifest.identity()
+        assert clone.label == manifest.label
+        assert clone.dataset == manifest.dataset
+        assert clone.completed_bits() == [2]
+        assert clone.shards[2].attempts == 2
+        assert clone.shards[2].duration == pytest.approx(0.125)
+
+    def test_bits_subset_round_trip(self):
+        manifest = _manifest(bits=(3, 7, 31), shards={})
+        clone = RunManifest.from_json(manifest.to_json())
+        assert clone.bits == (3, 7, 31)
+
+    def test_disk_round_trip(self, tmp_path):
+        manifest = _manifest(status=RUN_COMPLETED)
+        manifest.write(tmp_path)
+        assert (tmp_path / MANIFEST_NAME).is_file()
+        clone = RunManifest.load(tmp_path)
+        assert clone.status == RUN_COMPLETED
+        assert clone.identity() == manifest.identity()
+        assert clone.created_at == manifest.created_at > 0
+
+    def test_write_is_atomic_replace(self, tmp_path):
+        manifest = _manifest()
+        manifest.write(tmp_path)
+        manifest.status = RUN_COMPLETED
+        manifest.write(tmp_path)
+        assert not (tmp_path / (MANIFEST_NAME + ".tmp")).exists()
+        assert json.loads((tmp_path / MANIFEST_NAME).read_text())["status"] == RUN_COMPLETED
+
+    def test_load_missing(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="manifest"):
+            RunManifest.load(tmp_path)
+
+
+class TestIdentity:
+    def test_identical(self):
+        assert _manifest().mismatches(_manifest()) == []
+
+    @pytest.mark.parametrize(
+        "field_name, value",
+        [
+            ("target_spec", "ieee32"),
+            ("trials_per_bit", 9),
+            ("seed", 7),
+            ("data_fingerprint", "zzz"),
+            ("data_size", 1),
+            ("bits", (1, 2)),
+        ],
+    )
+    def test_mismatch_is_named(self, field_name, value):
+        diffs = _manifest(**{field_name: value}).mismatches(_manifest())
+        assert len(diffs) == 1
+        key = "bits" if field_name == "bits" else field_name
+        assert key in diffs[0]
+
+
+class TestProgress:
+    def test_counters(self):
+        manifest = _manifest()
+        assert manifest.trials_total == 32
+        assert manifest.trials_done == 0
+        manifest.shards[1].status = SHARD_COMPLETED
+        manifest.shards[3].status = SHARD_COMPLETED
+        assert manifest.trials_done == 16
+        assert manifest.completed_bits() == [1, 3]
+        assert manifest.pending_bits() == [0, 2]
+
+    def test_shard_state_defaults(self):
+        state = ShardState(bit=5, trials=10)
+        assert state.status == SHARD_PENDING
+        assert ShardState.from_json(state.to_json()) == state
+
+    def test_shard_file_name(self):
+        assert shard_file_name(7) == "bit-007.csv"
+        assert shard_file_name(31) == "bit-031.csv"
+
+    def test_fresh_status(self):
+        assert _manifest().status == RUN_RUNNING
