@@ -11,6 +11,8 @@
         --jobs 4 --run-dir runs/nyx --out trials.csv
     posit-resiliency campaign resume runs/nyx      # continue after interrupt
     posit-resiliency campaign status runs/nyx      # shard/trial progress
+    posit-resiliency campaign run ... --profile    # collect telemetry
+    posit-resiliency telemetry report runs/nyx     # per-phase time breakdown
     posit-resiliency inspect 186.25                # show representations
 
 Also runnable as ``python -m repro ...``.
@@ -135,6 +137,22 @@ def _print_campaign_result(result, field: str, target: str, out: str | None) -> 
         resumed = result.extras.get("resumed_shards", 0)
         note = f" ({resumed} shard(s) restored)" if resumed else ""
         print(f"run dir: {result.extras['run_dir']}{note}")
+    snapshot = result.extras.get("telemetry")
+    if snapshot is not None and not snapshot.empty:
+        from repro.telemetry import format_duration
+
+        breakdown = ", ".join(
+            f"{phase} {format_duration(seconds)}"
+            for phase, seconds in sorted(
+                snapshot.phase_seconds().items(), key=lambda kv: -kv[1]
+            )
+        )
+        print(f"profile: {breakdown}")
+        if result.extras.get("run_dir"):
+            print(
+                "profile: full breakdown via "
+                f"`posit-resiliency telemetry report {result.extras['run_dir']}`"
+            )
     if out:
         result.records.write_csv(out)
         print(f"wrote {out}")
@@ -169,6 +187,7 @@ def _cmd_campaign_run(args) -> int:
         run_dir=args.run_dir,
         progress=args.progress,
         resume=args.resume,
+        telemetry=True if args.profile else None,
         dataset={
             "kind": "preset",
             "field": args.field,
@@ -184,10 +203,45 @@ def _cmd_campaign_resume(args) -> int:
     from repro.runner import resume_campaign
 
     result = resume_campaign(
-        args.run_dir, jobs=_campaign_jobs(args), progress=args.progress
+        args.run_dir, jobs=_campaign_jobs(args), progress=args.progress,
+        telemetry=True if args.profile else None,
     )
     field = result.label or "dataset"
     _print_campaign_result(result, field, result.target_name, args.out)
+    return 0
+
+
+def _cmd_telemetry_report(args) -> int:
+    from repro.telemetry import render_prometheus, load_run_snapshot, render_run_report
+
+    try:
+        if args.format == "markdown":
+            text = render_run_report(args.run_dir)
+        else:
+            snapshot = load_run_snapshot(args.run_dir)
+            if snapshot is None:
+                print(
+                    f"error: no telemetry.json in {args.run_dir} "
+                    "(run the campaign with --profile or REPRO_TELEMETRY=1)",
+                    file=sys.stderr,
+                )
+                return 1
+            if args.format == "prometheus":
+                text = render_prometheus(snapshot)
+            else:  # json
+                import json
+
+                text = json.dumps(snapshot.to_json(), indent=2, sort_keys=True)
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    if args.out:
+        from pathlib import Path
+
+        Path(args.out).write_text(text if text.endswith("\n") else text + "\n")
+        print(f"wrote {args.out}")
+    else:
+        print(text)
     return 0
 
 
@@ -373,6 +427,9 @@ def build_parser() -> argparse.ArgumentParser:
                     help="continue an interrupted run in --run-dir")
     pr.add_argument("--progress", action="store_true",
                     help="render live shard progress")
+    pr.add_argument("--profile", action="store_true",
+                    help="collect span/counter telemetry (writes "
+                    "telemetry.json into --run-dir)")
     pr.add_argument("--out", default=None, help="write trial CSV here")
     pr.set_defaults(func=_cmd_campaign_run)
 
@@ -386,12 +443,29 @@ def build_parser() -> argparse.ArgumentParser:
                       help=argparse.SUPPRESS)
     pres.add_argument("--progress", action="store_true",
                       help="render live shard progress")
+    pres.add_argument("--profile", action="store_true",
+                      help="collect span/counter telemetry for the resumed "
+                      "shards (writes telemetry.json into the run directory)")
     pres.add_argument("--out", default=None, help="write trial CSV here")
     pres.set_defaults(func=_cmd_campaign_resume)
 
     pst = campaign_sub.add_parser("status", help="summarize a run directory")
     pst.add_argument("run_dir", help="run directory with a manifest.json")
     pst.set_defaults(func=_cmd_campaign_status)
+
+    p = sub.add_parser("telemetry", help="inspect a profiled run's telemetry")
+    telemetry_sub = p.add_subparsers(dest="telemetry_command", required=True)
+    ptr = telemetry_sub.add_parser(
+        "report", help="render a run directory's events + telemetry"
+    )
+    ptr.add_argument("run_dir", help="run directory (manifest.json [+ telemetry.json])")
+    ptr.add_argument("--format", choices=("markdown", "prometheus", "json"),
+                     default="markdown",
+                     help="markdown joins events with telemetry; prometheus/json "
+                     "render the raw snapshot")
+    ptr.add_argument("--out", default=None, help="write the report here "
+                     "instead of stdout")
+    ptr.set_defaults(func=_cmd_telemetry_report)
 
     p = sub.add_parser("suite", help="run the full (fields x targets) campaign grid")
     p.add_argument("--out", default="suite-results")

@@ -67,8 +67,16 @@ class FieldPreset:
 
     def generate(self, seed: int | np.random.Generator = 0, size: int = DEFAULT_SIZE) -> np.ndarray:
         """Seeded draw of ``size`` float32 samples."""
+        from repro.telemetry import get_telemetry
+
         rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
-        return self.mixture.sample(rng, size)
+        telemetry = get_telemetry()
+        if not telemetry.enabled:
+            return self.mixture.sample(rng, size)
+        with telemetry.span("datasets.generate"):
+            samples = self.mixture.sample(rng, size)
+        telemetry.count("datasets.samples", size)
+        return samples
 
 
 def _cesm_omega() -> FieldPreset:

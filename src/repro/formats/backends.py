@@ -33,6 +33,8 @@ import os
 
 import numpy as np
 
+from repro.telemetry import get_telemetry
+
 #: Widest format the LUT backend will tabulate (2**16 entries).
 LUT_MAX_BITS = 16
 
@@ -121,10 +123,24 @@ class LUTBackend:
     def _all_patterns(self) -> np.ndarray:
         return np.arange(1 << self._fmt.nbits, dtype=np.uint64)
 
+    def _build(self, kind: str, builder):
+        """Run one lazy table build under the LUT-build telemetry span."""
+        telemetry = get_telemetry()
+        if not telemetry.enabled:
+            return builder()
+        with telemetry.span("formats.lut.build"):
+            table = builder()
+        telemetry.count("formats.lut.tables_built")
+        telemetry.count(f"formats.lut.tables_built.{kind}")
+        return table
+
     def _ensure_values(self) -> np.ndarray:
         if self._values is None:
-            self._values = np.asarray(
-                self._fmt.decode_raw(self._all_patterns()), dtype=np.float64
+            self._values = self._build(
+                "values",
+                lambda: np.asarray(
+                    self._fmt.decode_raw(self._all_patterns()), dtype=np.float64
+                ),
             )
         return self._values
 
@@ -132,24 +148,34 @@ class LUTBackend:
         if self._sorted_values is not None:
             return
         values = self._ensure_values()
-        finite = np.nonzero(np.isfinite(values) & (values != 0))[0]
-        order = np.argsort(values[finite], kind="stable")
-        self._sorted_values = values[finite][order]
-        self._sorted_patterns = finite[order].astype(self._fmt.dtype)
+
+        def build():
+            finite = np.nonzero(np.isfinite(values) & (values != 0))[0]
+            order = np.argsort(values[finite], kind="stable")
+            return values[finite][order], finite[order].astype(self._fmt.dtype)
+
+        self._sorted_values, self._sorted_patterns = self._build("sorted", build)
 
     def _ensure_classify(self, bit_index: int) -> np.ndarray:
         table = self._classify_tables[bit_index]
         if table is None:
-            table = np.asarray(
-                self._fmt.classify_raw(self._all_patterns(), bit_index), dtype=np.int64
+            table = self._build(
+                "classify",
+                lambda: np.asarray(
+                    self._fmt.classify_raw(self._all_patterns(), bit_index),
+                    dtype=np.int64,
+                ),
             )
             self._classify_tables[bit_index] = table
         return table
 
     def _ensure_regime(self) -> np.ndarray:
         if self._regime_table is None:
-            self._regime_table = np.asarray(
-                self._fmt.regime_raw(self._all_patterns()), dtype=np.int64
+            self._regime_table = self._build(
+                "regime",
+                lambda: np.asarray(
+                    self._fmt.regime_raw(self._all_patterns()), dtype=np.int64
+                ),
             )
         return self._regime_table
 

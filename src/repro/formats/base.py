@@ -32,6 +32,8 @@ from collections import OrderedDict
 
 import numpy as np
 
+from repro.telemetry import get_telemetry
+
 #: Entries kept in each format's round-trip memo (arrays can be large,
 #: so the cache is deliberately small: a campaign touches one or two
 #: distinct datasets at a time).
@@ -105,11 +107,23 @@ class NumberFormat(abc.ABC):
 
     def to_bits(self, values) -> np.ndarray:
         """Store float values: returns the bit patterns (unsigned ints)."""
-        return self._backend.to_bits(values)
+        telemetry = get_telemetry()
+        if not telemetry.enabled:
+            return self._backend.to_bits(values)
+        with telemetry.span("formats.encode"):
+            bits = self._backend.to_bits(values)
+        telemetry.count("formats.encode.values", np.size(bits))
+        return bits
 
     def from_bits(self, bits) -> np.ndarray:
         """Load bit patterns back into float64 values."""
-        return self._backend.from_bits(bits)
+        telemetry = get_telemetry()
+        if not telemetry.enabled:
+            return self._backend.from_bits(bits)
+        with telemetry.span("formats.decode"):
+            values = self._backend.from_bits(bits)
+        telemetry.count("formats.decode.values", np.size(values))
+        return values
 
     def classify_bits(self, bits, bit_index: int) -> np.ndarray:
         """Per-element field id of ``bit_index`` (format-specific enum)."""
@@ -129,12 +143,23 @@ class NumberFormat(abc.ABC):
         baseline, the conversion report, and again per experiment, and
         the codec is the expensive step, not the hashing.
         """
+        telemetry = get_telemetry()
+        if not telemetry.enabled:
+            return self._round_trip(values)
+        with telemetry.span("formats.round_trip"):
+            return self._round_trip(values, telemetry)
+
+    def _round_trip(self, values, telemetry=None) -> np.ndarray:
         array = np.ascontiguousarray(values)
         key = (array.dtype.str, array.shape, hashlib.blake2b(array.tobytes(), digest_size=16).digest())
         cached = self._round_trip_cache.get(key)
         if cached is not None:
             self._round_trip_cache.move_to_end(key)
+            if telemetry is not None:
+                telemetry.count("formats.round_trip.cache_hits")
             return cached.copy()
+        if telemetry is not None:
+            telemetry.count("formats.round_trip.cache_misses")
         result = self.from_bits(self.to_bits(array))
         self._round_trip_cache[key] = result
         while len(self._round_trip_cache) > _ROUND_TRIP_CACHE_SIZE:

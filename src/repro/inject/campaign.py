@@ -39,6 +39,7 @@ from repro.formats import NumberFormat
 from repro.inject.results import TrialRecords
 from repro.inject.trial import run_bit_trials
 from repro.metrics.summary import SummaryStats
+from repro.telemetry import get_telemetry
 
 #: The paper's trial count per bit position.
 PAPER_TRIALS_PER_BIT = 313
@@ -149,6 +150,7 @@ def run_campaign(
     resume: bool = False,
     dataset: dict | None = None,
     max_retries: int = 2,
+    telemetry=None,
 ) -> CampaignResult:
     """Run a full campaign (see module docstring for the flow).
 
@@ -180,6 +182,14 @@ def run_campaign(
     max_retries:
         Per-shard retry budget before degrading to in-process execution
         (parallel runs) or failing (serial runs).
+    telemetry:
+        Profiling control (see :func:`repro.telemetry.resolve_collector`):
+        ``None`` follows the ``REPRO_TELEMETRY`` environment variable,
+        ``True`` profiles this run (writing ``telemetry.json`` into
+        ``run_dir`` and attaching the merged snapshot to
+        ``result.extras["telemetry"]``), ``False`` forces it off, and a
+        :class:`repro.telemetry.Telemetry` instance aggregates across
+        several runs.
     """
     from repro.runner import CampaignRunner
 
@@ -194,6 +204,7 @@ def run_campaign(
         progress=progress,
         dataset=dataset,
         max_retries=max_retries,
+        telemetry=telemetry,
     )
     return runner.run(resume=resume)
 
@@ -211,6 +222,14 @@ def run_campaign_shard(
     ``stored_data`` must already be round-tripped through the target so
     every shard sees identical stored values.
     """
-    rng = np.random.default_rng(seed)
-    indices = rng.integers(0, stored_data.size, size=trials)
-    return run_bit_trials(stored_data, indices, bit, target, baseline, rng=rng)
+    telemetry = get_telemetry()
+    if not telemetry.enabled:
+        rng = np.random.default_rng(seed)
+        indices = rng.integers(0, stored_data.size, size=trials)
+        return run_bit_trials(stored_data, indices, bit, target, baseline, rng=rng)
+    with telemetry.span("inject.shard"):
+        rng = np.random.default_rng(seed)
+        indices = rng.integers(0, stored_data.size, size=trials)
+        records = run_bit_trials(stored_data, indices, bit, target, baseline, rng=rng)
+    telemetry.count("inject.shards")
+    return records

@@ -29,11 +29,18 @@ from repro.formats import resolve
 from repro.inject.campaign import CampaignConfig, CampaignResult, run_campaign_shard
 from repro.inject.results import TrialRecords
 from repro.metrics.summary import SummaryStats
+from repro.telemetry import DISABLED, Telemetry, TelemetrySnapshot, telemetry_scope
+from repro.telemetry.core import _reset_process_stack
 
 _WORKER_STATE: dict = {}
 
 
-def _init_worker(stored_data: np.ndarray, target_spec: str, baseline: SummaryStats) -> None:
+def _init_worker(
+    stored_data: np.ndarray,
+    target_spec: str,
+    baseline: SummaryStats,
+    telemetry_enabled: bool = False,
+) -> None:
     # Targets cross the pool boundary as spec strings, not pickles:
     # every format's name is a valid spec (posit16es1, binary(8,23),
     # fixedposit(32,es=2,r=5), ...), so arbitrary parameterized formats
@@ -42,6 +49,11 @@ def _init_worker(stored_data: np.ndarray, target_spec: str, baseline: SummarySta
     _WORKER_STATE["data"] = stored_data
     _WORKER_STATE["target"] = resolve(target_spec)
     _WORKER_STATE["baseline"] = baseline
+    _WORKER_STATE["telemetry"] = bool(telemetry_enabled)
+    # The fork inherited the parent's active collector; recording into it
+    # from this process would be silently lost.  Profiled shards collect
+    # into a per-task collector in _run_shard_timed and ship snapshots.
+    _reset_process_stack(DISABLED)
 
 
 def _run_shard(args: tuple[int, int, np.random.SeedSequence]) -> TrialRecords:
@@ -58,11 +70,25 @@ def _run_shard(args: tuple[int, int, np.random.SeedSequence]) -> TrialRecords:
 
 def _run_shard_timed(
     args: tuple[int, int, np.random.SeedSequence],
-) -> tuple[TrialRecords, float]:
-    """Pool task: a shard plus its compute time (for utilization stats)."""
+) -> tuple[TrialRecords, float, TelemetrySnapshot | None]:
+    """Pool task: a shard, its compute time, and its telemetry delta.
+
+    When the runner profiles, each task records into a private collector
+    and ships the frozen snapshot back with the records; the runner
+    merges the deltas shard by shard (same discipline as the streaming
+    metric accumulators), so the reduced totals are identical to a
+    serial run regardless of worker count or scheduling.
+    """
     start = time.perf_counter()
-    records = _run_shard(args)
-    return records, time.perf_counter() - start
+    if _WORKER_STATE.get("telemetry"):
+        collector = Telemetry()
+        with telemetry_scope(collector):
+            records = _run_shard(args)
+        snapshot = collector.snapshot()
+    else:
+        records = _run_shard(args)
+        snapshot = None
+    return records, time.perf_counter() - start, snapshot
 
 
 def default_worker_count(shard_count: int | None = None) -> int:

@@ -20,6 +20,7 @@ from repro.inject.results import TrialRecords
 from repro.formats import NumberFormat
 from repro.metrics.fast import vectorized_single_fault
 from repro.metrics.summary import SummaryStats
+from repro.telemetry import get_telemetry
 
 
 @dataclass(frozen=True)
@@ -109,6 +110,24 @@ def run_bit_trials(
         rng = np.random.default_rng(0)
     indices = np.asarray(indices, dtype=np.int64)
 
+    telemetry = get_telemetry()
+    if not telemetry.enabled:
+        return _run_bit_trials(data, indices, bit_index, target, baseline, rng, fault)
+    with telemetry.span("inject.trial"):
+        records = _run_bit_trials(data, indices, bit_index, target, baseline, rng, fault)
+    telemetry.count("inject.trials", len(indices))
+    return records
+
+
+def _run_bit_trials(
+    data: np.ndarray,
+    indices: np.ndarray,
+    bit_index: int,
+    target: NumberFormat,
+    baseline: SummaryStats,
+    rng: np.random.Generator,
+    fault: FaultModel,
+) -> TrialRecords:
     selected = np.asarray(data).reshape(-1)[indices]
     bits = target.to_bits(selected)
     originals = target.from_bits(bits)

@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.metrics.pointwise import ErrorMetrics
 from repro.metrics.summary import SummaryStats
+from repro.telemetry import get_telemetry
 
 
 def single_fault_metrics(
@@ -95,6 +96,20 @@ def vectorized_single_fault(
     if old.shape != new.shape:
         raise ValueError(f"shape mismatch: {old.shape} vs {new.shape}")
 
+    telemetry = get_telemetry()
+    if not telemetry.enabled:
+        return _vectorized_single_fault(baseline, old, new)
+    with telemetry.span("metrics.fast"):
+        metrics = _vectorized_single_fault(baseline, old, new)
+    telemetry.count("metrics.trials_evaluated", old.size)
+    return metrics
+
+
+def _vectorized_single_fault(
+    baseline: SummaryStats,
+    old: np.ndarray,
+    new: np.ndarray,
+) -> dict[str, np.ndarray]:
     count = baseline.count
     # Faulty values can be astronomically large (an IEEE exponent-MSB
     # flip scales by up to 2**1024), so products and quotients here may

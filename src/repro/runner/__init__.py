@@ -15,6 +15,7 @@ from repro.runner.events import (
     ProgressRenderer,
     RunnerEvent,
     RunnerHooks,
+    close_hooks,
     read_event_log,
 )
 from repro.runner.manifest import (
@@ -46,6 +47,7 @@ __all__ = [
     "RunnerHooks",
     "ShardSpec",
     "ShardState",
+    "close_hooks",
     "dataset_fingerprint",
     "read_event_log",
     "resume_campaign",

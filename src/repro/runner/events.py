@@ -15,8 +15,11 @@ import json
 import os
 import sys
 import time
+import warnings
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
+
+from repro.telemetry import format_duration
 
 #: Event kinds emitted by the runner, in rough lifecycle order.
 EVENT_KINDS = (
@@ -111,6 +114,16 @@ class RunnerHooks:
     def close(self) -> None:  # pragma: no cover - default no-op
         pass
 
+    # Hooks are context managers, so resources (log handles, sockets)
+    # release deterministically even when the run raises:
+    #     with EventLogWriter(path) as log:
+    #         run_campaign(..., hooks=log)
+    def __enter__(self) -> "RunnerHooks":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
 
 _SPECIFIC_HANDLER = {
     "run_start": "on_run_start",
@@ -135,12 +148,37 @@ def dispatch_event(hooks, event: RunnerEvent) -> None:
         catch_all(event)
 
 
+def close_hooks(hooks) -> None:
+    """Close every hook, shielding each from the others' failures.
+
+    Runner teardown must release every owned resource even when one
+    hook's ``close()`` raises (and must not mask an in-flight
+    exception), so failures downgrade to ``RuntimeWarning``.  Hooks
+    without a ``close`` method are fine — the protocol is duck-typed.
+    """
+    for hook in hooks:
+        close = getattr(hook, "close", None)
+        if close is None:
+            continue
+        try:
+            close()
+        except Exception as error:
+            warnings.warn(
+                f"ignoring failure closing hook {hook!r}: {error!r}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+
+
 class EventLogWriter(RunnerHooks):
     """Append every event as one JSON line to ``events.jsonl``.
 
     Lines are flushed per event so the log survives a hard kill with at
     most the in-flight event lost — that is what makes it useful for
-    diagnosing interrupted runs.
+    diagnosing interrupted runs (:func:`read_event_log` skips a
+    truncated tail for the same reason).  Usable as a context manager
+    (``with EventLogWriter(path) as log: ...``) so the handle closes on
+    any exit path.
     """
 
     def __init__(self, path: str | os.PathLike):
@@ -158,14 +196,28 @@ class EventLogWriter(RunnerHooks):
             self._handle.close()
 
 
-def read_event_log(path: str | os.PathLike) -> list[dict]:
-    """Parse an ``events.jsonl`` file back into event dicts."""
+def read_event_log(path: str | os.PathLike, *, strict: bool = False) -> list[dict]:
+    """Parse an ``events.jsonl`` file back into event dicts.
+
+    A hard kill can truncate the final line mid-write; since the log's
+    whole purpose is diagnosing exactly such runs, the parseable prefix
+    is returned and the partial tail skipped.  Reading stops at the
+    first unparseable line (any line after it belongs to a corrupt
+    region, not the prefix the contract promises).  ``strict=True``
+    restores the raising behaviour for integrity checks.
+    """
     events = []
     with open(Path(path), encoding="utf-8") as handle:
         for line in handle:
             line = line.strip()
-            if line:
+            if not line:
+                continue
+            try:
                 events.append(json.loads(line))
+            except json.JSONDecodeError:
+                if strict:
+                    raise
+                break
     return events
 
 
@@ -192,7 +244,7 @@ class ProgressRenderer(RunnerHooks):
         if event.trials_per_sec:
             parts.append(f"{event.trials_per_sec:,.0f} trials/s")
         if event.eta_seconds is not None:
-            parts.append(f"ETA {event.eta_seconds:.1f}s")
+            parts.append(f"ETA {format_duration(event.eta_seconds)}")
         if event.utilization is not None and event.jobs > 1:
             parts.append(f"util {event.utilization:.0%} of {event.jobs} workers")
         return " · ".join(parts)
@@ -244,6 +296,7 @@ class ProgressRenderer(RunnerHooks):
             )
         else:
             print(
-                f"[campaign] done: {event.trials_done} trials in {event.elapsed:.2f}s",
+                f"[campaign] done: {event.trials_done} trials "
+                f"in {format_duration(event.elapsed)}",
                 file=self.stream,
             )

@@ -40,6 +40,7 @@ from repro.runner.events import (
     EventLogWriter,
     ProgressRenderer,
     RunnerEvent,
+    close_hooks,
     dispatch_event,
 )
 from repro.runner.manifest import (
@@ -51,6 +52,15 @@ from repro.runner.manifest import (
     RunManifest,
     ShardState,
     dataset_fingerprint,
+)
+from repro.telemetry import (
+    TelemetrySnapshot,
+    format_duration,
+    load_run_snapshot,
+    resolve_collector,
+    telemetry_path,
+    telemetry_scope,
+    write_snapshot,
 )
 
 
@@ -81,6 +91,7 @@ class RunStatus:
     trials_done: int
     pending_bits: tuple[int, ...]
     missing_shard_files: tuple[int, ...]
+    phase_seconds: dict | None = None
 
     @property
     def complete(self) -> bool:
@@ -103,6 +114,14 @@ class RunStatus:
                 f"{', '.join(map(str, self.missing_shard_files))} completed "
                 "but their shard files are missing (they will re-run on resume)"
             )
+        if self.phase_seconds:
+            breakdown = ", ".join(
+                f"{phase} {format_duration(seconds)}"
+                for phase, seconds in sorted(
+                    self.phase_seconds.items(), key=lambda kv: -kv[1]
+                )
+            )
+            lines.append(f"phases:  {breakdown}")
         return "\n".join(lines)
 
 
@@ -143,6 +162,14 @@ class CampaignRunner:
     shard_timeout:
         Optional per-shard pool timeout in seconds; a shard exceeding it
         counts as failed (guards against a worker dying mid-task).
+    telemetry:
+        Profiling control (:func:`repro.telemetry.resolve_collector`):
+        ``None`` follows ``REPRO_TELEMETRY``, ``True``/``False`` force a
+        fresh collector / the no-op one, and an explicit
+        :class:`repro.telemetry.Telemetry` instance aggregates across
+        runs.  When enabled, the merged snapshot is written to
+        ``<run_dir>/telemetry.json`` and attached to
+        ``result.extras["telemetry"]``.
     """
 
     def __init__(
@@ -160,6 +187,7 @@ class CampaignRunner:
         max_retries: int = 2,
         retry_backoff: float = 0.05,
         shard_timeout: float | None = None,
+        telemetry=None,
     ):
         from repro.inject.parallel import validate_jobs
 
@@ -172,12 +200,15 @@ class CampaignRunner:
         self.max_retries = int(max_retries)
         self.retry_backoff = float(retry_backoff)
         self.shard_timeout = shard_timeout
+        self.telemetry = resolve_collector(telemetry)
+        self.telemetry_snapshot: TelemetrySnapshot | None = None
 
         self._flat = np.asarray(data).reshape(-1)
         if self._flat.size == 0:
             raise ValueError("cannot run a campaign on an empty dataset")
-        self.stored = self.target.round_trip(self._flat)
-        self.baseline = SummaryStats.from_array(self.stored)
+        with telemetry_scope(self.telemetry):
+            self.stored = self.target.round_trip(self._flat)
+            self.baseline = SummaryStats.from_array(self.stored)
 
         if hooks is None:
             hooks = []
@@ -246,60 +277,69 @@ class CampaignRunner:
         self._effective_jobs = self._resolve_jobs(len(pending))
 
         try:
-            try:
-                self._emit(
-                    hooks,
-                    "run_start",
-                    shards_total=len(shards),
-                    trials_total=trials_total,
-                    detail={
-                        "target": self.target.name,
-                        "label": self.label,
-                        "resumed_shards": self._shards_done,
+            with telemetry_scope(self.telemetry):
+                try:
+                    with self.telemetry.span("runner.run"):
+                        self._emit(
+                            hooks,
+                            "run_start",
+                            shards_total=len(shards),
+                            trials_total=trials_total,
+                            detail={
+                                "target": self.target.name,
+                                "label": self.label,
+                                "resumed_shards": self._shards_done,
+                                "run_dir": str(self.run_dir) if self.run_dir else None,
+                            },
+                        )
+                        for bit in sorted(self._completed):
+                            self._emit(hooks, "shard_skipped", bit=bit,
+                                       shards_total=len(shards), trials_total=trials_total)
+
+                        if self._effective_jobs <= 1 or len(pending) <= 1:
+                            self._run_serial(pending, hooks, len(shards), trials_total)
+                        else:
+                            self._run_pool(pending, hooks, len(shards), trials_total)
+                except BaseException:
+                    if self._manifest is not None:
+                        self._manifest.status = RUN_INTERRUPTED
+                        self._manifest.write(self.run_dir)
+                    # Persist the partial profile too: an interrupted run's
+                    # telemetry is exactly what a post-mortem wants.
+                    self._snapshot_telemetry()
+                    self._emit(hooks, "run_interrupted",
+                               shards_total=len(shards), trials_total=trials_total)
+                    raise
+
+                records = TrialRecords.concatenate(
+                    [self._completed[s.bit] for s in shards]
+                )
+                result = CampaignResult(
+                    target_name=self.target.name,
+                    config=self.config,
+                    baseline=self.baseline,
+                    records=records,
+                    conversion=conversion_report(self._flat, self.target),
+                    data_size=int(self._flat.size),
+                    label=self.label,
+                    extras={
                         "run_dir": str(self.run_dir) if self.run_dir else None,
+                        "resumed_shards": len(shards) - len(pending),
+                        "shard_retries": self._retry_count,
+                        "jobs": self._effective_jobs,
                     },
                 )
-                for bit in sorted(self._completed):
-                    self._emit(hooks, "shard_skipped", bit=bit,
-                               shards_total=len(shards), trials_total=trials_total)
-
-                if self._effective_jobs <= 1 or len(pending) <= 1:
-                    self._run_serial(pending, hooks, len(shards), trials_total)
-                else:
-                    self._run_pool(pending, hooks, len(shards), trials_total)
-            except BaseException:
+                snapshot = self._snapshot_telemetry()
+                if snapshot is not None:
+                    result.extras["telemetry"] = snapshot
                 if self._manifest is not None:
-                    self._manifest.status = RUN_INTERRUPTED
+                    self._manifest.status = RUN_COMPLETED
                     self._manifest.write(self.run_dir)
-                self._emit(hooks, "run_interrupted",
+                self._emit(hooks, "run_finish",
                            shards_total=len(shards), trials_total=trials_total)
-                raise
-
-            records = TrialRecords.concatenate([self._completed[s.bit] for s in shards])
-            result = CampaignResult(
-                target_name=self.target.name,
-                config=self.config,
-                baseline=self.baseline,
-                records=records,
-                conversion=conversion_report(self._flat, self.target),
-                data_size=int(self._flat.size),
-                label=self.label,
-                extras={
-                    "run_dir": str(self.run_dir) if self.run_dir else None,
-                    "resumed_shards": len(shards) - len(pending),
-                    "shard_retries": self._retry_count,
-                    "jobs": self._effective_jobs,
-                },
-            )
-            if self._manifest is not None:
-                self._manifest.status = RUN_COMPLETED
-                self._manifest.write(self.run_dir)
-            self._emit(hooks, "run_finish",
-                       shards_total=len(shards), trials_total=trials_total)
-            return result
+                return result
         finally:
-            for hook in owned_hooks:
-                hook.close()
+            close_hooks(owned_hooks)
 
     def resume(self) -> CampaignResult:
         """Finish a partial run; identical to ``run(resume=True)``."""
@@ -373,6 +413,16 @@ class CampaignRunner:
                 continue
             self._completed[bit] = records
 
+    def _snapshot_telemetry(self) -> TelemetrySnapshot | None:
+        """Freeze the collector; persist it when the run has a directory."""
+        if not self.telemetry.enabled:
+            return None
+        snapshot = self.telemetry.snapshot()
+        self.telemetry_snapshot = snapshot
+        if self.run_dir is not None and not snapshot.empty:
+            write_snapshot(snapshot, telemetry_path(self.run_dir))
+        return snapshot
+
     def _persist_shard(self, spec: ShardSpec, records: TrialRecords,
                        duration: float, attempts: int) -> None:
         if self._manifest is None:
@@ -412,7 +462,8 @@ class CampaignRunner:
         self._trials_done += spec.trials
         self._shards_done += 1
         self._emit(hooks, "shard_finish", bit=spec.bit, attempt=attempts - 1,
-                   shards_total=shards_total, trials_total=trials_total)
+                   shards_total=shards_total, trials_total=trials_total,
+                   detail={"duration": round(duration, 6)})
 
     def _run_serial(self, pending, hooks, shards_total, trials_total) -> None:
         for spec in pending:
@@ -448,7 +499,8 @@ class CampaignRunner:
         with context.Pool(
             processes=self._effective_jobs,
             initializer=_init_worker,
-            initargs=(self.stored, self.target.name, self.baseline),
+            initargs=(self.stored, self.target.name, self.baseline,
+                      self.telemetry.enabled),
         ) as pool:
             futures = {}
             for spec in pending:
@@ -464,7 +516,11 @@ class CampaignRunner:
                 while records is None and attempts <= self.max_retries and not pool_broken:
                     attempts += 1
                     try:
-                        records, duration = future.get(timeout=self.shard_timeout)
+                        records, duration, worker_snapshot = future.get(
+                            timeout=self.shard_timeout
+                        )
+                        if worker_snapshot is not None:
+                            self.telemetry.merge_snapshot(worker_snapshot)
                     except Exception as error:
                         self._emit(hooks, "shard_error", bit=spec.bit,
                                    attempt=attempts - 1, error=repr(error),
@@ -554,13 +610,18 @@ def resume_campaign(run_dir: str | os.PathLike, data=None, **kwargs) -> Campaign
 
 
 def run_status(run_dir: str | os.PathLike) -> RunStatus:
-    """Inspect a run directory without executing anything."""
+    """Inspect a run directory without executing anything.
+
+    When the run was profiled (``telemetry.json`` present), the status
+    carries the per-phase time breakdown, surfaced by ``summary()``.
+    """
     manifest = RunManifest.load(run_dir)
     missing = tuple(
         bit
         for bit in manifest.completed_bits()
         if not RunManifest.shard_path(run_dir, bit).is_file()
     )
+    snapshot = load_run_snapshot(run_dir)
     return RunStatus(
         run_dir=str(run_dir),
         target_spec=manifest.target_spec,
@@ -572,6 +633,7 @@ def run_status(run_dir: str | os.PathLike) -> RunStatus:
         trials_done=manifest.trials_done,
         pending_bits=tuple(manifest.pending_bits()),
         missing_shard_files=missing,
+        phase_seconds=snapshot.phase_seconds() if snapshot is not None else None,
     )
 
 

@@ -1,0 +1,68 @@
+"""Low-overhead tracing and metrics for the whole stack.
+
+``repro.telemetry`` answers "where does a campaign's wall-clock go?"
+with three layers:
+
+* **collection** (:mod:`repro.telemetry.core`) — named counters and
+  nestable timed spans, recorded into the process-active
+  :class:`Telemetry` collector; a shared no-op collector makes disabled
+  runs effectively free;
+* **reduction** — :class:`TelemetrySnapshot` merges associatively, so
+  fork-pool workers profile their own shards and the runner reduces the
+  shipped snapshots exactly like the streaming metric accumulators;
+* **export** (:mod:`repro.telemetry.export` /
+  :mod:`repro.telemetry.report`) — a JSON snapshot in the run
+  directory, a Prometheus text rendering, and a markdown run report
+  joining ``events.jsonl`` with span timings.
+
+Enable with ``REPRO_TELEMETRY=1``, ``run_campaign(..., telemetry=True)``
+or the CLI's ``campaign run --profile``; inspect with
+``posit-resiliency telemetry report <run-dir>``.
+"""
+
+from repro.telemetry.core import (
+    DISABLED,
+    TELEMETRY_ENV_VAR,
+    SpanStats,
+    Telemetry,
+    TelemetrySnapshot,
+    get_telemetry,
+    resolve_collector,
+    set_default_telemetry,
+    telemetry_enabled_by_env,
+    telemetry_scope,
+)
+from repro.telemetry.export import (
+    TELEMETRY_FILE_NAME,
+    load_run_snapshot,
+    load_snapshot,
+    render_prometheus,
+    telemetry_path,
+    write_snapshot,
+)
+from repro.telemetry.humanize import format_count, format_duration, format_rate
+from repro.telemetry.report import render_run_report, write_run_report
+
+__all__ = [
+    "DISABLED",
+    "TELEMETRY_ENV_VAR",
+    "TELEMETRY_FILE_NAME",
+    "SpanStats",
+    "Telemetry",
+    "TelemetrySnapshot",
+    "format_count",
+    "format_duration",
+    "format_rate",
+    "get_telemetry",
+    "load_run_snapshot",
+    "load_snapshot",
+    "render_prometheus",
+    "render_run_report",
+    "resolve_collector",
+    "set_default_telemetry",
+    "telemetry_enabled_by_env",
+    "telemetry_path",
+    "telemetry_scope",
+    "write_run_report",
+    "write_snapshot",
+]

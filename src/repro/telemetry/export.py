@@ -1,0 +1,111 @@
+"""Telemetry exporters: JSON snapshot files and Prometheus text format.
+
+The JSON snapshot (``<run-dir>/telemetry.json``) is the durable form the
+runner writes next to ``manifest.json`` / ``events.jsonl``; it
+round-trips through :class:`~repro.telemetry.core.TelemetrySnapshot` so
+reports and the ``campaign status`` command can re-read it.  The
+Prometheus rendering serves scrape-style integration (push the file to a
+node-exporter textfile collector, or serve it from a sidecar).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.telemetry.core import TelemetrySnapshot
+
+#: File name the runner writes inside a run directory.
+TELEMETRY_FILE_NAME = "telemetry.json"
+
+
+def telemetry_path(run_dir: str | os.PathLike) -> Path:
+    return Path(run_dir) / TELEMETRY_FILE_NAME
+
+
+def write_snapshot(snapshot: TelemetrySnapshot, path: str | os.PathLike) -> Path:
+    """Atomically write a snapshot as JSON; returns the path written."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(json.dumps(snapshot.to_json(), indent=2, sort_keys=True))
+    os.replace(tmp, path)
+    return path
+
+
+def load_snapshot(path: str | os.PathLike) -> TelemetrySnapshot:
+    """Read a snapshot written by :func:`write_snapshot`."""
+    return TelemetrySnapshot.from_json(json.loads(Path(path).read_text()))
+
+
+def load_run_snapshot(run_dir: str | os.PathLike) -> TelemetrySnapshot | None:
+    """The run directory's snapshot, or None when never profiled."""
+    path = telemetry_path(run_dir)
+    if not path.is_file():
+        return None
+    return load_snapshot(path)
+
+
+def _metric_name(name: str) -> str:
+    """Sanitize a dotted telemetry name into a Prometheus metric name."""
+    out = []
+    for ch in name.lower():
+        out.append(ch if ch.isalnum() else "_")
+    metric = "".join(out)
+    if metric and metric[0].isdigit():
+        metric = "_" + metric
+    return metric
+
+
+def render_prometheus(
+    snapshot: TelemetrySnapshot, prefix: str = "repro", labels: dict | None = None
+) -> str:
+    """Render a snapshot in the Prometheus text exposition format.
+
+    Counters become ``<prefix>_<name>_total``; each span contributes
+    ``*_seconds_total``, ``*_self_seconds_total`` and ``*_count``
+    series labelled by span name.
+    """
+    label_str = ""
+    if labels:
+        pairs = ",".join(
+            f'{_metric_name(k)}="{str(v)}"' for k, v in sorted(labels.items())
+        )
+        label_str = pairs
+    lines: list[str] = []
+
+    def fmt(metric: str, value, extra_label: str = "") -> str:
+        parts = ",".join(p for p in (extra_label, label_str) if p)
+        braces = f"{{{parts}}}" if parts else ""
+        return f"{metric}{braces} {value}"
+
+    if snapshot.counters:
+        lines.append(f"# TYPE {prefix}_counter_total counter")
+        for name in sorted(snapshot.counters):
+            lines.append(
+                fmt(
+                    f"{prefix}_counter_total",
+                    snapshot.counters[name],
+                    f'name="{name}"',
+                )
+            )
+    if snapshot.spans:
+        lines.append(f"# TYPE {prefix}_span_seconds_total counter")
+        lines.append(f"# TYPE {prefix}_span_self_seconds_total counter")
+        lines.append(f"# TYPE {prefix}_span_count counter")
+        for name in sorted(snapshot.spans):
+            stats = snapshot.spans[name]
+            label = f'name="{name}"'
+            lines.append(
+                fmt(f"{prefix}_span_seconds_total", f"{stats.total_seconds:.9f}", label)
+            )
+            lines.append(
+                fmt(
+                    f"{prefix}_span_self_seconds_total",
+                    f"{stats.self_seconds:.9f}",
+                    label,
+                )
+            )
+            lines.append(fmt(f"{prefix}_span_count", stats.count, label))
+    return "\n".join(lines) + ("\n" if lines else "")

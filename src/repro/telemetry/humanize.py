@@ -1,0 +1,56 @@
+"""Human-friendly rendering of durations, rates, and counts.
+
+Shared by the runner's :class:`~repro.runner.events.ProgressRenderer`
+(ETA / elapsed lines) and the telemetry report, so ``8640.0s`` reads as
+``2h 24m`` everywhere.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def format_duration(seconds: float) -> str:
+    """Render a duration at human scale: ``418ms``, ``3.4s``, ``2h 24m``.
+
+    Picks the two most significant units past one minute (``1d 2h``,
+    ``2h 24m``, ``5m 09s``) and decimal forms below it; negative or
+    non-finite inputs render literally rather than raising.
+    """
+    if not math.isfinite(seconds):
+        return str(seconds)
+    if seconds < 0:
+        return "-" + format_duration(-seconds)
+    if seconds < 1e-6:
+        return f"{seconds * 1e9:.0f}ns"
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.0f}us"
+    if seconds < 1:
+        return f"{seconds * 1e3:.0f}ms"
+    if seconds < 60:
+        return f"{seconds:.1f}s"
+    minutes, secs = divmod(int(round(seconds)), 60)
+    hours, minutes = divmod(minutes, 60)
+    days, hours = divmod(hours, 24)
+    if days:
+        return f"{days}d {hours}h"
+    if hours:
+        return f"{hours}h {minutes:02d}m"
+    return f"{minutes}m {secs:02d}s"
+
+
+def format_rate(per_second: float, unit: str = "") -> str:
+    """Render a rate with thousands separators: ``12,340 trials/s``."""
+    suffix = f" {unit}/s" if unit else "/s"
+    if per_second >= 100:
+        return f"{per_second:,.0f}{suffix}"
+    if per_second >= 1:
+        return f"{per_second:,.1f}{suffix}"
+    return f"{per_second:.3g}{suffix}"
+
+
+def format_count(value: float) -> str:
+    """Render a counter value: integers with separators, floats compactly."""
+    if float(value).is_integer():
+        return f"{int(value):,}"
+    return f"{value:,.3f}"

@@ -1,0 +1,184 @@
+"""Tests for runner observability plumbing: event log, hooks, progress."""
+
+import io
+import json
+
+import pytest
+
+from repro.runner import EventLogWriter, ProgressRenderer, RunnerEvent, close_hooks, read_event_log
+from repro.runner.events import dispatch_event
+
+
+def _write_lines(path, lines):
+    path.write_text("".join(line + "\n" for line in lines))
+
+
+class TestReadEventLog:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with EventLogWriter(path) as log:
+            log.on_event(RunnerEvent(kind="run_start", shards_total=2))
+            log.on_event(RunnerEvent(kind="run_finish", trials_done=8))
+        events = read_event_log(path)
+        assert [e["kind"] for e in events] == ["run_start", "run_finish"]
+        assert all("ts" in e for e in events)
+
+    def test_truncated_final_line_skipped(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        good = [json.dumps({"kind": "run_start"}), json.dumps({"kind": "shard_finish"})]
+        path.write_text("\n".join(good) + "\n" + '{"kind": "run_fin')
+        events = read_event_log(path)
+        assert [e["kind"] for e in events] == ["run_start", "shard_finish"]
+
+    def test_strict_raises_on_truncation(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        path.write_text('{"kind": "run_start"}\n{"kind": "run_fin')
+        with pytest.raises(json.JSONDecodeError):
+            read_event_log(path, strict=True)
+
+    def test_stops_at_first_bad_line(self, tmp_path):
+        # a corrupt middle line ends the trustworthy prefix; lines after
+        # it are not resynchronized
+        path = tmp_path / "events.jsonl"
+        _write_lines(path, ['{"kind": "run_start"}', "garbage", '{"kind": "run_finish"}'])
+        events = read_event_log(path)
+        assert [e["kind"] for e in events] == ["run_start"]
+
+    def test_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        _write_lines(path, ['{"kind": "run_start"}', "", '{"kind": "run_finish"}'])
+        assert len(read_event_log(path)) == 2
+
+
+class TestEventLogWriter:
+    def test_context_manager_closes_handle(self, tmp_path):
+        with EventLogWriter(tmp_path / "events.jsonl") as log:
+            handle = log._handle
+            assert not handle.closed
+        assert handle.closed
+
+    def test_close_is_idempotent(self, tmp_path):
+        log = EventLogWriter(tmp_path / "events.jsonl")
+        log.close()
+        log.close()
+
+    def test_appends_across_instances(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with EventLogWriter(path) as log:
+            log.on_event(RunnerEvent(kind="run_start"))
+        with EventLogWriter(path) as log:
+            log.on_event(RunnerEvent(kind="run_finish"))
+        assert len(read_event_log(path)) == 2
+
+
+class TestCloseHooks:
+    def test_failure_does_not_skip_later_hooks(self):
+        closed = []
+
+        class Good:
+            def __init__(self, name):
+                self.name = name
+
+            def close(self):
+                closed.append(self.name)
+
+        class Bad:
+            def close(self):
+                raise RuntimeError("boom")
+
+        with pytest.warns(RuntimeWarning, match="boom"):
+            close_hooks([Good("a"), Bad(), Good("b")])
+        assert closed == ["a", "b"]
+
+    def test_hooks_without_close_are_fine(self):
+        close_hooks([object(), object()])
+
+
+class TestDispatchDuckTyping:
+    def test_partial_hook_without_base_class(self):
+        """Hooks need not subclass RunnerHooks nor implement every method."""
+        seen = []
+
+        class OnlyFinish:
+            def on_shard_finish(self, event):
+                seen.append(event.kind)
+
+        hook = OnlyFinish()
+        dispatch_event(hook, RunnerEvent(kind="run_start"))
+        dispatch_event(hook, RunnerEvent(kind="shard_finish"))
+        dispatch_event(hook, RunnerEvent(kind="shard_skipped"))
+        dispatch_event(hook, RunnerEvent(kind="run_finish"))
+        assert seen == ["shard_finish", "shard_skipped"]
+
+    def test_catch_all_sees_everything(self):
+        seen = []
+
+        class CatchAll:
+            def on_event(self, event):
+                seen.append(event.kind)
+
+        for kind in ("run_start", "shard_retry", "run_finish"):
+            dispatch_event(CatchAll(), RunnerEvent(kind=kind))
+        assert seen == ["run_start", "shard_retry", "run_finish"]
+
+    def test_specific_handler_runs_before_catch_all(self):
+        order = []
+
+        class Both:
+            def on_shard_finish(self, event):
+                order.append("specific")
+
+            def on_event(self, event):
+                order.append("catch_all")
+
+        dispatch_event(Both(), RunnerEvent(kind="shard_finish"))
+        assert order == ["specific", "catch_all"]
+
+
+def _finish_event(done, total=10, **kw):
+    return RunnerEvent(
+        kind="shard_finish", shards_done=done, shards_total=total,
+        trials_done=done * 4, trials_total=total * 4, **kw,
+    )
+
+
+class TestProgressRendererNonTTY:
+    def test_min_interval_suppresses_intermediate_lines(self):
+        stream = io.StringIO()  # not a TTY
+        renderer = ProgressRenderer(stream=stream, min_interval=3600)
+        for done in range(1, 6):
+            renderer.on_shard_finish(_finish_event(done))
+        lines = stream.getvalue().splitlines()
+        # only the first shard emits; the rest fall inside min_interval
+        assert len(lines) == 1
+        assert "shard 1/10" in lines[0]
+
+    def test_final_line_always_emitted(self):
+        stream = io.StringIO()
+        renderer = ProgressRenderer(stream=stream, min_interval=3600)
+        renderer.on_shard_finish(_finish_event(1))
+        renderer.on_shard_finish(_finish_event(10))  # done, despite throttle
+        lines = stream.getvalue().splitlines()
+        assert len(lines) == 2
+        assert "shard 10/10" in lines[-1]
+
+    def test_zero_interval_emits_every_line(self):
+        stream = io.StringIO()
+        renderer = ProgressRenderer(stream=stream, min_interval=0.0)
+        for done in range(1, 4):
+            renderer.on_shard_finish(_finish_event(done))
+        assert len(stream.getvalue().splitlines()) == 3
+
+    def test_eta_is_humanized(self):
+        stream = io.StringIO()
+        renderer = ProgressRenderer(stream=stream, min_interval=0.0)
+        renderer.on_shard_finish(_finish_event(1, eta_seconds=8640.0))
+        text = stream.getvalue()
+        assert "ETA 2h 24m" in text
+        assert "8640" not in text
+
+    def test_finish_line_humanized(self):
+        stream = io.StringIO()
+        renderer = ProgressRenderer(stream=stream, min_interval=0.0)
+        renderer.on_run_finish(RunnerEvent(kind="run_finish", trials_done=40, elapsed=125.0))
+        assert "done: 40 trials in 2m 05s" in stream.getvalue()

@@ -1,0 +1,224 @@
+"""Tests for the telemetry core: counters, spans, merging, scoping."""
+
+import pickle
+import threading
+import time
+
+import pytest
+
+from repro.telemetry import (
+    DISABLED,
+    TELEMETRY_ENV_VAR,
+    SpanStats,
+    Telemetry,
+    TelemetrySnapshot,
+    get_telemetry,
+    resolve_collector,
+    telemetry_enabled_by_env,
+    telemetry_scope,
+)
+
+
+class TestCounters:
+    def test_accumulate(self):
+        t = Telemetry()
+        t.count("a")
+        t.count("a", 4)
+        t.count("b", 2.5)
+        snap = t.snapshot()
+        assert snap.counters == {"a": 5, "b": 2.5}
+
+    def test_integral_floats_stay_integers(self):
+        t = Telemetry()
+        t.count("n", 3.0)
+        assert t.snapshot().counters["n"] == 3
+        assert isinstance(t.snapshot().counters["n"], int)
+
+    def test_thread_safety(self):
+        t = Telemetry()
+
+        def worker():
+            for _ in range(1000):
+                t.count("hits")
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert t.snapshot().counters["hits"] == 8000
+
+
+class TestSpans:
+    def test_records_count_and_time(self):
+        t = Telemetry()
+        for _ in range(3):
+            with t.span("work"):
+                time.sleep(0.001)
+        stats = t.snapshot().spans["work"]
+        assert stats.count == 3
+        assert stats.total_ns >= 3_000_000
+        assert 0 < stats.min_ns <= stats.max_ns <= stats.total_ns
+
+    def test_nested_spans_split_self_time(self):
+        t = Telemetry()
+        with t.span("outer"):
+            time.sleep(0.002)
+            with t.span("inner"):
+                time.sleep(0.005)
+        snap = t.snapshot()
+        outer, inner = snap.spans["outer"], snap.spans["inner"]
+        assert outer.total_ns > inner.total_ns
+        # outer self time excludes the nested inner span
+        assert outer.self_ns == outer.total_ns - inner.total_ns
+        assert inner.self_ns == inner.total_ns
+
+    def test_phase_seconds_sums_self_time_without_double_count(self):
+        t = Telemetry()
+        with t.span("inject.shard"):
+            with t.span("formats.decode"):
+                time.sleep(0.001)
+        phases = t.snapshot().phase_seconds()
+        assert set(phases) == {"inject", "formats"}
+        total = t.snapshot().spans["inject.shard"].total_seconds
+        assert sum(phases.values()) == pytest.approx(total, rel=1e-9)
+
+    def test_decorator(self):
+        t = Telemetry()
+
+        @t.timed("fn")
+        def add(a, b):
+            return a + b
+
+        assert add(1, 2) == 3
+        assert t.snapshot().spans["fn"].count == 1
+
+    def test_span_records_on_exception(self):
+        t = Telemetry()
+        with pytest.raises(ValueError):
+            with t.span("boom"):
+                raise ValueError("x")
+        assert t.snapshot().spans["boom"].count == 1
+
+
+class TestSnapshotMerge:
+    def _make(self, n):
+        t = Telemetry()
+        t.count("trials", n)
+        with t.span("s"):
+            pass
+        return t.snapshot()
+
+    def test_merge_adds_counters_and_spans(self):
+        merged = self._make(3).merge(self._make(4))
+        assert merged.counters["trials"] == 7
+        assert merged.spans["s"].count == 2
+
+    def test_merge_is_associative(self):
+        parts = [self._make(i) for i in (1, 2, 3)]
+
+        def combine(order):
+            out = TelemetrySnapshot()
+            for i in order:
+                out.merge(parts[i])
+            return out
+
+        a, b = combine([0, 1, 2]), combine([2, 0, 1])
+        assert a.counters == b.counters
+        assert {k: (v.count, v.total_ns) for k, v in a.spans.items()} == {
+            k: (v.count, v.total_ns) for k, v in b.spans.items()
+        }
+
+    def test_merge_empty_identity(self):
+        snap = self._make(5)
+        before = dict(snap.counters)
+        snap.merge(TelemetrySnapshot())
+        assert snap.counters == before
+
+    def test_merge_combines_extremes(self):
+        a = TelemetrySnapshot(spans={"s": SpanStats(1, 10, 10, 10, 10)})
+        b = TelemetrySnapshot(spans={"s": SpanStats(1, 30, 30, 30, 30)})
+        a.merge(b)
+        assert a.spans["s"].min_ns == 10
+        assert a.spans["s"].max_ns == 30
+        assert a.spans["s"].total_ns == 40
+
+    def test_json_round_trip(self):
+        snap = self._make(9)
+        restored = TelemetrySnapshot.from_json(snap.to_json())
+        assert restored.counters == snap.counters
+        assert restored.spans["s"].to_json() == snap.spans["s"].to_json()
+
+    def test_snapshot_pickles(self):
+        snap = self._make(2)
+        clone = pickle.loads(pickle.dumps(snap))
+        assert clone.counters == snap.counters
+
+    def test_merge_snapshot_into_collector(self):
+        t = Telemetry()
+        t.count("trials", 1)
+        t.merge_snapshot(self._make(10))
+        assert t.snapshot().counters["trials"] == 11
+
+
+class TestDisabled:
+    def test_null_collector_is_inert(self):
+        DISABLED.count("x", 5)
+        with DISABLED.span("y"):
+            pass
+        snap = DISABLED.snapshot()
+        assert snap.empty
+
+    def test_null_decorator_returns_function_unchanged(self):
+        def fn():
+            return 42
+
+        assert DISABLED.timed("z")(fn) is fn
+
+
+class TestScoping:
+    def test_scope_installs_and_restores(self):
+        base = get_telemetry()
+        t = Telemetry()
+        with telemetry_scope(t):
+            assert get_telemetry() is t
+            inner = Telemetry()
+            with telemetry_scope(inner):
+                assert get_telemetry() is inner
+            assert get_telemetry() is t
+        assert get_telemetry() is base
+
+
+class TestEnvAndResolution:
+    def test_env_default_off(self, monkeypatch):
+        monkeypatch.delenv(TELEMETRY_ENV_VAR, raising=False)
+        assert telemetry_enabled_by_env() is False
+
+    @pytest.mark.parametrize("value,expected", [
+        ("1", True), ("true", True), ("ON", True),
+        ("0", False), ("false", False), ("off", False), ("", False),
+    ])
+    def test_env_values(self, monkeypatch, value, expected):
+        monkeypatch.setenv(TELEMETRY_ENV_VAR, value)
+        assert telemetry_enabled_by_env() is expected
+
+    def test_env_garbage_raises(self, monkeypatch):
+        monkeypatch.setenv(TELEMETRY_ENV_VAR, "maybe")
+        with pytest.raises(ValueError, match="REPRO_TELEMETRY"):
+            telemetry_enabled_by_env()
+
+    def test_resolve_none_follows_env(self, monkeypatch):
+        monkeypatch.delenv(TELEMETRY_ENV_VAR, raising=False)
+        assert resolve_collector(None) is DISABLED
+        monkeypatch.setenv(TELEMETRY_ENV_VAR, "1")
+        assert resolve_collector(None).enabled
+
+    def test_resolve_bools_and_instances(self):
+        assert resolve_collector(False) is DISABLED
+        assert resolve_collector(True).enabled
+        t = Telemetry()
+        assert resolve_collector(t) is t
+
+    def test_resolve_rejects_junk(self):
+        with pytest.raises(TypeError, match="telemetry"):
+            resolve_collector("yes")

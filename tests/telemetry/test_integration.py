@@ -1,0 +1,83 @@
+"""Campaign-runner integration: telemetry through interrupts and status."""
+
+import numpy as np
+import pytest
+
+from repro.inject import CampaignConfig, run_campaign
+from repro.runner import RunnerHooks, run_status
+from repro.telemetry import load_run_snapshot, telemetry_path
+
+
+class KillAfter(RunnerHooks):
+    """Simulate ctrl-C after N completed shards."""
+
+    def __init__(self, shards: int):
+        self.shards = shards
+
+    def on_shard_finish(self, event) -> None:
+        if event.shards_done >= self.shards:
+            raise KeyboardInterrupt
+
+
+@pytest.fixture
+def field():
+    return np.random.default_rng(13).normal(size=128)
+
+
+class TestInterruptPath:
+    def test_partial_telemetry_written_on_interrupt(self, field, tmp_path):
+        run_dir = tmp_path / "run"
+        config = CampaignConfig(trials_per_bit=2, bits=(0, 1, 2, 3, 4, 5), seed=9)
+        with pytest.raises(KeyboardInterrupt):
+            run_campaign(
+                field, "posit16", config,
+                run_dir=run_dir, hooks=KillAfter(3), telemetry=True,
+            )
+        snapshot = load_run_snapshot(run_dir)
+        assert snapshot is not None
+        # the three completed shards' work is preserved
+        assert snapshot.counters["inject.shards"] == 3
+        assert snapshot.counters["inject.trials"] == 6
+        assert snapshot.spans["inject.shard"].count == 3
+
+    def test_unprofiled_interrupt_writes_no_telemetry(self, field, tmp_path):
+        run_dir = tmp_path / "run"
+        config = CampaignConfig(trials_per_bit=2, bits=(0, 1, 2), seed=9)
+        with pytest.raises(KeyboardInterrupt):
+            run_campaign(
+                field, "posit16", config,
+                run_dir=run_dir, hooks=KillAfter(1), telemetry=False,
+            )
+        assert not telemetry_path(run_dir).is_file()
+
+
+class TestRunStatus:
+    def test_status_reports_phases_for_profiled_run(self, field, tmp_path):
+        run_dir = tmp_path / "run"
+        config = CampaignConfig(trials_per_bit=2, bits=(0, 4), seed=9)
+        run_campaign(field, "posit16", config, run_dir=run_dir, telemetry=True)
+        status = run_status(run_dir)
+        assert status.phase_seconds
+        assert "inject" in status.phase_seconds
+        assert "phases:" in status.summary()
+
+    def test_status_without_telemetry_has_no_phase_line(self, field, tmp_path):
+        run_dir = tmp_path / "run"
+        config = CampaignConfig(trials_per_bit=2, bits=(0,), seed=9)
+        run_campaign(field, "posit16", config, run_dir=run_dir, telemetry=False)
+        status = run_status(run_dir)
+        assert status.phase_seconds is None
+        assert "phases:" not in status.summary()
+
+
+class TestResultExtras:
+    def test_snapshot_attached_without_run_dir(self, field):
+        config = CampaignConfig(trials_per_bit=2, bits=(0, 1), seed=9)
+        result = run_campaign(field, "posit16", config, telemetry=True)
+        snapshot = result.extras["telemetry"]
+        assert snapshot.counters["inject.shards"] == 2
+
+    def test_no_extras_entry_when_disabled(self, field):
+        config = CampaignConfig(trials_per_bit=2, bits=(0,), seed=9)
+        result = run_campaign(field, "posit16", config, telemetry=False)
+        assert "telemetry" not in result.extras
