@@ -1,0 +1,176 @@
+"""Fault plans: seeded, deterministic chaos for the campaign harness.
+
+The paper's experiments flip bits in *data*; this module flips bits in
+the *infrastructure that runs the experiments* — workers crash or hang,
+shard CSVs tear mid-write or rot on disk, the manifest corrupts, the
+whole process gets SIGKILLed between shards.  A :class:`FaultPlan` is a
+seeded set of :class:`FaultSpec` activations threaded through
+:class:`repro.runner.CampaignRunner` and the worker-pool plumbing; the
+chaos test suite asserts the runner's invariant under any plan:
+
+    a chaos run either completes with results bit-identical to the
+    fault-free run, or fails loudly with an actionable error —
+    never silently wrong.
+
+Determinism: whether a fault fires at a given site is a pure function
+of ``(plan seed, fault kind, shard bit, attempt)`` via a keyed hash —
+independent of process, scheduling, and wall clock — so a chaos
+scenario replays exactly, including across fork-pool workers (the plan
+crosses the fork boundary with the worker initializer).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+
+class ChaosError(RuntimeError):
+    """The exception raised by an injected ``worker-raise`` fault."""
+
+
+#: Faults injected in the shard *compute* path (worker process or the
+#: serial loop).  ``worker-crash`` and ``worker-hang`` in a serial run
+#: crash/hang the run itself — point them at pool workers (``jobs>1``)
+#: unless that is the experiment.
+COMPUTE_FAULTS = ("worker-raise", "worker-delay", "worker-hang", "worker-crash")
+
+#: Faults applied to run-directory artifacts after a shard persists.
+ARTIFACT_FAULTS = (
+    "torn-shard",        # truncate the shard CSV (a torn write)
+    "shard-byte",        # XOR one byte of the shard CSV
+    "shard-bit",         # flip one bit of the shard CSV
+    "manifest-byte",     # XOR one byte of manifest.json
+    "manifest-truncate", # truncate manifest.json
+    "kill-run",          # SIGKILL the running process between shards
+)
+
+FAULT_KINDS = COMPUTE_FAULTS + ARTIFACT_FAULTS
+
+#: Activation site per fault kind.
+SITE_COMPUTE = "compute"
+SITE_ARTIFACT = "artifact"
+_KIND_SITE = {kind: SITE_COMPUTE for kind in COMPUTE_FAULTS}
+_KIND_SITE.update({kind: SITE_ARTIFACT for kind in ARTIFACT_FAULTS})
+
+
+def _unit_draw(seed: int, *key) -> float:
+    """A deterministic uniform draw in [0, 1) keyed by ``(seed, *key)``.
+
+    Uses a keyed hash rather than an RNG stream so the decision for one
+    (site, bit, attempt) never depends on how many *other* decisions
+    were made first — workers and the parent agree without shared state.
+    """
+    token = ":".join(str(part) for part in (seed, *key))
+    digest = hashlib.blake2b(token.encode(), digest_size=8).digest()
+    return int.from_bytes(digest, "big") / 2.0**64
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault kind and the conditions under which it fires.
+
+    Attributes
+    ----------
+    kind:
+        One of :data:`FAULT_KINDS`.
+    rate:
+        Activation probability per opportunity (deterministic given the
+        plan seed; 1.0 always fires when the other conditions hold).
+    bits:
+        Restrict firing to these shard bit positions (None = any bit).
+    max_attempt:
+        Fire only while the shard's 0-based attempt is <= this value.
+        The default 0 makes compute faults transient: the retry or the
+        requeued shard succeeds, which is what lets the chaos invariant
+        require bit-identical completion.
+    after_shards:
+        Fire only once at least this many shards have completed
+        (artifact faults; e.g. ``kill-run`` four shards in).
+    delay / hang:
+        Sleep seconds for ``worker-delay`` / ``worker-hang``.
+    exit_code:
+        ``os._exit`` status for ``worker-crash``.
+    """
+
+    kind: str
+    rate: float = 1.0
+    bits: tuple[int, ...] | None = None
+    max_attempt: int = 0
+    after_shards: int = 0
+    delay: float = 0.05
+    hang: float = 3600.0
+    exit_code: int = 17
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; choose from {', '.join(FAULT_KINDS)}"
+            )
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"rate must be in [0, 1], got {self.rate}")
+        if self.bits is not None:
+            object.__setattr__(self, "bits", tuple(int(b) for b in self.bits))
+
+    @property
+    def site(self) -> str:
+        return _KIND_SITE[self.kind]
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded collection of fault specs consulted at runner hook points.
+
+    Plans are immutable, hashable on their specs, and picklable, so one
+    plan object serves the parent process and every fork-pool worker
+    and they all make identical activation decisions.
+    """
+
+    faults: tuple[FaultSpec, ...]
+    seed: int = 0
+
+    def __init__(self, faults, seed: int = 0):
+        object.__setattr__(self, "faults", tuple(faults))
+        object.__setattr__(self, "seed", int(seed))
+        for spec in self.faults:
+            if not isinstance(spec, FaultSpec):
+                raise TypeError(f"faults must be FaultSpec instances, got {spec!r}")
+
+    def _activates(self, spec: FaultSpec, site: str, bit: int, attempt: int,
+                   shards_done: int) -> bool:
+        if spec.site != site:
+            return False
+        if spec.bits is not None and bit not in spec.bits:
+            return False
+        if attempt > spec.max_attempt:
+            return False
+        if shards_done < spec.after_shards:
+            return False
+        if spec.rate >= 1.0:
+            return True
+        if spec.rate <= 0.0:
+            return False
+        return _unit_draw(self.seed, spec.kind, site, bit, attempt) < spec.rate
+
+    def active(self, site: str, *, bit: int, attempt: int = 0,
+               shards_done: int = 0) -> tuple[FaultSpec, ...]:
+        """The specs that fire at this (site, bit, attempt) opportunity."""
+        if site not in (SITE_COMPUTE, SITE_ARTIFACT):
+            raise ValueError(f"unknown fault site {site!r}")
+        return tuple(
+            spec
+            for spec in self.faults
+            if self._activates(spec, site, bit, attempt, shards_done)
+        )
+
+    def describe(self) -> dict:
+        """A JSON-friendly description (for logs and run events)."""
+        return {
+            "seed": self.seed,
+            "faults": [
+                {"kind": spec.kind, "rate": spec.rate,
+                 "bits": list(spec.bits) if spec.bits is not None else None,
+                 "max_attempt": spec.max_attempt, "after_shards": spec.after_shards}
+                for spec in self.faults
+            ],
+        }

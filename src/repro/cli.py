@@ -11,6 +11,7 @@
         --jobs 4 --run-dir runs/nyx --out trials.csv
     posit-resiliency campaign resume runs/nyx      # continue after interrupt
     posit-resiliency campaign status runs/nyx      # shard/trial progress
+    posit-resiliency campaign verify runs/nyx      # audit run-dir integrity
     posit-resiliency campaign run ... --profile    # collect telemetry
     posit-resiliency telemetry report runs/nyx     # per-phase time breakdown
     posit-resiliency inspect 186.25                # show representations
@@ -257,6 +258,14 @@ def _cmd_campaign_status(args) -> int:
     return 0 if status.complete else 2
 
 
+def _cmd_campaign_verify(args) -> int:
+    from repro.runner import verify_run
+
+    report = verify_run(args.run_dir)
+    print(report.render())
+    return report.exit_code
+
+
 def _cmd_suite(args) -> int:
     from repro.inject.suite import SuiteConfig, run_suite
 
@@ -453,6 +462,13 @@ def build_parser() -> argparse.ArgumentParser:
     pst.add_argument("run_dir", help="run directory with a manifest.json")
     pst.set_defaults(func=_cmd_campaign_status)
 
+    pvf = campaign_sub.add_parser(
+        "verify",
+        help="audit a run directory: manifest, shard checksums, events, telemetry",
+    )
+    pvf.add_argument("run_dir", help="run directory with a manifest.json")
+    pvf.set_defaults(func=_cmd_campaign_verify)
+
     p = sub.add_parser("telemetry", help="inspect a profiled run's telemetry")
     telemetry_sub = p.add_subparsers(dest="telemetry_command", required=True)
     ptr = telemetry_sub.add_parser(
@@ -503,7 +519,7 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-_CAMPAIGN_SUBCOMMANDS = {"run", "resume", "status", "-h", "--help"}
+_CAMPAIGN_SUBCOMMANDS = {"run", "resume", "status", "verify", "-h", "--help"}
 
 
 def _normalize_argv(argv: list[str]) -> list[str]:

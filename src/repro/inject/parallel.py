@@ -20,6 +20,7 @@ deprecated :func:`run_campaign_parallel` wrapper.
 from __future__ import annotations
 
 import os
+import signal
 import time
 import warnings
 
@@ -40,6 +41,8 @@ def _init_worker(
     target_spec: str,
     baseline: SummaryStats,
     telemetry_enabled: bool = False,
+    chaos=None,
+    heartbeat=None,
 ) -> None:
     # Targets cross the pool boundary as spec strings, not pickles:
     # every format's name is a valid spec (posit16es1, binary(8,23),
@@ -50,14 +53,48 @@ def _init_worker(
     _WORKER_STATE["target"] = resolve(target_spec)
     _WORKER_STATE["baseline"] = baseline
     _WORKER_STATE["telemetry"] = bool(telemetry_enabled)
+    # Chaos fault plan (repro.chaos.FaultPlan) and the heartbeat queue:
+    # workers announce claiming/finishing a shard so the parent can tell
+    # a hung or dead worker from a queued task and kill + requeue it.
+    _WORKER_STATE["chaos"] = chaos
+    _WORKER_STATE["heartbeat"] = heartbeat
+    # The fork copied the parent's SIGTERM handler (the runner converts
+    # SIGTERM to a checkpointing interrupt); in a worker that handler
+    # would make Pool.terminate() raise instead of exit and the shutdown
+    # would deadlock.  Workers die on SIGTERM like normal processes.
+    signal.signal(signal.SIGTERM, signal.SIG_DFL)
     # The fork inherited the parent's active collector; recording into it
     # from this process would be silently lost.  Profiled shards collect
     # into a per-task collector in _run_shard_timed and ship snapshots.
     _reset_process_stack(DISABLED)
 
 
-def _run_shard(args: tuple[int, int, np.random.SeedSequence]) -> TrialRecords:
-    bit, trials, seed = args
+def _unpack_task(args) -> tuple[int, int, np.random.SeedSequence, int]:
+    """Task args with the 0-based attempt (legacy 3-tuples mean attempt 0)."""
+    if len(args) == 3:
+        bit, trials, seed = args
+        return bit, trials, seed, 0
+    return args
+
+
+def _ping(kind: str, bit: int, attempt: int) -> None:
+    """Best-effort heartbeat; a dying queue must not fail the shard.
+
+    The queue is a ``SimpleQueue``, so ``put`` writes the pipe before
+    returning — a worker that crashes immediately after claiming has
+    still told the parent which shard it took.
+    """
+    heartbeat = _WORKER_STATE.get("heartbeat")
+    if heartbeat is None:
+        return
+    try:
+        heartbeat.put((kind, os.getpid(), bit, attempt))
+    except Exception:
+        pass
+
+
+def _run_shard(args) -> TrialRecords:
+    bit, trials, seed, _attempt = _unpack_task(args)
     return run_campaign_shard(
         _WORKER_STATE["data"],
         _WORKER_STATE["target"],
@@ -68,9 +105,7 @@ def _run_shard(args: tuple[int, int, np.random.SeedSequence]) -> TrialRecords:
     )
 
 
-def _run_shard_timed(
-    args: tuple[int, int, np.random.SeedSequence],
-) -> tuple[TrialRecords, float, TelemetrySnapshot | None]:
+def _run_shard_timed(args) -> tuple[TrialRecords, float, TelemetrySnapshot | None]:
     """Pool task: a shard, its compute time, and its telemetry delta.
 
     When the runner profiles, each task records into a private collector
@@ -78,7 +113,21 @@ def _run_shard_timed(
     merges the deltas shard by shard (same discipline as the streaming
     metric accumulators), so the reduced totals are identical to a
     serial run regardless of worker count or scheduling.
+
+    Heartbeats: the task pings "claim" before computing and "done" after,
+    so the parent can distinguish a queued task (no claim yet — never
+    timed out) from a claimed one whose worker crashed or hung (claim
+    then silence — killed and requeued).  Chaos compute faults fire
+    after the claim ping, so even an injected crash leaves the trace a
+    real one would.
     """
+    bit, trials, seed, attempt = _unpack_task(args)
+    _ping("claim", bit, attempt)
+    plan = _WORKER_STATE.get("chaos")
+    if plan is not None:
+        from repro.chaos import fire_compute_faults
+
+        fire_compute_faults(plan, bit, attempt)
     start = time.perf_counter()
     if _WORKER_STATE.get("telemetry"):
         collector = Telemetry()
@@ -88,7 +137,9 @@ def _run_shard_timed(
     else:
         records = _run_shard(args)
         snapshot = None
-    return records, time.perf_counter() - start, snapshot
+    elapsed = time.perf_counter() - start
+    _ping("done", bit, attempt)
+    return records, elapsed, snapshot
 
 
 def default_worker_count(shard_count: int | None = None) -> int:

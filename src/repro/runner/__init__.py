@@ -8,8 +8,16 @@ under a run directory, emits observable events (hooks, a terminal
 progress renderer, a JSONL event log), retries failed shards with
 backoff, and can resume a partial run to a result bit-identical to an
 uninterrupted one.
+
+Hardening (see ``docs/robustness.md``): shard files are written
+atomically and carry SHA-256 checksums verified on resume (corrupt
+files are quarantined under ``shards/quarantine/``, never trusted),
+pool workers heartbeat so hung or dead workers are killed and their
+shards requeued, SIGTERM checkpoints like Ctrl-C, and
+:func:`verify_run` audits a run directory end to end.
 """
 
+from repro.runner.errors import ManifestError, RunnerError, SignalInterrupt
 from repro.runner.events import (
     EventLogWriter,
     ProgressRenderer,
@@ -24,21 +32,25 @@ from repro.runner.manifest import (
     RunManifest,
     ShardState,
     dataset_fingerprint,
+    quarantine_dir,
+    shard_checksum,
 )
 from repro.runner.runner import (
     CampaignRunner,
-    RunnerError,
     RunStatus,
     ShardSpec,
     resume_campaign,
     run_status,
 )
+from repro.runner.verify import Finding, VerifyReport, verify_run
 
 __all__ = [
     "CampaignRunner",
     "EventLogWriter",
+    "Finding",
     "MANIFEST_NAME",
     "MANIFEST_VERSION",
+    "ManifestError",
     "ProgressRenderer",
     "RunManifest",
     "RunStatus",
@@ -47,9 +59,14 @@ __all__ = [
     "RunnerHooks",
     "ShardSpec",
     "ShardState",
+    "SignalInterrupt",
+    "VerifyReport",
     "close_hooks",
     "dataset_fingerprint",
+    "quarantine_dir",
     "read_event_log",
     "resume_campaign",
     "run_status",
+    "shard_checksum",
+    "verify_run",
 ]

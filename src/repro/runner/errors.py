@@ -1,0 +1,35 @@
+"""Runner exception types.
+
+Kept in their own module so low-level pieces (the manifest, the chaos
+fault injector) can raise runner errors without importing the runner
+itself.
+"""
+
+from __future__ import annotations
+
+
+class RunnerError(RuntimeError):
+    """A campaign run that cannot proceed (bad state, exhausted retries)."""
+
+
+class ManifestError(RunnerError):
+    """A run manifest that cannot be trusted (unparseable or malformed).
+
+    Raised instead of a raw ``json.JSONDecodeError`` so a resume against
+    a corrupted ``manifest.json`` fails with the file name, the parse
+    failure, and the recovery options in one message.
+    """
+
+
+class SignalInterrupt(KeyboardInterrupt):
+    """A termination signal converted into an exception.
+
+    Subclasses :class:`KeyboardInterrupt` so every code path that
+    already treats Ctrl-C as "checkpoint and stop" (the runner's
+    interrupt handling, callers' ``except KeyboardInterrupt``) handles
+    job-scheduler preemption (SIGTERM) identically.
+    """
+
+    def __init__(self, signum: int):
+        super().__init__(f"terminated by signal {signum}")
+        self.signum = signum

@@ -30,6 +30,9 @@ EVENT_KINDS = (
     "shard_retry",
     "shard_fallback",
     "shard_skipped",
+    "shard_hung",
+    "shard_quarantined",
+    "chaos_fault",
     "run_interrupted",
     "run_finish",
 )
@@ -133,6 +136,8 @@ _SPECIFIC_HANDLER = {
     "shard_error": "on_shard_error",
     "shard_retry": "on_shard_error",
     "shard_fallback": "on_shard_error",
+    "shard_hung": "on_shard_error",
+    "shard_quarantined": "on_shard_error",
     "run_interrupted": "on_run_finish",
     "run_finish": "on_run_finish",
 }
@@ -276,9 +281,12 @@ class ProgressRenderer(RunnerHooks):
     def on_shard_error(self, event: RunnerEvent) -> None:
         if self._is_tty:
             print("\r", end="", file=self.stream)
-        verb = {"shard_retry": "retrying", "shard_fallback": "falling back in-process"}.get(
-            event.kind, "failed"
-        )
+        verb = {
+            "shard_retry": "retrying",
+            "shard_fallback": "falling back in-process",
+            "shard_hung": "stalled; killing worker and requeuing",
+            "shard_quarantined": "corrupt on disk; quarantined for recompute",
+        }.get(event.kind, "failed")
         print(
             f"[campaign] shard bit={event.bit} attempt {event.attempt}: "
             f"{verb} ({event.error})",

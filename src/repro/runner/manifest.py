@@ -9,9 +9,12 @@ A run directory looks like::
 
 The manifest pins the campaign *identity* — config, root seed, canonical
 format spec, dataset fingerprint, code version — so a resume can refuse
-to mix shards from a different campaign, and records per-shard status so
-a resume knows exactly which bits remain.  Writes go through an atomic
-replace; a kill mid-write never corrupts the previous manifest.
+to mix shards from a different campaign, and records per-shard status
+plus a SHA-256 content checksum per completed shard, so a resume trusts
+nothing it cannot verify.  Writes go through an atomic replace; a kill
+mid-write never corrupts the previous manifest.  Shard files that fail
+verification are moved to ``shards/quarantine/`` (never silently
+deleted) and their shards demoted to pending.
 """
 
 from __future__ import annotations
@@ -26,11 +29,13 @@ from pathlib import Path
 import numpy as np
 
 import repro
+from repro.runner.errors import ManifestError
 
 MANIFEST_VERSION = 1
 MANIFEST_NAME = "manifest.json"
 EVENT_LOG_NAME = "events.jsonl"
 SHARD_DIR_NAME = "shards"
+QUARANTINE_DIR_NAME = "quarantine"
 
 #: Shard lifecycle states recorded in the manifest.
 SHARD_PENDING = "pending"
@@ -61,6 +66,42 @@ def shard_file_name(bit: int) -> str:
     return f"bit-{bit:03d}.csv"
 
 
+def shard_checksum(path: str | os.PathLike) -> str:
+    """SHA-256 hex digest of a shard file's exact bytes.
+
+    Recorded in the manifest when a shard persists and re-verified on
+    resume and by ``campaign verify`` — a single flipped bit anywhere in
+    the file changes the digest.
+    """
+    digest = hashlib.sha256()
+    with open(Path(path), "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 16), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def quarantine_dir(run_dir: str | os.PathLike) -> Path:
+    """Where corrupt shard files are preserved for post-mortems."""
+    return Path(run_dir) / SHARD_DIR_NAME / QUARANTINE_DIR_NAME
+
+
+def quarantine_file(run_dir: str | os.PathLike, path: Path) -> Path:
+    """Move a corrupt artifact into the quarantine directory.
+
+    The evidence is preserved, never deleted: repeated quarantines of
+    the same shard get numeric suffixes instead of overwriting.
+    """
+    directory = quarantine_dir(run_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    dest = directory / path.name
+    counter = 1
+    while dest.exists():
+        dest = directory / f"{path.name}.{counter}"
+        counter += 1
+    os.replace(path, dest)
+    return dest
+
+
 @dataclass
 class ShardState:
     """Per-shard bookkeeping persisted in the manifest."""
@@ -70,6 +111,7 @@ class ShardState:
     status: str = SHARD_PENDING
     attempts: int = 0
     duration: float | None = None
+    checksum: str | None = None
 
     def to_json(self) -> dict:
         payload = {"bit": self.bit, "trials": self.trials, "status": self.status}
@@ -77,6 +119,8 @@ class ShardState:
             payload["attempts"] = self.attempts
         if self.duration is not None:
             payload["duration"] = round(self.duration, 6)
+        if self.checksum is not None:
+            payload["checksum"] = self.checksum
         return payload
 
     @classmethod
@@ -87,6 +131,7 @@ class ShardState:
             status=payload.get("status", SHARD_PENDING),
             attempts=int(payload.get("attempts", 0)),
             duration=payload.get("duration"),
+            checksum=payload.get("checksum"),
         )
 
 
@@ -212,7 +257,30 @@ class RunManifest:
         path = Path(run_dir) / MANIFEST_NAME
         if not path.is_file():
             raise FileNotFoundError(f"no campaign run manifest at {path}")
-        return cls.from_json(json.loads(path.read_text()))
+        recovery = (
+            "recovery options: restore the manifest from a backup copy, or "
+            "delete the run directory and re-run the campaign fresh "
+            "(without the manifest's checksums the shard files cannot be "
+            "trusted)"
+        )
+        try:
+            payload = json.loads(path.read_bytes().decode("utf-8", errors="strict"))
+        except (json.JSONDecodeError, UnicodeDecodeError) as error:
+            raise ManifestError(
+                f"campaign manifest {path} is corrupt and cannot be parsed "
+                f"({error}); {recovery}"
+            ) from error
+        try:
+            return cls.from_json(payload)
+        except (KeyError, TypeError, ValueError, AttributeError) as error:
+            raise ManifestError(
+                f"campaign manifest {path} is malformed "
+                f"(missing or invalid field: {error!r}); {recovery}"
+            ) from error
+
+    @staticmethod
+    def quarantine_dir(run_dir: str | os.PathLike) -> Path:
+        return quarantine_dir(run_dir)
 
     @staticmethod
     def shard_path(run_dir: str | os.PathLike, bit: int) -> Path:

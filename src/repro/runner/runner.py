@@ -13,13 +13,22 @@ order, any number of times, on any worker, and produce the same records.
 Failure handling: a shard that raises in a worker is retried with
 exponential backoff; if the pool itself breaks (or retries are
 exhausted), the shard degrades to in-process execution instead of
-losing the run.
+losing the run.  Hardened paths (see ``docs/robustness.md``): shard
+files carry SHA-256 checksums verified on resume (corrupt files are
+quarantined, never trusted), pool workers heartbeat so a hung or dead
+worker is detected, killed, and its shard requeued, writes are atomic,
+and SIGTERM checkpoints like Ctrl-C.  A :class:`repro.chaos.FaultPlan`
+passed as ``chaos=`` injects infrastructure faults into all of this to
+prove the run either completes bit-identical or fails loudly.
 """
 
 from __future__ import annotations
 
+import hashlib
 import multiprocessing
 import os
+import signal
+import threading
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -36,6 +45,7 @@ from repro.inject.campaign import (
 )
 from repro.inject.results import TrialRecords
 from repro.metrics.summary import SummaryStats
+from repro.runner.errors import ManifestError, RunnerError, SignalInterrupt
 from repro.runner.events import (
     EventLogWriter,
     ProgressRenderer,
@@ -52,6 +62,9 @@ from repro.runner.manifest import (
     RunManifest,
     ShardState,
     dataset_fingerprint,
+    quarantine_dir,
+    quarantine_file,
+    shard_checksum,
 )
 from repro.telemetry import (
     TelemetrySnapshot,
@@ -64,8 +77,17 @@ from repro.telemetry import (
 )
 
 
-class RunnerError(RuntimeError):
-    """A campaign run that cannot proceed (bad state, exhausted retries)."""
+# Backwards-compatible re-exports: these lived here before runner/errors.py.
+__all__ = [
+    "CampaignRunner",
+    "ManifestError",
+    "RunStatus",
+    "RunnerError",
+    "ShardSpec",
+    "SignalInterrupt",
+    "resume_campaign",
+    "run_status",
+]
 
 
 @dataclass(frozen=True)
@@ -75,6 +97,28 @@ class ShardSpec:
     bit: int
     trials: int
     seed: np.random.SeedSequence = field(compare=False, hash=False)
+
+
+@dataclass
+class _ShardRun:
+    """Pool-side bookkeeping for one in-flight shard."""
+
+    future: object | None = None
+    failures: int = 0
+    claimed: float | None = None
+    pid: int | None = None
+    done: bool = False
+
+
+def _pid_alive(pid: int) -> bool:
+    """Whether a process still exists (signal 0 probe)."""
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True
+    return True
 
 
 @dataclass(frozen=True)
@@ -92,6 +136,7 @@ class RunStatus:
     pending_bits: tuple[int, ...]
     missing_shard_files: tuple[int, ...]
     phase_seconds: dict | None = None
+    quarantined_files: tuple[str, ...] = ()
 
     @property
     def complete(self) -> bool:
@@ -113,6 +158,11 @@ class RunStatus:
                 "warning: manifest marks bits "
                 f"{', '.join(map(str, self.missing_shard_files))} completed "
                 "but their shard files are missing (they will re-run on resume)"
+            )
+        if self.quarantined_files:
+            lines.append(
+                f"quarantine: {len(self.quarantined_files)} corrupt shard file(s) "
+                "preserved under shards/quarantine/"
             )
         if self.phase_seconds:
             breakdown = ", ".join(
@@ -160,8 +210,21 @@ class CampaignRunner:
     retry_backoff:
         Base of the exponential backoff sleep between attempts.
     shard_timeout:
-        Optional per-shard pool timeout in seconds; a shard exceeding it
-        counts as failed (guards against a worker dying mid-task).
+        Optional per-shard pool budget in seconds, measured from the
+        moment a worker claims the shard (queued shards never time out);
+        a shard exceeding it has its worker killed and is requeued
+        through the normal retry path.
+    heartbeat_timeout:
+        Optional staleness limit in seconds for claimed shards.  Pool
+        workers heartbeat when they claim and finish a shard; a shard
+        claimed but unfinished for longer than this is treated as hung —
+        its worker is SIGKILLed and the shard requeued.  Dead workers
+        (crashes) are detected immediately regardless of this value.
+    chaos:
+        Optional :class:`repro.chaos.FaultPlan` injecting infrastructure
+        faults (worker crashes/hangs/raises, shard and manifest
+        corruption, hard kills) into this run — for testing the
+        harness, never for production campaigns.
     telemetry:
         Profiling control (:func:`repro.telemetry.resolve_collector`):
         ``None`` follows ``REPRO_TELEMETRY``, ``True``/``False`` force a
@@ -187,6 +250,8 @@ class CampaignRunner:
         max_retries: int = 2,
         retry_backoff: float = 0.05,
         shard_timeout: float | None = None,
+        heartbeat_timeout: float | None = None,
+        chaos=None,
         telemetry=None,
     ):
         from repro.inject.parallel import validate_jobs
@@ -199,7 +264,15 @@ class CampaignRunner:
         self.dataset = dataset
         self.max_retries = int(max_retries)
         self.retry_backoff = float(retry_backoff)
+        if shard_timeout is not None and shard_timeout <= 0:
+            raise ValueError(f"shard_timeout must be positive, got {shard_timeout}")
+        if heartbeat_timeout is not None and heartbeat_timeout <= 0:
+            raise ValueError(
+                f"heartbeat_timeout must be positive, got {heartbeat_timeout}"
+            )
         self.shard_timeout = shard_timeout
+        self.heartbeat_timeout = heartbeat_timeout
+        self.chaos = chaos
         self.telemetry = resolve_collector(telemetry)
         self.telemetry_snapshot: TelemetrySnapshot | None = None
 
@@ -227,6 +300,8 @@ class CampaignRunner:
         self._shards_done = 0
         self._effective_jobs = 1
         self._retry_count = 0
+        self._hung_count = 0
+        self._quarantined: list[dict] = []
 
     # -- planning -----------------------------------------------------------
 
@@ -253,12 +328,21 @@ class CampaignRunner:
     # -- public API ---------------------------------------------------------
 
     def run(self, *, resume: bool = False) -> CampaignResult:
-        """Execute (or finish) the campaign and return its result."""
+        """Execute (or finish) the campaign and return its result.
+
+        SIGTERM is handled like Ctrl-C for the duration of the run (when
+        called from the main thread): the manifest checkpoints as
+        interrupted, telemetry flushes, a ``run_interrupted`` event is
+        emitted, and :class:`SignalInterrupt` (a ``KeyboardInterrupt``)
+        propagates — so a batch scheduler's kill leaves a resumable run.
+        """
         shards = self.plan()
         self._completed = {}
         self._started = time.monotonic()
         self._busy_time = 0.0
         self._retry_count = 0
+        self._hung_count = 0
+        self._quarantined = []
 
         owned_hooks = []
         if self.run_dir is not None:
@@ -276,6 +360,18 @@ class CampaignRunner:
         pending = [s for s in shards if s.bit not in self._completed]
         self._effective_jobs = self._resolve_jobs(len(pending))
 
+        # Treat a scheduler's SIGTERM like Ctrl-C: checkpoint, flush,
+        # announce, re-raise.  Signal handlers only install from the main
+        # thread; elsewhere the default disposition stays in place.
+        sigterm_installed = False
+        previous_sigterm = None
+        if threading.current_thread() is threading.main_thread():
+            def _on_sigterm(signum, frame):
+                raise SignalInterrupt(signum)
+
+            previous_sigterm = signal.signal(signal.SIGTERM, _on_sigterm)
+            sigterm_installed = True
+
         try:
             with telemetry_scope(self.telemetry):
                 try:
@@ -292,6 +388,13 @@ class CampaignRunner:
                                 "run_dir": str(self.run_dir) if self.run_dir else None,
                             },
                         )
+                        for entry in self._quarantined:
+                            self.telemetry.count("runner.shards_quarantined")
+                            self._emit(hooks, "shard_quarantined",
+                                       bit=entry["bit"], error=entry["reason"],
+                                       shards_total=len(shards),
+                                       trials_total=trials_total,
+                                       detail={"quarantined_to": entry["quarantined_to"]})
                         for bit in sorted(self._completed):
                             self._emit(hooks, "shard_skipped", bit=bit,
                                        shards_total=len(shards), trials_total=trials_total)
@@ -300,14 +403,14 @@ class CampaignRunner:
                             self._run_serial(pending, hooks, len(shards), trials_total)
                         else:
                             self._run_pool(pending, hooks, len(shards), trials_total)
-                except BaseException:
+                except BaseException as error:
                     if self._manifest is not None:
                         self._manifest.status = RUN_INTERRUPTED
                         self._manifest.write(self.run_dir)
                     # Persist the partial profile too: an interrupted run's
                     # telemetry is exactly what a post-mortem wants.
                     self._snapshot_telemetry()
-                    self._emit(hooks, "run_interrupted",
+                    self._emit(hooks, "run_interrupted", error=repr(error),
                                shards_total=len(shards), trials_total=trials_total)
                     raise
 
@@ -326,6 +429,8 @@ class CampaignRunner:
                         "run_dir": str(self.run_dir) if self.run_dir else None,
                         "resumed_shards": len(shards) - len(pending),
                         "shard_retries": self._retry_count,
+                        "shards_hung": self._hung_count,
+                        "shards_quarantined": len(self._quarantined),
                         "jobs": self._effective_jobs,
                     },
                 )
@@ -339,6 +444,8 @@ class CampaignRunner:
                            shards_total=len(shards), trials_total=trials_total)
                 return result
         finally:
+            if sigterm_installed:
+                signal.signal(signal.SIGTERM, previous_sigterm or signal.SIG_DFL)
             close_hooks(owned_hooks)
 
     def resume(self) -> CampaignResult:
@@ -400,16 +507,49 @@ class CampaignRunner:
         self._manifest.write(self.run_dir)
 
     def _restore_completed_shards(self) -> None:
-        """Load persisted shard records, demoting any that fail to load."""
+        """Load persisted shard records, refusing any that fail verification.
+
+        Every restored shard must pass its manifest SHA-256 checksum
+        (when recorded), parse, and hold the expected trial count.  A
+        shard failing any check is demoted to pending *and* its file
+        moved to ``shards/quarantine/`` — evidence is preserved, and the
+        corrupt bytes can never silently feed a result.  A missing file
+        simply demotes (there is nothing to quarantine).
+        """
         for bit in self._manifest.completed_bits():
             state = self._manifest.shards[bit]
             path = RunManifest.shard_path(self.run_dir, bit)
-            try:
-                records = TrialRecords.read_csv(path)
-            except (OSError, ValueError):
-                records = None
-            if records is None or len(records) != state.trials:
+            if not path.is_file():
                 state.status = SHARD_PENDING
+                state.checksum = None
+                continue
+            reason = None
+            records = None
+            if state.checksum is not None:
+                actual = shard_checksum(path)
+                if actual != state.checksum:
+                    reason = (
+                        f"checksum mismatch (manifest {state.checksum[:12]}, "
+                        f"file {actual[:12]})"
+                    )
+            if reason is None:
+                try:
+                    records = TrialRecords.read_csv(path)
+                except (OSError, ValueError) as error:
+                    reason = f"unreadable shard file ({error})"
+                else:
+                    if len(records) != state.trials:
+                        reason = (
+                            f"trial count mismatch (manifest {state.trials}, "
+                            f"file {len(records)})"
+                        )
+            if reason is not None:
+                dest = quarantine_file(self.run_dir, path)
+                state.status = SHARD_PENDING
+                state.checksum = None
+                self._quarantined.append(
+                    {"bit": bit, "reason": reason, "quarantined_to": str(dest)}
+                )
                 continue
             self._completed[bit] = records
 
@@ -429,11 +569,20 @@ class CampaignRunner:
             return
         path = RunManifest.shard_path(self.run_dir, spec.bit)
         path.parent.mkdir(parents=True, exist_ok=True)
-        records.write_csv(path)
+        # Atomic write: serialize once, checksum the exact bytes that hit
+        # disk, write to a temp file, then rename into place.  A kill at
+        # any instant leaves either no shard file or a complete one whose
+        # checksum the manifest vouches for — never a torn write.
+        payload = records.to_csv_string().encode("utf-8")
+        digest = hashlib.sha256(payload).hexdigest()
+        tmp = path.with_name(path.name + ".tmp")
+        tmp.write_bytes(payload)
+        os.replace(tmp, path)
         state = self._manifest.shards[spec.bit]
         state.status = SHARD_COMPLETED
         state.attempts = attempts
         state.duration = duration
+        state.checksum = digest
         self._manifest.write(self.run_dir)
 
     # -- execution ----------------------------------------------------------
@@ -464,6 +613,22 @@ class CampaignRunner:
         self._emit(hooks, "shard_finish", bit=spec.bit, attempt=attempts - 1,
                    shards_total=shards_total, trials_total=trials_total,
                    detail={"duration": round(duration, 6)})
+        self._fire_artifact_chaos(spec.bit, hooks, shards_total, trials_total)
+
+    def _fire_artifact_chaos(self, bit, hooks, shards_total, trials_total) -> None:
+        """Chaos hook: damage run-dir artifacts after a shard persists."""
+        if self.chaos is None or self.run_dir is None:
+            return
+        from repro.chaos import fire_artifact_faults
+
+        def on_fault(spec, info):
+            self.telemetry.count(f"chaos.fault.{spec.kind}")
+            self._emit(hooks, "chaos_fault", bit=bit, error=f"chaos: {spec.kind}",
+                       shards_total=shards_total, trials_total=trials_total,
+                       detail=info)
+
+        fire_artifact_faults(self.chaos, self.run_dir, bit,
+                             shards_done=self._shards_done, on_fault=on_fault)
 
     def _run_serial(self, pending, hooks, shards_total, trials_total) -> None:
         for spec in pending:
@@ -473,6 +638,10 @@ class CampaignRunner:
             while True:
                 attempts += 1
                 try:
+                    if self.chaos is not None:
+                        from repro.chaos import fire_compute_faults
+
+                        fire_compute_faults(self.chaos, spec.bit, attempts - 1)
                     records, duration = self._compute_shard(spec)
                     break
                 except Exception as error:
@@ -491,64 +660,181 @@ class CampaignRunner:
             self._finish_shard(spec, records, duration, attempts, hooks,
                                shards_total, trials_total)
 
+    def _kill_worker(self, pid: int | None) -> bool:
+        """SIGKILL a stalled pool worker; the pool respawns a replacement."""
+        if pid is None:
+            return False
+        try:
+            os.kill(pid, signal.SIGKILL)
+        except (ProcessLookupError, PermissionError):
+            return False
+        return True
+
     def _run_pool(self, pending, hooks, shards_total, trials_total) -> None:
+        """Execute pending shards on a fork pool, surviving sick workers.
+
+        Instead of blocking on each future in bit order, a polling loop
+        collects results as they complete while a heartbeat queue tracks
+        which worker claimed which shard and when.  That lets the parent
+        distinguish three states the blocking design conflated: queued
+        (no claim — never times out), computing (claimed, worker alive,
+        within budget), and lost (worker dead, or claimed longer than
+        ``heartbeat_timeout`` / ``shard_timeout``).  Lost shards get
+        their worker SIGKILLed and re-enter the normal retry path, so a
+        crashed or hung worker costs one retry, not the run.
+        """
         from repro.inject.parallel import _init_worker, _run_shard_timed
 
         context = multiprocessing.get_context("fork")
+        # Created unconditionally: workers ping "claim"/"done" through it
+        # (inherited across the fork via the pool initializer args).  A
+        # SimpleQueue, not a Queue: its put() writes the pipe
+        # synchronously, so a worker that crashes (os._exit) right after
+        # claiming has still delivered the claim — a buffered Queue's
+        # feeder thread would die with the worker and lose it, leaving
+        # the shard looking queued forever.
+        heartbeats = context.SimpleQueue()
+        specs = {spec.bit: spec for spec in pending}
+        runs: dict[int, _ShardRun] = {}
         pool_broken = False
-        with context.Pool(
-            processes=self._effective_jobs,
-            initializer=_init_worker,
-            initargs=(self.stored, self.target.name, self.baseline,
-                      self.telemetry.enabled),
-        ) as pool:
-            futures = {}
-            for spec in pending:
-                futures[spec.bit] = pool.apply_async(
-                    _run_shard_timed, ((spec.bit, spec.trials, spec.seed),)
-                )
-                self._emit(hooks, "shard_start", bit=spec.bit,
-                           shards_total=shards_total, trials_total=trials_total)
-            for spec in pending:
-                attempts = 0
-                records = duration = None
-                future = futures[spec.bit]
-                while records is None and attempts <= self.max_retries and not pool_broken:
-                    attempts += 1
-                    try:
-                        records, duration, worker_snapshot = future.get(
-                            timeout=self.shard_timeout
-                        )
+
+        def submit(bit: int) -> None:
+            run = runs[bit]
+            spec = specs[bit]
+            run.claimed = None
+            run.pid = None
+            run.done = False
+            # The attempt id rides along so pings from a killed earlier
+            # attempt cannot be mistaken for the live one.
+            run.future = pool.apply_async(
+                _run_shard_timed,
+                ((spec.bit, spec.trials, spec.seed, run.failures),),
+            )
+
+        def fallback(bit: int) -> None:
+            # Degrade gracefully: the pool failed this shard (or died);
+            # recompute in-process rather than lose the run.
+            run = runs.pop(bit)
+            self._emit(hooks, "shard_fallback", bit=bit, attempt=run.failures,
+                       shards_total=shards_total, trials_total=trials_total,
+                       error="pool execution failed; running in-process")
+            records, duration = self._compute_shard(specs[bit])
+            self._finish_shard(specs[bit], records, duration, run.failures + 1,
+                               hooks, shards_total, trials_total)
+
+        def fail(bit: int, error: BaseException) -> None:
+            nonlocal pool_broken
+            run = runs[bit]
+            run.failures += 1
+            run.future = None
+            self._emit(hooks, "shard_error", bit=bit, attempt=run.failures - 1,
+                       error=repr(error), shards_total=shards_total,
+                       trials_total=trials_total)
+            if run.failures > self.max_retries:
+                fallback(bit)
+                return
+            self._retry_count += 1
+            time.sleep(self.retry_backoff * (2 ** (run.failures - 1)))
+            try:
+                submit(bit)
+            except Exception:
+                pool_broken = True
+                return
+            self._emit(hooks, "shard_retry", bit=bit, attempt=run.failures,
+                       error=repr(error), shards_total=shards_total,
+                       trials_total=trials_total)
+
+        def drain_heartbeats() -> None:
+            while True:
+                try:
+                    if heartbeats.empty():
+                        return
+                    kind, pid, bit, attempt = heartbeats.get()
+                except (OSError, EOFError):
+                    return
+                run = runs.get(bit)
+                if run is None or attempt != run.failures:
+                    continue  # ping from a superseded or finished attempt
+                if kind == "claim":
+                    run.claimed = time.monotonic()
+                    run.pid = pid
+                elif kind == "done":
+                    run.done = True
+
+        def reap_stalled() -> None:
+            now = time.monotonic()
+            for bit in sorted(runs):
+                run = runs.get(bit)
+                if (run is None or run.future is None or run.done
+                        or run.future.ready() or run.claimed is None):
+                    continue
+                age = now - run.claimed
+                reason = None
+                if run.pid is not None and not _pid_alive(run.pid):
+                    reason = f"worker pid {run.pid} died mid-shard"
+                elif (self.heartbeat_timeout is not None
+                        and age > self.heartbeat_timeout):
+                    reason = (f"claimed {age:.1f}s ago with no completion "
+                              f"(heartbeat_timeout={self.heartbeat_timeout:g}s)")
+                elif self.shard_timeout is not None and age > self.shard_timeout:
+                    reason = (f"running {age:.1f}s "
+                              f"(shard_timeout={self.shard_timeout:g}s)")
+                if reason is None:
+                    continue
+                self._hung_count += 1
+                self.telemetry.count("runner.shards_hung")
+                if self._kill_worker(run.pid):
+                    self.telemetry.count("runner.workers_killed")
+                self._emit(hooks, "shard_hung", bit=bit, attempt=run.failures,
+                           error=reason, shards_total=shards_total,
+                           trials_total=trials_total,
+                           detail={"pid": run.pid, "claimed_age": round(age, 3)})
+                fail(bit, RunnerError(f"shard bit={bit} hung: {reason}"))
+                if pool_broken:
+                    return
+
+        try:
+            with context.Pool(
+                processes=self._effective_jobs,
+                initializer=_init_worker,
+                initargs=(self.stored, self.target.name, self.baseline,
+                          self.telemetry.enabled, self.chaos, heartbeats),
+            ) as pool:
+                for spec in pending:
+                    runs[spec.bit] = _ShardRun()
+                    submit(spec.bit)
+                    self._emit(hooks, "shard_start", bit=spec.bit,
+                               shards_total=shards_total, trials_total=trials_total)
+                while runs and not pool_broken:
+                    drain_heartbeats()
+                    progressed = False
+                    for bit in sorted(runs):
+                        run = runs.get(bit)
+                        if run is None or run.future is None or not run.future.ready():
+                            continue
+                        progressed = True
+                        try:
+                            records, duration, worker_snapshot = run.future.get()
+                        except Exception as error:
+                            fail(bit, error)
+                            if pool_broken:
+                                break
+                            continue
                         if worker_snapshot is not None:
                             self.telemetry.merge_snapshot(worker_snapshot)
-                    except Exception as error:
-                        self._emit(hooks, "shard_error", bit=spec.bit,
-                                   attempt=attempts - 1, error=repr(error),
-                                   shards_total=shards_total, trials_total=trials_total)
-                        if attempts > self.max_retries:
-                            break
-                        self._retry_count += 1
-                        time.sleep(self.retry_backoff * (2 ** (attempts - 1)))
-                        try:
-                            future = pool.apply_async(
-                                _run_shard_timed, ((spec.bit, spec.trials, spec.seed),)
-                            )
-                        except Exception:
-                            pool_broken = True
-                            break
-                        self._emit(hooks, "shard_retry", bit=spec.bit, attempt=attempts,
-                                   error=repr(error), shards_total=shards_total,
-                                   trials_total=trials_total)
-                if records is None:
-                    # Degrade gracefully: the pool failed this shard (or
-                    # died); recompute in-process rather than lose the run.
-                    self._emit(hooks, "shard_fallback", bit=spec.bit, attempt=attempts,
-                               shards_total=shards_total, trials_total=trials_total,
-                               error="pool execution failed; running in-process")
-                    records, duration = self._compute_shard(spec)
-                    attempts += 1
-                self._finish_shard(spec, records, duration, attempts, hooks,
-                                   shards_total, trials_total)
+                        runs.pop(bit)
+                        self._finish_shard(specs[bit], records, duration,
+                                           run.failures + 1, hooks,
+                                           shards_total, trials_total)
+                    if pool_broken:
+                        break
+                    reap_stalled()
+                    if runs and not pool_broken and not progressed:
+                        time.sleep(0.01)
+                for bit in sorted(runs):
+                    fallback(bit)
+        finally:
+            heartbeats.close()
 
     # -- events -------------------------------------------------------------
 
@@ -621,6 +907,12 @@ def run_status(run_dir: str | os.PathLike) -> RunStatus:
         for bit in manifest.completed_bits()
         if not RunManifest.shard_path(run_dir, bit).is_file()
     )
+    quarantine = quarantine_dir(run_dir)
+    quarantined = tuple(
+        sorted(str(p.relative_to(run_dir)) for p in quarantine.iterdir())
+        if quarantine.is_dir()
+        else ()
+    )
     snapshot = load_run_snapshot(run_dir)
     return RunStatus(
         run_dir=str(run_dir),
@@ -634,6 +926,7 @@ def run_status(run_dir: str | os.PathLike) -> RunStatus:
         pending_bits=tuple(manifest.pending_bits()),
         missing_shard_files=missing,
         phase_seconds=snapshot.phase_seconds() if snapshot is not None else None,
+        quarantined_files=quarantined,
     )
 
 

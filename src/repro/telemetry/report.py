@@ -206,13 +206,54 @@ def render_run_report(run_dir: str | os.PathLike) -> str:
 
     retries = sum(1 for e in events if e.get("kind") == "shard_retry")
     fallbacks = sum(1 for e in events if e.get("kind") == "shard_fallback")
-    if retries or fallbacks:
+    hung = sum(1 for e in events if e.get("kind") == "shard_hung")
+    quarantined = sum(1 for e in events if e.get("kind") == "shard_quarantined")
+    chaos = sum(1 for e in events if e.get("kind") == "chaos_fault")
+    if retries or fallbacks or hung or quarantined or chaos:
+        parts = [
+            f"{retries} shard retr{'y' if retries == 1 else 'ies'}",
+            f"{fallbacks} in-process fallback(s)",
+        ]
+        if hung:
+            parts.append(f"{hung} hung-worker kill(s)")
+        if quarantined:
+            parts.append(f"{quarantined} quarantined shard file(s)")
+        if chaos:
+            parts.append(f"{chaos} injected chaos fault(s)")
+        lines += [f"_{', '.join(parts)} recorded in the event log._", ""]
+
+    integrity = _integrity_section(run_dir)
+    if integrity:
+        lines += integrity
+    return "\n".join(lines)
+
+
+def _integrity_section(run_dir: Path) -> list[str]:
+    """The ``campaign verify`` audit, inlined into the report.
+
+    The report joins three artifacts; this section says whether those
+    artifacts can be believed (checksums, reconciliation, quarantine).
+    """
+    from repro.runner.verify import verify_run
+
+    report = verify_run(run_dir)
+    lines = ["## Integrity", ""]
+    if report.ok:
         lines += [
-            f"_{retries} shard retr{'y' if retries == 1 else 'ies'}, "
-            f"{fallbacks} in-process fallback(s) recorded in the event log._",
+            f"`campaign verify` is clean: {report.shards_checked} shard "
+            f"file(s) and {report.events_checked} event(s) audited.",
             "",
         ]
-    return "\n".join(lines)
+        return lines
+    for finding in report.findings:
+        lines.append(f"- {finding.render()}")
+    lines += [
+        "",
+        f"_{len(report.errors)} error(s), {len(report.warnings)} warning(s) — "
+        f"see `posit-resiliency campaign verify {run_dir}`._",
+        "",
+    ]
+    return lines
 
 
 def write_run_report(run_dir: str | os.PathLike, out: str | os.PathLike | None = None) -> Path:

@@ -1,0 +1,28 @@
+"""Shared fixtures for the chaos suite: one tiny, fast posit8 campaign.
+
+256 elements x 8 bits x 3 trials keeps every chaos scenario under a
+second of compute, so the suite can afford full fault-free reference
+runs, resumes, and forked hard-kill children per test.
+"""
+
+import numpy as np
+import pytest
+
+from repro.inject.campaign import CampaignConfig, run_campaign
+
+
+@pytest.fixture(scope="session")
+def chaos_field() -> np.ndarray:
+    rng = np.random.default_rng(404)
+    return np.abs(rng.normal(loc=10.0, scale=3.0, size=256)).astype(np.float32)
+
+
+@pytest.fixture(scope="session")
+def chaos_config() -> CampaignConfig:
+    return CampaignConfig(trials_per_bit=3, seed=11)
+
+
+@pytest.fixture(scope="session")
+def fault_free(chaos_field, chaos_config):
+    """The reference result every chaos run must be bit-identical to."""
+    return run_campaign(chaos_field, "posit8", chaos_config)

@@ -1,0 +1,57 @@
+"""Property: ANY single flipped byte of a completed shard file is caught.
+
+Hypothesis drives the corruption site and mask; both audit paths —
+``verify_run`` and ``resume_campaign`` — must notice, and the resumed
+result must still be bit-identical to the fault-free run.
+"""
+
+import shutil
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.runner import quarantine_dir, resume_campaign, verify_run
+from repro.runner.manifest import RunManifest
+from tests.runner.test_runner import assert_records_identical
+
+
+@pytest.fixture(scope="module")
+def pristine_run(tmp_path_factory, chaos_field, chaos_config):
+    from repro.inject.campaign import run_campaign
+
+    run_dir = tmp_path_factory.mktemp("property") / "pristine"
+    run_campaign(chaos_field, "posit8", chaos_config, run_dir=run_dir)
+    return run_dir
+
+
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(
+    bit=st.integers(min_value=0, max_value=7),
+    frac=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    mask=st.integers(min_value=1, max_value=255),
+)
+def test_any_flipped_byte_is_caught(
+    pristine_run, chaos_field, fault_free, tmp_path_factory, bit, frac, mask
+):
+    run_dir = tmp_path_factory.mktemp("flip") / "run"
+    shutil.copytree(pristine_run, run_dir)
+    shard = RunManifest.shard_path(run_dir, bit)
+    data = bytearray(shard.read_bytes())
+    offset = min(int(frac * len(data)), len(data) - 1)
+    data[offset] ^= mask
+    shard.write_bytes(bytes(data))
+
+    # verify_run notices...
+    report = verify_run(run_dir)
+    assert report.exit_code == 1
+    assert any(f.check == "shard-checksum" for f in report.errors)
+
+    # ...and resume refuses the bytes, quarantines them, and recomputes
+    # to a bit-identical result.
+    resumed = resume_campaign(run_dir, chaos_field)
+    assert_records_identical(resumed.records, fault_free.records)
+    assert any(quarantine_dir(run_dir).iterdir())

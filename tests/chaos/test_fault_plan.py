@@ -1,0 +1,131 @@
+"""FaultPlan semantics: validation, site routing, deterministic draws."""
+
+import pickle
+
+import pytest
+
+from repro.chaos import (
+    ARTIFACT_FAULTS,
+    COMPUTE_FAULTS,
+    FAULT_KINDS,
+    SITE_ARTIFACT,
+    SITE_COMPUTE,
+    ChaosError,
+    FaultPlan,
+    FaultSpec,
+    corrupt_file,
+    fire_compute_faults,
+)
+
+
+class TestFaultSpec:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultSpec("disk-melts")
+
+    @pytest.mark.parametrize("rate", [-0.1, 1.5])
+    def test_rate_out_of_range_rejected(self, rate):
+        with pytest.raises(ValueError, match="rate"):
+            FaultSpec("worker-raise", rate=rate)
+
+    def test_every_kind_has_a_site(self):
+        for kind in FAULT_KINDS:
+            spec = FaultSpec(kind)
+            assert spec.site in (SITE_COMPUTE, SITE_ARTIFACT)
+        assert FaultSpec("worker-crash").site == SITE_COMPUTE
+        assert FaultSpec("kill-run").site == SITE_ARTIFACT
+
+    def test_kind_families_are_disjoint(self):
+        assert not set(COMPUTE_FAULTS) & set(ARTIFACT_FAULTS)
+
+
+class TestActivation:
+    def test_site_filtering(self):
+        plan = FaultPlan([FaultSpec("worker-raise"), FaultSpec("shard-byte")])
+        compute = plan.active(SITE_COMPUTE, bit=0)
+        artifact = plan.active(SITE_ARTIFACT, bit=0)
+        assert [s.kind for s in compute] == ["worker-raise"]
+        assert [s.kind for s in artifact] == ["shard-byte"]
+
+    def test_unknown_site_rejected(self):
+        with pytest.raises(ValueError, match="site"):
+            FaultPlan([]).active("network", bit=0)
+
+    def test_bits_filter(self):
+        plan = FaultPlan([FaultSpec("worker-raise", bits=(2, 5))])
+        assert plan.active(SITE_COMPUTE, bit=2)
+        assert plan.active(SITE_COMPUTE, bit=5)
+        assert not plan.active(SITE_COMPUTE, bit=3)
+
+    def test_max_attempt_makes_faults_transient(self):
+        plan = FaultPlan([FaultSpec("worker-raise", max_attempt=0)])
+        assert plan.active(SITE_COMPUTE, bit=1, attempt=0)
+        assert not plan.active(SITE_COMPUTE, bit=1, attempt=1)
+
+    def test_after_shards_gate(self):
+        plan = FaultPlan([FaultSpec("kill-run", after_shards=3)])
+        assert not plan.active(SITE_ARTIFACT, bit=0, shards_done=2)
+        assert plan.active(SITE_ARTIFACT, bit=0, shards_done=3)
+
+    def test_rate_draws_are_deterministic_and_seeded(self):
+        plan = FaultPlan([FaultSpec("worker-raise", rate=0.5)], seed=7)
+        fired = [bool(plan.active(SITE_COMPUTE, bit=bit)) for bit in range(200)]
+        again = [bool(plan.active(SITE_COMPUTE, bit=bit)) for bit in range(200)]
+        assert fired == again  # pure function of (seed, kind, site, bit, attempt)
+        assert 40 < sum(fired) < 160  # roughly half fire
+        other = FaultPlan([FaultSpec("worker-raise", rate=0.5)], seed=8)
+        assert fired != [bool(other.active(SITE_COMPUTE, bit=b)) for b in range(200)]
+
+    def test_plan_pickles_and_agrees(self):
+        plan = FaultPlan([FaultSpec("worker-raise", rate=0.3)], seed=3)
+        clone = pickle.loads(pickle.dumps(plan))
+        for bit in range(50):
+            assert bool(plan.active(SITE_COMPUTE, bit=bit)) == bool(
+                clone.active(SITE_COMPUTE, bit=bit)
+            )
+
+
+class TestExecutors:
+    def test_worker_raise_raises_chaos_error(self):
+        plan = FaultPlan([FaultSpec("worker-raise", bits=(4,))])
+        with pytest.raises(ChaosError, match="bit=4"):
+            fire_compute_faults(plan, bit=4)
+        fire_compute_faults(plan, bit=5)  # other bits untouched
+
+    def test_worker_raise_transient_by_default(self):
+        plan = FaultPlan([FaultSpec("worker-raise", bits=(4,))])
+        fire_compute_faults(plan, bit=4, attempt=1)  # retry succeeds
+
+    def test_corrupt_file_byte_is_deterministic(self, tmp_path):
+        a, b = tmp_path / "a.csv", tmp_path / "b.csv"
+        payload = b"trial,bit,value\n" * 30
+        a.write_bytes(payload)
+        b.write_bytes(payload)
+        info_a = corrupt_file(a, mode="byte", seed=5, token="t")
+        info_b = corrupt_file(b, mode="byte", seed=5, token="t")
+        assert info_a["offset"] == info_b["offset"]
+        assert a.read_bytes() == b.read_bytes() != payload
+
+    def test_corrupt_file_bit_flips_exactly_one_bit(self, tmp_path):
+        path = tmp_path / "a.csv"
+        payload = bytes(range(200))
+        path.write_bytes(payload)
+        info = corrupt_file(path, mode="bit", seed=1)
+        damaged = path.read_bytes()
+        assert len(damaged) == len(payload)
+        diff = [i for i in range(len(payload)) if damaged[i] != payload[i]]
+        assert diff == [info["offset"]]
+        assert bin(damaged[diff[0]] ^ payload[diff[0]]).count("1") == 1
+
+    def test_corrupt_file_truncate_keeps_prefix(self, tmp_path):
+        path = tmp_path / "a.csv"
+        payload = bytes(range(256))
+        path.write_bytes(payload)
+        info = corrupt_file(path, mode="truncate", seed=1)
+        assert path.read_bytes() == payload[: info["kept_bytes"]]
+
+    def test_corrupt_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty"
+        path.write_bytes(b"")
+        with pytest.raises(ChaosError, match="empty"):
+            corrupt_file(path, mode="byte")

@@ -1,0 +1,72 @@
+"""SIGTERM mid-run: a batch scheduler's kill must leave a resumable run.
+
+The runner converts SIGTERM into the same checkpoint-flush-announce
+path as Ctrl-C, so the child dies with a traceback (not a core), the
+manifest says ``interrupted``, the partial telemetry is on disk, and a
+resume finishes bit-identically.
+"""
+
+import multiprocessing
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.chaos import FaultPlan, FaultSpec
+from repro.inject.campaign import CampaignConfig, run_campaign
+from repro.runner import read_event_log, resume_campaign
+from repro.runner.manifest import RunManifest
+from tests.runner.test_runner import assert_records_identical
+
+
+def _run_slow_campaign(run_dir):
+    """Child target: each shard dawdles so SIGTERM lands mid-run."""
+    rng = np.random.default_rng(404)
+    field = np.abs(rng.normal(loc=10.0, scale=3.0, size=256)).astype(np.float32)
+    config = CampaignConfig(trials_per_bit=3, seed=11)
+    plan = FaultPlan(
+        [FaultSpec("worker-delay", delay=0.25, max_attempt=10)], seed=5
+    )
+    run_campaign(
+        field, "posit8", config, run_dir=run_dir, chaos=plan, telemetry=True
+    )
+
+
+def test_sigterm_checkpoints_and_resumes(chaos_field, fault_free, tmp_path):
+    run_dir = tmp_path / "sigterm"
+    context = multiprocessing.get_context("fork")
+    child = context.Process(target=_run_slow_campaign, args=(run_dir,))
+    child.start()
+
+    shards_dir = run_dir / "shards"
+    deadline = time.monotonic() + 60
+    while time.monotonic() < deadline and child.is_alive():
+        if shards_dir.is_dir() and len(list(shards_dir.glob("bit-*.csv"))) >= 2:
+            break
+        time.sleep(0.02)
+    if child.is_alive():
+        os.kill(child.pid, signal.SIGTERM)
+    child.join(timeout=60)
+    assert not child.is_alive(), "campaign child survived SIGTERM"
+    if child.exitcode == 0:
+        pytest.skip("campaign finished before SIGTERM landed")
+
+    # Died via the SignalInterrupt traceback, not the default disposition.
+    assert child.exitcode == 1
+
+    manifest = RunManifest.load(run_dir)
+    assert manifest.status == "interrupted"
+    assert 0 < len(manifest.completed_bits()) < len(manifest.shards)
+
+    events = read_event_log(run_dir / "events.jsonl")
+    assert events[-1]["kind"] == "run_interrupted"
+    assert "SignalInterrupt" in events[-1]["error"]
+
+    # Telemetry flushed on the way out: the partial profile is on disk.
+    assert (run_dir / "telemetry.json").is_file()
+
+    resumed = resume_campaign(run_dir, chaos_field)
+    assert_records_identical(resumed.records, fault_free.records)
+    assert RunManifest.load(run_dir).status == "completed"

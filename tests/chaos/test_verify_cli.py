@@ -1,0 +1,77 @@
+"""``campaign verify``: the run-directory audit, end to end via the CLI."""
+
+import shutil
+
+import pytest
+
+from repro.cli import main
+from repro.inject.campaign import run_campaign
+from repro.runner.manifest import RunManifest
+
+
+@pytest.fixture(scope="module")
+def pristine_run(tmp_path_factory, chaos_field, chaos_config):
+    """A completed, profiled run directory; tests copy, never mutate it."""
+    run_dir = tmp_path_factory.mktemp("verify") / "pristine"
+    run_campaign(
+        chaos_field, "posit8", chaos_config, run_dir=run_dir, telemetry=True
+    )
+    return run_dir
+
+
+@pytest.fixture
+def run_copy(pristine_run, tmp_path):
+    dest = tmp_path / "run"
+    shutil.copytree(pristine_run, dest)
+    return dest
+
+
+def test_clean_run_exits_zero(pristine_run, capsys):
+    assert main(["campaign", "verify", str(pristine_run)]) == 0
+    out = capsys.readouterr().out
+    assert "clean" in out
+    assert "shard file(s)" in out
+
+
+def test_flipped_bit_exits_nonzero_naming_the_file(run_copy, capsys):
+    shard = RunManifest.shard_path(run_copy, 3)
+    data = bytearray(shard.read_bytes())
+    data[len(data) // 2] ^= 0x04  # one flipped bit
+    shard.write_bytes(bytes(data))
+    assert main(["campaign", "verify", str(run_copy)]) == 1
+    out = capsys.readouterr().out
+    assert "shard-checksum" in out
+    assert shard.name in out
+    assert "checksum mismatch" in out
+
+
+def test_missing_shard_exits_nonzero(run_copy, capsys):
+    RunManifest.shard_path(run_copy, 0).unlink()
+    assert main(["campaign", "verify", str(run_copy)]) == 1
+    assert "shard-missing" in capsys.readouterr().out
+
+
+def test_broken_telemetry_exits_nonzero(run_copy, capsys):
+    (run_copy / "telemetry.json").write_text("{broken")
+    assert main(["campaign", "verify", str(run_copy)]) == 1
+    assert "telemetry-parse" in capsys.readouterr().out
+
+
+def test_truncated_event_log_warns(run_copy, capsys):
+    events = run_copy / "events.jsonl"
+    events.write_bytes(events.read_bytes()[:-20])  # tear the last line
+    assert main(["campaign", "verify", str(run_copy)]) == 2
+    assert "events-truncated" in capsys.readouterr().out
+
+
+def test_quarantine_leftovers_warn(run_copy, capsys):
+    quarantine = run_copy / "shards" / "quarantine"
+    quarantine.mkdir()
+    (quarantine / "bit-002.csv").write_text("damaged,bytes\n")
+    assert main(["campaign", "verify", str(run_copy)]) == 2
+    assert "quarantine" in capsys.readouterr().out
+
+
+def test_missing_run_dir_exits_nonzero(tmp_path, capsys):
+    assert main(["campaign", "verify", str(tmp_path / "nope")]) == 1
+    assert "not a directory" in capsys.readouterr().out

@@ -5,6 +5,7 @@ import json
 import numpy as np
 import pytest
 
+from repro.runner.errors import ManifestError
 from repro.runner.manifest import (
     MANIFEST_NAME,
     RUN_COMPLETED,
@@ -14,6 +15,8 @@ from repro.runner.manifest import (
     RunManifest,
     ShardState,
     dataset_fingerprint,
+    quarantine_file,
+    shard_checksum,
     shard_file_name,
 )
 
@@ -93,6 +96,47 @@ class TestRoundTrip:
     def test_load_missing(self, tmp_path):
         with pytest.raises(FileNotFoundError, match="manifest"):
             RunManifest.load(tmp_path)
+
+    def test_checksum_round_trip(self):
+        manifest = _manifest()
+        manifest.shards[2].status = SHARD_COMPLETED
+        manifest.shards[2].checksum = "f" * 64
+        clone = RunManifest.from_json(manifest.to_json())
+        assert clone.shards[2].checksum == "f" * 64
+        assert clone.shards[1].checksum is None
+
+    @pytest.mark.parametrize("payload", ['{"status": "comp', "not json at all", "[1, 2]"])
+    def test_load_corrupt_raises_manifest_error(self, tmp_path, payload):
+        (tmp_path / MANIFEST_NAME).write_text(payload)
+        with pytest.raises(ManifestError) as excinfo:
+            RunManifest.load(tmp_path)
+        message = str(excinfo.value)
+        assert MANIFEST_NAME in message
+        assert "recovery" in message
+
+
+class TestChecksumAndQuarantine:
+    def test_shard_checksum_matches_hashlib(self, tmp_path):
+        import hashlib
+
+        path = tmp_path / "bit-000.csv"
+        payload = b"trial,bit\r\n1,0\r\n"
+        path.write_bytes(payload)
+        assert shard_checksum(path) == hashlib.sha256(payload).hexdigest()
+
+    def test_quarantine_preserves_and_avoids_collisions(self, tmp_path):
+        shards = tmp_path / "shards"
+        shards.mkdir()
+        first = shards / "bit-002.csv"
+        first.write_text("one")
+        moved_one = quarantine_file(tmp_path, first)
+        second = shards / "bit-002.csv"
+        second.write_text("two")
+        moved_two = quarantine_file(tmp_path, second)
+        assert moved_one != moved_two
+        assert moved_one.read_text() == "one"
+        assert moved_two.read_text() == "two"
+        assert not first.exists()
 
 
 class TestIdentity:
