@@ -14,6 +14,8 @@
     posit-resiliency campaign verify runs/nyx      # audit run-dir integrity
     posit-resiliency campaign run ... --profile    # collect telemetry
     posit-resiliency telemetry report runs/nyx     # per-phase time breakdown
+    posit-resiliency conformance run --level smoke # gate codecs + metrics
+    posit-resiliency conformance bless             # refresh golden fixtures
     posit-resiliency inspect 186.25                # show representations
 
 Also runnable as ``python -m repro ...``.
@@ -266,6 +268,32 @@ def _cmd_campaign_verify(args) -> int:
     return report.exit_code
 
 
+def _cmd_conformance_run(args) -> int:
+    from repro.conformance import run_conformance
+
+    kwargs = {"golden_dir": args.golden_dir}
+    if args.seed is not None:
+        kwargs["seed"] = args.seed
+    report = run_conformance(args.level, args.format or None, **kwargs)
+    text = report.render()
+    if args.out:
+        from pathlib import Path
+
+        Path(args.out).write_text(text if text.endswith("\n") else text + "\n")
+        print(f"wrote {args.out}")
+    print(text)
+    return report.exit_code
+
+
+def _cmd_conformance_bless(args) -> int:
+    from repro.conformance import bless
+
+    paths = bless(args.golden_dir, formats=args.format or None)
+    for path in paths:
+        print(f"blessed {path}")
+    return 0
+
+
 def _cmd_suite(args) -> int:
     from repro.inject.suite import SuiteConfig, run_suite
 
@@ -482,6 +510,37 @@ def build_parser() -> argparse.ArgumentParser:
     ptr.add_argument("--out", default=None, help="write the report here "
                      "instead of stdout")
     ptr.set_defaults(func=_cmd_telemetry_report)
+
+    p = sub.add_parser(
+        "conformance",
+        help="differential/metamorphic oracle over codecs, metrics, and goldens",
+    )
+    conformance_sub = p.add_subparsers(dest="conformance_command", required=True)
+
+    pcr = conformance_sub.add_parser(
+        "run", help="run the oracle (exit 0 clean / 1 errors / 2 warnings)"
+    )
+    pcr.add_argument("--level", choices=("smoke", "full"), default="smoke",
+                     help="smoke: seeded samples; full: exhaustive <=16-bit lattices")
+    pcr.add_argument("--format", action="append", default=None,
+                     help="format spec to gate (repeatable; default: the paper roster)")
+    pcr.add_argument("--golden-dir", default=None,
+                     help="golden fixture directory (default tests/golden, "
+                     "or $REPRO_GOLDEN_DIR)")
+    pcr.add_argument("--seed", type=int, default=None,
+                     help="root sampling seed (default: the oracle seed)")
+    pcr.add_argument("--out", default=None,
+                     help="also write the findings report to this file")
+    pcr.set_defaults(func=_cmd_conformance_run)
+
+    pcb = conformance_sub.add_parser(
+        "bless", help="(re)generate the golden fixtures from the current tree"
+    )
+    pcb.add_argument("--format", action="append", default=None,
+                     help="only refresh fixtures for this format (repeatable)")
+    pcb.add_argument("--golden-dir", default=None,
+                     help="golden fixture directory (default tests/golden)")
+    pcb.set_defaults(func=_cmd_conformance_bless)
 
     p = sub.add_parser("suite", help="run the full (fields x targets) campaign grid")
     p.add_argument("--out", default="suite-results")

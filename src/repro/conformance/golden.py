@@ -1,0 +1,296 @@
+"""Golden fixtures: regression locks for codecs and campaign statistics.
+
+Two fixture kinds live under ``tests/golden/``:
+
+* **codec lattices** (``codec-<format>.json``) — a stratified table of
+  ``(input value, encoded pattern, decoded value)`` triples, floats
+  stored as ``float.hex()`` strings and patterns as hex ints.  Any
+  single-bit drift in the codec (or in the fixture file itself) fails
+  the ``golden-codec`` check with a finding naming the format and the
+  offending entry;
+* **campaign statistics** (``campaign-<field>-<format>.json``) — summary
+  statistics of a small seeded campaign per dataset preset: trial MSE
+  mean, relative-error quantiles, per-field stratification counts, and
+  the conversion report.  Counts compare exactly, floats within a
+  relative tolerance, so any codec/metric/runner drift fails loudly
+  with a diff naming the statistic.
+
+``repro conformance bless`` regenerates the files from the current tree
+(the refresh workflow after an *intentional* behavior change).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro.conformance.references import ORACLE_SEED, same_float, value_sample
+from repro.conformance.report import CheckResult, FindingCollector
+
+#: Environment override for the fixture directory (tests, installs).
+GOLDEN_DIR_ENV_VAR = "REPRO_GOLDEN_DIR"
+
+#: Formats locked by codec-lattice fixtures.
+CODEC_FIXTURE_FORMATS = ("posit8", "posit16", "posit32", "posit64", "ieee32", "bfloat16")
+
+#: Entries per codec fixture.
+CODEC_FIXTURE_ENTRIES = 128
+
+#: Small seeded campaigns locked by campaign-statistics fixtures.
+CAMPAIGN_FIXTURES = (
+    {"field": "cesm/cloud", "format": "posit32", "size": 2048, "trials_per_bit": 4, "seed": 2023},
+    {"field": "nyx/temperature", "format": "posit16", "size": 2048, "trials_per_bit": 4, "seed": 2023},
+    {"field": "cesm/cloud", "format": "ieee32", "size": 2048, "trials_per_bit": 4, "seed": 2023},
+)
+
+#: Relative tolerance for float statistics (runs are deterministic; the
+#: slack only absorbs cross-platform libm variation).
+STAT_RTOL = 1e-9
+
+
+def default_golden_dir() -> Path:
+    """``tests/golden`` of the repo checkout, or ``$REPRO_GOLDEN_DIR``."""
+    override = os.environ.get(GOLDEN_DIR_ENV_VAR)
+    if override:
+        return Path(override)
+    return Path(__file__).resolve().parents[3] / "tests" / "golden"
+
+
+def _slug(text: str) -> str:
+    return text.replace("/", "-").replace("(", "_").replace(")", "").replace(",", "_")
+
+
+def codec_fixture_path(golden_dir: Path, spec: str) -> Path:
+    return Path(golden_dir) / f"codec-{_slug(spec)}.json"
+
+
+def campaign_fixture_path(golden_dir: Path, field: str, spec: str) -> Path:
+    return Path(golden_dir) / f"campaign-{_slug(field)}-{_slug(spec)}.json"
+
+
+# -- codec lattice fixtures ----------------------------------------------
+
+
+def build_codec_fixture(spec: str, *, entries: int = CODEC_FIXTURE_ENTRIES,
+                        seed: int = ORACLE_SEED) -> dict:
+    """Compute the codec-lattice fixture payload for one format."""
+    from repro.formats import resolve
+
+    fmt = resolve(spec)
+    values = value_sample(fmt, entries, seed=seed)
+    # NaN encodes to a canonical pattern but ``float.hex`` of the input
+    # still round-trips, so specials stay in the lattice.  The sample
+    # sweeps past the format's range on purpose; numpy warns on the cast.
+    with np.errstate(over="ignore", invalid="ignore"):
+        patterns = np.asarray(fmt.to_bits(values))
+        decoded = fmt.from_bits(patterns)
+    rows = [
+        {
+            "value": float(value).hex(),
+            "pattern": f"0x{int(pattern):x}",
+            "decoded": float(out).hex(),
+        }
+        for value, pattern, out in zip(values.tolist(), patterns.tolist(), decoded.tolist())
+    ]
+    return {
+        "kind": "codec-lattice",
+        "format": fmt.name,
+        "nbits": fmt.nbits,
+        "seed": seed,
+        "entries": rows,
+    }
+
+
+def check_codec_fixture(fmt, payload: dict, path: str) -> CheckResult:
+    """Re-derive every lattice entry through the live codec."""
+    collector = FindingCollector("golden-codec", fmt.name, path=path)
+    entries = payload.get("entries", [])
+    values = np.array([float.fromhex(row["value"]) for row in entries])
+    with np.errstate(over="ignore", invalid="ignore"):
+        got_patterns = np.asarray(fmt.to_bits(values))
+        want_patterns = [int(row["pattern"], 16) for row in entries]
+        got_decoded = fmt.from_bits(np.asarray(want_patterns, dtype=np.uint64).astype(fmt.dtype))
+    for i, row in enumerate(entries):
+        if int(got_patterns[i]) != want_patterns[i]:
+            collector.error(
+                f"{fmt.name} encode drifted from golden lattice: "
+                f"to_bits({values[i]!r}) = 0x{int(got_patterns[i]):x}, fixture "
+                f"records 0x{want_patterns[i]:x} (entry {i})"
+            )
+        want_decoded = float.fromhex(row["decoded"])
+        if not same_float(float(got_decoded[i]), want_decoded):
+            collector.error(
+                f"{fmt.name} decode drifted from golden lattice: "
+                f"from_bits(0x{want_patterns[i]:x}) = {float(got_decoded[i])!r}, "
+                f"fixture records {want_decoded!r} (entry {i})"
+            )
+    return collector.finish(len(entries))
+
+
+# -- campaign statistics fixtures ----------------------------------------
+
+
+def compute_campaign_stats(field: str, spec: str, *, size: int, trials_per_bit: int,
+                           seed: int) -> dict:
+    """Run the small seeded campaign and reduce it to locked statistics."""
+    from repro.datasets.registry import get as get_preset
+    from repro.formats import resolve
+    from repro.inject.campaign import CampaignConfig, run_campaign
+
+    fmt = resolve(spec)
+    data = get_preset(field).generate(seed=seed, size=size)
+    result = run_campaign(data, fmt, CampaignConfig(trials_per_bit=trials_per_bit, seed=seed))
+    records = result.records
+    rel = records.rel_err
+    finite_rel = rel[np.isfinite(rel)]
+    mse = records.mse
+    finite_mse = mse[np.isfinite(mse)]
+    field_ids, field_counts = np.unique(records.field, return_counts=True)
+    return {
+        "trials": int(len(records)),
+        "non_finite": int(np.sum(records.non_finite)),
+        "undefined_rel": int(np.sum(np.isnan(rel))),
+        "mse_mean": float(np.mean(finite_mse)) if finite_mse.size else 0.0,
+        "abs_err_mean": float(np.mean(records.abs_err[np.isfinite(records.abs_err)])),
+        "rel_err_q10": float(np.quantile(finite_rel, 0.10)) if finite_rel.size else 0.0,
+        "rel_err_q50": float(np.quantile(finite_rel, 0.50)) if finite_rel.size else 0.0,
+        "rel_err_q90": float(np.quantile(finite_rel, 0.90)) if finite_rel.size else 0.0,
+        "field_counts": {
+            fmt.field_label(int(fid)): int(count)
+            for fid, count in zip(field_ids.tolist(), field_counts.tolist())
+        },
+        "conversion_mean_rel": result.conversion.mean_relative_error,
+        "conversion_max_rel": result.conversion.max_relative_error,
+        "conversion_exact_fraction": result.conversion.exact_fraction,
+        "baseline_mean": result.baseline.mean,
+        "baseline_std": result.baseline.std,
+    }
+
+
+def build_campaign_fixture(config: dict) -> dict:
+    stats = compute_campaign_stats(
+        config["field"], config["format"], size=config["size"],
+        trials_per_bit=config["trials_per_bit"], seed=config["seed"],
+    )
+    return {"kind": "campaign-stats", **config, "rtol": STAT_RTOL, "stats": stats}
+
+
+def check_campaign_fixture(payload: dict, path: str) -> CheckResult:
+    """Re-run the fixture's campaign and diff every locked statistic."""
+    subject = f"{payload['field']}@{payload['format']}"
+    collector = FindingCollector("golden-campaign", subject, path=path)
+    want = payload["stats"]
+    rtol = float(payload.get("rtol", STAT_RTOL))
+    got = compute_campaign_stats(
+        payload["field"], payload["format"], size=payload["size"],
+        trials_per_bit=payload["trials_per_bit"], seed=payload["seed"],
+    )
+    for key, expected in want.items():
+        actual = got.get(key)
+        if key == "field_counts":
+            if actual != expected:
+                collector.error(
+                    f"{subject} per-field stratification counts drifted: "
+                    f"fixture {expected}, current {actual}"
+                )
+            continue
+        if isinstance(expected, int):
+            if actual != expected:
+                collector.error(
+                    f"{subject} statistic {key!r} drifted: fixture {expected}, "
+                    f"current {actual}"
+                )
+            continue
+        if math.isnan(expected) and math.isnan(actual):
+            continue
+        if actual != expected and not (
+            math.isfinite(expected)
+            and math.isfinite(actual)
+            and abs(actual - expected) <= rtol * max(abs(expected), abs(actual))
+        ):
+            collector.error(
+                f"{subject} statistic {key!r} drifted beyond rtol={rtol}: "
+                f"fixture {expected!r}, current {actual!r}"
+            )
+    return collector.finish(len(want))
+
+
+# -- fixture IO and bless -------------------------------------------------
+
+
+def load_fixture(path: Path) -> dict:
+    return json.loads(Path(path).read_text(encoding="utf-8"))
+
+
+def write_fixture(path: Path, payload: dict) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+
+
+def bless(golden_dir: Path | None = None, *, formats=None) -> list[Path]:
+    """(Re)generate every golden fixture from the current tree.
+
+    ``formats`` optionally restricts which fixtures are refreshed.
+    Returns the written paths.
+    """
+    golden_dir = Path(golden_dir) if golden_dir is not None else default_golden_dir()
+    wanted = {str(spec) for spec in formats} if formats else None
+    written: list[Path] = []
+    for spec in CODEC_FIXTURE_FORMATS:
+        if wanted is not None and spec not in wanted:
+            continue
+        path = codec_fixture_path(golden_dir, spec)
+        write_fixture(path, build_codec_fixture(spec))
+        written.append(path)
+    for config in CAMPAIGN_FIXTURES:
+        if wanted is not None and config["format"] not in wanted:
+            continue
+        path = campaign_fixture_path(golden_dir, config["field"], config["format"])
+        write_fixture(path, build_campaign_fixture(config))
+        written.append(path)
+    return written
+
+
+def check_golden_codecs(ctx) -> list[CheckResult]:
+    """Run the golden-codec check for every applicable fixture file."""
+    from repro.formats import resolve
+
+    results = []
+    for spec in CODEC_FIXTURE_FORMATS:
+        if ctx.formats is not None and spec not in ctx.formats:
+            continue
+        path = codec_fixture_path(ctx.golden_dir, spec)
+        if not path.is_file():
+            collector = FindingCollector("golden-codec", spec, path=str(path))
+            collector.warning(
+                f"no golden codec fixture for {spec} (run `repro conformance "
+                "bless` to create it)"
+            )
+            results.append(collector.finish(0))
+            continue
+        results.append(check_codec_fixture(resolve(spec), load_fixture(path), str(path)))
+    return results
+
+
+def check_golden_campaigns(ctx) -> list[CheckResult]:
+    """Run the golden-campaign check for every applicable fixture file."""
+    results = []
+    for config in CAMPAIGN_FIXTURES:
+        if ctx.formats is not None and config["format"] not in ctx.formats:
+            continue
+        path = campaign_fixture_path(ctx.golden_dir, config["field"], config["format"])
+        subject = f"{config['field']}@{config['format']}"
+        if not path.is_file():
+            collector = FindingCollector("golden-campaign", subject, path=str(path))
+            collector.warning(
+                f"no golden campaign fixture for {subject} (run `repro "
+                "conformance bless` to create it)"
+            )
+            results.append(collector.finish(0))
+            continue
+        results.append(check_campaign_fixture(load_fixture(path), str(path)))
+    return results

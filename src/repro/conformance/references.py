@@ -1,0 +1,181 @@
+"""Independent reference codecs and seeded samplers for the oracle.
+
+Every differential check needs a second opinion that shares *no code*
+with the production codec:
+
+* native IEEE widths are re-encoded/re-decoded through :mod:`struct`
+  (the C library's conversions), not NumPy casts;
+* bfloat16 is re-derived from the struct-converted float32 pattern with
+  plain integer arithmetic;
+* posits go through :mod:`repro.posit._reference`, the exact
+  ``Fraction``-based scalar implementation (the vectorized codec never
+  touches it outside tests).
+
+Sampling is seeded and stratified: the pattern space is split into equal
+strata by the leading byte so every regime/exponent population is hit,
+and the value space sweeps magnitudes log-uniformly across the format's
+dynamic range plus the canonical special values.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+
+import numpy as np
+
+from repro.formats import IEEETarget, NumberFormat, PositTarget
+
+#: Root seed for all oracle sampling (independent of any campaign seed).
+ORACLE_SEED = 20230923
+
+_STRUCT_CODES = {16: ("<e", "<H"), 32: ("<f", "<I"), 64: ("<d", "<Q")}
+
+
+class ReferenceCodec:
+    """Scalar encode/decode pair used as a format's second opinion."""
+
+    def __init__(self, name: str, encode, decode) -> None:
+        self.name = name
+        self.encode = encode  # float -> int pattern
+        self.decode = decode  # int pattern -> float
+
+
+def _struct_reference(nbits: int) -> ReferenceCodec:
+    float_code, int_code = _STRUCT_CODES[nbits]
+    inf_pattern = struct.unpack(int_code, struct.pack(float_code, math.inf))[0]
+    sign_bit = 1 << (nbits - 1)
+
+    def encode(value: float) -> int:
+        try:
+            return struct.unpack(int_code, struct.pack(float_code, value))[0]
+        except OverflowError:
+            # struct refuses magnitudes that round to infinity; IEEE
+            # overflow semantics say that *is* the answer.
+            return inf_pattern | (sign_bit if math.copysign(1.0, value) < 0 else 0)
+
+    def decode(pattern: int) -> float:
+        return float(struct.unpack(float_code, struct.pack(int_code, pattern))[0])
+
+    return ReferenceCodec(f"struct:{float_code}", encode, decode)
+
+
+def _bfloat16_reference() -> ReferenceCodec:
+    def encode(value: float) -> int:
+        try:
+            bits32 = struct.unpack("<I", struct.pack("<f", value))[0]
+        except OverflowError:
+            # Rounds past float32: the bfloat16 answer is infinity too.
+            bits32 = 0x7F800000 | (0x80000000 if math.copysign(1.0, value) < 0 else 0)
+        if math.isnan(value):
+            return (bits32 >> 16) | 0x40
+        # Round-to-nearest-even truncation of the low 16 bits.
+        return (bits32 + 0x7FFF + ((bits32 >> 16) & 1)) >> 16
+
+    def decode(pattern: int) -> float:
+        return float(struct.unpack("<f", struct.pack("<I", (pattern & 0xFFFF) << 16))[0])
+
+    return ReferenceCodec("struct:bfloat16", encode, decode)
+
+
+def _posit_reference(config) -> ReferenceCodec:
+    from repro.posit._reference import decode_exact, encode_exact
+
+    def encode(value: float) -> int:
+        return encode_exact(value, config)
+
+    def decode(pattern: int) -> float:
+        exact = decode_exact(pattern, config)
+        return math.nan if exact is None else float(exact)
+
+    return ReferenceCodec("fraction:posit", encode, decode)
+
+
+def reference_for(fmt: NumberFormat) -> ReferenceCodec | None:
+    """The independent scalar codec for ``fmt``, or None when there is
+    none (custom ``binary(E,F)`` layouts, fixed-posits)."""
+    if isinstance(fmt, PositTarget):
+        return _posit_reference(fmt.config)
+    if isinstance(fmt, IEEETarget):
+        if fmt.name == "bfloat16":
+            return _bfloat16_reference()
+        if fmt.format.float_dtype is not None and fmt.nbits in _STRUCT_CODES:
+            return _struct_reference(fmt.nbits)
+    return None
+
+
+def pattern_sample(fmt: NumberFormat, count: int, *, exhaustive_max_bits: int,
+                   seed: int = ORACLE_SEED) -> np.ndarray:
+    """Seeded stratified sample of the format's pattern space (uint64).
+
+    Exhaustive for widths up to ``exhaustive_max_bits``; otherwise the
+    space is split into 256 leading-byte strata with an equal draw from
+    each, and the canonical corner patterns are always included.
+    """
+    nbits = fmt.nbits
+    if nbits <= exhaustive_max_bits:
+        return np.arange(1 << nbits, dtype=np.uint64)
+    rng = np.random.default_rng([seed, nbits, count])
+    strata = 256
+    per_stratum = max(count // strata, 1)
+    width = 1 << max(nbits - 8, 0)
+    offsets = rng.integers(0, width, size=(strata, per_stratum), dtype=np.uint64)
+    bases = (np.arange(strata, dtype=np.uint64) * np.uint64(width))[:, None]
+    sample = (bases + offsets).reshape(-1)
+    mask = np.uint64((1 << nbits) - 1) if nbits < 64 else np.uint64(0xFFFFFFFFFFFFFFFF)
+    corners = np.array(
+        [
+            0,  # zero
+            1,  # minpos / smallest subnormal
+            (1 << (nbits - 1)) - 1,  # maxpos / largest pattern of the positive half
+            1 << (nbits - 1),  # NaR / negative zero
+            (1 << (nbits - 1)) + 1,
+            (1 << nbits) - 1 if nbits < 64 else 0xFFFFFFFFFFFFFFFF,
+        ],
+        dtype=np.uint64,
+    )
+    return np.unique(np.concatenate([sample, corners & mask]))
+
+
+def value_sample(fmt: NumberFormat, count: int, *, seed: int = ORACLE_SEED) -> np.ndarray:
+    """Seeded float64 sample sweeping the format's dynamic range.
+
+    Log-uniform magnitudes across (and slightly beyond) the format's
+    representable scales, both signs, plus exact powers of two, values
+    needing rounding, zeros, and non-finite specials.
+    """
+    rng = np.random.default_rng([seed + 1, fmt.nbits, count])
+    # Scale range: posits reach 2**(useed_log2 * (n-1)); IEEE reaches its
+    # exponent range.  A generous symmetric sweep covers both (float64
+    # overflow values are themselves interesting encode inputs).
+    max_scale = min(4 * fmt.nbits, 300)
+    exponents = rng.uniform(-max_scale, max_scale, size=count)
+    mantissas = rng.uniform(1.0, 2.0, size=count)
+    signs = rng.choice([-1.0, 1.0], size=count)
+    sample = signs * mantissas * np.exp2(exponents)
+    specials = np.array(
+        [
+            0.0, -0.0, 1.0, -1.0, 0.5, 2.0, 4.0, 1.5, -1.5,
+            186.25, -186.25, 1e-30, 1e30, math.pi, -math.pi,
+            math.inf, -math.inf, math.nan,
+            float(np.finfo(np.float64).max), float(np.finfo(np.float64).tiny),
+        ]
+    )
+    return np.concatenate([sample, specials])
+
+
+def float_bits(values) -> np.ndarray:
+    """float64 -> uint64 bit view, for bit-exact comparisons."""
+    return np.asarray(values, dtype=np.float64).view(np.uint64)
+
+
+def same_float(a: float, b: float) -> bool:
+    """Bit-insensitive scalar float equality: equal, or both NaN.
+
+    Distinguishes ``0.0`` from ``-0.0`` (the codecs must preserve the
+    sign of zero) but treats all NaN payloads as one value — references
+    and codecs are free to produce different NaN encodings.
+    """
+    if math.isnan(a) or math.isnan(b):
+        return math.isnan(a) and math.isnan(b)
+    return struct.pack("<d", a) == struct.pack("<d", b)

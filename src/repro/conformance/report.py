@@ -1,0 +1,165 @@
+"""Conformance report types: checks, their outcomes, and the rendering.
+
+The oracle reuses the severity-ranked :class:`~repro.runner.verify.Finding`
+machinery so a conformance report reads exactly like a ``campaign verify``
+report: every failed expectation is one finding naming the check, the
+format (or fixture file) it hit, and what diverged.  Exit-code semantics
+match ``verify_run`` — 0 clean, 1 any error, 2 warnings only — so CI can
+gate on ``repro conformance run`` the same way it gates on run audits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.runner.verify import SEVERITY_ERROR, SEVERITY_WARNING, Finding
+
+#: Oracle depth levels: ``smoke`` samples, ``full`` goes exhaustive
+#: wherever the width permits.
+LEVELS = ("smoke", "full")
+
+#: Findings detailed per (check, format) before collapsing into a count,
+#: so a systematically-broken codec cannot flood the report.
+MAX_DETAILED_FINDINGS = 5
+
+
+@dataclass(frozen=True)
+class SampleBudget:
+    """How hard one level drives each check.
+
+    Attributes
+    ----------
+    patterns:
+        Bit patterns sampled per format for decode-side checks (widths
+        of at most ``exhaustive_max_bits`` are enumerated instead).
+    values:
+        Float values sampled per format for encode-side checks.
+    pairs:
+        Neighbor pairs sampled for rounding/tie checks.
+    exhaustive_max_bits:
+        Widths up to this enumerate their full pattern space.
+    """
+
+    patterns: int
+    values: int
+    pairs: int
+    exhaustive_max_bits: int
+
+
+BUDGETS = {
+    "smoke": SampleBudget(patterns=512, values=256, pairs=96, exhaustive_max_bits=8),
+    "full": SampleBudget(patterns=4096, values=2048, pairs=512, exhaustive_max_bits=16),
+}
+
+
+@dataclass
+class CheckResult:
+    """One check's outcome against one format (or globally)."""
+
+    check: str
+    subject: str  # format spec, fixture name, or "metrics"
+    findings: list[Finding] = field(default_factory=list)
+    #: Units examined: patterns, values, trials, fixture entries...
+    checked: int = 0
+    skipped: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+
+class FindingCollector:
+    """Caps per-check detail: first few findings verbatim, then a tally."""
+
+    def __init__(self, check: str, subject: str, path: str | None = None) -> None:
+        self.result = CheckResult(check=check, subject=subject)
+        self._path = path if path is not None else subject
+        self._overflow = 0
+
+    def error(self, message: str) -> None:
+        self._add(SEVERITY_ERROR, message)
+
+    def warning(self, message: str) -> None:
+        self._add(SEVERITY_WARNING, message)
+
+    def _add(self, severity: str, message: str) -> None:
+        if len(self.result.findings) < MAX_DETAILED_FINDINGS:
+            self.result.findings.append(
+                Finding(severity, self.result.check, message, self._path)
+            )
+        else:
+            self._overflow += 1
+
+    def finish(self, checked: int) -> CheckResult:
+        self.result.checked = checked
+        if self._overflow:
+            self.result.findings.append(
+                Finding(
+                    SEVERITY_ERROR,
+                    self.result.check,
+                    f"... and {self._overflow} further mismatch(es) suppressed",
+                    self._path,
+                )
+            )
+        return self.result
+
+
+@dataclass
+class ConformanceReport:
+    """Everything one ``run_conformance`` invocation concluded."""
+
+    level: str
+    results: list[CheckResult] = field(default_factory=list)
+
+    @property
+    def findings(self) -> list[Finding]:
+        """All findings, severity-ranked (errors before warnings)."""
+        ordered = [f for r in self.results for f in r.findings]
+        return sorted(ordered, key=lambda f: 0 if f.severity == SEVERITY_ERROR else 1)
+
+    @property
+    def errors(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity == SEVERITY_ERROR]
+
+    @property
+    def warnings(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity == SEVERITY_WARNING]
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    @property
+    def exit_code(self) -> int:
+        """0 clean, 1 any error, 2 warnings only (mirrors ``verify_run``)."""
+        if self.errors:
+            return 1
+        if self.warnings:
+            return 2
+        return 0
+
+    @property
+    def checks_run(self) -> int:
+        return sum(1 for r in self.results if not r.skipped)
+
+    @property
+    def units_checked(self) -> int:
+        return sum(r.checked for r in self.results)
+
+    def render(self) -> str:
+        lines = [f"conformance: level={self.level}"]
+        for finding in self.findings:
+            lines.append("  " + finding.render())
+        failed = sorted({(r.check, r.subject) for r in self.results if not r.ok})
+        if self.ok:
+            lines.append(
+                f"result: clean ({self.checks_run} check(s), "
+                f"{self.units_checked} unit(s) examined)"
+            )
+        else:
+            lines.append(
+                f"result: {len(self.errors)} error(s), {len(self.warnings)} "
+                f"warning(s) across {len(failed)} failing check(s): "
+                + ", ".join(f"{check}[{subject}]" for check, subject in failed)
+            )
+        return "\n".join(lines)

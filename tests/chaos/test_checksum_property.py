@@ -24,6 +24,8 @@ def pristine_run(tmp_path_factory, chaos_field, chaos_config):
     return run_dir
 
 
+# Local overrides on top of the shared ci/dev profile: every example
+# replays a whole campaign, so the count stays low and no deadline.
 @settings(
     max_examples=15,
     deadline=None,

@@ -1,0 +1,154 @@
+"""Golden-fixture regression locks: bless, verify, and tamper detection.
+
+The acceptance bar for the whole oracle: flipping any single bit of a
+codec fixture, or nudging any locked campaign statistic, must turn a
+clean run into a non-zero exit with a finding naming the format (or
+statistic) that drifted.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.conformance import (
+    bless,
+    codec_fixture_path,
+    campaign_fixture_path,
+    load_fixture,
+    run_conformance,
+    write_fixture,
+)
+
+pytestmark = pytest.mark.golden
+
+
+@pytest.fixture(scope="module")
+def blessed_dir(tmp_path_factory):
+    """Codec fixtures for the fast formats plus one campaign fixture."""
+    path = tmp_path_factory.mktemp("golden")
+    bless(path, formats=["posit8", "posit16", "posit32"])
+    return path
+
+
+def _run(golden_dir, formats):
+    return run_conformance("smoke", formats, golden_dir=golden_dir)
+
+
+class TestCleanFixtures:
+    def test_blessed_tree_is_clean(self, blessed_dir):
+        report = _run(blessed_dir, ["posit8", "posit16"])
+        assert report.exit_code == 0, report.render()
+
+    def test_fixture_files_are_stable_json(self, blessed_dir):
+        path = codec_fixture_path(blessed_dir, "posit32")
+        payload = load_fixture(path)
+        assert payload["kind"] == "codec-lattice"
+        assert payload["format"] == "posit32"
+        rewritten = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        assert path.read_text(encoding="utf-8") == rewritten
+
+    def test_bless_is_deterministic(self, blessed_dir, tmp_path):
+        bless(tmp_path, formats=["posit32"])
+        first = codec_fixture_path(blessed_dir, "posit32").read_text()
+        second = codec_fixture_path(tmp_path, "posit32").read_text()
+        assert first == second
+
+
+class TestCodecTamperDetection:
+    """Any single-bit flip of the posit32 lattice fixture must be caught."""
+
+    @pytest.mark.parametrize("field", ["pattern", "decoded"])
+    def test_single_bit_flip_fails_with_finding(self, blessed_dir, tmp_path, field):
+        src = load_fixture(codec_fixture_path(blessed_dir, "posit32"))
+        payload = json.loads(json.dumps(src))
+        entry = payload["entries"][17]
+        if field == "pattern":
+            entry["pattern"] = f"0x{int(entry['pattern'], 16) ^ (1 << 5):x}"
+        else:
+            bits = np.float64(float.fromhex(entry["decoded"])).view(np.uint64)
+            entry["decoded"] = float(
+                (bits ^ np.uint64(1 << 20)).view(np.float64)
+            ).hex()
+        write_fixture(codec_fixture_path(tmp_path, "posit32"), payload)
+        report = _run(tmp_path, ["posit32"])
+        assert report.exit_code == 1, report.render()
+        assert any(
+            f.check == "golden-codec" and "posit32" in f.message for f in report.errors
+        ), report.render()
+
+    def test_every_pattern_bit_position_is_caught(self, blessed_dir, tmp_path):
+        """Sweep bit positions across entries: decode is injective, so no
+        flipped pattern can silently alias the recorded decode."""
+        src = load_fixture(codec_fixture_path(blessed_dir, "posit32"))
+        caught = 0
+        for bit in range(0, 32, 7):
+            payload = json.loads(json.dumps(src))
+            entry = payload["entries"][bit % len(payload["entries"])]
+            entry["pattern"] = f"0x{int(entry['pattern'], 16) ^ (1 << bit):x}"
+            target = tmp_path / f"bit{bit}"
+            write_fixture(codec_fixture_path(target, "posit32"), payload)
+            report = _run(target, ["posit32"])
+            assert report.exit_code == 1, f"bit {bit} flip went undetected"
+            caught += 1
+        assert caught == 5
+
+    def test_missing_entry_changes_nothing_else(self, blessed_dir, tmp_path):
+        payload = json.loads(
+            json.dumps(load_fixture(codec_fixture_path(blessed_dir, "posit8")))
+        )
+        payload["entries"] = payload["entries"][:-1]
+        write_fixture(codec_fixture_path(tmp_path, "posit8"), payload)
+        report = _run(tmp_path, ["posit8"])
+        assert report.exit_code == 0, "fewer entries is weaker, not wrong"
+
+
+class TestCampaignTamperDetection:
+    def test_perturbed_statistic_names_the_statistic(self, blessed_dir, tmp_path):
+        path = campaign_fixture_path(blessed_dir, "cesm/cloud", "posit32")
+        payload = json.loads(json.dumps(load_fixture(path)))
+        payload["stats"]["mse_mean"] *= 1 + 1e-6
+        write_fixture(campaign_fixture_path(tmp_path, "cesm/cloud", "posit32"), payload)
+        report = _run(tmp_path, ["posit32"])
+        assert report.exit_code == 1, report.render()
+        assert any(
+            f.check == "golden-campaign" and "mse_mean" in f.message
+            for f in report.errors
+        ), report.render()
+
+    def test_perturbed_field_count_is_exact_compare(self, blessed_dir, tmp_path):
+        path = campaign_fixture_path(blessed_dir, "cesm/cloud", "posit32")
+        payload = json.loads(json.dumps(load_fixture(path)))
+        key = next(iter(payload["stats"]["field_counts"]))
+        payload["stats"]["field_counts"][key] += 1
+        write_fixture(campaign_fixture_path(tmp_path, "cesm/cloud", "posit32"), payload)
+        report = _run(tmp_path, ["posit32"])
+        assert report.exit_code == 1
+        assert any("stratification" in f.message for f in report.errors)
+
+    def test_perturbed_fast_metrics_fail_campaign_golden(self, blessed_dir, monkeypatch):
+        """Drift in the trial metric pipeline surfaces as statistic drift."""
+        from repro.inject import trial as trial_module
+
+        true_vectorized = trial_module.vectorized_single_fault
+
+        def skewed(baseline, originals, faulty):
+            rows = true_vectorized(baseline, originals, faulty)
+            rows["mse"] = rows["mse"] * (1 + 1e-6)
+            return rows
+
+        monkeypatch.setattr(trial_module, "vectorized_single_fault", skewed)
+        report = _run(blessed_dir, ["posit32"])
+        assert report.exit_code == 1, report.render()
+        assert any(
+            f.check == "golden-campaign" and "mse_mean" in f.message
+            for f in report.errors
+        ), report.render()
+
+
+class TestCheckedInTree:
+    """The repo's own tests/golden fixtures must match the working tree."""
+
+    def test_repo_fixtures_are_current(self):
+        report = run_conformance("smoke", ["posit8", "posit16", "bfloat16"])
+        assert report.exit_code == 0, report.render()

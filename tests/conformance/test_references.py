@@ -1,0 +1,158 @@
+"""The oracle's reference codecs and samplers, tested in their own right.
+
+A broken reference would either mask codec bugs or cry wolf; these tests
+pin the references against hand-computed values and the samplers against
+their coverage and determinism contracts.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.conformance.references import (
+    ORACLE_SEED,
+    float_bits,
+    pattern_sample,
+    reference_for,
+    same_float,
+    value_sample,
+)
+from repro.formats import resolve
+
+
+class TestStructReferences:
+    @pytest.mark.parametrize("spec,pattern,value", [
+        ("ieee32", 0x3F800000, 1.0),
+        ("ieee32", 0xC2BA8000, -93.25),
+        ("ieee32", 0x7F800000, math.inf),
+        ("ieee32", 0x00000001, 2.0**-149),
+        ("ieee16", 0x3C00, 1.0),
+        ("ieee16", 0xFC00, -math.inf),
+        ("bfloat16", 0x3F80, 1.0),
+        ("bfloat16", 0xC039, -2.890625),
+    ])
+    def test_known_decodes(self, spec, pattern, value):
+        reference = reference_for(resolve(spec))
+        assert reference.decode(pattern) == value
+        assert reference.encode(value) == pattern
+
+    def test_overflowing_encode_saturates_to_infinity(self):
+        # struct.pack raises OverflowError for these; the reference must
+        # translate that into the IEEE answer instead of crashing.
+        for spec in ("ieee16", "ieee32", "bfloat16"):
+            reference = reference_for(resolve(spec))
+            pos = reference.encode(1e300)
+            neg = reference.encode(-1e300)
+            assert math.isinf(reference.decode(pos)) and reference.decode(pos) > 0
+            assert math.isinf(reference.decode(neg)) and reference.decode(neg) < 0
+
+    def test_bfloat16_rne_on_truncated_half(self):
+        reference = reference_for(resolve("bfloat16"))
+        # 1.0 + 2**-8 sits exactly between bfloat16 neighbors 0x3F80 and
+        # 0x3F81; RNE keeps the even pattern.
+        assert reference.encode(1.0 + 2.0**-8) == 0x3F80
+        assert reference.encode(1.0 + 3 * 2.0**-8) == 0x3F82
+
+    def test_nan_encodes_to_nan_pattern(self):
+        for spec in ("ieee16", "ieee32", "bfloat16"):
+            reference = reference_for(resolve(spec))
+            assert math.isnan(reference.decode(reference.encode(math.nan)))
+
+
+class TestPositReference:
+    @pytest.mark.parametrize("spec,pattern,value", [
+        ("posit8", 0x40, 1.0),
+        ("posit8", 0x00, 0.0),
+        ("posit16", 0x4000, 1.0),
+        ("posit32", 0x40000000, 1.0),
+        ("posit32", 0x61A40000, 22.5625),
+    ])
+    def test_known_decodes(self, spec, pattern, value):
+        reference = reference_for(resolve(spec))
+        assert reference.decode(pattern) == value
+        assert reference.encode(value) == pattern
+
+    def test_nar_decodes_to_nan(self):
+        reference = reference_for(resolve("posit16"))
+        assert math.isnan(reference.decode(0x8000))
+
+
+class TestReferenceAvailability:
+    def test_paper_roster_all_have_references(self):
+        for spec in ("posit8", "posit16", "posit32", "posit64",
+                     "ieee16", "ieee32", "ieee64", "bfloat16"):
+            assert reference_for(resolve(spec)) is not None, spec
+
+    def test_custom_binary_has_none(self):
+        assert reference_for(resolve("binary(6,9)")) is None
+
+
+class TestPatternSample:
+    def test_exhaustive_below_threshold(self):
+        fmt = resolve("posit8")
+        sample = pattern_sample(fmt, 32, exhaustive_max_bits=8)
+        assert sample.size == 256
+        assert sample[0] == 0 and sample[-1] == 255
+
+    def test_stratified_above_threshold(self):
+        fmt = resolve("posit32")
+        sample = pattern_sample(fmt, 512, exhaustive_max_bits=8)
+        assert sample.size <= 512 + 8
+        # Every leading byte stratum is populated.
+        leading = np.unique(sample >> np.uint64(24))
+        assert leading.size >= 250
+        # Corners always present.
+        for corner in (0, 1, 0x7FFFFFFF, 0x80000000, 0xFFFFFFFF):
+            assert np.uint64(corner) in sample
+
+    def test_deterministic_per_seed(self):
+        fmt = resolve("posit32")
+        a = pattern_sample(fmt, 256, exhaustive_max_bits=8, seed=5)
+        b = pattern_sample(fmt, 256, exhaustive_max_bits=8, seed=5)
+        c = pattern_sample(fmt, 256, exhaustive_max_bits=8, seed=6)
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_patterns_fit_the_width(self):
+        fmt = resolve("posit16")
+        sample = pattern_sample(fmt, 64, exhaustive_max_bits=8)
+        assert int(sample.max()) < (1 << 16)
+
+
+class TestValueSample:
+    def test_includes_specials(self):
+        sample = value_sample(resolve("posit16"), 64)
+        assert np.any(np.isnan(sample))
+        assert np.any(np.isposinf(sample))
+        assert np.any(np.isneginf(sample))
+        assert np.any(sample == 0.0)
+        signs = np.signbit(sample[sample == 0.0])
+        assert signs.any() and not signs.all(), "both zero signs present"
+
+    def test_deterministic_per_seed(self):
+        fmt = resolve("ieee32")
+        assert np.array_equal(
+            value_sample(fmt, 128, seed=ORACLE_SEED),
+            value_sample(fmt, 128, seed=ORACLE_SEED),
+            equal_nan=True,
+        )
+
+    def test_spans_magnitudes(self):
+        sample = value_sample(resolve("posit32"), 512)
+        finite = sample[np.isfinite(sample) & (sample != 0)]
+        magnitudes = np.log2(np.abs(finite))
+        assert magnitudes.min() < -60 and magnitudes.max() > 60
+
+
+class TestFloatHelpers:
+    def test_float_bits_distinguishes_zero_signs(self):
+        assert float_bits(np.array([0.0]))[0] != float_bits(np.array([-0.0]))[0]
+
+    def test_same_float_semantics(self):
+        assert same_float(1.5, 1.5)
+        assert not same_float(0.0, -0.0)
+        assert same_float(math.nan, math.nan)
+        assert not same_float(math.nan, 1.0)
+        assert same_float(math.inf, math.inf)
+        assert not same_float(math.inf, -math.inf)

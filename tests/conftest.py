@@ -1,11 +1,36 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures and hypothesis profiles for the test suite."""
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+from hypothesis import settings
 
 from repro.experiments.base import ExperimentParams
+
+# Shared hypothesis profiles: `dev` keeps the default-deadline fast loop
+# for local runs; `ci` digs deeper and drops the deadline so shared
+# runners' scheduling jitter cannot flake a run.  Select with
+# REPRO_HYPOTHESIS_PROFILE=ci (the CI workflow sets it).
+settings.register_profile("ci", max_examples=300, deadline=None)
+settings.register_profile("dev", max_examples=50)
+settings.load_profile(os.environ.get("REPRO_HYPOTHESIS_PROFILE", "dev"))
+
+
+@pytest.fixture(autouse=True)
+def _pin_legacy_numpy_seed():
+    """Pin the legacy global numpy RNG around every test.
+
+    An audit found no test (or production path) drawing from unseeded
+    ``np.random``; this keeps it that way if one slips in, and restores
+    the global state afterwards so tests cannot order-couple through it.
+    """
+    state = np.random.get_state()
+    np.random.seed(20230923)
+    yield
+    np.random.set_state(state)
 
 
 @pytest.fixture

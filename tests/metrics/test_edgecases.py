@@ -1,0 +1,155 @@
+"""Edge-case contracts of the metrics layer.
+
+Campaign trials routinely hand the metrics NaN/Inf faulty values (IEEE
+specials, posit NaR decodes) and degenerate fields (constant, zero).
+These tests pin the *defined* behavior for every such input so a codec
+or metrics refactor cannot silently change campaign statistics.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.metrics.fast import single_fault_metrics
+from repro.metrics.pointwise import (
+    absolute_error,
+    compare_arrays,
+    pointwise_relative_error,
+)
+from repro.metrics.summary import SummaryStats
+
+
+class TestNonFinitePropagation:
+    def test_nan_faulty_flags_and_propagates(self):
+        a = np.array([1.0, 2.0, 3.0])
+        b = np.array([1.0, math.nan, 3.0])
+        metrics = compare_arrays(a, b)
+        assert metrics.has_non_finite
+        assert math.isnan(metrics.max_absolute_error)
+        assert math.isnan(metrics.mean_absolute_error)
+        assert math.isnan(metrics.mean_squared_error)
+
+    def test_inf_faulty_flags_and_propagates(self):
+        a = np.array([1.0, 2.0, 3.0])
+        b = np.array([1.0, math.inf, 3.0])
+        metrics = compare_arrays(a, b)
+        assert metrics.has_non_finite
+        assert metrics.max_absolute_error == math.inf
+        assert metrics.max_pointwise_relative == math.inf
+        assert metrics.value_range_relative == math.inf
+        assert metrics.mean_squared_error == math.inf
+
+    def test_negative_inf_counts_too(self):
+        a = np.array([1.0, 2.0])
+        b = np.array([1.0, -math.inf])
+        metrics = compare_arrays(a, b)
+        assert metrics.has_non_finite
+        assert metrics.max_absolute_error == math.inf
+
+    def test_finite_faulty_is_not_flagged(self):
+        a = np.array([1.0, 2.0])
+        metrics = compare_arrays(a, np.array([1.0, 2.5]))
+        assert not metrics.has_non_finite
+
+    def test_fast_path_agrees_on_nan_fault(self):
+        a = np.array([4.0, 5.0, 6.0, 7.0])
+        baseline = SummaryStats.from_array(a)
+        fast = single_fault_metrics(baseline, 5.0, math.nan)
+        assert fast.has_non_finite
+        assert math.isnan(fast.max_absolute_error)
+
+    def test_fast_path_agrees_on_inf_fault(self):
+        a = np.array([4.0, 5.0, 6.0, 7.0])
+        baseline = SummaryStats.from_array(a)
+        fast = single_fault_metrics(baseline, 5.0, math.inf)
+        full = compare_arrays(a, np.array([4.0, math.inf, 6.0, 7.0]))
+        assert fast.has_non_finite
+        assert fast.max_absolute_error == full.max_absolute_error == math.inf
+        assert fast.value_range_relative == full.value_range_relative == math.inf
+
+
+class TestZeroRangeFields:
+    """Constant fields have value_range == 0; QCAT ratios must stay defined."""
+
+    def test_constant_field_no_error(self):
+        a = np.full(5, 3.25)
+        metrics = compare_arrays(a, a.copy())
+        assert metrics.value_range_relative == 0.0
+        assert metrics.normalized_rmse == 0.0
+        assert metrics.psnr_db == math.inf
+
+    def test_constant_field_with_error_is_infinite_ratio(self):
+        a = np.full(5, 3.25)
+        b = a.copy()
+        b[2] = 4.0
+        metrics = compare_arrays(a, b)
+        assert metrics.value_range_relative == math.inf
+        assert metrics.normalized_rmse == math.inf
+        assert metrics.max_absolute_error == pytest.approx(0.75)
+
+    def test_all_zero_field(self):
+        a = np.zeros(4)
+        b = np.zeros(4)
+        metrics = compare_arrays(a, b)
+        assert metrics.max_absolute_error == 0.0
+        assert metrics.max_pointwise_relative == 0.0
+        assert metrics.value_range_relative == 0.0
+
+    def test_fast_path_zero_range_matches(self):
+        a = np.full(6, 2.0)
+        baseline = SummaryStats.from_array(a)
+        fast = single_fault_metrics(baseline, 2.0, 3.0)
+        faulty = a.copy()
+        faulty[0] = 3.0
+        full = compare_arrays(a, faulty)
+        assert fast.value_range_relative == full.value_range_relative == math.inf
+        assert fast.normalized_rmse == full.normalized_rmse == math.inf
+
+
+class TestEmptyInputs:
+    def test_compare_arrays_rejects_empty(self):
+        with pytest.raises(ValueError, match="empty"):
+            compare_arrays(np.array([]), np.array([]))
+
+    def test_summary_rejects_empty(self):
+        with pytest.raises(ValueError, match="empty"):
+            SummaryStats.from_array(np.array([]))
+
+    def test_compare_arrays_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError, match="shape mismatch"):
+            compare_arrays(np.array([1.0, 2.0]), np.array([1.0]))
+
+    def test_elementwise_helpers_accept_empty(self):
+        # The pointwise helpers are plain elementwise maps; empty in,
+        # empty out (only the reductions refuse empties).
+        assert pointwise_relative_error(np.array([]), np.array([])).size == 0
+        assert absolute_error(np.array([]), np.array([])).size == 0
+
+
+class TestRelativeErrorConventions:
+    def test_zero_original_zero_faulty_is_zero(self):
+        rel = pointwise_relative_error(np.array([0.0]), np.array([0.0]))
+        assert rel[0] == 0.0
+
+    def test_zero_original_nonzero_faulty_is_nan(self):
+        rel = pointwise_relative_error(np.array([0.0]), np.array([1.0]))
+        assert math.isnan(rel[0])
+
+    def test_signed_zero_behaves_like_zero(self):
+        rel = pointwise_relative_error(np.array([-0.0]), np.array([0.0]))
+        assert rel[0] == 0.0
+
+    def test_overflowing_ratio_is_inf(self):
+        rel = pointwise_relative_error(np.array([5e-324]), np.array([1e300]))
+        assert rel[0] == math.inf
+
+    def test_nan_original_propagates(self):
+        rel = pointwise_relative_error(np.array([math.nan]), np.array([1.0]))
+        assert math.isnan(rel[0])
+
+    def test_inf_original_with_finite_faulty(self):
+        # |inf - 1| / |inf| is NaN-free only in the limit; IEEE evaluates
+        # inf/inf = NaN, which the campaign treats as undefined.
+        rel = pointwise_relative_error(np.array([math.inf]), np.array([1.0]))
+        assert math.isnan(rel[0])

@@ -2,7 +2,7 @@
 
 import numpy as np
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
 
 from repro.metrics.fast import single_fault_metrics, vectorized_single_fault
 from repro.metrics.pointwise import compare_arrays
@@ -23,7 +23,6 @@ class TestSingleFault:
         st.integers(min_value=0, max_value=29),
         st.floats(allow_nan=False, min_value=-1e30, max_value=1e30),
     )
-    @settings(max_examples=200)
     def test_matches_full_comparison(self, values, index, new_value):
         index %= len(values)
         array = np.asarray(values, dtype=np.float64)

@@ -6,7 +6,7 @@ by hypothesis on wider formats.
 """
 
 import numpy as np
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
 
 from repro.posit.arithmetic import add, divide, multiply, negate, subtract
 from repro.posit.config import POSIT8, POSIT16, POSIT32
@@ -29,7 +29,6 @@ class TestCommutativity:
         )
 
     @given(patterns16, patterns16)
-    @settings(max_examples=200)
     def test_mul_commutes_p16(self, p, q):
         a = np.array([p], dtype=np.uint16)
         b = np.array([q], dtype=np.uint16)
@@ -38,21 +37,18 @@ class TestCommutativity:
 
 class TestIdentities:
     @given(patterns16)
-    @settings(max_examples=200)
     def test_additive_identity(self, p):
         a = np.array([p], dtype=np.uint16)
         zero = np.array([0], dtype=np.uint16)
         assert np.asarray(add(a, zero, POSIT16))[0] == p
 
     @given(patterns16)
-    @settings(max_examples=200)
     def test_multiplicative_identity(self, p):
         a = np.array([p], dtype=np.uint16)
         one = np.asarray(encode(np.float64(1.0), POSIT16)).reshape(1)
         assert np.asarray(multiply(a, one, POSIT16))[0] == p
 
     @given(patterns16)
-    @settings(max_examples=200)
     def test_self_subtraction_is_zero(self, p):
         if p == POSIT16.nar_pattern:
             return
@@ -60,7 +56,6 @@ class TestIdentities:
         assert np.asarray(subtract(a, a, POSIT16))[0] == 0
 
     @given(patterns16)
-    @settings(max_examples=200)
     def test_self_division_is_one(self, p):
         value = decode(np.uint64(p), POSIT16)
         a = np.array([p], dtype=np.uint16)
@@ -73,7 +68,6 @@ class TestIdentities:
 
 class TestSignLaws:
     @given(patterns16, patterns16)
-    @settings(max_examples=200)
     def test_negation_distributes_over_add(self, p, q):
         if POSIT16.nar_pattern in (p, q):
             return
@@ -84,7 +78,6 @@ class TestSignLaws:
         assert np.asarray(left)[0] == np.asarray(right)[0]
 
     @given(patterns16, patterns16)
-    @settings(max_examples=200)
     def test_product_sign_rule(self, p, q):
         a = np.array([p], dtype=np.uint16)
         b = np.array([q], dtype=np.uint16)
@@ -127,7 +120,6 @@ class TestMonotonicity:
         st.floats(min_value=-1e10, max_value=1e10),
         st.floats(min_value=0.0, max_value=1e10),
     )
-    @settings(max_examples=200)
     def test_add_monotone_in_first_argument(self, x, delta, y):
         from repro.bitops import to_signed
 

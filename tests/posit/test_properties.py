@@ -8,7 +8,7 @@ float64 inputs.
 import math
 
 import numpy as np
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
 
 from repro.bitops import to_signed, twos_complement
 from repro.posit._reference import decode_exact, encode_exact
@@ -95,7 +95,6 @@ def test_decode_vectorized_matches_reference_p32(pattern):
 
 
 @given(st.floats(min_value=1e-30, max_value=1e30))
-@settings(max_examples=50)
 def test_monotone_encode(value):
     """Encoding preserves order against a slightly larger value."""
     config = POSIT32
