@@ -1,0 +1,112 @@
+"""Executor throughput benchmark: serial vs pool vs work-stealing.
+
+Runs one smoke campaign (posit16, 16 bit positions) through each
+registered executor against a persistent run directory — the same
+checksum/manifest/event overhead a real run pays — and reports trials
+per second.  Results land in ``BENCH_executors.json`` next to this
+file, and the shard CSVs are asserted bit-identical across executors
+(the executor layer's core contract).
+
+Run standalone:
+
+    PYTHONPATH=src python benchmarks/bench_executors.py
+
+or under pytest:
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_executors.py -s -q
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.inject.campaign import CampaignConfig, run_campaign
+from repro.runner import RunManifest
+
+OUT_PATH = Path(__file__).resolve().parent / "BENCH_executors.json"
+
+#: Smoke-campaign scale: big enough that fork/lease overhead does not
+#: drown the signal, small enough to finish in seconds per executor.
+FIELD_SIZE = 1 << 14
+TRIALS_PER_BIT = 64
+BITS = tuple(range(16))
+SEED = 2023
+
+#: Worker counts per executor; work-stealing runs the ISSUE's two-worker
+#: shape (one coordinator + one forked worker).
+EXECUTORS = (
+    ("serial", {"jobs": 1}),
+    ("pool", {"jobs": 2}),
+    ("work-stealing", {"jobs": 2}),
+)
+
+
+def _dataset() -> np.ndarray:
+    rng = np.random.default_rng(SEED)
+    return np.concatenate([
+        rng.normal(50.0, 20.0, FIELD_SIZE // 2),
+        rng.lognormal(-2, 2, FIELD_SIZE // 2),
+    ]).astype(np.float32)
+
+
+def run_bench() -> dict:
+    data = _dataset()
+    config = CampaignConfig(trials_per_bit=TRIALS_PER_BIT, bits=BITS, seed=SEED)
+    trials_total = TRIALS_PER_BIT * len(BITS)
+    results = {}
+    with tempfile.TemporaryDirectory(prefix="bench-executors-") as scratch:
+        for name, kwargs in EXECUTORS:
+            run_dir = Path(scratch) / name
+            start = time.perf_counter()
+            result = run_campaign(
+                data, "posit16", config, run_dir=run_dir,
+                executor=name, **kwargs,
+            )
+            elapsed = time.perf_counter() - start
+            assert result.trial_count == trials_total
+            assert result.extras["executor"] == name
+            results[name] = {
+                "executor": name,
+                "jobs": kwargs["jobs"],
+                "seconds": round(elapsed, 4),
+                "trials_per_sec": round(trials_total / elapsed, 1),
+            }
+        # The contract behind the numbers: identical shard bytes.
+        for name, _ in EXECUTORS[1:]:
+            for bit in BITS:
+                serial = RunManifest.shard_path(Path(scratch) / "serial", bit)
+                other = RunManifest.shard_path(Path(scratch) / name, bit)
+                assert serial.read_bytes() == other.read_bytes(), (
+                    f"{name} shard bit={bit} diverged from serial"
+                )
+    return {
+        "campaign": {
+            "target": "posit16",
+            "field_size": FIELD_SIZE,
+            "trials_per_bit": TRIALS_PER_BIT,
+            "bits": len(BITS),
+            "trials_total": trials_total,
+            "seed": SEED,
+        },
+        "results": results,
+    }
+
+
+def test_executor_throughput():
+    payload = run_bench()
+    OUT_PATH.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    for row in payload["results"].values():
+        print(
+            f"{row['executor']:<14s} jobs={row['jobs']}  "
+            f"{row['seconds']:8.3f}s  {row['trials_per_sec']:10.1f} trials/s"
+        )
+    print(f"wrote {OUT_PATH}")
+
+
+if __name__ == "__main__":
+    test_executor_throughput()

@@ -9,10 +9,19 @@
     posit-resiliency experiment all                # run every experiment
     posit-resiliency campaign run nyx/temperature posit32 --trials 313 \
         --jobs 4 --run-dir runs/nyx --out trials.csv
+    posit-resiliency campaign run ... --executor work-stealing
     posit-resiliency campaign resume runs/nyx      # continue after interrupt
     posit-resiliency campaign status runs/nyx      # shard/trial progress
+    posit-resiliency campaign status runs/nyx --json   # machine-readable
     posit-resiliency campaign verify runs/nyx      # audit run-dir integrity
     posit-resiliency campaign run ... --profile    # collect telemetry
+    posit-resiliency config init                   # create ~/.repro (or $REPRO_HOME)
+    posit-resiliency campaign submit nyx/temperature posit32 --trials 32
+    posit-resiliency campaign worker <run-dir-or-id>   # claim shards via leases
+    posit-resiliency campaign watch <run-dir-or-id> --until-done
+    posit-resiliency campaign list                 # registry index
+    posit-resiliency campaign get <run-id> --json  # canonical run state
+    posit-resiliency campaign cancel <run-id>      # cooperative cancel
     posit-resiliency telemetry report runs/nyx     # per-phase time breakdown
     posit-resiliency conformance run --level smoke # gate codecs + metrics
     posit-resiliency conformance bless             # refresh golden fixtures
@@ -187,6 +196,7 @@ def _cmd_campaign_run(args) -> int:
         config,
         label=args.field,
         jobs=_campaign_jobs(args),
+        executor=args.executor,
         run_dir=args.run_dir,
         progress=args.progress,
         resume=args.resume,
@@ -206,7 +216,8 @@ def _cmd_campaign_resume(args) -> int:
     from repro.runner import resume_campaign
 
     result = resume_campaign(
-        args.run_dir, jobs=_campaign_jobs(args), progress=args.progress,
+        args.run_dir, jobs=_campaign_jobs(args), executor=args.executor,
+        progress=args.progress,
         telemetry=True if args.profile else None,
     )
     field = result.label or "dataset"
@@ -256,8 +267,172 @@ def _cmd_campaign_status(args) -> int:
     except (RunnerError, FileNotFoundError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
-    print(status.summary())
+    if args.json:
+        import json
+
+        from repro.service import run_status_payload
+
+        print(json.dumps(run_status_payload(args.run_dir), indent=2))
+    else:
+        print(status.summary())
     return 0 if status.complete else 2
+
+
+def _resolve_service_run_dir(ref: str):
+    """A run directory from a registry id or path, exiting 1 on failure."""
+    from repro.service import RunRegistry, ServiceError
+
+    try:
+        return RunRegistry().resolve_run_dir(ref)
+    except (ServiceError, FileNotFoundError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        raise SystemExit(1) from None
+
+
+def _cmd_campaign_submit(args) -> int:
+    from repro.service import RunRegistry, ServiceError
+
+    bits = tuple(range(args.bits)) if args.bits is not None else None
+    try:
+        entry = RunRegistry().submit_run(
+            args.field,
+            args.target,
+            trials_per_bit=args.trials,
+            bits=bits,
+            seed=args.seed,
+            size=args.size,
+            data_seed=args.seed,
+            label=args.label or args.field,
+            project=args.project,
+        )
+    except (ServiceError, KeyError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    if args.json:
+        import json
+
+        print(json.dumps(entry.to_json(), indent=2))
+    else:
+        print(f"submitted {entry.run_id} -> {entry.run_dir}")
+        print(f"start workers with: posit-resiliency campaign worker {entry.run_id}")
+    return 0
+
+
+def _cmd_campaign_list(args) -> int:
+    from repro.service import RunRegistry, run_status_payload
+
+    entries = RunRegistry().list_runs(args.project)
+    if args.json:
+        import json
+
+        print(json.dumps([entry.to_json() for entry in entries], indent=2))
+        return 0
+    if not entries:
+        print("no registered runs (use `campaign submit` to create one)")
+        return 0
+    for entry in entries:
+        try:
+            payload = run_status_payload(entry.run_dir)
+            state = (
+                f"{payload['status']:<11s} "
+                f"{payload['shards']['done']}/{payload['shards']['total']} shards"
+            )
+        except Exception as error:
+            state = f"unreadable ({error})"
+        print(
+            f"{entry.run_id:<20s} {entry.project:<10s} "
+            f"{entry.field:<18s} {entry.target:<12s} {state}"
+        )
+    return 0
+
+
+def _cmd_campaign_get(args) -> int:
+    run_dir = _resolve_service_run_dir(args.run)
+    from repro.runner import run_status
+    from repro.service import run_status_payload
+
+    if args.json:
+        import json
+
+        print(json.dumps(run_status_payload(run_dir), indent=2))
+    else:
+        print(run_status(run_dir).summary())
+    return 0
+
+
+def _cmd_campaign_watch(args) -> int:
+    from repro.service import WATCH_CANCELLED, WATCH_IDLE, watch_run
+
+    run_dir = _resolve_service_run_dir(args.run)
+    outcome = watch_run(
+        run_dir,
+        follow=not args.no_follow,
+        until_done=args.until_done,
+        timeout=args.timeout,
+        poll_interval=args.poll_interval,
+    )
+    if outcome == WATCH_CANCELLED:
+        return 3
+    if outcome == WATCH_IDLE and args.until_done:
+        return 2
+    return 0
+
+
+def _cmd_campaign_cancel(args) -> int:
+    from repro.service import RunRegistry, ServiceError
+
+    try:
+        run_dir = RunRegistry().cancel(args.run, reason=args.reason)
+    except (ServiceError, FileNotFoundError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    print(f"cancel requested for {run_dir} (workers stop at their next claim)")
+    return 0
+
+
+def _cmd_campaign_worker(args) -> int:
+    from repro.runner import RunnerError
+    from repro.runner.worker import run_worker
+
+    run_dir = _resolve_service_run_dir(args.run)
+    try:
+        result = run_worker(
+            run_dir,
+            worker_id=args.worker_id,
+            lease_timeout=args.lease_timeout,
+            poll_interval=args.poll_interval,
+            max_claims=args.max_claims,
+            max_idle_seconds=args.max_idle,
+        )
+    except (RunnerError, FileNotFoundError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    print(
+        f"worker {result.worker}: {result.claims} shard(s) computed, "
+        f"{result.stolen} lease(s) stolen, exit status {result.status}"
+        + (" (finalized the run)" if result.finalized else "")
+    )
+    return 3 if result.status == "cancelled" else 0
+
+
+def _cmd_config_init(args) -> int:
+    from repro.service import init_config
+
+    config = init_config(args.home, force=args.force)
+    print(f"initialized {config.home}")
+    print(f"  runs:  {config.runs_dir}")
+    print(f"  cache: {config.cache_dir}")
+    return 0
+
+
+def _cmd_config_show(args) -> int:
+    import json
+
+    from repro.service import load_config
+
+    config = load_config(args.home)
+    print(json.dumps({"home": str(config.home), **config.to_json()}, indent=2))
+    return 0
 
 
 def _cmd_campaign_verify(args) -> int:
@@ -458,6 +633,10 @@ def build_parser() -> argparse.ArgumentParser:
                     help="worker processes (default: auto-size to CPUs)")
     pr.add_argument("--workers", type=_jobs_arg, default=None,
                     help=argparse.SUPPRESS)  # deprecated alias for --jobs
+    pr.add_argument("--executor", choices=("serial", "pool", "work-stealing"),
+                    default=None,
+                    help="execution mechanism (default: serial or pool "
+                    "chosen from --jobs); work-stealing requires --run-dir")
     pr.add_argument("--run-dir", default=None,
                     help="checkpoint directory (manifest + per-shard logs + events)")
     pr.add_argument("--resume", action="store_true",
@@ -478,6 +657,10 @@ def build_parser() -> argparse.ArgumentParser:
                       help="worker processes (default: auto-size to CPUs)")
     pres.add_argument("--workers", type=_jobs_arg, default=None,
                       help=argparse.SUPPRESS)
+    pres.add_argument("--executor", choices=("serial", "pool", "work-stealing"),
+                      default=None,
+                      help="execution mechanism (default: serial or pool "
+                      "chosen from --jobs)")
     pres.add_argument("--progress", action="store_true",
                       help="render live shard progress")
     pres.add_argument("--profile", action="store_true",
@@ -488,7 +671,84 @@ def build_parser() -> argparse.ArgumentParser:
 
     pst = campaign_sub.add_parser("status", help="summarize a run directory")
     pst.add_argument("run_dir", help="run directory with a manifest.json")
+    pst.add_argument("--json", action="store_true",
+                     help="emit the canonical repro.run-status/1 JSON payload "
+                     "(same schema as `campaign get --json`)")
     pst.set_defaults(func=_cmd_campaign_status)
+
+    psub = campaign_sub.add_parser(
+        "submit",
+        help="register a campaign in submitted state (no execution); "
+        "`campaign worker` processes then claim its shards via leases",
+    )
+    psub.add_argument("field", help="dataset field key, e.g. nyx/temperature")
+    psub.add_argument("target", help="injection target or format spec")
+    psub.add_argument("--size", type=int, default=1 << 17)
+    psub.add_argument("--trials", type=int, default=313)
+    psub.add_argument("--seed", type=int, default=2023)
+    psub.add_argument("--bits", type=int, default=None,
+                      help="only the lowest N bit positions (default: all)")
+    psub.add_argument("--label", default=None, help="free-text label (default: field)")
+    psub.add_argument("--project", default="default",
+                      help="registry project scope (default: 'default')")
+    psub.add_argument("--json", action="store_true",
+                      help="emit the registry entry as JSON")
+    psub.set_defaults(func=_cmd_campaign_submit)
+
+    plist = campaign_sub.add_parser("list", help="list registered runs")
+    plist.add_argument("--project", default=None, help="filter by project")
+    plist.add_argument("--json", action="store_true",
+                       help="emit registry entries as JSON")
+    plist.set_defaults(func=_cmd_campaign_list)
+
+    pget = campaign_sub.add_parser(
+        "get", help="state of one registered run (by id or run directory)"
+    )
+    pget.add_argument("run", help="registry run id or run directory path")
+    pget.add_argument("--json", action="store_true",
+                      help="emit the canonical repro.run-status/1 JSON payload")
+    pget.set_defaults(func=_cmd_campaign_get)
+
+    pw = campaign_sub.add_parser(
+        "watch", help="stream a run's event feed (tails events.jsonl)"
+    )
+    pw.add_argument("run", help="registry run id or run directory path")
+    pw.add_argument("--until-done", action="store_true",
+                    help="keep following until the run completes or is cancelled")
+    pw.add_argument("--timeout", type=float, default=None,
+                    help="give up after this many seconds of event silence")
+    pw.add_argument("--poll-interval", type=float, default=0.25,
+                    help=argparse.SUPPRESS)
+    pw.add_argument("--no-follow", action="store_true",
+                    help="print the feed so far and exit")
+    pw.set_defaults(func=_cmd_campaign_watch)
+
+    pcan = campaign_sub.add_parser(
+        "cancel", help="request cooperative cancellation of a run"
+    )
+    pcan.add_argument("run", help="registry run id or run directory path")
+    pcan.add_argument("--reason", default="", help="recorded in the sentinel file")
+    pcan.set_defaults(func=_cmd_campaign_cancel)
+
+    pwk = campaign_sub.add_parser(
+        "worker",
+        help="work-stealing worker: claim pending shards of a submitted run "
+        "through lease files (run any number, on any machine sharing the "
+        "filesystem)",
+    )
+    pwk.add_argument("run", help="registry run id or run directory path")
+    pwk.add_argument("--worker-id", default=None,
+                     help="identity recorded in leases/events "
+                     "(default: <hostname>-<pid>)")
+    pwk.add_argument("--lease-timeout", type=float, default=30.0,
+                     help="seconds after which an unrefreshed lease is stolen")
+    pwk.add_argument("--poll-interval", type=float, default=0.2,
+                     help=argparse.SUPPRESS)
+    pwk.add_argument("--max-claims", type=int, default=None,
+                     help="exit after computing this many shards")
+    pwk.add_argument("--max-idle", type=float, default=None,
+                     help="exit after this many seconds without progress")
+    pwk.set_defaults(func=_cmd_campaign_worker)
 
     pvf = campaign_sub.add_parser(
         "verify",
@@ -571,6 +831,23 @@ def build_parser() -> argparse.ArgumentParser:
                    help="format spec to predict (repeatable; default ieee32 + posit32)")
     p.set_defaults(func=_cmd_predict)
 
+    p = sub.add_parser(
+        "config", help="manage the service home ($REPRO_HOME, default ~/.repro)"
+    )
+    config_sub = p.add_subparsers(dest="config_command", required=True)
+    pci = config_sub.add_parser(
+        "init", help="create the home directory layout and config.json"
+    )
+    pci.add_argument("--home", default=None,
+                     help="home directory (default: $REPRO_HOME or ~/.repro)")
+    pci.add_argument("--force", action="store_true",
+                     help="rewrite config.json even if it exists")
+    pci.set_defaults(func=_cmd_config_init)
+    pcs = config_sub.add_parser("show", help="print the resolved service paths")
+    pcs.add_argument("--home", default=None,
+                     help="home directory (default: $REPRO_HOME or ~/.repro)")
+    pcs.set_defaults(func=_cmd_config_show)
+
     p = sub.add_parser("verify", help="re-derive a trial log and check integrity")
     p.add_argument("log", help="trial CSV written by a campaign")
     p.add_argument("target", help="the target the log claims, e.g. posit32")
@@ -578,27 +855,11 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-_CAMPAIGN_SUBCOMMANDS = {"run", "resume", "status", "verify", "-h", "--help"}
-
-
-def _normalize_argv(argv: list[str]) -> list[str]:
-    """Map the legacy ``campaign FIELD TARGET`` form onto ``campaign run``."""
-    if len(argv) >= 2 and argv[0] == "campaign" and argv[1] not in _CAMPAIGN_SUBCOMMANDS:
-        import warnings
-
-        warnings.warn(
-            "`campaign FIELD TARGET` is deprecated; use `campaign run FIELD TARGET`",
-            DeprecationWarning,
-            stacklevel=3,
-        )
-        return [argv[0], "run", *argv[1:]]
-    return argv
-
-
 def main(argv: list[str] | None = None) -> int:
+    # The legacy `campaign FIELD TARGET` shorthand (deprecated since the
+    # subcommand split) is gone: `campaign run FIELD TARGET` is the form.
     parser = build_parser()
-    argv = list(sys.argv[1:] if argv is None else argv)
-    args = parser.parse_args(_normalize_argv(argv))
+    args = parser.parse_args(sys.argv[1:] if argv is None else list(argv))
     return args.func(args)
 
 

@@ -19,7 +19,6 @@ from repro.inject.faults import (
     SingleBitFlip,
     StuckAt,
 )
-from repro.inject.parallel import run_campaign_parallel
 from repro.inject.results import TrialRecords
 from repro.inject.suite import SuiteConfig, SuiteResult, load_manifest, run_suite
 from repro.inject.validate import VerificationReport, verify_records
@@ -67,7 +66,6 @@ __all__ = [
     "conversion_report",
     "run_bit_trials",
     "run_campaign",
-    "run_campaign_parallel",
     "run_campaign_shard",
     "run_single_trial",
     "target_by_name",

@@ -144,6 +144,7 @@ def run_campaign(
     label: str = "",
     *,
     jobs: int | None = 1,
+    executor=None,
     run_dir=None,
     hooks=None,
     progress: bool = False,
@@ -170,6 +171,13 @@ def run_campaign(
         Worker processes; ``1`` stays in-process.  Zero or negative
         values raise ``ValueError``; values above the shard count are
         capped with a warning.
+    executor:
+        Execution mechanism: ``None`` picks serial or pool from ``jobs``
+        (the historical behaviour); ``"serial"``, ``"pool"`` or
+        ``"work-stealing"`` select an executor from
+        :data:`repro.runner.executors.EXECUTOR_REGISTRY`; an
+        :class:`repro.runner.executors.Executor` instance is used as-is.
+        Results are bit-identical across executors for a fixed seed.
     run_dir:
         Directory receiving shard records, a JSON run manifest, and a
         JSONL event log; enables ``resume=True`` and the
@@ -212,6 +220,7 @@ def run_campaign(
         config,
         label=label,
         jobs=jobs,
+        executor=executor,
         run_dir=run_dir,
         hooks=hooks,
         progress=progress,

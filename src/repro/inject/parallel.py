@@ -10,11 +10,13 @@ bit order.
 
 The public entry point moved to the unified
 :func:`repro.inject.campaign.run_campaign` (``jobs=N``), executed by
-:class:`repro.runner.CampaignRunner`; this module keeps what the runner
-needs — the fork initializer that shares the dataset with workers
+:class:`repro.runner.CampaignRunner` through its
+:class:`repro.runner.executors.PoolExecutor`; this module keeps what the
+pool needs — the fork initializer that shares the dataset with workers
 through a module global (avoiding a per-task pickle of the array),
-spec-string target rehydration, and worker-count resolution — plus the
-deprecated :func:`run_campaign_parallel` wrapper.
+spec-string target rehydration, and worker-count resolution.  (The
+long-deprecated ``run_campaign_parallel`` wrapper has been removed; call
+``run_campaign(..., jobs=N)``.)
 """
 
 from __future__ import annotations
@@ -27,7 +29,7 @@ import warnings
 import numpy as np
 
 from repro.formats import resolve
-from repro.inject.campaign import CampaignConfig, CampaignResult, run_campaign_shard
+from repro.inject.campaign import run_campaign_shard
 from repro.inject.results import TrialRecords
 from repro.metrics.summary import SummaryStats
 from repro.telemetry import DISABLED, Telemetry, TelemetrySnapshot, telemetry_scope
@@ -191,26 +193,3 @@ def resolve_worker_count(jobs: int | None, shard_count: int | None = None) -> in
         )
         return capped
     return jobs
-
-
-def run_campaign_parallel(
-    data,
-    target,
-    config: CampaignConfig | None = None,
-    label: str = "",
-    workers: int | None = None,
-) -> CampaignResult:
-    """Deprecated: use :func:`repro.inject.run_campaign` with ``jobs=N``.
-
-    Kept as a thin wrapper for existing callers; produces the same
-    bit-identical records through the unified runner.
-    """
-    warnings.warn(
-        "run_campaign_parallel is deprecated; use "
-        "run_campaign(data, target, config, jobs=N) instead",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    from repro.inject.campaign import run_campaign
-
-    return run_campaign(data, target, config, label, jobs=workers)

@@ -2,12 +2,18 @@
 
 The runner is the single execution engine behind every campaign entry
 point (``repro.inject.run_campaign``, suites, experiments, the CLI).  It
-turns a campaign into a plan of per-bit *shards*, executes them serially
-or on a process pool, persists each completed shard plus a JSON manifest
-under a run directory, emits observable events (hooks, a terminal
-progress renderer, a JSONL event log), retries failed shards with
-backoff, and can resume a partial run to a result bit-identical to an
-uninterrupted one.
+turns a campaign into a plan of per-bit *shards*, hands them to a
+pluggable :class:`Executor` (serial, process pool, or lease-based
+work-stealing across independent processes — see
+:mod:`repro.runner.executors`), persists each completed shard plus a
+JSON manifest under a run directory, emits observable events (hooks, a
+terminal progress renderer, a JSONL event log), retries failed shards
+with backoff, and can resume a partial run to a result bit-identical to
+an uninterrupted one.  The runner is *policy* (planning, persistence,
+verification, events); executors are *mechanism* (how pending shards
+get computed), and :mod:`repro.runner.worker` lets standalone
+``campaign worker`` processes cooperate on a submitted run through
+atomic lease files.
 
 Hardening (see ``docs/robustness.md``): shard files are written
 atomically and carry SHA-256 checksums verified on resume (corrupt
@@ -26,6 +32,22 @@ from repro.runner.events import (
     close_hooks,
     read_event_log,
 )
+from repro.runner.executors import (
+    EXECUTOR_REGISTRY,
+    ExecutionContext,
+    Executor,
+    PoolExecutor,
+    SerialExecutor,
+    WorkStealingExecutor,
+    resolve_executor,
+)
+from repro.runner.leases import (
+    active_leases,
+    cancel_requested,
+    default_worker_id,
+    read_done_records,
+    request_cancel,
+)
 from repro.runner.manifest import (
     MANIFEST_NAME,
     MANIFEST_VERSION,
@@ -43,30 +65,46 @@ from repro.runner.runner import (
     run_status,
 )
 from repro.runner.verify import Finding, VerifyReport, verify_run
+from repro.runner.worker import ShardWorker, WorkerResult, fold_run, run_worker
 
 __all__ = [
     "CampaignRunner",
+    "EXECUTOR_REGISTRY",
     "EventLogWriter",
+    "ExecutionContext",
+    "Executor",
     "Finding",
     "MANIFEST_NAME",
     "MANIFEST_VERSION",
     "ManifestError",
+    "PoolExecutor",
     "ProgressRenderer",
     "RunManifest",
     "RunStatus",
     "RunnerError",
     "RunnerEvent",
     "RunnerHooks",
+    "SerialExecutor",
     "ShardSpec",
     "ShardState",
+    "ShardWorker",
     "SignalInterrupt",
     "VerifyReport",
+    "WorkStealingExecutor",
+    "WorkerResult",
+    "active_leases",
+    "cancel_requested",
     "close_hooks",
     "dataset_fingerprint",
+    "default_worker_id",
+    "fold_run",
     "quarantine_dir",
     "read_event_log",
+    "request_cancel",
+    "resolve_executor",
     "resume_campaign",
     "run_status",
+    "run_worker",
     "shard_checksum",
     "verify_run",
 ]

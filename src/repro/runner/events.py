@@ -21,11 +21,21 @@ from pathlib import Path
 
 from repro.telemetry import format_duration
 
-#: Event kinds emitted by the runner, in rough lifecycle order.
+#: Event kinds emitted by the runner, in rough lifecycle order.  The
+#: ``run_submitted``/``worker_*``/``shard_claimed``/``lease_stolen``/
+#: ``shard_adopted`` kinds belong to the work-stealing execution path
+#: (:mod:`repro.runner.worker`), where several processes append to the
+#: same ``events.jsonl`` — each event is written as one atomic
+#: ``O_APPEND`` line so identities interleave but never tear.
 EVENT_KINDS = (
+    "run_submitted",
     "run_start",
+    "worker_start",
     "shard_start",
+    "shard_claimed",
+    "lease_stolen",
     "shard_finish",
+    "shard_adopted",
     "shard_error",
     "shard_retry",
     "shard_fallback",
@@ -33,6 +43,7 @@ EVENT_KINDS = (
     "shard_hung",
     "shard_quarantined",
     "chaos_fault",
+    "worker_exit",
     "run_interrupted",
     "run_finish",
 )
@@ -129,15 +140,19 @@ class RunnerHooks:
 
 
 _SPECIFIC_HANDLER = {
+    "run_submitted": "on_run_start",
     "run_start": "on_run_start",
     "shard_start": "on_shard_start",
+    "shard_claimed": "on_shard_start",
     "shard_finish": "on_shard_finish",
+    "shard_adopted": "on_shard_finish",
     "shard_skipped": "on_shard_finish",
     "shard_error": "on_shard_error",
     "shard_retry": "on_shard_error",
     "shard_fallback": "on_shard_error",
     "shard_hung": "on_shard_error",
     "shard_quarantined": "on_shard_error",
+    "lease_stolen": "on_shard_error",
     "run_interrupted": "on_run_finish",
     "run_finish": "on_run_finish",
 }
@@ -192,8 +207,13 @@ class EventLogWriter(RunnerHooks):
         self._handle = open(self.path, "a", encoding="utf-8")
 
     def on_event(self, event: RunnerEvent) -> None:
-        json.dump(event.to_json(), self._handle, separators=(",", ":"))
-        self._handle.write("\n")
+        # One write() call per event, not a json.dump stream: the handle
+        # is append-mode (O_APPEND), so a single write keeps concurrent
+        # appenders — cooperating work-stealing workers share this file —
+        # from interleaving fragments of each other's lines.
+        self._handle.write(
+            json.dumps(event.to_json(), separators=(",", ":")) + "\n"
+        )
         self._handle.flush()
 
     def close(self) -> None:
@@ -238,7 +258,10 @@ class ProgressRenderer(RunnerHooks):
     def __init__(self, stream=None, min_interval: float = 2.0):
         self.stream = stream if stream is not None else sys.stderr
         self.min_interval = min_interval
-        self._last_emit = 0.0
+        # None, not 0.0: time.monotonic() starts near zero on a freshly
+        # booted machine, so an epoch sentinel would throttle the very
+        # first progress line.
+        self._last_emit: float | None = None
         self._is_tty = bool(getattr(self.stream, "isatty", lambda: False)())
 
     def _line(self, event: RunnerEvent) -> str:
@@ -267,7 +290,8 @@ class ProgressRenderer(RunnerHooks):
     def on_shard_finish(self, event: RunnerEvent) -> None:
         now = time.monotonic()
         done = event.shards_done >= event.shards_total
-        if not done and not self._is_tty and now - self._last_emit < self.min_interval:
+        if (not done and not self._is_tty and self._last_emit is not None
+                and now - self._last_emit < self.min_interval):
             return
         self._last_emit = now
         text = "[campaign] " + self._line(event)

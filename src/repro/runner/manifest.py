@@ -41,7 +41,10 @@ QUARANTINE_DIR_NAME = "quarantine"
 SHARD_PENDING = "pending"
 SHARD_COMPLETED = "completed"
 
-#: Run lifecycle states.
+#: Run lifecycle states.  A *submitted* run has a manifest and a shard
+#: plan but no executing process yet — work-stealing ``campaign worker``
+#: processes pick it up through lease files.
+RUN_SUBMITTED = "submitted"
 RUN_RUNNING = "running"
 RUN_INTERRUPTED = "interrupted"
 RUN_COMPLETED = "completed"
@@ -112,6 +115,7 @@ class ShardState:
     attempts: int = 0
     duration: float | None = None
     checksum: str | None = None
+    worker: str | None = None
 
     def to_json(self) -> dict:
         payload = {"bit": self.bit, "trials": self.trials, "status": self.status}
@@ -121,6 +125,8 @@ class ShardState:
             payload["duration"] = round(self.duration, 6)
         if self.checksum is not None:
             payload["checksum"] = self.checksum
+        if self.worker is not None:
+            payload["worker"] = self.worker
         return payload
 
     @classmethod
@@ -132,6 +138,7 @@ class ShardState:
             attempts=int(payload.get("attempts", 0)),
             duration=payload.get("duration"),
             checksum=payload.get("checksum"),
+            worker=payload.get("worker"),
         )
 
 
@@ -149,6 +156,10 @@ class RunManifest:
     shards: dict[int, ShardState] = field(default_factory=dict)
     dataset: dict | None = None
     status: str = RUN_RUNNING
+    #: Which executor last drove (or is meant to drive) this run.  Not
+    #: part of the identity: a run may be submitted for work-stealing
+    #: workers and later finished by a serial resume, or vice versa.
+    executor: str | None = None
     code_version: str = repro.__version__
     created_at: float = 0.0
     version: int = MANIFEST_VERSION
@@ -199,6 +210,7 @@ class RunManifest:
         return {
             "manifest_version": self.version,
             "status": self.status,
+            "executor": self.executor,
             "created_at": self.created_at,
             "code_version": self.code_version,
             "target_spec": self.target_spec,
@@ -231,6 +243,7 @@ class RunManifest:
             data_size=int(data["size"]),
             dataset=data.get("source"),
             status=payload.get("status", RUN_RUNNING),
+            executor=payload.get("executor"),
             code_version=payload.get("code_version", "unknown"),
             created_at=float(payload.get("created_at", 0.0)),
             version=int(payload.get("manifest_version", MANIFEST_VERSION)),

@@ -25,7 +25,6 @@ prove the run either completes bit-identical or fails loudly.
 from __future__ import annotations
 
 import hashlib
-import multiprocessing
 import os
 import signal
 import threading
@@ -53,10 +52,13 @@ from repro.runner.events import (
     close_hooks,
     dispatch_event,
 )
+from repro.runner.executors import ExecutionContext, resolve_executor
+from repro.runner.leases import active_leases, cancel_requested, read_done_records
 from repro.runner.manifest import (
     RUN_COMPLETED,
     RUN_INTERRUPTED,
     RUN_RUNNING,
+    RUN_SUBMITTED,
     SHARD_COMPLETED,
     SHARD_PENDING,
     RunManifest,
@@ -99,31 +101,14 @@ class ShardSpec:
     seed: np.random.SeedSequence = field(compare=False, hash=False)
 
 
-@dataclass
-class _ShardRun:
-    """Pool-side bookkeeping for one in-flight shard."""
-
-    future: object | None = None
-    failures: int = 0
-    claimed: float | None = None
-    pid: int | None = None
-    done: bool = False
-
-
-def _pid_alive(pid: int) -> bool:
-    """Whether a process still exists (signal 0 probe)."""
-    try:
-        os.kill(pid, 0)
-    except ProcessLookupError:
-        return False
-    except PermissionError:
-        return True
-    return True
-
-
 @dataclass(frozen=True)
 class RunStatus:
-    """Snapshot of a run directory (the ``campaign status`` command)."""
+    """Snapshot of a run directory (the ``campaign status`` command).
+
+    Counts include shards whose completion record (``leases/``) exists
+    but has not yet been folded into the manifest — a work-stealing run
+    in flight reports live progress, not the manifest's last fold.
+    """
 
     run_dir: str
     target_spec: str
@@ -137,6 +122,9 @@ class RunStatus:
     missing_shard_files: tuple[int, ...]
     phase_seconds: dict | None = None
     quarantined_files: tuple[str, ...] = ()
+    executor: str | None = None
+    cancelled: bool = False
+    workers: tuple[dict, ...] = ()
 
     @property
     def complete(self) -> bool:
@@ -147,10 +135,18 @@ class RunStatus:
             f"run:     {self.run_dir}",
             f"target:  {self.target_spec}"
             + (f"  (label: {self.label})" if self.label else ""),
-            f"status:  {self.status}",
+            f"status:  {self.status}"
+            + (f"  (executor: {self.executor})" if self.executor else "")
+            + ("  [cancel requested]" if self.cancelled else ""),
             f"shards:  {self.shards_done}/{self.shards_total} completed",
             f"trials:  {self.trials_done}/{self.trials_total}",
         ]
+        if self.workers:
+            claims = ", ".join(
+                f"bit {w['bit']} by {w['worker']} ({w['age_seconds']:.0f}s ago)"
+                for w in self.workers
+            )
+            lines.append(f"workers: {claims}")
         if self.pending_bits:
             lines.append(f"pending: bits {', '.join(map(str, self.pending_bits))}")
         if self.missing_shard_files:
@@ -193,6 +189,14 @@ class CampaignRunner:
         the CPU count capped at the shard count.  Zero or negative values
         are rejected; values above the shard count are capped with a
         warning.
+    executor:
+        Which execution mechanism drives the pending shards: ``None``
+        picks serial or pool from ``jobs`` (the historical behaviour), a
+        registry name (``"serial"``, ``"pool"``, ``"work-stealing"``)
+        instantiates that executor, and an
+        :class:`repro.runner.executors.Executor` instance is used as-is.
+        The runner stays the *policy* layer (planning, persistence,
+        verification, events); executors are pure *mechanism*.
     run_dir:
         Directory for shard records, the manifest, and the event log.
         ``None`` runs fully in memory (no persistence, no resume).
@@ -243,6 +247,7 @@ class CampaignRunner:
         *,
         label: str = "",
         jobs: int | None = 1,
+        executor=None,
         run_dir: str | os.PathLike | None = None,
         hooks=None,
         progress: bool = False,
@@ -260,6 +265,7 @@ class CampaignRunner:
         self.config = config if config is not None else CampaignConfig()
         self.label = label
         self.jobs = validate_jobs(jobs)
+        self.executor = executor
         self.run_dir = Path(run_dir) if run_dir is not None else None
         self.dataset = dataset
         self.max_retries = int(max_retries)
@@ -359,6 +365,12 @@ class CampaignRunner:
         self._shards_done = len(self._completed)
         pending = [s for s in shards if s.bit not in self._completed]
         self._effective_jobs = self._resolve_jobs(len(pending))
+        executor = resolve_executor(
+            self.executor, jobs=self._effective_jobs, pending=len(pending)
+        )
+        if self._manifest is not None and self._manifest.executor != executor.name:
+            self._manifest.executor = executor.name
+            self._manifest.write(self.run_dir)
 
         # Treat a scheduler's SIGTERM like Ctrl-C: checkpoint, flush,
         # announce, re-raise.  Signal handlers only install from the main
@@ -399,10 +411,10 @@ class CampaignRunner:
                             self._emit(hooks, "shard_skipped", bit=bit,
                                        shards_total=len(shards), trials_total=trials_total)
 
-                        if self._effective_jobs <= 1 or len(pending) <= 1:
-                            self._run_serial(pending, hooks, len(shards), trials_total)
-                        else:
-                            self._run_pool(pending, hooks, len(shards), trials_total)
+                        executor.execute(
+                            pending,
+                            ExecutionContext(self, hooks, len(shards), trials_total),
+                        )
                 except BaseException as error:
                     if self._manifest is not None:
                         self._manifest.status = RUN_INTERRUPTED
@@ -432,6 +444,7 @@ class CampaignRunner:
                         "shards_hung": self._hung_count,
                         "shards_quarantined": len(self._quarantined),
                         "jobs": self._effective_jobs,
+                        "executor": executor.name,
                     },
                 )
                 snapshot = self._snapshot_telemetry()
@@ -485,6 +498,13 @@ class CampaignRunner:
         manifest_path = Path(self.run_dir) / MANIFEST_NAME
         fresh = self._fresh_manifest(shards)
         if manifest_path.is_file():
+            # Fold completion records left by work-stealing workers into
+            # the manifest first, so a resume restores (and verifies)
+            # their shards instead of recomputing them.
+            if read_done_records(self.run_dir):
+                from repro.runner.worker import fold_run
+
+                fold_run(self.run_dir)
             existing = RunManifest.load(self.run_dir)
             mismatches = fresh.mismatches(existing)
             if mismatches:
@@ -630,211 +650,83 @@ class CampaignRunner:
         fire_artifact_faults(self.chaos, self.run_dir, bit,
                              shards_done=self._shards_done, on_fault=on_fault)
 
-    def _run_serial(self, pending, hooks, shards_total, trials_total) -> None:
-        for spec in pending:
-            self._emit(hooks, "shard_start", bit=spec.bit,
-                       shards_total=shards_total, trials_total=trials_total)
-            attempts = 0
-            while True:
-                attempts += 1
-                try:
-                    if self.chaos is not None:
-                        from repro.chaos import fire_compute_faults
+    def _adopt_shard(self, spec: ShardSpec, record: dict, hooks,
+                     shards_total: int, trials_total: int) -> None:
+        """Fold a shard completed by another worker process into this run.
 
-                        fire_compute_faults(self.chaos, spec.bit, attempts - 1)
-                    records, duration = self._compute_shard(spec)
-                    break
-                except Exception as error:
-                    self._emit(hooks, "shard_error", bit=spec.bit, attempt=attempts - 1,
-                               error=repr(error), shards_total=shards_total,
-                               trials_total=trials_total)
-                    if attempts > self.max_retries:
-                        raise RunnerError(
-                            f"shard for bit {spec.bit} failed after {attempts} attempt(s)"
-                        ) from error
-                    self._retry_count += 1
-                    time.sleep(self.retry_backoff * (2 ** (attempts - 1)))
-                    self._emit(hooks, "shard_retry", bit=spec.bit, attempt=attempts,
-                               error=repr(error), shards_total=shards_total,
-                               trials_total=trials_total)
-            self._finish_shard(spec, records, duration, attempts, hooks,
-                               shards_total, trials_total)
-
-    def _kill_worker(self, pid: int | None) -> bool:
-        """SIGKILL a stalled pool worker; the pool respawns a replacement."""
-        if pid is None:
-            return False
-        try:
-            os.kill(pid, signal.SIGKILL)
-        except (ProcessLookupError, PermissionError):
-            return False
-        return True
-
-    def _run_pool(self, pending, hooks, shards_total, trials_total) -> None:
-        """Execute pending shards on a fork pool, surviving sick workers.
-
-        Instead of blocking on each future in bit order, a polling loop
-        collects results as they complete while a heartbeat queue tracks
-        which worker claimed which shard and when.  That lets the parent
-        distinguish three states the blocking design conflated: queued
-        (no claim — never times out), computing (claimed, worker alive,
-        within budget), and lost (worker dead, or claimed longer than
-        ``heartbeat_timeout`` / ``shard_timeout``).  Lost shards get
-        their worker SIGKILLed and re-enter the normal retry path, so a
-        crashed or hung worker costs one retry, not the run.
+        The work-stealing coordinator trusts nothing it did not compute
+        itself: the shard file is re-read from disk, its exact bytes are
+        checksummed against the completing worker's done record, and the
+        trial count is checked before the manifest adopts the shard.
         """
-        from repro.inject.parallel import _init_worker, _run_shard_timed
-
-        context = multiprocessing.get_context("fork")
-        # Created unconditionally: workers ping "claim"/"done" through it
-        # (inherited across the fork via the pool initializer args).  A
-        # SimpleQueue, not a Queue: its put() writes the pipe
-        # synchronously, so a worker that crashes (os._exit) right after
-        # claiming has still delivered the claim — a buffered Queue's
-        # feeder thread would die with the worker and lose it, leaving
-        # the shard looking queued forever.
-        heartbeats = context.SimpleQueue()
-        specs = {spec.bit: spec for spec in pending}
-        runs: dict[int, _ShardRun] = {}
-        pool_broken = False
-
-        def submit(bit: int) -> None:
-            run = runs[bit]
-            spec = specs[bit]
-            run.claimed = None
-            run.pid = None
-            run.done = False
-            # The attempt id rides along so pings from a killed earlier
-            # attempt cannot be mistaken for the live one.
-            run.future = pool.apply_async(
-                _run_shard_timed,
-                ((spec.bit, spec.trials, spec.seed, run.failures),),
+        path = RunManifest.shard_path(self.run_dir, spec.bit)
+        expected = record.get("checksum") or None
+        actual = shard_checksum(path)
+        if expected and actual != expected:
+            raise RunnerError(
+                f"adopted shard bit={spec.bit} fails its done-record checksum "
+                f"(record {expected[:12]}, file {actual[:12]})"
             )
+        records = TrialRecords.read_csv(path)
+        if len(records) != spec.trials:
+            raise RunnerError(
+                f"adopted shard bit={spec.bit} holds {len(records)} trial(s), "
+                f"expected {spec.trials}"
+            )
+        duration = float(record.get("duration") or 0.0)
+        attempts = int(record.get("attempts") or 1)
+        if self._manifest is not None:
+            state = self._manifest.shards[spec.bit]
+            state.status = SHARD_COMPLETED
+            state.attempts = attempts
+            state.duration = duration
+            state.checksum = actual
+            state.worker = record.get("worker")
+            self._manifest.write(self.run_dir)
+        self._completed[spec.bit] = records
+        self._busy_time += duration
+        self._trials_done += spec.trials
+        self._shards_done += 1
+        self._emit(hooks, "shard_adopted", bit=spec.bit, attempt=attempts - 1,
+                   shards_total=shards_total, trials_total=trials_total,
+                   detail={"worker": record.get("worker"),
+                           "duration": round(duration, 6)})
 
-        def fallback(bit: int) -> None:
-            # Degrade gracefully: the pool failed this shard (or died);
-            # recompute in-process rather than lose the run.
-            run = runs.pop(bit)
-            self._emit(hooks, "shard_fallback", bit=bit, attempt=run.failures,
-                       shards_total=shards_total, trials_total=trials_total,
-                       error="pool execution failed; running in-process")
-            records, duration = self._compute_shard(specs[bit])
-            self._finish_shard(specs[bit], records, duration, run.failures + 1,
-                               hooks, shards_total, trials_total)
+    # -- submission ---------------------------------------------------------
 
-        def fail(bit: int, error: BaseException) -> None:
-            nonlocal pool_broken
-            run = runs[bit]
-            run.failures += 1
-            run.future = None
-            self._emit(hooks, "shard_error", bit=bit, attempt=run.failures - 1,
-                       error=repr(error), shards_total=shards_total,
-                       trials_total=trials_total)
-            if run.failures > self.max_retries:
-                fallback(bit)
-                return
-            self._retry_count += 1
-            time.sleep(self.retry_backoff * (2 ** (run.failures - 1)))
-            try:
-                submit(bit)
-            except Exception:
-                pool_broken = True
-                return
-            self._emit(hooks, "shard_retry", bit=bit, attempt=run.failures,
-                       error=repr(error), shards_total=shards_total,
-                       trials_total=trials_total)
+    def submit(self) -> RunManifest:
+        """Create the run directory in *submitted* state without executing.
 
-        def drain_heartbeats() -> None:
-            while True:
-                try:
-                    if heartbeats.empty():
-                        return
-                    kind, pid, bit, attempt = heartbeats.get()
-                except (OSError, EOFError):
-                    return
-                run = runs.get(bit)
-                if run is None or attempt != run.failures:
-                    continue  # ping from a superseded or finished attempt
-                if kind == "claim":
-                    run.claimed = time.monotonic()
-                    run.pid = pid
-                elif kind == "done":
-                    run.done = True
+        Writes a fresh manifest (status ``submitted``, executor
+        ``work-stealing``) and a ``run_submitted`` event, then returns.
+        Any number of ``campaign worker`` processes pointed at the
+        directory afterwards claim the pending shards through lease
+        files and cooperate to finish the run.  Requires ``run_dir`` and
+        refuses a directory that already holds a campaign.
+        """
+        if self.run_dir is None:
+            raise RunnerError("submit requires a run_dir")
+        from repro.runner.manifest import MANIFEST_NAME
 
-        def reap_stalled() -> None:
-            now = time.monotonic()
-            for bit in sorted(runs):
-                run = runs.get(bit)
-                if (run is None or run.future is None or run.done
-                        or run.future.ready() or run.claimed is None):
-                    continue
-                age = now - run.claimed
-                reason = None
-                if run.pid is not None and not _pid_alive(run.pid):
-                    reason = f"worker pid {run.pid} died mid-shard"
-                elif (self.heartbeat_timeout is not None
-                        and age > self.heartbeat_timeout):
-                    reason = (f"claimed {age:.1f}s ago with no completion "
-                              f"(heartbeat_timeout={self.heartbeat_timeout:g}s)")
-                elif self.shard_timeout is not None and age > self.shard_timeout:
-                    reason = (f"running {age:.1f}s "
-                              f"(shard_timeout={self.shard_timeout:g}s)")
-                if reason is None:
-                    continue
-                self._hung_count += 1
-                self.telemetry.count("runner.shards_hung")
-                if self._kill_worker(run.pid):
-                    self.telemetry.count("runner.workers_killed")
-                self._emit(hooks, "shard_hung", bit=bit, attempt=run.failures,
-                           error=reason, shards_total=shards_total,
-                           trials_total=trials_total,
-                           detail={"pid": run.pid, "claimed_age": round(age, 3)})
-                fail(bit, RunnerError(f"shard bit={bit} hung: {reason}"))
-                if pool_broken:
-                    return
-
-        try:
-            with context.Pool(
-                processes=self._effective_jobs,
-                initializer=_init_worker,
-                initargs=(self.stored, self.target.name, self.baseline,
-                          self.telemetry.enabled, self.chaos, heartbeats),
-            ) as pool:
-                for spec in pending:
-                    runs[spec.bit] = _ShardRun()
-                    submit(spec.bit)
-                    self._emit(hooks, "shard_start", bit=spec.bit,
-                               shards_total=shards_total, trials_total=trials_total)
-                while runs and not pool_broken:
-                    drain_heartbeats()
-                    progressed = False
-                    for bit in sorted(runs):
-                        run = runs.get(bit)
-                        if run is None or run.future is None or not run.future.ready():
-                            continue
-                        progressed = True
-                        try:
-                            records, duration, worker_snapshot = run.future.get()
-                        except Exception as error:
-                            fail(bit, error)
-                            if pool_broken:
-                                break
-                            continue
-                        if worker_snapshot is not None:
-                            self.telemetry.merge_snapshot(worker_snapshot)
-                        runs.pop(bit)
-                        self._finish_shard(specs[bit], records, duration,
-                                           run.failures + 1, hooks,
-                                           shards_total, trials_total)
-                    if pool_broken:
-                        break
-                    reap_stalled()
-                    if runs and not pool_broken and not progressed:
-                        time.sleep(0.01)
-                for bit in sorted(runs):
-                    fallback(bit)
-        finally:
-            heartbeats.close()
+        if (Path(self.run_dir) / MANIFEST_NAME).is_file():
+            raise RunnerError(
+                f"run directory {self.run_dir} already holds a campaign; "
+                "submit into a fresh directory"
+            )
+        shards = self.plan()
+        manifest = self._fresh_manifest(shards)
+        manifest.status = RUN_SUBMITTED
+        manifest.executor = "work-stealing"
+        manifest.write(self.run_dir)
+        self._manifest = manifest
+        self._started = time.monotonic()
+        with EventLogWriter(RunManifest.event_log_path(self.run_dir)) as log:
+            self._emit([log, *self.hooks], "run_submitted",
+                       shards_total=len(shards),
+                       trials_total=sum(s.trials for s in shards),
+                       detail={"target": self.target.name, "label": self.label,
+                               "run_dir": str(self.run_dir)})
+        return manifest
 
     # -- events -------------------------------------------------------------
 
@@ -902,9 +794,16 @@ def run_status(run_dir: str | os.PathLike) -> RunStatus:
     carries the per-phase time breakdown, surfaced by ``summary()``.
     """
     manifest = RunManifest.load(run_dir)
+    # A work-stealing run's live progress is the manifest's fold plus
+    # the done records workers have dropped since; merging them here
+    # lets ``campaign status``/``watch`` report mid-run progress without
+    # mutating anything.
+    trials_by_bit = {bit: state.trials for bit, state in manifest.shards.items()}
+    done_bits = set(manifest.completed_bits())
+    done_bits.update(bit for bit in read_done_records(run_dir) if bit in trials_by_bit)
     missing = tuple(
         bit
-        for bit in manifest.completed_bits()
+        for bit in sorted(done_bits)
         if not RunManifest.shard_path(run_dir, bit).is_file()
     )
     quarantine = quarantine_dir(run_dir)
@@ -920,13 +819,16 @@ def run_status(run_dir: str | os.PathLike) -> RunStatus:
         label=manifest.label,
         status=manifest.status,
         shards_total=len(manifest.shards),
-        shards_done=len(manifest.completed_bits()),
+        shards_done=len(done_bits),
         trials_total=manifest.trials_total,
-        trials_done=manifest.trials_done,
-        pending_bits=tuple(manifest.pending_bits()),
+        trials_done=sum(trials_by_bit[bit] for bit in done_bits),
+        pending_bits=tuple(sorted(set(trials_by_bit) - done_bits)),
         missing_shard_files=missing,
         phase_seconds=snapshot.phase_seconds() if snapshot is not None else None,
         quarantined_files=quarantined,
+        executor=manifest.executor,
+        cancelled=cancel_requested(run_dir),
+        workers=tuple(active_leases(run_dir)),
     )
 
 

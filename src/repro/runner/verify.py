@@ -35,6 +35,7 @@ from repro.runner.manifest import (
     RUN_COMPLETED,
     RUN_INTERRUPTED,
     RUN_RUNNING,
+    RUN_SUBMITTED,
     SHARD_COMPLETED,
     SHARD_DIR_NAME,
     RunManifest,
@@ -121,7 +122,9 @@ def _check_manifest(report: VerifyReport, run_dir: Path) -> RunManifest | None:
             Finding(SEVERITY_ERROR, "manifest-parse", str(error), MANIFEST_NAME)
         )
         return None
-    if manifest.status not in (RUN_RUNNING, RUN_INTERRUPTED, RUN_COMPLETED):
+    if manifest.status not in (
+        RUN_SUBMITTED, RUN_RUNNING, RUN_INTERRUPTED, RUN_COMPLETED,
+    ):
         report.findings.append(
             Finding(
                 SEVERITY_ERROR,

@@ -1,0 +1,399 @@
+"""The work-stealing shard worker: ``campaign worker <run-dir>``.
+
+A :class:`ShardWorker` is one independent process cooperating on a
+submitted campaign through the shared run directory alone.  Its loop:
+
+1. read the manifest (identity, shard plan) and the completion records
+   under ``leases/``;
+2. claim a still-pending shard via an atomic lease file
+   (:func:`repro.runner.leases.try_claim`), stealing expired leases
+   from dead workers;
+3. compute the shard (bit-identical regardless of which worker runs it,
+   thanks to per-bit ``SeedSequence.spawn`` streams), write the shard
+   CSV atomically with a SHA-256 checksum, write the completion record,
+   append its events to ``events.jsonl``, release the lease;
+4. when every shard has a completion record, fold them into the
+   manifest (:func:`fold_run`) and — if it wins the one-shot
+   ``finalized`` marker — emit the closing ``run_finish`` event.
+
+Workers never write the manifest during execution (concurrent
+read-modify-write would lose shards); :func:`fold_run` derives the
+manifest's shard states purely from the completion records, so folding
+is idempotent and any worker (or a later ``campaign resume``) can do it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.formats import resolve
+from repro.inject.campaign import CampaignConfig, bit_seeds, run_campaign_shard
+from repro.inject.results import TrialRecords
+from repro.metrics.summary import SummaryStats
+from repro.runner.errors import RunnerError
+from repro.runner.events import EventLogWriter, RunnerEvent, dispatch_event
+from repro.runner.leases import (
+    DEFAULT_LEASE_TIMEOUT,
+    LeaseHeartbeat,
+    active_leases,
+    cancel_requested,
+    default_worker_id,
+    read_done_records,
+    try_acquire_finalize,
+    try_claim,
+    write_done_record,
+)
+from repro.runner.manifest import (
+    RUN_COMPLETED,
+    RUN_RUNNING,
+    SHARD_COMPLETED,
+    RunManifest,
+)
+
+
+@dataclass(frozen=True)
+class WorkerResult:
+    """What one worker's run() accomplished."""
+
+    worker: str
+    claims: int
+    stolen: int
+    status: str  # "completed" | "cancelled" | "idle"
+    finalized: bool = False
+
+
+def persist_shard_file(run_dir, bit: int, records: TrialRecords) -> str:
+    """Atomically write one shard CSV; returns its SHA-256 checksum.
+
+    Same discipline as the runner's persistence path: serialize once,
+    checksum the exact bytes that hit disk, write to a temp file, rename
+    into place.  The pid-suffixed temp name keeps concurrent workers
+    that (pathologically) compute the same shard from clobbering each
+    other's temp files — and since shards are bit-identical, whichever
+    rename lands last leaves the same bytes.
+    """
+    path = RunManifest.shard_path(run_dir, bit)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = records.to_csv_string().encode("utf-8")
+    digest = hashlib.sha256(payload).hexdigest()
+    tmp = path.with_name(path.name + f".tmp-{os.getpid()}")
+    tmp.write_bytes(payload)
+    os.replace(tmp, path)
+    return digest
+
+
+def fold_run(run_dir) -> RunManifest:
+    """Fold completion records into the manifest; idempotent.
+
+    Derives every folded shard state purely from the ``leases/`` done
+    records (checksum, duration, attempts, worker), so concurrent folds
+    by racing workers write identical manifests (the write is an atomic
+    replace).  When no shard remains pending the run status advances to
+    completed.  Records whose shard file is missing are skipped — the
+    shard simply stays pending and will be recomputed.
+    """
+    manifest = RunManifest.load(run_dir)
+    records = read_done_records(run_dir)
+    changed = False
+    for bit, record in records.items():
+        state = manifest.shards.get(bit)
+        if state is None or state.status == SHARD_COMPLETED:
+            continue
+        if not RunManifest.shard_path(run_dir, bit).is_file():
+            continue
+        state.status = SHARD_COMPLETED
+        state.checksum = record.get("checksum") or None
+        state.duration = record.get("duration")
+        state.attempts = int(record.get("attempts", 1))
+        state.worker = record.get("worker")
+        changed = True
+    if not manifest.pending_bits() and manifest.status != RUN_COMPLETED:
+        manifest.status = RUN_COMPLETED
+        changed = True
+    if changed:
+        manifest.write(run_dir)
+    return manifest
+
+
+class ShardWorker:
+    """One cooperating worker process for a submitted campaign.
+
+    Parameters
+    ----------
+    run_dir:
+        The shared run directory (manifest + leases + shards + events).
+    worker_id:
+        Identity recorded in leases, done records, and events; defaults
+        to ``<hostname>-<pid>``.
+    stored / target / baseline:
+        The round-tripped dataset, target (format or spec string), and
+        baseline stats — passed by the in-run executor whose fork
+        already holds them.  When omitted (the standalone ``campaign
+        worker`` path) the dataset is regenerated from the manifest's
+        recorded provenance and round-tripped here.
+    lease_timeout:
+        Seconds of heartbeat silence before another worker's lease is
+        presumed orphaned and stolen.
+    poll_interval:
+        Sleep between sweeps when nothing was claimable.
+    max_claims:
+        Stop after claiming this many shards (None = unlimited).
+    max_idle_seconds:
+        Give up after this long without any observable progress across
+        the whole run (None = wait forever).  Returns ``status="idle"``.
+    max_retries / retry_backoff:
+        Per-shard in-worker retry budget, as in the runner.
+    chaos:
+        Optional fault plan fired before each compute attempt (in-run
+        children inherit the runner's plan across the fork).
+    finalize:
+        Fold + finalize when the run completes.  The in-run executor's
+        children pass False — their coordinator owns the manifest.
+    hooks:
+        Optional extra event consumers (beyond the events.jsonl append).
+    """
+
+    def __init__(
+        self,
+        run_dir,
+        *,
+        worker_id: str | None = None,
+        stored: np.ndarray | None = None,
+        target=None,
+        baseline: SummaryStats | None = None,
+        lease_timeout: float = DEFAULT_LEASE_TIMEOUT,
+        poll_interval: float = 0.2,
+        max_claims: int | None = None,
+        max_idle_seconds: float | None = None,
+        max_retries: int = 2,
+        retry_backoff: float = 0.05,
+        chaos=None,
+        finalize: bool = True,
+        hooks=None,
+    ):
+        if lease_timeout <= 0:
+            raise ValueError(f"lease_timeout must be positive, got {lease_timeout}")
+        self.run_dir = Path(run_dir)
+        self.worker_id = worker_id or default_worker_id()
+        self.lease_timeout = float(lease_timeout)
+        self.poll_interval = float(poll_interval)
+        self.max_claims = max_claims
+        self.max_idle_seconds = max_idle_seconds
+        self.max_retries = int(max_retries)
+        self.retry_backoff = float(retry_backoff)
+        self.chaos = chaos
+        self.finalize = finalize
+        if hooks is None:
+            hooks = []
+        elif not isinstance(hooks, (list, tuple)):
+            hooks = [hooks]
+        self.hooks = list(hooks)
+        self._stored = stored
+        self._target = resolve(target) if target is not None else None
+        self._baseline = baseline
+        self._failed: set[int] = set()
+        self._started = 0.0
+
+    # -- setup --------------------------------------------------------------
+
+    def _load(self) -> tuple[RunManifest, dict]:
+        manifest = RunManifest.load(self.run_dir)
+        if manifest.status == RUN_RUNNING and manifest.executor not in (
+            None, "work-stealing",
+        ):
+            raise RunnerError(
+                f"run {self.run_dir} is executing under the "
+                f"{manifest.executor!r} executor, which does not coordinate "
+                "through leases; a work-stealing worker cannot join it"
+            )
+        if self._target is None:
+            self._target = resolve(manifest.target_spec)
+        if self._stored is None:
+            from repro.runner.runner import _regenerate_dataset
+
+            flat = np.asarray(_regenerate_dataset(manifest)).reshape(-1)
+            self._stored = self._target.round_trip(flat)
+        if self._baseline is None:
+            self._baseline = SummaryStats.from_array(self._stored)
+        config = CampaignConfig(
+            trials_per_bit=manifest.trials_per_bit,
+            bits=manifest.bits,
+            seed=manifest.seed,
+        )
+        seeds = bit_seeds(config, self._target)
+        return manifest, seeds
+
+    # -- events -------------------------------------------------------------
+
+    def _emit(self, log, kind: str, *, bit: int | None = None,
+              shards_done: int = 0, shards_total: int = 0,
+              trials_done: int = 0, trials_total: int = 0,
+              error: str | None = None, detail: dict | None = None) -> None:
+        detail = dict(detail or {})
+        detail.setdefault("worker", self.worker_id)
+        event = RunnerEvent(
+            kind=kind,
+            elapsed=round(max(time.monotonic() - self._started, 0.0), 6),
+            bit=bit,
+            shards_done=shards_done,
+            shards_total=shards_total,
+            trials_done=trials_done,
+            trials_total=trials_total,
+            error=error,
+            detail=detail,
+        )
+        for hook in [log, *self.hooks]:
+            dispatch_event(hook, event)
+
+    # -- the loop -----------------------------------------------------------
+
+    def run(self) -> WorkerResult:
+        """Claim, compute, and record shards until the run is done."""
+        self._started = time.monotonic()
+        manifest, seeds = self._load()
+        shards_total = len(manifest.shards)
+        trials_total = manifest.trials_total
+        already = set(manifest.completed_bits())
+        claims = 0
+        stolen = 0
+        status = "completed"
+        finalized = False
+        last_progress = time.monotonic()
+        last_seen_done = -1
+
+        with EventLogWriter(RunManifest.event_log_path(self.run_dir)) as log:
+            self._emit(log, "worker_start", shards_total=shards_total,
+                       trials_total=trials_total,
+                       detail={"pid": os.getpid(),
+                               "lease_timeout": self.lease_timeout})
+            while True:
+                if cancel_requested(self.run_dir):
+                    status = "cancelled"
+                    break
+                done = read_done_records(self.run_dir)
+                done_bits = already | set(done)
+                remaining = [b for b in sorted(manifest.shards)
+                             if b not in done_bits]
+                if not remaining:
+                    break
+                if len(done_bits) != last_seen_done:
+                    last_seen_done = len(done_bits)
+                    last_progress = time.monotonic()
+                claimable = [b for b in remaining if b not in self._failed]
+                if not claimable and not active_leases(self.run_dir):
+                    raise RunnerError(
+                        f"worker {self.worker_id} exhausted retries on bit(s) "
+                        f"{sorted(self._failed)} and no other worker holds "
+                        "a lease on them"
+                    )
+                progressed = False
+                for bit in claimable:
+                    if self.max_claims is not None and claims >= self.max_claims:
+                        break
+                    lease = try_claim(self.run_dir, bit, self.worker_id,
+                                      lease_timeout=self.lease_timeout)
+                    if lease is None:
+                        continue
+                    if read_done_records(self.run_dir).get(bit) is not None:
+                        lease.release()  # finished between our scan and claim
+                        continue
+                    progressed = True
+                    last_progress = time.monotonic()
+                    counts = {"shards_done": len(done_bits),
+                              "shards_total": shards_total,
+                              "trials_done": sum(
+                                  manifest.shards[b].trials for b in done_bits),
+                              "trials_total": trials_total}
+                    if lease.stolen_from:
+                        stolen += 1
+                        self._emit(log, "lease_stolen", bit=bit,
+                                   error=f"lease of {lease.stolen_from} expired",
+                                   detail={"stolen_from": lease.stolen_from},
+                                   **counts)
+                    self._emit(log, "shard_claimed", bit=bit, **counts)
+                    outcome = self._run_shard(log, lease, bit,
+                                              manifest.shards[bit].trials,
+                                              seeds[bit], counts)
+                    lease.release()
+                    if outcome:
+                        claims += 1
+                if self.max_claims is not None and claims >= self.max_claims:
+                    status = "idle"
+                    break
+                if not progressed:
+                    if (self.max_idle_seconds is not None
+                            and time.monotonic() - last_progress
+                            > self.max_idle_seconds):
+                        status = "idle"
+                        break
+                    time.sleep(self.poll_interval)
+
+            if status == "completed" and self.finalize:
+                folded = fold_run(self.run_dir)
+                if (folded.status == RUN_COMPLETED
+                        and try_acquire_finalize(self.run_dir, self.worker_id)):
+                    finalized = True
+                    self._emit(log, "run_finish",
+                               shards_done=len(folded.completed_bits()),
+                               shards_total=shards_total,
+                               trials_done=folded.trials_done,
+                               trials_total=trials_total,
+                               detail={"finalized_by": self.worker_id})
+            self._emit(log, "worker_exit", shards_total=shards_total,
+                       trials_total=trials_total,
+                       detail={"claims": claims, "stolen": stolen,
+                               "status": status, "finalized": finalized})
+        return WorkerResult(worker=self.worker_id, claims=claims,
+                            stolen=stolen, status=status, finalized=finalized)
+
+    def _run_shard(self, log, lease, bit: int, trials: int, seed, counts) -> bool:
+        """Compute + persist one claimed shard; False if retries exhausted."""
+        attempts = 0
+        with LeaseHeartbeat(lease, self.lease_timeout / 3.0):
+            while True:
+                attempts += 1
+                try:
+                    if self.chaos is not None:
+                        from repro.chaos import fire_compute_faults
+
+                        fire_compute_faults(self.chaos, bit, attempts - 1)
+                    start = time.perf_counter()
+                    records = run_campaign_shard(
+                        self._stored, self._target, bit, trials, seed,
+                        self._baseline,
+                    )
+                    duration = time.perf_counter() - start
+                    break
+                except Exception as error:
+                    self._emit(log, "shard_error", bit=bit,
+                               error=repr(error), **counts)
+                    if attempts > self.max_retries:
+                        # Leave the shard for a healthier worker; only if
+                        # nobody else can take it does the loop raise.
+                        self._failed.add(bit)
+                        return False
+                    time.sleep(self.retry_backoff * (2 ** (attempts - 1)))
+                    self._emit(log, "shard_retry", bit=bit,
+                               error=repr(error), **counts)
+            checksum = persist_shard_file(self.run_dir, bit, records)
+            write_done_record(
+                self.run_dir, bit,
+                trials=len(records), duration=duration, attempts=attempts,
+                checksum=checksum, worker=self.worker_id,
+            )
+            self._emit(log, "shard_finish", bit=bit,
+                       detail={"duration": round(duration, 6)},
+                       **{**counts, "shards_done": counts["shards_done"] + 1,
+                          "trials_done": counts["trials_done"] + len(records)})
+        return True
+
+
+def run_worker(run_dir, **kwargs) -> WorkerResult:
+    """Convenience wrapper: construct and run one :class:`ShardWorker`."""
+    return ShardWorker(run_dir, **kwargs).run()

@@ -1,0 +1,62 @@
+"""The campaign service: a run registry, resource verbs, and a run feed.
+
+``repro.service`` turns campaign run directories into managed resources
+under one home directory (``$REPRO_HOME`` or ``~/.repro``):
+
+- :mod:`repro.service.config` — home resolution and ``config init``;
+- :mod:`repro.service.registry` — project-scoped run registry behind
+  the ``campaign submit/list/get/cancel`` CLI verbs, plus the canonical
+  ``repro.run-status/1`` JSON payload;
+- :mod:`repro.service.watch` — the streamable event feed behind
+  ``campaign watch``.
+
+Execution stays entirely in :mod:`repro.runner`: a registered run is an
+ordinary run directory that work-stealing ``campaign worker`` processes
+(local or on any machine sharing the filesystem) drive to completion.
+The service layer never computes; it names, submits, observes, and
+cancels.
+"""
+
+from repro.service.config import (
+    CONFIG_NAME,
+    HOME_ENV,
+    ServiceConfig,
+    init_config,
+    load_config,
+    repro_home,
+)
+from repro.service.registry import (
+    STATUS_SCHEMA,
+    RunEntry,
+    RunRegistry,
+    ServiceError,
+    run_status_payload,
+)
+from repro.service.watch import (
+    WATCH_CANCELLED,
+    WATCH_DONE,
+    WATCH_EOF,
+    WATCH_IDLE,
+    format_event,
+    watch_run,
+)
+
+__all__ = [
+    "CONFIG_NAME",
+    "HOME_ENV",
+    "RunEntry",
+    "RunRegistry",
+    "STATUS_SCHEMA",
+    "ServiceConfig",
+    "ServiceError",
+    "WATCH_CANCELLED",
+    "WATCH_DONE",
+    "WATCH_EOF",
+    "WATCH_IDLE",
+    "format_event",
+    "init_config",
+    "load_config",
+    "repro_home",
+    "run_status_payload",
+    "watch_run",
+]

@@ -1,0 +1,104 @@
+"""Service home resolution and configuration.
+
+The campaign service keeps its state under one *home* directory —
+``$REPRO_HOME`` when set, else ``~/.repro``::
+
+    $REPRO_HOME/
+      config.json    <- this module (written by ``repro config init``)
+      runs/          <- run registry (repro.service.registry)
+        index.json
+        <project>/<run-id>/   <- ordinary campaign run directories
+      cache/         <- scratch space for future services
+
+``config.json`` is optional: every reader falls back to the defaults
+derived from the home path, so a fresh machine can ``campaign submit``
+without running ``config init`` first.  ``init`` exists to make the
+layout explicit, discoverable, and overridable (custom ``runs_dir`` on
+a shared filesystem is exactly how multi-machine work stealing is
+deployed: every worker mounts the same ``runs_dir``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+CONFIG_NAME = "config.json"
+CONFIG_VERSION = 1
+
+#: Environment variable overriding the service home directory.
+HOME_ENV = "REPRO_HOME"
+
+
+def repro_home(home: str | os.PathLike | None = None) -> Path:
+    """The service home: explicit argument > ``$REPRO_HOME`` > ``~/.repro``."""
+    if home is not None:
+        return Path(home).expanduser()
+    env = os.environ.get(HOME_ENV)
+    if env:
+        return Path(env).expanduser()
+    return Path.home() / ".repro"
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Resolved service paths (all absolute)."""
+
+    home: Path
+    runs_dir: Path
+    cache_dir: Path
+
+    def to_json(self) -> dict:
+        return {
+            "config_version": CONFIG_VERSION,
+            "runs_dir": str(self.runs_dir),
+            "cache_dir": str(self.cache_dir),
+        }
+
+
+def _defaults(home: Path) -> ServiceConfig:
+    return ServiceConfig(home=home, runs_dir=home / "runs", cache_dir=home / "cache")
+
+
+def load_config(home: str | os.PathLike | None = None) -> ServiceConfig:
+    """Read ``config.json`` under the resolved home, defaulting sanely.
+
+    A missing file yields the default layout; a corrupt file raises
+    (silently ignoring it could scatter runs across two registries).
+    """
+    root = repro_home(home)
+    path = root / CONFIG_NAME
+    if not path.is_file():
+        return _defaults(root)
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    defaults = _defaults(root)
+    return ServiceConfig(
+        home=root,
+        runs_dir=Path(payload.get("runs_dir", defaults.runs_dir)),
+        cache_dir=Path(payload.get("cache_dir", defaults.cache_dir)),
+    )
+
+
+def init_config(
+    home: str | os.PathLike | None = None, *, force: bool = False
+) -> ServiceConfig:
+    """Create the service home: directories plus ``config.json``.
+
+    Idempotent: re-running against an initialised home is a no-op unless
+    ``force=True`` rewrites the config file with current defaults.
+    """
+    root = repro_home(home)
+    config = _defaults(root)
+    root.mkdir(parents=True, exist_ok=True)
+    config.runs_dir.mkdir(parents=True, exist_ok=True)
+    config.cache_dir.mkdir(parents=True, exist_ok=True)
+    path = root / CONFIG_NAME
+    if force or not path.is_file():
+        payload = {"created_at": time.time(), **config.to_json()}
+        tmp = path.with_name(path.name + ".tmp")
+        tmp.write_text(json.dumps(payload, indent=2), encoding="utf-8")
+        os.replace(tmp, path)
+    return load_config(root)

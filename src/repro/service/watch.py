@@ -1,0 +1,105 @@
+"""A streamable run feed: tail ``events.jsonl`` as workers append to it.
+
+``watch_run`` polls a run directory's event log, rendering each *new*
+event as one line — essentially ``tail -f`` with knowledge of the run's
+lifecycle.  It reuses :func:`repro.runner.events.read_event_log`, so the
+feed inherits its truncated-tail tolerance: a worker killed mid-write
+leaves a partial final line that the next poll simply re-reads once the
+bytes complete.  Because the log is append-only and every event is one
+atomic line, re-reading from the start and slicing past what was already
+shown is race-free (no inotify, no file offsets to invalidate).
+
+The feed terminates when the run reaches a terminal state
+(``until_done``), when the event log goes quiet past ``timeout``
+seconds, or immediately after one pass when ``follow=False``.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+from pathlib import Path
+
+from repro.runner.events import read_event_log
+from repro.runner.leases import cancel_requested
+from repro.runner.manifest import RUN_COMPLETED, RunManifest
+
+#: watch_run exit statuses (mirrored by ``campaign watch``'s exit code).
+WATCH_DONE = "done"  # run completed
+WATCH_CANCELLED = "cancelled"  # CANCELLED sentinel appeared
+WATCH_IDLE = "idle"  # no new events within the timeout
+WATCH_EOF = "eof"  # single pass finished (follow=False)
+
+
+def format_event(event: dict) -> str:
+    """One human-readable feed line for an event dict."""
+    kind = event.get("kind", "?")
+    parts = [f"[{event.get('elapsed', 0.0):8.2f}s]", f"{kind:<16}"]
+    if event.get("bit") is not None:
+        parts.append(f"bit={event['bit']}")
+    shards_total = event.get("shards_total")
+    if shards_total:
+        parts.append(f"{event.get('shards_done', 0)}/{shards_total} shards")
+    worker = (event.get("detail") or {}).get("worker")
+    if worker:
+        parts.append(f"worker={worker}")
+    if event.get("error"):
+        parts.append(f"error={event['error']}")
+    return " ".join(parts)
+
+
+def watch_run(
+    run_dir: str | os.PathLike,
+    *,
+    follow: bool = True,
+    until_done: bool = False,
+    timeout: float | None = None,
+    poll_interval: float = 0.25,
+    stream=None,
+) -> str:
+    """Stream a run's event feed; returns one of the ``WATCH_*`` statuses.
+
+    ``until_done`` keeps following (ignoring event-log quiet spells)
+    until the run completes or is cancelled — with ``timeout`` as the
+    hard cap on *total* silence, so a watch over a dead run still ends.
+    """
+    directory = Path(run_dir)
+    log_path = RunManifest.event_log_path(directory)
+    out = stream if stream is not None else sys.stdout
+    shown = 0
+    last_news = time.monotonic()
+
+    while True:
+        events = read_event_log(log_path) if log_path.is_file() else []
+        if len(events) > shown:
+            for event in events[shown:]:
+                print(format_event(event), file=out)
+            shown = len(events)
+            last_news = time.monotonic()
+
+        manifest_done = False
+        manifest_path = directory / "manifest.json"
+        if manifest_path.is_file():
+            try:
+                manifest_done = RunManifest.load(directory).status == RUN_COMPLETED
+            except Exception:
+                manifest_done = False  # racing an atomic rewrite; retry next poll
+        if manifest_done and shown == len(events):
+            print(f"[watch] run completed ({shown} event(s))", file=out)
+            return WATCH_DONE
+        if cancel_requested(directory):
+            print("[watch] run cancelled", file=out)
+            return WATCH_CANCELLED
+
+        if not follow:
+            return WATCH_EOF
+        quiet = time.monotonic() - last_news
+        if timeout is not None and quiet > timeout:
+            print(f"[watch] no events for {quiet:.1f}s; giving up", file=out)
+            return WATCH_IDLE
+        if not until_done and timeout is None and quiet > 10 * poll_interval:
+            # Plain `watch` without --until-done follows while events are
+            # flowing and stops shortly after they dry up.
+            return WATCH_IDLE
+        time.sleep(poll_interval)

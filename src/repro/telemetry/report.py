@@ -153,9 +153,10 @@ def render_run_report(run_dir: str | os.PathLike) -> str:
 
     lines = [f"# Campaign run report — `{run_dir}`", ""]
     label = f" (label: {manifest.label})" if manifest.label else ""
+    executor = f" · **executor:** {manifest.executor}" if manifest.executor else ""
     lines += [
         f"- **target:** `{manifest.target_spec}`{label}",
-        f"- **status:** {manifest.status}",
+        f"- **status:** {manifest.status}{executor}",
         f"- **shards:** {len(manifest.completed_bits())}/{len(manifest.shards)} "
         f"completed · **trials:** {manifest.trials_done}/{manifest.trials_total}",
         f"- **data:** {manifest.data_size} elements "

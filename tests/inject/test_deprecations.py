@@ -1,45 +1,15 @@
 """Deprecated entry points: still working, now warning.
 
-The unified run API (PR: resumable campaign runner) kept every
-historical name alive as a thin forwarding shim; these tests pin both
-halves of that contract — the warning and the unchanged behavior.
+The unified run API (PR: resumable campaign runner) kept historical
+names alive as thin forwarding shims; these tests pin both halves of
+that contract — the warning and the unchanged behavior.  (The
+``run_campaign_parallel`` wrapper completed its deprecation cycle and
+was removed; its absence is pinned in ``tests/inject/test_parallel.py``.)
 """
 
 import warnings
 
-import numpy as np
 import pytest
-
-from repro.inject.campaign import CampaignConfig, run_campaign
-
-
-def _identical(a, b) -> bool:
-    return all(
-        np.array_equal(
-            getattr(a.records, col), getattr(b.records, col),
-            equal_nan=getattr(a.records, col).dtype.kind == "f",
-        )
-        for col in a.records.column_names()
-    )
-
-
-class TestRunCampaignParallelWrapper:
-    def test_warns_and_matches_unified_api(self, small_field):
-        from repro.inject.parallel import run_campaign_parallel
-
-        config = CampaignConfig(trials_per_bit=4, seed=21)
-        expected = run_campaign(small_field, "posit32", config, jobs=2)
-        with pytest.warns(DeprecationWarning, match="jobs=N"):
-            legacy = run_campaign_parallel(small_field, "posit32", config, workers=2)
-        assert _identical(expected, legacy)
-
-    def test_importable_from_package(self, small_field):
-        from repro.inject import run_campaign_parallel
-
-        config = CampaignConfig(trials_per_bit=2, bits=(0,), seed=21)
-        with pytest.warns(DeprecationWarning):
-            result = run_campaign_parallel(small_field, "posit32", config, workers=1)
-        assert result.trial_count == 2
 
 
 class TestTargetsShim:

@@ -7,7 +7,6 @@ from repro.inject.campaign import CampaignConfig, run_campaign
 from repro.inject.parallel import (
     default_worker_count,
     resolve_worker_count,
-    run_campaign_parallel,
     validate_jobs,
 )
 
@@ -26,25 +25,25 @@ class TestParallelEqualsSerial:
     def test_posit32(self, small_field, workers):
         config = CampaignConfig(trials_per_bit=6, seed=42)
         serial = run_campaign(small_field, "posit32", config)
-        parallel = run_campaign_parallel(small_field, "posit32", config, workers=workers)
+        parallel = run_campaign(small_field, "posit32", config, jobs=workers)
         _assert_results_identical(serial, parallel)
 
     def test_ieee32(self, small_field):
         config = CampaignConfig(trials_per_bit=6, seed=42)
         serial = run_campaign(small_field, "ieee32", config)
-        parallel = run_campaign_parallel(small_field, "ieee32", config, workers=3)
+        parallel = run_campaign(small_field, "ieee32", config, jobs=3)
         _assert_results_identical(serial, parallel)
 
     def test_single_worker_falls_back(self, small_field):
         config = CampaignConfig(trials_per_bit=4, seed=1)
         serial = run_campaign(small_field, "posit32", config)
-        fallback = run_campaign_parallel(small_field, "posit32", config, workers=1)
+        fallback = run_campaign(small_field, "posit32", config, jobs=1)
         _assert_results_identical(serial, fallback)
 
     def test_single_shard_falls_back(self, small_field):
         config = CampaignConfig(trials_per_bit=4, seed=1, bits=(31,))
         serial = run_campaign(small_field, "posit32", config)
-        parallel = run_campaign_parallel(small_field, "posit32", config, workers=4)
+        parallel = run_campaign(small_field, "posit32", config, jobs=4)
         _assert_results_identical(serial, parallel)
 
     @pytest.mark.parametrize("spec", ["posit16es1", "binary(8,23)", "fixedposit(16,es=2,r=3)"])
@@ -53,7 +52,7 @@ class TestParallelEqualsSerial:
         # must still be bit-identical to the serial run.
         config = CampaignConfig(trials_per_bit=5, seed=99)
         serial = run_campaign(small_field, spec, config)
-        parallel = run_campaign_parallel(small_field, spec, config, workers=3)
+        parallel = run_campaign(small_field, spec, config, jobs=3)
         _assert_results_identical(serial, parallel)
 
 
@@ -68,7 +67,16 @@ class TestMisc:
 
     def test_empty_data_rejected(self):
         with pytest.raises(ValueError):
-            run_campaign_parallel(np.array([]), "posit32")
+            run_campaign(np.array([]), "posit32", jobs=2)
+
+    def test_run_campaign_parallel_removed(self):
+        # The deprecated wrapper is gone; run_campaign(jobs=N) is the API.
+        import repro.inject
+        import repro.inject.parallel as parallel
+
+        assert not hasattr(parallel, "run_campaign_parallel")
+        with pytest.raises(AttributeError):
+            repro.inject.run_campaign_parallel
 
 
 class TestJobsValidation:

@@ -66,7 +66,7 @@ class TestExperiment:
 class TestCampaign:
     def test_prints_aggregate(self, capsys):
         code = main([
-            "campaign", "cesm/cloud", "posit32",
+            "campaign", "run", "cesm/cloud", "posit32",
             "--size", "4096", "--trials", "4", "--workers", "1",
         ])
         assert code == 0
@@ -74,21 +74,21 @@ class TestCampaign:
         assert "campaign: 128 trials" in out
         assert "conversion" in out
 
-    def test_legacy_form_warns(self, capsys):
-        import pytest as _pytest
-
-        with _pytest.warns(DeprecationWarning, match="campaign run"):
-            code = main([
+    def test_legacy_form_rejected(self, capsys):
+        # The pre-subcommand `campaign FIELD TARGET` shim is removed:
+        # argparse rejects the unknown subcommand with its usage error.
+        with pytest.raises(SystemExit) as exc:
+            main([
                 "campaign", "cesm/cloud", "posit32",
                 "--size", "2048", "--trials", "2", "--workers", "1",
             ])
-        assert code == 0
-        assert "campaign: 64 trials" in capsys.readouterr().out
+        assert exc.value.code == 2
+        assert "invalid choice" in capsys.readouterr().err
 
     def test_writes_csv(self, tmp_path, capsys):
         out_path = tmp_path / "trials.csv"
         code = main([
-            "campaign", "cesm/cloud", "ieee32",
+            "campaign", "run", "cesm/cloud", "ieee32",
             "--size", "4096", "--trials", "3", "--workers", "1",
             "--out", str(out_path),
         ])

@@ -1,0 +1,156 @@
+"""Tests for the lease protocol (repro.runner.leases)."""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.runner.leases import (
+    Lease,
+    LeaseHeartbeat,
+    active_leases,
+    cancel_requested,
+    lease_age,
+    lease_path,
+    read_done_records,
+    read_lease,
+    request_cancel,
+    try_acquire_finalize,
+    try_claim,
+    write_done_record,
+)
+
+
+class TestClaim:
+    def test_claim_creates_lease_file(self, tmp_path):
+        lease = try_claim(tmp_path, 3, "w1")
+        assert lease is not None
+        assert lease.bit == 3 and lease.worker == "w1"
+        assert lease_path(tmp_path, 3).is_file()
+        payload = read_lease(lease_path(tmp_path, 3))
+        assert payload["worker"] == "w1"
+
+    def test_second_claim_loses(self, tmp_path):
+        assert try_claim(tmp_path, 0, "w1") is not None
+        assert try_claim(tmp_path, 0, "w2") is None
+
+    def test_release_frees_the_bit(self, tmp_path):
+        lease = try_claim(tmp_path, 1, "w1")
+        lease.release()
+        assert not lease_path(tmp_path, 1).is_file()
+        assert try_claim(tmp_path, 1, "w2") is not None
+
+    def test_release_is_idempotent(self, tmp_path):
+        lease = try_claim(tmp_path, 1, "w1")
+        lease.release()
+        lease.release()  # second release must not raise
+
+    def test_distinct_bits_are_independent(self, tmp_path):
+        assert try_claim(tmp_path, 0, "w1") is not None
+        assert try_claim(tmp_path, 1, "w2") is not None
+        leases = active_leases(tmp_path)
+        assert {entry["bit"] for entry in leases} == {0, 1}
+        assert {entry["worker"] for entry in leases} == {"w1", "w2"}
+
+
+class TestSteal:
+    def test_fresh_lease_is_not_stolen(self, tmp_path):
+        assert try_claim(tmp_path, 5, "w1", lease_timeout=30.0) is not None
+        assert try_claim(tmp_path, 5, "w2", lease_timeout=30.0) is None
+
+    def test_expired_lease_is_stolen(self, tmp_path):
+        assert try_claim(tmp_path, 5, "w1", lease_timeout=30.0) is not None
+        # Age the lease file past the timeout by rewinding its mtime.
+        path = lease_path(tmp_path, 5)
+        old = time.time() - 120.0
+        os.utime(path, (old, old))
+        assert lease_age(lease_path(tmp_path, 5)) > 30.0
+        stolen = try_claim(tmp_path, 5, "w2", lease_timeout=30.0)
+        assert stolen is not None
+        assert stolen.worker == "w2"
+        assert stolen.stolen_from == "w1"
+        assert read_lease(lease_path(tmp_path, 5))["worker"] == "w2"
+
+    def test_heartbeat_refresh_prevents_steal(self, tmp_path):
+        lease = try_claim(tmp_path, 2, "w1", lease_timeout=30.0)
+        path = lease_path(tmp_path, 2)
+        old = time.time() - 120.0
+        os.utime(path, (old, old))
+        lease.refresh()
+        assert lease_age(lease_path(tmp_path, 2)) < 30.0
+        assert try_claim(tmp_path, 2, "w2", lease_timeout=30.0) is None
+
+    def test_heartbeat_thread_refreshes(self, tmp_path):
+        lease = try_claim(tmp_path, 4, "w1", lease_timeout=30.0)
+        path = lease_path(tmp_path, 4)
+        with LeaseHeartbeat(lease, interval=0.05):
+            old = time.time() - 120.0
+            os.utime(path, (old, old))
+            deadline = time.monotonic() + 5.0
+            while lease_age(lease_path(tmp_path, 4)) > 30.0:
+                assert time.monotonic() < deadline, "heartbeat never refreshed"
+                time.sleep(0.02)
+
+    def test_refresh_after_release_is_harmless(self, tmp_path):
+        lease = try_claim(tmp_path, 6, "w1")
+        lease.release()
+        lease.refresh()  # OSError swallowed
+
+
+class TestDoneRecords:
+    def test_round_trip(self, tmp_path):
+        write_done_record(
+            tmp_path, 7, trials=10, duration=0.25, attempts=1,
+            checksum="abc123", worker="w1",
+        )
+        records = read_done_records(tmp_path)
+        assert set(records) == {7}
+        assert records[7]["worker"] == "w1"
+        assert records[7]["checksum"] == "abc123"
+        assert records[7]["trials"] == 10
+
+    def test_rewrite_is_atomic_replace(self, tmp_path):
+        write_done_record(tmp_path, 7, trials=10, duration=0.1, attempts=1,
+                          checksum="aaa", worker="w1")
+        write_done_record(tmp_path, 7, trials=10, duration=0.2, attempts=2,
+                          checksum="aaa", worker="w2")
+        assert read_done_records(tmp_path)[7]["worker"] == "w2"
+
+    def test_torn_record_skipped(self, tmp_path):
+        write_done_record(tmp_path, 1, trials=5, duration=0.1, attempts=1,
+                          checksum="aaa", worker="w1")
+        torn = tmp_path / "leases" / "bit-002.done.json"
+        torn.write_text('{"bit": 2, "trials"')
+        records = read_done_records(tmp_path)
+        assert set(records) == {1}
+
+    def test_empty_dir(self, tmp_path):
+        assert read_done_records(tmp_path) == {}
+        assert active_leases(tmp_path) == []
+
+
+class TestFinalizeAndCancel:
+    def test_finalize_elects_exactly_one(self, tmp_path):
+        assert try_acquire_finalize(tmp_path, "w1") is True
+        assert try_acquire_finalize(tmp_path, "w2") is False
+
+    def test_cancel_sentinel(self, tmp_path):
+        assert not cancel_requested(tmp_path)
+        request_cancel(tmp_path, reason="operator said so")
+        assert cancel_requested(tmp_path)
+        payload = json.loads((tmp_path / "CANCELLED").read_text())
+        assert payload["reason"] == "operator said so"
+
+    def test_cancel_is_idempotent(self, tmp_path):
+        request_cancel(tmp_path)
+        request_cancel(tmp_path, reason="again")
+        assert cancel_requested(tmp_path)
+
+
+class TestLeaseValue:
+    def test_frozen(self, tmp_path):
+        lease = try_claim(tmp_path, 0, "w1")
+        with pytest.raises(AttributeError):
+            lease.bit = 9
+        assert isinstance(lease, Lease)

@@ -1,0 +1,68 @@
+"""Tests for service home resolution and config (repro.service.config)."""
+
+import json
+
+import pytest
+
+from repro.service import init_config, load_config, repro_home
+from repro.service.config import CONFIG_NAME, HOME_ENV
+
+
+class TestHomeResolution:
+    def test_explicit_argument_wins(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(HOME_ENV, str(tmp_path / "env-home"))
+        assert repro_home(tmp_path / "arg-home") == tmp_path / "arg-home"
+
+    def test_env_beats_default(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(HOME_ENV, str(tmp_path / "env-home"))
+        assert repro_home() == tmp_path / "env-home"
+
+    def test_default_is_dot_repro(self, tmp_path, monkeypatch):
+        monkeypatch.delenv(HOME_ENV, raising=False)
+        monkeypatch.setenv("HOME", str(tmp_path))
+        assert repro_home() == tmp_path / ".repro"
+
+
+class TestLoadConfig:
+    def test_missing_file_yields_defaults(self, tmp_path):
+        config = load_config(tmp_path / "home")
+        assert config.home == tmp_path / "home"
+        assert config.runs_dir == tmp_path / "home" / "runs"
+        assert config.cache_dir == tmp_path / "home" / "cache"
+
+    def test_corrupt_config_raises(self, tmp_path):
+        home = tmp_path / "home"
+        home.mkdir()
+        (home / CONFIG_NAME).write_text("{not json")
+        with pytest.raises(json.JSONDecodeError):
+            load_config(home)
+
+    def test_custom_runs_dir_honoured(self, tmp_path):
+        home = tmp_path / "home"
+        home.mkdir()
+        shared = tmp_path / "shared-runs"
+        (home / CONFIG_NAME).write_text(json.dumps({"runs_dir": str(shared)}))
+        assert load_config(home).runs_dir == shared
+
+
+class TestInitConfig:
+    def test_creates_layout(self, tmp_path):
+        config = init_config(tmp_path / "home")
+        assert config.runs_dir.is_dir()
+        assert config.cache_dir.is_dir()
+        assert (config.home / CONFIG_NAME).is_file()
+
+    def test_idempotent(self, tmp_path):
+        home = tmp_path / "home"
+        init_config(home)
+        before = (home / CONFIG_NAME).read_text()
+        init_config(home)
+        assert (home / CONFIG_NAME).read_text() == before
+
+    def test_force_rewrites(self, tmp_path):
+        home = tmp_path / "home"
+        init_config(home)
+        (home / CONFIG_NAME).write_text(json.dumps(
+            {"runs_dir": str(home / "elsewhere")}))
+        config = init_config(home, force=True)
+        assert config.runs_dir == home / "runs"

@@ -1,0 +1,98 @@
+"""Tests for the streamable run feed (repro.service.watch)."""
+
+import io
+
+import pytest
+
+from repro.runner import RunManifest, request_cancel, run_worker
+from repro.service import (
+    WATCH_CANCELLED,
+    WATCH_DONE,
+    WATCH_EOF,
+    WATCH_IDLE,
+    RunRegistry,
+    format_event,
+    watch_run,
+)
+
+
+@pytest.fixture
+def submitted(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_HOME", str(tmp_path / "home"))
+    entry = RunRegistry().submit_run(
+        "cesm/cloud", "posit16", trials_per_bit=2, bits=(0, 1, 2), size=512
+    )
+    return entry
+
+
+class TestFormatEvent:
+    def test_renders_core_fields(self):
+        line = format_event({
+            "kind": "shard_claimed", "elapsed": 1.5, "bit": 7,
+            "shards_done": 2, "shards_total": 8,
+            "detail": {"worker": "w1"},
+        })
+        assert "shard_claimed" in line
+        assert "bit=7" in line
+        assert "2/8 shards" in line
+        assert "worker=w1" in line
+
+    def test_renders_error(self):
+        line = format_event({"kind": "shard_error", "error": "boom"})
+        assert "error=boom" in line
+
+
+class TestWatchRun:
+    def test_single_pass_shows_feed(self, submitted):
+        out = io.StringIO()
+        outcome = watch_run(submitted.run_dir, follow=False, stream=out)
+        assert outcome == WATCH_EOF
+        assert "run_submitted" in out.getvalue()
+
+    def test_until_done_on_completed_run(self, submitted):
+        run_worker(submitted.run_dir, worker_id="w", poll_interval=0.02)
+        out = io.StringIO()
+        outcome = watch_run(submitted.run_dir, until_done=True,
+                            poll_interval=0.01, stream=out)
+        assert outcome == WATCH_DONE
+        text = out.getvalue()
+        assert "run_finish" in text
+        assert "run completed" in text
+
+    def test_cancelled_run_terminates_feed(self, submitted):
+        request_cancel(submitted.run_dir, reason="test")
+        out = io.StringIO()
+        outcome = watch_run(submitted.run_dir, until_done=True,
+                            poll_interval=0.01, stream=out)
+        assert outcome == WATCH_CANCELLED
+        assert "cancelled" in out.getvalue()
+
+    def test_quiet_feed_times_out(self, submitted):
+        out = io.StringIO()
+        outcome = watch_run(submitted.run_dir, until_done=True,
+                            timeout=0.1, poll_interval=0.02, stream=out)
+        assert outcome == WATCH_IDLE
+        assert "giving up" in out.getvalue()
+
+    def test_plain_follow_stops_after_quiet_spell(self, submitted):
+        out = io.StringIO()
+        outcome = watch_run(submitted.run_dir, follow=True, until_done=False,
+                            poll_interval=0.01, stream=out)
+        assert outcome == WATCH_IDLE
+
+    def test_torn_tail_tolerated(self, submitted):
+        # A worker killed mid-append leaves a partial final line; the
+        # feed must render the complete lines and not crash.
+        log = RunManifest.event_log_path(submitted.run_dir)
+        with open(log, "a", encoding="utf-8") as handle:
+            handle.write('{"kind": "worker_st')
+        out = io.StringIO()
+        outcome = watch_run(submitted.run_dir, follow=False, stream=out)
+        assert outcome == WATCH_EOF
+        assert "run_submitted" in out.getvalue()
+
+    def test_missing_run_dir_waits_then_times_out(self, tmp_path):
+        out = io.StringIO()
+        outcome = watch_run(tmp_path / "nothing-here", until_done=True,
+                            timeout=0.1, poll_interval=0.02, stream=out)
+        assert outcome == WATCH_IDLE
