@@ -1,0 +1,219 @@
+"""Trial-engine throughput: per-bit scalar codec loop vs batched pipeline.
+
+Replays the paper's campaign shape — 16 dataset fields, 313 trials per
+bit position, every bit of a 32-bit format — through two
+implementations of the inner loop:
+
+* ``legacy``: the pre-batching algorithm, inlined here verbatim — each
+  bit re-encodes its selected elements with the scalar-auto (direct)
+  codec, decodes original and faulty separately, and classifies per
+  shard;
+* ``batched``: :func:`repro.inject.campaign.run_field_trials` — the
+  field is encoded once, and all bits' trials are gathered, flipped,
+  decoded (composed tables), classified, and scored in whole-array
+  passes.
+
+Both paths' records are asserted byte-identical through the CSV writer
+before any timing is reported.  Results land in ``BENCH_trials.json``
+(with a history list so CI can track the trajectory); the committed
+speedup is the regression baseline for the benchmark-smoke CI job.
+
+Run standalone:
+
+    PYTHONPATH=src python benchmarks/bench_trials.py
+
+or under pytest:
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_trials.py -s -q
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.formats import resolve
+from repro.inject.campaign import CampaignConfig, bit_seeds, run_field_trials
+from repro.inject.results import TrialRecords
+from repro.metrics.fast import vectorized_single_fault
+from repro.metrics.summary import SummaryStats
+
+OUT_PATH = Path(__file__).resolve().parent / "BENCH_trials.json"
+
+#: The paper's campaign shape: 16 CESM fields x 313 trials per bit.
+#: CI caps the shape through the env knobs to bound job time; capped
+#: runs keep the fields/targets so the speedup ratio stays comparable.
+N_FIELDS = int(os.environ.get("REPRO_BENCH_FIELDS", "16"))
+TRIALS_PER_BIT = int(os.environ.get("REPRO_BENCH_TRIALS", "313"))
+FIELD_SIZE = 1 << int(os.environ.get("REPRO_BENCH_FIELD_POW2", "13"))
+TARGETS = ("posit32", "ieee32")
+SEED = 2023
+
+
+def _fields() -> list[np.ndarray]:
+    rng = np.random.default_rng(SEED)
+    return [
+        np.concatenate([
+            rng.normal(50.0, 20.0, FIELD_SIZE // 2),
+            rng.lognormal(-2, 2, FIELD_SIZE // 2),
+        ]).astype(np.float32)
+        for _ in range(N_FIELDS)
+    ]
+
+
+def _legacy_field_trials(stored, target, baseline, config) -> TrialRecords:
+    """The pre-batching inner loop, reproduced exactly.
+
+    Per bit: draw indices, gather, encode the selection, decode original
+    and flipped patterns, classify, score, fold summary stats — all with
+    the scalar-auto codec (direct for 32-bit formats).
+    """
+    seeds = bit_seeds(config, target)
+    parts = []
+    for bit in config.resolved_bits(target):
+        rng = np.random.default_rng(seeds[bit])
+        indices = rng.integers(0, stored.size, size=config.trials_per_bit)
+        selected = np.asarray(stored).reshape(-1)[indices]
+        bits = target.to_bits(selected)
+        originals = target.from_bits(bits)
+        mask = np.ones((), dtype=bits.dtype) << np.asarray(bit, dtype=bits.dtype)
+        faulty = target.from_bits(bits ^ mask)
+        fields = target.classify_bits(bits, bit)
+        regimes = target.regime_sizes(bits)
+        metrics = vectorized_single_fault(baseline, originals, faulty)
+        count = baseline.count
+        with np.errstate(over="ignore", invalid="ignore"):
+            new_total = baseline.total - originals + faulty
+            faulty_mean = new_total / count
+            old_dev = originals - baseline.center
+            new_dev = faulty - baseline.center
+            new_centered_sq = baseline.centered_sq - old_dev * old_dev + new_dev * new_dev
+            mean_shift = faulty_mean - baseline.center
+            variance = np.maximum(new_centered_sq / count - mean_shift * mean_shift, 0.0)
+            faulty_std = np.sqrt(variance)
+        surviving_max = np.where(originals == baseline.maximum, baseline.maximum2, baseline.maximum)
+        surviving_min = np.where(originals == baseline.minimum, baseline.minimum2, baseline.minimum)
+        faulty_max = np.fmax(surviving_max, faulty)
+        faulty_min = np.fmin(surviving_min, faulty)
+        n = len(indices)
+        parts.append(TrialRecords(
+            trial=np.arange(n, dtype=np.int64),
+            bit=np.full(n, bit, dtype=np.int64),
+            index=indices.astype(np.int64),
+            original=originals.astype(np.float64),
+            faulty=faulty.astype(np.float64),
+            field=np.asarray(fields, dtype=np.int64),
+            regime_k=np.asarray(regimes, dtype=np.int64),
+            abs_err=metrics.max_abs_err,
+            rel_err=metrics.max_rel_err,
+            range_rel_err=metrics.range_rel_err,
+            mse=metrics.mse,
+            faulty_mean=faulty_mean.astype(np.float64),
+            faulty_std=faulty_std.astype(np.float64),
+            faulty_max=faulty_max.astype(np.float64),
+            faulty_min=faulty_min.astype(np.float64),
+            non_finite=metrics.non_finite,
+        ))
+    return TrialRecords.concatenate(parts)
+
+
+def run_bench() -> dict:
+    fields = _fields()
+    config = CampaignConfig(trials_per_bit=TRIALS_PER_BIT, seed=SEED)
+    results = {}
+    for name in TARGETS:
+        target = resolve(name)
+        legacy_codec = resolve(name, backend="direct")
+        prepared = []
+        for data in fields:
+            stored = target.round_trip(data)
+            prepared.append((stored, SummaryStats.from_array(stored)))
+        trials_total = N_FIELDS * TRIALS_PER_BIT * target.nbits
+
+        # Warm one-time process state (composed decode tables, JIT
+        # compilation when available) outside the timed region; a real
+        # campaign amortizes it over every field and every run.
+        run_field_trials(prepared[0][0], target, prepared[0][1], config)
+
+        start = time.perf_counter()
+        batched = [
+            run_field_trials(stored, target, baseline, config)
+            for stored, baseline in prepared
+        ]
+        batched_s = time.perf_counter() - start
+
+        start = time.perf_counter()
+        legacy = [
+            _legacy_field_trials(stored, legacy_codec, baseline, config)
+            for stored, baseline in prepared
+        ]
+        legacy_s = time.perf_counter() - start
+
+        for i, (new, old) in enumerate(zip(batched, legacy)):
+            assert new.to_csv_string() == old.to_csv_string(), (
+                f"{name} field {i}: batched records diverged from legacy"
+            )
+        results[name] = {
+            "target": name,
+            "trials_total": trials_total,
+            "legacy_seconds": round(legacy_s, 4),
+            "batched_seconds": round(batched_s, 4),
+            "legacy_trials_per_sec": round(trials_total / legacy_s, 1),
+            "batched_trials_per_sec": round(trials_total / batched_s, 1),
+            "speedup": round(legacy_s / batched_s, 2),
+        }
+    legacy_total = sum(row["legacy_seconds"] for row in results.values())
+    batched_total = sum(row["batched_seconds"] for row in results.values())
+    trials_all = sum(row["trials_total"] for row in results.values())
+    return {
+        "campaign": {
+            "fields": N_FIELDS,
+            "field_size": FIELD_SIZE,
+            "trials_per_bit": TRIALS_PER_BIT,
+            "targets": list(TARGETS),
+            "seed": SEED,
+        },
+        "results": results,
+        "combined": {
+            "trials_total": trials_all,
+            "legacy_seconds": round(legacy_total, 4),
+            "batched_seconds": round(batched_total, 4),
+            "legacy_trials_per_sec": round(trials_all / legacy_total, 1),
+            "batched_trials_per_sec": round(trials_all / batched_total, 1),
+            "speedup": round(legacy_total / batched_total, 2),
+        },
+    }
+
+
+def test_trial_throughput():
+    payload = run_bench()
+    history = []
+    if OUT_PATH.exists():
+        previous = json.loads(OUT_PATH.read_text(encoding="utf-8"))
+        history = previous.get("history", [])
+        history.append({
+            name: row["speedup"] for name, row in previous["results"].items()
+        })
+    payload["history"] = history[-20:]
+    OUT_PATH.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    for row in payload["results"].values():
+        print(
+            f"{row['target']:<8s} legacy {row['legacy_trials_per_sec']:>10.1f} trials/s   "
+            f"batched {row['batched_trials_per_sec']:>10.1f} trials/s   "
+            f"speedup {row['speedup']:5.2f}x"
+        )
+    combined = payload["combined"]
+    print(
+        f"{'combined':<8s} legacy {combined['legacy_trials_per_sec']:>10.1f} trials/s   "
+        f"batched {combined['batched_trials_per_sec']:>10.1f} trials/s   "
+        f"speedup {combined['speedup']:5.2f}x"
+    )
+    print(f"wrote {OUT_PATH}")
+
+
+if __name__ == "__main__":
+    test_trial_throughput()

@@ -18,7 +18,7 @@ import numpy as np
 
 from repro.analysis import aggregate_by_field
 from repro.datasets import get as get_field
-from repro.formats import get_format
+from repro.formats import resolve
 from repro.inject import CampaignConfig, run_campaign
 
 #: A 16-bit fixed-posit (Gohil et al.): 1 sign, 3 regime (fixed),
@@ -30,7 +30,7 @@ SPECS = ("ieee16", "posit16", "fixedposit(16,es=2,r=3)")
 def show_layouts() -> None:
     print("== layouts of 186.25 ==")
     for spec in SPECS:
-        fmt = get_format(spec)
+        fmt = resolve(spec)
         bits = int(np.atleast_1d(fmt.to_bits(np.array([186.25])))[0])
         decoded = float(np.atleast_1d(fmt.from_bits(np.array([bits], dtype=fmt.dtype)))[0])
         print(f"  {fmt.name:>24}: {fmt.layout_string(bits)}  -> {decoded}")
@@ -43,7 +43,7 @@ def compare(size: int, trials: int) -> None:
 
     print("== conversion error and per-field injected damage ==")
     for spec in SPECS:
-        target = get_format(spec)
+        target = resolve(spec)
         result = run_campaign(data, target, config)
         by_field = aggregate_by_field(result.records, target.field_label)
         worst = max(by_field, key=lambda row: row.mean_rel_err)

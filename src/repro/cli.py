@@ -61,12 +61,12 @@ def _cmd_datasets(args) -> int:
 
 
 def _cmd_targets(args) -> int:
-    from repro.formats import available_formats, get_format
+    from repro.formats import available_formats, resolve
 
     names = list(available_formats())
     names.extend(spec for spec in args.spec if spec not in names)
     for name in names:
-        target = get_format(name)
+        target = resolve(name)
         print(f"{name:26s} {target.nbits:3d} bits  [{target.backend_name:6s}]  {target.describe()}")
     print()
     print("Any spec also works: posit<N>[es<E>], binary(<E>,<F>), "
@@ -514,10 +514,10 @@ def _cmd_report(args) -> int:
 
 
 def _cmd_inspect(args) -> int:
-    from repro.formats import get_format
+    from repro.formats import resolve
 
     value = float(args.value)
-    targets = [get_format(spec) for spec in (args.target or ["ieee32", "posit32"])]
+    targets = [resolve(spec) for spec in (args.target or ["ieee32", "posit32"])]
     width = max(max(len(target.name) for target in targets) + 1, 7)
     print(f"value:{'':{width - 5}s}{value!r}")
     for target in targets:
@@ -546,12 +546,12 @@ def _cmd_verify(args) -> int:
 def _cmd_predict(args) -> int:
     from repro.analysis.edgecases import FlipEvent
     from repro.analysis.predict import predict_flip as posit_predict
-    from repro.formats import PositTarget, get_format
+    from repro.formats import PositTarget, resolve
     from repro.reporting.series import Table
     from repro.reporting.tables import render_table
 
     value = float(args.value)
-    targets = [get_format(spec) for spec in (args.target or ["ieee32", "posit32"])]
+    targets = [resolve(spec) for spec in (args.target or ["ieee32", "posit32"])]
     columns = ["bit"]
     for target in targets:
         columns += [f"{target.name} faulty", f"{target.name} rel err"]

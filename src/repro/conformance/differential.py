@@ -10,6 +10,12 @@ Three cross-checks, each a pure function from an
 * ``backend-agreement`` — the LUT backend against the direct backend,
   exhaustively over the pattern space for every format narrow enough to
   tabulate;
+* ``composed-agreement`` — the composed-table backend (two 16-bit
+  gathers per 32-bit pattern) against the direct backend: exhaustive
+  for widths the oracle can exhaust, stratified-sampled plus
+  NaR/NaN/Inf/signed-zero corner patterns at 32 bits;
+* ``numba-agreement`` — the JIT-compiled scalar decode against the
+  direct backend (skipped when numba is not installed);
 * ``metrics-fast-vs-full`` — the campaign's O(1) single-fault metric
   shortcut against the full-array reference reduction, over seeded
   faults including NaN/Inf/zero corners.
@@ -27,7 +33,13 @@ from repro.conformance.references import (
     value_sample,
 )
 from repro.conformance.report import CheckResult, FindingCollector
-from repro.formats import LUT_MAX_BITS, NumberFormat, parse_spec
+from repro.formats import (
+    COMPOSED_MAX_BITS,
+    LUT_MAX_BITS,
+    NumberFormat,
+    numba_available,
+    parse_spec,
+)
 
 
 def check_reference_decode(ctx, fmt: NumberFormat) -> CheckResult:
@@ -134,6 +146,110 @@ def check_backend_agreement(ctx, fmt: NumberFormat) -> CheckResult:
             f"{fmt.name} regime_sizes(0x{int(patterns[idx]):x}) differs between backends"
         )
     return collector.finish(checked)
+
+
+def _check_alternate_backend(ctx, fmt: NumberFormat, backend: str, check: str) -> CheckResult:
+    """An alternate backend vs direct, bit-exact on every codec operation.
+
+    Pattern coverage is exhaustive when the oracle budget can exhaust
+    the width, otherwise a seeded stratified sample augmented with the
+    special-value corner patterns (NaR / NaN / +-Inf / signed zeros /
+    +-1) that the tables must not mishandle.
+    """
+    collector = FindingCollector(check, fmt.name)
+    direct = parse_spec(fmt.name, "direct")
+    other = parse_spec(fmt.name, backend)
+    sampled = pattern_sample(
+        fmt, ctx.budget.patterns, exhaustive_max_bits=ctx.budget.exhaustive_max_bits,
+        seed=ctx.seed,
+    )
+    with np.errstate(over="ignore", invalid="ignore"):
+        corner_bits = np.asarray(
+            direct.to_bits(np.array([0.0, -0.0, np.inf, -np.inf, np.nan, 1.0, -1.0]))
+        ).astype(np.uint64)
+    patterns = np.unique(np.concatenate([sampled, corner_bits])).astype(fmt.dtype)
+    checked = 0
+
+    direct_values = direct.from_bits(patterns)
+    other_values = other.from_bits(patterns)
+    mismatch = np.nonzero(float_bits(direct_values) != float_bits(other_values))[0]
+    checked += patterns.size
+    for idx in mismatch[:8].tolist():
+        collector.error(
+            f"{fmt.name} from_bits(0x{int(patterns[idx]):x}) differs: "
+            f"direct={direct_values[idx]!r} {backend}={other_values[idx]!r}"
+        )
+
+    values = value_sample(fmt, ctx.budget.values, seed=ctx.seed)
+    with np.errstate(over="ignore", invalid="ignore"):
+        direct_bits = np.asarray(direct.to_bits(values))
+        other_bits = np.asarray(other.to_bits(values))
+    mismatch = np.nonzero(direct_bits != other_bits)[0]
+    checked += values.size
+    for idx in mismatch[:8].tolist():
+        collector.error(
+            f"{fmt.name} to_bits({values[idx]!r}) differs: "
+            f"direct=0x{int(direct_bits[idx]):x} {backend}=0x{int(other_bits[idx]):x}"
+        )
+
+    bits_to_check = (
+        range(fmt.nbits)
+        if ctx.level == "full"
+        else sorted({0, 1, fmt.nbits // 2, fmt.nbits - 2, fmt.nbits - 1})
+    )
+    for bit in bits_to_check:
+        direct_fields = direct.classify_bits(patterns, bit)
+        other_fields = other.classify_bits(patterns, bit)
+        mismatch = np.nonzero(np.asarray(direct_fields) != np.asarray(other_fields))[0]
+        checked += patterns.size
+        for idx in mismatch[:4].tolist():
+            collector.error(
+                f"{fmt.name} classify_bits(0x{int(patterns[idx]):x}, bit={bit}) "
+                f"differs: direct={int(direct_fields[idx])} {backend}={int(other_fields[idx])}"
+            )
+    mismatch = np.nonzero(
+        np.asarray(direct.regime_sizes(patterns)) != np.asarray(other.regime_sizes(patterns))
+    )[0]
+    checked += patterns.size
+    for idx in mismatch[:4].tolist():
+        collector.error(
+            f"{fmt.name} regime_sizes(0x{int(patterns[idx]):x}) differs between backends"
+        )
+
+    # The batched surface: row-wise flip+decode must agree with the
+    # direct per-bit reference on the same rows.
+    bit_list = np.asarray(sorted(bits_to_check), dtype=np.int64)
+    rows = np.broadcast_to(patterns, (bit_list.size, patterns.size))
+    direct_flips = direct.decode_flips(rows, bit_list)
+    other_flips = other.decode_flips(rows, bit_list)
+    bad_rows, bad_cols = np.nonzero(float_bits(direct_flips) != float_bits(other_flips))
+    checked += rows.size
+    for row, col in list(zip(bad_rows.tolist(), bad_cols.tolist()))[:4]:
+        collector.error(
+            f"{fmt.name} decode_flips(0x{int(patterns[col]):x}, bit={int(bit_list[row])}) "
+            f"differs: direct={direct_flips[row, col]!r} {backend}={other_flips[row, col]!r}"
+        )
+    return collector.finish(checked)
+
+
+def check_composed_agreement(ctx, fmt: NumberFormat) -> CheckResult:
+    """Composed-table and direct backends must be bit-identical."""
+    collector = FindingCollector("composed-agreement", fmt.name)
+    if fmt.nbits > COMPOSED_MAX_BITS:
+        result = collector.finish(0)
+        result.skipped = True
+        return result
+    return _check_alternate_backend(ctx, fmt, "composed", "composed-agreement")
+
+
+def check_numba_agreement(ctx, fmt: NumberFormat) -> CheckResult:
+    """JIT-compiled and direct backends must be bit-identical."""
+    collector = FindingCollector("numba-agreement", fmt.name)
+    if not numba_available():
+        result = collector.finish(0)
+        result.skipped = True
+        return result
+    return _check_alternate_backend(ctx, fmt, "numba", "numba-agreement")
 
 
 #: Metric row keys compared between the fast path and the reference.

@@ -121,10 +121,10 @@ def evaluate_on_jacobi(
     """
     from repro.apps.faulty import _state_flipper
     from repro.apps.stencil import jacobi_solve
-    from repro.formats import get_format
+    from repro.formats import resolve
 
     if isinstance(target, str):
-        target = get_format(target)
+        target = resolve(target)
     if detector is None:
         detector = LinearExtrapolationDetector()
     detector.reset()

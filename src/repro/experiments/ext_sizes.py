@@ -14,7 +14,7 @@ import numpy as np
 from repro.analysis.aggregate import aggregate_by_bit, catastrophic_fraction
 from repro.experiments._campaigns import field_campaign
 from repro.experiments.base import ExperimentOutput, ExperimentParams, register_experiment
-from repro.formats import get_format
+from repro.formats import resolve
 from repro.reporting.series import Table
 
 #: Values in (0, 1): representable across every width without saturation.
@@ -47,7 +47,7 @@ def run(params: ExperimentParams) -> ExperimentOutput:
         for name in (posit_name, ieee_name):
             if name is None:
                 continue
-            nbits = get_format(name).nbits
+            nbits = resolve(name).nbits
             result = field_campaign(FIELD, name, params)
             agg = aggregate_by_bit(result.records, nbits)
             # Inf-aware mean: an ieee64 exponent-MSB flip scales by up to

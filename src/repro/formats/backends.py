@@ -1,6 +1,6 @@
 """Pluggable codec backends for :class:`~repro.formats.base.NumberFormat`.
 
-Two backends serve the protocol's hot operations:
+Four backends serve the protocol's hot operations:
 
 ``direct``
     Calls the format's raw vectorized encode/decode/classify on every
@@ -18,18 +18,43 @@ Two backends serve the protocol's hot operations:
     ``direct`` by construction — the exhaustive equivalence tests assert
     bit-identity over every pattern, not approximate agreement.
 
+``composed``
+    Table decoding for widths up to 32 bits by composing two 16-bit
+    gathers, with per-row bit-exactness proved at build time (see
+    :mod:`repro.formats.composed`).
+
+``numba``
+    Optional JIT-compiled direct codec (see :mod:`repro.formats.jit`);
+    selecting it when numba is not installed falls back to ``direct``.
+
 Tables are built lazily on first use (a 16-bit format costs one
 exhaustive decode plus ~nbits classify sweeps, ~1 MiB resident), so
 importing the registry stays cheap.
 
 Selection is automatic — ``lut`` whenever the width permits — and can
-be forced per process with ``REPRO_FORMAT_BACKEND=direct|lut|auto`` or
-per instance via ``get_format(spec, backend=...)``.
+be forced per process with ``REPRO_FORMAT_BACKEND`` or per instance via
+``repro.formats.resolve(spec, backend=...)``.  The batched campaign
+pipeline uses its own default policy (:func:`batch_backend_name`) which
+additionally picks ``composed`` for 17–32-bit formats.
+
+Every backend also implements the *batch* half of the codec surface
+consumed by the encode-once campaign pipeline
+(:class:`repro.inject.trial.FieldPipeline`):
+
+``decode_flips(bits, bit_indices)``
+    Decode ``bits`` with bit ``bit_indices[i]`` flipped.  A 1-D ``bits``
+    array broadcasts against the bit axis (result ``(B, N)``); a 2-D
+    ``(B, T)`` array is flipped row-wise (row ``i`` at bit
+    ``bit_indices[i]``).
+
+``classify_rows(bits_rows, bit_indices)``
+    Field id of bit ``bit_indices[i]`` for every pattern in row ``i``.
 """
 
 from __future__ import annotations
 
 import os
+import warnings
 
 import numpy as np
 
@@ -41,7 +66,22 @@ LUT_MAX_BITS = 16
 #: Environment variable overriding automatic backend selection.
 BACKEND_ENV_VAR = "REPRO_FORMAT_BACKEND"
 
-_BACKEND_CHOICES = ("auto", "direct", "lut")
+_BACKEND_CHOICES = ("auto", "direct", "lut", "composed", "numba")
+
+
+def flip_patterns(bits, bit_indices, dtype) -> np.ndarray:
+    """XOR one single-bit mask per row into ``bits``.
+
+    1-D ``bits`` broadcasts to ``(len(bit_indices), bits.size)``; an
+    array with a leading row axis is flipped row-wise.
+    """
+    arr = np.asarray(bits)
+    idx = np.asarray(bit_indices, dtype=np.int64)
+    one = np.ones((), dtype=dtype)
+    masks = np.left_shift(one, idx.astype(dtype))
+    if arr.ndim <= 1:
+        return arr ^ masks[:, None]
+    return arr ^ masks.reshape((idx.size,) + (1,) * (arr.ndim - 1))
 
 
 def resolve_backend_name(fmt, requested: str | None) -> str:
@@ -49,11 +89,15 @@ def resolve_backend_name(fmt, requested: str | None) -> str:
 
     Explicit ``requested`` wins, then the ``REPRO_FORMAT_BACKEND``
     environment variable, then ``auto`` (LUT for every format narrow
-    enough to tabulate).  An explicit ``lut`` request for a too-wide
-    format is an error; an environment-level ``lut`` quietly falls back
-    to ``direct`` so one process-wide setting never breaks 32/64-bit
-    campaigns.
+    enough to tabulate).  An explicit ``lut``/``composed`` request for a
+    too-wide format is an error; the same choice at environment level
+    quietly falls back to ``direct`` so one process-wide setting never
+    breaks wider campaigns.  ``numba`` without numba installed warns on
+    an explicit request and silently degrades on an environment-level
+    one — either way the process keeps running on ``direct``.
     """
+    from repro.formats.composed import COMPOSED_MAX_BITS
+
     choice = requested if requested is not None else os.environ.get(BACKEND_ENV_VAR, "auto")
     choice = choice.strip().lower()
     if choice not in _BACKEND_CHOICES:
@@ -67,18 +111,94 @@ def resolve_backend_name(fmt, requested: str | None) -> str:
             f"lut backend supports formats up to {LUT_MAX_BITS} bits, "
             f"but {fmt.name} has {fmt.nbits}"
         )
+    if choice == "composed" and fmt.nbits > COMPOSED_MAX_BITS:
+        if requested is None:
+            return "direct"
+        raise ValueError(
+            f"composed backend supports formats up to {COMPOSED_MAX_BITS} bits, "
+            f"but {fmt.name} has {fmt.nbits}"
+        )
+    if choice == "numba":
+        from repro.formats.jit import numba_available
+
+        if not numba_available():
+            if requested is not None:
+                warnings.warn(
+                    "numba backend requested but numba is not installed; "
+                    "falling back to the direct codec",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+            return "direct"
     if choice == "auto":
         return "lut" if fmt.nbits <= LUT_MAX_BITS else "direct"
     return choice
 
 
+def batch_backend_name(fmt) -> str:
+    """Default backend for the batched campaign pipeline.
+
+    Unlike the scalar ``auto`` policy (which never changes an existing
+    format instance's behavior), the pipeline constructs its own codec
+    per field and can afford the composed backend's one-time table
+    build, so 17–32-bit formats get ``composed`` by default.  A
+    non-``auto`` ``REPRO_FORMAT_BACKEND`` still wins, with the same
+    width/availability fallbacks as :func:`resolve_backend_name`.
+    """
+    env = os.environ.get(BACKEND_ENV_VAR)
+    if env is not None and env.strip().lower() != "auto":
+        return resolve_backend_name(fmt, None)
+    from repro.formats.composed import COMPOSED_MAX_BITS
+
+    if fmt.nbits <= LUT_MAX_BITS:
+        return "lut"
+    if fmt.nbits <= COMPOSED_MAX_BITS:
+        return "composed"
+    return "direct"
+
+
 def make_backend(fmt, requested: str | None = None):
     """Build the backend instance serving ``fmt``."""
     name = resolve_backend_name(fmt, requested)
-    return LUTBackend(fmt) if name == "lut" else DirectBackend(fmt)
+    if name == "lut":
+        return LUTBackend(fmt)
+    if name == "composed":
+        from repro.formats.composed import ComposedLUTBackend
+
+        return ComposedLUTBackend(fmt)
+    if name == "numba":
+        from repro.formats.jit import NumbaBackend
+
+        return NumbaBackend(fmt)
+    return DirectBackend(fmt)
 
 
-class DirectBackend:
+class CodecBackend:
+    """Shared batch operations every codec backend inherits.
+
+    Concrete backends implement the scalar protocol
+    (``to_bits``/``from_bits``/``classify_bits``/``regime_sizes``); the
+    batch surface below is derived from it and overridden where a
+    backend has a faster whole-block form.
+    """
+
+    backend_name = "abstract"
+    _fmt: object
+
+    def decode_flips(self, bits, bit_indices) -> np.ndarray:
+        """Decode ``bits`` with each row's listed bit flipped."""
+        return self.from_bits(flip_patterns(bits, bit_indices, self._fmt.dtype))
+
+    def classify_rows(self, bits_rows, bit_indices) -> np.ndarray:
+        """Field id of bit ``bit_indices[i]`` for every pattern in row i."""
+        rows = np.asarray(bits_rows)
+        out = np.empty(rows.shape, dtype=np.int64)
+        for i, bit in enumerate(np.asarray(bit_indices).tolist()):
+            out[i] = self.classify_bits(rows[i], int(bit))
+        return out
+
+
+class DirectBackend(CodecBackend):
     """Pass-through backend: every call runs the raw vectorized codec."""
 
     backend_name = "direct"
@@ -95,11 +215,16 @@ class DirectBackend:
     def classify_bits(self, bits, bit_index: int) -> np.ndarray:
         return self._fmt.classify_raw(bits, bit_index)
 
+    def classify_rows(self, bits_rows, bit_indices) -> np.ndarray:
+        # Formats with a whole-block classifier (posit: one decompose
+        # for the full row block) answer in a single vectorized pass.
+        return self._fmt.classify_rows_raw(bits_rows, bit_indices)
+
     def regime_sizes(self, bits) -> np.ndarray:
         return self._fmt.regime_raw(bits)
 
 
-class LUTBackend:
+class LUTBackend(CodecBackend):
     """Exhaustive-table backend for formats of at most 16 bits."""
 
     backend_name = "lut"
@@ -209,6 +334,14 @@ class LUTBackend:
 
     def classify_bits(self, bits, bit_index: int) -> np.ndarray:
         return self._ensure_classify(bit_index)[self._indices(bits)]
+
+    def classify_rows(self, bits_rows, bit_indices) -> np.ndarray:
+        rows = np.asarray(bits_rows)
+        indices = self._indices(rows)
+        out = np.empty(rows.shape, dtype=np.int64)
+        for i, bit in enumerate(np.asarray(bit_indices).tolist()):
+            out[i] = self._ensure_classify(int(bit))[indices[i]]
+        return out
 
     def regime_sizes(self, bits) -> np.ndarray:
         return self._ensure_regime()[self._indices(bits)]

@@ -39,6 +39,21 @@ from repro.telemetry import get_telemetry
 #: distinct datasets at a time).
 _ROUND_TRIP_CACHE_SIZE = 8
 
+#: The encode-once memo holds compact bit patterns (2-8 bytes per
+#: element), and a multi-field campaign (the paper runs 16 fields)
+#: seeds one entry per field via round_trip — so it keeps more entries
+#: than the float64 round-trip memo.
+_ENCODE_ONCE_CACHE_SIZE = 32
+
+
+def _array_fingerprint(array: np.ndarray) -> tuple:
+    """Content-hash cache key of a C-contiguous array."""
+    return (
+        array.dtype.str,
+        array.shape,
+        hashlib.blake2b(array.tobytes(), digest_size=16).digest(),
+    )
+
 
 class NumberFormat(abc.ABC):
     """A number system that stores float data and can suffer bit flips.
@@ -48,7 +63,7 @@ class NumberFormat(abc.ABC):
     name:
         Canonical registry name; always a valid spec string, so any
         format — however parameterized — rehydrates across process
-        boundaries via ``get_format(self.name)``.
+        boundaries via ``resolve(self.name)``.
     nbits:
         Width of one stored value in bits.
     """
@@ -63,6 +78,7 @@ class NumberFormat(abc.ABC):
 
         self._backend = make_backend(self, backend)
         self._round_trip_cache: OrderedDict = OrderedDict()
+        self._encode_once_cache: OrderedDict = OrderedDict()
 
     # -- raw codec operations (implemented by concrete formats) ----------
 
@@ -81,6 +97,28 @@ class NumberFormat(abc.ABC):
     def regime_raw(self, bits) -> np.ndarray:
         """Regime size k per element; zeros for systems without a regime."""
         return np.zeros(np.shape(np.asarray(bits)), dtype=np.int64)
+
+    def classify_rows_raw(self, bits_rows, bit_indices) -> np.ndarray:
+        """Field id of bit ``bit_indices[i]`` for every pattern in row i.
+
+        Default: one ``classify_raw`` sweep per row.  Formats whose
+        classification vectorizes over the bit axis override this with a
+        single whole-block pass (posit: one field decomposition; IEEE:
+        per-row constants).
+        """
+        rows = np.asarray(bits_rows)
+        out = np.empty(rows.shape, dtype=np.int64)
+        for i, bit in enumerate(np.asarray(bit_indices).tolist()):
+            out[i] = self.classify_raw(rows[i], int(bit))
+        return out
+
+    def classify_many_raw(self, bits, bit_indices) -> np.ndarray:
+        """Field ids of the *same* patterns at many bits: ``(B, *shape)``."""
+        array = np.asarray(bits)
+        out = np.empty((len(bit_indices),) + array.shape, dtype=np.int64)
+        for i, bit in enumerate(np.asarray(bit_indices).tolist()):
+            out[i] = self.classify_raw(array, int(bit))
+        return out
 
     @abc.abstractmethod
     def field_label(self, field_id: int) -> str:
@@ -135,6 +173,61 @@ class NumberFormat(abc.ABC):
         """Regime size k per element; zeros for systems without a regime."""
         return self._backend.regime_sizes(bits)
 
+    # -- batch protocol (encode-once campaign pipeline) -------------------
+
+    def encode_once(self, values) -> np.ndarray:
+        """``to_bits`` memoized on the array fingerprint.
+
+        The campaign pipeline stores each field's dataset exactly once
+        and reuses the patterns across every bit's trials; repeated
+        calls (resume, per-experiment re-runs, fork workers warming
+        from the parent) hit the cache instead of re-encoding.
+        ``round_trip`` pre-seeds this cache with the patterns of the
+        stored dataset it returns (store-then-load is idempotent, so
+        re-encoding its output must reproduce the same patterns), which
+        makes the campaign's encode of the round-tripped field free.
+        """
+        telemetry = get_telemetry()
+        array = np.ascontiguousarray(values)
+        key = _array_fingerprint(array)
+        cached = self._encode_once_cache.get(key)
+        if cached is not None:
+            self._encode_once_cache.move_to_end(key)
+            if telemetry.enabled:
+                telemetry.count("formats.encode_once.cache_hits")
+            return cached.copy()
+        if telemetry.enabled:
+            telemetry.count("formats.encode_once.cache_misses")
+        bits = self.to_bits(array)
+        self._encode_once_cache[key] = bits
+        while len(self._encode_once_cache) > _ENCODE_ONCE_CACHE_SIZE:
+            self._encode_once_cache.popitem(last=False)
+        return bits.copy()
+
+    def decode_flips(self, bits, bit_indices) -> np.ndarray:
+        """Decode ``bits`` with bit ``bit_indices[i]`` flipped in row i.
+
+        A 1-D ``bits`` array broadcasts against the bit axis (result
+        shape ``(len(bit_indices), bits.size)``); an array with a
+        leading row axis is flipped row-wise.
+        """
+        telemetry = get_telemetry()
+        if not telemetry.enabled:
+            return self._backend.decode_flips(bits, bit_indices)
+        with telemetry.span("formats.decode"):
+            values = self._backend.decode_flips(bits, bit_indices)
+        telemetry.count("formats.decode.values", np.size(values))
+        return values
+
+    def classify_bits_batch(self, bits_rows, bit_indices) -> np.ndarray:
+        """Field id of bit ``bit_indices[i]`` for every pattern in row i."""
+        for bit in np.asarray(bit_indices).reshape(-1):
+            if not 0 <= bit < self.nbits:
+                raise ValueError(
+                    f"bit indices must be in [0, {self.nbits}), got {bit}"
+                )
+        return self._backend.classify_rows(bits_rows, bit_indices)
+
     def round_trip(self, values) -> np.ndarray:
         """Store-then-load: the representable value of each input.
 
@@ -151,7 +244,7 @@ class NumberFormat(abc.ABC):
 
     def _round_trip(self, values, telemetry=None) -> np.ndarray:
         array = np.ascontiguousarray(values)
-        key = (array.dtype.str, array.shape, hashlib.blake2b(array.tobytes(), digest_size=16).digest())
+        key = _array_fingerprint(array)
         cached = self._round_trip_cache.get(key)
         if cached is not None:
             self._round_trip_cache.move_to_end(key)
@@ -160,8 +253,15 @@ class NumberFormat(abc.ABC):
             return cached.copy()
         if telemetry is not None:
             telemetry.count("formats.round_trip.cache_misses")
-        result = self.from_bits(self.to_bits(array))
+        bits = self.to_bits(array)
+        result = self.from_bits(bits)
         self._round_trip_cache[key] = result
+        # Store-then-load is idempotent, so the stored dataset's patterns
+        # are exactly `bits`: seed the encode-once memo so the campaign
+        # pipeline's encode of the round-tripped field is a cache hit.
+        self._encode_once_cache[_array_fingerprint(np.ascontiguousarray(result))] = bits
+        while len(self._encode_once_cache) > _ENCODE_ONCE_CACHE_SIZE:
+            self._encode_once_cache.popitem(last=False)
         while len(self._round_trip_cache) > _ROUND_TRIP_CACHE_SIZE:
             self._round_trip_cache.popitem(last=False)
         return result.copy()

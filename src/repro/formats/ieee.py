@@ -55,6 +55,27 @@ class IEEETarget(NumberFormat):
         field = field_of_bit(bit_index, self.format)
         return np.full(np.shape(np.asarray(bits)), int(field), dtype=np.int64)
 
+    def _field_constants(self, bit_indices) -> np.ndarray:
+        return np.array(
+            [int(field_of_bit(int(b), self.format)) for b in np.asarray(bit_indices)],
+            dtype=np.int64,
+        )
+
+    def classify_rows_raw(self, bits_rows, bit_indices) -> np.ndarray:
+        # An IEEE bit's field never depends on the value: each row is a
+        # constant fill.
+        shape = np.shape(np.asarray(bits_rows))
+        column = self._field_constants(bit_indices).reshape(
+            (-1,) + (1,) * (len(shape) - 1)
+        )
+        return np.broadcast_to(column, shape).copy()
+
+    def classify_many_raw(self, bits, bit_indices) -> np.ndarray:
+        shape = np.shape(np.asarray(bits))
+        constants = self._field_constants(bit_indices)
+        column = constants.reshape((-1,) + (1,) * len(shape))
+        return np.broadcast_to(column, (constants.size,) + shape).copy()
+
     def field_label(self, field_id: int) -> str:
         return IEEEField(field_id).name
 

@@ -2,7 +2,8 @@
 
 The registry is the single lookup point for every consumer — injection
 targets, the CLI, experiments, application kernels and pool workers all
-call :func:`get_format`.  Resolution order:
+go through :func:`resolve` (:func:`get_format` is the underlying
+registry lookup it wraps).  Resolution order:
 
 1. explicitly registered names (:func:`register_format`), letting
    projects install formats outside the spec grammar;
@@ -90,13 +91,25 @@ def get_format(spec: str, backend: str | None = None) -> NumberFormat:
     return instance
 
 
-def resolve(spec: str | NumberFormat, backend: str | None = None) -> NumberFormat:
+def resolve(spec: str | NumberFormat, *, backend: str | None = None) -> NumberFormat:
     """Resolve a name, spec string, or format instance to a format.
 
-    The canonical lookup for every consumer (injection engine, runner,
-    CLI, apps): instances pass through untouched, strings go through
-    :func:`get_format`.  Raises :class:`FormatSpecError` for anything
-    unresolvable.
+    *The* entry point for picking a format and its codec — every
+    consumer (injection engine, runner, CLI, apps, tests) should call
+    this and nothing else.  ``spec`` is a registered name, any spec
+    grammar string (``posit32``, ``binary(8,23)``,
+    ``fixedposit(16,es=2,r=3)``), or an existing instance (returned
+    untouched).  ``backend`` picks the codec explicitly
+    (``direct``/``lut``/``composed``/``numba``); when omitted, the
+    ``REPRO_FORMAT_BACKEND`` environment variable applies, and after
+    that the automatic policy (LUT tables for formats narrow enough to
+    tabulate, direct codec otherwise) — precedence and fallback rules
+    live in :func:`repro.formats.backends.resolve_backend_name`.
+
+    Instances are cached per ``(canonical name, backend)``, so repeated
+    lookups share codec tables and memos.  Raises
+    :class:`FormatSpecError` for anything unresolvable and
+    :class:`ValueError` for an unknown or incompatible backend.
     """
     return get_format(spec, backend)
 

@@ -1,4 +1,11 @@
-"""Fault-injection engine: formats, fault models, campaigns, records."""
+"""Fault-injection engine: formats, fault models, campaigns, records.
+
+The ``InjectionTarget``/``target_by_name``/``available_targets``
+forwarding shims (deprecated since the format registry landed) are
+gone: use :func:`repro.formats.resolve`,
+:class:`repro.formats.NumberFormat`, and
+:func:`repro.formats.available_formats`.
+"""
 
 from repro.formats import FixedPositTarget, IEEETarget, NumberFormat, PositTarget
 from repro.inject.campaign import (
@@ -10,6 +17,7 @@ from repro.inject.campaign import (
     conversion_report,
     run_campaign,
     run_campaign_shard,
+    run_field_trials,
 )
 from repro.inject.faults import (
     AdjacentBitFlip,
@@ -22,20 +30,13 @@ from repro.inject.faults import (
 from repro.inject.results import TrialRecords
 from repro.inject.suite import SuiteConfig, SuiteResult, load_manifest, run_suite
 from repro.inject.validate import VerificationReport, verify_records
-from repro.inject.trial import SingleTrialResult, run_bit_trials, run_single_trial
-
-#: Deprecated compatibility names served lazily from repro.inject.targets
-#: so that importing repro.inject stays warning-free.
-_DEPRECATED_TARGET_NAMES = ("InjectionTarget", "target_by_name", "available_targets")
-
-
-def __getattr__(name: str):
-    if name in _DEPRECATED_TARGET_NAMES:
-        from repro.inject import targets
-
-        return getattr(targets, name)
-    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
-
+from repro.inject.trial import (
+    FieldPipeline,
+    SingleTrialResult,
+    field_pipeline,
+    run_bit_trials,
+    run_single_trial,
+)
 
 __all__ = [
     "AdjacentBitFlip",
@@ -43,9 +44,9 @@ __all__ = [
     "CampaignResult",
     "ConversionReport",
     "FaultModel",
+    "FieldPipeline",
     "FixedPositTarget",
     "IEEETarget",
-    "InjectionTarget",
     "MultiBitFlip",
     "NumberFormat",
     "PAPER_TRIALS_PER_BIT",
@@ -58,15 +59,15 @@ __all__ = [
     "SuiteResult",
     "TrialRecords",
     "VerificationReport",
+    "field_pipeline",
     "load_manifest",
     "run_suite",
-    "available_targets",
     "verify_records",
     "bit_seeds",
     "conversion_report",
     "run_bit_trials",
     "run_campaign",
     "run_campaign_shard",
+    "run_field_trials",
     "run_single_trial",
-    "target_by_name",
 ]

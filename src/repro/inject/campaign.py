@@ -37,7 +37,7 @@ import numpy as np
 
 from repro.formats import NumberFormat
 from repro.inject.results import TrialRecords
-from repro.inject.trial import run_bit_trials
+from repro.inject.trial import field_pipeline, run_bit_trials
 from repro.metrics.summary import SummaryStats
 from repro.telemetry import get_telemetry
 
@@ -124,6 +124,13 @@ def conversion_report(data, target: NumberFormat) -> ConversionReport:
     )
 
 
+#: Memoized SeedSequence children per (seed, nbits): spawning is pure
+#: (the children are only ever read, never re-spawned), and a multi-field
+#: campaign re-derives the same spawn tree once per field otherwise.
+_BIT_SEED_CACHE: dict[tuple[int, int], tuple[np.random.SeedSequence, ...]] = {}
+_BIT_SEED_CACHE_SIZE = 16
+
+
 def bit_seeds(config: CampaignConfig, target: NumberFormat) -> dict[int, np.random.SeedSequence]:
     """One independent child seed per bit position.
 
@@ -131,8 +138,14 @@ def bit_seeds(config: CampaignConfig, target: NumberFormat) -> dict[int, np.rand
     filtered, so a campaign over a subset of bits reproduces the same
     per-bit streams as the full campaign.
     """
-    root = np.random.SeedSequence(config.seed)
-    children = root.spawn(target.nbits)
+    cache_key = (config.seed, target.nbits)
+    children = _BIT_SEED_CACHE.get(cache_key)
+    if children is None:
+        root = np.random.SeedSequence(config.seed)
+        children = tuple(root.spawn(target.nbits))
+        _BIT_SEED_CACHE[cache_key] = children
+        while len(_BIT_SEED_CACHE) > _BIT_SEED_CACHE_SIZE:
+            del _BIT_SEED_CACHE[next(iter(_BIT_SEED_CACHE))]
     wanted = set(config.resolved_bits(target))
     return {bit: children[bit] for bit in range(target.nbits) if bit in wanted}
 
@@ -257,4 +270,77 @@ def run_campaign_shard(
         indices = rng.integers(0, stored_data.size, size=trials)
         records = run_bit_trials(stored_data, indices, bit, target, baseline, rng=rng)
     telemetry.count("inject.shards")
+    return records
+
+
+#: Memoized (bits, trials) index blocks: the draws depend only on
+#: (seed, bit list, trial count, dataset size), so every same-sized
+#: field of a campaign reuses one block instead of re-deriving per-bit
+#: generators.  Arrays are marked read-only before caching.
+_TRIAL_INDEX_CACHE: dict[tuple, np.ndarray] = {}
+_TRIAL_INDEX_CACHE_SIZE = 8
+
+
+def _field_trial_indices(
+    config: CampaignConfig,
+    target: NumberFormat,
+    bits: tuple[int, ...],
+    size: int,
+) -> np.ndarray:
+    """The ``(bits, trials)`` element-index block of a field's trials.
+
+    Row ``i`` is exactly the index stream ``run_campaign_shard`` draws
+    for bit ``bits[i]``: ``default_rng(seed_for_bit).integers(0, size,
+    trials)``.
+    """
+    cache_key = (config.seed, target.nbits, bits, config.trials_per_bit, size)
+    cached = _TRIAL_INDEX_CACHE.get(cache_key)
+    if cached is not None:
+        return cached
+    seeds = bit_seeds(config, target)
+    indices2d = np.empty((len(bits), config.trials_per_bit), dtype=np.int64)
+    for row, bit in enumerate(bits):
+        rng = np.random.default_rng(seeds[bit])
+        indices2d[row] = rng.integers(0, size, size=config.trials_per_bit)
+    indices2d.setflags(write=False)
+    _TRIAL_INDEX_CACHE[cache_key] = indices2d
+    while len(_TRIAL_INDEX_CACHE) > _TRIAL_INDEX_CACHE_SIZE:
+        del _TRIAL_INDEX_CACHE[next(iter(_TRIAL_INDEX_CACHE))]
+    return indices2d
+
+
+def run_field_trials(
+    stored_data: np.ndarray,
+    target: NumberFormat,
+    baseline: SummaryStats,
+    config: CampaignConfig | None = None,
+) -> TrialRecords:
+    """Every bit position's trials for one field in a single batched pass.
+
+    The one-shot form of the campaign inner loop: instead of iterating
+    :func:`run_campaign_shard` per bit, the whole ``(bits, trials)``
+    block is gathered from the encode-once pipeline and flipped, decoded,
+    classified, and scored as whole-array NumPy passes.  The per-bit
+    index draws use exactly the per-bit shard streams
+    (``default_rng(seed).integers(0, size, trials)`` with the
+    :func:`bit_seeds` children), so the slice of the result covering bit
+    ``b`` is byte-identical to ``run_campaign_shard``'s records for
+    ``b`` — the tests and the trials benchmark assert this through the
+    CSV writer.
+
+    ``stored_data`` must already be round-tripped through the target,
+    exactly as for :func:`run_campaign_shard`.
+    """
+    if config is None:
+        config = CampaignConfig()
+    stored = np.asarray(stored_data).reshape(-1)
+    bits = config.resolved_bits(target)
+    indices2d = _field_trial_indices(config, target, bits, stored.size)
+    pipeline = field_pipeline(target, stored)
+    telemetry = get_telemetry()
+    if not telemetry.enabled:
+        return pipeline.run_bits(np.asarray(bits, dtype=np.int64), indices2d, baseline)
+    with telemetry.span("inject.field"):
+        records = pipeline.run_bits(np.asarray(bits, dtype=np.int64), indices2d, baseline)
+    telemetry.count("inject.trials", indices2d.size)
     return records

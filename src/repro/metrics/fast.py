@@ -7,15 +7,80 @@ trials; recomputing full-array reductions per trial would dominate the
 runtime for the paper's dataset sizes (Nyx is 512^3 elements), and the
 paper itself notes only one element is ever faulty.  Tests assert this
 fast path matches :func:`repro.metrics.pointwise.compare_arrays` exactly.
+
+The batched form returns a typed :class:`FaultMetrics` — one float64
+array per metric, field names checked at construction instead of by
+string key — shared by the trial engine and
+:class:`~repro.inject.results.TrialRecords`.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass, fields as dataclass_fields
+
 import numpy as np
 
-from repro.metrics.pointwise import ErrorMetrics
+from repro.metrics.pointwise import ErrorMetrics, scalar_relative_error
 from repro.metrics.summary import SummaryStats
 from repro.telemetry import get_telemetry
+
+
+@dataclass(frozen=True)
+class FaultMetrics:
+    """Per-trial error metrics, one float64 array per metric.
+
+    The typed counterpart of :class:`ErrorMetrics` for batched trials:
+    every attribute is an array over the trial axis (any shape, all
+    equal), except :attr:`non_finite` which is boolean.  Construction
+    validates that every field is filled and equally shaped, so a
+    missing or misnamed metric fails at the producer instead of as a
+    ``KeyError`` deep inside CSV assembly.
+    """
+
+    max_abs_err: np.ndarray
+    mean_abs_err: np.ndarray
+    #: Pointwise |old-new|/|old|; NaN against a zero original, 0.0 when
+    #: both are zero (see :func:`repro.metrics.pointwise.scalar_relative_error`).
+    max_rel_err: np.ndarray
+    #: QCAT's value-range relative error: |old-new| / baseline range.
+    range_rel_err: np.ndarray
+    mse: np.ndarray
+    rmse: np.ndarray
+    nrmse: np.ndarray
+    psnr_db: np.ndarray
+    l2_err: np.ndarray
+    linf_err: np.ndarray
+    #: Whether the faulty value is NaN/Inf (boolean array).
+    non_finite: np.ndarray
+
+    def __post_init__(self):
+        shape = np.shape(self.max_abs_err)
+        for field in dataclass_fields(self):
+            value = getattr(self, field.name)
+            if not isinstance(value, np.ndarray):
+                raise TypeError(f"FaultMetrics.{field.name} must be an ndarray")
+            if value.shape != shape:
+                raise ValueError(
+                    f"FaultMetrics.{field.name} has shape {value.shape}, "
+                    f"expected {shape}"
+                )
+
+    @property
+    def shape(self) -> tuple:
+        return self.max_abs_err.shape
+
+    def reshape(self, shape) -> FaultMetrics:
+        """Same metrics viewed under a different trial-axis shape."""
+        return FaultMetrics(
+            **{
+                field.name: getattr(self, field.name).reshape(shape)
+                for field in dataclass_fields(self)
+            }
+        )
+
+    def as_dict(self) -> dict[str, np.ndarray]:
+        """Name -> array view (CSV column assembly, legacy consumers)."""
+        return {field.name: getattr(self, field.name) for field in dataclass_fields(self)}
 
 
 def single_fault_metrics(
@@ -40,12 +105,7 @@ def single_fault_metrics(
     max_abs = abs_diff
     mean_abs = abs_diff / count
 
-    if old_value != 0:
-        max_pointwise = abs_diff / abs(old_value)
-    elif new_value == 0:
-        max_pointwise = 0.0
-    else:
-        max_pointwise = float("nan")  # undefined against a zero original
+    max_pointwise = scalar_relative_error(old_value, new_value)
 
     value_range = baseline.value_range
     if value_range > 0:
@@ -84,12 +144,13 @@ def vectorized_single_fault(
     baseline: SummaryStats,
     old_values,
     new_values,
-) -> dict[str, np.ndarray]:
+) -> FaultMetrics:
     """Batched form of :func:`single_fault_metrics` over trial arrays.
 
-    Returns a dict of metric-name -> float64 array, one entry per trial.
-    This is the hot path of the campaign: all trials for one bit position
-    are evaluated in a handful of NumPy expressions.
+    Returns a :class:`FaultMetrics` of float64 arrays, one entry per
+    trial (any array shape — the batched pipeline passes whole
+    ``(bits, trials)`` blocks).  This is the hot path of the campaign:
+    all trials are evaluated in a handful of NumPy expressions.
     """
     old = np.asarray(old_values, dtype=np.float64)
     new = np.asarray(new_values, dtype=np.float64)
@@ -109,7 +170,7 @@ def _vectorized_single_fault(
     baseline: SummaryStats,
     old: np.ndarray,
     new: np.ndarray,
-) -> dict[str, np.ndarray]:
+) -> FaultMetrics:
     count = baseline.count
     # Faulty values can be astronomically large (an IEEE exponent-MSB
     # flip scales by up to 2**1024), so products and quotients here may
@@ -140,16 +201,16 @@ def _vectorized_single_fault(
             - 10.0 * np.log10(np.where(mse > 0, mse, 1.0)),
             np.inf,
         )
-    return {
-        "max_abs_err": abs_diff,
-        "mean_abs_err": abs_diff / count,
-        "max_rel_err": pointwise,
-        "range_rel_err": range_rel,
-        "mse": mse,
-        "rmse": rmse,
-        "nrmse": rmse / value_range if value_range > 0 else np.where(rmse == 0, 0.0, np.inf),
-        "psnr_db": psnr,
-        "l2_err": abs_diff,
-        "linf_err": abs_diff,
-        "non_finite": (~np.isfinite(new)).astype(np.float64),
-    }
+    return FaultMetrics(
+        max_abs_err=abs_diff,
+        mean_abs_err=abs_diff / count,
+        max_rel_err=pointwise,
+        range_rel_err=range_rel,
+        mse=mse,
+        rmse=rmse,
+        nrmse=rmse / value_range if value_range > 0 else np.where(rmse == 0, 0.0, np.inf),
+        psnr_db=psnr,
+        l2_err=abs_diff,
+        linf_err=abs_diff,
+        non_finite=~np.isfinite(new),
+    )

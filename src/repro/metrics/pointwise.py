@@ -128,6 +128,24 @@ def pointwise_relative_error(original, faulty) -> np.ndarray:
     return np.where((a == 0) & (b != 0), np.nan, rel)
 
 
+def scalar_relative_error(original: float, faulty: float) -> float:
+    """Scalar form of :func:`pointwise_relative_error`.
+
+    The single place the zero-original convention lives for scalar
+    callers: ``run_single_trial`` (the literal-flowchart reference) and
+    ``single_fault_metrics`` both route through here, so the scalar and
+    vectorized paths cannot diverge on the ``original == 0`` corners
+    pinned in ``tests/metrics/test_edgecases.py``.
+    """
+    original = float(original)
+    faulty = float(faulty)
+    if original != 0:
+        return abs(original - faulty) / abs(original)
+    if faulty == 0:
+        return 0.0
+    return float("nan")  # undefined against a zero original
+
+
 def absolute_error(original, faulty) -> np.ndarray:
     """Elementwise |orig - faulty|."""
     a = np.asarray(original, dtype=np.float64)

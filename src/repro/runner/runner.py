@@ -43,6 +43,7 @@ from repro.inject.campaign import (
     run_campaign_shard,
 )
 from repro.inject.results import TrialRecords
+from repro.inject.trial import field_pipeline
 from repro.metrics.summary import SummaryStats
 from repro.runner.errors import ManifestError, RunnerError, SignalInterrupt
 from repro.runner.events import (
@@ -288,6 +289,10 @@ class CampaignRunner:
         with telemetry_scope(self.telemetry):
             self.stored = self.target.round_trip(self._flat)
             self.baseline = SummaryStats.from_array(self.stored)
+            # Warm the encode-once pipeline in the parent so every shard
+            # (and every fork-pool worker) shares one encode and one
+            # decode of the field instead of rebuilding per worker.
+            field_pipeline(self.target, self.stored)
 
         if hooks is None:
             hooks = []

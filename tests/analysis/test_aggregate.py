@@ -81,9 +81,9 @@ def _craft_records(bits, rel) -> TrialRecords:
 
 class TestAggregateByField:
     def test_covers_all_fields(self, records):
-        from repro.inject.targets import target_by_name
+        from repro.formats import resolve
 
-        target = target_by_name("posit32")
+        target = resolve("posit32")
         rows = aggregate_by_field(records, target.field_label)
         labels = {row.label for row in rows}
         assert "SIGN" in labels
@@ -92,9 +92,9 @@ class TestAggregateByField:
         assert total == len(records)
 
     def test_mean_matches_manual(self, records):
-        from repro.inject.targets import target_by_name
+        from repro.formats import resolve
 
-        target = target_by_name("posit32")
+        target = resolve("posit32")
         rows = aggregate_by_field(records, target.field_label)
         for row in rows:
             rel = records.for_field(row.field_id).rel_err

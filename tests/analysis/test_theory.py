@@ -6,7 +6,7 @@ import pytest
 from repro.analysis.aggregate import aggregate_by_bit
 from repro.analysis.theory import expected_error_by_bit, sampling_error_profile
 from repro.inject.campaign import CampaignConfig, run_campaign
-from repro.inject.targets import target_by_name
+from repro.formats import resolve
 
 
 @pytest.fixture(scope="module")
@@ -20,7 +20,7 @@ def field():
 
 class TestExpectedErrorByBit:
     def test_matches_brute_force_small(self):
-        target = target_by_name("posit16")
+        target = resolve("posit16")
         data = np.array([1.5, -200.0, 0.004, 7.0, 0.0], dtype=np.float32)
         result = expected_error_by_bit(data, target)
         stored = target.round_trip(data)

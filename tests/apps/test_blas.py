@@ -9,7 +9,7 @@ from repro.apps.blas import (
     stored_axpy,
     stored_dot,
 )
-from repro.inject.targets import target_by_name
+from repro.formats import resolve
 
 
 class TestStoredDot:
@@ -65,7 +65,7 @@ class TestAxpy:
         assert result.tolist() == [5.0, 8.0]
 
     def test_storage_rounds(self):
-        target = target_by_name("posit8")
+        target = resolve("posit8")
         result = stored_axpy(1.0, np.array([1.0]), np.array([1e-4]), target)
         # 1 + 1e-4 is not representable in posit8; it rounds back to 1.
         assert result[0] == 1.0

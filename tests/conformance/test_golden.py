@@ -128,14 +128,15 @@ class TestCampaignTamperDetection:
 
     def test_perturbed_fast_metrics_fail_campaign_golden(self, blessed_dir, monkeypatch):
         """Drift in the trial metric pipeline surfaces as statistic drift."""
+        import dataclasses
+
         from repro.inject import trial as trial_module
 
         true_vectorized = trial_module.vectorized_single_fault
 
         def skewed(baseline, originals, faulty):
             rows = true_vectorized(baseline, originals, faulty)
-            rows["mse"] = rows["mse"] * (1 + 1e-6)
-            return rows
+            return dataclasses.replace(rows, mse=rows.mse * (1 + 1e-6))
 
         monkeypatch.setattr(trial_module, "vectorized_single_fault", skewed)
         report = _run(blessed_dir, ["posit32"])

@@ -7,7 +7,7 @@ from repro.datasets.transforms import (
     scaled_storage_roundtrip,
     unit_median_scale,
 )
-from repro.inject.targets import target_by_name
+from repro.formats import resolve
 
 
 class TestPowerOfTwoScale:
@@ -58,7 +58,7 @@ class TestScaledStorage:
         # only shifts the regime/exponent), so the observed values after
         # scaled storage equal plain storage whenever no saturation is
         # involved.
-        target = target_by_name("posit32")
+        target = resolve("posit32")
         values = rng.normal(0, 1e4, 2000)
         scale = unit_median_scale(values)
         plain = target.round_trip(values)
@@ -68,7 +68,7 @@ class TestScaledStorage:
     def test_rescues_out_of_range_values(self):
         # posit8 cannot represent 1e9 (saturates at 2**24); scaling in
         # and out can.
-        target = target_by_name("posit8")
+        target = resolve("posit8")
         values = np.array([1.0e9, 1.1e9, 0.9e9])
         scale = unit_median_scale(values)
         plain = target.round_trip(values)

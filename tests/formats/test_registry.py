@@ -5,14 +5,15 @@ import pytest
 
 from repro.formats import (
     DEFAULT_FORMATS,
+    FormatSpecError,
     available_formats,
     format_known,
     get_format,
     parse_spec,
     register_format,
+    resolve,
 )
 from repro.formats import registry as registry_module
-from repro.inject.targets import available_targets, target_by_name
 
 
 class TestLookup:
@@ -77,24 +78,29 @@ class TestBackendSelection:
             parse_spec("posit16")
 
 
-class TestInjectionTargetCompat:
-    def test_target_by_name_accepts_specs(self):
-        assert target_by_name("posit16es1").name == "posit16es1"
-        assert target_by_name("binary(8,23)").name == "ieee32"
+class TestResolveEntryPoint:
+    def test_resolve_accepts_specs(self):
+        assert resolve("posit16es1").name == "posit16es1"
+        assert resolve("binary(8,23)").name == "ieee32"
 
-    def test_unknown_target_raises_keyerror(self):
-        with pytest.raises(KeyError, match="known"):
-            target_by_name("posit128")
-        with pytest.raises(KeyError, match="known"):
-            target_by_name("float128")
+    def test_resolve_passes_instances_through(self):
+        fmt = resolve("posit16")
+        assert resolve(fmt) is fmt
 
-    def test_available_targets_matches_formats(self):
-        assert available_targets() == available_formats()
+    def test_unknown_spec_raises(self):
+        with pytest.raises(FormatSpecError):
+            resolve("posit128")
+        with pytest.raises(FormatSpecError):
+            resolve("float128")
+
+    def test_resolve_picks_backend(self):
+        assert resolve("posit16", backend="direct").backend_name == "direct"
+        assert resolve("posit32", backend="composed").backend_name == "composed"
 
     def test_spec_parsed_targets_work_end_to_end(self):
         values = np.array([1.5, -200.0, 0.0, 3.0e-4])
         for spec in ["posit16es1", "binary(8,23)", "fixedposit(16,es=2,r=3)"]:
-            target = target_by_name(spec)
+            target = resolve(spec)
             stored = target.round_trip(values)
             assert np.array_equal(target.round_trip(stored), stored)
             bits = target.to_bits(stored)

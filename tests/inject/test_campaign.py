@@ -10,7 +10,7 @@ from repro.inject.campaign import (
     conversion_report,
     run_campaign,
 )
-from repro.inject.targets import target_by_name
+from repro.formats import resolve
 
 
 class TestConfig:
@@ -22,15 +22,15 @@ class TestConfig:
             CampaignConfig(trials_per_bit=0)
 
     def test_resolved_bits_default_all(self):
-        target = target_by_name("posit32")
+        target = resolve("posit32")
         assert CampaignConfig().resolved_bits(target) == tuple(range(32))
 
     def test_resolved_bits_subset(self):
-        target = target_by_name("posit32")
+        target = resolve("posit32")
         assert CampaignConfig(bits=(31, 5)).resolved_bits(target) == (31, 5)
 
     def test_resolved_bits_out_of_range(self):
-        target = target_by_name("posit8")
+        target = resolve("posit8")
         with pytest.raises(ValueError):
             CampaignConfig(bits=(9,)).resolved_bits(target)
 
@@ -71,7 +71,7 @@ class TestStructure:
 
     def test_baseline_is_stored_representation(self, small_field):
         result = run_campaign(small_field, "posit32", CampaignConfig(trials_per_bit=2))
-        target = target_by_name("posit32")
+        target = resolve("posit32")
         stored = target.round_trip(small_field)
         assert result.baseline.mean == pytest.approx(float(np.mean(stored)))
 
@@ -91,31 +91,31 @@ class TestStructure:
 
 class TestConversionReport:
     def test_ieee32_exact_for_float32(self, small_field):
-        report = conversion_report(small_field, target_by_name("ieee32"))
+        report = conversion_report(small_field, resolve("ieee32"))
         assert report.exact_fraction == 1.0
         assert report.mean_relative_error == 0.0
 
     def test_posit32_small_error(self, small_field):
-        report = conversion_report(small_field, target_by_name("posit32"))
+        report = conversion_report(small_field, resolve("posit32"))
         # The paper quotes ~1e-5 for the double conversion; the direct
         # conversion is far tighter but must be nonzero for generic data.
         assert report.max_relative_error < 1e-4
         assert 0.0 <= report.mean_relative_error < 1e-6
 
     def test_posit8_coarse(self, small_field):
-        report = conversion_report(small_field, target_by_name("posit8"))
+        report = conversion_report(small_field, resolve("posit8"))
         assert report.exact_fraction < 1.0
         assert report.mean_relative_error > 1e-4
 
 
 class TestBitSeeds:
     def test_one_seed_per_bit(self):
-        target = target_by_name("posit32")
+        target = resolve("posit32")
         seeds = bit_seeds(CampaignConfig(seed=1), target)
         assert set(seeds) == set(range(32))
 
     def test_subset_keeps_bit_alignment(self):
-        target = target_by_name("posit32")
+        target = resolve("posit32")
         full = bit_seeds(CampaignConfig(seed=1), target)
         subset = bit_seeds(CampaignConfig(seed=1, bits=(3, 9)), target)
         assert set(subset) == {3, 9}

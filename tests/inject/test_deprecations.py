@@ -1,10 +1,11 @@
-"""Deprecated entry points: still working, now warning.
+"""Removed entry points stay removed.
 
-The unified run API (PR: resumable campaign runner) kept historical
-names alive as thin forwarding shims; these tests pin both halves of
-that contract — the warning and the unchanged behavior.  (The
-``run_campaign_parallel`` wrapper completed its deprecation cycle and
-was removed; its absence is pinned in ``tests/inject/test_parallel.py``.)
+The ``repro.inject.targets`` forwarding shims (``target_by_name``,
+``InjectionTarget``, ``available_targets``) completed their deprecation
+cycle and were deleted alongside the batched-codec API redesign; these
+tests pin the removal and that the canonical replacements work without
+warnings.  (The ``run_campaign_parallel`` wrapper's absence is pinned
+in ``tests/inject/test_parallel.py``.)
 """
 
 import warnings
@@ -12,45 +13,20 @@ import warnings
 import pytest
 
 
-class TestTargetsShim:
-    def test_target_by_name_warns(self):
-        from repro.inject.targets import target_by_name
+class TestTargetsRemoved:
+    def test_targets_module_is_gone(self):
+        with pytest.raises(ModuleNotFoundError):
+            import repro.inject.targets  # noqa: F401
 
-        with pytest.warns(DeprecationWarning, match="repro.formats.resolve"):
-            target = target_by_name("posit32")
-        assert target.nbits == 32
-
-    def test_target_by_name_keeps_keyerror_contract(self):
-        from repro.inject.targets import target_by_name
-
-        with pytest.warns(DeprecationWarning):
-            with pytest.raises(KeyError, match="known"):
-                target_by_name("posit128")
-
-    def test_available_targets_warns_and_matches_formats(self):
-        from repro.formats import available_formats
-        from repro.inject.targets import available_targets
-
-        with pytest.warns(DeprecationWarning, match="available_formats"):
-            names = available_targets()
-        assert names == available_formats()
-
-    def test_injection_target_alias_warns(self):
-        import repro.inject.targets as targets
-        from repro.formats import NumberFormat
-
-        with pytest.warns(DeprecationWarning, match="NumberFormat"):
-            alias = targets.InjectionTarget
-        assert alias is NumberFormat
-
-    def test_package_level_lazy_aliases_warn(self):
+    def test_package_level_aliases_are_gone(self):
         import repro.inject as inject
 
-        with pytest.warns(DeprecationWarning):
-            assert inject.target_by_name("ieee32").nbits == 32
+        for name in ("target_by_name", "InjectionTarget", "available_targets"):
+            with pytest.raises(AttributeError):
+                getattr(inject, name)
+            assert name not in inject.__all__
 
     def test_importing_package_stays_quiet(self):
-        # The shims are lazy: merely importing repro.inject must not warn.
         import importlib
 
         import repro.inject as inject
@@ -60,9 +36,18 @@ class TestTargetsShim:
             importlib.reload(inject)
 
     def test_resolve_is_the_canonical_path(self):
-        from repro.formats import resolve
+        from repro.formats import NumberFormat, available_formats, resolve
 
         with warnings.catch_warnings():
             warnings.simplefilter("error", DeprecationWarning)
             assert resolve("posit32").nbits == 32
             assert resolve("binary(8,23)").nbits == 32
+            assert isinstance(resolve("posit32"), NumberFormat)
+            assert "posit32" in available_formats()
+
+    def test_resolve_backend_is_keyword_only(self):
+        from repro.formats import resolve
+
+        with pytest.raises(TypeError):
+            resolve("posit16", "direct")  # noqa: too-many-function-args
+        assert resolve("posit16", backend="direct").backend_name == "direct"

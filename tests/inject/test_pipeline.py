@@ -1,0 +1,112 @@
+"""The encode-once field pipeline and the one-pass batched campaign path.
+
+The contract under test is byte-identity: routing the hot path through
+``FieldPipeline`` / ``run_field_trials`` must reproduce the per-bit
+shard output of ``run_campaign_shard`` exactly, down to the CSV bytes a
+run directory would contain.
+"""
+
+import numpy as np
+import pytest
+
+from repro.formats import resolve
+from repro.inject import (
+    CampaignConfig,
+    FieldPipeline,
+    bit_seeds,
+    field_pipeline,
+    run_campaign_shard,
+    run_field_trials,
+    run_single_trial,
+)
+from repro.metrics.summary import SummaryStats
+
+
+@pytest.fixture
+def field(rng):
+    return np.concatenate(
+        [rng.normal(50, 20, 512), rng.lognormal(-2, 2, 512)]
+    ).astype(np.float32)
+
+
+class TestFieldBatchIdentity:
+    @pytest.mark.parametrize("name", ["posit16", "posit32", "ieee32", "posit8"])
+    def test_slices_match_per_bit_shards(self, name, field):
+        target = resolve(name)
+        stored = target.round_trip(field)
+        baseline = SummaryStats.from_array(stored)
+        config = CampaignConfig(trials_per_bit=37, seed=11)
+        seeds = bit_seeds(config, target)
+
+        batched = run_field_trials(stored, target, baseline, config)
+        assert len(batched) == target.nbits * 37
+        rows = batched.to_csv_string().splitlines()[2:]
+        for bit in range(target.nbits):
+            shard = run_campaign_shard(stored, target, bit, 37, seeds[bit], baseline)
+            chunk = shard.to_csv_string().splitlines()[2:]
+            assert rows[bit * 37 : (bit + 1) * 37] == chunk, (name, bit)
+
+    def test_bit_subset(self, field):
+        target = resolve("posit16")
+        stored = target.round_trip(field)
+        baseline = SummaryStats.from_array(stored)
+        config = CampaignConfig(trials_per_bit=5, bits=(1, 7, 15), seed=3)
+        batched = run_field_trials(stored, target, baseline, config)
+        assert sorted(set(batched.bit.tolist())) == [1, 7, 15]
+        assert len(batched) == 15
+
+
+class TestPipelineCache:
+    def test_same_content_shares_pipeline(self, field):
+        target = resolve("posit16")
+        first = field_pipeline(target, field)
+        second = field_pipeline(target, field.copy())
+        assert first is second
+
+    def test_distinct_targets_do_not_collide(self, field):
+        p16 = field_pipeline(resolve("posit16"), field)
+        p32 = field_pipeline(resolve("posit32"), field)
+        assert p16 is not p32
+        assert p16.target.nbits == 16 and p32.target.nbits == 32
+
+    def test_pipeline_encodes_once(self, field):
+        target = resolve("posit32")
+        pipeline = FieldPipeline(target, field)
+        assert np.array_equal(
+            np.asarray(pipeline.bits), np.asarray(target.to_bits(field))
+        )
+        assert np.array_equal(pipeline.stored, target.round_trip(field))
+
+
+class TestScalarRelErrConvention:
+    """run_single_trial shares the zero-original convention of the
+    vectorized path (pinned in tests/metrics/test_edgecases.py)."""
+
+    def _trial(self, original, faulty_target_value, name="ieee32"):
+        target = resolve(name)
+        data = np.array([original], dtype=np.float64)
+        stored = target.round_trip(data)
+        bits = np.asarray(target.to_bits(stored))
+        goal = np.asarray(target.to_bits(np.array([faulty_target_value])))
+        flip = int(bits[0] ^ goal[0])
+        assert flip != 0 and (flip & (flip - 1)) == 0, "need a single-bit flip"
+        bit = flip.bit_length() - 1
+        return run_single_trial(stored, 0, bit, target)
+
+    def test_zero_original_nonzero_faulty_is_nan(self):
+        result = self._trial(0.0, 2.0 ** -126)
+        assert result.original == 0.0 and result.faulty != 0.0
+        assert np.isnan(result.rel_err)
+
+    def test_zero_original_zero_faulty_is_zero(self):
+        # Flipping the IEEE sign bit of +0.0 lands on -0.0.
+        result = self._trial(0.0, -0.0)
+        assert result.original == 0.0 and result.faulty == 0.0
+        assert result.rel_err == 0.0
+
+    def test_nonzero_original_plain_ratio(self):
+        target = resolve("posit16")
+        data = np.array([8.0])
+        result = run_single_trial(data, 0, 3, target)
+        expected = abs(result.original - result.faulty) / abs(result.original)
+        assert result.rel_err == expected

@@ -1,62 +1,58 @@
-"""Tests for injection targets."""
+"""Tests for injection targets (served by the format registry)."""
 
 import numpy as np
 import pytest
 
+from repro.formats import FormatSpecError, PositTarget, available_formats, resolve
 from repro.ieee.fields import IEEEField
-from repro.inject.targets import (
-    PositTarget,
-    available_targets,
-    target_by_name,
-)
 from repro.posit.fields import PositField
 
 
 class TestRegistry:
     def test_expected_targets(self):
-        names = available_targets()
+        names = available_formats()
         for expected in ("ieee16", "ieee32", "ieee64", "bfloat16",
                          "posit8", "posit16", "posit32", "posit64"):
             assert expected in names
 
     def test_lookup(self):
-        assert target_by_name("posit32").nbits == 32
-        assert target_by_name("IEEE32").nbits == 32
+        assert resolve("posit32").nbits == 32
+        assert resolve("IEEE32").nbits == 32
 
     def test_unknown(self):
-        with pytest.raises(KeyError, match="known"):
-            target_by_name("posit128")
+        with pytest.raises(FormatSpecError):
+            resolve("posit128")
 
 
 class TestIEEETarget:
     def test_roundtrip_float32_exact(self, rng):
-        target = target_by_name("ieee32")
+        target = resolve("ieee32")
         values = rng.normal(0, 100, 500).astype(np.float32)
         assert np.array_equal(target.round_trip(values), values.astype(np.float64))
 
     def test_classification(self):
-        target = target_by_name("ieee32")
+        target = resolve("ieee32")
         bits = target.to_bits(np.array([1.0, 2.0], dtype=np.float32))
         assert np.all(target.classify_bits(bits, 31) == int(IEEEField.SIGN))
         assert np.all(target.classify_bits(bits, 5) == int(IEEEField.FRACTION))
         assert target.field_label(int(IEEEField.EXPONENT)) == "EXPONENT"
 
     def test_regime_sizes_zero(self):
-        target = target_by_name("ieee32")
+        target = resolve("ieee32")
         bits = target.to_bits(np.array([1.0], dtype=np.float32))
         assert target.regime_sizes(bits).tolist() == [0]
 
 
 class TestPositTarget:
     def test_roundtrip_rounds_once(self, rng):
-        target = target_by_name("posit32")
+        target = resolve("posit32")
         values = rng.normal(0, 100, 500).astype(np.float32)
         stored = target.round_trip(values)
         # Idempotent: storing the stored value changes nothing.
         assert np.array_equal(target.round_trip(stored), stored)
 
     def test_classification_is_per_value(self):
-        target = target_by_name("posit32")
+        target = resolve("posit32")
         bits = target.to_bits(np.array([1.5, 186250.0]))
         fields = target.classify_bits(bits, 28)
         # Bit 28: exponent for 1.5 (k=1), regime for 186250 (k=5).
@@ -64,12 +60,12 @@ class TestPositTarget:
         assert fields[1] == int(PositField.REGIME)
 
     def test_regime_sizes(self):
-        target = target_by_name("posit32")
+        target = resolve("posit32")
         bits = target.to_bits(np.array([1.5, 20.0, 400.0]))
         assert target.regime_sizes(bits).tolist() == [1, 2, 3]
 
     def test_field_label(self):
-        target = target_by_name("posit32")
+        target = resolve("posit32")
         assert target.field_label(int(PositField.REGIME_TERM)) == "REGIME_TERM"
 
     def test_nonstandard_name(self):
@@ -81,6 +77,6 @@ class TestPositTarget:
 
 class TestBfloat16Target:
     def test_roundtrip(self):
-        target = target_by_name("bfloat16")
+        target = resolve("bfloat16")
         values = np.array([1.0, -2.5, 100.0], dtype=np.float32)
         assert np.array_equal(target.round_trip(values), values.astype(np.float64))

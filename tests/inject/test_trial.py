@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.inject.targets import target_by_name
+from repro.formats import resolve
 from repro.inject.trial import run_bit_trials, run_single_trial
 from repro.metrics.pointwise import compare_arrays
 from repro.metrics.summary import SummaryStats
@@ -11,14 +11,14 @@ from repro.metrics.summary import SummaryStats
 
 @pytest.fixture
 def stored(small_field):
-    target = target_by_name("posit32")
+    target = resolve("posit32")
     return target.round_trip(small_field)
 
 
 class TestScalarVsVectorized:
     @pytest.mark.parametrize("target_name", ["ieee32", "posit32"])
     def test_records_match_scalar_flow(self, small_field, target_name):
-        target = target_by_name(target_name)
+        target = resolve(target_name)
         stored = target.round_trip(small_field)
         baseline = SummaryStats.from_array(stored)
         indices = np.array([0, 5, 100, 2500], dtype=np.int64)
@@ -36,7 +36,7 @@ class TestScalarVsVectorized:
                 assert records.non_finite[i] == single.non_finite
 
     def test_metrics_match_full_array_comparison(self, stored):
-        target = target_by_name("posit32")
+        target = resolve("posit32")
         baseline = SummaryStats.from_array(stored)
         indices = np.array([3, 77], dtype=np.int64)
         records = run_bit_trials(stored, indices, 20, target, baseline)
@@ -50,7 +50,7 @@ class TestScalarVsVectorized:
                 assert records.rel_err[i] == pytest.approx(full.max_pointwise_relative)
 
     def test_faulty_summary_matches_recompute(self, stored):
-        target = target_by_name("posit32")
+        target = resolve("posit32")
         baseline = SummaryStats.from_array(stored)
         # Deliberately include the dataset's extremum index.
         extremum = int(np.argmax(stored))
@@ -69,7 +69,7 @@ class TestScalarVsVectorized:
 
 class TestRecordContents:
     def test_bit_and_trial_columns(self, stored):
-        target = target_by_name("posit32")
+        target = resolve("posit32")
         baseline = SummaryStats.from_array(stored)
         indices = np.arange(10, dtype=np.int64)
         records = run_bit_trials(stored, indices, 17, target, baseline)
@@ -79,7 +79,7 @@ class TestRecordContents:
         assert np.array_equal(records.index, indices)
 
     def test_posit_original_is_representable(self, small_field):
-        target = target_by_name("posit32")
+        target = resolve("posit32")
         stored = target.round_trip(small_field)
         baseline = SummaryStats.from_array(stored)
         records = run_bit_trials(stored, np.array([0, 1]), 3, target, baseline)

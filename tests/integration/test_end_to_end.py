@@ -14,7 +14,7 @@ from repro.analysis.stratify import group_by_regime_size, magnitude_split
 from repro.datasets.registry import get as get_preset
 from repro.inject.campaign import CampaignConfig, run_campaign
 from repro.inject.results import TrialRecords
-from repro.inject.targets import target_by_name
+from repro.formats import resolve
 from repro.posit.config import POSIT32
 from repro.posit.encode import encode
 
@@ -91,7 +91,7 @@ class TestPipeline:
 
     def test_conversion_report_consistency(self, pipeline):
         data, result, _ = pipeline
-        target = target_by_name("posit32")
+        target = resolve("posit32")
         stored = target.round_trip(data)
         exact = float(np.mean(stored == data.astype(np.float64)))
         assert result.conversion.exact_fraction == pytest.approx(exact)

@@ -57,7 +57,7 @@ class TestVectorized:
         old = old.copy()
         old[7] = 0.0
 
-        batch = vectorized_single_fault(baseline, old, new)
+        batch = vectorized_single_fault(baseline, old, new).as_dict()
         for i in range(64):
             scalar = single_fault_metrics(baseline, float(old[i]), float(new[i]))
             row = scalar.as_row()
@@ -78,4 +78,31 @@ class TestVectorized:
         batch = vectorized_single_fault(
             baseline, np.array([1e-300]), np.array([1e300])
         )
-        assert batch["max_rel_err"][0] == float("inf")
+        assert batch.max_rel_err[0] == float("inf")
+
+
+class TestFaultMetricsType:
+    def test_is_typed_and_shape_checked(self, rng):
+        from repro.metrics.fast import FaultMetrics
+
+        baseline = SummaryStats.from_array(rng.normal(0, 1, 100))
+        old = rng.normal(0, 1, (4, 8))
+        batch = vectorized_single_fault(baseline, old, old + 1.0)
+        assert isinstance(batch, FaultMetrics)
+        assert batch.shape == (4, 8)
+        assert batch.non_finite.dtype == np.bool_
+        flat = batch.reshape(32)
+        assert flat.shape == (32,)
+        assert np.array_equal(flat.mse, batch.mse.reshape(32))
+
+    def test_mismatched_shapes_rejected(self):
+        from dataclasses import replace
+
+        from repro.metrics.fast import FaultMetrics
+
+        baseline = SummaryStats.from_array(np.array([1.0, 2.0]))
+        batch = vectorized_single_fault(baseline, np.zeros(3), np.ones(3))
+        with pytest.raises(ValueError, match="shape"):
+            replace(batch, mse=np.zeros(5))
+        with pytest.raises(TypeError, match="ndarray"):
+            replace(batch, mse=[0.0, 0.0, 0.0])
