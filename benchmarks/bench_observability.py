@@ -1,0 +1,110 @@
+"""Fleet observability overhead smoke benchmark.
+
+The tracing/metrics side channels promise the same deal as telemetry:
+**off by default and effectively free when off** — an untraced campaign
+executes the identical code path plus one ``is None`` check per shard —
+and cheap enough when on that tracing a production fleet is reasonable
+(one span record per shard, one metrics point per second per worker).
+
+This bench pins both ends: the per-record cost of the span and metrics
+writers (micro), and the wall-clock delta of a real checkpointed
+campaign with tracing off vs. on (macro, generous bound — the signal
+is shard compute, not the side channel).
+
+Run standalone:
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_observability.py -s -q
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.inject.campaign import CampaignConfig, run_campaign
+from repro.telemetry import MetricsWriter, TraceContext, TraceWriter
+
+#: Span/point records per timed micro batch.
+RECORDS = 2000
+
+#: A traced campaign must stay within this fraction of the untraced
+#: wall clock (intentionally loose: one span per shard plus a 1 Hz
+#: sampler thread should be far below it even on noisy CI machines).
+MAX_TRACED_OVERHEAD = 0.50
+
+IDENTITY = {
+    "target_spec": "posit16",
+    "trials_per_bit": 8,
+    "bits": list(range(8)),
+    "seed": 42,
+    "data_fingerprint": "bench",
+    "data_size": 4096,
+}
+
+
+def _best_of(fn, repeats=5):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_span_emit_cost(tmp_path):
+    ctx = TraceContext.for_run(IDENTITY, tmp_path, worker="bench")
+    writer = TraceWriter(tmp_path, ctx)
+
+    def emit_batch():
+        for i in range(RECORDS):
+            writer.shard_span(bit=i % 32, attempt=0, ts=float(i), duration=0.5)
+
+    best = _best_of(emit_batch)
+    writer.close()
+    per_span = best / RECORDS
+    print(f"\n[bench_observability] span emit: {per_span * 1e6:.2f}us/span")
+    # One shard span per multi-millisecond shard: even 1ms would vanish,
+    # but an O_APPEND write of one small line should sit far below that.
+    assert per_span < 1e-3
+
+
+def test_metrics_point_cost(tmp_path):
+    writer = MetricsWriter(tmp_path, "bench")
+
+    def append_batch():
+        for i in range(RECORDS):
+            writer.append({"ts": float(i), "trials_done": i, "rss_bytes": 1})
+
+    best = _best_of(append_batch)
+    writer.close()
+    per_point = best / RECORDS
+    print(f"[bench_observability] metrics point: {per_point * 1e6:.2f}us/point")
+    assert per_point < 1e-3  # sampled once per second per worker
+
+
+@pytest.mark.parametrize("jobs", [1])
+def test_traced_campaign_overhead(tmp_path, jobs):
+    rng = np.random.default_rng(2023)
+    data = rng.normal(loc=50.0, scale=10.0, size=1 << 12)
+    config = CampaignConfig(trials_per_bit=8, bits=range(8), seed=42)
+
+    def campaign(label, trace):
+        start = time.perf_counter()
+        run_campaign(
+            data, "posit16", config, jobs=jobs,
+            run_dir=tmp_path / label, trace=trace,
+        )
+        return time.perf_counter() - start
+
+    campaign("warm", False)  # warm LUT/codec caches out of the timing
+    untraced = campaign("untraced", False)
+    traced = campaign("traced", True)
+    overhead = traced / untraced - 1.0
+    print(
+        f"[bench_observability] campaign jobs={jobs}: "
+        f"untraced {untraced * 1e3:.1f}ms, traced {traced * 1e3:.1f}ms "
+        f"({overhead:+.2%})"
+    )
+    assert traced - untraced < max(MAX_TRACED_OVERHEAD * untraced, 200e-3), (
+        f"tracing overhead {overhead:.2%} exceeds {MAX_TRACED_OVERHEAD:.0%}"
+    )

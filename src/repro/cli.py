@@ -22,6 +22,10 @@
     posit-resiliency campaign list                 # registry index
     posit-resiliency campaign get <run-id> --json  # canonical run state
     posit-resiliency campaign cancel <run-id>      # cooperative cancel
+    posit-resiliency campaign submit ... --trace   # fleet-wide tracing on
+    posit-resiliency campaign top <run-dir-or-id>  # live per-worker fleet view
+    posit-resiliency campaign trace export <run>   # Chrome trace-event JSON
+    posit-resiliency campaign metrics <run> --format prometheus
     posit-resiliency telemetry report runs/nyx     # per-phase time breakdown
     posit-resiliency conformance run --level smoke # gate codecs + metrics
     posit-resiliency conformance bless             # refresh golden fixtures
@@ -201,6 +205,7 @@ def _cmd_campaign_run(args) -> int:
         progress=args.progress,
         resume=args.resume,
         telemetry=True if args.profile else None,
+        trace=True if args.trace else None,
         dataset={
             "kind": "preset",
             "field": args.field,
@@ -219,6 +224,7 @@ def _cmd_campaign_resume(args) -> int:
         args.run_dir, jobs=_campaign_jobs(args), executor=args.executor,
         progress=args.progress,
         telemetry=True if args.profile else None,
+        trace=True if args.trace else None,
     )
     field = result.label or "dataset"
     _print_campaign_result(result, field, result.target_name, args.out)
@@ -304,6 +310,7 @@ def _cmd_campaign_submit(args) -> int:
             data_seed=args.seed,
             label=args.label or args.field,
             project=args.project,
+            trace=args.trace,
         )
     except (ServiceError, KeyError, ValueError) as error:
         print(f"error: {error}", file=sys.stderr)
@@ -370,6 +377,8 @@ def _cmd_campaign_watch(args) -> int:
         until_done=args.until_done,
         timeout=args.timeout,
         poll_interval=args.poll_interval,
+        json_mode=args.json,
+        stall_after=args.stall_after,
     )
     if outcome == WATCH_CANCELLED:
         return 3
@@ -403,6 +412,8 @@ def _cmd_campaign_worker(args) -> int:
             poll_interval=args.poll_interval,
             max_claims=args.max_claims,
             max_idle_seconds=args.max_idle,
+            telemetry=True if args.profile else None,
+            trace=True if args.trace else None,
         )
     except (RunnerError, FileNotFoundError) as error:
         print(f"error: {error}", file=sys.stderr)
@@ -413,6 +424,89 @@ def _cmd_campaign_worker(args) -> int:
         + (" (finalized the run)" if result.finalized else "")
     )
     return 3 if result.status == "cancelled" else 0
+
+
+def _cmd_campaign_top(args) -> int:
+    from repro.service import campaign_top, fleet_snapshot
+
+    run_dir = _resolve_service_run_dir(args.run)
+    if args.json:
+        import json
+
+        snapshot = fleet_snapshot(
+            run_dir,
+            straggler_factor=args.straggler_factor,
+            stall_after=args.stall_after,
+        )
+        print(json.dumps(snapshot.to_json(), indent=2, sort_keys=True))
+        return 3 if snapshot.cancelled else 0
+    try:
+        return campaign_top(
+            run_dir,
+            refresh=args.refresh,
+            iterations=1 if args.once else None,
+            straggler_factor=args.straggler_factor,
+            stall_after=args.stall_after,
+        )
+    except KeyboardInterrupt:
+        print()
+        return 0
+
+
+def _cmd_campaign_trace_export(args) -> int:
+    from repro.telemetry import read_trace, write_chrome_trace
+
+    run_dir = _resolve_service_run_dir(args.run)
+    if not read_trace(run_dir):
+        print(
+            f"error: no trace records under {run_dir} "
+            "(run the campaign with --trace or REPRO_TRACE=1)",
+            file=sys.stderr,
+        )
+        return 1
+    out = write_chrome_trace(run_dir, out=args.out)
+    print(f"wrote {out} (load via chrome://tracing or https://ui.perfetto.dev)")
+    return 0
+
+
+def _cmd_campaign_metrics(args) -> int:
+    from repro.telemetry import (
+        aggregate_metrics,
+        read_metrics,
+        render_metrics_prometheus,
+    )
+
+    run_dir = _resolve_service_run_dir(args.run)
+    series = read_metrics(run_dir)
+    if not series:
+        print(
+            f"error: no metrics series under {run_dir} "
+            "(run the campaign with --trace or REPRO_TRACE=1)",
+            file=sys.stderr,
+        )
+        return 1
+    if args.format == "prometheus":
+        text = render_metrics_prometheus(series)
+    else:  # json
+        import json
+
+        text = json.dumps(
+            {
+                "schema": "repro.fleet-metrics/1",
+                "workers": series,
+                "run": aggregate_metrics(series),
+            },
+            indent=2,
+            sort_keys=True,
+        )
+    if args.out:
+        from pathlib import Path
+
+        Path(args.out).write_text(text if text.endswith("\n") else text + "\n")
+        print(f"wrote {args.out}")
+    else:
+        print(text)
+    return 0
 
 
 def _cmd_config_init(args) -> int:
@@ -646,6 +740,9 @@ def build_parser() -> argparse.ArgumentParser:
     pr.add_argument("--profile", action="store_true",
                     help="collect span/counter telemetry (writes "
                     "telemetry.json into --run-dir)")
+    pr.add_argument("--trace", action="store_true",
+                    help="distributed tracing: write trace spans and metrics "
+                    "time-series into --run-dir (trace/, metrics/)")
     pr.add_argument("--out", default=None, help="write trial CSV here")
     pr.set_defaults(func=_cmd_campaign_run)
 
@@ -666,6 +763,10 @@ def build_parser() -> argparse.ArgumentParser:
     pres.add_argument("--profile", action="store_true",
                       help="collect span/counter telemetry for the resumed "
                       "shards (writes telemetry.json into the run directory)")
+    pres.add_argument("--trace", action="store_true",
+                      help="distributed tracing for the resumed shards "
+                      "(also re-enabled automatically when the run was "
+                      "submitted with --trace)")
     pres.add_argument("--out", default=None, help="write trial CSV here")
     pres.set_defaults(func=_cmd_campaign_resume)
 
@@ -691,6 +792,9 @@ def build_parser() -> argparse.ArgumentParser:
     psub.add_argument("--label", default=None, help="free-text label (default: field)")
     psub.add_argument("--project", default="default",
                       help="registry project scope (default: 'default')")
+    psub.add_argument("--trace", action="store_true",
+                      help="record distributed tracing in the manifest so "
+                      "every worker writes trace spans + metrics series")
     psub.add_argument("--json", action="store_true",
                       help="emit the registry entry as JSON")
     psub.set_defaults(func=_cmd_campaign_submit)
@@ -721,6 +825,12 @@ def build_parser() -> argparse.ArgumentParser:
                     help=argparse.SUPPRESS)
     pw.add_argument("--no-follow", action="store_true",
                     help="print the feed so far and exit")
+    pw.add_argument("--json", action="store_true",
+                    help="one JSON object per line: raw events plus "
+                    "watch_throughput / watch_stall / watch_done records")
+    pw.add_argument("--stall-after", type=float, default=None,
+                    help="warn when no progress event lands for this many "
+                    "seconds (default: 30 with --until-done, else off)")
     pw.set_defaults(func=_cmd_campaign_watch)
 
     pcan = campaign_sub.add_parser(
@@ -748,6 +858,13 @@ def build_parser() -> argparse.ArgumentParser:
                      help="exit after computing this many shards")
     pwk.add_argument("--max-idle", type=float, default=None,
                      help="exit after this many seconds without progress")
+    pwk.add_argument("--profile", action="store_true",
+                     help="collect span/counter telemetry for this worker's "
+                     "shards (written beside the done records and merged "
+                     "into run-level reports)")
+    pwk.add_argument("--trace", action="store_true",
+                     help="distributed tracing for this worker (also enabled "
+                     "automatically when the run was submitted with --trace)")
     pwk.set_defaults(func=_cmd_campaign_worker)
 
     pvf = campaign_sub.add_parser(
@@ -756,6 +873,53 @@ def build_parser() -> argparse.ArgumentParser:
     )
     pvf.add_argument("run_dir", help="run directory with a manifest.json")
     pvf.set_defaults(func=_cmd_campaign_verify)
+
+    ptop = campaign_sub.add_parser(
+        "top",
+        help="live fleet view: per-worker throughput, leases, stragglers "
+        "(refreshes in place until the run completes)",
+    )
+    ptop.add_argument("run", help="registry run id or run directory path")
+    ptop.add_argument("--refresh", type=float, default=2.0,
+                      help="seconds between frames (default: 2)")
+    ptop.add_argument("--once", action="store_true",
+                      help="render one frame and exit")
+    ptop.add_argument("--json", action="store_true",
+                      help="emit one repro.fleet-snapshot/1 JSON document "
+                      "and exit (implies --once)")
+    ptop.add_argument("--straggler-factor", type=float, default=2.0,
+                      help="flag shards slower than this multiple of the "
+                      "median duration (and above p95; default: 2)")
+    ptop.add_argument("--stall-after", type=float, default=30.0,
+                      help="mark the run stalled after this many seconds "
+                      "without a progress event (default: 30)")
+    ptop.set_defaults(func=_cmd_campaign_top)
+
+    ptrace = campaign_sub.add_parser(
+        "trace", help="work with a traced run's span records"
+    )
+    trace_sub = ptrace.add_subparsers(dest="trace_command", required=True)
+    pte = trace_sub.add_parser(
+        "export",
+        help="fold trace/*.jsonl into one Chrome trace-event JSON file "
+        "(chrome://tracing / Perfetto)",
+    )
+    pte.add_argument("run", help="registry run id or run directory path")
+    pte.add_argument("--out", default=None,
+                     help="output path (default: <run-dir>/trace/chrome-trace.json)")
+    pte.set_defaults(func=_cmd_campaign_trace_export)
+
+    pmet = campaign_sub.add_parser(
+        "metrics",
+        help="fold metrics/*.jsonl time-series into run-level output",
+    )
+    pmet.add_argument("run", help="registry run id or run directory path")
+    pmet.add_argument("--format", choices=("json", "prometheus"), default="json",
+                      help="json: per-worker + aggregated series; prometheus: "
+                      "latest gauges as a textfile-collector exposition")
+    pmet.add_argument("--out", default=None,
+                      help="write here instead of stdout")
+    pmet.set_defaults(func=_cmd_campaign_metrics)
 
     p = sub.add_parser("telemetry", help="inspect a profiled run's telemetry")
     telemetry_sub = p.add_subparsers(dest="telemetry_command", required=True)

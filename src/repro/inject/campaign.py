@@ -168,6 +168,8 @@ def run_campaign(
     heartbeat_timeout: float | None = None,
     chaos=None,
     telemetry=None,
+    trace=None,
+    metrics_interval: float = 1.0,
 ) -> CampaignResult:
     """Run a full campaign (see module docstring for the flow).
 
@@ -224,6 +226,13 @@ def run_campaign(
         ``result.extras["telemetry"]``), ``False`` forces it off, and a
         :class:`repro.telemetry.Telemetry` instance aggregates across
         several runs.
+    trace:
+        Distributed tracing + time-series metrics control (see
+        :func:`repro.telemetry.resolve_trace`): ``None`` follows
+        ``REPRO_TRACE``, ``True`` makes every process of this run append
+        span records to ``<run_dir>/trace/`` and metric points to
+        ``<run_dir>/metrics/``.  Purely side-channel — shard CSVs are
+        byte-identical with tracing on or off.
     """
     from repro.runner import CampaignRunner
 
@@ -243,6 +252,8 @@ def run_campaign(
         heartbeat_timeout=heartbeat_timeout,
         chaos=chaos,
         telemetry=telemetry,
+        trace=trace,
+        metrics_interval=metrics_interval,
     )
     return runner.run(resume=resume)
 

@@ -74,6 +74,10 @@ class RunnerEvent:
         ``elapsed * jobs`` (1.0 == perfectly busy workers).
     error:
         Stringified exception for ``shard_error`` / ``shard_retry``.
+    trace_id:
+        The run's distributed-trace id when tracing is enabled (joins
+        events to the span records under ``<run_dir>/trace/``); None —
+        and absent from the JSON line — on untraced runs.
     """
 
     kind: str
@@ -89,6 +93,7 @@ class RunnerEvent:
     eta_seconds: float | None = None
     utilization: float | None = None
     error: str | None = None
+    trace_id: str | None = None
     detail: dict = field(default_factory=dict)
 
     def to_json(self) -> dict:

@@ -117,6 +117,11 @@ class ExecutionContext:
     def telemetry(self):
         return self._runner.telemetry
 
+    @property
+    def trace_enabled(self) -> bool:
+        """Whether this run is writing distributed-trace spans."""
+        return self._runner._tracer is not None
+
     # -- actions ------------------------------------------------------------
 
     def compute(self, spec):
@@ -396,7 +401,8 @@ class PoolExecutor(Executor):
 
 
 def _work_stealing_child(run_dir, stored, target_spec, baseline, lease_timeout,
-                         poll_interval, chaos) -> None:
+                         poll_interval, chaos, telemetry_enabled=False,
+                         trace_enabled=False) -> None:
     """Entry point of a forked in-run work-stealing worker.
 
     The dataset arrives by fork copy-on-write (never pickled); the
@@ -404,7 +410,10 @@ def _work_stealing_child(run_dir, stored, target_spec, baseline, lease_timeout,
     and the inherited telemetry collector are reset exactly like
     :func:`repro.inject.parallel._init_worker` — the fork copied the
     parent's checkpointing SIGTERM handler and active collector, and
-    neither belongs in a child.
+    neither belongs in a child.  When the parent profiles/traces, the
+    child gets its *own* collector (its snapshot lands beside its done
+    records for the merge-at-read path, never double-counted into the
+    parent's) and its own trace/metrics files.
     """
     from repro.runner.worker import ShardWorker
     from repro.telemetry import DISABLED
@@ -422,6 +431,8 @@ def _work_stealing_child(run_dir, stored, target_spec, baseline, lease_timeout,
             poll_interval=poll_interval,
             chaos=chaos,
             finalize=False,
+            telemetry=bool(telemetry_enabled),
+            trace=bool(trace_enabled),
         ).run()
     except Exception:
         # The child is expendable: the coordinator steals its leases and
@@ -477,7 +488,8 @@ class WorkStealingExecutor(Executor):
             context.Process(
                 target=_work_stealing_child,
                 args=(run_dir, ctx.stored, ctx.target.name, ctx.baseline,
-                      self.lease_timeout, self.poll_interval, ctx.chaos),
+                      self.lease_timeout, self.poll_interval, ctx.chaos,
+                      ctx.telemetry.enabled, ctx.trace_enabled),
                 daemon=True,
             )
             for _ in range(max(workers - 1, 0))
@@ -508,6 +520,24 @@ class WorkStealingExecutor(Executor):
                                       lease_timeout=self.lease_timeout)
                     if lease is None:
                         continue  # another worker holds it; revisit next sweep
+                    # Re-check done records *after* claiming, exactly like
+                    # ShardWorker: the sweep-start read goes stale while
+                    # earlier bits in this sweep compute, and a cooperating
+                    # worker may have finished (and released) this bit in
+                    # the meantime.  Done records are written before lease
+                    # release, so a post-claim re-check is race-free —
+                    # without it the coordinator silently recomputes
+                    # already-finished shards (bit-identical, but wasted
+                    # work that breaks N-worker telemetry counter identity).
+                    record = read_done_records(run_dir).get(bit)
+                    if record is not None:
+                        lease.release()
+                        if record.get("worker") != worker_id:
+                            ctx.adopt(spec, record)
+                            ctx.telemetry.count("runner.shards_adopted")
+                        remaining.pop(bit)
+                        progressed = True
+                        continue
                     progressed = True
                     ctx.telemetry.count("runner.leases_claimed")
                     detail = {"worker": worker_id}

@@ -160,6 +160,12 @@ class RunManifest:
     #: part of the identity: a run may be submitted for work-stealing
     #: workers and later finished by a serial resume, or vice versa.
     executor: str | None = None
+    #: Whether the run was submitted with distributed tracing on.  Like
+    #: ``executor``, excluded from the identity — it changes only what
+    #: side-channel files workers write, never the shard CSV bytes —
+    #: but recorded so late-joining standalone workers follow the run's
+    #: choice without needing ``REPRO_TRACE`` set on every machine.
+    trace: bool = False
     code_version: str = repro.__version__
     created_at: float = 0.0
     version: int = MANIFEST_VERSION
@@ -211,6 +217,7 @@ class RunManifest:
             "manifest_version": self.version,
             "status": self.status,
             "executor": self.executor,
+            "trace": self.trace,
             "created_at": self.created_at,
             "code_version": self.code_version,
             "target_spec": self.target_spec,
@@ -244,6 +251,7 @@ class RunManifest:
             dataset=data.get("source"),
             status=payload.get("status", RUN_RUNNING),
             executor=payload.get("executor"),
+            trace=bool(payload.get("trace", False)),
             code_version=payload.get("code_version", "unknown"),
             created_at=float(payload.get("created_at", 0.0)),
             version=int(payload.get("manifest_version", MANIFEST_VERSION)),

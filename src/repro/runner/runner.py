@@ -54,7 +54,12 @@ from repro.runner.events import (
     dispatch_event,
 )
 from repro.runner.executors import ExecutionContext, resolve_executor
-from repro.runner.leases import active_leases, cancel_requested, read_done_records
+from repro.runner.leases import (
+    active_leases,
+    cancel_requested,
+    default_worker_id,
+    read_done_records,
+)
 from repro.runner.manifest import (
     RUN_COMPLETED,
     RUN_INTERRUPTED,
@@ -70,10 +75,15 @@ from repro.runner.manifest import (
     shard_checksum,
 )
 from repro.telemetry import (
+    MetricsSampler,
+    MetricsWriter,
     TelemetrySnapshot,
+    TraceContext,
+    TraceWriter,
     format_duration,
     load_run_snapshot,
     resolve_collector,
+    resolve_trace,
     telemetry_path,
     telemetry_scope,
     write_snapshot,
@@ -238,6 +248,18 @@ class CampaignRunner:
         runs.  When enabled, the merged snapshot is written to
         ``<run_dir>/telemetry.json`` and attached to
         ``result.extras["telemetry"]``.
+    trace:
+        Distributed tracing + time-series metrics control
+        (:func:`repro.telemetry.resolve_trace`): ``None`` follows
+        ``REPRO_TRACE`` (then the manifest's recorded flag on resume),
+        booleans force it.  When enabled — and the run has a directory —
+        this process appends causally-parented span records to
+        ``<run_dir>/trace/<worker>.jsonl`` and a sampler thread appends
+        throughput/RSS/lease points to ``<run_dir>/metrics/<worker>.jsonl``.
+        Tracing never touches shard computation: CSVs stay byte-identical
+        with it on or off.
+    metrics_interval:
+        Seconds between time-series sample points (default 1.0).
     """
 
     def __init__(
@@ -259,6 +281,8 @@ class CampaignRunner:
         heartbeat_timeout: float | None = None,
         chaos=None,
         telemetry=None,
+        trace=None,
+        metrics_interval: float = 1.0,
     ):
         from repro.inject.parallel import validate_jobs
 
@@ -282,6 +306,11 @@ class CampaignRunner:
         self.chaos = chaos
         self.telemetry = resolve_collector(telemetry)
         self.telemetry_snapshot: TelemetrySnapshot | None = None
+        # Remember whether tracing was an explicit choice: a None
+        # argument lets a resumed run follow its manifest's flag.
+        self._trace_arg = trace
+        self.trace_enabled = resolve_trace(trace)
+        self.metrics_interval = float(metrics_interval)
 
         self._flat = np.asarray(data).reshape(-1)
         if self._flat.size == 0:
@@ -313,6 +342,8 @@ class CampaignRunner:
         self._retry_count = 0
         self._hung_count = 0
         self._quarantined: list[dict] = []
+        self._trace_ctx: TraceContext | None = None
+        self._tracer: TraceWriter | None = None
 
     # -- planning -----------------------------------------------------------
 
@@ -376,6 +407,36 @@ class CampaignRunner:
         if self._manifest is not None and self._manifest.executor != executor.name:
             self._manifest.executor = executor.name
             self._manifest.write(self.run_dir)
+
+        # Fleet observability: when tracing is on (explicitly, via
+        # REPRO_TRACE, or recorded in a resumed manifest) this process
+        # becomes one trace/metrics writer among the run's workers.
+        # Strictly side-channel — shard computation never sees it.
+        trace_on = self.trace_enabled
+        if not trace_on and self._trace_arg is None and self._manifest is not None:
+            trace_on = self._manifest.trace
+        sampler = None
+        wall_start = time.time()
+        self._trace_ctx = None
+        self._tracer = None
+        if trace_on and self.run_dir is not None and self._manifest is not None:
+            if not self._manifest.trace:
+                self._manifest.trace = True
+                self._manifest.write(self.run_dir)
+            # Match the lease identity the work-stealing coordinator
+            # claims under, so `campaign top` sees one worker, not two.
+            worker = default_worker_id()
+            if executor.name == "work-stealing":
+                worker += "-coord"
+            self._trace_ctx = TraceContext.for_run(
+                self._manifest.identity(), self.run_dir, worker=worker
+            )
+            self._tracer = TraceWriter(self.run_dir, self._trace_ctx)
+            sampler = MetricsSampler(
+                MetricsWriter(self.run_dir, self._trace_ctx.worker),
+                self._sample_metrics,
+                interval=self.metrics_interval,
+            ).start()
 
         # Treat a scheduler's SIGTERM like Ctrl-C: checkpoint, flush,
         # announce, re-raise.  Signal handlers only install from the main
@@ -464,6 +525,34 @@ class CampaignRunner:
         finally:
             if sigterm_installed:
                 signal.signal(signal.SIGTERM, previous_sigterm or signal.SIG_DFL)
+            if sampler is not None:
+                sampler.stop()
+            if self._tracer is not None:
+                ctx = self._trace_ctx
+                wall_end = time.time()
+                self._tracer.emit(
+                    f"worker {ctx.worker}",
+                    ts=wall_start,
+                    duration=wall_end - wall_start,
+                    span_id=ctx.worker_span_id,
+                    parent_id=ctx.run_span_id,
+                    category="worker",
+                    args={"role": "coordinator", "jobs": self._effective_jobs},
+                )
+                self._tracer.emit(
+                    "run",
+                    ts=wall_start,
+                    duration=wall_end - wall_start,
+                    span_id=ctx.run_span_id,
+                    category="run",
+                    args={
+                        "target": self.target.name,
+                        "executor": executor.name,
+                        "shards_done": self._shards_done,
+                    },
+                )
+                self._tracer.close()
+                self._tracer = None
             close_hooks(owned_hooks)
 
     def resume(self) -> CampaignResult:
@@ -578,6 +667,30 @@ class CampaignRunner:
                 continue
             self._completed[bit] = records
 
+    def _sample_metrics(self) -> dict:
+        """One time-series point for this process (the sampler callable)."""
+        elapsed = max(time.monotonic() - self._started, 1e-9)
+        point = {
+            "trials_done": self._trials_done,
+            "shards_done": self._shards_done,
+            "jobs": self._effective_jobs,
+            "utilization": round(
+                min(self._busy_time / (elapsed * self._effective_jobs), 1.0), 4
+            ),
+        }
+        if self.run_dir is not None:
+            try:
+                point["leases_active"] = len(active_leases(self.run_dir))
+            except OSError:
+                pass
+        if self.telemetry.enabled:
+            phases = self.telemetry.snapshot().phase_seconds()
+            if phases:
+                point["phase_seconds"] = {
+                    name: round(seconds, 6) for name, seconds in phases.items()
+                }
+        return point
+
     def _snapshot_telemetry(self) -> TelemetrySnapshot | None:
         """Freeze the collector; persist it when the run has a directory."""
         if not self.telemetry.enabled:
@@ -635,6 +748,17 @@ class CampaignRunner:
         self._busy_time += duration
         self._trials_done += spec.trials
         self._shards_done += 1
+        if self._tracer is not None:
+            # Serial shards (and pool shards, whose anonymous workers
+            # can't write their own files) land in the coordinator's
+            # trace lane; start time is reconstructed from the duration.
+            self._tracer.shard_span(
+                bit=spec.bit,
+                attempt=attempts - 1,
+                ts=time.time() - duration,
+                duration=duration,
+                args={"trials": spec.trials},
+            )
         self._emit(hooks, "shard_finish", bit=spec.bit, attempt=attempts - 1,
                    shards_total=shards_total, trials_total=trials_total,
                    detail={"duration": round(duration, 6)})
@@ -722,9 +846,16 @@ class CampaignRunner:
         manifest = self._fresh_manifest(shards)
         manifest.status = RUN_SUBMITTED
         manifest.executor = "work-stealing"
+        # Stamp the submitter's tracing choice so every standalone
+        # worker that later claims shards follows it automatically.
+        manifest.trace = self.trace_enabled
         manifest.write(self.run_dir)
         self._manifest = manifest
         self._started = time.monotonic()
+        if self.trace_enabled:
+            self._trace_ctx = TraceContext.for_run(
+                manifest.identity(), self.run_dir, worker=default_worker_id()
+            )
         with EventLogWriter(RunManifest.event_log_path(self.run_dir)) as log:
             self._emit([log, *self.hooks], "run_submitted",
                        shards_total=len(shards),
@@ -761,6 +892,7 @@ class CampaignRunner:
             eta_seconds=round(eta, 3) if eta is not None else None,
             utilization=round(utilization, 4) if utilization is not None else None,
             error=error,
+            trace_id=self._trace_ctx.trace_id if self._trace_ctx else None,
             detail=detail or {},
         )
         for hook in hooks:

@@ -55,6 +55,16 @@ from repro.runner.manifest import (
     SHARD_COMPLETED,
     RunManifest,
 )
+from repro.telemetry import (
+    MetricsSampler,
+    MetricsWriter,
+    TraceContext,
+    TraceWriter,
+    resolve_collector,
+    resolve_trace,
+    telemetry_scope,
+    write_worker_snapshot,
+)
 
 
 @dataclass(frozen=True)
@@ -77,6 +87,14 @@ def persist_shard_file(run_dir, bit: int, records: TrialRecords) -> str:
     that (pathologically) compute the same shard from clobbering each
     other's temp files — and since shards are bit-identical, whichever
     rename lands last leaves the same bytes.
+
+    After landing, any *other* temp file for this shard is swept: a
+    worker SIGKILLed mid-write leaves its ``.tmp-<pid>`` behind, and the
+    stealer that recomputes the shard is the natural janitor (``verify``
+    flags unexplained files, so orphans must not linger).  Should the
+    swept temp belong to a live concurrent writer instead, that writer's
+    own rename finds the temp gone but the shard file present with the
+    identical deterministic bytes — which it treats as success.
     """
     path = RunManifest.shard_path(run_dir, bit)
     path.parent.mkdir(parents=True, exist_ok=True)
@@ -84,7 +102,16 @@ def persist_shard_file(run_dir, bit: int, records: TrialRecords) -> str:
     digest = hashlib.sha256(payload).hexdigest()
     tmp = path.with_name(path.name + f".tmp-{os.getpid()}")
     tmp.write_bytes(payload)
-    os.replace(tmp, path)
+    try:
+        os.replace(tmp, path)
+    except FileNotFoundError:
+        if not path.is_file():
+            raise  # temp vanished and nobody landed the shard: real loss
+    for stale in path.parent.glob(path.name + ".tmp-*"):
+        try:
+            stale.unlink()
+        except OSError:
+            pass
     return digest
 
 
@@ -157,6 +184,20 @@ class ShardWorker:
         children pass False — their coordinator owns the manifest.
     hooks:
         Optional extra event consumers (beyond the events.jsonl append).
+    telemetry:
+        Profiling control (:func:`repro.telemetry.resolve_collector`).
+        When enabled, this worker's snapshot is written to
+        ``telemetry-workers/<worker>.json`` beside its done records on
+        exit, where ``load_run_snapshot`` / ``telemetry report`` merge
+        it with every other worker's — restoring the jobs=1 ≡ N-worker
+        counter identity for distributed runs.
+    trace:
+        Distributed tracing + metrics control: ``None`` follows
+        ``REPRO_TRACE`` and then the manifest's recorded flag (so a
+        ``campaign submit --trace`` run is traced by every worker that
+        joins it), booleans force it.
+    metrics_interval:
+        Seconds between time-series sample points (default 1.0).
     """
 
     def __init__(
@@ -176,6 +217,9 @@ class ShardWorker:
         chaos=None,
         finalize: bool = True,
         hooks=None,
+        telemetry=None,
+        trace=None,
+        metrics_interval: float = 1.0,
     ):
         if lease_timeout <= 0:
             raise ValueError(f"lease_timeout must be positive, got {lease_timeout}")
@@ -199,6 +243,13 @@ class ShardWorker:
         self._baseline = baseline
         self._failed: set[int] = set()
         self._started = 0.0
+        self.telemetry = resolve_collector(telemetry)
+        self._trace_arg = trace
+        self.metrics_interval = float(metrics_interval)
+        self._trace_ctx: TraceContext | None = None
+        self._tracer: TraceWriter | None = None
+        self._my_claims = 0
+        self._my_trials = 0
 
     # -- setup --------------------------------------------------------------
 
@@ -246,6 +297,7 @@ class ShardWorker:
             trials_done=trials_done,
             trials_total=trials_total,
             error=error,
+            trace_id=self._trace_ctx.trace_id if self._trace_ctx else None,
             detail=detail,
         )
         for hook in [log, *self.hooks]:
@@ -254,9 +306,80 @@ class ShardWorker:
     # -- the loop -----------------------------------------------------------
 
     def run(self) -> WorkerResult:
-        """Claim, compute, and record shards until the run is done."""
+        """Claim, compute, and record shards until the run is done.
+
+        Observability wraps — never alters — the claim loop: the
+        worker's own telemetry collector is scoped around it, its
+        snapshot lands beside the done records on exit, and when the run
+        is traced this worker appends spans and time-series points to
+        its own files under ``trace/`` and ``metrics/``.
+        """
         self._started = time.monotonic()
-        manifest, seeds = self._load()
+        wall_start = time.time()
+        sampler = None
+        result: WorkerResult | None = None
+        try:
+            with telemetry_scope(self.telemetry):
+                manifest, seeds = self._load()
+                trace_on = resolve_trace(self._trace_arg) or (
+                    self._trace_arg is None and manifest.trace
+                )
+                if trace_on:
+                    self._trace_ctx = TraceContext.for_run(
+                        manifest.identity(), self.run_dir, worker=self.worker_id
+                    )
+                    self._tracer = TraceWriter(self.run_dir, self._trace_ctx)
+                    sampler = MetricsSampler(
+                        MetricsWriter(self.run_dir, self.worker_id),
+                        self._sample_metrics,
+                        interval=self.metrics_interval,
+                    ).start()
+                result = self._run_loop(manifest, seeds)
+                return result
+        finally:
+            if sampler is not None:
+                sampler.stop()
+            if self.telemetry.enabled:
+                snapshot = self.telemetry.snapshot()
+                if not snapshot.empty:
+                    write_worker_snapshot(snapshot, self.run_dir, self.worker_id)
+            if self._tracer is not None:
+                ctx = self._trace_ctx
+                self._tracer.emit(
+                    f"worker {ctx.worker}",
+                    ts=wall_start,
+                    duration=time.time() - wall_start,
+                    span_id=ctx.worker_span_id,
+                    parent_id=ctx.run_span_id,
+                    category="worker",
+                    args={
+                        "role": "standalone" if self.finalize else "forked",
+                        "claims": result.claims if result else self._my_claims,
+                        "status": result.status if result else "error",
+                    },
+                )
+                self._tracer.close()
+                self._tracer = None
+
+    def _sample_metrics(self) -> dict:
+        """One time-series point for this worker (the sampler callable)."""
+        point = {
+            "trials_done": self._my_trials,
+            "shards_done": self._my_claims,
+        }
+        try:
+            point["leases_active"] = len(active_leases(self.run_dir))
+        except OSError:
+            pass
+        if self.telemetry.enabled:
+            phases = self.telemetry.snapshot().phase_seconds()
+            if phases:
+                point["phase_seconds"] = {
+                    name: round(seconds, 6) for name, seconds in phases.items()
+                }
+        return point
+
+    def _run_loop(self, manifest: RunManifest, seeds: dict) -> WorkerResult:
         shards_total = len(manifest.shards)
         trials_total = manifest.trials_total
         already = set(manifest.completed_bits())
@@ -387,6 +510,16 @@ class ShardWorker:
                 trials=len(records), duration=duration, attempts=attempts,
                 checksum=checksum, worker=self.worker_id,
             )
+            self._my_claims += 1
+            self._my_trials += len(records)
+            if self._tracer is not None:
+                self._tracer.shard_span(
+                    bit=bit,
+                    attempt=attempts - 1,
+                    ts=time.time() - duration,
+                    duration=duration,
+                    args={"trials": len(records)},
+                )
             self._emit(log, "shard_finish", bit=bit,
                        detail={"duration": round(duration, 6)},
                        **{**counts, "shards_done": counts["shards_done"] + 1,

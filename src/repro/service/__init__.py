@@ -8,7 +8,9 @@ under one home directory (``$REPRO_HOME`` or ``~/.repro``):
   the ``campaign submit/list/get/cancel`` CLI verbs, plus the canonical
   ``repro.run-status/1`` JSON payload;
 - :mod:`repro.service.watch` — the streamable event feed behind
-  ``campaign watch``.
+  ``campaign watch``, with fleet throughput and stall detection;
+- :mod:`repro.service.top` — the refresh-in-place fleet view behind
+  ``campaign top``: per-worker throughput, lease state, stragglers.
 
 Execution stays entirely in :mod:`repro.runner`: a registered run is an
 ordinary run directory that work-stealing ``campaign worker`` processes
@@ -32,17 +34,21 @@ from repro.service.registry import (
     ServiceError,
     run_status_payload,
 )
+from repro.service.top import FleetSnapshot, campaign_top, fleet_snapshot, render_top
 from repro.service.watch import (
     WATCH_CANCELLED,
     WATCH_DONE,
     WATCH_EOF,
     WATCH_IDLE,
+    detect_stall,
     format_event,
+    throughput_from_events,
     watch_run,
 )
 
 __all__ = [
     "CONFIG_NAME",
+    "FleetSnapshot",
     "HOME_ENV",
     "RunEntry",
     "RunRegistry",
@@ -53,10 +59,15 @@ __all__ = [
     "WATCH_DONE",
     "WATCH_EOF",
     "WATCH_IDLE",
+    "campaign_top",
+    "detect_stall",
+    "fleet_snapshot",
     "format_event",
     "init_config",
     "load_config",
+    "render_top",
     "repro_home",
     "run_status_payload",
+    "throughput_from_events",
     "watch_run",
 ]

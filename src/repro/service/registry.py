@@ -124,12 +124,17 @@ class RunRegistry:
         data_seed: int = 777,
         label: str = "",
         project: str = "default",
+        trace: bool = False,
     ) -> RunEntry:
         """Register and submit a campaign without executing any shard.
 
         The dataset is a registry preset regenerated (and fingerprint-
         checked) by every worker from the manifest's provenance record —
         the submitting machine never ships arrays to the workers.
+
+        ``trace`` records distributed tracing in the manifest, so every
+        worker that later claims shards writes trace spans and metrics
+        time-series without needing ``REPRO_TRACE`` set on its machine.
         """
         from repro.datasets.registry import get as get_preset
         from repro.inject.campaign import CampaignConfig
@@ -160,6 +165,7 @@ class RunRegistry:
                 "seed": int(data_seed),
                 "size": int(size),
             },
+            trace=True if trace else None,
         )
         runner.submit()
 

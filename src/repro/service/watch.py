@@ -16,6 +16,7 @@ seconds, or immediately after one pass when ``follow=False``.
 
 from __future__ import annotations
 
+import json
 import os
 import sys
 import time
@@ -30,6 +31,110 @@ WATCH_DONE = "done"  # run completed
 WATCH_CANCELLED = "cancelled"  # CANCELLED sentinel appeared
 WATCH_IDLE = "idle"  # no new events within the timeout
 WATCH_EOF = "eof"  # single pass finished (follow=False)
+
+#: Event kinds that count as forward progress for stall detection.
+PROGRESS_KINDS = frozenset(
+    {
+        "run_submitted",
+        "run_start",
+        "worker_start",
+        "shard_start",
+        "shard_claimed",
+        "shard_finish",
+        "shard_adopted",
+        "shard_skipped",
+        "run_finish",
+    }
+)
+
+
+def throughput_from_events(
+    events: list[dict], *, window: float = 120.0, now: float | None = None
+) -> dict:
+    """Derive fleet throughput from an event stream.
+
+    Events interleave from many writers (coordinator + workers), each
+    carrying its own view of the monotone progress counters, so the
+    stream-wide value of each counter is its maximum.  The rate comes
+    from the ``(ts, trials_done)`` slope over the trailing ``window``
+    seconds of events — recent enough to track a changing fleet, long
+    enough to smooth shard granularity — and the ETA projects the
+    remaining trials at that rate.  Active workers count
+    ``worker_start`` minus ``worker_exit`` identities when the run has
+    standalone workers, else the coordinator's reported ``jobs``.
+    """
+    stamped = [e for e in events if isinstance(e.get("ts"), (int, float))]
+    summary = {
+        "trials_done": 0,
+        "trials_total": 0,
+        "shards_done": 0,
+        "shards_total": 0,
+        "trials_per_sec": None,
+        "eta_seconds": None,
+        "active_workers": 0,
+        "last_event_age": None,
+    }
+    if not stamped:
+        return summary
+    for key in ("trials_done", "trials_total", "shards_done", "shards_total"):
+        summary[key] = max(int(e.get(key) or 0) for e in stamped)
+    last_ts = max(float(e["ts"]) for e in stamped)
+    if now is not None:
+        summary["last_event_age"] = round(max(now - last_ts, 0.0), 3)
+
+    started: set[str] = set()
+    exited: set[str] = set()
+    for event in stamped:
+        worker = (event.get("detail") or {}).get("worker")
+        if not worker:
+            continue
+        if event.get("kind") == "worker_start":
+            started.add(worker)
+        elif event.get("kind") == "worker_exit":
+            exited.add(worker)
+    if started:
+        summary["active_workers"] = len(started - exited)
+    else:
+        summary["active_workers"] = max(int(e.get("jobs") or 1) for e in stamped)
+
+    points = sorted({(float(e["ts"]), int(e.get("trials_done") or 0)) for e in stamped})
+    end_ts, end_done = points[-1][0], summary["trials_done"]
+    in_window = [p for p in points if p[0] >= end_ts - window]
+    start_ts, start_done = in_window[0] if in_window else points[0]
+    if end_ts > start_ts and end_done > start_done:
+        rate = (end_done - start_done) / (end_ts - start_ts)
+        summary["trials_per_sec"] = round(rate, 3)
+        remaining = summary["trials_total"] - end_done
+        if remaining > 0:
+            summary["eta_seconds"] = round(remaining / rate, 3)
+        elif summary["trials_total"]:
+            summary["eta_seconds"] = 0.0
+    return summary
+
+
+def detect_stall(
+    events: list[dict], *, stall_after: float = 30.0, now: float | None = None
+) -> tuple[bool, float]:
+    """``(stalled, quiet_seconds)``: has forward progress flatlined?
+
+    A run is stalled when its newest progress-class event (see
+    :data:`PROGRESS_KINDS`) is older than ``stall_after`` seconds and no
+    terminal event has been written.  Finished or interrupted runs never
+    count as stalled — quiet is their normal state.
+    """
+    now = now if now is not None else time.time()
+    for event in reversed(events):
+        if event.get("kind") in ("run_finish", "run_interrupted"):
+            return False, 0.0
+    stamps = [
+        float(e["ts"])
+        for e in events
+        if e.get("kind") in PROGRESS_KINDS and isinstance(e.get("ts"), (int, float))
+    ]
+    if not stamps:
+        return False, 0.0
+    quiet = max(now - max(stamps), 0.0)
+    return quiet > stall_after, round(quiet, 3)
 
 
 def format_event(event: dict) -> str:
@@ -57,26 +162,81 @@ def watch_run(
     timeout: float | None = None,
     poll_interval: float = 0.25,
     stream=None,
+    json_mode: bool = False,
+    stall_after: float | None = None,
 ) -> str:
     """Stream a run's event feed; returns one of the ``WATCH_*`` statuses.
 
     ``until_done`` keeps following (ignoring event-log quiet spells)
     until the run completes or is cancelled — with ``timeout`` as the
     hard cap on *total* silence, so a watch over a dead run still ends.
+
+    Every batch of new events is followed by a throughput summary
+    (trials/s, ETA, active workers — :func:`throughput_from_events`);
+    when progress flatlines past ``stall_after`` seconds (default: 30
+    for ``until_done`` watches, off otherwise) a stall warning fires
+    once per quiet spell (:func:`detect_stall`).  ``json_mode`` replaces
+    every human line with one JSON object per line: raw events
+    verbatim, plus ``{"kind": "watch_throughput" | "watch_stall" |
+    "watch_done" | "watch_cancelled" | "watch_idle", ...}`` records.
     """
     directory = Path(run_dir)
     log_path = RunManifest.event_log_path(directory)
     out = stream if stream is not None else sys.stdout
     shown = 0
     last_news = time.monotonic()
+    if stall_after is None and until_done:
+        stall_after = 30.0
+    stall_warned = False
+
+    def emit_meta(kind: str, text: str, **payload) -> None:
+        if json_mode:
+            print(json.dumps({"kind": kind, **payload}, sort_keys=True), file=out)
+        else:
+            print(text, file=out)
+
+    def emit_throughput(events: list[dict]) -> None:
+        summary = throughput_from_events(events, now=time.time())
+        if json_mode:
+            print(
+                json.dumps({"kind": "watch_throughput", **summary}, sort_keys=True),
+                file=out,
+            )
+            return
+        parts = [
+            f"trials {summary['trials_done']}/{summary['trials_total']}",
+            f"{summary['active_workers']} worker(s)",
+        ]
+        if summary["trials_per_sec"] is not None:
+            parts.insert(0, f"{summary['trials_per_sec']:,.1f} trials/s")
+        if summary["eta_seconds"] is not None:
+            parts.append(f"ETA {summary['eta_seconds']:.0f}s")
+        print("[watch] " + " · ".join(parts), file=out)
 
     while True:
         events = read_event_log(log_path) if log_path.is_file() else []
         if len(events) > shown:
             for event in events[shown:]:
-                print(format_event(event), file=out)
+                if json_mode:
+                    print(json.dumps(event, sort_keys=True), file=out)
+                else:
+                    print(format_event(event), file=out)
+            if any(e.get("kind") in PROGRESS_KINDS for e in events[shown:]):
+                emit_throughput(events)
+                stall_warned = False
             shown = len(events)
             last_news = time.monotonic()
+        elif stall_after is not None and not stall_warned:
+            stalled, quiet = detect_stall(events, stall_after=stall_after)
+            if stalled:
+                stall_warned = True
+                emit_meta(
+                    "watch_stall",
+                    f"[watch] WARNING: throughput flatlined — no progress "
+                    f"for {quiet:.0f}s",
+                    quiet_seconds=quiet,
+                    stall_after=stall_after,
+                )
 
         manifest_done = False
         manifest_path = directory / "manifest.json"
@@ -86,17 +246,25 @@ def watch_run(
             except Exception:
                 manifest_done = False  # racing an atomic rewrite; retry next poll
         if manifest_done and shown == len(events):
-            print(f"[watch] run completed ({shown} event(s))", file=out)
+            emit_meta(
+                "watch_done",
+                f"[watch] run completed ({shown} event(s))",
+                events=shown,
+            )
             return WATCH_DONE
         if cancel_requested(directory):
-            print("[watch] run cancelled", file=out)
+            emit_meta("watch_cancelled", "[watch] run cancelled")
             return WATCH_CANCELLED
 
         if not follow:
             return WATCH_EOF
         quiet = time.monotonic() - last_news
         if timeout is not None and quiet > timeout:
-            print(f"[watch] no events for {quiet:.1f}s; giving up", file=out)
+            emit_meta(
+                "watch_idle",
+                f"[watch] no events for {quiet:.1f}s; giving up",
+                quiet_seconds=round(quiet, 3),
+            )
             return WATCH_IDLE
         if not until_done and timeout is None and quiet > 10 * poll_interval:
             # Plain `watch` without --until-done follows while events are

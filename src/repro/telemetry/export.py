@@ -19,9 +19,22 @@ from repro.telemetry.core import TelemetrySnapshot
 #: File name the runner writes inside a run directory.
 TELEMETRY_FILE_NAME = "telemetry.json"
 
+#: Directory holding per-worker snapshots from standalone / forked
+#: work-stealing workers (one file per worker, merged at read time).
+WORKER_TELEMETRY_DIR_NAME = "telemetry-workers"
+
 
 def telemetry_path(run_dir: str | os.PathLike) -> Path:
     return Path(run_dir) / TELEMETRY_FILE_NAME
+
+
+def worker_telemetry_dir(run_dir: str | os.PathLike) -> Path:
+    return Path(run_dir) / WORKER_TELEMETRY_DIR_NAME
+
+
+def worker_telemetry_path(run_dir: str | os.PathLike, worker: str) -> Path:
+    slug = "".join(ch if (ch.isalnum() or ch in "._-") else "-" for ch in str(worker))
+    return worker_telemetry_dir(run_dir) / f"{slug or 'worker'}.json"
 
 
 def write_snapshot(snapshot: TelemetrySnapshot, path: str | os.PathLike) -> Path:
@@ -39,12 +52,55 @@ def load_snapshot(path: str | os.PathLike) -> TelemetrySnapshot:
     return TelemetrySnapshot.from_json(json.loads(Path(path).read_text()))
 
 
+def write_worker_snapshot(
+    snapshot: TelemetrySnapshot, run_dir: str | os.PathLike, worker: str
+) -> Path:
+    """Persist one worker's snapshot beside the run's done records.
+
+    Standalone ``campaign worker`` processes (and forked work-stealing
+    children) each write their own file; nothing merges on the write
+    path, so crash-looped workers simply overwrite their previous file
+    and the merged view stays idempotent.
+    """
+    return write_snapshot(snapshot, worker_telemetry_path(run_dir, worker))
+
+
+def load_worker_snapshots(
+    run_dir: str | os.PathLike,
+) -> dict[str, TelemetrySnapshot]:
+    """Per-worker snapshots written by :func:`write_worker_snapshot`."""
+    directory = worker_telemetry_dir(run_dir)
+    if not directory.is_dir():
+        return {}
+    out: dict[str, TelemetrySnapshot] = {}
+    for path in sorted(directory.glob("*.json")):
+        try:
+            out[path.stem] = load_snapshot(path)
+        except (OSError, ValueError, KeyError):
+            continue
+    return out
+
+
 def load_run_snapshot(run_dir: str | os.PathLike) -> TelemetrySnapshot | None:
-    """The run directory's snapshot, or None when never profiled."""
+    """The run's merged snapshot, or None when never profiled.
+
+    Merges the coordinator's ``telemetry.json`` (serial/pool runs, and
+    the in-run work the coordinator did itself) with every per-worker
+    file under ``telemetry-workers/``.  Merging happens at read time —
+    snapshot merge is associative, so the result is independent of how
+    many workers the run was split across (the jobs=1 ≡ jobs=N
+    identity the telemetry tests assert).
+    """
+    merged = TelemetrySnapshot()
+    found = False
     path = telemetry_path(run_dir)
-    if not path.is_file():
-        return None
-    return load_snapshot(path)
+    if path.is_file():
+        merged.merge(load_snapshot(path))
+        found = True
+    for snapshot in load_worker_snapshots(run_dir).values():
+        merged.merge(snapshot)
+        found = True
+    return merged if found else None
 
 
 def _metric_name(name: str) -> str:

@@ -1,0 +1,316 @@
+"""Run-directory time-series metrics: per-worker samplers + aggregation.
+
+Tracing (``trace.py``) answers *where one shard's time went*; the
+time-series layer answers *how the fleet is doing right now*.  Each
+worker runs a :class:`MetricsSampler` — a daemon thread that appends a
+point every ``interval`` seconds to ``<run_dir>/metrics/<worker>.jsonl``
+— and readers fold the per-worker series into run-level series without
+any coordination, mirroring the one-file-per-writer trace layout.
+
+A point is a flat JSON object.  Producers supply cumulative progress
+(``trials_done``, ``shards_done``) plus whatever gauges they can see
+(lease counts, utilization, codec-phase seconds from the live telemetry
+snapshot); the sampler derives the instantaneous ``trials_per_sec``
+from consecutive points and stamps wall-clock ``ts``, worker name, and
+process RSS.  Derived-at-sample rates mean readers never need a
+worker's clock history to interpret its file.
+
+No third-party dependencies: RSS comes from ``/proc/self/status`` with
+a ``resource.getrusage`` fallback, and the Prometheus rendering is the
+same textfile-collector style as ``telemetry.export``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import resource
+import sys
+import threading
+import time
+from pathlib import Path
+
+#: Subdirectory of a run directory holding per-worker metric series.
+METRICS_DIR_NAME = "metrics"
+
+#: Schema tag stamped on every metrics point.
+METRICS_SCHEMA = "repro.metrics-point/1"
+
+#: Default seconds between sampler points.
+DEFAULT_SAMPLE_INTERVAL = 1.0
+
+
+def metrics_dir(run_dir: str | os.PathLike) -> Path:
+    return Path(run_dir) / METRICS_DIR_NAME
+
+
+def metrics_path(run_dir: str | os.PathLike, worker: str) -> Path:
+    slug = re.sub(r"[^A-Za-z0-9._-]+", "-", str(worker)) or "worker"
+    return metrics_dir(run_dir) / f"{slug}.jsonl"
+
+
+def process_rss_bytes() -> int:
+    """Resident set size of this process, in bytes.
+
+    Reads ``/proc/self/status`` (Linux); falls back to
+    ``resource.getrusage`` where /proc is unavailable (macOS reports
+    ru_maxrss in bytes, Linux in KiB).
+    """
+    try:
+        with open("/proc/self/status") as handle:
+            for line in handle:
+                if line.startswith("VmRSS:"):
+                    return int(line.split()[1]) * 1024
+    except OSError:
+        pass
+    usage = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    return int(usage if sys.platform == "darwin" else usage * 1024)
+
+
+class MetricsWriter:
+    """Appends points for one worker to its metrics file.
+
+    Single ``os.write`` per point on an ``O_APPEND`` descriptor — the
+    events.jsonl discipline — so readers tolerate a torn tail.
+    """
+
+    def __init__(self, run_dir: str | os.PathLike, worker: str):
+        self.worker = str(worker)
+        path = metrics_path(run_dir, worker)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        self._fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+        self.path = path
+
+    def append(self, point: dict) -> dict:
+        record = {"schema": METRICS_SCHEMA, "worker": self.worker}
+        record.update({k: v for k, v in point.items() if v is not None})
+        record.setdefault("ts", time.time())
+        if self._fd >= 0:
+            os.write(self._fd, (json.dumps(record) + "\n").encode())
+        return record
+
+    def close(self) -> None:
+        if self._fd >= 0:
+            os.close(self._fd)
+            self._fd = -1
+
+
+class MetricsSampler:
+    """Daemon thread sampling a callable into a :class:`MetricsWriter`.
+
+    ``sample`` returns a dict of gauges/counters for *now* (or ``None``
+    to skip a beat).  The sampler stamps ``ts``, derives
+    ``trials_per_sec`` from consecutive ``trials_done`` values, and
+    attaches the process RSS.  ``stop()`` takes one final sample so
+    short runs (shorter than one interval) still leave a series behind.
+    """
+
+    def __init__(
+        self,
+        writer: MetricsWriter,
+        sample,
+        interval: float = DEFAULT_SAMPLE_INTERVAL,
+    ):
+        self.writer = writer
+        self._sample = sample
+        self.interval = max(float(interval), 0.05)
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._last_ts: float | None = None
+        self._last_trials: float | None = None
+
+    def _take(self) -> None:
+        try:
+            point = self._sample()
+        except Exception:
+            return
+        if point is None:
+            return
+        point = dict(point)
+        now = float(point.get("ts", time.time()))
+        point["ts"] = now
+        trials = point.get("trials_done")
+        if trials is not None and "trials_per_sec" not in point:
+            if self._last_ts is not None and now > self._last_ts:
+                delta = float(trials) - float(self._last_trials or 0)
+                point["trials_per_sec"] = round(
+                    max(delta, 0.0) / (now - self._last_ts), 3
+                )
+            else:
+                point["trials_per_sec"] = 0.0
+        if trials is not None:
+            self._last_ts, self._last_trials = now, float(trials)
+        point.setdefault("rss_bytes", process_rss_bytes())
+        self.writer.append(point)
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.interval):
+            self._take()
+
+    def start(self) -> "MetricsSampler":
+        if self._thread is None:
+            self._take()
+            self._thread = threading.Thread(
+                target=self._loop, name="repro-metrics-sampler", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self._take()
+        self.writer.close()
+
+    def __enter__(self) -> "MetricsSampler":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+
+def read_metrics(run_dir: str | os.PathLike) -> dict[str, list[dict]]:
+    """Per-worker point series, each sorted by timestamp.
+
+    Skips torn/unparseable lines, like every other run-dir log reader.
+    """
+    series: dict[str, list[dict]] = {}
+    directory = metrics_dir(run_dir)
+    if not directory.is_dir():
+        return series
+    for path in sorted(directory.glob("*.jsonl")):
+        for line in path.read_text().splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                point = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if not isinstance(point, dict) or "ts" not in point:
+                continue
+            worker = str(point.get("worker") or path.stem)
+            series.setdefault(worker, []).append(point)
+    for points in series.values():
+        points.sort(key=lambda p: p.get("ts", 0.0))
+    return series
+
+
+def latest_points(series: dict[str, list[dict]]) -> dict[str, dict]:
+    """The most recent point of each worker's series."""
+    return {worker: points[-1] for worker, points in series.items() if points}
+
+
+def aggregate_metrics(
+    series: dict[str, list[dict]], bucket_seconds: float = 5.0
+) -> list[dict]:
+    """Fold per-worker series into run-level points on a shared grid.
+
+    Workers sample on their own clocks, so points are bucketed onto a
+    ``bucket_seconds`` grid; within a bucket each worker contributes the
+    mean of its gauges, and the run-level point sums rates/RSS across
+    workers (fleet throughput is additive) while counting distinct
+    reporting workers.
+    """
+    bucket_seconds = max(float(bucket_seconds), 0.001)
+    buckets: dict[int, dict[str, list[dict]]] = {}
+    for worker, points in series.items():
+        for point in points:
+            key = int(point["ts"] // bucket_seconds)
+            buckets.setdefault(key, {}).setdefault(worker, []).append(point)
+    out: list[dict] = []
+    for key in sorted(buckets):
+        per_worker = buckets[key]
+
+        def mean_of(worker_points: list[dict], field: str) -> float | None:
+            values = [
+                float(p[field]) for p in worker_points if p.get(field) is not None
+            ]
+            return sum(values) / len(values) if values else None
+
+        rate = rss = 0.0
+        trials = shards = 0.0
+        leases = 0.0
+        has_rate = has_rss = has_leases = False
+        for worker_points in per_worker.values():
+            value = mean_of(worker_points, "trials_per_sec")
+            if value is not None:
+                rate += value
+                has_rate = True
+            value = mean_of(worker_points, "rss_bytes")
+            if value is not None:
+                rss += value
+                has_rss = True
+            value = mean_of(worker_points, "leases_active")
+            if value is not None:
+                leases += value
+                has_leases = True
+            trials += max(
+                (float(p.get("trials_done", 0)) for p in worker_points), default=0.0
+            )
+            shards += max(
+                (float(p.get("shards_done", 0)) for p in worker_points), default=0.0
+            )
+        point = {
+            "ts": key * bucket_seconds,
+            "workers": len(per_worker),
+            "trials_done": trials,
+            "shards_done": shards,
+        }
+        if has_rate:
+            point["trials_per_sec"] = round(rate, 3)
+        if has_rss:
+            point["rss_bytes"] = int(rss)
+        if has_leases:
+            point["leases_active"] = leases
+        out.append(point)
+    return out
+
+
+def render_metrics_prometheus(
+    series: dict[str, list[dict]], prefix: str = "repro_fleet"
+) -> str:
+    """Latest per-worker gauges in Prometheus text exposition format.
+
+    Suitable for a node-exporter textfile collector: each worker's most
+    recent point becomes labelled gauges, plus a fleet-wide worker count
+    and summed throughput.
+    """
+    latest = latest_points(series)
+    lines: list[str] = []
+
+    gauges = (
+        ("trials_per_sec", "trials_per_sec", "instantaneous trials per second"),
+        ("trials_done", "trials_done", "cumulative trials completed"),
+        ("shards_done", "shards_done", "cumulative shards completed"),
+        ("rss_bytes", "rss_bytes", "resident set size in bytes"),
+        ("leases_active", "leases_active", "active shard leases visible"),
+        ("utilization", "utilization", "fraction of wall-clock spent computing"),
+    )
+    for field, metric, help_text in gauges:
+        rows = [
+            (worker, point[field])
+            for worker, point in sorted(latest.items())
+            if point.get(field) is not None
+        ]
+        if not rows:
+            continue
+        lines.append(f"# HELP {prefix}_{metric} {help_text}")
+        lines.append(f"# TYPE {prefix}_{metric} gauge")
+        for worker, value in rows:
+            lines.append(f'{prefix}_{metric}{{worker="{worker}"}} {value}')
+    lines.append(f"# HELP {prefix}_workers workers with a metrics series")
+    lines.append(f"# TYPE {prefix}_workers gauge")
+    lines.append(f"{prefix}_workers {len(latest)}")
+    total_rate = sum(
+        float(p["trials_per_sec"])
+        for p in latest.values()
+        if p.get("trials_per_sec") is not None
+    )
+    lines.append(f"# HELP {prefix}_trials_per_sec_total summed fleet throughput")
+    lines.append(f"# TYPE {prefix}_trials_per_sec_total gauge")
+    lines.append(f"{prefix}_trials_per_sec_total {round(total_rate, 3)}")
+    return "\n".join(lines) + "\n"

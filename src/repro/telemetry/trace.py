@@ -1,0 +1,316 @@
+"""Distributed tracing for multi-worker campaigns.
+
+Every process that works on a run — the coordinating runner, forked
+work-stealing children, standalone ``campaign worker`` processes on
+other machines — appends *span records* to its own file under
+``<run_dir>/trace/<worker>.jsonl``.  One file per writer means no
+cross-process contention and no partial-line interleaving; the run
+directory is the rendezvous, exactly like the lease protocol.
+
+Causal parenting works without any cross-process coordination because
+span ids are **deterministic**: the trace id derives from the manifest
+identity (same inputs → same trace id on every machine), the run span
+id from the trace id, a worker span id from the worker name, and a
+shard span id from ``(bit, attempt, worker)``.  A worker that has never
+spoken to the coordinator still emits spans whose ``parent_id`` matches
+the coordinator's run span.
+
+Records use wall-clock ``time.time()`` timestamps (seconds) so spans
+from different machines land on a shared axis; durations come from the
+emitting process's monotonic clock.  :func:`chrome_trace` folds every
+per-worker file into a Chrome trace-event JSON document (one *process*
+lane per worker) loadable in ``chrome://tracing`` / Perfetto.
+
+Enablement mirrors telemetry: an explicit ``trace=`` argument wins,
+else the ``REPRO_TRACE`` environment variable, else the manifest's
+``trace`` flag (set by ``campaign submit --trace`` so late-joining
+workers follow the run's choice), else **off**.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.telemetry.core import _FALSY, _TRUTHY
+
+#: Environment variable controlling tracing (same vocabulary as
+#: ``REPRO_TELEMETRY``: 1/true/on to enable, 0/false/off to disable).
+TRACE_ENV_VAR = "REPRO_TRACE"
+
+#: Subdirectory of a run directory holding per-worker span files.
+TRACE_DIR_NAME = "trace"
+
+#: Schema tag stamped on every span record.
+TRACE_SCHEMA = "repro.trace/1"
+
+
+def trace_enabled_by_env() -> bool:
+    """Whether ``REPRO_TRACE`` asks for tracing (default: off)."""
+    raw = os.environ.get(TRACE_ENV_VAR, "").strip().lower()
+    if raw in _TRUTHY:
+        return True
+    if raw in _FALSY:
+        return False
+    raise ValueError(
+        f"unrecognized {TRACE_ENV_VAR}={raw!r}; use 1/true/on or 0/false/off"
+    )
+
+
+def resolve_trace(trace=None) -> bool:
+    """Normalize the ``trace=`` argument of campaign entry points.
+
+    ``None`` follows the environment; booleans are used as-is.  (The
+    manifest-flag fallback for standalone workers lives in the worker,
+    which knows whether an explicit argument was given.)
+    """
+    if trace is None:
+        return trace_enabled_by_env()
+    if trace is True or trace is False:
+        return trace
+    raise TypeError(f"trace must be None or a bool, got {trace!r}")
+
+
+def _slug(text: str) -> str:
+    """A filesystem-safe slug of a worker id (hostnames may hold dots)."""
+    return re.sub(r"[^A-Za-z0-9._-]+", "-", str(text)) or "worker"
+
+
+def trace_dir(run_dir: str | os.PathLike) -> Path:
+    return Path(run_dir) / TRACE_DIR_NAME
+
+
+def trace_path(run_dir: str | os.PathLike, worker: str) -> Path:
+    return trace_dir(run_dir) / f"{_slug(worker)}.jsonl"
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """Identity of one writer inside one traced run.
+
+    ``trace_id`` is shared by every process working the run; ``worker``
+    names this writer.  The ``*_span_id`` helpers give the deterministic
+    ids that let spans reference parents emitted by other processes.
+    """
+
+    trace_id: str
+    run_id: str
+    worker: str
+
+    @classmethod
+    def for_run(
+        cls, identity: dict, run_dir: str | os.PathLike, worker: str
+    ) -> "TraceContext":
+        """Derive the shared trace id from a manifest identity dict.
+
+        Every process hashes the same identity payload (target, seed,
+        trial counts, data fingerprint), so coordinator and standalone
+        workers agree on the trace id without talking to each other.
+        """
+        digest = hashlib.blake2b(
+            json.dumps(identity, sort_keys=True).encode(), digest_size=8
+        ).hexdigest()
+        return cls(trace_id=digest, run_id=Path(run_dir).name, worker=str(worker))
+
+    @property
+    def run_span_id(self) -> str:
+        return f"{self.trace_id}/run"
+
+    @property
+    def worker_span_id(self) -> str:
+        return f"{self.trace_id}/worker/{self.worker}"
+
+    def shard_span_id(self, bit: int, attempt: int) -> str:
+        return f"{self.trace_id}/shard/{int(bit)}/{int(attempt)}/{self.worker}"
+
+
+class TraceWriter:
+    """Appends complete-span records to this process's trace file.
+
+    Records are written as single ``os.write`` calls on an ``O_APPEND``
+    descriptor — the same torn-tail-tolerant discipline as
+    ``events.jsonl`` — so a SIGKILLed worker leaves at most one ragged
+    final line, which :func:`read_trace` skips.
+    """
+
+    def __init__(self, run_dir: str | os.PathLike, context: TraceContext):
+        self.context = context
+        path = trace_path(run_dir, context.worker)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        self._fd = os.open(
+            path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+        )
+        self.path = path
+
+    def emit(
+        self,
+        name: str,
+        *,
+        ts: float,
+        duration: float,
+        span_id: str,
+        parent_id: str | None = None,
+        category: str = "campaign",
+        bit: int | None = None,
+        attempt: int | None = None,
+        args: dict | None = None,
+    ) -> dict:
+        """Record one completed span; returns the record written."""
+        record = {
+            "schema": TRACE_SCHEMA,
+            "trace_id": self.context.trace_id,
+            "run_id": self.context.run_id,
+            "worker": self.context.worker,
+            "name": name,
+            "cat": category,
+            "ts": round(float(ts), 6),
+            "dur": round(max(float(duration), 0.0), 6),
+            "span_id": span_id,
+            "parent_id": parent_id,
+            "bit": bit,
+            "attempt": attempt,
+            "args": args,
+        }
+        payload = {k: v for k, v in record.items() if v is not None}
+        if self._fd >= 0:
+            os.write(self._fd, (json.dumps(payload) + "\n").encode())
+        return payload
+
+    def shard_span(
+        self,
+        *,
+        bit: int,
+        attempt: int,
+        ts: float,
+        duration: float,
+        parent_id: str | None = None,
+        args: dict | None = None,
+    ) -> dict:
+        """Convenience: one shard-execution span parented to this worker."""
+        return self.emit(
+            f"shard bit={int(bit)}",
+            ts=ts,
+            duration=duration,
+            span_id=self.context.shard_span_id(bit, attempt),
+            parent_id=parent_id or self.context.worker_span_id,
+            category="shard",
+            bit=int(bit),
+            attempt=int(attempt),
+            args=args,
+        )
+
+    def close(self) -> None:
+        if self._fd >= 0:
+            os.close(self._fd)
+            self._fd = -1
+
+    def __enter__(self) -> "TraceWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+def read_trace(run_dir: str | os.PathLike) -> list[dict]:
+    """Every span record in the run, sorted by start time.
+
+    Tolerates a torn final line per file (a worker killed mid-write)
+    and skips unparseable lines rather than failing the whole read.
+    """
+    records: list[dict] = []
+    directory = trace_dir(run_dir)
+    if not directory.is_dir():
+        return records
+    for path in sorted(directory.glob("*.jsonl")):
+        for line in path.read_text().splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(record, dict) and "ts" in record:
+                records.append(record)
+    records.sort(key=lambda r: (r.get("ts", 0.0), r.get("worker", "")))
+    return records
+
+
+def trace_workers(records: list[dict]) -> list[str]:
+    """Distinct worker names, in first-appearance order."""
+    seen: dict[str, None] = {}
+    for record in records:
+        worker = record.get("worker")
+        if worker and worker not in seen:
+            seen[worker] = None
+    return list(seen)
+
+
+def chrome_trace(run_dir: str | os.PathLike) -> dict:
+    """Fold every per-worker span file into Chrome trace-event JSON.
+
+    Each worker becomes one *process* lane (integer pid + a
+    ``process_name`` metadata event); spans become ``"X"`` complete
+    events with microsecond timestamps relative to the earliest span,
+    so a multi-machine run lines up on one time axis.
+    """
+    records = read_trace(run_dir)
+    events: list[dict] = []
+    pids = {worker: i + 1 for i, worker in enumerate(trace_workers(records))}
+    for worker, pid in pids.items():
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": worker},
+            }
+        )
+    origin = min((r["ts"] for r in records), default=0.0)
+    for record in records:
+        args = dict(record.get("args") or {})
+        for key in ("bit", "attempt", "span_id", "parent_id", "trace_id"):
+            if record.get(key) is not None:
+                args[key] = record[key]
+        events.append(
+            {
+                "name": record.get("name", "span"),
+                "cat": record.get("cat", "campaign"),
+                "ph": "X",
+                "pid": pids.get(record.get("worker", ""), 0),
+                "tid": 0,
+                "ts": round((record["ts"] - origin) * 1e6, 3),
+                "dur": round(record.get("dur", 0.0) * 1e6, 3),
+                "args": args,
+            }
+        )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "schema": TRACE_SCHEMA,
+            "run_dir": str(run_dir),
+            "workers": list(pids),
+        },
+    }
+
+
+def write_chrome_trace(
+    run_dir: str | os.PathLike, out: str | os.PathLike | None = None
+) -> Path:
+    """Write the Chrome trace export; returns the path written.
+
+    Defaults to ``<run_dir>/trace/chrome-trace.json``.
+    """
+    document = chrome_trace(run_dir)
+    path = Path(out) if out is not None else trace_dir(run_dir) / "chrome-trace.json"
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + f".tmp.{os.getpid()}")
+    tmp.write_text(json.dumps(document, indent=2))
+    os.replace(tmp, path)
+    return path

@@ -1,0 +1,229 @@
+"""Fleet observability integration: tracing on ≡ tracing off, serial ≡ fleet.
+
+The contract under test (PR invariants):
+
+- tracing/metrics are strictly side-channel — shard CSVs stay
+  **byte-identical** across serial, pool, and multi-process
+  work-stealing runs with tracing enabled, and against an untraced
+  serial baseline;
+- every participating process leaves its own span + metrics files, and
+  the Chrome export covers all of them on one time axis;
+- shard-scoped telemetry counters (``inject.*``, ``metrics.*``) merge
+  to identical values whatever the process topology.  (Process-scoped
+  families — ``formats.*``, ``datasets.*`` LUT/cache traffic — scale
+  with the number of processes by design and are excluded.)
+"""
+
+import multiprocessing
+
+import pytest
+
+from repro.datasets.registry import get as get_preset
+from repro.inject.campaign import CampaignConfig, run_campaign
+from repro.runner import RunManifest, read_event_log, run_worker
+from repro.runner.manifest import RUN_COMPLETED
+from repro.runner.runner import CampaignRunner
+from repro.telemetry import (
+    chrome_trace,
+    load_run_snapshot,
+    load_worker_snapshots,
+    read_metrics,
+    read_trace,
+    trace_workers,
+)
+
+FIELD = "cesm/cloud"
+SIZE = 256
+DATA_SEED = 2023
+TRIALS = 2
+BITS = tuple(range(6))
+SEED = 42
+
+#: Counter families produced per shard (identical for any topology), as
+#: opposed to per-process cache/LUT traffic.
+SHARD_SCOPED = ("inject.", "metrics.")
+
+
+def _data():
+    return get_preset(FIELD).generate(seed=DATA_SEED, size=SIZE)
+
+
+def _config():
+    return CampaignConfig(trials_per_bit=TRIALS, bits=BITS, seed=SEED)
+
+
+def _run(run_dir, **kwargs):
+    return run_campaign(
+        _data(), "posit16", _config(), run_dir=run_dir,
+        dataset={"kind": "preset", "field": FIELD, "size": SIZE,
+                 "seed": DATA_SEED},
+        **kwargs,
+    )
+
+
+def _shard_bytes(run_dir):
+    return {
+        bit: RunManifest.shard_path(run_dir, bit).read_bytes() for bit in BITS
+    }
+
+
+def _scoped_counters(run_dir):
+    snapshot = load_run_snapshot(run_dir)
+    assert snapshot is not None
+    return {
+        key: value
+        for key, value in snapshot.counters.items()
+        if key.startswith(SHARD_SCOPED)
+    }
+
+
+def _worker_process(run_dir, **kwargs):
+    context = multiprocessing.get_context("fork")
+    process = context.Process(
+        target=run_worker, args=(run_dir,),
+        kwargs={"telemetry": True, "lease_timeout": 30.0, **kwargs},
+        daemon=True,
+    )
+    process.start()
+    process.join(timeout=120)
+    assert process.exitcode == 0
+    return process
+
+
+@pytest.fixture(scope="module")
+def baseline(tmp_path_factory):
+    """Untraced serial run: the byte-identity reference."""
+    run_dir = tmp_path_factory.mktemp("obs") / "baseline"
+    _run(run_dir, trace=False)
+    return run_dir
+
+
+class TestTracedSerial:
+    @pytest.fixture(scope="class")
+    def run_dir(self, tmp_path_factory):
+        run_dir = tmp_path_factory.mktemp("obs") / "serial"
+        _run(run_dir, trace=True, telemetry=True)
+        return run_dir
+
+    def test_csv_bytes_match_untraced_baseline(self, run_dir, baseline):
+        assert _shard_bytes(run_dir) == _shard_bytes(baseline)
+
+    def test_span_categories_and_parenting(self, run_dir):
+        records = read_trace(run_dir)
+        by_cat = {r["cat"] for r in records}
+        assert by_cat == {"run", "worker", "shard"}
+        shards = [r for r in records if r["cat"] == "shard"]
+        assert sorted(r["bit"] for r in shards) == list(BITS)
+        [worker_span] = [r for r in records if r["cat"] == "worker"]
+        [run_span] = [r for r in records if r["cat"] == "run"]
+        assert worker_span["parent_id"] == run_span["span_id"]
+        assert all(r["parent_id"] == worker_span["span_id"] for r in shards)
+        assert len({r["trace_id"] for r in records}) == 1
+
+    def test_metrics_series_written(self, run_dir):
+        series = read_metrics(run_dir)
+        assert len(series) == 1
+        points = next(iter(series.values()))
+        assert points[-1]["trials_done"] == TRIALS * len(BITS)
+        assert points[-1]["shards_done"] == len(BITS)
+        assert all(p["rss_bytes"] > 0 for p in points)
+
+    def test_events_carry_trace_id(self, run_dir):
+        events = read_event_log(RunManifest.event_log_path(run_dir))
+        trace_ids = {e.get("trace_id") for e in events}
+        assert len(trace_ids) == 1 and None not in trace_ids
+        assert trace_ids == {read_trace(run_dir)[0]["trace_id"]}
+
+    def test_manifest_records_trace_flag(self, run_dir, baseline):
+        assert RunManifest.load(run_dir).trace is True
+        assert RunManifest.load(baseline).trace is False
+
+
+class TestUntracedStaysClean:
+    def test_no_side_channel_files_or_fields(self, baseline):
+        assert not (baseline / "trace").exists()
+        assert not (baseline / "metrics").exists()
+        events = read_event_log(RunManifest.event_log_path(baseline))
+        assert all("trace_id" not in e for e in events)
+
+
+class TestTopologyIdentity:
+    """Serial, pool, and two subprocess workers agree exactly."""
+
+    @pytest.fixture(scope="class")
+    def serial_dir(self, tmp_path_factory):
+        run_dir = tmp_path_factory.mktemp("obs") / "serial"
+        _run(run_dir, trace=True, telemetry=True)
+        return run_dir
+
+    @pytest.fixture(scope="class")
+    def pool_dir(self, tmp_path_factory):
+        run_dir = tmp_path_factory.mktemp("obs") / "pool"
+        _run(run_dir, jobs=2, executor="pool", trace=True, telemetry=True)
+        return run_dir
+
+    @pytest.fixture(scope="class")
+    def fleet_dir(self, tmp_path_factory):
+        """Submit, then two standalone worker processes drain the run."""
+        run_dir = tmp_path_factory.mktemp("obs") / "fleet"
+        runner = CampaignRunner(
+            _data(), "posit16", _config(), run_dir=run_dir,
+            dataset={"kind": "preset", "field": FIELD, "size": SIZE,
+                     "seed": DATA_SEED},
+            trace=True,
+        )
+        runner.submit()
+        # Sequential for determinism: the first worker computes exactly
+        # half the shards, the second takes the rest and finalizes.
+        _worker_process(run_dir, worker_id="obs-w1",
+                        max_claims=len(BITS) // 2, max_idle_seconds=10.0)
+        _worker_process(run_dir, worker_id="obs-w2", max_idle_seconds=10.0)
+        assert RunManifest.load(run_dir).status == RUN_COMPLETED
+        return run_dir
+
+    def test_csv_bytes_identical_across_topologies(
+        self, baseline, serial_dir, pool_dir, fleet_dir
+    ):
+        expected = _shard_bytes(baseline)
+        assert _shard_bytes(serial_dir) == expected
+        assert _shard_bytes(pool_dir) == expected
+        assert _shard_bytes(fleet_dir) == expected
+
+    def test_shard_scoped_counters_identical(
+        self, serial_dir, pool_dir, fleet_dir
+    ):
+        expected = _scoped_counters(serial_dir)
+        assert expected  # the filter must not be vacuous
+        assert _scoped_counters(pool_dir) == expected
+        assert _scoped_counters(fleet_dir) == expected
+
+    def test_each_worker_left_trace_and_metrics(self, fleet_dir):
+        records = read_trace(fleet_dir)
+        assert set(trace_workers(records)) == {"obs-w1", "obs-w2"}
+        assert set(read_metrics(fleet_dir)) == {"obs-w1", "obs-w2"}
+        for worker in ("obs-w1", "obs-w2"):
+            mine = [r for r in records
+                    if r["worker"] == worker and r["cat"] == "shard"]
+            assert len(mine) == len(BITS) // 2
+
+    def test_worker_snapshots_written_and_merged(self, fleet_dir):
+        snapshots = load_worker_snapshots(fleet_dir)
+        assert set(snapshots) == {"obs-w1", "obs-w2"}
+        merged = load_run_snapshot(fleet_dir)
+        for key in _scoped_counters(fleet_dir):
+            assert merged.counters[key] == sum(
+                s.counters.get(key, 0) for s in snapshots.values()
+            )
+
+    def test_chrome_export_covers_both_workers(self, fleet_dir):
+        document = chrome_trace(fleet_dir)
+        lanes = {
+            e["args"]["name"]
+            for e in document["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "process_name"
+        }
+        assert lanes == {"obs-w1", "obs-w2"}
+        spans = [e for e in document["traceEvents"] if e["ph"] == "X"]
+        pids = {e["pid"] for e in spans}
+        assert len(pids) == 2
+        assert all(e["ts"] >= 0 for e in spans)

@@ -262,6 +262,22 @@ class TestLeaseExpirySteal:
             assert (RunManifest.shard_path(run_dir, bit).read_bytes()
                     == RunManifest.shard_path(serial_dir, bit).read_bytes())
 
+    def test_stale_temp_from_killed_writer_is_swept(self, tmp_path):
+        # A SIGKILLed writer can die between writing bit-N.csv.tmp-<pid>
+        # and the rename; whoever recomputes the shard must sweep the
+        # orphan or `verify` flags the run dir.
+        run_dir = tmp_path / "run"
+        _submit(run_dir, bits=(0, 1), trials=2)
+        shard = RunManifest.shard_path(run_dir, 0)
+        shard.parent.mkdir(parents=True, exist_ok=True)
+        orphan = shard.with_name(shard.name + ".tmp-99999")
+        orphan.write_bytes(b"torn partial csv from a killed writer")
+
+        result = run_worker(run_dir, worker_id="janitor", poll_interval=0.02)
+        assert result.status == "completed"
+        assert not list(shard.parent.glob("*.tmp-*"))
+        assert verify_run(run_dir).ok
+
 
 class TestFoldRun:
     def test_fold_is_idempotent(self, tmp_path):

@@ -1,0 +1,170 @@
+"""Unit tests for the distributed-trace layer (span files + export).
+
+Integration coverage — real campaigns writing traces from multiple
+processes — lives in ``tests/runner/test_observability.py``; here we
+pin the building blocks: enablement resolution, deterministic span
+ids, the record format, torn-tail-tolerant reads, and the Chrome
+trace-event export.
+"""
+
+import json
+
+import pytest
+
+from repro.telemetry.trace import (
+    TRACE_ENV_VAR,
+    TRACE_SCHEMA,
+    TraceContext,
+    TraceWriter,
+    chrome_trace,
+    read_trace,
+    resolve_trace,
+    trace_enabled_by_env,
+    trace_path,
+    trace_workers,
+    write_chrome_trace,
+)
+
+IDENTITY = {
+    "target_spec": "posit16",
+    "trials_per_bit": 3,
+    "bits": [0, 1, 2],
+    "seed": 42,
+    "data_fingerprint": "abc123",
+    "data_size": 256,
+}
+
+
+class TestEnablement:
+    def test_default_off(self, monkeypatch):
+        monkeypatch.delenv(TRACE_ENV_VAR, raising=False)
+        assert trace_enabled_by_env() is False
+        assert resolve_trace(None) is False
+
+    @pytest.mark.parametrize("raw,expected", [("1", True), ("on", True),
+                                              ("0", False), ("off", False)])
+    def test_env_vocabulary(self, monkeypatch, raw, expected):
+        monkeypatch.setenv(TRACE_ENV_VAR, raw)
+        assert trace_enabled_by_env() is expected
+
+    def test_env_rejects_garbage(self, monkeypatch):
+        monkeypatch.setenv(TRACE_ENV_VAR, "maybe")
+        with pytest.raises(ValueError, match="REPRO_TRACE"):
+            trace_enabled_by_env()
+
+    def test_explicit_argument_wins(self, monkeypatch):
+        monkeypatch.setenv(TRACE_ENV_VAR, "1")
+        assert resolve_trace(False) is False
+        monkeypatch.setenv(TRACE_ENV_VAR, "0")
+        assert resolve_trace(True) is True
+
+    def test_non_bool_rejected(self):
+        with pytest.raises(TypeError):
+            resolve_trace("yes")
+
+
+class TestContext:
+    def test_trace_id_deterministic_across_workers(self, tmp_path):
+        a = TraceContext.for_run(IDENTITY, tmp_path / "run", worker="alpha")
+        b = TraceContext.for_run(IDENTITY, tmp_path / "run", worker="beta")
+        assert a.trace_id == b.trace_id
+        assert a.worker_span_id != b.worker_span_id
+        assert a.run_span_id == b.run_span_id
+
+    def test_trace_id_tracks_identity(self, tmp_path):
+        other = dict(IDENTITY, seed=43)
+        a = TraceContext.for_run(IDENTITY, tmp_path, worker="w")
+        b = TraceContext.for_run(other, tmp_path, worker="w")
+        assert a.trace_id != b.trace_id
+
+    def test_span_id_shapes(self, tmp_path):
+        ctx = TraceContext.for_run(IDENTITY, tmp_path / "run-7", worker="w1")
+        assert ctx.run_id == "run-7"
+        assert ctx.run_span_id == f"{ctx.trace_id}/run"
+        assert ctx.worker_span_id == f"{ctx.trace_id}/worker/w1"
+        assert ctx.shard_span_id(5, 1) == f"{ctx.trace_id}/shard/5/1/w1"
+
+
+class TestWriterAndReader:
+    def _writer(self, tmp_path, worker="w1"):
+        ctx = TraceContext.for_run(IDENTITY, tmp_path, worker=worker)
+        return TraceWriter(tmp_path, ctx)
+
+    def test_records_schema_and_drops_nones(self, tmp_path):
+        with self._writer(tmp_path) as writer:
+            record = writer.emit(
+                "run", ts=10.0, duration=2.5,
+                span_id=writer.context.run_span_id, category="run",
+            )
+        assert record["schema"] == TRACE_SCHEMA
+        assert "parent_id" not in record
+        assert "bit" not in record
+        [stored] = read_trace(tmp_path)
+        assert stored == record
+
+    def test_shard_span_parents_to_worker(self, tmp_path):
+        with self._writer(tmp_path) as writer:
+            record = writer.shard_span(
+                bit=3, attempt=0, ts=1.0, duration=0.5, args={"trials": 7}
+            )
+        assert record["parent_id"] == writer.context.worker_span_id
+        assert record["span_id"] == writer.context.shard_span_id(3, 0)
+        assert record["cat"] == "shard"
+        assert record["bit"] == 3
+        assert record["args"] == {"trials": 7}
+
+    def test_negative_duration_clamped(self, tmp_path):
+        with self._writer(tmp_path) as writer:
+            record = writer.emit(
+                "x", ts=1.0, duration=-0.25, span_id="s")
+        assert record["dur"] == 0.0
+
+    def test_read_sorts_and_skips_torn_tail(self, tmp_path):
+        with self._writer(tmp_path, "w1") as one:
+            one.emit("late", ts=20.0, duration=1.0, span_id="b")
+        with self._writer(tmp_path, "w2") as two:
+            two.emit("early", ts=10.0, duration=1.0, span_id="a")
+        # Simulate a SIGKILLed writer: a ragged, non-JSON final line.
+        with trace_path(tmp_path, "w1").open("a") as handle:
+            handle.write('{"schema": "repro.trace/1", "ts": 99')
+        records = read_trace(tmp_path)
+        assert [r["name"] for r in records] == ["early", "late"]
+        assert trace_workers(records) == ["w2", "w1"]
+
+    def test_read_missing_dir_is_empty(self, tmp_path):
+        assert read_trace(tmp_path / "nothing") == []
+
+
+class TestChromeExport:
+    def _populate(self, tmp_path):
+        for worker, ts in (("w1", 100.0), ("w2", 100.5)):
+            ctx = TraceContext.for_run(IDENTITY, tmp_path, worker=worker)
+            with TraceWriter(tmp_path, ctx) as writer:
+                writer.shard_span(bit=0, attempt=0, ts=ts, duration=0.25)
+
+    def test_one_process_lane_per_worker(self, tmp_path):
+        self._populate(tmp_path)
+        document = chrome_trace(tmp_path)
+        metas = [e for e in document["traceEvents"] if e["ph"] == "M"]
+        spans = [e for e in document["traceEvents"] if e["ph"] == "X"]
+        assert {m["args"]["name"] for m in metas} == {"w1", "w2"}
+        assert {s["pid"] for s in spans} == {m["pid"] for m in metas}
+        assert document["otherData"]["workers"] == ["w1", "w2"]
+
+    def test_timestamps_relative_microseconds(self, tmp_path):
+        self._populate(tmp_path)
+        spans = sorted(
+            (e for e in chrome_trace(tmp_path)["traceEvents"] if e["ph"] == "X"),
+            key=lambda e: e["ts"],
+        )
+        assert spans[0]["ts"] == 0.0
+        assert spans[1]["ts"] == pytest.approx(0.5e6)
+        assert spans[0]["dur"] == pytest.approx(0.25e6)
+
+    def test_write_chrome_trace_default_path(self, tmp_path):
+        self._populate(tmp_path)
+        path = write_chrome_trace(tmp_path)
+        assert path == tmp_path / "trace" / "chrome-trace.json"
+        document = json.loads(path.read_text())
+        assert document["displayTimeUnit"] == "ms"
+        assert document["traceEvents"]
