@@ -1,0 +1,150 @@
+"""Fault-model throughput: batched mask pipeline per model vs single-bit.
+
+Replays one campaign field through :func:`repro.inject.campaign.
+run_field_trials` under every registered fault model (one canonical
+example per grammar production) and through the per-shard scalar path,
+asserting the two byte-identical through the CSV writer before timing
+anything.  Two numbers matter:
+
+* ``speedup`` — batched vs per-shard for that model (the encode-once
+  pipeline must pay off for multi-bit models too);
+* ``relative_to_single`` — the model's batched throughput as a fraction
+  of the ``single`` baseline's.  Flip models ride the same whole-array
+  mask arithmetic as ``single``, so this should stay near 1; stochastic
+  mask construction (``random``, ``burst``) pays for its per-trial RNG
+  draws, and the committed value is the regression floor for the
+  fault-model CI job.
+
+Results land in ``BENCH_faults.json`` (with a history list).
+
+Run standalone:
+
+    PYTHONPATH=src python benchmarks/bench_faults.py
+
+or under pytest:
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_faults.py -s -q
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.formats import resolve
+from repro.inject.campaign import (
+    CampaignConfig,
+    bit_seeds,
+    run_campaign_shard,
+    run_field_trials,
+)
+from repro.inject.results import TrialRecords
+from repro.metrics.summary import SummaryStats
+
+OUT_PATH = Path(__file__).resolve().parent / "BENCH_faults.json"
+
+TRIALS_PER_BIT = int(os.environ.get("REPRO_BENCH_FAULT_TRIALS", "128"))
+FIELD_SIZE = 1 << int(os.environ.get("REPRO_BENCH_FIELD_POW2", "13"))
+TARGET = os.environ.get("REPRO_BENCH_FAULT_TARGET", "posit32")
+SEED = 2023
+
+#: One canonical spec per grammar production, widest-impact parameters
+#: kept fixed so the trajectory stays comparable across commits.
+FAULT_SPECS = ("single", "adjacent(2)", "random(2)", "burst(4,0.5)", "stuckat(31,1)")
+
+
+def _field() -> np.ndarray:
+    rng = np.random.default_rng(SEED)
+    return np.concatenate([
+        rng.normal(50.0, 20.0, FIELD_SIZE // 2),
+        rng.lognormal(-2, 2, FIELD_SIZE // 2),
+    ]).astype(np.float32)
+
+
+def _per_shard(stored, target, baseline, config) -> TrialRecords:
+    seeds = bit_seeds(config, target)
+    return TrialRecords.concatenate([
+        run_campaign_shard(
+            stored, target, bit, config.trials_per_bit, seeds[bit], baseline,
+            fault_spec=config.fault,
+        )
+        for bit in config.resolved_bits(target)
+    ])
+
+
+def run_bench() -> dict:
+    target = resolve(TARGET)
+    stored = target.round_trip(_field())
+    baseline = SummaryStats.from_array(stored)
+    trials_total = TRIALS_PER_BIT * target.nbits
+
+    # Warm decode tables / JIT state outside every timed region.
+    run_field_trials(stored, target, baseline,
+                     CampaignConfig(trials_per_bit=2, seed=SEED))
+
+    results = {}
+    for spec in FAULT_SPECS:
+        config = CampaignConfig(trials_per_bit=TRIALS_PER_BIT, seed=SEED, fault=spec)
+
+        start = time.perf_counter()
+        batched = run_field_trials(stored, target, baseline, config)
+        batched_s = time.perf_counter() - start
+
+        start = time.perf_counter()
+        scalar = _per_shard(stored, target, baseline, config)
+        scalar_s = time.perf_counter() - start
+
+        assert batched.to_csv_string() == scalar.to_csv_string(), (
+            f"{spec}: batched records diverged from the per-shard path"
+        )
+        results[spec] = {
+            "fault": spec,
+            "trials_total": trials_total,
+            "per_shard_seconds": round(scalar_s, 4),
+            "batched_seconds": round(batched_s, 4),
+            "per_shard_trials_per_sec": round(trials_total / scalar_s, 1),
+            "batched_trials_per_sec": round(trials_total / batched_s, 1),
+            "speedup": round(scalar_s / batched_s, 2),
+        }
+    single = results["single"]["batched_trials_per_sec"]
+    for row in results.values():
+        row["relative_to_single"] = round(row["batched_trials_per_sec"] / single, 3)
+    return {
+        "campaign": {
+            "target": TARGET,
+            "field_size": FIELD_SIZE,
+            "trials_per_bit": TRIALS_PER_BIT,
+            "faults": list(FAULT_SPECS),
+            "seed": SEED,
+        },
+        "results": results,
+    }
+
+
+def test_fault_model_throughput():
+    payload = run_bench()
+    history = []
+    if OUT_PATH.exists():
+        previous = json.loads(OUT_PATH.read_text(encoding="utf-8"))
+        history = previous.get("history", [])
+        history.append({
+            spec: row["relative_to_single"]
+            for spec, row in previous["results"].items()
+        })
+    payload["history"] = history[-20:]
+    OUT_PATH.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    for row in payload["results"].values():
+        print(
+            f"{row['fault']:<14s} batched {row['batched_trials_per_sec']:>10.1f} trials/s   "
+            f"speedup {row['speedup']:6.2f}x   "
+            f"vs single {row['relative_to_single']:5.3f}"
+        )
+    print(f"wrote {OUT_PATH}")
+
+
+if __name__ == "__main__":
+    test_fault_model_throughput()

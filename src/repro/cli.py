@@ -17,6 +17,9 @@
     posit-resiliency campaign run ... --profile    # collect telemetry
     posit-resiliency config init                   # create ~/.repro (or $REPRO_HOME)
     posit-resiliency campaign submit nyx/temperature posit32 --trials 32
+    posit-resiliency campaign run ... --fault "adjacent(2)"  # multi-bit model
+    posit-resiliency campaign sweep nyx/temperature \
+        --formats posit32,ieee32 --faults "single,adjacent(2),random(3)"
     posit-resiliency campaign worker <run-dir-or-id>   # claim shards via leases
     posit-resiliency campaign watch <run-dir-or-id> --until-done
     posit-resiliency campaign list                 # registry index
@@ -190,10 +193,17 @@ def _print_campaign_result(result, field: str, target: str, out: str | None) -> 
 def _cmd_campaign_run(args) -> int:
     from repro.datasets.registry import get as get_preset
     from repro.inject.campaign import CampaignConfig, run_campaign
+    from repro.inject.faultspec import FaultSpecError
 
     preset = get_preset(args.field)
     data = preset.generate(seed=args.seed, size=args.size)
-    config = CampaignConfig(trials_per_bit=args.trials, seed=args.seed)
+    try:
+        config = CampaignConfig(
+            trials_per_bit=args.trials, seed=args.seed, fault=args.fault
+        )
+    except FaultSpecError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
     result = run_campaign(
         data,
         args.target,
@@ -220,6 +230,26 @@ def _cmd_campaign_run(args) -> int:
 def _cmd_campaign_resume(args) -> int:
     from repro.runner import resume_campaign
 
+    if args.fault is not None:
+        # --fault on resume is a guard, not an override: the manifest
+        # owns the run's fault model (it is part of the identity).
+        from repro.inject.faultspec import FaultSpecError, resolve_fault
+        from repro.runner.manifest import RunManifest
+
+        try:
+            requested = resolve_fault(args.fault).spec
+        except FaultSpecError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+        recorded = RunManifest.load(args.run_dir).fault
+        if requested != recorded:
+            print(
+                f"error: run {args.run_dir} was created with fault model "
+                f"{recorded!r}, not {requested!r}; the fault model is part "
+                "of the run identity and cannot change on resume",
+                file=sys.stderr,
+            )
+            return 1
     result = resume_campaign(
         args.run_dir, jobs=_campaign_jobs(args), executor=args.executor,
         progress=args.progress,
@@ -311,6 +341,7 @@ def _cmd_campaign_submit(args) -> int:
             label=args.label or args.field,
             project=args.project,
             trace=args.trace,
+            fault=args.fault,
         )
     except (ServiceError, KeyError, ValueError) as error:
         print(f"error: {error}", file=sys.stderr)
@@ -322,6 +353,81 @@ def _cmd_campaign_submit(args) -> int:
     else:
         print(f"submitted {entry.run_id} -> {entry.run_dir}")
         print(f"start workers with: posit-resiliency campaign worker {entry.run_id}")
+    return 0
+
+
+def _split_specs(text: str) -> list[str]:
+    """Split a comma-separated spec list, respecting parentheses.
+
+    Both format specs (``binary(8,23)``) and fault specs
+    (``stuckat(31,1)``) contain commas of their own, so the list
+    separator is only a comma at parenthesis depth zero.
+    """
+    parts, depth, start = [], 0, 0
+    for i, char in enumerate(text):
+        if char == "(":
+            depth += 1
+        elif char == ")":
+            depth = max(depth - 1, 0)
+        elif char == "," and depth == 0:
+            parts.append(text[start:i])
+            start = i + 1
+    parts.append(text[start:])
+    return [part for part in (p.strip() for p in parts) if part]
+
+
+def _cmd_campaign_sweep(args) -> int:
+    from repro.inject.faultspec import FaultSpecError, resolve_fault
+    from repro.service import RunRegistry, ServiceError
+
+    formats = _split_specs(args.formats)
+    faults = _split_specs(args.faults)
+    if not formats or not faults:
+        print("error: --formats and --faults each need at least one entry",
+              file=sys.stderr)
+        return 1
+    try:
+        faults = [resolve_fault(spec).spec for spec in faults]
+    except FaultSpecError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    registry = RunRegistry()
+    bits = tuple(range(args.bits)) if args.bits is not None else None
+    entries = []
+    try:
+        for fmt in formats:
+            for fault in faults:
+                entries.append(registry.submit_run(
+                    args.field,
+                    fmt,
+                    trials_per_bit=args.trials,
+                    bits=bits,
+                    seed=args.seed,
+                    size=args.size,
+                    data_seed=args.seed,
+                    label=f"{args.field} [{fault}]",
+                    project=args.project,
+                    trace=args.trace,
+                    fault=fault,
+                ))
+    except (ServiceError, KeyError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        for entry in entries:
+            print(f"note: {entry.run_id} was submitted before the failure",
+                  file=sys.stderr)
+        return 1
+    if args.json:
+        import json
+
+        print(json.dumps([entry.to_json() for entry in entries], indent=2))
+        return 0
+    print(
+        f"swept {len(formats)} format(s) x {len(faults)} fault model(s): "
+        f"{len(entries)} run(s) submitted"
+    )
+    for entry in entries:
+        print(f"  {entry.run_id:<20s} {entry.target:<14s} {entry.label}")
+    print("start workers with: posit-resiliency campaign worker <run-id>")
     return 0
 
 
@@ -723,6 +829,10 @@ def build_parser() -> argparse.ArgumentParser:
     pr.add_argument("--size", type=int, default=1 << 17)
     pr.add_argument("--trials", type=int, default=313)
     pr.add_argument("--seed", type=int, default=2023)
+    pr.add_argument("--fault", default="single",
+                    help="fault-model spec: single, adjacent(<k>), "
+                    "random(<k>), burst(<k>,<p>), stuckat(<pos>,<v>) "
+                    "(default: single)")
     pr.add_argument("--jobs", type=_jobs_arg, default=None,
                     help="worker processes (default: auto-size to CPUs)")
     pr.add_argument("--workers", type=_jobs_arg, default=None,
@@ -750,6 +860,10 @@ def build_parser() -> argparse.ArgumentParser:
         "resume", help="resume an interrupted run from its directory"
     )
     pres.add_argument("run_dir", help="run directory with a manifest.json")
+    pres.add_argument("--fault", default=None,
+                      help="assert the run's fault model (errors if it "
+                      "differs from the manifest; the model itself always "
+                      "comes from the manifest)")
     pres.add_argument("--jobs", type=_jobs_arg, default=None,
                       help="worker processes (default: auto-size to CPUs)")
     pres.add_argument("--workers", type=_jobs_arg, default=None,
@@ -789,6 +903,10 @@ def build_parser() -> argparse.ArgumentParser:
     psub.add_argument("--seed", type=int, default=2023)
     psub.add_argument("--bits", type=int, default=None,
                       help="only the lowest N bit positions (default: all)")
+    psub.add_argument("--fault", default="single",
+                      help="fault-model spec: single, adjacent(<k>), "
+                      "random(<k>), burst(<k>,<p>), stuckat(<pos>,<v>) "
+                      "(default: single)")
     psub.add_argument("--label", default=None, help="free-text label (default: field)")
     psub.add_argument("--project", default="default",
                       help="registry project scope (default: 'default')")
@@ -798,6 +916,30 @@ def build_parser() -> argparse.ArgumentParser:
     psub.add_argument("--json", action="store_true",
                       help="emit the registry entry as JSON")
     psub.set_defaults(func=_cmd_campaign_submit)
+
+    psw = campaign_sub.add_parser(
+        "sweep",
+        help="submit one run per (format x fault model) cell; workers "
+        "then claim shards from every cell through leases",
+    )
+    psw.add_argument("field", help="dataset field key, e.g. nyx/temperature")
+    psw.add_argument("--formats", required=True,
+                     help="comma-separated format specs, e.g. posit32,ieee32")
+    psw.add_argument("--faults", default="single",
+                     help="comma-separated fault-model specs, e.g. "
+                     "single,adjacent(2),random(3) (default: single)")
+    psw.add_argument("--size", type=int, default=1 << 17)
+    psw.add_argument("--trials", type=int, default=313)
+    psw.add_argument("--seed", type=int, default=2023)
+    psw.add_argument("--bits", type=int, default=None,
+                     help="only the lowest N bit positions (default: all)")
+    psw.add_argument("--project", default="default",
+                     help="registry project scope (default: 'default')")
+    psw.add_argument("--trace", action="store_true",
+                     help="record distributed tracing in every cell's manifest")
+    psw.add_argument("--json", action="store_true",
+                     help="emit the submitted registry entries as JSON")
+    psw.set_defaults(func=_cmd_campaign_sweep)
 
     plist = campaign_sub.add_parser("list", help="list registered runs")
     plist.add_argument("--project", default=None, help="filter by project")

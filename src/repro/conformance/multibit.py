@@ -1,0 +1,197 @@
+"""Multi-bit oracle: Lowery bounds for k flips and fault-model identity.
+
+Two format checks extend the single-flip invariants of
+:mod:`repro.conformance.invariants` to the fault-model dimension:
+
+* ``check_multibit_lowery`` — Lowery's closed forms compose across
+  independent flips: k exponent-bit flips of an IEEE normal that leave
+  it normal multiply the value by ``2**d`` with ``d`` the signed sum of
+  the per-bit exponent deltas, so ``rel == |1 - 2**d|`` exactly; k
+  fraction-bit flips perturb the significand by at most the sum of the
+  per-bit bounds.  Checked as metamorphic invariants over sampled
+  values and bit-index pairs.
+* ``check_multibit_batched_identity`` — for one concrete model per
+  grammar production, the batched masked decode
+  (:meth:`~repro.formats.base.NumberFormat.decode_masked`, the campaign
+  hot path) must be bit-identical to applying the same masks one
+  element at a time through the scalar path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.conformance.invariants import _CLOSED_FORM_RTOL
+from repro.conformance.references import pattern_sample, value_sample
+from repro.conformance.report import CheckResult, FindingCollector
+from repro.formats import IEEETarget, NumberFormat
+
+
+def _exponent_pairs(exponent_bits: int) -> list[tuple[int, int]]:
+    """Bit-index pairs to sweep: all of them when cheap, else a spine.
+
+    ieee64's 11 exponent bits would mean 55 pairs x the whole sample;
+    adjacent pairs plus the extreme pair cover the same carry/borrow
+    structure at linear cost.
+    """
+    if exponent_bits <= 6:
+        return [
+            (j1, j2)
+            for j1 in range(exponent_bits)
+            for j2 in range(j1 + 1, exponent_bits)
+        ]
+    pairs = [(j, j + 1) for j in range(exponent_bits - 1)]
+    pairs.append((0, exponent_bits - 1))
+    return pairs
+
+
+def check_multibit_lowery(ctx, fmt: NumberFormat) -> CheckResult:
+    """Closed-form relative error of double bit flips (IEEE).
+
+    Exponent bits j1 != j2 flipped together on a normal value that
+    stays normal: ``rel == |1 - 2**(d1 + d2)|`` with
+    ``di = -2**ji`` when bit ji was set, ``+2**ji`` otherwise.
+    Fraction bits i1 != i2: ``rel <= 2**(i1 - F) + 2**(i2 - F)``.
+    Posit double flips may hop fields (regime shifts change every
+    later bit's meaning), so no closed form exists there — skipped.
+    """
+    collector = FindingCollector("multibit-lowery", fmt.name)
+    if not isinstance(fmt, IEEETarget):
+        result = collector.finish(0)
+        result.skipped = True
+        return result
+    spec = fmt.format
+    values = value_sample(fmt, ctx.budget.values, seed=ctx.seed)
+    with np.errstate(over="ignore", invalid="ignore"):
+        stored = fmt.round_trip(values)
+        bits = np.asarray(fmt.to_bits(stored))
+    exp_mask = np.uint64((1 << spec.exponent_bits) - 1)
+    exp_of = (bits.astype(np.uint64) >> np.uint64(spec.fraction_bits)) & exp_mask
+    finite = np.isfinite(stored) & (stored != 0)
+    normal = finite & (exp_of >= 1) & (exp_of < spec.exponent_all_ones)
+    checked = 0
+
+    for j1, j2 in _exponent_pairs(spec.exponent_bits):
+        mask = bits.dtype.type(
+            (1 << (spec.fraction_bits + j1)) | (1 << (spec.fraction_bits + j2))
+        )
+        flipped = bits ^ mask
+        exp_faulty = (flipped.astype(np.uint64) >> np.uint64(spec.fraction_bits)) & exp_mask
+        both_normal = normal & (exp_faulty >= 1) & (exp_faulty < spec.exponent_all_ones)
+        if not np.any(both_normal):
+            continue
+        faulty = fmt.from_bits(flipped)
+        with np.errstate(over="ignore", invalid="ignore", divide="ignore"):
+            rel = np.abs(stored - faulty) / np.abs(stored)
+        delta = np.zeros(len(bits), dtype=np.float64)
+        for j in (j1, j2):
+            was_set = (exp_of >> np.uint64(j)) & np.uint64(1)
+            delta += np.where(was_set == 1, -(2.0**j), 2.0**j)
+        with np.errstate(over="ignore"):
+            expected = np.abs(1.0 - np.exp2(delta))
+        usable = both_normal & np.isfinite(rel) & np.isfinite(expected)
+        with np.errstate(invalid="ignore"):
+            deviation = np.abs(rel - expected) > _CLOSED_FORM_RTOL * np.maximum(expected, 1.0)
+        checked += int(np.sum(usable))
+        for idx in np.nonzero(usable & deviation)[0][:4].tolist():
+            collector.error(
+                f"{fmt.name} exponent bits ({j1},{j2}) double flip of "
+                f"{stored[idx]!r}: rel err {rel[idx]!r} off the composed "
+                f"Lowery form {expected[idx]!r}"
+            )
+
+    fraction_pairs = [
+        (0, spec.fraction_bits - 1),
+        (spec.fraction_bits // 2, spec.fraction_bits - 1),
+        (0, spec.fraction_bits // 2),
+    ]
+    for i1, i2 in {(min(p), max(p)) for p in fraction_pairs if p[0] != p[1]}:
+        flipped = bits ^ bits.dtype.type((1 << i1) | (1 << i2))
+        faulty = fmt.from_bits(flipped)
+        with np.errstate(over="ignore", invalid="ignore", divide="ignore"):
+            rel = np.abs(stored - faulty) / np.abs(stored)
+        bound = 2.0 ** (i1 - spec.fraction_bits) + 2.0 ** (i2 - spec.fraction_bits)
+        usable = normal & np.isfinite(rel)
+        checked += int(np.sum(usable))
+        over = usable & (rel > bound * (1 + _CLOSED_FORM_RTOL))
+        for idx in np.nonzero(over)[0][:4].tolist():
+            collector.error(
+                f"{fmt.name} fraction bits ({i1},{i2}) double flip of "
+                f"{stored[idx]!r}: rel err {rel[idx]!r} exceeds the summed "
+                f"Lowery bound {bound!r}"
+            )
+    return collector.finish(checked)
+
+
+def _format_fault_specs(nbits: int) -> list[str]:
+    """One valid concrete spec per grammar production for this width."""
+    return [
+        "single",
+        "adjacent(2)",
+        f"random({min(2, nbits)})",
+        "burst(3,0.5)",
+        f"stuckat({nbits - 1},1)",
+    ]
+
+
+def check_multibit_batched_identity(ctx, fmt: NumberFormat) -> CheckResult:
+    """Batched masked decode == scalar mask application, every model.
+
+    The campaign's encode-once pipeline decodes a whole trial block
+    through :meth:`NumberFormat.decode_masked`; this check regenerates
+    the same per-trial masks and replays them one element at a time
+    through :func:`repro.inject.faults.apply_masks` + ``from_bits``,
+    demanding bit-identical outputs (NaNs compared by pattern).
+    """
+    from repro.inject.faults import FaultMasks, apply_masks
+    from repro.inject.faultspec import resolve_fault
+
+    collector = FindingCollector("multibit-batched-identity", fmt.name)
+    patterns = pattern_sample(
+        fmt,
+        min(ctx.budget.patterns, 256),
+        exhaustive_max_bits=0,
+        seed=ctx.seed,
+    )
+    bits = np.asarray(patterns, dtype=fmt.dtype)
+    anchors = sorted({0, fmt.nbits // 2, fmt.nbits - 1})
+    checked = 0
+    for spec in _format_fault_specs(fmt.nbits):
+        resolved = resolve_fault(spec)
+        for anchor in anchors:
+            model = resolved.for_bit(anchor, fmt.nbits)
+            rng = np.random.default_rng(ctx.seed + anchor)
+            masks = model.masks(bits.shape, fmt.nbits, rng)
+            batched = np.asarray(fmt.decode_masked(bits, masks))
+            xor = np.broadcast_to(np.asarray(masks.xor, dtype=np.uint64), bits.shape)
+            set_mask = np.broadcast_to(np.asarray(masks.set, dtype=np.uint64), bits.shape)
+            clear = np.broadcast_to(np.asarray(masks.clear, dtype=np.uint64), bits.shape)
+            scalar = np.empty_like(batched)
+            for i in range(len(bits)):
+                one = apply_masks(
+                    bits[i : i + 1],
+                    FaultMasks(xor[i], set_mask[i], clear[i]),
+                    fmt.nbits,
+                )
+                scalar[i] = np.asarray(fmt.from_bits(one))[0]
+            same = (batched == scalar) | (np.isnan(batched) & np.isnan(scalar))
+            checked += len(bits)
+            for idx in np.nonzero(~same)[0][:2].tolist():
+                collector.error(
+                    f"{fmt.name} {resolved.spec} @ bit {anchor}: batched decode "
+                    f"of pattern {int(bits[idx]):#x} gave {batched[idx]!r}, "
+                    f"scalar path gave {scalar[idx]!r}"
+                )
+            if not resolved.is_default:
+                continue
+            # The default model must also match the legacy XOR-only
+            # decode path byte-for-byte (the seed-compatibility anchor).
+            legacy = np.asarray(fmt.decode_flips(bits, np.asarray([anchor])))[0]
+            same = (batched == legacy) | (np.isnan(batched) & np.isnan(legacy))
+            checked += len(bits)
+            for idx in np.nonzero(~same)[0][:2].tolist():
+                collector.error(
+                    f"{fmt.name} single @ bit {anchor}: decode_masked gave "
+                    f"{batched[idx]!r} but decode_flips gave {legacy[idx]!r}"
+                )
+    return collector.finish(checked)

@@ -15,7 +15,7 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.conformance import differential, golden, invariants
+from repro.conformance import differential, golden, invariants, multibit
 from repro.conformance.golden import default_golden_dir
 from repro.conformance.references import ORACLE_SEED
 from repro.conformance.report import (
@@ -52,6 +52,8 @@ FORMAT_CHECKS = (
     invariants.check_posit_monotonic,
     invariants.check_negation_symmetry,
     invariants.check_lowery_exponent,
+    multibit.check_multibit_lowery,
+    multibit.check_multibit_batched_identity,
 )
 
 #: Roster-independent checks (metrics layer).

@@ -21,14 +21,20 @@ def field_campaign(
     target_name: str,
     params: ExperimentParams,
     bits: tuple[int, ...] | None = None,
+    fault: str = "single",
 ) -> CampaignResult:
-    """Run (or reuse) a campaign for one dataset field and target."""
-    cache_key = (field_key, target_name, params.data_size, params.trials_per_bit, params.seed, bits)
+    """Run (or reuse) a campaign for one dataset field, target, and fault model."""
+    config = CampaignConfig(
+        trials_per_bit=params.trials_per_bit, bits=bits, seed=params.seed, fault=fault
+    )
+    cache_key = (
+        field_key, target_name, params.data_size, params.trials_per_bit,
+        params.seed, bits, config.fault,
+    )
     if cache_key in _CACHE:
         return _CACHE[cache_key]
     preset = get_preset(field_key)
     data = preset.generate(seed=params.seed, size=params.data_size)
-    config = CampaignConfig(trials_per_bit=params.trials_per_bit, bits=bits, seed=params.seed)
     # jobs is not part of the cache key: worker count never changes results.
     result = run_campaign(data, target_name, config, label=field_key, jobs=params.jobs)
     _CACHE[cache_key] = result

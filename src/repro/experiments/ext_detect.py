@@ -79,6 +79,26 @@ def run(params: ExperimentParams) -> ExperimentOutput:
         "undetected_faults_cause_negligible_damage",
         all(damage < 1e-2 for damage in undetected_damage.values()),
     )
+
+    # Storage-side view of the same detector, per fault model: replay
+    # campaign records (single vs adjacent(2), via the fault grammar)
+    # through the impact-driven threshold.  Multi-bit upsets cause
+    # bigger value jumps, so detection coverage must not shrink.
+    from repro.analysis.faultsweep import temporal_detection_report
+    from repro.experiments._campaigns import field_campaign
+
+    coverage = {}
+    for fault in ("single", "adjacent(2)"):
+        records = field_campaign("hurricane/uf30", "posit32", params, fault=fault).records
+        coverage[fault] = temporal_detection_report(records, NBITS).covered_fraction
+    output.check(
+        "impact_detection_coverage_grows_with_fault_width",
+        coverage["adjacent(2)"] >= coverage["single"] - 1e-9,
+    )
+    output.findings.append(
+        "impact-threshold coverage of stored-value faults: "
+        + ", ".join(f"{fault}: {cov:.3f}" for fault, cov in coverage.items())
+    )
     output.findings.append(
         "impact-driven detection catches the flips that matter; the "
         "worst *undetected* flip moves the final solution by "

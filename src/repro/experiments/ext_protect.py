@@ -10,7 +10,10 @@ ieee32:
   SDCs (relative error > 1);
 * how the naive protect-the-MSBs heuristic compares — IEEE's dangerous
   bits are static (exponent + sign), while the posit regime moves with
-  the data, so MSB protection behaves differently between the systems.
+  the data, so MSB protection behaves differently between the systems;
+* how the frontier shifts under a multi-bit fault model
+  (``adjacent(2)`` from the fault-spec grammar), replayed through the
+  support-aware evaluator in :mod:`repro.analysis.faultsweep`.
 """
 
 from __future__ import annotations
@@ -147,4 +150,42 @@ def run(params: ExperimentParams) -> ExperimentOutput:
             f"{target_name}_parity_overhead_is_one_bit",
             parity.overhead_bits == 1,
         )
+
+    # -- the same design question under a multi-bit fault model -------------
+    from repro.analysis.faultsweep import fault_frontier
+
+    multibit_table = Table(
+        title="Protection under adjacent(2) double flips (support-aware replay)",
+        columns=[
+            "target", "baseline_serious", "bits_needed_ranked",
+            "duplication_reduction", "parity_reduction",
+        ],
+    )
+    for target_name in ("ieee32", "posit32"):
+        records = field_campaign(
+            POOL_FIELDS[0], target_name, params, fault="adjacent(2)"
+        ).records
+        cell = fault_frontier(
+            records, target_name, NBITS, "adjacent(2)", max_protected=NBITS
+        )
+        multibit_table.add_row([
+            target_name,
+            cell.tmr[0].baseline_serious_fraction,
+            cell.bits_needed_for_reduction(TARGET_REDUCTION),
+            cell.duplication.serious_reduction,
+            cell.parity.serious_reduction,
+        ])
+        # Duplication compares whole words, so any flip pattern is
+        # detected regardless of the model.
+        output.check(
+            f"{target_name}_duplication_survives_double_flips",
+            cell.duplication.residual_serious_fraction == 0.0,
+        )
+        # Parity cancels on even covered flip counts: under adjacent(2)
+        # it can never guarantee more than duplication does.
+        output.check(
+            f"{target_name}_parity_not_above_duplication_under_double_flips",
+            cell.parity.serious_reduction <= cell.duplication.serious_reduction + 1e-12,
+        )
+    output.tables.append(multibit_table)
     return output

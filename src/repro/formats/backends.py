@@ -189,6 +189,19 @@ class CodecBackend:
         """Decode ``bits`` with each row's listed bit flipped."""
         return self.from_bits(flip_patterns(bits, bit_indices, self._fmt.dtype))
 
+    def decode_masked(self, bits, masks) -> np.ndarray:
+        """Decode ``bits`` under arbitrary XOR / set / clear fault masks.
+
+        ``masks`` is a :class:`repro.inject.faults.FaultMasks`; each mask
+        may be a scalar or broadcastable per-trial array, so one call
+        serves every registered fault model.  Pure pattern arithmetic
+        feeding ``from_bits`` — table backends decode the corrupted
+        patterns through the same value gather as ``decode_flips``.
+        """
+        from repro.inject.faults import apply_masks
+
+        return self.from_bits(apply_masks(np.asarray(bits), masks, self._fmt.nbits))
+
     def classify_rows(self, bits_rows, bit_indices) -> np.ndarray:
         """Field id of bit ``bit_indices[i]`` for every pattern in row i."""
         rows = np.asarray(bits_rows)

@@ -219,6 +219,21 @@ class NumberFormat(abc.ABC):
         telemetry.count("formats.decode.values", np.size(values))
         return values
 
+    def decode_masked(self, bits, masks) -> np.ndarray:
+        """Decode ``bits`` under arbitrary XOR / set / clear fault masks.
+
+        The multi-bit generalization of :meth:`decode_flips`: ``masks``
+        is a :class:`repro.inject.faults.FaultMasks` whose members are
+        scalars or per-trial arrays broadcastable to ``bits``.
+        """
+        telemetry = get_telemetry()
+        if not telemetry.enabled:
+            return self._backend.decode_masked(bits, masks)
+        with telemetry.span("formats.decode"):
+            values = self._backend.decode_masked(bits, masks)
+        telemetry.count("formats.decode.values", np.size(values))
+        return values
+
     def classify_bits_batch(self, bits_rows, bit_indices) -> np.ndarray:
         """Field id of bit ``bit_indices[i]`` for every pattern in row i."""
         for bit in np.asarray(bit_indices).reshape(-1):

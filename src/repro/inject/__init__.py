@@ -21,11 +21,23 @@ from repro.inject.campaign import (
 )
 from repro.inject.faults import (
     AdjacentBitFlip,
+    BurstBitFlip,
+    FaultMasks,
     FaultModel,
     MultiBitFlip,
     RandomBitFlip,
     SingleBitFlip,
     StuckAt,
+    apply_masks,
+)
+from repro.inject.faultspec import (
+    DEFAULT_FAULT_SPEC,
+    FAULT_GRAMMAR,
+    FaultSpecError,
+    ResolvedFault,
+    canonical_fault_spec,
+    registered_fault_examples,
+    resolve_fault,
 )
 from repro.inject.results import TrialRecords
 from repro.inject.suite import SuiteConfig, SuiteResult, load_manifest, run_suite
@@ -40,10 +52,16 @@ from repro.inject.trial import (
 
 __all__ = [
     "AdjacentBitFlip",
+    "BurstBitFlip",
     "CampaignConfig",
     "CampaignResult",
     "ConversionReport",
+    "DEFAULT_FAULT_SPEC",
+    "FAULT_GRAMMAR",
+    "FaultMasks",
     "FaultModel",
+    "FaultSpecError",
+    "ResolvedFault",
     "FieldPipeline",
     "FixedPositTarget",
     "IEEETarget",
@@ -63,8 +81,12 @@ __all__ = [
     "load_manifest",
     "run_suite",
     "verify_records",
+    "apply_masks",
     "bit_seeds",
+    "canonical_fault_spec",
     "conversion_report",
+    "registered_fault_examples",
+    "resolve_fault",
     "run_bit_trials",
     "run_campaign",
     "run_campaign_shard",

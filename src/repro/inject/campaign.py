@@ -36,6 +36,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.formats import NumberFormat
+from repro.inject.faultspec import DEFAULT_FAULT_SPEC, canonical_fault_spec, resolve_fault
 from repro.inject.results import TrialRecords
 from repro.inject.trial import field_pipeline, run_bit_trials
 from repro.metrics.summary import SummaryStats
@@ -57,15 +58,25 @@ class CampaignConfig:
         Bit positions to flip; None means every bit of the target.
     seed:
         Root seed; campaigns with equal seeds are bit-identical.
+    fault:
+        Fault-model spec (see :mod:`repro.inject.faultspec`); stored in
+        canonical form.  The default ``single`` is the paper's model and
+        keeps runs byte-identical to pre-fault-dimension campaigns.
     """
 
     trials_per_bit: int = PAPER_TRIALS_PER_BIT
     bits: tuple[int, ...] | None = None
     seed: int = 2023
+    fault: str = DEFAULT_FAULT_SPEC
 
     def __post_init__(self) -> None:
         if self.trials_per_bit <= 0:
             raise ValueError(f"trials_per_bit must be positive, got {self.trials_per_bit}")
+        object.__setattr__(self, "fault", canonical_fault_spec(self.fault))
+
+    def resolved_fault(self):
+        """The parsed :class:`~repro.inject.faultspec.ResolvedFault`."""
+        return resolve_fault(self.fault)
 
     def resolved_bits(self, target: NumberFormat) -> tuple[int, ...]:
         """The concrete bit list for a target."""
@@ -265,21 +276,38 @@ def run_campaign_shard(
     trials: int,
     seed: np.random.SeedSequence,
     baseline: SummaryStats,
+    fault_spec: str = DEFAULT_FAULT_SPEC,
 ) -> TrialRecords:
     """All trials of one bit position (the unit of parallel work).
 
     ``stored_data`` must already be round-tripped through the target so
-    every shard sees identical stored values.
+    every shard sees identical stored values.  ``fault_spec`` names the
+    fault model (:mod:`repro.inject.faultspec`); the default ``single``
+    takes exactly the historical path — same RNG stream, same records,
+    no ``fault_spec`` CSV column.
     """
+    fault = None
+    spec_label = None
+    if fault_spec != DEFAULT_FAULT_SPEC:
+        resolved = resolve_fault(fault_spec)
+        if not resolved.is_default:
+            fault = resolved.for_bit(bit, target.nbits)
+            spec_label = resolved.spec
     telemetry = get_telemetry()
     if not telemetry.enabled:
         rng = np.random.default_rng(seed)
         indices = rng.integers(0, stored_data.size, size=trials)
-        return run_bit_trials(stored_data, indices, bit, target, baseline, rng=rng)
+        return run_bit_trials(
+            stored_data, indices, bit, target, baseline,
+            rng=rng, fault=fault, fault_spec=spec_label,
+        )
     with telemetry.span("inject.shard"):
         rng = np.random.default_rng(seed)
         indices = rng.integers(0, stored_data.size, size=trials)
-        records = run_bit_trials(stored_data, indices, bit, target, baseline, rng=rng)
+        records = run_bit_trials(
+            stored_data, indices, bit, target, baseline,
+            rng=rng, fault=fault, fault_spec=spec_label,
+        )
     telemetry.count("inject.shards")
     return records
 
@@ -346,12 +374,34 @@ def run_field_trials(
         config = CampaignConfig()
     stored = np.asarray(stored_data).reshape(-1)
     bits = config.resolved_bits(target)
-    indices2d = _field_trial_indices(config, target, bits, stored.size)
+    resolved = config.resolved_fault()
+    if resolved.is_default:
+        indices2d = _field_trial_indices(config, target, bits, stored.size)
+        faults = rngs = spec_label = None
+    else:
+        # Non-default models may consume the shard RNG after the index
+        # draw, so each row keeps its live generator (positioned exactly
+        # as run_campaign_shard leaves it) instead of the cached block.
+        seeds = bit_seeds(config, target)
+        indices2d = np.empty((len(bits), config.trials_per_bit), dtype=np.int64)
+        faults, rngs = [], []
+        for row, bit in enumerate(bits):
+            rng = np.random.default_rng(seeds[bit])
+            indices2d[row] = rng.integers(0, stored.size, size=config.trials_per_bit)
+            faults.append(resolved.for_bit(bit, target.nbits))
+            rngs.append(rng)
+        spec_label = resolved.spec
     pipeline = field_pipeline(target, stored)
     telemetry = get_telemetry()
     if not telemetry.enabled:
-        return pipeline.run_bits(np.asarray(bits, dtype=np.int64), indices2d, baseline)
+        return pipeline.run_bits(
+            np.asarray(bits, dtype=np.int64), indices2d, baseline,
+            faults=faults, rngs=rngs, fault_spec=spec_label,
+        )
     with telemetry.span("inject.field"):
-        records = pipeline.run_bits(np.asarray(bits, dtype=np.int64), indices2d, baseline)
+        records = pipeline.run_bits(
+            np.asarray(bits, dtype=np.int64), indices2d, baseline,
+            faults=faults, rngs=rngs, fault_spec=spec_label,
+        )
     telemetry.count("inject.trials", indices2d.size)
     return records

@@ -11,16 +11,54 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
+from typing import NamedTuple
 
 import numpy as np
+
+
+class FaultMasks(NamedTuple):
+    """The three masks any registered fault model reduces to.
+
+    Corruption is ``((bits ^ xor) | set) & ~clear`` — XOR masks express
+    every flip model, set/clear masks express stuck-at.  Each mask is an
+    ``int`` (uniform across trials) or a ``uint64`` array broadcastable
+    to the trial block, so batched application is pure whole-array
+    pattern arithmetic feeding ``from_bits``.
+    """
+
+    xor: "int | np.ndarray"
+    set: "int | np.ndarray"
+    clear: "int | np.ndarray"
+
+
+def apply_masks(bits: np.ndarray, masks: FaultMasks, nbits: int) -> np.ndarray:
+    """Apply :class:`FaultMasks` to a pattern array (batched or scalar).
+
+    Byte-identical to applying the same masks one element at a time —
+    the property the conformance oracle checks for every registered
+    model.
+    """
+    word = np.uint64((1 << nbits) - 1)
+    xor = np.asarray(masks.xor, dtype=np.uint64)
+    set_mask = np.asarray(masks.set, dtype=np.uint64)
+    clear_mask = np.asarray(masks.clear, dtype=np.uint64)
+    patterns = bits.astype(np.uint64)
+    patterns = (((patterns ^ xor) | set_mask) & ~clear_mask) & word
+    return patterns.astype(bits.dtype)
 
 
 class FaultModel(abc.ABC):
     """Transforms bit patterns into corrupted bit patterns."""
 
-    @abc.abstractmethod
     def apply(self, bits: np.ndarray, nbits: int, rng: np.random.Generator) -> np.ndarray:
         """Corrupt every element of ``bits`` (each element independently)."""
+        return apply_masks(bits, self.masks(bits.shape, nbits, rng), nbits)
+
+    @abc.abstractmethod
+    def masks(
+        self, shape: tuple[int, ...], nbits: int, rng: np.random.Generator
+    ) -> FaultMasks:
+        """The corruption masks for a trial block of the given shape."""
 
     @abc.abstractmethod
     def describe(self) -> str:
@@ -38,6 +76,11 @@ class SingleBitFlip(FaultModel):
             raise ValueError(f"bit_index {self.bit_index} out of range for {nbits} bits")
         mask = bits.dtype.type(1 << self.bit_index)
         return bits ^ mask
+
+    def masks(self, shape, nbits: int, rng: np.random.Generator) -> FaultMasks:
+        if not 0 <= self.bit_index < nbits:
+            raise ValueError(f"bit_index {self.bit_index} out of range for {nbits} bits")
+        return FaultMasks(xor=1 << self.bit_index, set=0, clear=0)
 
     def describe(self) -> str:
         return f"single bit flip @ bit {self.bit_index}"
@@ -63,6 +106,14 @@ class MultiBitFlip(FaultModel):
             mask |= 1 << index
         return bits ^ bits.dtype.type(mask)
 
+    def masks(self, shape, nbits: int, rng: np.random.Generator) -> FaultMasks:
+        if any(not 0 <= b < nbits for b in self.bit_indices):
+            raise ValueError(f"bit indices {self.bit_indices} out of range for {nbits} bits")
+        mask = 0
+        for index in self.bit_indices:
+            mask |= 1 << index
+        return FaultMasks(xor=mask, set=0, clear=0)
+
     def describe(self) -> str:
         return f"multi bit flip @ bits {sorted(self.bit_indices)}"
 
@@ -85,6 +136,13 @@ class AdjacentBitFlip(FaultModel):
         mask = ((1 << top) - 1) ^ ((1 << self.bit_index) - 1)
         return bits ^ bits.dtype.type(mask)
 
+    def masks(self, shape, nbits: int, rng: np.random.Generator) -> FaultMasks:
+        if not 0 <= self.bit_index < nbits:
+            raise ValueError(f"bit_index {self.bit_index} out of range for {nbits} bits")
+        top = min(self.bit_index + self.count, nbits)
+        mask = ((1 << top) - 1) ^ ((1 << self.bit_index) - 1)
+        return FaultMasks(xor=mask, set=0, clear=0)
+
     def describe(self) -> str:
         return f"{self.count}-bit adjacent flip @ bit {self.bit_index}"
 
@@ -99,21 +157,64 @@ class RandomBitFlip(FaultModel):
         if self.count < 1:
             raise ValueError("count must be >= 1")
 
-    def apply(self, bits: np.ndarray, nbits: int, rng: np.random.Generator) -> np.ndarray:
+    def masks(self, shape, nbits: int, rng: np.random.Generator) -> FaultMasks:
         if self.count > nbits:
             raise ValueError(f"cannot flip {self.count} distinct bits of {nbits}")
-        flat = bits.reshape(-1)
-        masks = np.zeros(flat.shape, dtype=np.uint64)
-        for i in range(flat.size):
+        size = int(np.prod(shape, dtype=np.int64)) if shape else 1
+        xor = np.zeros(size, dtype=np.uint64)
+        for i in range(size):
             chosen = rng.choice(nbits, size=self.count, replace=False)
             mask = 0
             for b in chosen:
                 mask |= 1 << int(b)
-            masks[i] = mask
-        return (flat.astype(np.uint64) ^ masks).astype(bits.dtype).reshape(bits.shape)
+            xor[i] = mask
+        return FaultMasks(xor=xor.reshape(shape), set=0, clear=0)
 
     def describe(self) -> str:
         return f"{self.count} random bit flip(s) per element"
+
+
+@dataclass(frozen=True)
+class BurstBitFlip(FaultModel):
+    """Probabilistic burst upset: a seed flip that may smear upward.
+
+    The anchor bit always flips; each of the ``length - 1`` bits above
+    it flips independently with probability ``prob`` (clipped at the top
+    of the word).  ``prob = 1`` degenerates to
+    :class:`AdjacentBitFlip`; small ``prob`` models the charge-sharing
+    bursts DRAM studies report, where neighbor upsets are likely but
+    not certain.
+    """
+
+    bit_index: int
+    length: int = 2
+    prob: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.length < 2:
+            raise ValueError("length must be >= 2")
+        if not 0.0 < self.prob <= 1.0:
+            raise ValueError("prob must be in (0, 1]")
+
+    def masks(self, shape, nbits: int, rng: np.random.Generator) -> FaultMasks:
+        if not 0 <= self.bit_index < nbits:
+            raise ValueError(f"bit_index {self.bit_index} out of range for {nbits} bits")
+        top = min(self.bit_index + self.length, nbits)
+        tail = top - self.bit_index - 1
+        anchor = np.uint64(1 << self.bit_index)
+        if tail <= 0:
+            return FaultMasks(xor=int(anchor), set=0, clear=0)
+        # One draw block per trial block, consumed in C order so the
+        # stream matches a per-trial loop drawing ``tail`` floats each.
+        hits = rng.random(tuple(shape) + (tail,)) < self.prob
+        weights = np.uint64(1) << (
+            np.arange(self.bit_index + 1, top, dtype=np.uint64)
+        )
+        xor = anchor | (hits * weights).sum(axis=-1, dtype=np.uint64)
+        return FaultMasks(xor=xor, set=0, clear=0)
+
+    def describe(self) -> str:
+        return f"burst({self.length},{self.prob:g}) @ bit {self.bit_index}"
 
 
 @dataclass(frozen=True)
@@ -134,6 +235,14 @@ class StuckAt(FaultModel):
         if self.value == 1:
             return bits | mask
         return bits & bits.dtype.type(~int(mask) & ((1 << nbits) - 1))
+
+    def masks(self, shape, nbits: int, rng: np.random.Generator) -> FaultMasks:
+        if not 0 <= self.bit_index < nbits:
+            raise ValueError(f"bit_index {self.bit_index} out of range for {nbits} bits")
+        mask = 1 << self.bit_index
+        if self.value == 1:
+            return FaultMasks(xor=0, set=mask, clear=0)
+        return FaultMasks(xor=0, set=0, clear=mask)
 
     def describe(self) -> str:
         return f"stuck-at-{self.value} @ bit {self.bit_index}"

@@ -1,0 +1,300 @@
+"""The fault-model spec grammar: every fault model round-trips through a string.
+
+A *fault spec* is a short string naming a (possibly parameterized) fault
+model, mirroring the format spec grammar in :mod:`repro.formats.spec`.
+Canonical specs double as campaign identity: they are stored in the run
+manifest, stamped into shard CSVs, and rehydrated on the far side of a
+process pool — so a campaign swept over fault models carries its model
+the same way it carries its number format.
+
+Grammar (case-insensitive, whitespace ignored)::
+
+    single              the paper's model: flip the shard's bit   single
+    adjacent(<k>)       flip k adjacent bits anchored at the
+                        shard's bit (multi-bit upset)             adjacent(2)
+    random(<k>)         flip k uniformly random distinct bits
+                        per trial (shard bit = label only)        random(2)
+    burst(<k>,<p>)      flip the shard's bit, then each of the
+                        next k-1 bits independently with
+                        probability p (DRAM burst model)          burst(4,0.5)
+    stuckat(<pos>,<v>)  force bit <pos> to <v> in every trial
+                        (hard fault; shard bit = label only)      stuckat(31,1)
+
+``resolve_fault`` returns a :class:`ResolvedFault` whose ``for_bit``
+factory builds the concrete :class:`~repro.inject.faults.FaultModel`
+for one shard — ``single`` and ``adjacent`` are anchored at the shard's
+bit position, ``random``/``burst``/``stuckat`` carry their own
+parameters.  ``adjacent`` bursts that run past the top bit clip to the
+word, exactly as :class:`~repro.inject.faults.AdjacentBitFlip` does.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.inject.faults import (
+    AdjacentBitFlip,
+    BurstBitFlip,
+    FaultModel,
+    RandomBitFlip,
+    SingleBitFlip,
+    StuckAt,
+)
+
+#: The default model: what every pre-existing campaign ran.
+DEFAULT_FAULT_SPEC = "single"
+
+
+class FaultSpecError(ValueError):
+    """A fault spec that does not parse or describes an invalid model."""
+
+
+_ADJACENT = re.compile(r"^adjacent\((-?\d+)\)$")
+_RANDOM = re.compile(r"^random\((-?\d+)\)$")
+_BURST = re.compile(r"^burst\((-?\d+),(-?\d+(?:\.\d+)?)\)$")
+_STUCKAT = re.compile(r"^stuckat\((-?\d+),(-?\d+)\)$")
+
+#: spec -> (summary, canonical example); drives docs, CLI help, and the
+#: conformance sweep over "one of each" registered model.
+FAULT_GRAMMAR: dict[str, tuple[str, str]] = {
+    "single": ("flip the shard's bit (the paper's model)", "single"),
+    "adjacent(<k>)": ("flip k>=2 adjacent bits anchored at the shard's bit", "adjacent(2)"),
+    "random(<k>)": ("flip k>=1 uniformly random distinct bits per trial", "random(2)"),
+    "burst(<k>,<p>)": (
+        "flip the shard's bit, then each of the next k-1 bits with probability p",
+        "burst(4,0.5)",
+    ),
+    "stuckat(<pos>,<v>)": ("force bit <pos> to <v> (0 or 1) in every trial", "stuckat(31,1)"),
+}
+
+
+def _grammar_summary() -> str:
+    return ", ".join(FAULT_GRAMMAR)
+
+
+def _examples() -> str:
+    return ", ".join(example for _, example in FAULT_GRAMMAR.values())
+
+
+@dataclass(frozen=True)
+class ResolvedFault:
+    """A parsed fault spec: canonical name plus a per-shard factory.
+
+    Attributes
+    ----------
+    spec:
+        The canonical spec string (round-trips through
+        :func:`resolve_fault`); this is what manifests and CSVs store.
+    kind:
+        The grammar production (``single``, ``adjacent``, ...).
+    flips:
+        Whether mask application is XOR-involutive (flip models) as
+        opposed to idempotent (stuck-at).
+    uses_rng:
+        Whether building a trial's mask consumes the shard RNG stream.
+    width:
+        Upper bound on bits touched per trial (1 for ``single``).
+    anchored:
+        Whether the model is parameterized by the shard's bit position
+        (``single``/``adjacent``/``burst``) or fixed across shards.
+    """
+
+    spec: str
+    kind: str
+    flips: bool
+    uses_rng: bool
+    width: int
+    anchored: bool
+
+    @property
+    def is_default(self) -> bool:
+        return self.spec == DEFAULT_FAULT_SPEC
+
+    def for_bit(self, bit: int, nbits: int) -> FaultModel:
+        """The concrete model for the shard flipping ``bit`` of ``nbits``."""
+        if not 0 <= bit < nbits:
+            raise FaultSpecError(f"bit {bit} out of range for an {nbits}-bit format")
+        if self.kind == "single":
+            return SingleBitFlip(bit)
+        if self.kind == "adjacent":
+            return AdjacentBitFlip(bit, self.width)
+        if self.kind == "random":
+            if self.width > nbits:
+                raise FaultSpecError(
+                    f"fault spec {self.spec!r} flips {self.width} distinct bits but the "
+                    f"format has only {nbits}; use random(k) with k <= {nbits}"
+                )
+            return RandomBitFlip(self.width)
+        if self.kind == "burst":
+            return BurstBitFlip(bit, self.width, self._prob)
+        # stuckat
+        if self._pos >= nbits:
+            raise FaultSpecError(
+                f"fault spec {self.spec!r} targets bit {self._pos} but the format has "
+                f"only {nbits} bits (positions 0..{nbits - 1}); try stuckat({nbits - 1},1)"
+            )
+        return StuckAt(self._pos, self._value)
+
+    def support(self, bit: int, nbits: int) -> tuple[int, ...]:
+        """Every position the model may touch for the shard at ``bit``.
+
+        The *support* drives protection replay
+        (:mod:`repro.analysis.faultsweep`): a scheme is only guaranteed
+        to neutralize a trial when its coverage relates to all positions
+        the model could have flipped, not just the anchor bit recorded
+        in the shard CSV.  ``random`` touches the whole word.
+        """
+        if self.kind == "single":
+            return (bit,)
+        if self.kind in ("adjacent", "burst"):
+            return tuple(range(bit, min(bit + self.width, nbits)))
+        if self.kind == "random":
+            return tuple(range(nbits))
+        return (self._pos,)  # stuckat
+
+    def odd_flips_guaranteed(self, bit: int, nbits: int) -> bool:
+        """Whether every error-producing trial flips an odd bit count.
+
+        Parity detection sees only the XOR of the covered positions, so
+        an even number of covered flips is invisible.  ``single`` and
+        ``stuckat`` change at most one bit (a zero-change stuck-at trial
+        carries zero error, so among error-producing trials the count is
+        exactly one); ``adjacent``/``random`` flip a fixed count;
+        ``burst`` flips a random count and guarantees nothing beyond its
+        anchor.
+        """
+        if self.kind in ("single", "stuckat"):
+            return True
+        if self.kind == "adjacent":
+            return (min(bit + self.width, nbits) - bit) % 2 == 1
+        if self.kind == "random":
+            return self.width % 2 == 1
+        # burst: only the anchor is certain; further flips are Bernoulli.
+        return min(bit + self.width, nbits) - bit == 1
+
+    # stuckat/burst parameters, parsed out of the canonical spec so the
+    # dataclass stays hashable on (spec, kind, ...) alone.
+    @property
+    def _prob(self) -> float:
+        return float(self.spec.partition(",")[2].rstrip(")"))
+
+    @property
+    def _pos(self) -> int:
+        return int(self.spec.partition("(")[2].partition(",")[0])
+
+    @property
+    def _value(self) -> int:
+        return int(self.spec.partition(",")[2].rstrip(")"))
+
+
+def normalize_fault_spec(spec: str) -> str:
+    """Lowercase and strip all whitespace (the grammar ignores both)."""
+    return re.sub(r"\s+", "", str(spec).lower())
+
+
+def resolve_fault(spec: str) -> ResolvedFault:
+    """Parse a fault spec into a :class:`ResolvedFault`.
+
+    Raises :class:`FaultSpecError` for strings outside the grammar and
+    for grammatical specs with invalid parameters, naming the spec, the
+    failing constraint, and valid examples — mirroring the format spec
+    error style.
+    """
+    text = normalize_fault_spec(spec)
+
+    if text == "single":
+        return ResolvedFault(
+            spec="single", kind="single", flips=True, uses_rng=False, width=1, anchored=True
+        )
+
+    match = _ADJACENT.match(text)
+    if match:
+        count = int(match.group(1))
+        if count < 2:
+            raise FaultSpecError(
+                f"fault spec {spec!r} invalid: adjacent(<k>) needs k >= 2 "
+                f"(a 1-bit 'burst' is spelled 'single'); valid examples: adjacent(2), adjacent(3)"
+            )
+        return ResolvedFault(
+            spec=f"adjacent({count})",
+            kind="adjacent",
+            flips=True,
+            uses_rng=False,
+            width=count,
+            anchored=True,
+        )
+
+    match = _RANDOM.match(text)
+    if match:
+        count = int(match.group(1))
+        if count < 1:
+            raise FaultSpecError(
+                f"fault spec {spec!r} invalid: random(<k>) needs k >= 1; "
+                f"valid examples: random(1), random(2)"
+            )
+        return ResolvedFault(
+            spec=f"random({count})",
+            kind="random",
+            flips=True,
+            uses_rng=True,
+            width=count,
+            anchored=False,
+        )
+
+    match = _BURST.match(text)
+    if match:
+        length = int(match.group(1))
+        prob = float(match.group(2))
+        if length < 2:
+            raise FaultSpecError(
+                f"fault spec {spec!r} invalid: burst(<k>,<p>) needs k >= 2 "
+                f"(a 1-bit burst is spelled 'single'); valid examples: burst(2,0.5), burst(4,0.25)"
+            )
+        if not 0.0 < prob <= 1.0:
+            raise FaultSpecError(
+                f"fault spec {spec!r} invalid: burst probability must satisfy 0 < p <= 1; "
+                f"valid examples: burst(4,0.5), burst(3,1.0)"
+            )
+        canonical = f"burst({length},{format(prob, 'g')})"
+        return ResolvedFault(
+            spec=canonical, kind="burst", flips=True, uses_rng=True, width=length, anchored=True
+        )
+
+    match = _STUCKAT.match(text)
+    if match:
+        pos = int(match.group(1))
+        value = int(match.group(2))
+        if pos < 0:
+            raise FaultSpecError(
+                f"fault spec {spec!r} invalid: stuck-at position must be >= 0 "
+                f"(LSB is bit 0); valid examples: stuckat(0,1), stuckat(31,0)"
+            )
+        if value not in (0, 1):
+            raise FaultSpecError(
+                f"fault spec {spec!r} invalid: stuck-at value must be 0 or 1; "
+                f"valid examples: stuckat(31,1), stuckat(7,0)"
+            )
+        return ResolvedFault(
+            spec=f"stuckat({pos},{value})",
+            kind="stuckat",
+            flips=False,
+            uses_rng=False,
+            width=1,
+            anchored=False,
+        )
+
+    raise FaultSpecError(
+        f"fault spec {spec!r} does not match the fault grammar "
+        f"({_grammar_summary()}); valid examples: {_examples()}"
+    )
+
+
+def canonical_fault_spec(spec: str) -> str:
+    """The canonical spec a fault string resolves to (parses it fully)."""
+    return resolve_fault(spec).spec
+
+
+def registered_fault_examples() -> tuple[str, ...]:
+    """One canonical example spec per grammar production (for sweeps)."""
+    return tuple(example for _, example in FAULT_GRAMMAR.values())

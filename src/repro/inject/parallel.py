@@ -45,6 +45,7 @@ def _init_worker(
     telemetry_enabled: bool = False,
     chaos=None,
     heartbeat=None,
+    fault_spec: str = "single",
 ) -> None:
     # Targets cross the pool boundary as spec strings, not pickles:
     # every format's name is a valid spec (posit16es1, binary(8,23),
@@ -60,6 +61,9 @@ def _init_worker(
     # a hung or dead worker from a queued task and kill + requeue it.
     _WORKER_STATE["chaos"] = chaos
     _WORKER_STATE["heartbeat"] = heartbeat
+    # Fault-model spec crosses the boundary as its canonical string, same
+    # as the target: resolved per shard in run_campaign_shard.
+    _WORKER_STATE["fault"] = fault_spec
     # The fork copied the parent's SIGTERM handler (the runner converts
     # SIGTERM to a checkpointing interrupt); in a worker that handler
     # would make Pool.terminate() raise instead of exit and the shutdown
@@ -104,6 +108,7 @@ def _run_shard(args) -> TrialRecords:
         trials,
         seed,
         _WORKER_STATE["baseline"],
+        fault_spec=_WORKER_STATE.get("fault", "single"),
     )
 
 

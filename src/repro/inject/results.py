@@ -34,6 +34,14 @@ _FLOAT_COLUMNS = (
 _INT_COLUMNS = ("trial", "bit", "index", "field", "regime_k")
 _BOOL_COLUMNS = ("non_finite",)
 
+#: Optional per-row columns: present only when a campaign needs them
+#: (``fault_spec`` appears on non-``single`` fault models), so default
+#: campaigns write byte-identical CSVs to every earlier schema-1 file.
+_OPTIONAL_COLUMNS = ("fault_spec",)
+
+#: What an absent optional column means when merging with one present.
+_OPTIONAL_DEFAULTS = {"fault_spec": "single"}
+
 
 @dataclass
 class TrialRecords:
@@ -78,11 +86,14 @@ class TrialRecords:
     faulty_max: np.ndarray
     faulty_min: np.ndarray
     non_finite: np.ndarray
+    fault_spec: np.ndarray | None = None
 
     def __post_init__(self) -> None:
         length = len(self.trial)
         for column in dataclass_fields(self):
             array = getattr(self, column.name)
+            if array is None:
+                continue
             if len(array) != length:
                 raise ValueError(
                     f"column {column.name} has {len(array)} rows, expected {length}"
@@ -109,20 +120,31 @@ class TrialRecords:
         """Merge shards (e.g. per-bit or per-worker results)."""
         if not parts:
             return cls.empty()
-        kwargs = {
-            column.name: np.concatenate([getattr(part, column.name) for part in parts])
-            for column in dataclass_fields(cls)
-        }
+        kwargs = {}
+        for column in dataclass_fields(cls):
+            arrays = [getattr(part, column.name) for part in parts]
+            if column.name in _OPTIONAL_COLUMNS:
+                if all(array is None for array in arrays):
+                    kwargs[column.name] = None
+                    continue
+                default = _OPTIONAL_DEFAULTS[column.name]
+                arrays = [
+                    array
+                    if array is not None
+                    else np.full(len(part), default, dtype="<U32")
+                    for array, part in zip(arrays, parts)
+                ]
+            kwargs[column.name] = np.concatenate(arrays)
         return cls(**kwargs)
 
     # -- filtering ----------------------------------------------------------
 
     def select(self, mask) -> "TrialRecords":
         """Row subset by boolean mask or index array."""
-        kwargs = {
-            column.name: getattr(self, column.name)[mask]
-            for column in dataclass_fields(self)
-        }
+        kwargs = {}
+        for column in dataclass_fields(self):
+            array = getattr(self, column.name)
+            kwargs[column.name] = None if array is None else array[mask]
         return TrialRecords(**kwargs)
 
     def for_bit(self, bit_index: int) -> "TrialRecords":
@@ -144,7 +166,11 @@ class TrialRecords:
     # -- CSV ------------------------------------------------------------------
 
     def column_names(self) -> list[str]:
-        return [column.name for column in dataclass_fields(self)]
+        return [
+            column.name
+            for column in dataclass_fields(self)
+            if getattr(self, column.name) is not None
+        ]
 
     def write_csv(self, path: str | os.PathLike) -> None:
         """Write the paper-style CSV log."""
@@ -164,7 +190,12 @@ class TrialRecords:
         columns = [getattr(self, name) for name in names]
         for row in zip(*columns):
             writer.writerow(
-                [repr(float(v)) if isinstance(v, (float, np.floating)) else int(v) for v in row]
+                [
+                    repr(float(v))
+                    if isinstance(v, (float, np.floating))
+                    else (str(v) if isinstance(v, (str, np.str_)) else int(v))
+                    for v in row
+                ]
             )
 
     @classmethod
@@ -189,17 +220,28 @@ class TrialRecords:
             header = first
         if header is None:
             raise ValueError("CSV missing header row")
-        expected = [column.name for column in dataclass_fields(cls)]
-        if header != expected:
-            raise ValueError(f"CSV columns {header} do not match schema {expected}")
+        required = [
+            column.name
+            for column in dataclass_fields(cls)
+            if column.name not in _OPTIONAL_COLUMNS
+        ]
+        # Optional columns append in declaration order; a file carries a
+        # prefix of them (today: none, or fault_spec).
+        variants = [required]
+        for name in _OPTIONAL_COLUMNS:
+            variants.append(variants[-1] + [name])
+        if header not in variants:
+            raise ValueError(f"CSV columns {header} do not match schema {required}")
         rows = list(reader)
-        kwargs = {}
-        for position, name in enumerate(expected):
+        kwargs = {name: None for name in _OPTIONAL_COLUMNS}
+        for position, name in enumerate(header):
             raw = [row[position] for row in rows]
             if name in _INT_COLUMNS:
                 kwargs[name] = np.array([int(v) for v in raw], dtype=np.int64)
             elif name in _BOOL_COLUMNS:
                 kwargs[name] = np.array([bool(int(v)) for v in raw], dtype=bool)
+            elif name in _OPTIONAL_COLUMNS:
+                kwargs[name] = np.array(raw, dtype="<U32")
             else:
                 kwargs[name] = np.array([float(v) for v in raw], dtype=np.float64)
         return cls(**kwargs)

@@ -23,7 +23,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.inject.faults import FaultModel, SingleBitFlip
+from repro.inject.faults import FaultModel, SingleBitFlip, apply_masks
 from repro.inject.results import TrialRecords
 from repro.formats import NumberFormat
 from repro.metrics.fast import FaultMetrics, vectorized_single_fault
@@ -146,6 +146,9 @@ class FieldPipeline:
         bit_list,
         indices2d: np.ndarray,
         baseline: SummaryStats,
+        faults: "list[FaultModel] | None" = None,
+        rngs: "list[np.random.Generator] | None" = None,
+        fault_spec: str | None = None,
     ) -> TrialRecords:
         """All listed bits' trials in one batched pass.
 
@@ -153,17 +156,39 @@ class FieldPipeline:
         ``bit_list[i]``'s trials.  Row ``i`` of the result is
         byte-identical to the per-bit records of
         :func:`run_bit_trials` with the same indices.
+
+        ``faults`` (one model per row, with ``rngs`` holding each row's
+        generator positioned exactly as the per-shard stream would be)
+        generalizes the default single-flip decode to arbitrary fault
+        masks; the decode itself stays one whole-block gather.
         """
         bit_list = np.asarray(bit_list, dtype=np.int64)
         indices2d = np.asarray(indices2d, dtype=np.int64)
         bits_sel = self.bits[indices2d]
         originals = self.stored[indices2d]
-        faulty = self.batch.decode_flips(bits_sel, bit_list)
+        if faults is None:
+            faulty = self.batch.decode_flips(bits_sel, bit_list)
+        else:
+            nbits = self.target.nbits
+            patterns = np.empty_like(bits_sel)
+            for row, fault in enumerate(faults):
+                rng = rngs[row] if rngs is not None else np.random.default_rng(0)
+                masks = fault.masks(bits_sel[row].shape, nbits, rng)
+                patterns[row] = apply_masks(bits_sel[row], masks, nbits)
+            faulty = self.batch.from_bits(patterns)
         fields = self.batch.classify_bits_batch(bits_sel, bit_list)
         regimes = self.batch.regime_sizes(bits_sel)
         metrics = vectorized_single_fault(baseline, originals, faulty)
         return _assemble_records(
-            bit_list, indices2d, originals, faulty, fields, regimes, metrics, baseline
+            bit_list,
+            indices2d,
+            originals,
+            faulty,
+            fields,
+            regimes,
+            metrics,
+            baseline,
+            fault_spec=fault_spec,
         )
 
     def run_bit(
@@ -173,6 +198,7 @@ class FieldPipeline:
         baseline: SummaryStats,
         rng: np.random.Generator,
         fault: FaultModel,
+        fault_spec: str | None = None,
     ) -> TrialRecords:
         """One bit position's trials (the classic shard shape)."""
         indices = np.asarray(indices, dtype=np.int64)
@@ -183,8 +209,8 @@ class FieldPipeline:
             # pure-XOR batch path is stream-identical to fault.apply.
             faulty = self.batch.decode_flips(bits_sel, [bit_index])[0]
         else:
-            faulty_bits = fault.apply(bits_sel, self.target.nbits, rng)
-            faulty = self.batch.from_bits(faulty_bits)
+            masks = fault.masks(bits_sel.shape, self.target.nbits, rng)
+            faulty = self.batch.decode_masked(bits_sel, masks)
         fields = self.batch.classify_bits(bits_sel, bit_index)
         regimes = self.batch.regime_sizes(bits_sel)
         metrics = vectorized_single_fault(baseline, originals, faulty)
@@ -198,6 +224,7 @@ class FieldPipeline:
             np.asarray(regimes)[None, :],
             metrics.reshape((1, indices.size)),
             baseline,
+            fault_spec=fault_spec,
         )
 
 
@@ -229,6 +256,7 @@ def run_bit_trials(
     baseline: SummaryStats,
     rng: np.random.Generator | None = None,
     fault: FaultModel | None = None,
+    fault_spec: str | None = None,
 ) -> TrialRecords:
     """All trials for one bit position, vectorized.
 
@@ -243,6 +271,10 @@ def run_bit_trials(
         ``fault`` touches several bits.
     baseline:
         Precomputed summary of ``data`` (the paper computes it once).
+    fault_spec:
+        Canonical fault spec to stamp into the records' ``fault_spec``
+        column; ``None`` (the default single-flip campaign) leaves the
+        column absent so CSVs stay byte-identical to the schema-1 form.
     """
     if fault is None:
         fault = SingleBitFlip(bit_index)
@@ -252,9 +284,11 @@ def run_bit_trials(
 
     telemetry = get_telemetry()
     if not telemetry.enabled:
-        return _run_bit_trials(data, indices, bit_index, target, baseline, rng, fault)
+        return _run_bit_trials(data, indices, bit_index, target, baseline, rng, fault, fault_spec)
     with telemetry.span("inject.trial"):
-        records = _run_bit_trials(data, indices, bit_index, target, baseline, rng, fault)
+        records = _run_bit_trials(
+            data, indices, bit_index, target, baseline, rng, fault, fault_spec
+        )
     telemetry.count("inject.trials", len(indices))
     return records
 
@@ -267,9 +301,10 @@ def _run_bit_trials(
     baseline: SummaryStats,
     rng: np.random.Generator,
     fault: FaultModel,
+    fault_spec: str | None = None,
 ) -> TrialRecords:
     pipeline = field_pipeline(target, data)
-    return pipeline.run_bit(indices, bit_index, baseline, rng, fault)
+    return pipeline.run_bit(indices, bit_index, baseline, rng, fault, fault_spec)
 
 
 def _assemble_records(
@@ -281,6 +316,7 @@ def _assemble_records(
     regimes: np.ndarray,
     metrics: FaultMetrics,
     baseline: SummaryStats,
+    fault_spec: str | None = None,
 ) -> TrialRecords:
     """Fold summary stats and flatten a ``(bits, trials)`` block to records.
 
@@ -322,4 +358,9 @@ def _assemble_records(
         faulty_max=np.asarray(faulty_max, dtype=np.float64).ravel(),
         faulty_min=np.asarray(faulty_min, dtype=np.float64).ravel(),
         non_finite=metrics.non_finite.ravel(),
+        fault_spec=(
+            None
+            if fault_spec is None
+            else np.full(rows * trials, fault_spec, dtype="<U32")
+        ),
     )

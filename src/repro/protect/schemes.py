@@ -51,6 +51,16 @@ class ProtectionScheme(abc.ABC):
         """Extra bits relative to the unprotected word."""
         return self.overhead_bits(nbits) / nbits
 
+    def detects_even_flips(self) -> bool:
+        """Whether an even number of covered flips is still caught.
+
+        Parity-style detection sees only the XOR of its covered
+        positions, so two flips inside the set cancel; a compare-based
+        mechanism (duplication) catches any mismatch.  Matters only
+        under multi-bit fault models (:mod:`repro.analysis.faultsweep`).
+        """
+        return False
+
 
 @dataclass(frozen=True)
 class NoProtection(ProtectionScheme):
@@ -130,6 +140,9 @@ class FullDuplication(ProtectionScheme):
 
     def describe(self) -> str:
         return "duplication"
+
+    def detects_even_flips(self) -> bool:
+        return True  # any mismatch between the copies is visible
 
 
 @dataclass(frozen=True)

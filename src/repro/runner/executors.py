@@ -94,6 +94,11 @@ class ExecutionContext:
         return self._runner.baseline
 
     @property
+    def fault_spec(self) -> str:
+        """Canonical fault-model spec of this run (``single`` by default)."""
+        return self._runner.config.fault
+
+    @property
     def max_retries(self) -> int:
         return self._runner.max_retries
 
@@ -364,7 +369,8 @@ class PoolExecutor(Executor):
                 processes=ctx.jobs,
                 initializer=_init_worker,
                 initargs=(ctx.stored, ctx.target.name, ctx.baseline,
-                          ctx.telemetry.enabled, ctx.chaos, heartbeats),
+                          ctx.telemetry.enabled, ctx.chaos, heartbeats,
+                          ctx.fault_spec),
             ) as pool:
                 for spec in pending:
                     runs[spec.bit] = _ShardRun()

@@ -153,6 +153,11 @@ class RunManifest:
     seed: int
     data_fingerprint: str
     data_size: int
+    #: Canonical fault-model spec (see :mod:`repro.inject.faultspec`).
+    #: Part of the identity when non-default; serialized only when it
+    #: differs from ``single`` so pre-fault-dimension manifests are
+    #: byte-identical and still load.
+    fault: str = "single"
     shards: dict[int, ShardState] = field(default_factory=dict)
     dataset: dict | None = None
     status: str = RUN_RUNNING
@@ -173,8 +178,13 @@ class RunManifest:
     # -- identity -----------------------------------------------------------
 
     def identity(self) -> dict:
-        """The fields a resume must match exactly."""
-        return {
+        """The fields a resume must match exactly.
+
+        ``fault`` joins the identity only when non-default, so identity
+        payloads of plain single-flip runs are unchanged from manifests
+        written before the fault dimension existed.
+        """
+        payload = {
             "target_spec": self.target_spec,
             "trials_per_bit": self.trials_per_bit,
             "bits": list(self.bits) if self.bits is not None else None,
@@ -182,10 +192,15 @@ class RunManifest:
             "data_fingerprint": self.data_fingerprint,
             "data_size": self.data_size,
         }
+        if self.fault != "single":
+            payload["fault"] = self.fault
+        return payload
 
     def mismatches(self, other: "RunManifest") -> list[str]:
         """Human-readable identity differences against another manifest."""
         ours, theirs = self.identity(), other.identity()
+        ours.setdefault("fault", "single")
+        theirs.setdefault("fault", "single")
         return [
             f"{key}: run has {theirs[key]!r}, caller has {ours[key]!r}"
             for key in ours
@@ -226,6 +241,9 @@ class RunManifest:
                 "trials_per_bit": self.trials_per_bit,
                 "bits": list(self.bits) if self.bits is not None else None,
                 "seed": self.seed,
+                # Omit-when-default keeps pre-fault-dimension manifests
+                # byte-identical.
+                **({"fault": self.fault} if self.fault != "single" else {}),
             },
             "data": {
                 "fingerprint": self.data_fingerprint,
@@ -248,6 +266,7 @@ class RunManifest:
             seed=int(config["seed"]),
             data_fingerprint=data["fingerprint"],
             data_size=int(data["size"]),
+            fault=config.get("fault", "single"),
             dataset=data.get("source"),
             status=payload.get("status", RUN_RUNNING),
             executor=payload.get("executor"),

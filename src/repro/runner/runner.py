@@ -136,6 +136,7 @@ class RunStatus:
     executor: str | None = None
     cancelled: bool = False
     workers: tuple[dict, ...] = ()
+    fault: str = "single"
 
     @property
     def complete(self) -> bool:
@@ -145,7 +146,8 @@ class RunStatus:
         lines = [
             f"run:     {self.run_dir}",
             f"target:  {self.target_spec}"
-            + (f"  (label: {self.label})" if self.label else ""),
+            + (f"  (label: {self.label})" if self.label else "")
+            + (f"  [fault: {self.fault}]" if self.fault != "single" else ""),
             f"status:  {self.status}"
             + (f"  (executor: {self.executor})" if self.executor else "")
             + ("  [cancel requested]" if self.cancelled else ""),
@@ -361,6 +363,7 @@ class CampaignRunner:
             trials_per_bit=self.config.trials_per_bit,
             bits=self.config.bits,
             seed=self.config.seed,
+            fault=self.config.fault,
             data_fingerprint=dataset_fingerprint(self._flat),
             data_size=int(self._flat.size),
             dataset=self.dataset,
@@ -579,6 +582,7 @@ class CampaignRunner:
             trials_per_bit=manifest.trials_per_bit,
             bits=manifest.bits,
             seed=manifest.seed,
+            fault=manifest.fault,
         )
         kwargs.setdefault("label", manifest.label)
         kwargs.setdefault("dataset", manifest.dataset)
@@ -735,7 +739,8 @@ class CampaignRunner:
     def _compute_shard(self, spec: ShardSpec) -> tuple[TrialRecords, float]:
         start = time.perf_counter()
         records = run_campaign_shard(
-            self.stored, self.target, spec.bit, spec.trials, spec.seed, self.baseline
+            self.stored, self.target, spec.bit, spec.trials, spec.seed, self.baseline,
+            fault_spec=self.config.fault,
         )
         return records, time.perf_counter() - start
 
@@ -966,6 +971,7 @@ def run_status(run_dir: str | os.PathLike) -> RunStatus:
         executor=manifest.executor,
         cancelled=cancel_requested(run_dir),
         workers=tuple(active_leases(run_dir)),
+        fault=manifest.fault,
     )
 
 

@@ -8,7 +8,8 @@ on disk:
 
 * the manifest parses and describes a coherent campaign;
 * every completed shard's file exists, matches its SHA-256 checksum,
-  parses, and holds the expected trial count;
+  parses, holds the expected trial count, and records the manifest's
+  fault model;
 * the event log parses and reconciles with the manifest's progress;
 * the telemetry snapshot (when present) parses;
 * quarantined files and orphan shard files are surfaced.
@@ -247,6 +248,8 @@ def _check_shards(report: VerifyReport, run_dir: Path, manifest: RunManifest) ->
                     rel,
                 )
             )
+            continue
+        _check_shard_fault(report, manifest, records, bit, rel)
     if shard_dir.is_dir():
         for path in sorted(shard_dir.iterdir()):
             if path.is_dir() or path.name in expected:
@@ -262,6 +265,54 @@ def _check_shards(report: VerifyReport, run_dir: Path, manifest: RunManifest) ->
                     f"{SHARD_DIR_NAME}/{path.name}",
                 )
             )
+
+
+def _check_shard_fault(
+    report: VerifyReport, manifest: RunManifest, records, bit: int, rel: str
+) -> None:
+    """A shard's ``fault_spec`` column must agree with the manifest.
+
+    The fault model is part of the run identity, so a shard computed
+    under a different model (or a default-model shard folded into a
+    non-default run) would silently poison every per-model aggregation.
+    """
+    from repro.inject.faultspec import DEFAULT_FAULT_SPEC
+
+    if manifest.fault == DEFAULT_FAULT_SPEC:
+        specs = set() if records.fault_spec is None else set(records.fault_spec)
+        if specs and specs != {DEFAULT_FAULT_SPEC}:
+            report.findings.append(
+                Finding(
+                    SEVERITY_ERROR,
+                    "shard-fault",
+                    f"bit {bit} records fault model(s) {sorted(specs)} but the "
+                    f"manifest describes a default ({DEFAULT_FAULT_SPEC!r}) run",
+                    rel,
+                )
+            )
+        return
+    if records.fault_spec is None:
+        report.findings.append(
+            Finding(
+                SEVERITY_ERROR,
+                "shard-fault",
+                f"bit {bit} has no fault_spec column but the manifest records "
+                f"fault model {manifest.fault!r}",
+                rel,
+            )
+        )
+        return
+    specs = set(records.fault_spec)
+    if specs != {manifest.fault}:
+        report.findings.append(
+            Finding(
+                SEVERITY_ERROR,
+                "shard-fault",
+                f"bit {bit} records fault model(s) {sorted(specs)}, manifest "
+                f"records {manifest.fault!r}",
+                rel,
+            )
+        )
 
 
 def _check_events(report: VerifyReport, run_dir: Path, manifest: RunManifest) -> None:

@@ -242,6 +242,7 @@ class ShardWorker:
         self._target = resolve(target) if target is not None else None
         self._baseline = baseline
         self._failed: set[int] = set()
+        self._fault_spec = "single"  # replaced from the manifest in _load
         self._started = 0.0
         self.telemetry = resolve_collector(telemetry)
         self._trace_arg = trace
@@ -276,7 +277,9 @@ class ShardWorker:
             trials_per_bit=manifest.trials_per_bit,
             bits=manifest.bits,
             seed=manifest.seed,
+            fault=manifest.fault,
         )
+        self._fault_spec = config.fault
         seeds = bit_seeds(config, self._target)
         return manifest, seeds
 
@@ -489,7 +492,7 @@ class ShardWorker:
                     start = time.perf_counter()
                     records = run_campaign_shard(
                         self._stored, self._target, bit, trials, seed,
-                        self._baseline,
+                        self._baseline, fault_spec=self._fault_spec,
                     )
                     duration = time.perf_counter() - start
                     break

@@ -125,6 +125,7 @@ class RunRegistry:
         label: str = "",
         project: str = "default",
         trace: bool = False,
+        fault: str = "single",
     ) -> RunEntry:
         """Register and submit a campaign without executing any shard.
 
@@ -135,6 +136,10 @@ class RunRegistry:
         ``trace`` records distributed tracing in the manifest, so every
         worker that later claims shards writes trace spans and metrics
         time-series without needing ``REPRO_TRACE`` set on its machine.
+
+        ``fault`` is a fault-model spec (:mod:`repro.inject.faultspec`);
+        it joins the manifest identity, so every worker that claims a
+        shard injects under the same model.
         """
         from repro.datasets.registry import get as get_preset
         from repro.inject.campaign import CampaignConfig
@@ -152,6 +157,7 @@ class RunRegistry:
             trials_per_bit=int(trials_per_bit),
             bits=tuple(bits) if bits is not None else None,
             seed=int(seed),
+            fault=fault,
         )
         runner = CampaignRunner(
             data,
@@ -241,6 +247,7 @@ def run_status_payload(run_dir: str | os.PathLike) -> dict:
         "schema": STATUS_SCHEMA,
         "run_dir": status.run_dir,
         "target": status.target_spec,
+        "fault_model": status.fault,
         "label": status.label,
         "status": status.status,
         "executor": status.executor,

@@ -1,0 +1,213 @@
+"""The fault-spec grammar, mask properties, and batched/scalar identity."""
+
+import numpy as np
+import pytest
+
+from repro.formats import resolve
+from repro.inject.faults import (
+    AdjacentBitFlip,
+    BurstBitFlip,
+    FaultMasks,
+    RandomBitFlip,
+    SingleBitFlip,
+    StuckAt,
+    apply_masks,
+)
+from repro.inject.faultspec import (
+    DEFAULT_FAULT_SPEC,
+    FAULT_GRAMMAR,
+    FaultSpecError,
+    canonical_fault_spec,
+    registered_fault_examples,
+    resolve_fault,
+)
+
+
+class TestGrammar:
+    @pytest.mark.parametrize("spec, canonical", [
+        ("single", "single"),
+        ("SINGLE", "single"),
+        (" adjacent( 2 ) ", "adjacent(2)"),
+        ("adjacent(3)", "adjacent(3)"),
+        ("random(1)", "random(1)"),
+        ("Random(4)", "random(4)"),
+        ("burst(4,0.5)", "burst(4,0.5)"),
+        ("burst(2, 1.0)", "burst(2,1)"),
+        ("burst(3,0.25)", "burst(3,0.25)"),
+        ("stuckat(31,1)", "stuckat(31,1)"),
+        ("StuckAt(0, 0)", "stuckat(0,0)"),
+    ])
+    def test_canonicalization(self, spec, canonical):
+        assert canonical_fault_spec(spec) == canonical
+
+    def test_canonical_round_trips(self):
+        for spec in registered_fault_examples():
+            assert canonical_fault_spec(spec) == spec
+
+    @pytest.mark.parametrize("spec, fragment", [
+        ("adjacent(0)", "k >= 2"),
+        ("adjacent(1)", "k >= 2"),
+        ("random(0)", "k >= 1"),
+        ("burst(1,0.5)", "k >= 2"),
+        ("burst(4,0)", "0 < p <= 1"),
+        ("burst(4,1.5)", "0 < p <= 1"),
+        ("stuckat(-1,1)", ">= 0"),
+        ("stuckat(3,2)", "0 or 1"),
+        ("bogus", "does not match the fault grammar"),
+        ("adjacent", "does not match the fault grammar"),
+        ("single(2)", "does not match the fault grammar"),
+    ])
+    def test_invalid_specs_name_spec_and_constraint(self, spec, fragment):
+        with pytest.raises(FaultSpecError) as excinfo:
+            resolve_fault(spec)
+        message = str(excinfo.value)
+        assert repr(spec) in message
+        assert fragment in message
+        assert "examples" in message  # error style: always show valid specs
+
+    def test_error_is_a_value_error(self):
+        with pytest.raises(ValueError):
+            resolve_fault("nope")
+
+    def test_grammar_table_covers_every_production(self):
+        kinds = {resolve_fault(ex).kind for _, ex in FAULT_GRAMMAR.values()}
+        assert kinds == {"single", "adjacent", "random", "burst", "stuckat"}
+
+
+class TestForBit:
+    def test_single_and_adjacent_anchor_at_the_shard_bit(self):
+        assert resolve_fault("single").for_bit(5, 16) == SingleBitFlip(5)
+        assert resolve_fault("adjacent(3)").for_bit(5, 16) == AdjacentBitFlip(5, 3)
+
+    def test_burst_anchors_with_parameters(self):
+        model = resolve_fault("burst(4,0.25)").for_bit(2, 16)
+        assert model == BurstBitFlip(2, 4, 0.25)
+
+    def test_random_and_stuckat_ignore_the_anchor(self):
+        assert resolve_fault("random(2)").for_bit(0, 16) == RandomBitFlip(2)
+        assert resolve_fault("random(2)").for_bit(9, 16) == RandomBitFlip(2)
+        assert resolve_fault("stuckat(7,1)").for_bit(3, 16) == StuckAt(7, 1)
+
+    def test_bit_out_of_range_rejected(self):
+        with pytest.raises(FaultSpecError, match="out of range"):
+            resolve_fault("single").for_bit(16, 16)
+
+    def test_random_wider_than_word_rejected(self):
+        with pytest.raises(FaultSpecError, match="only 8"):
+            resolve_fault("random(9)").for_bit(0, 8)
+
+    def test_stuckat_past_word_top_rejected(self):
+        with pytest.raises(FaultSpecError, match="only 16 bits"):
+            resolve_fault("stuckat(31,1)").for_bit(0, 16)
+
+    def test_default_flag(self):
+        assert resolve_fault("single").is_default
+        assert resolve_fault(DEFAULT_FAULT_SPEC).is_default
+        assert not resolve_fault("adjacent(2)").is_default
+
+
+class TestSupport:
+    def test_single_support_is_the_anchor(self):
+        assert resolve_fault("single").support(5, 16) == (5,)
+
+    def test_adjacent_clips_at_the_word_top(self):
+        assert resolve_fault("adjacent(3)").support(14, 16) == (14, 15)
+
+    def test_random_support_is_the_whole_word(self):
+        assert resolve_fault("random(2)").support(3, 8) == tuple(range(8))
+
+    def test_stuckat_support_is_its_position(self):
+        assert resolve_fault("stuckat(7,1)").support(0, 16) == (7,)
+
+    def test_odd_flip_guarantees(self):
+        assert resolve_fault("single").odd_flips_guaranteed(0, 16)
+        assert resolve_fault("adjacent(3)").odd_flips_guaranteed(0, 16)
+        assert not resolve_fault("adjacent(2)").odd_flips_guaranteed(0, 16)
+        # adjacent(2) clipped to one bit at the top is a single flip
+        assert resolve_fault("adjacent(2)").odd_flips_guaranteed(15, 16)
+        assert resolve_fault("random(3)").odd_flips_guaranteed(0, 16)
+        assert not resolve_fault("random(2)").odd_flips_guaranteed(0, 16)
+        assert not resolve_fault("burst(3,0.5)").odd_flips_guaranteed(0, 16)
+        assert resolve_fault("stuckat(7,1)").odd_flips_guaranteed(0, 16)
+
+
+def _models_for(nbits):
+    """One concrete model per production, valid for this word width."""
+    return [
+        resolve_fault("single").for_bit(nbits // 2, nbits),
+        resolve_fault("adjacent(2)").for_bit(nbits - 1, nbits),
+        resolve_fault("random(2)").for_bit(0, nbits),
+        resolve_fault("burst(3,0.5)").for_bit(1, nbits),
+        resolve_fault(f"stuckat({nbits - 1},1)").for_bit(0, nbits),
+        resolve_fault(f"stuckat({nbits // 2},0)").for_bit(0, nbits),
+    ]
+
+
+class TestMaskProperties:
+    """XOR involution for flip models, idempotence for stuck-at."""
+
+    @pytest.mark.parametrize("nbits", [8, 16, 32])
+    def test_flip_masks_are_involutive(self, nbits):
+        rng = np.random.default_rng(7)
+        bits = rng.integers(0, 1 << min(nbits, 62), size=64).astype(np.uint64)
+        for model in _models_for(nbits):
+            if isinstance(model, StuckAt):
+                continue
+            masks = model.masks(bits.shape, nbits, np.random.default_rng(3))
+            once = apply_masks(bits, masks, nbits)
+            twice = apply_masks(once, masks, nbits)
+            np.testing.assert_array_equal(twice, bits)
+
+    @pytest.mark.parametrize("nbits", [8, 16, 32])
+    def test_stuckat_masks_are_idempotent(self, nbits):
+        rng = np.random.default_rng(7)
+        bits = rng.integers(0, 1 << min(nbits, 62), size=64).astype(np.uint64)
+        for value in (0, 1):
+            model = StuckAt(nbits - 1, value)
+            masks = model.masks(bits.shape, nbits, np.random.default_rng(3))
+            once = apply_masks(bits, masks, nbits)
+            twice = apply_masks(once, masks, nbits)
+            np.testing.assert_array_equal(twice, once)
+
+    def test_apply_masks_matches_model_apply(self):
+        nbits = 16
+        bits = np.random.default_rng(11).integers(
+            0, 1 << nbits, size=128
+        ).astype(np.uint64)
+        for model in _models_for(nbits):
+            via_apply = model.apply(bits, nbits, np.random.default_rng(5))
+            masks = model.masks(bits.shape, nbits, np.random.default_rng(5))
+            via_masks = apply_masks(bits, masks, nbits)
+            np.testing.assert_array_equal(via_apply, via_masks)
+
+    def test_masks_stay_inside_the_word(self):
+        nbits = 12
+        word = (1 << nbits) - 1
+        bits = np.arange(64, dtype=np.uint64)
+        for model in _models_for(nbits):
+            masks = model.masks(bits.shape, nbits, np.random.default_rng(9))
+            out = apply_masks(bits, masks, nbits)
+            assert int(out.max()) <= word
+
+
+@pytest.mark.parametrize("spec", ["posit8", "posit16", "ieee16", "bfloat16", "posit32", "ieee32"])
+def test_batched_masked_decode_is_bit_identical_to_scalar(spec):
+    """decode_masked over a block == per-element scalar application."""
+    fmt = resolve(spec)
+    nbits = fmt.nbits
+    rng = np.random.default_rng(13)
+    bits = rng.integers(0, 1 << min(nbits, 62), size=96).astype(fmt.dtype)
+    for model in _models_for(nbits):
+        masks = model.masks(bits.shape, nbits, np.random.default_rng(21))
+        batched = np.asarray(fmt.decode_masked(bits, masks))
+        xor = np.broadcast_to(np.asarray(masks.xor, dtype=np.uint64), bits.shape)
+        set_mask = np.broadcast_to(np.asarray(masks.set, dtype=np.uint64), bits.shape)
+        clear = np.broadcast_to(np.asarray(masks.clear, dtype=np.uint64), bits.shape)
+        for i in range(len(bits)):
+            one = apply_masks(
+                bits[i : i + 1], FaultMasks(xor[i], set_mask[i], clear[i]), nbits
+            )
+            scalar = np.asarray(fmt.from_bits(one))[0]
+            if np.isnan(scalar) and np.isnan(batched[i]):
+                continue
+            assert scalar == batched[i], (spec, model, i)

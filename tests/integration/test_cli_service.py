@@ -86,9 +86,9 @@ class TestStatusSchemaLock:
     """`campaign status --json` and `campaign get --json` are one schema."""
 
     EXPECTED_KEYS = {
-        "schema", "run_dir", "target", "label", "status", "executor",
-        "complete", "cancelled", "shards", "trials", "pending_bits",
-        "missing_shard_files", "quarantined_files", "workers",
+        "schema", "run_dir", "target", "fault_model", "label", "status",
+        "executor", "complete", "cancelled", "shards", "trials",
+        "pending_bits", "missing_shard_files", "quarantined_files", "workers",
     }
 
     def test_get_and_status_emit_identical_payloads(self, service_home, capsys):

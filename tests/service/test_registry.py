@@ -107,9 +107,9 @@ class TestCancel:
 
 class TestStatusPayload:
     EXPECTED_KEYS = {
-        "schema", "run_dir", "target", "label", "status", "executor",
-        "complete", "cancelled", "shards", "trials", "pending_bits",
-        "missing_shard_files", "quarantined_files", "workers",
+        "schema", "run_dir", "target", "fault_model", "label", "status",
+        "executor", "complete", "cancelled", "shards", "trials",
+        "pending_bits", "missing_shard_files", "quarantined_files", "workers",
     }
 
     def test_submitted_payload(self, registry):
@@ -117,6 +117,7 @@ class TestStatusPayload:
         payload = run_status_payload(entry.run_dir)
         assert payload["schema"] == STATUS_SCHEMA
         assert set(payload) == self.EXPECTED_KEYS
+        assert payload["fault_model"] == "single"
         assert payload["status"] == "submitted"
         assert payload["executor"] == "work-stealing"
         assert payload["complete"] is False
