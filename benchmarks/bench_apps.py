@@ -1,8 +1,120 @@
-"""Bench: application-level workloads (Jacobi solve, quire dot)."""
+"""Bench: application-level workloads (solver campaigns, Jacobi, quire dot).
+
+``run_bench`` times the app-campaign hot path — faulty CG/Jacobi solve
+replays through :func:`repro.apps.campaign.run_app_shard` — per app and
+number format, and writes ``BENCH_apps.json`` (with a history list).
+The machine-independent signal is ``relative_to_ieee32``: how much the
+software posit codec costs versus the IEEE path for the same solve; the
+committed value is the regression floor for the app-campaign CI job.
+
+Run standalone:
+
+    PYTHONPATH=src python benchmarks/bench_apps.py
+
+or under pytest (the ``benchmark``-fixture microbenches need
+pytest-benchmark):
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_apps.py -s -q -k throughput
+"""
+
+import json
+import os
+import time
+from pathlib import Path
 
 import numpy as np
 
 from repro.apps import PoissonProblem, fused_posit_dot, jacobi_solve
+from repro.apps.campaign import (
+    AppCampaignConfig,
+    AppTrialRecords,
+    _clean_solve,
+    cell_seeds,
+    run_app_shard,
+)
+from repro.formats import resolve
+
+OUT_PATH = Path(__file__).resolve().parent / "BENCH_apps.json"
+
+GRID = int(os.environ.get("REPRO_BENCH_APP_GRID", "10"))
+TRIALS_PER_CELL = int(os.environ.get("REPRO_BENCH_APP_TRIALS", "2"))
+SEED = 2023
+INJECT_AT = (3,)
+#: Every 8th bit: fraction, exponent, regime, and sign territory without
+#: paying for a full 32-bit sweep on every commit.
+BITS = (0, 8, 16, 24)
+APPS = ("cg", "jacobi")
+FORMATS = ("posit32", "ieee32")
+
+
+def run_bench() -> dict:
+    results = {}
+    for app in APPS:
+        results[app] = {}
+        for fmt in FORMATS:
+            config = AppCampaignConfig(
+                app=app, grid=GRID, iterations=INJECT_AT,
+                trials_per_cell=TRIALS_PER_CELL, bits=BITS, seed=SEED,
+            )
+            target = resolve(fmt)
+            # Warm codec tables and the memoized clean solve so the
+            # timed region is purely faulty solve replays.
+            _clean_solve(config, target)
+            seeds = cell_seeds(config, target)
+            cells = config.cells(target)
+
+            start = time.perf_counter()
+            records = AppTrialRecords.concatenate([
+                run_app_shard(config, target, cell, TRIALS_PER_CELL, seeds[cell])
+                for cell in cells
+            ])
+            elapsed = time.perf_counter() - start
+
+            solves = len(records)
+            results[app][fmt] = {
+                "app": app,
+                "target": fmt,
+                "solves": solves,
+                "seconds": round(elapsed, 4),
+                "solves_per_sec": round(solves / elapsed, 2),
+            }
+        ieee = results[app]["ieee32"]["solves_per_sec"]
+        for row in results[app].values():
+            row["relative_to_ieee32"] = round(row["solves_per_sec"] / ieee, 3)
+    return {
+        "campaign": {
+            "grid": GRID,
+            "iterations": list(INJECT_AT),
+            "trials_per_cell": TRIALS_PER_CELL,
+            "bits": list(BITS),
+            "apps": list(APPS),
+            "formats": list(FORMATS),
+            "seed": SEED,
+        },
+        "results": results,
+    }
+
+
+def test_app_solve_throughput():
+    payload = run_bench()
+    history = []
+    if OUT_PATH.exists():
+        previous = json.loads(OUT_PATH.read_text(encoding="utf-8"))
+        history = previous.get("history", [])
+        history.append({
+            app: {fmt: row["relative_to_ieee32"] for fmt, row in rows.items()}
+            for app, rows in previous["results"].items()
+        })
+    payload["history"] = history[-20:]
+    OUT_PATH.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    for app, rows in payload["results"].items():
+        for row in rows.values():
+            print(
+                f"{app:<7s} {row['target']:<8s} "
+                f"{row['solves_per_sec']:>8.2f} solves/s   "
+                f"vs ieee32 {row['relative_to_ieee32']:6.3f}"
+            )
+    print(f"wrote {OUT_PATH}")
 
 
 def test_jacobi_posit32(benchmark):
@@ -23,3 +135,7 @@ def test_quire_dot(benchmark):
     b = rng.normal(0, 100, 256)
     result = benchmark(fused_posit_dot, a, b, "posit32")
     assert np.isfinite(result.value)
+
+
+if __name__ == "__main__":
+    test_app_solve_throughput()

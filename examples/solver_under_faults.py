@@ -16,14 +16,16 @@ Run:  python examples/solver_under_faults.py [--grid 24] [--trials 2]
 
 import argparse
 
+import numpy as np
 
 from repro.apps import (
+    AppCampaignConfig,
     PoissonProblem,
-    bit_sweep_campaign,
     cg_fault_outcome,
     jacobi_solve,
-    summarize_outcomes,
+    run_app_campaign,
 )
+from repro.analysis.appsweep import summarize_records
 from repro.reporting import Table, render_table
 
 
@@ -46,36 +48,38 @@ def fault_sweep(problem: PoissonProblem, trials: int, seed: int) -> None:
     table = Table(
         title="Application-level fault outcomes",
         columns=[
-            "target", "trials", "converged", "diverged",
-            "mean extra iters", "max extra iters",
-            "mean solution err", "max solution err",
+            "target", "trials", "converged", "delayed", "diverged", "sdc",
+            "mean extra iters", "max sdc err",
         ],
     )
     for target in ("ieee32", "posit32"):
-        outcomes = bit_sweep_campaign(
-            problem, target, iteration=10,
-            seed=seed, trials_per_bit=trials,
+        config = AppCampaignConfig(
+            app="jacobi", grid=problem.grid, iterations=(10,),
+            trials_per_cell=trials, seed=seed,
             max_iterations=5000, tolerance=1e-7,
         )
-        summary = summarize_outcomes(outcomes)
+        result = run_app_campaign(config, target)
+        records = result.records
+        summary = summarize_records(
+            records, target=target, app="jacobi", fault=config.fault
+        )
         table.add_row([
             target,
-            int(summary["trials"]),
-            summary["converged_fraction"],
-            summary["diverged_fraction"],
-            summary["mean_iteration_overhead"],
-            summary["max_iteration_overhead"],
-            summary["mean_solution_error"],
-            summary["max_solution_error"],
+            summary.trial_count,
+            summary.rates["converged"],
+            summary.rates["delayed"],
+            summary.rates["diverged"],
+            summary.rates["sdc"],
+            summary.mean_overhead,
+            summary.max_sdc_error,
         ])
 
         # Which bits hurt the most, application-side?
-        worst = sorted(
-            outcomes, key=lambda o: o.iteration_overhead, reverse=True
-        )[:3]
+        order = np.argsort(records.iteration_overhead)[::-1][:3]
         print(f"  {target}: worst bits by recovery cost: "
-              + ", ".join(f"bit {o.spec.bit} (+{o.iteration_overhead} iters)"
-                          for o in worst))
+              + ", ".join(f"bit {int(records.bit[i])} "
+                          f"(+{int(records.iteration_overhead[i])} iters)"
+                          for i in order))
     print()
     print(render_table(table))
     print()

@@ -7,30 +7,48 @@ from repro.apps.blas import (
     stored_axpy,
     stored_dot,
 )
+from repro.apps.campaign import (
+    OUTCOMES,
+    AppCampaignConfig,
+    AppCampaignRunner,
+    AppTrialRecords,
+    cell_seeds,
+    classify_outcome,
+    classify_outcomes,
+    run_app_campaign,
+    run_app_shard,
+)
 from repro.apps.krylov import CGResult, cg_fault_outcome, cg_solve, poisson_matvec
 from repro.apps.faulty import (
     AppFaultOutcome,
     AppFaultSpec,
-    bit_sweep_campaign,
     run_faulty_solve,
     summarize_outcomes,
 )
 from repro.apps.stencil import PoissonProblem, SolveResult, jacobi_solve
 
 __all__ = [
+    "AppCampaignConfig",
+    "AppCampaignRunner",
     "AppFaultOutcome",
     "AppFaultSpec",
+    "AppTrialRecords",
     "CGResult",
     "KernelResult",
+    "OUTCOMES",
     "PoissonProblem",
     "SolveResult",
-    "bit_sweep_campaign",
+    "cell_seeds",
     "cg_fault_outcome",
     "cg_solve",
+    "classify_outcome",
+    "classify_outcomes",
     "poisson_matvec",
     "dot_error_comparison",
     "fused_posit_dot",
     "jacobi_solve",
+    "run_app_campaign",
+    "run_app_shard",
     "run_faulty_solve",
     "stored_axpy",
     "stored_dot",

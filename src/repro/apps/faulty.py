@@ -6,6 +6,12 @@ on AMG) studies for IEEE floats — is what a single flip does to a whole
 computation.  This harness injects one bit flip into the solver state at
 a chosen iteration and measures the application-level outcome: extra
 iterations to converge, final-solution error, or divergence.
+
+This module is the *single-fault* primitive.  Campaign-scale sweeps —
+every (injection iteration, bit) cell as a resumable runner shard, with
+the full fault-model grammar and the converged/delayed/diverged/sdc
+outcome taxonomy — live in :mod:`repro.apps.campaign`, which replaced
+the old ``bit_sweep_campaign`` loop here.
 """
 
 from __future__ import annotations
@@ -80,33 +86,6 @@ def run_faulty_solve(
         diverged=faulty.diverged,
         solution_error=faulty.error_vs(clean.solution),
     )
-
-
-def bit_sweep_campaign(
-    problem: PoissonProblem,
-    target: NumberFormat | str,
-    iteration: int,
-    seed: int = 0,
-    trials_per_bit: int = 3,
-    max_iterations: int = 2000,
-    tolerance: float = 1e-6,
-) -> list[AppFaultOutcome]:
-    """Sweep all bit positions, a few random state locations each.
-
-    The application-level analogue of the paper's campaign grid.
-    """
-    if isinstance(target, str):
-        target = resolve(target)
-    rng = np.random.default_rng(seed)
-    state_size = problem.grid * problem.grid
-    outcomes = []
-    for bit in range(target.nbits):
-        for index in rng.integers(0, state_size, trials_per_bit):
-            spec = AppFaultSpec(iteration=iteration, flat_index=int(index), bit=bit)
-            outcomes.append(
-                run_faulty_solve(problem, target, spec, max_iterations, tolerance)
-            )
-    return outcomes
 
 
 def summarize_outcomes(outcomes: list[AppFaultOutcome]) -> dict[str, float]:

@@ -20,6 +20,9 @@
     posit-resiliency campaign run ... --fault "adjacent(2)"  # multi-bit model
     posit-resiliency campaign sweep nyx/temperature \
         --formats posit32,ieee32 --faults "single,adjacent(2),random(3)"
+    posit-resiliency campaign run --app cg posit16 --inject-at 5,10
+    posit-resiliency campaign sweep --app cg \
+        --formats posit32,ieee32 --faults "single,adjacent(2)"
     posit-resiliency campaign worker <run-dir-or-id>   # claim shards via leases
     posit-resiliency campaign watch <run-dir-or-id> --until-done
     posit-resiliency campaign list                 # registry index
@@ -190,16 +193,105 @@ def _print_campaign_result(result, field: str, target: str, out: str | None) -> 
         print(render_series_table(figure))
 
 
+def _parse_inject_at(text: str) -> tuple[int, ...]:
+    """Argparse helper: --inject-at as 1-based solver iterations."""
+    try:
+        schedule = tuple(int(part) for part in text.split(",") if part.strip())
+    except ValueError:
+        raise SystemExit(
+            f"error: --inject-at must be comma-separated iteration numbers, "
+            f"got {text!r}"
+        ) from None
+    if not schedule:
+        raise SystemExit("error: --inject-at needs at least one iteration")
+    return schedule
+
+
+def _app_target_spec(args) -> str:
+    """The single positional (the format spec) in --app mode.
+
+    The ``field`` and ``target`` positionals are both optional so that
+    app campaigns can be spelled ``campaign run --app cg posit32``;
+    argparse binds that lone positional to ``field``.
+    """
+    positionals = [p for p in (args.field, args.target) if p is not None]
+    if len(positionals) != 1:
+        raise SystemExit(
+            "error: with --app, give exactly one positional argument — the "
+            "format spec (e.g. `campaign run --app cg posit32`)"
+        )
+    return positionals[0]
+
+
+def _print_app_campaign_result(result, app: str, target: str, out: str | None) -> None:
+    from repro.analysis.appsweep import outcome_counts
+
+    counts = outcome_counts(result.records)
+    print(
+        f"app campaign: {result.trial_count} fault trials on {app} as "
+        f"{result.target_name} (state size {result.data_size})"
+    )
+    print("outcomes: " + ", ".join(f"{k}={v}" for k, v in counts.items()))
+    if result.extras.get("run_dir"):
+        resumed = result.extras.get("resumed_shards", 0)
+        note = f" ({resumed} shard(s) restored)" if resumed else ""
+        print(f"run dir: {result.extras['run_dir']}{note}")
+    if out:
+        result.records.write_csv(out)
+        print(f"wrote {out}")
+
+
+def _cmd_app_campaign_run(args) -> int:
+    from repro.apps.campaign import AppCampaignConfig, run_app_campaign
+    from repro.inject.faultspec import FaultSpecError
+
+    target = _app_target_spec(args)
+    try:
+        config = AppCampaignConfig(
+            app=args.app,
+            grid=args.grid,
+            iterations=_parse_inject_at(args.inject_at),
+            trials_per_cell=args.trials if args.trials is not None else 3,
+            seed=args.seed,
+            fault=args.fault,
+            sdc_threshold=args.sdc_threshold,
+        )
+    except (FaultSpecError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    result = run_app_campaign(
+        config,
+        target,
+        jobs=_campaign_jobs(args),
+        executor=args.executor,
+        run_dir=args.run_dir,
+        progress=args.progress,
+        resume=args.resume,
+        telemetry=True if args.profile else None,
+        trace=True if args.trace else None,
+    )
+    _print_app_campaign_result(result, config.app, target, args.out)
+    return 0
+
+
 def _cmd_campaign_run(args) -> int:
     from repro.datasets.registry import get as get_preset
     from repro.inject.campaign import CampaignConfig, run_campaign
     from repro.inject.faultspec import FaultSpecError
 
+    if args.app:
+        return _cmd_app_campaign_run(args)
+    if args.field is None or args.target is None:
+        print("error: campaign run needs FIELD and TARGET positionals "
+              "(or --app APP with a single format positional)", file=sys.stderr)
+        return 2
     preset = get_preset(args.field)
     data = preset.generate(seed=args.seed, size=args.size)
     try:
         config = CampaignConfig(
-            trials_per_bit=args.trials, seed=args.seed, fault=args.fault
+            trials_per_bit=args.trials if args.trials is not None else 313,
+            seed=args.seed,
+            fault=args.fault,
         )
     except FaultSpecError as error:
         print(f"error: {error}", file=sys.stderr)
@@ -257,7 +349,10 @@ def _cmd_campaign_resume(args) -> int:
         trace=True if args.trace else None,
     )
     field = result.label or "dataset"
-    _print_campaign_result(result, field, result.target_name, args.out)
+    if hasattr(result.records, "outcome"):
+        _print_app_campaign_result(result, field, result.target_name, args.out)
+    else:
+        _print_campaign_result(result, field, result.target_name, args.out)
     return 0
 
 
@@ -330,19 +425,40 @@ def _cmd_campaign_submit(args) -> int:
 
     bits = tuple(range(args.bits)) if args.bits is not None else None
     try:
-        entry = RunRegistry().submit_run(
-            args.field,
-            args.target,
-            trials_per_bit=args.trials,
-            bits=bits,
-            seed=args.seed,
-            size=args.size,
-            data_seed=args.seed,
-            label=args.label or args.field,
-            project=args.project,
-            trace=args.trace,
-            fault=args.fault,
-        )
+        if args.app:
+            entry = RunRegistry().submit_app_run(
+                args.app,
+                _app_target_spec(args),
+                grid=args.grid,
+                iterations=_parse_inject_at(args.inject_at),
+                trials_per_cell=args.trials if args.trials is not None else 3,
+                bits=bits,
+                seed=args.seed,
+                fault=args.fault,
+                sdc_threshold=args.sdc_threshold,
+                label=args.label or args.app,
+                project=args.project,
+                trace=args.trace,
+            )
+        else:
+            if args.field is None or args.target is None:
+                print("error: campaign submit needs FIELD and TARGET positionals "
+                      "(or --app APP with a single format positional)",
+                      file=sys.stderr)
+                return 2
+            entry = RunRegistry().submit_run(
+                args.field,
+                args.target,
+                trials_per_bit=args.trials if args.trials is not None else 313,
+                bits=bits,
+                seed=args.seed,
+                size=args.size,
+                data_seed=args.seed,
+                label=args.label or args.field,
+                project=args.project,
+                trace=args.trace,
+                fault=args.fault,
+            )
     except (ServiceError, KeyError, ValueError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
@@ -391,25 +507,53 @@ def _cmd_campaign_sweep(args) -> int:
     except FaultSpecError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
+    if args.app and args.field is not None:
+        print("error: campaign sweep takes either FIELD (value campaign) or "
+              "--app APP (app campaign), not both", file=sys.stderr)
+        return 2
+    if not args.app and args.field is None:
+        print("error: campaign sweep needs the FIELD positional (or --app APP)",
+              file=sys.stderr)
+        return 2
     registry = RunRegistry()
     bits = tuple(range(args.bits)) if args.bits is not None else None
     entries = []
     try:
         for fmt in formats:
             for fault in faults:
-                entries.append(registry.submit_run(
-                    args.field,
-                    fmt,
-                    trials_per_bit=args.trials,
-                    bits=bits,
-                    seed=args.seed,
-                    size=args.size,
-                    data_seed=args.seed,
-                    label=f"{args.field} [{fault}]",
-                    project=args.project,
-                    trace=args.trace,
-                    fault=fault,
-                ))
+                if args.app:
+                    entries.append(registry.submit_app_run(
+                        args.app,
+                        fmt,
+                        grid=args.grid,
+                        iterations=_parse_inject_at(args.inject_at),
+                        trials_per_cell=(
+                            args.trials if args.trials is not None else 3
+                        ),
+                        bits=bits,
+                        seed=args.seed,
+                        fault=fault,
+                        sdc_threshold=args.sdc_threshold,
+                        label=f"{args.app} [{fault}]",
+                        project=args.project,
+                        trace=args.trace,
+                    ))
+                else:
+                    entries.append(registry.submit_run(
+                        args.field,
+                        fmt,
+                        trials_per_bit=(
+                            args.trials if args.trials is not None else 313
+                        ),
+                        bits=bits,
+                        seed=args.seed,
+                        size=args.size,
+                        data_seed=args.seed,
+                        label=f"{args.field} [{fault}]",
+                        project=args.project,
+                        trace=args.trace,
+                        fault=fault,
+                    ))
     except (ServiceError, KeyError, ValueError) as error:
         print(f"error: {error}", file=sys.stderr)
         for entry in entries:
@@ -789,6 +933,21 @@ def _cmd_predict(args) -> int:
     return 0
 
 
+def _add_app_options(parser) -> None:
+    """The app-campaign flags shared by campaign run/submit/sweep."""
+    parser.add_argument("--app", choices=("cg", "jacobi"), default=None,
+                        help="application campaign: inject into live solver "
+                        "state of this app instead of a dataset field")
+    parser.add_argument("--grid", type=int, default=16,
+                        help="Poisson grid side for --app (default: 16)")
+    parser.add_argument("--inject-at", default="10",
+                        help="comma-separated 1-based solver iterations to "
+                        "inject at, e.g. 1,10,50 (default: 10)")
+    parser.add_argument("--sdc-threshold", type=float, default=1e-3,
+                        help="relative solution error above which a converged "
+                        "run counts as silent data corruption (default: 1e-3)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="posit-resiliency",
@@ -823,12 +982,18 @@ def build_parser() -> argparse.ArgumentParser:
     campaign_sub = p.add_subparsers(dest="campaign_command", required=True)
 
     pr = campaign_sub.add_parser("run", help="run a campaign (optionally checkpointed)")
-    pr.add_argument("field", help="dataset field key, e.g. nyx/temperature")
-    pr.add_argument("target", help="injection target or format spec, "
+    pr.add_argument("field", nargs="?", default=None,
+                    help="dataset field key, e.g. nyx/temperature (with "
+                    "--app: the single positional is the format spec)")
+    pr.add_argument("target", nargs="?", default=None,
+                    help="injection target or format spec, "
                     "e.g. posit32, posit16es1, binary(8,23)")
     pr.add_argument("--size", type=int, default=1 << 17)
-    pr.add_argument("--trials", type=int, default=313)
+    pr.add_argument("--trials", type=int, default=None,
+                    help="trials per shard (default: 313, or 3 per "
+                    "(iteration, bit) cell with --app)")
     pr.add_argument("--seed", type=int, default=2023)
+    _add_app_options(pr)
     pr.add_argument("--fault", default="single",
                     help="fault-model spec: single, adjacent(<k>), "
                     "random(<k>), burst(<k>,<p>), stuckat(<pos>,<v>) "
@@ -896,11 +1061,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="register a campaign in submitted state (no execution); "
         "`campaign worker` processes then claim its shards via leases",
     )
-    psub.add_argument("field", help="dataset field key, e.g. nyx/temperature")
-    psub.add_argument("target", help="injection target or format spec")
+    psub.add_argument("field", nargs="?", default=None,
+                      help="dataset field key, e.g. nyx/temperature (with "
+                      "--app: the single positional is the format spec)")
+    psub.add_argument("target", nargs="?", default=None,
+                      help="injection target or format spec")
     psub.add_argument("--size", type=int, default=1 << 17)
-    psub.add_argument("--trials", type=int, default=313)
+    psub.add_argument("--trials", type=int, default=None,
+                      help="trials per shard (default: 313, or 3 per "
+                      "(iteration, bit) cell with --app)")
     psub.add_argument("--seed", type=int, default=2023)
+    _add_app_options(psub)
     psub.add_argument("--bits", type=int, default=None,
                       help="only the lowest N bit positions (default: all)")
     psub.add_argument("--fault", default="single",
@@ -922,15 +1093,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="submit one run per (format x fault model) cell; workers "
         "then claim shards from every cell through leases",
     )
-    psw.add_argument("field", help="dataset field key, e.g. nyx/temperature")
+    psw.add_argument("field", nargs="?", default=None,
+                     help="dataset field key, e.g. nyx/temperature "
+                     "(omit with --app)")
     psw.add_argument("--formats", required=True,
                      help="comma-separated format specs, e.g. posit32,ieee32")
     psw.add_argument("--faults", default="single",
                      help="comma-separated fault-model specs, e.g. "
                      "single,adjacent(2),random(3) (default: single)")
     psw.add_argument("--size", type=int, default=1 << 17)
-    psw.add_argument("--trials", type=int, default=313)
+    psw.add_argument("--trials", type=int, default=None,
+                     help="trials per shard (default: 313, or 3 per "
+                     "(iteration, bit) cell with --app)")
     psw.add_argument("--seed", type=int, default=2023)
+    _add_app_options(psw)
     psw.add_argument("--bits", type=int, default=None,
                      help="only the lowest N bit positions (default: all)")
     psw.add_argument("--project", default="default",

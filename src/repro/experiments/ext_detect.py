@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.apps.campaign import classify_outcome
 from repro.apps.faulty import AppFaultSpec, run_faulty_solve
 from repro.apps.stencil import PoissonProblem
 from repro.detect.temporal import detection_sweep
@@ -59,7 +60,11 @@ def run(params: ExperimentParams) -> ExperimentOutput:
         top_recall = float(np.mean([o.detected for o in top]))
         false_positives = sum(o.false_positives_before for o in outcomes)
 
+        # Classify each undetected flip through the app-campaign outcome
+        # taxonomy: the damage metric is the worst finite solution error,
+        # and the labels say how the application experienced the miss.
         worst_undetected = 0.0
+        labels: dict[str, int] = {}
         for outcome in outcomes:
             if outcome.detected:
                 continue
@@ -68,11 +73,23 @@ def run(params: ExperimentParams) -> ExperimentOutput:
                 AppFaultSpec(iteration=INJECT_AT, flat_index=center, bit=outcome.bit),
                 max_iterations=4000, tolerance=1e-7,
             )
+            label = classify_outcome(
+                result.converged,
+                result.diverged,
+                result.iteration_overhead,
+                result.solution_error,
+                1e-2,
+            )
+            labels[label] = labels.get(label, 0) + 1
             if np.isfinite(result.solution_error):
                 worst_undetected = max(worst_undetected, result.solution_error)
         undetected_damage[target] = worst_undetected
         table.add_row([target, recall, top_recall, worst_undetected, false_positives])
         output.check(f"{target}_no_false_positives", false_positives == 0)
+        output.findings.append(
+            f"{target}: undetected-flip app outcomes: "
+            + ", ".join(f"{k}={v}" for k, v in sorted(labels.items()))
+        )
     output.tables.append(table)
 
     output.check(

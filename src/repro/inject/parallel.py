@@ -46,6 +46,7 @@ def _init_worker(
     chaos=None,
     heartbeat=None,
     fault_spec: str = "single",
+    app=None,
 ) -> None:
     # Targets cross the pool boundary as spec strings, not pickles:
     # every format's name is a valid spec (posit16es1, binary(8,23),
@@ -64,6 +65,9 @@ def _init_worker(
     # Fault-model spec crosses the boundary as its canonical string, same
     # as the target: resolved per shard in run_campaign_shard.
     _WORKER_STATE["fault"] = fault_spec
+    # App-campaign config (repro.apps.campaign.AppCampaignConfig) when
+    # shards are (iteration, bit) solver cells; None for value campaigns.
+    _WORKER_STATE["app"] = app
     # The fork copied the parent's SIGTERM handler (the runner converts
     # SIGTERM to a checkpointing interrupt); in a worker that handler
     # would make Pool.terminate() raise instead of exit and the shutdown
@@ -101,6 +105,11 @@ def _ping(kind: str, bit: int, attempt: int) -> None:
 
 def _run_shard(args) -> TrialRecords:
     bit, trials, seed, _attempt = _unpack_task(args)
+    app = _WORKER_STATE.get("app")
+    if app is not None:
+        from repro.apps.campaign import run_app_shard
+
+        return run_app_shard(app, _WORKER_STATE["target"], bit, trials, seed)
     return run_campaign_shard(
         _WORKER_STATE["data"],
         _WORKER_STATE["target"],

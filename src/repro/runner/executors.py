@@ -99,6 +99,11 @@ class ExecutionContext:
         return self._runner.config.fault
 
     @property
+    def app(self):
+        """App-campaign config when shards are solver cells, else ``None``."""
+        return getattr(self._runner, "app_config", None)
+
+    @property
     def max_retries(self) -> int:
         return self._runner.max_retries
 
@@ -370,7 +375,7 @@ class PoolExecutor(Executor):
                 initializer=_init_worker,
                 initargs=(ctx.stored, ctx.target.name, ctx.baseline,
                           ctx.telemetry.enabled, ctx.chaos, heartbeats,
-                          ctx.fault_spec),
+                          ctx.fault_spec, ctx.app),
             ) as pool:
                 for spec in pending:
                     runs[spec.bit] = _ShardRun()

@@ -158,6 +158,12 @@ class RunManifest:
     #: differs from ``single`` so pre-fault-dimension manifests are
     #: byte-identical and still load.
     fault: str = "single"
+    #: App-campaign payload (solver name, grid, injection schedule,
+    #: thresholds) when the run's shards are (iteration, bit) cells in
+    #: live solver state instead of value-corruption bits.  ``None`` for
+    #: classic value campaigns and omitted from serialization so
+    #: existing manifests stay byte-identical.
+    app: dict | None = None
     shards: dict[int, ShardState] = field(default_factory=dict)
     dataset: dict | None = None
     status: str = RUN_RUNNING
@@ -194,6 +200,8 @@ class RunManifest:
         }
         if self.fault != "single":
             payload["fault"] = self.fault
+        if self.app is not None:
+            payload["app"] = self.app
         return payload
 
     def mismatches(self, other: "RunManifest") -> list[str]:
@@ -201,6 +209,8 @@ class RunManifest:
         ours, theirs = self.identity(), other.identity()
         ours.setdefault("fault", "single")
         theirs.setdefault("fault", "single")
+        ours.setdefault("app", None)
+        theirs.setdefault("app", None)
         return [
             f"{key}: run has {theirs[key]!r}, caller has {ours[key]!r}"
             for key in ours
@@ -244,6 +254,7 @@ class RunManifest:
                 # Omit-when-default keeps pre-fault-dimension manifests
                 # byte-identical.
                 **({"fault": self.fault} if self.fault != "single" else {}),
+                **({"app": self.app} if self.app is not None else {}),
             },
             "data": {
                 "fingerprint": self.data_fingerprint,
@@ -267,6 +278,7 @@ class RunManifest:
             data_fingerprint=data["fingerprint"],
             data_size=int(data["size"]),
             fault=config.get("fault", "single"),
+            app=config.get("app"),
             dataset=data.get("source"),
             status=payload.get("status", RUN_RUNNING),
             executor=payload.get("executor"),

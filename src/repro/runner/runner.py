@@ -137,6 +137,8 @@ class RunStatus:
     cancelled: bool = False
     workers: tuple[dict, ...] = ()
     fault: str = "single"
+    #: App name (``cg``/``jacobi``) for app campaigns, ``None`` otherwise.
+    app: str | None = None
 
     @property
     def complete(self) -> bool:
@@ -147,6 +149,7 @@ class RunStatus:
             f"run:     {self.run_dir}",
             f"target:  {self.target_spec}"
             + (f"  (label: {self.label})" if self.label else "")
+            + (f"  [app: {self.app}]" if self.app else "")
             + (f"  [fault: {self.fault}]" if self.fault != "single" else ""),
             f"status:  {self.status}"
             + (f"  (executor: {self.executor})" if self.executor else "")
@@ -263,6 +266,13 @@ class CampaignRunner:
     metrics_interval:
         Seconds between time-series sample points (default 1.0).
     """
+
+    #: Which records class shards produce and shard CSVs parse as.
+    #: Subclasses (app campaigns) override to swap the trial schema
+    #: without touching persistence, resume, or adoption logic.
+    records_class = TrialRecords
+    #: App-campaign configuration; ``None`` for value campaigns.
+    app_config = None
 
     def __init__(
         self,
@@ -495,7 +505,7 @@ class CampaignRunner:
                                shards_total=len(shards), trials_total=trials_total)
                     raise
 
-                records = TrialRecords.concatenate(
+                records = self.records_class.concatenate(
                     [self._completed[s.bit] for s in shards]
                 )
                 result = CampaignResult(
@@ -574,8 +584,15 @@ class CampaignRunner:
         ``data`` may be omitted when the manifest records a regenerable
         dataset source (``{"kind": "preset", ...}``); otherwise the
         original array must be passed and is fingerprint-checked.
+
+        App-campaign run directories (``manifest.app`` set) rehydrate as
+        :class:`repro.apps.campaign.AppCampaignRunner` automatically.
         """
         manifest = RunManifest.load(run_dir)
+        if manifest.app is not None and cls is CampaignRunner:
+            from repro.apps.campaign import AppCampaignRunner
+
+            return AppCampaignRunner.from_run_dir(run_dir, data, **kwargs)
         if data is None:
             data = _regenerate_dataset(manifest)
         config = CampaignConfig(
@@ -652,7 +669,7 @@ class CampaignRunner:
                     )
             if reason is None:
                 try:
-                    records = TrialRecords.read_csv(path)
+                    records = self.records_class.read_csv(path)
                 except (OSError, ValueError) as error:
                     reason = f"unreadable shard file ({error})"
                 else:
@@ -801,7 +818,7 @@ class CampaignRunner:
                 f"adopted shard bit={spec.bit} fails its done-record checksum "
                 f"(record {expected[:12]}, file {actual[:12]})"
             )
-        records = TrialRecords.read_csv(path)
+        records = self.records_class.read_csv(path)
         if len(records) != spec.trials:
             raise RunnerError(
                 f"adopted shard bit={spec.bit} holds {len(records)} trial(s), "
@@ -913,6 +930,10 @@ def _regenerate_dataset(manifest: RunManifest) -> np.ndarray:
         return get_preset(source["field"]).generate(
             seed=int(source["seed"]), size=int(source["size"])
         )
+    if source.get("kind") == "app" and manifest.app is not None:
+        from repro.apps.campaign import AppCampaignConfig
+
+        return AppCampaignConfig.from_manifest(manifest).dataset_array()
     raise RunnerError(
         "this run's manifest does not record a regenerable dataset source; "
         "pass the original data array to resume it"
@@ -972,6 +993,7 @@ def run_status(run_dir: str | os.PathLike) -> RunStatus:
         cancelled=cancel_requested(run_dir),
         workers=tuple(active_leases(run_dir)),
         fault=manifest.fault,
+        app=(manifest.app or {}).get("name"),
     )
 
 

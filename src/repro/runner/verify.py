@@ -171,7 +171,13 @@ def _check_manifest(report: VerifyReport, run_dir: Path) -> RunManifest | None:
 
 
 def _check_shards(report: VerifyReport, run_dir: Path, manifest: RunManifest) -> None:
-    from repro.inject.results import TrialRecords
+    # App-campaign shards carry the solver-outcome schema, not the
+    # value-corruption one; the manifest's app payload decides which
+    # parser the shard files must satisfy.
+    if manifest.app is not None:
+        from repro.apps.campaign import AppTrialRecords as records_class
+    else:
+        from repro.inject.results import TrialRecords as records_class
 
     shard_dir = run_dir / SHARD_DIR_NAME
     expected = set()
@@ -227,7 +233,7 @@ def _check_shards(report: VerifyReport, run_dir: Path, manifest: RunManifest) ->
                 )
                 continue
         try:
-            records = TrialRecords.read_csv(path)
+            records = records_class.read_csv(path)
         except (OSError, ValueError) as error:
             report.findings.append(
                 Finding(

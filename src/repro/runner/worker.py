@@ -243,6 +243,7 @@ class ShardWorker:
         self._baseline = baseline
         self._failed: set[int] = set()
         self._fault_spec = "single"  # replaced from the manifest in _load
+        self._app_config = None  # set in _load for app-campaign runs
         self._started = 0.0
         self.telemetry = resolve_collector(telemetry)
         self._trace_arg = trace
@@ -273,6 +274,15 @@ class ShardWorker:
             self._stored = self._target.round_trip(flat)
         if self._baseline is None:
             self._baseline = SummaryStats.from_array(self._stored)
+        self._fault_spec = manifest.fault
+        if manifest.app is not None:
+            # App campaign: shards are (iteration, bit) cells whose seeds
+            # are a pure function of (seed, iteration, bit), so this
+            # worker replays any cell byte-identically to any other.
+            from repro.apps.campaign import AppCampaignConfig, cell_seeds
+
+            self._app_config = AppCampaignConfig.from_manifest(manifest)
+            return manifest, cell_seeds(self._app_config, self._target)
         config = CampaignConfig(
             trials_per_bit=manifest.trials_per_bit,
             bits=manifest.bits,
@@ -490,10 +500,17 @@ class ShardWorker:
 
                         fire_compute_faults(self.chaos, bit, attempts - 1)
                     start = time.perf_counter()
-                    records = run_campaign_shard(
-                        self._stored, self._target, bit, trials, seed,
-                        self._baseline, fault_spec=self._fault_spec,
-                    )
+                    if self._app_config is not None:
+                        from repro.apps.campaign import run_app_shard
+
+                        records = run_app_shard(
+                            self._app_config, self._target, bit, trials, seed,
+                        )
+                    else:
+                        records = run_campaign_shard(
+                            self._stored, self._target, bit, trials, seed,
+                            self._baseline, fault_spec=self._fault_spec,
+                        )
                     duration = time.perf_counter() - start
                     break
                 except Exception as error:

@@ -189,6 +189,72 @@ class RunRegistry:
         self._write_index(index)
         return entry
 
+    def submit_app_run(
+        self,
+        app: str,
+        target: str,
+        *,
+        grid: int = 16,
+        iterations: tuple[int, ...] = (10,),
+        trials_per_cell: int = 3,
+        bits: tuple[int, ...] | None = None,
+        seed: int = 12345,
+        fault: str = "single",
+        sdc_threshold: float = 1e-3,
+        label: str = "",
+        project: str = "default",
+        trace: bool = False,
+    ) -> RunEntry:
+        """Register and submit an app campaign without executing any cell.
+
+        App campaigns need no dataset preset: the manifest's app payload
+        (solver, grid, injection schedule, thresholds) is the complete
+        provenance, and every worker rebuilds the Poisson problem from
+        it.  The registry row's ``field`` is ``app/<name>`` so listings
+        distinguish app campaigns from value campaigns at a glance.
+        """
+        from repro.apps.campaign import AppCampaignConfig, AppCampaignRunner
+
+        config = AppCampaignConfig(
+            app=app,
+            grid=int(grid),
+            iterations=tuple(iterations),
+            trials_per_cell=int(trials_per_cell),
+            bits=tuple(bits) if bits is not None else None,
+            seed=int(seed),
+            fault=fault,
+            sdc_threshold=float(sdc_threshold),
+        )
+        index = self._read_index()
+        seq = int(index.get("next", 1))
+        run_id = f"{_slug(app)}-{_slug(target)}-{seq:04d}"
+        run_dir = self.runs_dir / _slug(project) / run_id
+        if run_dir.exists():
+            raise ServiceError(f"registry run directory {run_dir} already exists")
+
+        runner = AppCampaignRunner(
+            config,
+            target,
+            label=label or app,
+            run_dir=run_dir,
+            trace=True if trace else None,
+        )
+        runner.submit()
+
+        entry = RunEntry(
+            run_id=run_id,
+            project=project,
+            run_dir=str(run_dir),
+            field=f"app/{app}",
+            target=runner.target.name,
+            label=label or app,
+            submitted_at=time.time(),
+        )
+        index["next"] = seq + 1
+        index.setdefault("runs", {})[run_id] = entry.to_json()
+        self._write_index(index)
+        return entry
+
     def list_runs(self, project: str | None = None) -> list[RunEntry]:
         """All registered runs, oldest first, optionally project-filtered."""
         index = self._read_index()
@@ -248,6 +314,7 @@ def run_status_payload(run_dir: str | os.PathLike) -> dict:
         "run_dir": status.run_dir,
         "target": status.target_spec,
         "fault_model": status.fault,
+        "app": status.app,
         "label": status.label,
         "status": status.status,
         "executor": status.executor,

@@ -3,9 +3,9 @@
 import numpy as np
 import pytest
 
+from repro.apps.campaign import OUTCOMES, AppCampaignConfig, run_app_campaign
 from repro.apps.faulty import (
     AppFaultSpec,
-    bit_sweep_campaign,
     run_faulty_solve,
     summarize_outcomes,
 )
@@ -44,29 +44,37 @@ class TestSingleFault:
 
 
 class TestCampaign:
+    # The bit_sweep_campaign loop this class used to cover is gone;
+    # app-scale sweeps run through repro.apps.campaign now.
+
     def test_sweep_shape(self):
-        outcomes = bit_sweep_campaign(
-            PROBLEM, "posit16", iteration=4, seed=1, trials_per_bit=1,
-            max_iterations=2000, tolerance=1e-6,
+        config = AppCampaignConfig(
+            app="jacobi", grid=8, iterations=(4,), trials_per_cell=1, seed=1,
         )
-        assert len(outcomes) == 16
-        bits = sorted(o.spec.bit for o in outcomes)
-        assert bits == list(range(16))
+        result = run_app_campaign(config, "posit16")
+        assert result.trial_count == 16
+        assert sorted(int(b) for b in np.unique(result.records.bit)) == list(range(16))
+        assert set(result.records.outcome) <= set(OUTCOMES)
 
     def test_deterministic(self):
-        a = bit_sweep_campaign(PROBLEM, "posit16", iteration=4, seed=9,
-                               trials_per_bit=1, max_iterations=500)
-        b = bit_sweep_campaign(PROBLEM, "posit16", iteration=4, seed=9,
-                               trials_per_bit=1, max_iterations=500)
-        assert [o.spec for o in a] == [o.spec for o in b]
-        assert [o.solution_error for o in a] == [o.solution_error for o in b]
+        config = AppCampaignConfig(
+            app="jacobi", grid=8, iterations=(4,), trials_per_cell=1, seed=9,
+            max_iterations=500,
+        )
+        a = run_app_campaign(config, "posit16")
+        b = run_app_campaign(config, "posit16")
+        assert a.records.to_csv_string() == b.records.to_csv_string()
 
     def test_summary(self):
-        outcomes = bit_sweep_campaign(PROBLEM, "posit16", iteration=4, seed=1,
-                                      trials_per_bit=1, max_iterations=2000,
-                                      tolerance=1e-6)
+        outcomes = [
+            run_faulty_solve(
+                PROBLEM, "posit16", AppFaultSpec(iteration=4, flat_index=i, bit=b),
+                max_iterations=2000, tolerance=1e-6,
+            )
+            for i, b in ((3, 1), (10, 14))
+        ]
         summary = summarize_outcomes(outcomes)
-        assert summary["trials"] == 16
+        assert summary["trials"] == 2
         assert 0.0 <= summary["converged_fraction"] <= 1.0
         assert summary["max_iteration_overhead"] >= summary["mean_iteration_overhead"]
 

@@ -86,8 +86,8 @@ class TestStatusSchemaLock:
     """`campaign status --json` and `campaign get --json` are one schema."""
 
     EXPECTED_KEYS = {
-        "schema", "run_dir", "target", "fault_model", "label", "status",
-        "executor", "complete", "cancelled", "shards", "trials",
+        "schema", "run_dir", "target", "fault_model", "app", "label",
+        "status", "executor", "complete", "cancelled", "shards", "trials",
         "pending_bits", "missing_shard_files", "quarantined_files", "workers",
     }
 
